@@ -1,0 +1,59 @@
+//! Experiment A1 — ablations of DESIGN.md's called-out design choices.
+//!
+//! 1. Multiset representation: the sorted-count-map kernels versus the
+//!    deliberately naive `Vec` kernels kept in
+//!    `excess_types::multiset::naive`.
+//! 2. Optimizer benefit: Example 2's initial plan evaluated raw versus
+//!    after the greedy rewrite pass (rule families 10/15/26 firing).
+//! 3. Optimizer overhead: how long the greedy pass itself takes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+use excess_bench::example2::{example2_db, figure9};
+use excess_types::{multiset::naive, MultiSet, Value};
+
+fn bench_kernels(c: &mut Criterion) {
+    let mut g = c.benchmark_group("a1_multiset_kernels");
+    g.sample_size(10);
+    g.warm_up_time(Duration::from_millis(400));
+    g.measurement_time(Duration::from_secs(3));
+    for n in [100usize, 1000, 4000] {
+        let a: Vec<Value> = (0..n).map(|i| Value::int((i % (n / 4).max(1)) as i32)).collect();
+        let b: Vec<Value> = (0..n / 2).map(|i| Value::int(i as i32)).collect();
+        let ms_a: MultiSet = a.iter().cloned().collect();
+        let ms_b: MultiSet = b.iter().cloned().collect();
+        g.bench_with_input(BenchmarkId::new("countmap_de", n), &(), |bch, _| {
+            bch.iter(|| ms_a.dup_elim())
+        });
+        g.bench_with_input(BenchmarkId::new("naive_de", n), &(), |bch, _| {
+            bch.iter(|| naive::dup_elim(&a))
+        });
+        g.bench_with_input(BenchmarkId::new("countmap_diff", n), &(), |bch, _| {
+            bch.iter(|| ms_a.clone().difference(&ms_b))
+        });
+        g.bench_with_input(BenchmarkId::new("naive_diff", n), &(), |bch, _| {
+            bch.iter(|| naive::difference(&a, &b))
+        });
+    }
+    g.finish();
+}
+
+fn bench_optimizer(c: &mut Criterion) {
+    let mut g = c.benchmark_group("a1_optimizer");
+    g.sample_size(10);
+    g.warm_up_time(Duration::from_millis(400));
+    g.measurement_time(Duration::from_secs(3));
+    let db = example2_db(2000, 40, 10);
+    let initial = figure9();
+    let optimized = db.optimize_plan(&initial);
+    let mut db1 = example2_db(2000, 40, 10);
+    g.bench_function("eval_initial", |b| b.iter(|| db1.run_plan(&initial).unwrap()));
+    let mut db2 = example2_db(2000, 40, 10);
+    g.bench_function("eval_optimized", |b| b.iter(|| db2.run_plan(&optimized).unwrap()));
+    let db3 = example2_db(50, 40, 10);
+    g.bench_function("greedy_rewrite_pass", |b| b.iter(|| db3.optimize_plan(&initial)));
+    g.finish();
+}
+
+criterion_group!(benches, bench_kernels, bench_optimizer);
+criterion_main!(benches);

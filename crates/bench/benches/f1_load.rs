@@ -1,0 +1,26 @@
+//! Experiment F1 — Figure 1: bulk-loading the university database.
+//!
+//! No performance claim attaches to Figure 1 itself; this bench records
+//! how load time scales with population so EXPERIMENTS.md can report the
+//! substrate's baseline costs.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+use excess_workload::{generate, UniversityParams};
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("f1_load");
+    g.sample_size(10);
+    g.warm_up_time(Duration::from_millis(400));
+    g.measurement_time(Duration::from_secs(3));
+    for scale in [1usize, 4, 16] {
+        let p = UniversityParams::default().scaled(scale);
+        g.bench_with_input(BenchmarkId::new("generate", scale), &p, |b, p| {
+            b.iter(|| generate(p).unwrap().db.store().len())
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

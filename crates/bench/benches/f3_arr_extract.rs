@@ -1,0 +1,47 @@
+//! Experiment F3 — Figure 3: `retrieve (TopTen[5].name, TopTen[5].salary)`.
+//!
+//! Claim reproduced: `ARR_EXTRACT` returns "simply the element itself" —
+//! the Figure 3 plan touches one element and one object, so its cost is
+//! flat in the array length, whereas the strawman that materialises the
+//! whole array first (`ARR_APPLY DEREF`, then extract) scales linearly.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+use excess_bench::array_db;
+use excess_core::expr::Expr;
+
+/// The Figure 3 plan: π(DEREF(ARR_EXTRACT_5(A))).
+fn figure3_plan() -> Expr {
+    Expr::named("BigArr").arr_extract(5).deref().project(["name", "salary"])
+}
+
+/// Strawman: dereference every element, then take the 5th.
+fn materialise_first_plan() -> Expr {
+    Expr::named("BigArr")
+        .arr_apply(Expr::input().deref())
+        .arr_extract(5)
+        .project(["name", "salary"])
+}
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("f3_arr_extract");
+    g.sample_size(20);
+    g.warm_up_time(Duration::from_millis(400));
+    g.measurement_time(Duration::from_secs(3));
+    for len in [10usize, 1000, 100_000] {
+        let mut db = array_db(len);
+        let fig3 = figure3_plan();
+        let straw = materialise_first_plan();
+        g.bench_with_input(BenchmarkId::new("figure3", len), &len, |b, _| {
+            b.iter(|| db.run_plan(&fig3).unwrap())
+        });
+        let mut db2 = array_db(len);
+        g.bench_with_input(BenchmarkId::new("materialise_first", len), &len, |b, _| {
+            b.iter(|| db2.run_plan(&straw).unwrap())
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

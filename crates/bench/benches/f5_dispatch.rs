@@ -1,0 +1,52 @@
+//! Experiment F5 — Figure 5 / Section 4: overridden-method dispatch
+//! strategies.
+//!
+//! Claims reproduced:
+//! (a) for the trivial `boss`-style method the switch table beats the
+//!     ⊎-of-type-filtered-scans plan ("the first technique … would
+//!     certainly be preferable to scanning P three times");
+//! (b) when bodies scan a large component set (`sub_ords`), the scans
+//!     become negligible and the ⊎ plan is competitive/better;
+//! (c) with per-exact-type extent indexes "the need to scan P three times
+//!     … disappears" — the indexed ⊎ plan wins outright.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+use excess_bench::dispatch::{
+    dispatch_db, expensive_impls, index_extents, indexed_union_plan, switch_plan,
+    trivial_impls, union_plan,
+};
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("f5_dispatch");
+    g.sample_size(10);
+    g.warm_up_time(Duration::from_millis(400));
+    g.measurement_time(Duration::from_secs(3));
+    for (label, impls, n, sub) in [
+        ("trivial", trivial_impls(), 3000usize, 0usize),
+        ("expensive_sub64", expensive_impls(), 600, 64),
+        ("expensive_sub512", expensive_impls(), 150, 512),
+    ] {
+        let mut db = dispatch_db(n, sub);
+        index_extents(&mut db);
+        let sw = switch_plan(&impls);
+        let un = union_plan(&db, &impls);
+        let ix = indexed_union_plan(&db, &impls);
+        g.bench_with_input(BenchmarkId::new("switch", label), &(), |b, _| {
+            b.iter(|| db.run_plan(&sw).unwrap())
+        });
+        let mut db2 = dispatch_db(n, sub);
+        g.bench_with_input(BenchmarkId::new("union", label), &(), |b, _| {
+            b.iter(|| db2.run_plan(&un).unwrap())
+        });
+        let mut db3 = dispatch_db(n, sub);
+        index_extents(&mut db3);
+        g.bench_with_input(BenchmarkId::new("union_indexed", label), &(), |b, _| {
+            b.iter(|| db3.run_plan(&ix).unwrap())
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

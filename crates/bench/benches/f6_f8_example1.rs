@@ -1,0 +1,34 @@
+//! Experiment F6–F8 — Section 5 Example 1 (Figures 6, 7, 8).
+//!
+//! Claims reproduced:
+//! * Figure 7 (DE + π ahead of GRP) "is especially advantageous when the
+//!   duplication factor is large" — sweep d;
+//! * Figure 8 (DE + π past the join) makes DE operate "on |S| + |E|
+//!   occurrences rather than |S| · |E| occurrences" — the join inputs are
+//!   deduplicated before pairing, so the pair count collapses too.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+use excess_bench::example1::{example1_db, figure6, figure7, figure8};
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("f6_f8_example1");
+    g.sample_size(10);
+    g.warm_up_time(Duration::from_millis(400));
+    g.measurement_time(Duration::from_secs(3));
+    for dup in [1usize, 8, 32] {
+        let n_s = 512;
+        let n_e = 256;
+        let plans = [("fig6", figure6()), ("fig7", figure7()), ("fig8", figure8())];
+        for (name, plan) in plans {
+            let mut db = example1_db(n_s, n_e, dup);
+            g.bench_with_input(BenchmarkId::new(name, format!("dup{dup}")), &(), |b, _| {
+                b.iter(|| db.run_plan(&plan).unwrap())
+            });
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,35 @@
+//! Experiment F9–F11 — Section 5 Example 2 (Figures 9, 10, 11).
+//!
+//! Claims reproduced:
+//! * Figure 10 (rule 15, twice): one scan instead of three per group;
+//! * Figure 11 (rules 10 + 26): σ ahead of GRP wins at low selectivity,
+//!   and `dept` is DEREF'd once per student instead of twice.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+use excess_bench::example2::{example2_db, figure10, figure11, figure9};
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("f9_f11_example2");
+    g.sample_size(10);
+    g.warm_up_time(Duration::from_millis(400));
+    g.measurement_time(Duration::from_secs(3));
+    // floors controls selectivity of `floor = 5`: 1/floors of departments
+    // qualify (0 when floors < 5).
+    for (n, floors) in [(2000usize, 5usize), (2000, 20), (8000, 10)] {
+        let plans =
+            [("fig9", figure9()), ("fig10", figure10()), ("fig11", figure11())];
+        for (name, plan) in plans {
+            let mut db = example2_db(n, 40, floors);
+            g.bench_with_input(
+                BenchmarkId::new(name, format!("n{n}_fl{floors}")),
+                &(),
+                |b, _| b.iter(|| db.run_plan(&plan).unwrap()),
+            );
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

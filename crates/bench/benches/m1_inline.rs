@@ -1,0 +1,56 @@
+//! Experiment M1 — Section 4: "black box" versus inlined-and-optimized
+//! methods.
+//!
+//! "The entire query, including the algebraic representation of the
+//! method, may now be optimized as a single query.  This is clearly better
+//! than using a 'black box' version of the method."
+//!
+//! The method body filters each employee's `kids`; the invoking query
+//! filters the method's output again.  The black-box execution runs the
+//! plugged-in tree verbatim (two passes over every kids set); joint
+//! optimization fuses the filters (rules 15/27/rel1) into one pass.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+use excess_workload::{generate, UniversityParams};
+
+const DEFINE_ADULT_KIDS: &str = r#"
+define Employee function adult_kids () returns { Person }
+{ retrieve (k) from k in this.kids where k.age >= 18 }
+"#;
+
+const INVOKE: &str = r#"
+retrieve (c.name) from E in Employees, c in E.adult_kids()
+where c.ssnum > 500000000
+"#;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("m1_inline");
+    g.sample_size(10);
+    g.warm_up_time(Duration::from_millis(400));
+    g.measurement_time(Duration::from_secs(3));
+    for kids in [4usize, 32] {
+        let p = UniversityParams {
+            employees: 300,
+            students: 10,
+            kids_per_employee: kids,
+            ..Default::default()
+        };
+        let mut db = generate(&p).unwrap().db;
+        db.execute(DEFINE_ADULT_KIDS).unwrap();
+        let raw = db.plan_for(INVOKE).unwrap();
+        let optimized = db.optimize_plan(&raw);
+        g.bench_with_input(BenchmarkId::new("black_box", kids), &(), |b, _| {
+            b.iter(|| db.run_plan(&raw).unwrap())
+        });
+        let mut db2 = generate(&p).unwrap().db;
+        db2.execute(DEFINE_ADULT_KIDS).unwrap();
+        g.bench_with_input(BenchmarkId::new("inlined_optimized", kids), &(), |b, _| {
+            b.iter(|| db2.run_plan(&optimized).unwrap())
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

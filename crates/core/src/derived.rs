@@ -1,0 +1,243 @@
+//! Derived operators defined atop the primitives.
+//!
+//! Section 6 lists as future work "testing of various algebraic operators,
+//! defined in terms of the primitive ones listed in Section 3, to
+//! determine which of these derived operators will be useful for query
+//! processing or amenable to optimization".  This module is that library:
+//! every combinator below returns a plain [`Expr`] built from the 23
+//! primitives (and the Appendix §1 derived nodes), so the optimizer's
+//! rules apply to them with no special cases.
+//!
+//! The nested-relational restructurings (`nest`/`unnest`) show the algebra
+//! simulating the NF² algebras of \[Sche86, Roth88\]; the join variants
+//! cover the common query-processing derived forms.
+
+use crate::expr::{CmpOp, Expr, Func, Pred};
+
+/// `nest_{by}(A)`: partition a multiset by a key expression and return the
+/// multiset of groups — simply `GRP`, named for its NF² role.
+pub fn nest(input: Expr, by: Expr) -> Expr {
+    input.group_by(by)
+}
+
+/// `unnest(A)`: flatten a multiset of multisets — `SET_COLLAPSE`.
+pub fn unnest(input: Expr) -> Expr {
+    input.set_collapse()
+}
+
+/// `nest_pairs_{key, val}(A)`: group by `key` and emit `(key, group)`
+/// tuples, where `group` collects `val` of each member — the classic
+/// NF² NEST that *keeps* the grouping key (plain `GRP` drops it).
+pub fn nest_pairs(input: Expr, key: Expr, val: Expr) -> Expr {
+    // Groups are non-empty, so the key of any member is the group key:
+    // (key: the(per-member keys), group: per-member vals).
+    //
+    // Binder arithmetic: `key`/`val` are written against one binder
+    // (Input(0) = element, as in GRP).  Re-used here they sit under two
+    // binders (group, then element); the element is still the innermost
+    // Input(0), and only *free* references (≥ 1) shift by the two new
+    // levels.
+    let keys_of_group = Expr::input().set_apply(key.shift_inputs(1, 2));
+    let vals_of_group = Expr::input().set_apply(val.shift_inputs(1, 2));
+    input.group_by(key).set_apply(
+        Expr::call(Func::The, vec![keys_of_group])
+            .make_tup("key")
+            .tup_cat(vals_of_group.make_tup("group")),
+    )
+}
+
+/// Semijoin `A ⋉_θ B`: the elements of A that join with at least one
+/// element of B.  Derivation: σ over A whose predicate counts matches.
+pub fn semijoin(left: Expr, right: Expr, theta: impl Fn(Expr, Expr) -> Pred) -> Expr {
+    // For each a ∈ A: keep a iff count(σ_{θ(a,b)}(B)) > 0.
+    let matches = right.shift_inputs(0, 1).select(theta(Expr::input_at(1), Expr::input()));
+    left.select(Pred::cmp(
+        Expr::call(Func::Count, vec![matches]),
+        CmpOp::Gt,
+        Expr::int(0),
+    ))
+}
+
+/// Antijoin `A ▷_θ B`: the elements of A with *no* match in B.
+pub fn antijoin(left: Expr, right: Expr, theta: impl Fn(Expr, Expr) -> Pred) -> Expr {
+    let matches = right.shift_inputs(0, 1).select(theta(Expr::input_at(1), Expr::input()));
+    left.select(Pred::cmp(
+        Expr::call(Func::Count, vec![matches]),
+        CmpOp::Eq,
+        Expr::int(0),
+    ))
+}
+
+/// Group counts: `(key, n)` per distinct key — GROUP BY … COUNT(*).
+pub fn count_by(input: Expr, key: Expr) -> Expr {
+    let keys_of_group = Expr::input().set_apply(key.shift_inputs(1, 2));
+    input.group_by(key).set_apply(
+        Expr::call(Func::The, vec![keys_of_group])
+            .make_tup("key")
+            .tup_cat(Expr::call(Func::Count, vec![Expr::input()]).make_tup("n")),
+    )
+}
+
+/// `exists(A)`: `true`/`false` as a scalar — `count(A) > 0` through COMP.
+pub fn exists(input: Expr) -> Expr {
+    // the(σ_{count>0}({true})) — true when non-empty, dne otherwise; wrap
+    // in a second stage yielding a proper boolean.
+    let c = Expr::call(Func::Count, vec![input]);
+    Expr::call(
+        Func::The,
+        vec![Expr::lit(excess_types::Value::bool(true))
+            .make_set()
+            .select(Pred::cmp(c.shift_inputs(0, 1), CmpOp::Gt, Expr::int(0)))],
+    )
+}
+
+/// Top-1 by a key: the element whose `key` equals the maximum — ties keep
+/// every maximal element.
+pub fn argmax(input: Expr, key: Expr) -> Expr {
+    let max_key = Expr::call(
+        Func::Max,
+        vec![input.clone().set_apply(key.clone())],
+    );
+    input.select(Pred::cmp(key, CmpOp::Eq, max_key.shift_inputs(0, 1)))
+}
+
+/// Multiset scaling `k · A`: each cardinality multiplied by `k ≥ 0`, via
+/// repeated ⊎ (a structural recursion the optimizer can still see);
+/// `k = 0` is the empty multiset, expressed as `A − A`.
+pub fn scale_total(input: Expr, k: u32) -> Expr {
+    if k == 0 {
+        return input.clone().diff(input);
+    }
+    let mut out = input.clone();
+    for _ in 1..k {
+        out = out.add_union(input.clone());
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::catalog::Catalog;
+    use crate::eval::{evaluate, EvalCtx};
+    use excess_types::{ObjectStore, TypeRegistry, Value};
+    use std::collections::HashMap;
+
+    fn run(e: &Expr, objects: &[(&str, Value)]) -> Value {
+        let reg = TypeRegistry::new();
+        let mut store = ObjectStore::new();
+        let cat: HashMap<String, Value> = objects
+            .iter()
+            .map(|(n, v)| (n.to_string(), v.clone()))
+            .collect();
+        let catref: &dyn Catalog = &cat;
+        let mut ctx = EvalCtx::new(&reg, &mut store, catref);
+        evaluate(e, &mut ctx).unwrap()
+    }
+
+    fn rows() -> Value {
+        Value::set([
+            Value::tuple([("k", Value::int(1)), ("v", Value::str("a"))]),
+            Value::tuple([("k", Value::int(1)), ("v", Value::str("b"))]),
+            Value::tuple([("k", Value::int(2)), ("v", Value::str("c"))]),
+        ])
+    }
+
+    #[test]
+    fn nest_then_unnest_is_identity_on_occurrences() {
+        let nested = nest(Expr::named("R"), Expr::input().extract("k"));
+        let flat = unnest(nested);
+        assert_eq!(run(&flat, &[("R", rows())]), rows());
+    }
+
+    #[test]
+    fn nest_pairs_keeps_the_key() {
+        let e = nest_pairs(
+            Expr::named("R"),
+            Expr::input().extract("k"),
+            Expr::input().extract("v"),
+        );
+        let out = run(&e, &[("R", rows())]);
+        let expected = Value::set([
+            Value::tuple([
+                ("key", Value::int(1)),
+                ("group", Value::set([Value::str("a"), Value::str("b")])),
+            ]),
+            Value::tuple([
+                ("key", Value::int(2)),
+                ("group", Value::set([Value::str("c")])),
+            ]),
+        ]);
+        assert_eq!(out, expected);
+    }
+
+    #[test]
+    fn semijoin_and_antijoin_partition() {
+        let nums = Value::set([1, 2, 3, 4].map(Value::int));
+        let evens = Value::set([2, 4, 6].map(Value::int));
+        let theta = |a: Expr, b: Expr| Pred::cmp(a, CmpOp::Eq, b);
+        let semi = semijoin(Expr::named("N"), Expr::named("E"), theta);
+        let theta2 = |a: Expr, b: Expr| Pred::cmp(a, CmpOp::Eq, b);
+        let anti = antijoin(Expr::named("N"), Expr::named("E"), theta2);
+        let objs = [("N", nums.clone()), ("E", evens)];
+        assert_eq!(run(&semi, &objs), Value::set([2, 4].map(Value::int)));
+        assert_eq!(run(&anti, &objs), Value::set([1, 3].map(Value::int)));
+        // ⋉ ⊎ ▷ = identity
+        let both = semijoin(
+            Expr::named("N"),
+            Expr::named("E"),
+            |a, b| Pred::cmp(a, CmpOp::Eq, b),
+        )
+        .add_union(antijoin(Expr::named("N"), Expr::named("E"), |a, b| {
+            Pred::cmp(a, CmpOp::Eq, b)
+        }));
+        assert_eq!(run(&both, &objs), nums);
+    }
+
+    #[test]
+    fn count_by_counts() {
+        let e = count_by(Expr::named("R"), Expr::input().extract("k"));
+        let out = run(&e, &[("R", rows())]);
+        let expected = Value::set([
+            Value::tuple([("key", Value::int(1)), ("n", Value::int(2))]),
+            Value::tuple([("key", Value::int(2)), ("n", Value::int(1))]),
+        ]);
+        assert_eq!(out, expected);
+    }
+
+    #[test]
+    fn exists_is_boolean() {
+        let non_empty = Value::set([Value::int(1)]);
+        let empty = Value::set([]);
+        assert_eq!(
+            run(&exists(Expr::named("X")), &[("X", non_empty)]),
+            Value::bool(true)
+        );
+        // Empty input: the(σ over {true}) = dne ("no witness exists").
+        assert_eq!(run(&exists(Expr::named("X")), &[("X", empty)]), Value::dne());
+    }
+
+    #[test]
+    fn argmax_keeps_all_maximal_elements() {
+        let e = argmax(Expr::named("R"), Expr::input().extract("k"));
+        let out = run(&e, &[("R", rows())]);
+        assert_eq!(
+            out,
+            Value::set([Value::tuple([("k", Value::int(2)), ("v", Value::str("c"))])])
+        );
+    }
+
+    #[test]
+    fn scale_multiplies_cardinalities() {
+        let nums = Value::set([1, 1, 2].map(Value::int));
+        let e = scale_total(Expr::named("N"), 3);
+        let out = run(&e, &[("N", nums)]);
+        assert_eq!(out.as_set().unwrap().count(&Value::int(1)), 6);
+        assert_eq!(out.as_set().unwrap().count(&Value::int(2)), 3);
+        let zero = scale_total(Expr::named("N"), 0);
+        assert!(run(&zero, &[("N", Value::set([Value::int(5)]))])
+            .as_set()
+            .unwrap()
+            .is_empty());
+    }
+}

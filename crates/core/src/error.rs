@@ -1,0 +1,60 @@
+//! Evaluation errors.
+
+use excess_types::TypeError;
+use std::fmt;
+
+/// Errors raised while evaluating an algebra expression.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[allow(missing_docs)] // variant fields are self-describing
+pub enum EvalError {
+    /// An operator received a structure of the wrong sort, e.g. `DE` of a
+    /// tuple.  The algebra is many-sorted; this is the dynamic check.
+    SortMismatch { op: &'static str, expected: &'static str, found: String },
+    /// `INPUT` used outside any binder (or at too great a depth).
+    UnboundInput(usize),
+    /// A named top-level object is not in the catalog.
+    UnknownObject(String),
+    /// Wrong number of arguments to a built-in function.
+    Arity { func: &'static str, expected: usize, found: usize },
+    /// An error bubbled up from the type system (dangling OID, domain
+    /// violation on REF, …).
+    Type(TypeError),
+    /// An aggregate saw a non-numeric/non-comparable element.
+    BadAggregate(String),
+    /// A switch-table dispatch found no arm for an element's type.
+    NoDispatchArm { ty: String },
+    /// Division by zero.
+    DivideByZero,
+}
+
+impl fmt::Display for EvalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EvalError::SortMismatch { op, expected, found } => {
+                write!(f, "{op}: expected {expected}, found {found}")
+            }
+            EvalError::UnboundInput(d) => write!(f, "INPUT^{d} used outside a binder"),
+            EvalError::UnknownObject(n) => write!(f, "unknown top-level object `{n}`"),
+            EvalError::Arity { func, expected, found } => {
+                write!(f, "{func}: expected {expected} arguments, found {found}")
+            }
+            EvalError::Type(e) => write!(f, "{e}"),
+            EvalError::BadAggregate(s) => write!(f, "bad aggregate input: {s}"),
+            EvalError::NoDispatchArm { ty } => {
+                write!(f, "switch-table dispatch has no arm for type `{ty}`")
+            }
+            EvalError::DivideByZero => f.write_str("division by zero"),
+        }
+    }
+}
+
+impl std::error::Error for EvalError {}
+
+impl From<TypeError> for EvalError {
+    fn from(e: TypeError) -> Self {
+        EvalError::Type(e)
+    }
+}
+
+/// Result alias for evaluation.
+pub type EvalResult<T> = std::result::Result<T, EvalError>;

@@ -1,0 +1,156 @@
+//! Tree rendering of query plans, in the style of the paper's figures
+//! (Figures 3–11 draw plans as operator trees with inputs below).
+
+use crate::expr::{Bound, Expr, Pred};
+use std::fmt::Write;
+
+/// Render a plan as an indented operator tree.
+///
+/// ```
+/// use excess_core::Expr;
+/// let plan = excess_core::Expr::named("TopTen")
+///     .arr_extract(5)
+///     .deref()
+///     .project(["name", "salary"]);
+/// let tree = excess_core::render::render_tree(&plan);
+/// assert!(tree.starts_with("π[name,salary]"));
+/// assert!(tree.contains("ARR_EXTRACT[5]"));
+/// # let _: &excess_core::Expr = &plan;
+/// ```
+pub fn render_tree(e: &Expr) -> String {
+    let mut out = String::new();
+    render(e, "", true, 0, &mut out);
+    out
+}
+
+fn label(e: &Expr) -> String {
+    match e {
+        Expr::Input(0) => "INPUT".into(),
+        Expr::Input(d) => format!("INPUT^{d}"),
+        Expr::Named(n) => n.clone(),
+        Expr::Const(v) => {
+            let s = v.to_string();
+            if s.len() > 40 {
+                format!("{}…", &s[..s.char_indices().take(40).last().map(|(i, c)| i + c.len_utf8()).unwrap_or(0)])
+            } else {
+                s
+            }
+        }
+        Expr::AddUnion(..) => "⊎".into(),
+        Expr::MakeSet(_) => "SET".into(),
+        Expr::SetApply { only_types: None, .. } => "SET_APPLY".into(),
+        Expr::SetApply { only_types: Some(ts), .. } => {
+            format!("SET_APPLY[{}]", ts.join("/"))
+        }
+        Expr::Group { .. } => "GRP".into(),
+        Expr::DupElim(_) => "DE".into(),
+        Expr::Diff(..) => "−".into(),
+        Expr::Cross(..) => "×".into(),
+        Expr::SetCollapse(_) => "SET_COLLAPSE".into(),
+        Expr::Project(_, fs) => format!("π[{}]", fs.join(",")),
+        Expr::TupCat(..) => "TUP_CAT".into(),
+        Expr::TupExtract(_, f) => format!("TUP_EXTRACT[{f}]"),
+        Expr::MakeTup(_, f) => format!("TUP[{f}]"),
+        Expr::MakeArr(_) => "ARR".into(),
+        Expr::ArrExtract(_, b) => format!("ARR_EXTRACT[{}]", bound(*b)),
+        Expr::ArrApply { .. } => "ARR_APPLY".into(),
+        Expr::SubArr(_, m, n) => format!("SUBARR[{},{}]", bound(*m), bound(*n)),
+        Expr::ArrCat(..) => "ARR_CAT".into(),
+        Expr::ArrCollapse(_) => "ARR_COLLAPSE".into(),
+        Expr::ArrDiff(..) => "ARR_DIFF".into(),
+        Expr::ArrDupElim(_) => "ARR_DE".into(),
+        Expr::ArrCross(..) => "ARR_CROSS".into(),
+        Expr::MakeRef(_, t) => format!("REF[{t}]"),
+        Expr::Deref(_) => "DEREF".into(),
+        Expr::Comp { pred, .. } => format!("COMP[{}]", pred_label(pred)),
+        Expr::Call(f, _) => f.to_string(),
+        Expr::Union(..) => "∪".into(),
+        Expr::Intersect(..) => "∩".into(),
+        Expr::Select { pred, .. } => format!("σ[{}]", pred_label(pred)),
+        Expr::ArrSelect { pred, .. } => format!("arr_σ[{}]", pred_label(pred)),
+        Expr::RelJoin { pred, .. } => format!("rel_join[{}]", pred_label(pred)),
+        Expr::RelCross(..) => "rel_×".into(),
+        Expr::SetApplySwitch { table, .. } => {
+            let arms: Vec<&str> = table.iter().map(|(t, _)| t.as_str()).collect();
+            format!("SWITCH[{}]", arms.join("/"))
+        }
+    }
+}
+
+fn pred_label(p: &Pred) -> String {
+    let s = p.to_string();
+    if s.len() > 48 {
+        let cut = s.char_indices().take(48).last().map(|(i, c)| i + c.len_utf8()).unwrap_or(0);
+        format!("{}…", &s[..cut])
+    } else {
+        s
+    }
+}
+
+fn bound(b: Bound) -> String {
+    match b {
+        Bound::At(n) => n.to_string(),
+        Bound::Last => "last".into(),
+    }
+}
+
+fn render(e: &Expr, prefix: &str, last: bool, depth: usize, out: &mut String) {
+    let connector = if depth == 0 {
+        ""
+    } else if last {
+        "└─ "
+    } else {
+        "├─ "
+    };
+    let _ = writeln!(out, "{prefix}{connector}{}", label(e));
+    let kids = e.children();
+    let child_prefix = if depth == 0 {
+        String::new()
+    } else {
+        format!("{prefix}{}", if last { "   " } else { "│  " })
+    };
+    for (i, c) in kids.iter().enumerate() {
+        render(c, &child_prefix, i == kids.len() - 1, depth + 1, out);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::{CmpOp, Pred};
+
+    #[test]
+    fn renders_figure3_like_tree() {
+        let plan = Expr::named("TopTen").arr_extract(5).deref().project(["name", "salary"]);
+        let t = render_tree(&plan);
+        let lines: Vec<&str> = t.lines().collect();
+        assert_eq!(lines[0], "π[name,salary]");
+        assert!(lines[1].contains("DEREF"));
+        assert!(lines[2].contains("ARR_EXTRACT[5]"));
+        assert!(lines[3].contains("TopTen"));
+    }
+
+    #[test]
+    fn renders_branching_plans() {
+        let plan = Expr::named("A").rel_join(
+            Expr::named("B"),
+            Pred::cmp(Expr::input().extract("x"), CmpOp::Eq, Expr::int(1)),
+        );
+        let t = render_tree(&plan);
+        assert!(t.contains("rel_join"));
+        assert!(t.contains("├─"));
+        assert!(t.contains("└─"));
+        assert!(t.contains('A') && t.contains('B'));
+    }
+
+    #[test]
+    fn long_predicates_are_clipped() {
+        let long = Pred::cmp(
+            Expr::input().extract("averyveryverylongfieldnameindeed"),
+            CmpOp::Eq,
+            Expr::str("a-quite-long-string-constant-here"),
+        );
+        let t = render_tree(&Expr::named("A").select(long));
+        assert!(t.lines().next().unwrap().ends_with('…') || t.len() < 200);
+    }
+}

@@ -1,0 +1,344 @@
+//! Evaluator edge cases: null flow, binder discipline, sort errors,
+//! dispatch fallback, and counter precision.
+
+use excess_core::expr::{Bound, CmpOp, Expr, Func, Pred};
+use excess_core::{evaluate, EvalCtx, EvalError, Truth};
+use excess_types::{ObjectStore, SchemaType, TypeRegistry, Value};
+use std::collections::HashMap;
+
+struct Fixture {
+    reg: TypeRegistry,
+    store: ObjectStore,
+    cat: HashMap<String, Value>,
+}
+
+impl Fixture {
+    fn new() -> Self {
+        let mut reg = TypeRegistry::new();
+        reg.define("Person", SchemaType::tuple([("name", SchemaType::chars())])).unwrap();
+        reg.define_with_supertypes(
+            "Employee",
+            SchemaType::tuple([("salary", SchemaType::int4())]),
+            &["Person"],
+        )
+        .unwrap();
+        reg.define_with_supertypes(
+            "Manager",
+            SchemaType::tuple([("level", SchemaType::int4())]),
+            &["Employee"],
+        )
+        .unwrap();
+        Fixture { reg, store: ObjectStore::new(), cat: HashMap::new() }
+    }
+
+    fn run(&mut self, e: &Expr) -> Result<Value, EvalError> {
+        let cat = &self.cat;
+        let mut ctx = EvalCtx::new(&self.reg, &mut self.store, cat);
+        evaluate(e, &mut ctx)
+    }
+
+    fn run_counting(&mut self, e: &Expr) -> (Value, excess_core::Counters) {
+        let cat = &self.cat;
+        let mut ctx = EvalCtx::new(&self.reg, &mut self.store, cat);
+        let v = evaluate(e, &mut ctx).unwrap();
+        (v, ctx.counters)
+    }
+}
+
+// ---------------- null flow ----------------
+
+#[test]
+fn nulls_propagate_through_structural_operators() {
+    let mut f = Fixture::new();
+    let dne = Expr::lit(Value::dne());
+    let unk = Expr::lit(Value::unk());
+    assert!(f.run(&dne.clone().extract("x")).unwrap().is_dne());
+    assert!(f.run(&unk.clone().extract("x")).unwrap().is_unk());
+    assert!(f.run(&dne.clone().deref()).unwrap().is_dne());
+    assert!(f.run(&dne.clone().project(["a"])).unwrap().is_dne());
+    assert!(f.run(&dne.clone().arr_extract(1)).unwrap().is_dne());
+    assert!(f.run(&dne.clone().dup_elim()).unwrap().is_dne());
+    assert!(f.run(&dne.clone().set_apply(Expr::input())).unwrap().is_dne());
+    // Binary set ops: either null operand wins.
+    let s = Expr::lit(Value::set([Value::int(1)]));
+    assert!(f.run(&s.clone().add_union(dne.clone())).unwrap().is_dne());
+    assert!(f.run(&unk.clone().diff(s.clone())).unwrap().is_unk());
+}
+
+#[test]
+fn set_of_dne_is_empty_and_arr_of_dne_is_empty() {
+    let mut f = Fixture::new();
+    let made = f.run(&Expr::lit(Value::dne()).make_set()).unwrap();
+    assert!(made.as_set().unwrap().is_empty());
+    let arr = f.run(&Expr::lit(Value::dne()).make_arr()).unwrap();
+    assert!(arr.as_array().unwrap().is_empty());
+    // unk, by contrast, is a real occurrence.
+    let kept = f.run(&Expr::lit(Value::unk()).make_set()).unwrap();
+    assert_eq!(kept.as_set().unwrap().len(), 1);
+}
+
+#[test]
+fn comp_truth_values_map_to_input_unk_dne() {
+    let mut f = Fixture::new();
+    let five = Expr::int(5);
+    let t = five.clone().comp(Pred::cmp(Expr::input(), CmpOp::Eq, Expr::int(5)));
+    assert_eq!(f.run(&t).unwrap(), Value::int(5));
+    let fls = five.clone().comp(Pred::cmp(Expr::input(), CmpOp::Eq, Expr::int(6)));
+    assert!(f.run(&fls).unwrap().is_dne());
+    let u = five.comp(Pred::cmp(Expr::input(), CmpOp::Eq, Expr::lit(Value::unk())));
+    assert!(f.run(&u).unwrap().is_unk());
+}
+
+#[test]
+fn selection_keeps_unk_occurrences_per_comp_semantics() {
+    // σ over {1, 2} where x = unk: both comparisons are U → {unk, unk}.
+    let mut f = Fixture::new();
+    let s = Expr::lit(Value::set([Value::int(1), Value::int(2)]));
+    let sel = s.select(Pred::cmp(Expr::input(), CmpOp::Eq, Expr::lit(Value::unk())));
+    let out = f.run(&sel).unwrap();
+    assert_eq!(out.as_set().unwrap().count(&Value::unk()), 2);
+}
+
+#[test]
+fn and_short_circuits_on_false() {
+    // F ∧ (error) must not evaluate the right side.
+    let mut f = Fixture::new();
+    let bad_right = Pred::cmp(
+        Expr::named("NoSuchObject"),
+        CmpOp::Eq,
+        Expr::int(1),
+    );
+    let p = Pred::cmp(Expr::int(1), CmpOp::Eq, Expr::int(2)).and(bad_right);
+    let e = Expr::int(9).comp(p);
+    assert!(f.run(&e).unwrap().is_dne());
+}
+
+#[test]
+fn kleene_or_via_de_morgan() {
+    assert_eq!(Truth::U.or(Truth::T), Truth::T);
+    assert_eq!(Truth::U.or(Truth::F), Truth::U);
+}
+
+// ---------------- binder discipline ----------------
+
+#[test]
+fn unbound_input_is_an_error() {
+    let mut f = Fixture::new();
+    match f.run(&Expr::input()) {
+        Err(EvalError::UnboundInput(0)) => {}
+        other => panic!("expected UnboundInput, got {other:?}"),
+    }
+    // Depth beyond the environment also fails.
+    let e = Expr::lit(Value::set([Value::int(1)])).set_apply(Expr::input_at(3));
+    assert!(matches!(f.run(&e), Err(EvalError::UnboundInput(3))));
+}
+
+#[test]
+fn nested_binders_resolve_by_depth() {
+    // For each x in {10, 20}: sum over {1, 2} of (x + y).
+    let mut f = Fixture::new();
+    let inner = Expr::lit(Value::set([Value::int(1), Value::int(2)]))
+        .set_apply(Expr::call(Func::Add, vec![Expr::input_at(1), Expr::input()]));
+    let e = Expr::lit(Value::set([Value::int(10), Value::int(20)]))
+        .set_apply(Expr::call(Func::Sum, vec![inner]));
+    let out = f.run(&e).unwrap();
+    assert_eq!(out, Value::set([Value::int(23), Value::int(43)]));
+}
+
+#[test]
+fn comp_binds_its_whole_input_not_occurrences() {
+    // COMP over a multiset: INPUT is the whole set (membership test).
+    let mut f = Fixture::new();
+    let s = Expr::lit(Value::set([Value::int(1), Value::int(2)]));
+    let e = s.comp(Pred::cmp(Expr::int(2), CmpOp::In, Expr::input()));
+    let out = f.run(&e).unwrap();
+    assert_eq!(out, Value::set([Value::int(1), Value::int(2)]));
+}
+
+// ---------------- sort errors ----------------
+
+#[test]
+fn sort_mismatches_are_reported_with_operator_names() {
+    let mut f = Fixture::new();
+    let tuple = Expr::lit(Value::tuple([("a", Value::int(1))]));
+    match f.run(&tuple.clone().dup_elim()) {
+        Err(EvalError::SortMismatch { op: "DE", expected: "multiset", .. }) => {}
+        other => panic!("unexpected: {other:?}"),
+    }
+    match f.run(&tuple.clone().arr_extract(1)) {
+        Err(EvalError::SortMismatch { op: "ARR_EXTRACT", .. }) => {}
+        other => panic!("unexpected: {other:?}"),
+    }
+    // `in` with a non-multiset right operand.
+    let e = Expr::int(1).comp(Pred::cmp(Expr::input(), CmpOp::In, Expr::int(2)));
+    assert!(matches!(f.run(&e), Err(EvalError::SortMismatch { .. })));
+    // SET_COLLAPSE of a multiset of scalars.
+    let flat = Expr::lit(Value::set([Value::int(1)])).set_collapse();
+    assert!(f.run(&flat).is_err());
+}
+
+#[test]
+fn division_by_zero_and_arity_errors() {
+    let mut f = Fixture::new();
+    let div = Expr::call(Func::Div, vec![Expr::int(1), Expr::int(0)]);
+    assert!(matches!(f.run(&div), Err(EvalError::DivideByZero)));
+    let arity = Expr::call(Func::Min, vec![]);
+    assert!(matches!(f.run(&arity), Err(EvalError::Arity { .. })));
+}
+
+// ---------------- dispatch ----------------
+
+fn person(name: &str) -> Value {
+    Value::tuple([("name", Value::str(name))])
+}
+fn employee(name: &str, salary: i32) -> Value {
+    Value::tuple([("name", Value::str(name)), ("salary", Value::int(salary))])
+}
+fn manager(name: &str, salary: i32, level: i32) -> Value {
+    Value::tuple([
+        ("name", Value::str(name)),
+        ("salary", Value::int(salary)),
+        ("level", Value::int(level)),
+    ])
+}
+
+#[test]
+fn switch_falls_back_to_nearest_ancestor_arm() {
+    let mut f = Fixture::new();
+    f.cat.insert(
+        "P".into(),
+        Value::set([person("p"), employee("e", 1), manager("m", 2, 3)]),
+    );
+    // Arms only for Person and Employee: Manager resolves to Employee
+    // (nearest ancestor), not Person.
+    let e = Expr::SetApplySwitch {
+        input: Box::new(Expr::named("P")),
+        table: vec![
+            ("Person".into(), Expr::str("person-arm")),
+            ("Employee".into(), Expr::str("employee-arm")),
+        ],
+    };
+    let out = f.run(&e).unwrap();
+    let set = out.as_set().unwrap();
+    assert_eq!(set.count(&Value::str("person-arm")), 1);
+    assert_eq!(set.count(&Value::str("employee-arm")), 2);
+}
+
+#[test]
+fn switch_with_no_applicable_arm_errors() {
+    let mut f = Fixture::new();
+    f.cat.insert("P".into(), Value::set([person("p")]));
+    let e = Expr::SetApplySwitch {
+        input: Box::new(Expr::named("P")),
+        table: vec![("Employee".into(), Expr::str("x"))],
+    };
+    assert!(matches!(f.run(&e), Err(EvalError::NoDispatchArm { .. })));
+}
+
+#[test]
+fn only_types_filters_ignore_non_matching_elements() {
+    let mut f = Fixture::new();
+    f.cat.insert(
+        "P".into(),
+        Value::set([person("p"), employee("e", 1), manager("m", 2, 3)]),
+    );
+    // Exactly-Employee only: the manager is NOT an exact Employee.
+    let e = Expr::named("P").set_apply_only(["Employee"], Expr::input().extract("name"));
+    let out = f.run(&e).unwrap();
+    assert_eq!(out, Value::set([Value::str("e")]));
+    // Person/Manager multi-filter.
+    let e2 = Expr::named("P")
+        .set_apply_only(["Person", "Manager"], Expr::input().extract("name"));
+    let out2 = f.run(&e2).unwrap();
+    assert_eq!(out2, Value::set([Value::str("p"), Value::str("m")]));
+}
+
+#[test]
+fn ref_elements_dispatch_via_store_exact_type() {
+    let mut f = Fixture::new();
+    let emp_ty = f.reg.lookup("Employee").unwrap();
+    let oid = f.store.create(&f.reg, emp_ty, employee("e", 9)).unwrap();
+    f.cat.insert("R".into(), Value::set([Value::Ref(oid)]));
+    let e = Expr::named("R").set_apply_only(
+        ["Employee"],
+        Expr::input().deref().extract("salary"),
+    );
+    assert_eq!(f.run(&e).unwrap(), Value::set([Value::int(9)]));
+    // Filtering for Person must skip the Employee-minted ref (exact ≠).
+    let e2 = Expr::named("R").set_apply_only(["Person"], Expr::input());
+    assert!(f.run(&e2).unwrap().as_set().unwrap().is_empty());
+}
+
+// ---------------- references & counters ----------------
+
+#[test]
+fn make_ref_validates_against_the_target_domain() {
+    let mut f = Fixture::new();
+    let ok = Expr::lit(person("p")).make_ref("Person");
+    assert!(matches!(f.run(&ok).unwrap(), Value::Ref(_)));
+    let bad = Expr::int(1).make_ref("Person");
+    assert!(matches!(f.run(&bad), Err(EvalError::Type(_))));
+    let unknown = Expr::lit(person("p")).make_ref("Nope");
+    assert!(f.run(&unknown).is_err());
+}
+
+#[test]
+fn deref_of_deleted_object_is_a_dangling_error() {
+    let mut f = Fixture::new();
+    let ty = f.reg.lookup("Person").unwrap();
+    let oid = f.store.create(&f.reg, ty, person("p")).unwrap();
+    f.store.delete(oid).unwrap();
+    f.cat.insert("X".into(), Value::Ref(oid));
+    assert!(matches!(
+        f.run(&Expr::named("X").deref()),
+        Err(EvalError::Type(excess_types::TypeError::DanglingOid(_)))
+    ));
+}
+
+#[test]
+fn counters_count_exactly_what_happened() {
+    let mut f = Fixture::new();
+    let ty = f.reg.lookup("Person").unwrap();
+    let oids: Vec<Value> = (0..4)
+        .map(|i| Value::Ref(f.store.create(&f.reg, ty, person(&format!("p{i}"))).unwrap()))
+        .collect();
+    f.cat.insert("R".into(), Value::set(oids));
+    let e = Expr::named("R")
+        .set_apply(Expr::input().deref().extract("name"))
+        .dup_elim();
+    let (_, c) = f.run_counting(&e);
+    assert_eq!(c.occurrences_scanned, 4);
+    assert_eq!(c.derefs, 4);
+    assert_eq!(c.de_input_occurrences, 4);
+    assert_eq!(c.named_object_scans, 1);
+    assert_eq!(c.oids_minted, 0);
+}
+
+#[test]
+fn arr_extract_bounds_and_last() {
+    let mut f = Fixture::new();
+    let a = Expr::lit(Value::array([Value::int(1), Value::int(2)]));
+    assert_eq!(
+        f.run(&Expr::ArrExtract(Box::new(a.clone()), Bound::Last)).unwrap(),
+        Value::int(2)
+    );
+    assert!(f.run(&a.clone().arr_extract(5)).unwrap().is_dne());
+    let empty = Expr::lit(Value::array([]));
+    assert!(f
+        .run(&Expr::ArrExtract(Box::new(empty), Bound::Last))
+        .unwrap()
+        .is_dne());
+}
+
+#[test]
+fn group_drops_occurrences_with_dne_keys() {
+    // Grouping by a key that is dne for some occurrences drops them.
+    let mut f = Fixture::new();
+    let s = Expr::lit(Value::set([
+        Value::tuple([("k", Value::int(1))]),
+        Value::tuple([("k", Value::dne())]),
+    ]));
+    let g = s.group_by(Expr::input().extract("k"));
+    let out = f.run(&g).unwrap();
+    assert_eq!(out.as_set().unwrap().len(), 1);
+}

@@ -1,0 +1,79 @@
+//! The catalog of named, top-level, persistent objects, including the
+//! virtual per-exact-type extent objects backing Section 4's indexed
+//! dispatch.
+
+use excess_core::catalog::Catalog;
+use excess_core::infer::SchemaCatalog;
+use excess_types::{SchemaType, Value};
+use std::collections::HashMap;
+
+/// One named object: its declared schema and current value.
+#[derive(Debug, Clone)]
+pub struct NamedObject {
+    /// Declared schema.
+    pub schema: SchemaType,
+    /// Current value.
+    pub value: Value,
+}
+
+/// All named objects plus materialised extent views (`P::exact::T`).
+#[derive(Debug, Clone, Default)]
+pub struct DbCatalog {
+    objects: HashMap<String, NamedObject>,
+}
+
+impl DbCatalog {
+    /// Empty catalog.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Register or replace an object.
+    pub fn put(&mut self, name: &str, schema: SchemaType, value: Value) {
+        self.objects.insert(name.to_string(), NamedObject { schema, value });
+    }
+
+    /// Current value, if present.
+    pub fn value(&self, name: &str) -> Option<&Value> {
+        self.objects.get(name).map(|o| &o.value)
+    }
+
+    /// Mutable value access (updates).
+    pub fn value_mut(&mut self, name: &str) -> Option<&mut Value> {
+        self.objects.get_mut(name).map(|o| &mut o.value)
+    }
+
+    /// Declared schema, if present.
+    pub fn schema(&self, name: &str) -> Option<&SchemaType> {
+        self.objects.get(name).map(|o| &o.schema)
+    }
+
+    /// Does the object exist?
+    pub fn contains(&self, name: &str) -> bool {
+        self.objects.contains_key(name)
+    }
+
+    /// Remove an object (and any of its extent views).
+    pub fn remove(&mut self, name: &str) {
+        self.objects.remove(name);
+        let prefix = format!("{name}::exact::");
+        self.objects.retain(|k, _| !k.starts_with(&prefix));
+    }
+
+    /// Iterate user-visible object names (extent views excluded).
+    pub fn names(&self) -> impl Iterator<Item = &str> {
+        self.objects.keys().map(String::as_str).filter(|n| !n.contains("::exact::"))
+    }
+}
+
+impl Catalog for DbCatalog {
+    fn get_object(&self, name: &str) -> Option<&Value> {
+        self.value(name)
+    }
+}
+
+impl SchemaCatalog for DbCatalog {
+    fn object_schema(&self, name: &str) -> Option<SchemaType> {
+        self.schema(name).cloned()
+    }
+}

@@ -1,0 +1,817 @@
+//! The end-to-end EXTRA/EXCESS engine: DDL, queries, updates, methods,
+//! statistics, and extent indexes behind one `Database` type.
+
+use crate::catalog::DbCatalog;
+use crate::error::{DbError, DbResult};
+use crate::stats::collect_statistics;
+use excess_core::counters::Counters;
+use excess_core::eval::{evaluate, EvalCtx};
+use excess_core::expr::Expr;
+use excess_lang::ast::{QExpr, QPred, Retrieve, Step, Stmt};
+use excess_lang::ddl::{initial_value, lower_type};
+use excess_lang::methods::{MethodDef, MethodRegistry};
+use excess_lang::translate::{resolve_this, translate_retrieve, TranslateCtx};
+use excess_lang::{parse_program, LangError};
+use excess_optimizer::{apply_extent_indexes, Optimizer, RuleCtx, Statistics};
+use excess_types::{ObjectStore, SchemaType, TypeId, TypeRegistry, Value};
+use std::collections::HashMap;
+
+/// A stored procedure: a parameterised script of statements.
+#[derive(Debug, Clone)]
+struct Procedure {
+    params: Vec<(String, SchemaType)>,
+    body: Vec<Stmt>,
+}
+
+/// An in-memory EXTRA/EXCESS database.
+pub struct Database {
+    registry: TypeRegistry,
+    store: ObjectStore,
+    catalog: DbCatalog,
+    ranges: HashMap<String, QExpr>,
+    methods: MethodRegistry,
+    procedures: HashMap<String, Procedure>,
+    stats: Statistics,
+    /// Run the rule-based optimizer on every query (default: on).
+    pub optimize: bool,
+    last_counters: Counters,
+}
+
+impl Default for Database {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Database {
+    /// An empty database.
+    pub fn new() -> Self {
+        Database {
+            registry: TypeRegistry::new(),
+            store: ObjectStore::new(),
+            catalog: DbCatalog::new(),
+            ranges: HashMap::new(),
+            methods: MethodRegistry::new(),
+            procedures: HashMap::new(),
+            stats: Statistics::new(),
+            optimize: true,
+            last_counters: Counters::new(),
+        }
+    }
+
+    // ----- accessors (used by examples and benchmarks) -----
+
+    /// The type registry.
+    pub fn registry(&self) -> &TypeRegistry {
+        &self.registry
+    }
+    /// The object store.
+    pub fn store(&self) -> &ObjectStore {
+        &self.store
+    }
+    /// Mutable object store (bulk loading).
+    pub fn store_mut(&mut self) -> &mut ObjectStore {
+        &mut self.store
+    }
+    /// The catalog.
+    pub fn catalog(&self) -> &DbCatalog {
+        &self.catalog
+    }
+    /// The method registry.
+    pub fn methods(&self) -> &MethodRegistry {
+        &self.methods
+    }
+    /// Current statistics.
+    pub fn statistics(&self) -> &Statistics {
+        &self.stats
+    }
+    /// Work counters of the most recent evaluation.
+    pub fn last_counters(&self) -> Counters {
+        self.last_counters
+    }
+
+    /// Update a stored object's value (bulk loading outside the DDL path).
+    pub fn update_stored(&mut self, oid: excess_types::Oid, value: Value) -> DbResult<()> {
+        Ok(self.store.update(&self.registry, oid, value)?)
+    }
+
+    /// Register an object directly (bulk loading outside the DDL path).
+    pub fn put_object(&mut self, name: &str, schema: SchemaType, value: Value) {
+        self.catalog.put(name, schema, value);
+        self.rebuild_extents_for(name);
+    }
+
+    /// Define a type directly (bulk loading outside the DDL path).
+    pub fn define_type_raw(
+        &mut self,
+        name: &str,
+        body: SchemaType,
+        inherits: &[&str],
+    ) -> DbResult<TypeId> {
+        Ok(self.registry.define_with_supertypes(name, body, inherits)?)
+    }
+
+    // ----- statement execution -----
+
+    /// Parse and execute a program; returns the last statement's value
+    /// (queries return their result; DDL and updates return `true`).
+    pub fn execute(&mut self, src: &str) -> DbResult<Value> {
+        let stmts = parse_program(src)?;
+        if stmts.is_empty() {
+            return Err(DbError::Other("empty program".into()));
+        }
+        let mut last = Value::bool(true);
+        for s in stmts {
+            last = self.run_stmt(&s)?;
+        }
+        Ok(last)
+    }
+
+    /// Execute one parsed statement.
+    pub fn run_stmt(&mut self, stmt: &Stmt) -> DbResult<Value> {
+        match stmt {
+            Stmt::DefineType { name, body, inherits } => {
+                let body = lower_type(body);
+                let sups: Vec<&str> = inherits.iter().map(String::as_str).collect();
+                self.registry.define_with_supertypes(name, body, &sups)?;
+                Ok(Value::bool(true))
+            }
+            Stmt::Create { name, ty } => {
+                if self.catalog.contains(name) {
+                    return Err(DbError::Other(format!("object `{name}` already exists")));
+                }
+                let schema = lower_type(ty);
+                let init = initial_value(&schema, &self.registry)?;
+                self.catalog.put(name, schema, init);
+                Ok(Value::bool(true))
+            }
+            Stmt::DefineFunction { on_type, name, params, returns, body } => {
+                self.registry.lookup(on_type)?;
+                let params: Vec<(String, SchemaType)> =
+                    params.iter().map(|(n, t)| (n.clone(), lower_type(t))).collect();
+                let tc = TranslateCtx {
+                    registry: &self.registry,
+                    schemas: &self.catalog,
+                    ranges: &self.ranges,
+                    methods: &self.methods,
+                    this_type: Some(SchemaType::named(on_type.clone())),
+                    params: params.clone(),
+                };
+                let last = body.last().expect("parser guarantees non-empty body");
+                let (plan, _) = translate_retrieve(last, &tc)?;
+                let plan = resolve_this(&plan);
+                self.methods.define(MethodDef {
+                    owner: on_type.clone(),
+                    name: name.clone(),
+                    params,
+                    returns: lower_type(returns),
+                    body: plan,
+                })?;
+                Ok(Value::bool(true))
+            }
+            Stmt::RangeDecl { var, source } => {
+                self.ranges.insert(var.clone(), source.clone());
+                Ok(Value::bool(true))
+            }
+            Stmt::Retrieve(r) => {
+                let (plan, ty) = self.translate(r)?;
+                let plan = if self.optimize { self.optimize_plan(&plan) } else { plan };
+                let value = self.run_plan(&plan)?;
+                if let Some(into) = &r.into {
+                    self.catalog.put(into, ty, value.clone());
+                    self.rebuild_extents_for(into);
+                }
+                Ok(value)
+            }
+            Stmt::DefineProcedure { name, params, body } => {
+                // Validate the parameter types exist; bodies are checked
+                // lazily at call time (they may reference objects created
+                // by earlier statements of the same call).
+                let params: Vec<(String, SchemaType)> =
+                    params.iter().map(|(n, t)| (n.clone(), lower_type(t))).collect();
+                for (_, t) in &params {
+                    for mentioned in t.mentioned_types() {
+                        self.registry.lookup(mentioned)?;
+                    }
+                }
+                self.procedures.insert(
+                    name.clone(),
+                    Procedure { params, body: body.clone() },
+                );
+                Ok(Value::bool(true))
+            }
+            Stmt::Call { name, args } => self.call_procedure(name, args),
+            Stmt::Append { target, value } => self.append(target, value),
+            Stmt::Delete { target, filter } => self.delete(target, filter),
+            Stmt::Replace { target, fields, filter } => {
+                self.replace(target, fields, filter.as_ref())
+            }
+            Stmt::AssignIndex { target, index, value } => {
+                self.assign_index(target, *index, value)
+            }
+        }
+    }
+
+    // ----- planning -----
+
+    /// Translate a retrieve to its (unoptimized) algebra plan.
+    pub fn translate(&self, r: &Retrieve) -> DbResult<(Expr, SchemaType)> {
+        let tc = TranslateCtx {
+            registry: &self.registry,
+            schemas: &self.catalog,
+            ranges: &self.ranges,
+            methods: &self.methods,
+            this_type: None,
+            params: vec![],
+        };
+        Ok(translate_retrieve(r, &tc)?)
+    }
+
+    /// Parse a single `retrieve` and return its unoptimized plan.
+    pub fn plan_for(&self, src: &str) -> DbResult<Expr> {
+        let stmt = excess_lang::parse_statement(src)?;
+        match stmt {
+            Stmt::Retrieve(r) => Ok(self.translate(&r)?.0),
+            _ => Err(DbError::Lang(LangError::Parse("expected a retrieve".into()))),
+        }
+    }
+
+    /// Greedy rule-based optimization plus extent-index rewriting.
+    ///
+    /// The greedy pass runs on both the plan as given and its desugared
+    /// form (derived σ/join nodes expanded to SET_APPLY∘COMP), because
+    /// several fusion rules — rule 15 in particular — only match the
+    /// primitive shapes; the cheaper result wins.
+    pub fn optimize_plan(&self, plan: &Expr) -> Expr {
+        let ctx = RuleCtx { registry: &self.registry, schemas: &self.catalog };
+        let opt = Optimizer::standard();
+        let a = opt.optimize_greedy(plan, &ctx, &self.stats);
+        let b = opt.optimize_greedy(&plan.desugar(), &ctx, &self.stats);
+        let best = if b.cost < a.cost { b.plan } else { a.plan };
+        apply_extent_indexes(&best, &self.stats)
+    }
+
+    /// Garbage-sweep the object store: every object unreachable from the
+    /// named top-level objects is removed.  Returns how many objects were
+    /// collected.  (Queries that mint temporaries with `mkref` and then
+    /// discard them leave such garbage behind.)
+    pub fn sweep(&mut self) -> usize {
+        let roots: Vec<Value> = self
+            .catalog
+            .names()
+            .filter_map(|n| self.catalog.value(n).cloned())
+            .collect();
+        self.store.sweep_unreachable(roots.iter())
+    }
+
+    /// Dump the schema as EXTRA DDL: every `define type` (in definition
+    /// order, so `inherits` references resolve) and every `create`.
+    /// Feeding the dump to a fresh database reproduces the catalog shape
+    /// (data is not dumped — OIDs have no surface form).
+    pub fn dump_schema(&self) -> String {
+        use std::fmt::Write;
+        let mut out = String::new();
+        for id in self.registry.all_ids() {
+            let def = self.registry.def(id);
+            let _ = write!(
+                out,
+                "define type {}: {}",
+                def.name,
+                excess_lang::ddl::type_to_surface(&def.body)
+            );
+            if !def.supertypes.is_empty() {
+                let sups: Vec<&str> =
+                    def.supertypes.iter().map(|s| self.registry.name_of(*s)).collect();
+                let _ = write!(out, " inherits {}", sups.join(", "));
+            }
+            out.push('\n');
+        }
+        let mut names: Vec<&str> = self.catalog.names().collect();
+        names.sort_unstable();
+        for n in names {
+            if let Some(s) = self.catalog.schema(n) {
+                let _ = writeln!(
+                    out,
+                    "create {n}: {}",
+                    excess_lang::ddl::type_to_surface(s)
+                );
+            }
+        }
+        out
+    }
+
+    /// Infer the output schema of a plan against this database's catalog
+    /// and type registry (closure property of the algebra, Section 3).
+    pub fn infer_schema(&self, plan: &Expr) -> DbResult<SchemaType> {
+        Ok(excess_core::infer::infer_closed(plan, &self.catalog, &self.registry)?)
+    }
+
+    /// EXPLAIN: the plan as an operator tree plus the cost model's
+    /// estimates (the paper's Section 6 "reading" of a plan).
+    pub fn explain(&self, plan: &Expr) -> String {
+        let mut env = Vec::new();
+        let est = excess_optimizer::estimate(plan, &mut env, &self.stats);
+        format!(
+            "{}est. cost {:.0}, est. rows {:.0}\n",
+            excess_core::render::render_tree(plan),
+            est.cost,
+            est.rows
+        )
+    }
+
+    /// Evaluate a plan against the database, recording work counters.
+    pub fn run_plan(&mut self, plan: &Expr) -> DbResult<Value> {
+        let mut ctx = EvalCtx::new(&self.registry, &mut self.store, &self.catalog);
+        let out = evaluate(plan, &mut ctx);
+        self.last_counters = ctx.counters;
+        Ok(out?)
+    }
+
+    // ----- statistics & extent indexes -----
+
+    /// Recompute statistics from the current data (cardinalities,
+    /// duplication, nested sizes, exact-type fractions).
+    pub fn collect_stats(&mut self) {
+        let extents = std::mem::take(&mut self.stats.extent_indexes);
+        self.stats = collect_statistics(&self.catalog, &self.registry, &self.store);
+        self.stats.extent_indexes = extents;
+    }
+
+    /// Declare (and materialise) a per-exact-type extent index on a
+    /// top-level set — the Section 4 index that makes the ⊎ plan scan-free.
+    pub fn create_extent_index(&mut self, object: &str, ty: &str) -> DbResult<()> {
+        self.registry.lookup(ty)?;
+        if !self.catalog.contains(object) {
+            return Err(DbError::Other(format!("unknown object `{object}`")));
+        }
+        self.stats.add_extent_index(object, ty);
+        self.rebuild_extents_for(object);
+        Ok(())
+    }
+
+    fn rebuild_extents_for(&mut self, object: &str) {
+        let pairs: Vec<(String, String)> = self
+            .stats
+            .extent_indexes
+            .iter()
+            .filter(|(o, _)| o == object)
+            .cloned()
+            .collect();
+        for (obj, ty) in pairs {
+            let Some(base) = self.catalog.value(&obj).cloned() else { continue };
+            let Some(set) = base.as_set() else { continue };
+            let Ok(want) = self.registry.lookup(&ty) else { continue };
+            let mut extent = excess_types::MultiSet::new();
+            for (elem, card) in set.iter_counted() {
+                if self.exact_type_of(elem) == Some(want) {
+                    extent.insert_n(elem.clone(), card);
+                }
+            }
+            let elem_schema = SchemaType::named(ty.clone());
+            self.catalog.put(
+                &format!("{obj}::exact::{ty}"),
+                SchemaType::set(elem_schema),
+                Value::Set(extent),
+            );
+        }
+    }
+
+    /// Exact (most specific) type of a value (store lookup for refs,
+    /// shape match for tuples).
+    pub fn exact_type_of(&self, v: &Value) -> Option<TypeId> {
+        excess_core::eval::exact_type_of_parts(v, &self.registry, &self.store)
+    }
+
+    // ----- updates -----
+
+    fn eval_standalone(&mut self, q: &QExpr) -> DbResult<(Value, SchemaType)> {
+        // A zero-variable retrieve denotes the bare expression value.
+        let r = Retrieve {
+            unique: false,
+            targets: vec![excess_lang::ast::Target { label: None, expr: q.clone() }],
+            from: vec![],
+            filter: None,
+            by: None,
+            into: None,
+        };
+        let (plan, ty) = self.translate(&r)?;
+        let v = self.run_plan(&plan)?;
+        Ok((v, ty))
+    }
+
+    /// Coerce a value into an element slot: when the slot is `ref T` and
+    /// the value is not already a reference, create an object of `T` and
+    /// reference it (the convenient EXTRA idiom for populating `{ ref T }`
+    /// sets).
+    fn coerce_element(&mut self, elem_ty: &SchemaType, v: Value) -> DbResult<Value> {
+        if let SchemaType::Ref(t) = elem_ty {
+            if !matches!(v, Value::Ref(_)) && !v.is_null() {
+                let ty = self.registry.lookup(t)?;
+                let oid = self.store.create(&self.registry, ty, v)?;
+                return Ok(Value::Ref(oid));
+            }
+        }
+        excess_types::domain::check_dom(&v, elem_ty, &self.registry)?;
+        Ok(v)
+    }
+
+    fn append(&mut self, target: &str, value: &QExpr) -> DbResult<Value> {
+        let schema = self
+            .catalog
+            .schema(target)
+            .cloned()
+            .ok_or_else(|| DbError::Other(format!("unknown object `{target}`")))?;
+        let (v, _) = self.eval_standalone(value)?;
+        match schema {
+            SchemaType::Set(elem) => {
+                let v = self.coerce_element(&elem, v)?;
+                let cur = self
+                    .catalog
+                    .value_mut(target)
+                    .ok_or_else(|| DbError::Other(format!("unknown object `{target}`")))?;
+                match cur {
+                    Value::Set(s) => s.insert(v),
+                    other => {
+                        return Err(DbError::Other(format!(
+                            "object `{target}` is not a multiset (found {})",
+                            other.kind_name()
+                        )))
+                    }
+                }
+            }
+            SchemaType::Arr { elem, len } => {
+                if len.is_some() {
+                    return Err(DbError::Other(format!(
+                        "`{target}` is a fixed-length array; use `assign {target}[i] (…)`"
+                    )));
+                }
+                let v = self.coerce_element(&elem, v)?;
+                let cur = self
+                    .catalog
+                    .value_mut(target)
+                    .ok_or_else(|| DbError::Other(format!("unknown object `{target}`")))?;
+                match cur {
+                    Value::Array(a) => a.push(v),
+                    other => {
+                        return Err(DbError::Other(format!(
+                            "object `{target}` is not an array (found {})",
+                            other.kind_name()
+                        )))
+                    }
+                }
+            }
+            other => {
+                return Err(DbError::Other(format!(
+                    "cannot append to `{target}` of type {other}"
+                )))
+            }
+        }
+        self.rebuild_extents_for(target);
+        Ok(Value::bool(true))
+    }
+
+    fn delete(&mut self, target: &str, filter: &QPred) -> DbResult<Value> {
+        if !self.catalog.contains(target) {
+            return Err(DbError::Other(format!("unknown object `{target}`")));
+        }
+        // Rewrite references to the target (by its own name, or through a
+        // `range of` alias) into the deletion variable, then keep the
+        // complement.
+        let var = "$del".to_string();
+        let rewritten = rewrite_pred(filter, target, &self.ranges, &var);
+        let survivors = Retrieve {
+            unique: false,
+            targets: vec![excess_lang::ast::Target {
+                label: None,
+                expr: QExpr::Var(var.clone()),
+            }],
+            from: vec![(var, QExpr::Var(target.to_string()))],
+            filter: Some(QPred::Not(Box::new(rewritten))),
+            by: None,
+            into: None,
+        };
+        let (plan, _) = self.translate(&survivors)?;
+        let v = self.run_plan(&plan)?;
+        let slot = self
+            .catalog
+            .value_mut(target)
+            .ok_or_else(|| DbError::Other(format!("unknown object `{target}`")))?;
+        *slot = v;
+        self.rebuild_extents_for(target);
+        Ok(Value::bool(true))
+    }
+
+    /// Execute a stored procedure: substitute the actual arguments for the
+    /// formals across the body, then run the statements in order.  The
+    /// value of the last statement is returned (like `execute`).
+    fn call_procedure(&mut self, name: &str, args: &[QExpr]) -> DbResult<Value> {
+        let proc = self
+            .procedures
+            .get(name)
+            .cloned()
+            .ok_or_else(|| DbError::Other(format!("unknown procedure `{name}`")))?;
+        if args.len() != proc.params.len() {
+            return Err(DbError::Other(format!(
+                "procedure `{name}` takes {} arguments, {} given",
+                proc.params.len(),
+                args.len()
+            )));
+        }
+        // Arguments are evaluated once, eagerly, and injected as literal
+        // values where possible; non-literal results (sets, tuples) are
+        // also values, so this is call-by-value.
+        let mut bindings: HashMap<String, QExpr> = HashMap::new();
+        for ((pname, pty), actual) in proc.params.iter().zip(args) {
+            let (v, _) = self.eval_standalone(actual)?;
+            excess_types::domain::check_dom(&v, pty, &self.registry).map_err(|e| {
+                DbError::Other(format!("argument `{pname}` of `{name}`: {e}"))
+            })?;
+            bindings.insert(pname.clone(), value_to_qexpr(&v)?);
+        }
+        let mut last = Value::bool(true);
+        for stmt in &proc.body {
+            let expanded = excess_lang::subst::subst_stmt(stmt, &bindings);
+            last = self.run_stmt(&expanded)?;
+        }
+        Ok(last)
+    }
+
+    /// `replace X (f: e, …) where P`: update the listed fields of every
+    /// qualifying element.  For `{ ref T }` sets the referenced objects
+    /// are updated **in place** — identity preserved, so sharers observe
+    /// the change; for by-value sets the multiset is rebuilt.
+    fn replace(
+        &mut self,
+        target: &str,
+        fields: &[(String, QExpr)],
+        filter: Option<&QPred>,
+    ) -> DbResult<Value> {
+        let schema = self
+            .catalog
+            .schema(target)
+            .cloned()
+            .ok_or_else(|| DbError::Other(format!("unknown object `{target}`")))?;
+        let SchemaType::Set(elem_schema) = schema else {
+            return Err(DbError::Other(format!("`{target}` is not a multiset")));
+        };
+        let is_ref = matches!(*elem_schema, SchemaType::Ref(_));
+
+        // One query computes, per qualifying element, the old value and
+        // the new field values: references to the element inside the
+        // update expressions and the predicate go through the same
+        // rewriting as `delete`.
+        let var = "$upd".to_string();
+        let mut targets = vec![excess_lang::ast::Target {
+            label: Some("$old".into()),
+            expr: QExpr::Var(var.clone()),
+        }];
+        for (f, e) in fields {
+            targets.push(excess_lang::ast::Target {
+                label: Some(format!("$new${f}")),
+                expr: rewrite_expr(e, target, &self.ranges, &var),
+            });
+        }
+        let pairs = Retrieve {
+            unique: false,
+            targets,
+            from: vec![(var.clone(), QExpr::Var(target.to_string()))],
+            filter: filter.map(|p| rewrite_pred(p, target, &self.ranges, &var)),
+            by: None,
+            into: None,
+        };
+        let (plan, _) = self.translate(&pairs)?;
+        let rows = self.run_plan(&plan)?;
+        let Value::Set(rows) = rows else {
+            return Err(DbError::Other("replace query did not yield a multiset".into()));
+        };
+
+        if is_ref {
+            for (row, _) in rows.iter_counted() {
+                let t = row.as_tuple().ok_or_else(|| {
+                    DbError::Other("replace row is not a tuple".into())
+                })?;
+                let Some(oid) = t.get("$old").and_then(Value::as_ref_oid) else {
+                    continue; // dne slot
+                };
+                let mut obj_fields = match self.store.deref(oid)?.clone() {
+                    Value::Tuple(obj) => obj.into_fields(),
+                    other => {
+                        return Err(DbError::Other(format!(
+                            "referenced element is not a tuple (found {})",
+                            other.kind_name()
+                        )))
+                    }
+                };
+                apply_updates(&mut obj_fields, fields, t)?;
+                self.store.update(
+                    &self.registry,
+                    oid,
+                    Value::Tuple(excess_types::Tuple::from_fields(obj_fields)),
+                )?;
+            }
+        } else {
+            let mut set = match self.catalog.value(target) {
+                Some(Value::Set(s)) => s.clone(),
+                _ => return Err(DbError::Other(format!("`{target}` is not a multiset"))),
+            };
+            for (row, card) in rows.iter_counted() {
+                let t = row.as_tuple().ok_or_else(|| {
+                    DbError::Other("replace row is not a tuple".into())
+                })?;
+                let old = t.extract("$old")?.clone();
+                let mut elem_fields = match old.clone() {
+                    Value::Tuple(e) => e.into_fields(),
+                    other => {
+                        return Err(DbError::Other(format!(
+                            "replace needs tuple elements (found {})",
+                            other.kind_name()
+                        )))
+                    }
+                };
+                apply_updates(&mut elem_fields, fields, t)?;
+                let updated = Value::Tuple(excess_types::Tuple::from_fields(elem_fields));
+                excess_types::domain::check_dom(&updated, &elem_schema, &self.registry)?;
+                // Move `card` occurrences from old to updated.
+                let mut remove = excess_types::MultiSet::new();
+                remove.insert_n(old, card);
+                set = set.difference(&remove);
+                set.insert_n(updated, card);
+            }
+            let slot = self
+                .catalog
+                .value_mut(target)
+                .ok_or_else(|| DbError::Other(format!("unknown object `{target}`")))?;
+            *slot = Value::Set(set);
+        }
+        self.rebuild_extents_for(target);
+        Ok(Value::bool(true))
+    }
+
+    fn assign_index(
+        &mut self,
+        target: &str,
+        index: excess_lang::ast::IndexExpr,
+        value: &QExpr,
+    ) -> DbResult<Value> {
+        let schema = self
+            .catalog
+            .schema(target)
+            .cloned()
+            .ok_or_else(|| DbError::Other(format!("unknown object `{target}`")))?;
+        let SchemaType::Arr { elem, .. } = schema else {
+            return Err(DbError::Other(format!("`{target}` is not an array")));
+        };
+        let (v, _) = self.eval_standalone(value)?;
+        let v = self.coerce_element(&elem, v)?;
+        let cur = self
+            .catalog
+            .value_mut(target)
+            .ok_or_else(|| DbError::Other(format!("unknown object `{target}`")))?;
+        let Value::Array(a) = cur else {
+            return Err(DbError::Other(format!("`{target}` is not an array value")));
+        };
+        let i = match index {
+            excess_lang::ast::IndexExpr::At(n) => n,
+            excess_lang::ast::IndexExpr::Last => a.len(),
+        };
+        if i == 0 || i > a.len() {
+            return Err(DbError::Other(format!(
+                "index {i} out of bounds for `{target}` (length {})",
+                a.len()
+            )));
+        }
+        a[i - 1] = v;
+        self.rebuild_extents_for(target);
+        Ok(Value::bool(true))
+    }
+}
+
+/// Render an evaluated argument back to a surface expression for
+/// substitution.  OIDs have no literal form; they are impossible to pass
+/// by value here (arguments are checked against surface-declarable types,
+/// and any `ref` argument arrives as an OID that we reject with a clear
+/// message).
+fn value_to_qexpr(v: &Value) -> DbResult<QExpr> {
+    use excess_types::{Null, Scalar};
+    Ok(match v {
+        Value::Scalar(Scalar::Int4(i)) => QExpr::Int(i64::from(*i)),
+        Value::Scalar(Scalar::Float4(x)) => QExpr::Float(*x),
+        Value::Scalar(Scalar::Char(s)) => QExpr::Str(s.clone()),
+        Value::Scalar(Scalar::Bool(b)) => QExpr::Bool(*b),
+        Value::Scalar(Scalar::Date(d)) => QExpr::Call {
+            name: "date".into(),
+            args: vec![
+                QExpr::Int(i64::from(d.year)),
+                QExpr::Int(i64::from(d.month)),
+                QExpr::Int(i64::from(d.day)),
+            ],
+        },
+        Value::Null(Null::Dne) => QExpr::DneLit,
+        Value::Null(Null::Unk) => QExpr::UnkLit,
+        Value::Tuple(t) => QExpr::TupLit(
+            t.iter()
+                .map(|(n, fv)| value_to_qexpr(fv).map(|e| (n.to_string(), e)))
+                .collect::<DbResult<Vec<_>>>()?,
+        ),
+        Value::Set(s) => QExpr::SetLit(
+            s.iter_occurrences().map(value_to_qexpr).collect::<DbResult<Vec<_>>>()?,
+        ),
+        Value::Array(a) => {
+            QExpr::ArrLit(a.iter().map(value_to_qexpr).collect::<DbResult<Vec<_>>>()?)
+        }
+        Value::Ref(o) => {
+            return Err(DbError::Other(format!(
+                "procedure arguments cannot carry object references ({o}); \
+                 pass a key and look the object up inside the procedure"
+            )))
+        }
+    })
+}
+
+/// Overwrite `obj_fields` with the computed `$new$<f>` values of one row.
+fn apply_updates(
+    obj_fields: &mut [(String, Value)],
+    fields: &[(String, QExpr)],
+    row: &excess_types::Tuple,
+) -> DbResult<()> {
+    for (f, _) in fields {
+        let new_v = row.extract(&format!("$new${f}"))?.clone();
+        let slot = obj_fields.iter_mut().find(|(n, _)| n == f).ok_or_else(|| {
+            DbError::Other(format!("element has no field `{f}` to replace"))
+        })?;
+        slot.1 = new_v;
+    }
+    Ok(())
+}
+
+/// Rewrite target-object references (direct or via `range of` aliases)
+/// inside a delete/replace predicate into the update variable.
+fn rewrite_pred(
+    p: &QPred,
+    target: &str,
+    ranges: &HashMap<String, QExpr>,
+    var: &str,
+) -> QPred {
+    match p {
+        QPred::Cmp { l, op, r } => QPred::Cmp {
+            l: Box::new(rewrite_expr(l, target, ranges, var)),
+            op: *op,
+            r: Box::new(rewrite_expr(r, target, ranges, var)),
+        },
+        QPred::And(a, b) => QPred::And(
+            Box::new(rewrite_pred(a, target, ranges, var)),
+            Box::new(rewrite_pred(b, target, ranges, var)),
+        ),
+        QPred::Or(a, b) => QPred::Or(
+            Box::new(rewrite_pred(a, target, ranges, var)),
+            Box::new(rewrite_pred(b, target, ranges, var)),
+        ),
+        QPred::Not(q) => QPred::Not(Box::new(rewrite_pred(q, target, ranges, var))),
+    }
+}
+
+fn rewrite_expr(
+    q: &QExpr,
+    target: &str,
+    ranges: &HashMap<String, QExpr>,
+    var: &str,
+) -> QExpr {
+    match q {
+        QExpr::Var(n) => {
+            let aliases_target = n == target
+                || matches!(ranges.get(n), Some(QExpr::Var(t)) if t == target);
+            if aliases_target {
+                QExpr::Var(var.to_string())
+            } else {
+                q.clone()
+            }
+        }
+        QExpr::Path { base, steps } => QExpr::Path {
+            base: Box::new(rewrite_expr(base, target, ranges, var)),
+            steps: steps
+                .iter()
+                .map(|s| match s {
+                    Step::Method { name, args } => Step::Method {
+                        name: name.clone(),
+                        args: args
+                            .iter()
+                            .map(|a| rewrite_expr(a, target, ranges, var))
+                            .collect(),
+                    },
+                    other => other.clone(),
+                })
+                .collect(),
+        },
+        QExpr::Binary { op, l, r } => QExpr::Binary {
+            op: *op,
+            l: Box::new(rewrite_expr(l, target, ranges, var)),
+            r: Box::new(rewrite_expr(r, target, ranges, var)),
+        },
+        QExpr::Neg(e) => QExpr::Neg(Box::new(rewrite_expr(e, target, ranges, var))),
+        QExpr::Call { name, args } => QExpr::Call {
+            name: name.clone(),
+            args: args.iter().map(|a| rewrite_expr(a, target, ranges, var)).collect(),
+        },
+        other => other.clone(),
+    }
+}

@@ -1,0 +1,34 @@
+//! # excess-db — the end-to-end EXTRA/EXCESS engine
+//!
+//! Ties the whole reproduction together: the [`Database`] type owns the
+//! type registry, the object store, the catalog of named top-level
+//! objects, session `range of` declarations, the method registry, the
+//! optimizer's statistics, and per-exact-type extent indexes (Section 4).
+//!
+//! ```
+//! use excess_db::Database;
+//!
+//! let mut db = Database::new();
+//! db.execute("define type Dept: (name: char[], floor: int4)").unwrap();
+//! db.execute("create Depts: { Dept }").unwrap();
+//! db.execute("append to Depts (name: \"CS\", floor: 2)").unwrap();
+//! db.execute("append to Depts (name: \"Math\", floor: 3)").unwrap();
+//! let out = db
+//!     .execute("retrieve (D.name) from D in Depts where D.floor = 2")
+//!     .unwrap();
+//! assert_eq!(out.to_string(), "{ \"CS\" }");
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod catalog;
+pub mod database;
+pub mod error;
+pub mod format;
+pub mod stats;
+
+pub use catalog::{DbCatalog, NamedObject};
+pub use database::Database;
+pub use error::{DbError, DbResult};
+pub use format::{format_result, try_table};
+pub use stats::collect_statistics;

@@ -1,0 +1,86 @@
+//! Statistics collection: the concrete realisation of the paper's
+//! Section 6 future work ("an investigation of cost functions and useful
+//! statistics for complex object data models").
+//!
+//! For every named top-level object we record total and distinct
+//! cardinalities and the average size of nested collection attributes
+//! (following references one level, since the dominant EXTRA idiom is
+//! `{ ref T }` sets); globally we record the fraction of set elements per
+//! exact type, which prices the Section 4 type-filtered scans.
+
+use crate::catalog::DbCatalog;
+use excess_core::eval::exact_type_of_parts;
+use excess_optimizer::Statistics;
+use excess_types::{ObjectStore, TypeRegistry, Value};
+use std::collections::HashMap;
+
+/// Compute fresh statistics from the current database state.
+pub fn collect_statistics(
+    catalog: &DbCatalog,
+    registry: &TypeRegistry,
+    store: &ObjectStore,
+) -> Statistics {
+    let mut stats = Statistics::new();
+    let mut type_counts: HashMap<String, u64> = HashMap::new();
+    let mut total_elems = 0u64;
+
+    for name in catalog.names() {
+        let Some(value) = catalog.value(name) else { continue };
+        let (rows, distinct, nested_sizes) = match value {
+            Value::Set(s) => {
+                let mut nested = Vec::new();
+                for (e, card) in s.iter_counted() {
+                    nested.extend(nested_collection_sizes(e, store));
+                    if let Some(ty) = exact_type_of_parts(e, registry, store) {
+                        *type_counts.entry(registry.name_of(ty).to_string()).or_insert(0) +=
+                            card;
+                    }
+                    total_elems += card;
+                }
+                (s.len() as f64, s.distinct_len() as f64, nested)
+            }
+            Value::Array(a) => {
+                let nested =
+                    a.iter().flat_map(|e| nested_collection_sizes(e, store)).collect();
+                (a.len() as f64, a.len() as f64, nested)
+            }
+            _ => (1.0, 1.0, Vec::new()),
+        };
+        let avg_nested = if nested_sizes.is_empty() {
+            stats.default_avg_nested
+        } else {
+            nested_sizes.iter().sum::<f64>() / nested_sizes.len() as f64
+        };
+        stats.set_object(name, rows.max(1.0), distinct.max(1.0), avg_nested);
+    }
+
+    if total_elems > 0 {
+        for (ty, n) in type_counts {
+            stats.type_fractions.insert(ty, n as f64 / total_elems as f64);
+        }
+    }
+    stats
+}
+
+/// Sizes of the collection-valued attributes of one element, following a
+/// reference one level.
+fn nested_collection_sizes(v: &Value, store: &ObjectStore) -> Vec<f64> {
+    let v = match v {
+        Value::Ref(oid) => match store.deref(*oid) {
+            Ok(inner) => inner,
+            Err(_) => return Vec::new(),
+        },
+        other => other,
+    };
+    match v {
+        Value::Tuple(t) => t
+            .iter()
+            .filter_map(|(_, fv)| match fv {
+                Value::Set(s) => Some(s.len() as f64),
+                Value::Array(a) => Some(a.len() as f64),
+                _ => None,
+            })
+            .collect(),
+        _ => Vec::new(),
+    }
+}

@@ -1,0 +1,315 @@
+//! The abstract syntax of EXCESS (Section 2.2) as this reproduction
+//! realises it.
+//!
+//! The paper shows EXCESS by example (QUEL-style `range of` / `retrieve`
+//! with `from`/`where`/`by`/`unique`/`into`, EXTRA DDL, and method
+//! definition).  Where the paper's equipollence proof *uses* surface forms
+//! it never fully specifies — set expressions in `from` clauses
+//! (`from x in (E1 − E2)`), type constructors in target lists
+//! (`retrieve ({ E1 })`), sub-retrieves — we commit to a concrete grammar,
+//! documented in the crate root.
+
+/// A surface type expression (EXTRA DDL).
+#[derive(Debug, Clone, PartialEq)]
+pub enum TypeExpr {
+    /// `int4`
+    Int4,
+    /// `float4`
+    Float4,
+    /// `char[]` / `char[n]` (the bound is advisory)
+    Char,
+    /// `bool`
+    Bool,
+    /// `Date`
+    Date,
+    /// A named type used by value.
+    Named(String),
+    /// `ref T`
+    Ref(String),
+    /// `{ T }`
+    Set(Box<TypeExpr>),
+    /// `array of T` / `array [1..n] of T`
+    Array {
+        /// Element type.
+        elem: Box<TypeExpr>,
+        /// Fixed length if declared `[1..n]`.
+        len: Option<usize>,
+    },
+    /// `( f: T, … )`
+    Tuple(Vec<(String, TypeExpr)>),
+}
+
+/// Array index in a path step.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum IndexExpr {
+    /// 1-based constant index.
+    At(usize),
+    /// `last`.
+    Last,
+}
+
+/// One step of a postfix path.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Step {
+    /// `.field` — also resolves methods and virtual fields.
+    Field(String),
+    /// `[n]` / `[last]`.
+    Index(IndexExpr),
+    /// `.f(args)` — explicit method invocation.
+    Method {
+        /// Method name.
+        name: String,
+        /// Argument expressions.
+        args: Vec<QExpr>,
+    },
+}
+
+/// Binary operators of the expression grammar.  `Sub`, `Star` resolve to
+/// either arithmetic or the collection operators (−, ×) by operand type at
+/// translation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BinOp {
+    /// `+`
+    Add,
+    /// `-` (numeric subtraction, or multiset/array difference)
+    Sub,
+    /// `*`
+    Mul,
+    /// `/`
+    Div,
+    /// `union` (max-cardinality ∪)
+    Union,
+    /// `intersect`
+    Intersect,
+    /// `uplus` (⊎)
+    Uplus,
+    /// `times` (×, pair-producing; ARR_CROSS over arrays)
+    Times,
+}
+
+/// Comparators of the predicate grammar.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CmpOp {
+    /// `=`
+    Eq,
+    /// `!=` / `<>`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `in` (multiset membership)
+    In,
+}
+
+/// A value expression.
+#[derive(Debug, Clone, PartialEq)]
+pub enum QExpr {
+    /// Variable / named-object / parameter reference.
+    Var(String),
+    /// `this` (method bodies only).
+    This,
+    /// Integer literal.
+    Int(i64),
+    /// Float literal.
+    Float(f64),
+    /// String literal.
+    Str(String),
+    /// Boolean literal.
+    Bool(bool),
+    /// `dne` literal.
+    DneLit,
+    /// `unk` literal.
+    UnkLit,
+    /// Postfix path: base followed by steps.
+    Path {
+        /// The base expression.
+        base: Box<QExpr>,
+        /// Navigation steps.
+        steps: Vec<Step>,
+    },
+    /// `{ e, … }` multiset constructor.
+    SetLit(Vec<QExpr>),
+    /// `[ e, … ]` array constructor.
+    ArrLit(Vec<QExpr>),
+    /// `( f: e, … )` tuple constructor (`()` is the empty tuple).
+    TupLit(Vec<(String, QExpr)>),
+    /// Binary operation.
+    Binary {
+        /// Operator.
+        op: BinOp,
+        /// Left operand.
+        l: Box<QExpr>,
+        /// Right operand.
+        r: Box<QExpr>,
+    },
+    /// Unary minus.
+    Neg(Box<QExpr>),
+    /// Builtin/system function call `f(args…)`.
+    Call {
+        /// Function name.
+        name: String,
+        /// Arguments (field/type-name arguments are parsed as `Var`s).
+        args: Vec<QExpr>,
+    },
+    /// Aggregate with its own range: `min(e from v in src where p)`.
+    Aggregate {
+        /// Aggregate function name.
+        func: String,
+        /// The aggregated expression.
+        arg: Box<QExpr>,
+        /// Aggregate-local range variables.
+        from: Vec<(String, QExpr)>,
+        /// Aggregate-local filter.
+        filter: Option<QPred>,
+    },
+    /// `(retrieve …)` sub-query expression.
+    SubRetrieve(Box<Retrieve>),
+}
+
+/// A predicate.
+#[derive(Debug, Clone, PartialEq)]
+pub enum QPred {
+    /// Comparison.
+    Cmp {
+        /// Left operand.
+        l: Box<QExpr>,
+        /// Comparator.
+        op: CmpOp,
+        /// Right operand.
+        r: Box<QExpr>,
+    },
+    /// Conjunction.
+    And(Box<QPred>, Box<QPred>),
+    /// Disjunction (translated as ¬(¬a ∧ ¬b)).
+    Or(Box<QPred>, Box<QPred>),
+    /// Negation.
+    Not(Box<QPred>),
+}
+
+/// One element of a retrieve target list.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Target {
+    /// Optional explicit label (`name = expr`).
+    pub label: Option<String>,
+    /// The value expression.
+    pub expr: QExpr,
+}
+
+/// A `retrieve` query.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Retrieve {
+    /// `retrieve unique`?
+    pub unique: bool,
+    /// Target list.
+    pub targets: Vec<Target>,
+    /// Explicit `from v in src` clauses.
+    pub from: Vec<(String, QExpr)>,
+    /// `where` predicate.
+    pub filter: Option<QPred>,
+    /// `by` grouping expression.
+    pub by: Option<QExpr>,
+    /// `into Name`.
+    pub into: Option<String>,
+}
+
+/// A statement.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Stmt {
+    /// `define type N : (…) [inherits A, B]`
+    DefineType {
+        /// Type name.
+        name: String,
+        /// Declared body.
+        body: TypeExpr,
+        /// Supertype names.
+        inherits: Vec<String>,
+    },
+    /// `create N : T`
+    Create {
+        /// Object name.
+        name: String,
+        /// Object type.
+        ty: TypeExpr,
+    },
+    /// `define T function f (params) returns R { retrieve … }`
+    DefineFunction {
+        /// Receiver type.
+        on_type: String,
+        /// Method name.
+        name: String,
+        /// Parameters.
+        params: Vec<(String, TypeExpr)>,
+        /// Return type.
+        returns: TypeExpr,
+        /// Body (the value of the last retrieve is the result).
+        body: Vec<Retrieve>,
+    },
+    /// `define procedure p (params) { stmt* }` — a stored, parameterised
+    /// script of statements (EXCESS's update-side extensibility: the paper
+    /// pairs "functions and procedures … written in the EXCESS query
+    /// language").
+    DefineProcedure {
+        /// Procedure name.
+        name: String,
+        /// Parameters.
+        params: Vec<(String, TypeExpr)>,
+        /// The statements executed per call.
+        body: Vec<Stmt>,
+    },
+    /// `call p (args…)` — run a stored procedure.
+    Call {
+        /// Procedure name.
+        name: String,
+        /// Actual arguments.
+        args: Vec<QExpr>,
+    },
+    /// `range of V is Expr`
+    RangeDecl {
+        /// Variable name.
+        var: String,
+        /// Source expression.
+        source: QExpr,
+    },
+    /// A query.
+    Retrieve(Retrieve),
+    /// `append to N (expr)`
+    Append {
+        /// Target object.
+        target: String,
+        /// Element value.
+        value: QExpr,
+    },
+    /// `delete from N where P`
+    Delete {
+        /// Target object.
+        target: String,
+        /// Which elements to delete.
+        filter: QPred,
+    },
+    /// `replace N (f: expr, …) [where P]` — update the listed fields of
+    /// every qualifying element; elements behind `ref` are updated in
+    /// place (identity preserved).
+    Replace {
+        /// Target object.
+        target: String,
+        /// Field updates (expressions may reference the element through
+        /// the object's name or a `range of` alias, as in `delete`).
+        fields: Vec<(String, QExpr)>,
+        /// Which elements to update (all, when absent).
+        filter: Option<QPred>,
+    },
+    /// `assign N[i] (expr)` — replace an array slot.
+    AssignIndex {
+        /// Target array object.
+        target: String,
+        /// 1-based slot.
+        index: IndexExpr,
+        /// New value.
+        value: QExpr,
+    },
+}

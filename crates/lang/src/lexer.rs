@@ -1,0 +1,231 @@
+//! A hand-written lexer for EXCESS.
+
+use crate::error::{LangError, LangResult};
+use crate::token::Token;
+
+/// Tokenise the whole input (appending [`Token::Eof`]).
+pub fn lex(src: &str) -> LangResult<Vec<Token>> {
+    let mut out = Vec::new();
+    let b = src.as_bytes();
+    let mut i = 0usize;
+    while i < b.len() {
+        let c = b[i] as char;
+        match c {
+            ' ' | '\t' | '\r' | '\n' => i += 1,
+            '-' if i + 1 < b.len() && b[i + 1] == b'-' => {
+                // -- line comment
+                while i < b.len() && b[i] != b'\n' {
+                    i += 1;
+                }
+            }
+            '(' => {
+                out.push(Token::LParen);
+                i += 1;
+            }
+            ')' => {
+                out.push(Token::RParen);
+                i += 1;
+            }
+            '{' => {
+                out.push(Token::LBrace);
+                i += 1;
+            }
+            '}' => {
+                out.push(Token::RBrace);
+                i += 1;
+            }
+            '[' => {
+                out.push(Token::LBracket);
+                i += 1;
+            }
+            ']' => {
+                out.push(Token::RBracket);
+                i += 1;
+            }
+            ',' => {
+                out.push(Token::Comma);
+                i += 1;
+            }
+            ':' => {
+                out.push(Token::Colon);
+                i += 1;
+            }
+            ';' => {
+                out.push(Token::Semi);
+                i += 1;
+            }
+            '.' => {
+                if i + 1 < b.len() && b[i + 1] == b'.' {
+                    out.push(Token::DotDot);
+                    i += 2;
+                } else {
+                    out.push(Token::Dot);
+                    i += 1;
+                }
+            }
+            '=' => {
+                out.push(Token::Eq);
+                i += 1;
+            }
+            '!' => {
+                if i + 1 < b.len() && b[i + 1] == b'=' {
+                    out.push(Token::Ne);
+                    i += 2;
+                } else {
+                    return Err(LangError::Lex(format!("unexpected `!` at byte {i}")));
+                }
+            }
+            '<' => {
+                if i + 1 < b.len() && b[i + 1] == b'=' {
+                    out.push(Token::Le);
+                    i += 2;
+                } else if i + 1 < b.len() && b[i + 1] == b'>' {
+                    out.push(Token::Ne);
+                    i += 2;
+                } else {
+                    out.push(Token::Lt);
+                    i += 1;
+                }
+            }
+            '>' => {
+                if i + 1 < b.len() && b[i + 1] == b'=' {
+                    out.push(Token::Ge);
+                    i += 2;
+                } else {
+                    out.push(Token::Gt);
+                    i += 1;
+                }
+            }
+            '+' => {
+                out.push(Token::Plus);
+                i += 1;
+            }
+            '-' => {
+                out.push(Token::Minus);
+                i += 1;
+            }
+            '*' => {
+                out.push(Token::Star);
+                i += 1;
+            }
+            '/' => {
+                out.push(Token::Slash);
+                i += 1;
+            }
+            '"' => {
+                let start = i + 1;
+                let mut j = start;
+                let mut s = String::new();
+                loop {
+                    if j >= b.len() {
+                        return Err(LangError::Lex("unterminated string literal".into()));
+                    }
+                    match b[j] {
+                        b'"' => break,
+                        b'\\' if j + 1 < b.len() => {
+                            let esc = b[j + 1] as char;
+                            s.push(match esc {
+                                'n' => '\n',
+                                't' => '\t',
+                                '\\' => '\\',
+                                '"' => '"',
+                                other => other,
+                            });
+                            j += 2;
+                        }
+                        byte => {
+                            s.push(byte as char);
+                            j += 1;
+                        }
+                    }
+                }
+                out.push(Token::Str(s));
+                i = j + 1;
+            }
+            '0'..='9' => {
+                let start = i;
+                while i < b.len() && b[i].is_ascii_digit() {
+                    i += 1;
+                }
+                // Fraction, but not `..` (range syntax).
+                let is_float = i + 1 < b.len() && b[i] == b'.' && b[i + 1].is_ascii_digit();
+                if is_float {
+                    i += 1;
+                    while i < b.len() && b[i].is_ascii_digit() {
+                        i += 1;
+                    }
+                    let text = &src[start..i];
+                    out.push(Token::Float(text.parse().map_err(|_| {
+                        LangError::Lex(format!("bad float literal `{text}`"))
+                    })?));
+                } else {
+                    let text = &src[start..i];
+                    out.push(Token::Int(text.parse().map_err(|_| {
+                        LangError::Lex(format!("bad int literal `{text}`"))
+                    })?));
+                }
+            }
+            c if c.is_ascii_alphabetic() || c == '_' => {
+                let start = i;
+                while i < b.len() && (b[i].is_ascii_alphanumeric() || b[i] == b'_') {
+                    i += 1;
+                }
+                let word = &src[start..i];
+                match Token::keyword(word) {
+                    Some(t) => out.push(t),
+                    None => out.push(Token::Ident(word.to_string())),
+                }
+            }
+            other => {
+                return Err(LangError::Lex(format!("unexpected character `{other}`")));
+            }
+        }
+    }
+    out.push(Token::Eof);
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lexes_the_paper_query() {
+        let toks = lex("retrieve (C.name) from C in E.kids where E.dept.floor = 2").unwrap();
+        assert_eq!(toks[0], Token::Retrieve);
+        assert!(toks.contains(&Token::Ident("kids".into())));
+        assert!(toks.contains(&Token::Eq));
+        assert_eq!(*toks.last().unwrap(), Token::Eof);
+    }
+
+    #[test]
+    fn lexes_ddl_with_array_range() {
+        let toks = lex("create TopTen: array [1..10] of ref Employee").unwrap();
+        assert!(toks.contains(&Token::DotDot));
+        assert!(toks.contains(&Token::Ref));
+        assert!(toks.contains(&Token::Array));
+    }
+
+    #[test]
+    fn comments_and_strings() {
+        let toks = lex("retrieve -- a comment\n (\"Madi\\\"son\")").unwrap();
+        assert_eq!(toks[2], Token::Str("Madi\"son".into()));
+    }
+
+    #[test]
+    fn numbers() {
+        assert_eq!(lex("42").unwrap()[0], Token::Int(42));
+        assert_eq!(lex("3.5").unwrap()[0], Token::Float(3.5));
+        // `1..10` is int dotdot int, not floats.
+        let toks = lex("1..10").unwrap();
+        assert_eq!(toks[0], Token::Int(1));
+        assert_eq!(toks[1], Token::DotDot);
+        assert_eq!(toks[2], Token::Int(10));
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(lex("retrieve @").is_err());
+        assert!(lex("\"unterminated").is_err());
+    }
+}

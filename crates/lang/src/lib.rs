@@ -1,0 +1,47 @@
+//! # excess-lang — the EXCESS query language front end
+//!
+//! Lexer, parser, and the two constructive halves of the paper's
+//! equipollence theorem (Section 3.4):
+//!
+//! * [`translate`] — EXCESS → algebra (the query compiler);
+//! * [`decompile()`] — algebra → EXCESS (the inductive 23-case proof, made
+//!   executable).
+//!
+//! Plus EXTRA DDL lowering ([`ddl`]) and the method registry with
+//! overriding ([`methods`], Section 4).
+//!
+//! ## Surface grammar commitments
+//!
+//! The paper presents EXCESS by example; where its equipollence proof uses
+//! forms it never fully specifies, this crate commits to:
+//!
+//! * set operators in expressions: `uplus` (⊎), `union`, `intersect`,
+//!   `-` (difference by operand sort), `times` (×);
+//! * sub-retrieves as expressions: `(retrieve … )`;
+//! * system functions for the remaining structural operators:
+//!   `de`, `collapse`, `subarr`, `arr_extract`, `arr_cat`, `arr_diff`,
+//!   `tupcat`, `project`, `mkref`, `deref`, `exact`, `the`, `date`;
+//! * `from x in <array>` is order-preserving (the "uniform query
+//!   interface to multisets, arrays, tuples and single objects");
+//! * update statements: `append to`, `delete from`, `replace`, `assign`;
+//! * stored procedures: `define procedure p (params) { stmt* }` invoked
+//!   with `call p(args…)` (parameters substitute by value, see [`subst`]).
+
+#![warn(missing_docs)]
+
+pub mod ast;
+pub mod ddl;
+pub mod decompile;
+pub mod error;
+pub mod lexer;
+pub mod methods;
+pub mod parser;
+pub mod token;
+pub mod subst;
+pub mod translate;
+
+pub use decompile::{decompile, decompile_into};
+pub use error::{LangError, LangResult};
+pub use methods::{MethodDef, MethodRegistry};
+pub use parser::{parse_program, parse_statement};
+pub use translate::{translate_retrieve, TranslateCtx};

@@ -1,0 +1,944 @@
+//! Recursive-descent parser for EXCESS.
+//!
+//! Grammar sketch (see crate docs for the full commitment):
+//!
+//! ```text
+//! program   := stmt*
+//! stmt      := define-type | create | define-fn | range | retrieve
+//!            | append | delete | assign
+//! retrieve  := "retrieve" ["unique"] "(" target ("," target)* ")"
+//!              ["from" v "in" expr ("," v "in" expr)*]
+//!              ["where" pred] ["by" expr] ["into" ident]
+//! target    := [ident "="] expr
+//! pred      := orp ; orp := andp ("or" andp)* ; andp := notp ("and" notp)*
+//! notp      := "not" notp | "(" pred ")" /backtrack/ | expr cmpop expr
+//! expr      := term ((+|-|union|intersect|uplus|times) term)*
+//! term      := unary ((*|/) unary)*
+//! unary     := "-" unary | postfix
+//! postfix   := primary ("." field | "." f "(" args ")" | "[" idx "]")*
+//! primary   := literal | "this" | ident | ident "(" callbody ")"
+//!            | "(" retrieve ")" | "(" f ":" e, … ")" | "(" expr ")"
+//!            | "{" exprs "}" | "[" exprs "]"
+//! callbody  := args | expr "from" v "in" expr … ["where" pred]   (aggregate)
+//! ```
+
+use crate::ast::*;
+use crate::error::{LangError, LangResult};
+use crate::lexer::lex;
+use crate::token::Token;
+
+/// Parse a whole program (sequence of statements; `;` separators optional).
+pub fn parse_program(src: &str) -> LangResult<Vec<Stmt>> {
+    let toks = lex(src)?;
+    let mut p = Parser { toks, pos: 0, depth: 0 };
+    let mut out = Vec::new();
+    while !p.at(&Token::Eof) {
+        out.push(p.statement()?);
+        while p.eat(&Token::Semi) {}
+    }
+    Ok(out)
+}
+
+/// Parse a single statement.
+pub fn parse_statement(src: &str) -> LangResult<Stmt> {
+    let stmts = parse_program(src)?;
+    match <[Stmt; 1]>::try_from(stmts) {
+        Ok([s]) => Ok(s),
+        Err(v) => Err(LangError::Parse(format!("expected one statement, found {}", v.len()))),
+    }
+}
+
+/// Maximum expression/predicate nesting depth.  Recursive descent uses
+/// the call stack; beyond this bound we fail gracefully instead of
+/// overflowing it.
+const MAX_DEPTH: usize = 96;
+
+struct Parser {
+    toks: Vec<Token>,
+    pos: usize,
+    depth: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> &Token {
+        &self.toks[self.pos]
+    }
+    fn peek2(&self) -> &Token {
+        self.toks.get(self.pos + 1).unwrap_or(&Token::Eof)
+    }
+    fn at(&self, t: &Token) -> bool {
+        self.peek() == t
+    }
+    fn bump(&mut self) -> Token {
+        let t = self.toks[self.pos].clone();
+        if self.pos + 1 < self.toks.len() {
+            self.pos += 1;
+        }
+        t
+    }
+    fn eat(&mut self, t: &Token) -> bool {
+        if self.at(t) {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+    fn expect(&mut self, t: &Token) -> LangResult<()> {
+        if self.eat(t) {
+            Ok(())
+        } else {
+            Err(LangError::Parse(format!("expected `{t}`, found `{}`", self.peek())))
+        }
+    }
+    fn ident(&mut self) -> LangResult<String> {
+        match self.bump() {
+            Token::Ident(s) => Ok(s),
+            other => Err(LangError::Parse(format!("expected identifier, found `{other}`"))),
+        }
+    }
+
+    // ---------- statements ----------
+
+    fn statement(&mut self) -> LangResult<Stmt> {
+        match self.peek().clone() {
+            Token::Define => self.define_stmt(),
+            Token::Create => self.create_stmt(),
+            Token::Range => self.range_stmt(),
+            Token::Retrieve => Ok(Stmt::Retrieve(self.retrieve()?)),
+            Token::Append => self.append_stmt(),
+            Token::Delete => self.delete_stmt(),
+            Token::Replace => self.replace_stmt(),
+            Token::Assign => self.assign_stmt(),
+            Token::Call => self.call_stmt(),
+            other => Err(LangError::Parse(format!("unexpected token `{other}` at statement start"))),
+        }
+    }
+
+    fn define_stmt(&mut self) -> LangResult<Stmt> {
+        self.expect(&Token::Define)?;
+        if self.eat(&Token::Procedure) {
+            // define procedure name (params) { stmt* }
+            let name = self.ident()?;
+            self.expect(&Token::LParen)?;
+            let mut params = Vec::new();
+            if !self.at(&Token::RParen) {
+                loop {
+                    let pname = self.ident()?;
+                    self.expect(&Token::Colon)?;
+                    let pty = self.type_expr()?;
+                    params.push((pname, pty));
+                    if !self.eat(&Token::Comma) {
+                        break;
+                    }
+                }
+            }
+            self.expect(&Token::RParen)?;
+            self.expect(&Token::LBrace)?;
+            let mut body = Vec::new();
+            while !self.at(&Token::RBrace) {
+                body.push(self.statement()?);
+                while self.eat(&Token::Semi) {}
+            }
+            self.expect(&Token::RBrace)?;
+            if body.is_empty() {
+                return Err(LangError::Parse("empty procedure body".into()));
+            }
+            return Ok(Stmt::DefineProcedure { name, params, body });
+        }
+        if self.eat(&Token::Type) {
+            // define type N : body [inherits A, B]
+            let name = self.ident()?;
+            self.expect(&Token::Colon)?;
+            let body = self.type_expr()?;
+            let mut inherits = Vec::new();
+            if self.eat(&Token::Inherits) {
+                inherits.push(self.ident()?);
+                while self.eat(&Token::Comma) {
+                    inherits.push(self.ident()?);
+                }
+            }
+            return Ok(Stmt::DefineType { name, body, inherits });
+        }
+        // define T function f (params) returns R { body }
+        let on_type = self.ident()?;
+        self.expect(&Token::Function)?;
+        let name = self.ident()?;
+        self.expect(&Token::LParen)?;
+        let mut params = Vec::new();
+        if !self.at(&Token::RParen) {
+            loop {
+                let pname = self.ident()?;
+                self.expect(&Token::Colon)?;
+                let pty = self.type_expr()?;
+                params.push((pname, pty));
+                if !self.eat(&Token::Comma) {
+                    break;
+                }
+            }
+        }
+        self.expect(&Token::RParen)?;
+        self.expect(&Token::Returns)?;
+        let returns = self.type_expr()?;
+        self.expect(&Token::LBrace)?;
+        let mut body = Vec::new();
+        while !self.at(&Token::RBrace) {
+            if self.at(&Token::Retrieve) {
+                body.push(self.retrieve()?);
+            } else {
+                return Err(LangError::Parse(format!(
+                    "method bodies contain retrieve statements, found `{}`",
+                    self.peek()
+                )));
+            }
+            while self.eat(&Token::Semi) {}
+        }
+        self.expect(&Token::RBrace)?;
+        if body.is_empty() {
+            return Err(LangError::Parse("empty method body".into()));
+        }
+        Ok(Stmt::DefineFunction { on_type, name, params, returns, body })
+    }
+
+    fn create_stmt(&mut self) -> LangResult<Stmt> {
+        self.expect(&Token::Create)?;
+        let name = self.ident()?;
+        self.expect(&Token::Colon)?;
+        let ty = self.type_expr()?;
+        Ok(Stmt::Create { name, ty })
+    }
+
+    fn range_stmt(&mut self) -> LangResult<Stmt> {
+        self.expect(&Token::Range)?;
+        self.expect(&Token::Of)?;
+        let var = self.ident()?;
+        self.expect(&Token::Is)?;
+        let source = self.expr()?;
+        Ok(Stmt::RangeDecl { var, source })
+    }
+
+    fn append_stmt(&mut self) -> LangResult<Stmt> {
+        self.expect(&Token::Append)?;
+        self.expect(&Token::To)?;
+        let target = self.ident()?;
+        self.expect(&Token::LParen)?;
+        // `append to X (f: v, …)` — a tuple literal — or `(expr)`.
+        let value = self.paren_tail()?;
+        Ok(Stmt::Append { target, value })
+    }
+
+    fn delete_stmt(&mut self) -> LangResult<Stmt> {
+        self.expect(&Token::Delete)?;
+        self.expect(&Token::From)?;
+        let target = self.ident()?;
+        self.expect(&Token::Where)?;
+        let filter = self.pred()?;
+        Ok(Stmt::Delete { target, filter })
+    }
+
+    fn replace_stmt(&mut self) -> LangResult<Stmt> {
+        self.expect(&Token::Replace)?;
+        let target = self.ident()?;
+        self.expect(&Token::LParen)?;
+        let mut fields = Vec::new();
+        loop {
+            let f = self.ident()?;
+            self.expect(&Token::Colon)?;
+            let v = self.expr()?;
+            fields.push((f, v));
+            if !self.eat(&Token::Comma) {
+                break;
+            }
+        }
+        self.expect(&Token::RParen)?;
+        let filter = if self.eat(&Token::Where) { Some(self.pred()?) } else { None };
+        Ok(Stmt::Replace { target, fields, filter })
+    }
+
+    fn assign_stmt(&mut self) -> LangResult<Stmt> {
+        self.expect(&Token::Assign)?;
+        let target = self.ident()?;
+        self.expect(&Token::LBracket)?;
+        let index = self.index_expr()?;
+        self.expect(&Token::RBracket)?;
+        self.expect(&Token::LParen)?;
+        let value = self.paren_tail()?;
+        Ok(Stmt::AssignIndex { target, index, value })
+    }
+
+    fn call_stmt(&mut self) -> LangResult<Stmt> {
+        self.expect(&Token::Call)?;
+        let name = self.ident()?;
+        self.expect(&Token::LParen)?;
+        let mut args = Vec::new();
+        if !self.at(&Token::RParen) {
+            loop {
+                args.push(self.expr()?);
+                if !self.eat(&Token::Comma) {
+                    break;
+                }
+            }
+        }
+        self.expect(&Token::RParen)?;
+        Ok(Stmt::Call { name, args })
+    }
+
+    fn index_expr(&mut self) -> LangResult<IndexExpr> {
+        if self.eat(&Token::Last) {
+            return Ok(IndexExpr::Last);
+        }
+        match self.bump() {
+            Token::Int(i) if i >= 1 => Ok(IndexExpr::At(i as usize)),
+            other => Err(LangError::Parse(format!("expected index ≥ 1 or `last`, found `{other}`"))),
+        }
+    }
+
+    // ---------- retrieve ----------
+
+    fn retrieve(&mut self) -> LangResult<Retrieve> {
+        self.expect(&Token::Retrieve)?;
+        let unique = self.eat(&Token::Unique);
+        self.expect(&Token::LParen)?;
+        let mut targets = vec![self.target()?];
+        while self.eat(&Token::Comma) {
+            targets.push(self.target()?);
+        }
+        self.expect(&Token::RParen)?;
+        // The paper writes the tail clauses in varying orders (`by …
+        // where …` in Section 5's Example 1, `from … where …` in Section
+        // 2.2), so accept them in any order, each at most once.
+        let mut from = Vec::new();
+        let mut filter = None;
+        let mut by = None;
+        let mut into = None;
+        loop {
+            if self.eat(&Token::From) {
+                if !from.is_empty() {
+                    return Err(LangError::Parse("duplicate `from` clause".into()));
+                }
+                loop {
+                    let v = self.ident()?;
+                    self.expect(&Token::In)?;
+                    let src = self.expr()?;
+                    from.push((v, src));
+                    if !self.eat(&Token::Comma) {
+                        break;
+                    }
+                }
+            } else if self.eat(&Token::Where) {
+                if filter.is_some() {
+                    return Err(LangError::Parse("duplicate `where` clause".into()));
+                }
+                filter = Some(self.pred()?);
+            } else if self.eat(&Token::By) {
+                if by.is_some() {
+                    return Err(LangError::Parse("duplicate `by` clause".into()));
+                }
+                by = Some(self.expr()?);
+            } else if self.eat(&Token::Into) {
+                if into.is_some() {
+                    return Err(LangError::Parse("duplicate `into` clause".into()));
+                }
+                into = Some(self.ident()?);
+            } else {
+                break;
+            }
+        }
+        Ok(Retrieve { unique, targets, from, filter, by, into })
+    }
+
+    fn target(&mut self) -> LangResult<Target> {
+        // `ident = expr` is a labelled target (expressions have no `=`).
+        if let (Token::Ident(label), Token::Eq) = (self.peek().clone(), self.peek2().clone()) {
+            self.bump();
+            self.bump();
+            let expr = self.expr()?;
+            return Ok(Target { label: Some(label), expr });
+        }
+        Ok(Target { label: None, expr: self.expr()? })
+    }
+
+    // ---------- types ----------
+
+    fn type_expr(&mut self) -> LangResult<TypeExpr> {
+        match self.peek().clone() {
+            Token::Ref => {
+                self.bump();
+                Ok(TypeExpr::Ref(self.ident()?))
+            }
+            Token::LBrace => {
+                self.bump();
+                let inner = self.type_expr()?;
+                self.expect(&Token::RBrace)?;
+                Ok(TypeExpr::Set(Box::new(inner)))
+            }
+            Token::Array => {
+                self.bump();
+                let len = if self.eat(&Token::LBracket) {
+                    let lo = match self.bump() {
+                        Token::Int(i) => i,
+                        other => {
+                            return Err(LangError::Parse(format!(
+                                "expected array lower bound, found `{other}`"
+                            )))
+                        }
+                    };
+                    self.expect(&Token::DotDot)?;
+                    let hi = match self.bump() {
+                        Token::Int(i) => i,
+                        other => {
+                            return Err(LangError::Parse(format!(
+                                "expected array upper bound, found `{other}`"
+                            )))
+                        }
+                    };
+                    self.expect(&Token::RBracket)?;
+                    if lo != 1 || hi < 1 {
+                        return Err(LangError::Parse(format!(
+                            "array bounds must be [1..n], found [{lo}..{hi}]"
+                        )));
+                    }
+                    Some(hi as usize)
+                } else {
+                    None
+                };
+                self.expect(&Token::Of)?;
+                let elem = self.type_expr()?;
+                Ok(TypeExpr::Array { elem: Box::new(elem), len })
+            }
+            Token::LParen => {
+                self.bump();
+                let mut fields = Vec::new();
+                if !self.at(&Token::RParen) {
+                    loop {
+                        let f = self.ident()?;
+                        self.expect(&Token::Colon)?;
+                        let t = self.type_expr()?;
+                        fields.push((f, t));
+                        if !self.eat(&Token::Comma) {
+                            break;
+                        }
+                    }
+                }
+                self.expect(&Token::RParen)?;
+                Ok(TypeExpr::Tuple(fields))
+            }
+            Token::Ident(name) => {
+                self.bump();
+                Ok(match name.as_str() {
+                    "int4" => TypeExpr::Int4,
+                    "float4" => TypeExpr::Float4,
+                    "bool" => TypeExpr::Bool,
+                    "Date" => TypeExpr::Date,
+                    "char" => {
+                        // optional [n] bound, advisory
+                        if self.eat(&Token::LBracket) {
+                            if let Token::Int(_) = self.peek() {
+                                self.bump();
+                            }
+                            self.expect(&Token::RBracket)?;
+                        }
+                        TypeExpr::Char
+                    }
+                    _ => TypeExpr::Named(name),
+                })
+            }
+            other => Err(LangError::Parse(format!("expected type, found `{other}`"))),
+        }
+    }
+
+    // ---------- predicates ----------
+
+    fn pred(&mut self) -> LangResult<QPred> {
+        self.depth += 1;
+        let out = if self.depth > MAX_DEPTH {
+            Err(LangError::Parse(format!(
+                "predicate nesting exceeds {MAX_DEPTH} levels"
+            )))
+        } else {
+            self.pred_inner()
+        };
+        self.depth -= 1;
+        out
+    }
+
+    fn pred_inner(&mut self) -> LangResult<QPred> {
+        let mut left = self.and_pred()?;
+        while self.eat(&Token::Or) {
+            let right = self.and_pred()?;
+            left = QPred::Or(Box::new(left), Box::new(right));
+        }
+        Ok(left)
+    }
+
+    fn and_pred(&mut self) -> LangResult<QPred> {
+        let mut left = self.not_pred()?;
+        while self.eat(&Token::And) {
+            let right = self.not_pred()?;
+            left = QPred::And(Box::new(left), Box::new(right));
+        }
+        Ok(left)
+    }
+
+    fn not_pred(&mut self) -> LangResult<QPred> {
+        if self.eat(&Token::Not) {
+            return Ok(QPred::Not(Box::new(self.not_pred()?)));
+        }
+        // `( pred )` vs a comparison starting with `( expr )`: backtrack.
+        if self.at(&Token::LParen) {
+            let save = self.pos;
+            self.bump();
+            if let Ok(p) = self.pred() {
+                if self.eat(&Token::RParen) {
+                    // Only a connective/end may follow a parenthesised pred;
+                    // a comparator means the parens enclosed an expression.
+                    if !self.is_cmp_op() {
+                        return Ok(p);
+                    }
+                }
+            }
+            self.pos = save;
+        }
+        self.comparison()
+    }
+
+    fn is_cmp_op(&self) -> bool {
+        matches!(
+            self.peek(),
+            Token::Eq | Token::Ne | Token::Lt | Token::Le | Token::Gt | Token::Ge | Token::In
+        )
+    }
+
+    fn comparison(&mut self) -> LangResult<QPred> {
+        let l = self.expr()?;
+        let op = match self.bump() {
+            Token::Eq => CmpOp::Eq,
+            Token::Ne => CmpOp::Ne,
+            Token::Lt => CmpOp::Lt,
+            Token::Le => CmpOp::Le,
+            Token::Gt => CmpOp::Gt,
+            Token::Ge => CmpOp::Ge,
+            Token::In => CmpOp::In,
+            other => {
+                return Err(LangError::Parse(format!("expected comparator, found `{other}`")))
+            }
+        };
+        let r = self.expr()?;
+        Ok(QPred::Cmp { l: Box::new(l), op, r: Box::new(r) })
+    }
+
+    // ---------- expressions ----------
+
+    fn expr(&mut self) -> LangResult<QExpr> {
+        self.depth += 1;
+        let out = if self.depth > MAX_DEPTH {
+            Err(LangError::Parse(format!(
+                "expression nesting exceeds {MAX_DEPTH} levels"
+            )))
+        } else {
+            self.expr_inner()
+        };
+        self.depth -= 1;
+        out
+    }
+
+    fn expr_inner(&mut self) -> LangResult<QExpr> {
+        let mut left = self.term()?;
+        loop {
+            let op = match self.peek() {
+                Token::Plus => BinOp::Add,
+                Token::Minus => BinOp::Sub,
+                Token::Union => BinOp::Union,
+                Token::Intersect => BinOp::Intersect,
+                Token::Uplus => BinOp::Uplus,
+                Token::Times => BinOp::Times,
+                _ => break,
+            };
+            self.bump();
+            let right = self.term()?;
+            left = QExpr::Binary { op, l: Box::new(left), r: Box::new(right) };
+        }
+        Ok(left)
+    }
+
+    fn term(&mut self) -> LangResult<QExpr> {
+        let mut left = self.unary()?;
+        loop {
+            let op = match self.peek() {
+                Token::Star => BinOp::Mul,
+                Token::Slash => BinOp::Div,
+                _ => break,
+            };
+            self.bump();
+            let right = self.unary()?;
+            left = QExpr::Binary { op, l: Box::new(left), r: Box::new(right) };
+        }
+        Ok(left)
+    }
+
+    fn unary(&mut self) -> LangResult<QExpr> {
+        if self.eat(&Token::Minus) {
+            return Ok(QExpr::Neg(Box::new(self.unary()?)));
+        }
+        self.postfix()
+    }
+
+    fn postfix(&mut self) -> LangResult<QExpr> {
+        let base = self.primary()?;
+        let mut steps = Vec::new();
+        loop {
+            if self.eat(&Token::Dot) {
+                let name = self.ident()?;
+                if self.at(&Token::LParen) {
+                    self.bump();
+                    let mut args = Vec::new();
+                    if !self.at(&Token::RParen) {
+                        loop {
+                            args.push(self.expr()?);
+                            if !self.eat(&Token::Comma) {
+                                break;
+                            }
+                        }
+                    }
+                    self.expect(&Token::RParen)?;
+                    steps.push(Step::Method { name, args });
+                } else {
+                    steps.push(Step::Field(name));
+                }
+            } else if self.at(&Token::LBracket) {
+                self.bump();
+                let idx = self.index_expr()?;
+                self.expect(&Token::RBracket)?;
+                steps.push(Step::Index(idx));
+            } else {
+                break;
+            }
+        }
+        if steps.is_empty() {
+            Ok(base)
+        } else {
+            Ok(QExpr::Path { base: Box::new(base), steps })
+        }
+    }
+
+    fn primary(&mut self) -> LangResult<QExpr> {
+        match self.peek().clone() {
+            Token::Int(i) => {
+                self.bump();
+                Ok(QExpr::Int(i))
+            }
+            Token::Float(x) => {
+                self.bump();
+                Ok(QExpr::Float(x))
+            }
+            Token::Str(s) => {
+                self.bump();
+                Ok(QExpr::Str(s))
+            }
+            Token::True => {
+                self.bump();
+                Ok(QExpr::Bool(true))
+            }
+            Token::False => {
+                self.bump();
+                Ok(QExpr::Bool(false))
+            }
+            Token::Dne => {
+                self.bump();
+                Ok(QExpr::DneLit)
+            }
+            Token::Unk => {
+                self.bump();
+                Ok(QExpr::UnkLit)
+            }
+            Token::This => {
+                self.bump();
+                Ok(QExpr::This)
+            }
+            Token::LBrace => {
+                self.bump();
+                let mut items = Vec::new();
+                if !self.at(&Token::RBrace) {
+                    loop {
+                        items.push(self.expr()?);
+                        if !self.eat(&Token::Comma) {
+                            break;
+                        }
+                    }
+                }
+                self.expect(&Token::RBrace)?;
+                Ok(QExpr::SetLit(items))
+            }
+            Token::LBracket => {
+                self.bump();
+                let mut items = Vec::new();
+                if !self.at(&Token::RBracket) {
+                    loop {
+                        items.push(self.expr()?);
+                        if !self.eat(&Token::Comma) {
+                            break;
+                        }
+                    }
+                }
+                self.expect(&Token::RBracket)?;
+                Ok(QExpr::ArrLit(items))
+            }
+            Token::LParen => {
+                self.bump();
+                self.paren_tail()
+            }
+            Token::Ident(name) => {
+                self.bump();
+                if self.at(&Token::LParen) {
+                    self.bump();
+                    return self.call_body(name);
+                }
+                Ok(QExpr::Var(name))
+            }
+            other => Err(LangError::Parse(format!("unexpected token `{other}` in expression"))),
+        }
+    }
+
+    /// After an opening `(`: a sub-retrieve, a tuple literal, or a
+    /// parenthesised expression.
+    fn paren_tail(&mut self) -> LangResult<QExpr> {
+        if self.at(&Token::Retrieve) {
+            let r = self.retrieve()?;
+            self.expect(&Token::RParen)?;
+            return Ok(QExpr::SubRetrieve(Box::new(r)));
+        }
+        // `()` — empty tuple.
+        if self.eat(&Token::RParen) {
+            return Ok(QExpr::TupLit(vec![]));
+        }
+        // `ident :` opens a tuple literal.
+        if let (Token::Ident(_), Token::Colon) = (self.peek().clone(), self.peek2().clone()) {
+            let mut fields = Vec::new();
+            loop {
+                let f = self.ident()?;
+                self.expect(&Token::Colon)?;
+                let v = self.expr()?;
+                fields.push((f, v));
+                if !self.eat(&Token::Comma) {
+                    break;
+                }
+            }
+            self.expect(&Token::RParen)?;
+            return Ok(QExpr::TupLit(fields));
+        }
+        let e = self.expr()?;
+        self.expect(&Token::RParen)?;
+        Ok(e)
+    }
+
+    /// After `ident (`: a builtin/aggregate call.  An aggregate may carry
+    /// its own `from`/`where` inside the parentheses.
+    fn call_body(&mut self, name: String) -> LangResult<QExpr> {
+        let mut args = Vec::new();
+        if !self.at(&Token::RParen) {
+            loop {
+                // `last` is allowed as a bare argument (arr_extract/subarr).
+                if self.at(&Token::Last) {
+                    self.bump();
+                    args.push(QExpr::Var("last".to_string()));
+                } else {
+                    args.push(self.expr()?);
+                }
+                if self.at(&Token::From) || self.at(&Token::Where) {
+                    break;
+                }
+                if !self.eat(&Token::Comma) {
+                    break;
+                }
+            }
+        }
+        if self.at(&Token::From) || self.at(&Token::Where) {
+            // Aggregate with local range.
+            if args.len() != 1 {
+                return Err(LangError::Parse(format!(
+                    "aggregate `{name}` takes one expression before `from`/`where`"
+                )));
+            }
+            let mut from = Vec::new();
+            if self.eat(&Token::From) {
+                loop {
+                    let v = self.ident()?;
+                    self.expect(&Token::In)?;
+                    let src = self.expr()?;
+                    from.push((v, src));
+                    if !self.eat(&Token::Comma) {
+                        break;
+                    }
+                }
+            }
+            let filter = if self.eat(&Token::Where) { Some(self.pred()?) } else { None };
+            self.expect(&Token::RParen)?;
+            return Ok(QExpr::Aggregate {
+                func: name,
+                arg: Box::new(args.remove(0)),
+                from,
+                filter,
+            });
+        }
+        self.expect(&Token::RParen)?;
+        Ok(QExpr::Call { name, args })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_figure1_ddl() {
+        let src = r#"
+            define type Person:
+              ( ssnum: int4, name: char[], street: char[20], city: char[10],
+                zip: int4, birthday: Date )
+            define type Employee:
+              ( jobtitle: char[20], dept: ref Department, manager: ref Employee,
+                sub_ords: { ref Employee }, salary: int4, kids: { Person } )
+              inherits Person
+            create Employees: { ref Employee }
+            create TopTen: array [1..10] of ref Employee
+        "#;
+        let stmts = parse_program(src).unwrap();
+        assert_eq!(stmts.len(), 4);
+        match &stmts[1] {
+            Stmt::DefineType { name, inherits, body: TypeExpr::Tuple(fs) } => {
+                assert_eq!(name, "Employee");
+                assert_eq!(inherits, &vec!["Person".to_string()]);
+                assert_eq!(fs.len(), 6);
+                assert_eq!(fs[3].1, TypeExpr::Set(Box::new(TypeExpr::Ref("Employee".into()))));
+            }
+            other => panic!("unexpected: {other:?}"),
+        }
+        match &stmts[3] {
+            Stmt::Create { name, ty: TypeExpr::Array { len: Some(10), .. } } => {
+                assert_eq!(name, "TopTen");
+            }
+            other => panic!("unexpected: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_first_example_query() {
+        let src = r#"range of E is Employees
+                     retrieve (C.name) from C in E.kids where E.dept.floor = 2"#;
+        let stmts = parse_program(src).unwrap();
+        assert_eq!(stmts.len(), 2);
+        let Stmt::Retrieve(r) = &stmts[1] else { panic!() };
+        assert_eq!(r.from.len(), 1);
+        assert!(r.filter.is_some());
+        assert!(!r.unique);
+    }
+
+    #[test]
+    fn parses_aggregate_with_local_range() {
+        let src = r#"retrieve (EMP.name, min(E.kids.age
+                        from E in Employees
+                        where E.dept.floor = EMP.dept.floor))"#;
+        let Stmt::Retrieve(r) = parse_statement(src).unwrap() else { panic!() };
+        assert_eq!(r.targets.len(), 2);
+        match &r.targets[1].expr {
+            QExpr::Aggregate { func, from, filter, .. } => {
+                assert_eq!(func, "min");
+                assert_eq!(from.len(), 1);
+                assert!(filter.is_some());
+            }
+            other => panic!("unexpected: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_by_unique_into() {
+        let src = r#"retrieve unique (S.dept.name, E.name) by S.dept
+                     where S.advisor = E.name into Out"#;
+        let Stmt::Retrieve(r) = parse_statement(src).unwrap() else { panic!() };
+        assert!(r.unique);
+        assert!(r.by.is_some());
+        assert_eq!(r.into.as_deref(), Some("Out"));
+    }
+
+    #[test]
+    fn parses_array_indexing() {
+        let src = "retrieve (TopTen[5].name, TopTen[5].salary)";
+        let Stmt::Retrieve(r) = parse_statement(src).unwrap() else { panic!() };
+        match &r.targets[0].expr {
+            QExpr::Path { steps, .. } => {
+                assert_eq!(steps[0], Step::Index(IndexExpr::At(5)));
+                assert_eq!(steps[1], Step::Field("name".into()));
+            }
+            other => panic!("unexpected: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_method_definition() {
+        let src = r#"define Employee function get_ssnum (kname: char[]) returns int4
+                     { retrieve (this.kids.ssnum) where (this.kids.name = kname) }"#;
+        let Stmt::DefineFunction { on_type, name, params, body, .. } =
+            parse_statement(src).unwrap()
+        else {
+            panic!()
+        };
+        assert_eq!(on_type, "Employee");
+        assert_eq!(name, "get_ssnum");
+        assert_eq!(params.len(), 1);
+        assert_eq!(body.len(), 1);
+    }
+
+    #[test]
+    fn parses_set_expression_sources() {
+        // The equipollence proof's `retrieve (x) from x in (E1 - E2)`.
+        let src = "retrieve (x) from x in (E1 - E2) into E";
+        let Stmt::Retrieve(r) = parse_statement(src).unwrap() else { panic!() };
+        match &r.from[0].1 {
+            QExpr::Binary { op: BinOp::Sub, .. } => {}
+            other => panic!("unexpected: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_constructor_targets() {
+        // `retrieve ( { E1 } ) into E` — SET via output formatting.
+        let src = "retrieve ( { E1 } ) into E";
+        let Stmt::Retrieve(r) = parse_statement(src).unwrap() else { panic!() };
+        assert!(matches!(r.targets[0].expr, QExpr::SetLit(_)));
+    }
+
+    #[test]
+    fn parses_parenthesised_predicates() {
+        let src = r#"retrieve (x) from x in S
+                     where (x.a = 1 and not (x.b = 2)) or x.c in T"#;
+        let Stmt::Retrieve(r) = parse_statement(src).unwrap() else { panic!() };
+        assert!(matches!(r.filter, Some(QPred::Or(_, _))));
+    }
+
+    #[test]
+    fn parses_sub_retrieve_expression() {
+        let src = "retrieve (the((retrieve (x) from x in { 1, 2 } where x = 1)))";
+        let Stmt::Retrieve(r) = parse_statement(src).unwrap() else { panic!() };
+        match &r.targets[0].expr {
+            QExpr::Call { name, args } => {
+                assert_eq!(name, "the");
+                assert!(matches!(args[0], QExpr::SubRetrieve(_)));
+            }
+            other => panic!("unexpected: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_updates() {
+        parse_statement(r#"append to Depts (name: "CS", floor: 2)"#).unwrap();
+        parse_statement(r#"delete from Depts where D.floor = 2"#).unwrap();
+        parse_statement(r#"assign TopTen[3] (x)"#).unwrap();
+    }
+
+    #[test]
+    fn rejects_malformed() {
+        assert!(parse_statement("retrieve").is_err());
+        assert!(parse_statement("define type :").is_err());
+        assert!(parse_statement("create X { int4 }").is_err());
+    }
+}

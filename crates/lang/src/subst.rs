@@ -1,0 +1,190 @@
+//! Surface-level substitution: replace free variable references by
+//! expressions across whole statements.  Used to expand stored procedure
+//! bodies at `call` time (the actual arguments replace the formals).
+//!
+//! A variable is *not* free where a `from` clause or aggregate binds the
+//! same name (lexical shadowing), so substitution stops there.
+
+use crate::ast::*;
+use std::collections::HashMap;
+
+/// Substitute `vars` into a statement.
+pub fn subst_stmt(s: &Stmt, vars: &HashMap<String, QExpr>) -> Stmt {
+    match s {
+        Stmt::Retrieve(r) => Stmt::Retrieve(subst_retrieve(r, vars)),
+        Stmt::Append { target, value } => Stmt::Append {
+            target: target.clone(),
+            value: subst_expr(value, vars),
+        },
+        Stmt::Delete { target, filter } => Stmt::Delete {
+            target: target.clone(),
+            filter: subst_pred(filter, vars),
+        },
+        Stmt::Replace { target, fields, filter } => Stmt::Replace {
+            target: target.clone(),
+            fields: fields.iter().map(|(f, e)| (f.clone(), subst_expr(e, vars))).collect(),
+            filter: filter.as_ref().map(|p| subst_pred(p, vars)),
+        },
+        Stmt::AssignIndex { target, index, value } => Stmt::AssignIndex {
+            target: target.clone(),
+            index: *index,
+            value: subst_expr(value, vars),
+        },
+        Stmt::RangeDecl { var, source } => Stmt::RangeDecl {
+            var: var.clone(),
+            source: subst_expr(source, vars),
+        },
+        // DDL and nested definitions are taken verbatim (no parameters
+        // inside type syntax).
+        other => other.clone(),
+    }
+}
+
+fn subst_retrieve(r: &Retrieve, vars: &HashMap<String, QExpr>) -> Retrieve {
+    // `from` variables shadow parameters inside this retrieve.
+    let mut inner = vars.clone();
+    for (v, _) in &r.from {
+        inner.remove(v);
+    }
+    Retrieve {
+        unique: r.unique,
+        targets: r
+            .targets
+            .iter()
+            .map(|t| Target { label: t.label.clone(), expr: subst_expr(&t.expr, &inner) })
+            .collect(),
+        // Sources are evaluated in the *outer* scope (a source may use a
+        // parameter even when its variable shadows it downstream).
+        from: r
+            .from
+            .iter()
+            .map(|(v, src)| (v.clone(), subst_expr(src, vars)))
+            .collect(),
+        filter: r.filter.as_ref().map(|p| subst_pred(p, &inner)),
+        by: r.by.as_ref().map(|b| subst_expr(b, &inner)),
+        into: r.into.clone(),
+    }
+}
+
+fn subst_pred(p: &QPred, vars: &HashMap<String, QExpr>) -> QPred {
+    match p {
+        QPred::Cmp { l, op, r } => QPred::Cmp {
+            l: Box::new(subst_expr(l, vars)),
+            op: *op,
+            r: Box::new(subst_expr(r, vars)),
+        },
+        QPred::And(a, b) => {
+            QPred::And(Box::new(subst_pred(a, vars)), Box::new(subst_pred(b, vars)))
+        }
+        QPred::Or(a, b) => {
+            QPred::Or(Box::new(subst_pred(a, vars)), Box::new(subst_pred(b, vars)))
+        }
+        QPred::Not(q) => QPred::Not(Box::new(subst_pred(q, vars))),
+    }
+}
+
+fn subst_expr(e: &QExpr, vars: &HashMap<String, QExpr>) -> QExpr {
+    match e {
+        QExpr::Var(n) => vars.get(n).cloned().unwrap_or_else(|| e.clone()),
+        QExpr::Path { base, steps } => QExpr::Path {
+            base: Box::new(subst_expr(base, vars)),
+            steps: steps
+                .iter()
+                .map(|s| match s {
+                    Step::Method { name, args } => Step::Method {
+                        name: name.clone(),
+                        args: args.iter().map(|a| subst_expr(a, vars)).collect(),
+                    },
+                    other => other.clone(),
+                })
+                .collect(),
+        },
+        QExpr::SetLit(xs) => QExpr::SetLit(xs.iter().map(|x| subst_expr(x, vars)).collect()),
+        QExpr::ArrLit(xs) => QExpr::ArrLit(xs.iter().map(|x| subst_expr(x, vars)).collect()),
+        QExpr::TupLit(fs) => QExpr::TupLit(
+            fs.iter().map(|(n, v)| (n.clone(), subst_expr(v, vars))).collect(),
+        ),
+        QExpr::Binary { op, l, r } => QExpr::Binary {
+            op: *op,
+            l: Box::new(subst_expr(l, vars)),
+            r: Box::new(subst_expr(r, vars)),
+        },
+        QExpr::Neg(x) => QExpr::Neg(Box::new(subst_expr(x, vars))),
+        QExpr::Call { name, args } => QExpr::Call {
+            name: name.clone(),
+            args: args.iter().map(|a| subst_expr(a, vars)).collect(),
+        },
+        QExpr::Aggregate { func, arg, from, filter } => {
+            let mut inner = vars.clone();
+            for (v, _) in from {
+                inner.remove(v);
+            }
+            QExpr::Aggregate {
+                func: func.clone(),
+                arg: Box::new(subst_expr(arg, &inner)),
+                from: from.iter().map(|(v, s)| (v.clone(), subst_expr(s, vars))).collect(),
+                filter: filter.as_ref().map(|p| subst_pred(p, &inner)),
+            }
+        }
+        QExpr::SubRetrieve(r) => QExpr::SubRetrieve(Box::new(subst_retrieve(r, vars))),
+        other => other.clone(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse_statement;
+
+    fn one(vars: &[(&str, QExpr)], src: &str) -> Stmt {
+        let m: HashMap<String, QExpr> =
+            vars.iter().map(|(n, e)| (n.to_string(), e.clone())).collect();
+        subst_stmt(&parse_statement(src).unwrap(), &m)
+    }
+
+    #[test]
+    fn substitutes_in_targets_and_filters() {
+        let s = one(
+            &[("amt", QExpr::Int(5))],
+            "retrieve (x + amt) from x in N where x > amt",
+        );
+        let Stmt::Retrieve(r) = s else { panic!() };
+        assert!(format!("{:?}", r.targets[0].expr).contains("Int(5)"));
+        assert!(format!("{:?}", r.filter).contains("Int(5)"));
+    }
+
+    #[test]
+    fn from_variables_shadow_parameters() {
+        let s = one(
+            &[("x", QExpr::Int(9))],
+            "retrieve (x, y) from x in N, y in M where x = 1",
+        );
+        let Stmt::Retrieve(r) = s else { panic!() };
+        // The target `x` refers to the range variable, not the parameter.
+        assert!(matches!(&r.targets[0].expr, QExpr::Var(n) if n == "x"));
+    }
+
+    #[test]
+    fn aggregate_scopes_shadow_too() {
+        let s = one(
+            &[("x", QExpr::Int(9)), ("lim", QExpr::Int(3))],
+            "retrieve (count(x from x in N where x < lim))",
+        );
+        let Stmt::Retrieve(r) = s else { panic!() };
+        let d = format!("{:?}", r.targets[0].expr);
+        // x stayed a variable; lim became 3.
+        assert!(d.contains("Var(\"x\")"), "{d}");
+        assert!(d.contains("Int(3)"), "{d}");
+        assert!(!d.contains("Int(9)"), "{d}");
+    }
+
+    #[test]
+    fn updates_substitute_everywhere() {
+        let s = one(
+            &[("who", QExpr::Str("Ann".into())), ("amt", QExpr::Int(7))],
+            "replace Emps (salary: Emps.salary + amt) where Emps.name = who",
+        );
+        let d = format!("{s:?}");
+        assert!(d.contains("Int(7)") && d.contains("Str(\"Ann\")"), "{d}");
+    }
+}

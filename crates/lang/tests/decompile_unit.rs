@@ -1,0 +1,175 @@
+//! Decompiler unit tests: exact surface forms per operator, fresh-variable
+//! hygiene, and the documented non-decompilable corners.
+
+use excess_core::expr::{Bound, CmpOp, Expr, Func, Pred};
+use excess_lang::{decompile, decompile_into};
+use excess_types::{SchemaType, TypeRegistry, Value};
+
+fn reg() -> TypeRegistry {
+    let mut r = TypeRegistry::new();
+    r.define("T", SchemaType::tuple([("x", SchemaType::int4())])).unwrap();
+    r.define_with_supertypes(
+        "U",
+        SchemaType::tuple([("y", SchemaType::int4())]),
+        &["T"],
+    )
+    .unwrap();
+    r
+}
+
+#[test]
+fn leaf_and_literal_forms() {
+    let r = reg();
+    assert_eq!(decompile(&Expr::named("A"), &r).unwrap(), "A");
+    assert_eq!(decompile(&Expr::int(5), &r).unwrap(), "5");
+    assert_eq!(decompile(&Expr::lit(Value::float(2.5)), &r).unwrap(), "2.5");
+    assert_eq!(decompile(&Expr::lit(Value::str("a\"b")), &r).unwrap(), "\"a\\\"b\"");
+    assert_eq!(decompile(&Expr::lit(Value::bool(true)), &r).unwrap(), "true");
+    assert_eq!(decompile(&Expr::lit(Value::dne()), &r).unwrap(), "dne");
+    assert_eq!(decompile(&Expr::lit(Value::unk()), &r).unwrap(), "unk");
+    assert_eq!(
+        decompile(&Expr::lit(Value::date(excess_types::Date::new(1990, 12, 1).unwrap())), &r)
+            .unwrap(),
+        "date(1990, 12, 1)"
+    );
+    assert_eq!(
+        decompile(&Expr::lit(Value::tuple([("a", Value::int(1))])), &r).unwrap(),
+        "(a: 1)"
+    );
+    assert_eq!(
+        decompile(&Expr::lit(Value::Tuple(excess_types::Tuple::empty())), &r).unwrap(),
+        "()"
+    );
+}
+
+#[test]
+fn operator_surface_forms() {
+    let r = reg();
+    let a = Expr::named("A");
+    let b = Expr::named("B");
+    for (plan, expected) in [
+        (a.clone().add_union(b.clone()), "(A uplus B)"),
+        (a.clone().diff(b.clone()), "(A - B)"),
+        (Expr::Union(Box::new(a.clone()), Box::new(b.clone())), "(A union B)"),
+        (Expr::Intersect(Box::new(a.clone()), Box::new(b.clone())), "(A intersect B)"),
+        (a.clone().cross(b.clone()), "(A times B)"),
+        (a.clone().make_set(), "{ A }"),
+        (a.clone().make_arr(), "[ A ]"),
+        (a.clone().dup_elim(), "de(A)"),
+        (a.clone().set_collapse(), "collapse(A)"),
+        (a.clone().subarr(Bound::At(2), Bound::Last), "subarr(A, 2, last)"),
+        (
+            Expr::ArrExtract(Box::new(a.clone()), Bound::At(3)),
+            "arr_extract(A, 3)",
+        ),
+        (a.clone().arr_cat(b.clone()), "arr_cat(A, B)"),
+        (a.clone().deref(), "deref(A)"),
+        (a.clone().make_ref("T"), "mkref(A, T)"),
+        (a.clone().project(["x", "y"]), "project(A, x, y)"),
+        (a.clone().tup_cat(b.clone()), "tupcat(A, B)"),
+        (a.clone().extract("f"), "(A).f"),
+        (a.clone().make_tup("f"), "(f: A)"),
+        (Expr::call(Func::Min, vec![a.clone()]), "min(A)"),
+        (Expr::call(Func::Neg, vec![a.clone()]), "(- A)"),
+    ] {
+        assert_eq!(decompile(&plan, &r).unwrap(), expected, "for {plan}");
+    }
+}
+
+#[test]
+fn binder_forms_use_fresh_variables() {
+    let r = reg();
+    let plan = Expr::named("A").set_apply(
+        Expr::named("B").set_apply(Expr::call(
+            Func::Add,
+            vec![Expr::input(), Expr::input_at(1)],
+        )),
+    );
+    let s = decompile(&plan, &r).unwrap();
+    assert_eq!(
+        s,
+        "(retrieve ((retrieve ((x1 + x0)) from x1 in B)) from x0 in A)"
+    );
+}
+
+#[test]
+fn comp_uses_the_singleton_encoding() {
+    let r = reg();
+    let plan = Expr::int(5).comp(Pred::cmp(Expr::input(), CmpOp::Gt, Expr::int(3)));
+    assert_eq!(
+        decompile(&plan, &r).unwrap(),
+        "the((retrieve (x0) from x0 in { 5 } where x0 > 3))"
+    );
+}
+
+#[test]
+fn group_and_exact_forms() {
+    let r = reg();
+    let g = Expr::named("A").group_by(Expr::input());
+    assert_eq!(
+        decompile(&g, &r).unwrap(),
+        "(retrieve (x0) from x0 in A by x0)"
+    );
+    let filtered = Expr::named("A").set_apply_only(["T", "U"], Expr::input());
+    assert_eq!(
+        decompile(&filtered, &r).unwrap(),
+        "(retrieve (x0) from x0 in exact(A, T, U))"
+    );
+}
+
+#[test]
+fn switch_expands_through_coverage() {
+    let r = reg();
+    let sw = Expr::SetApplySwitch {
+        input: Box::new(Expr::named("A")),
+        table: vec![
+            ("T".into(), Expr::input().extract("x")),
+            ("U".into(), Expr::input().extract("y")),
+        ],
+    };
+    let s = decompile(&sw, &r).unwrap();
+    // T's arm covers exactly T (U overrides); U's covers U.
+    assert!(s.contains("exact(A, T)"), "{s}");
+    assert!(s.contains("exact(A, U)"), "{s}");
+    assert!(s.contains("uplus"), "{s}");
+}
+
+#[test]
+fn pred_connectives_and_membership() {
+    let r = reg();
+    let p = Pred::cmp(Expr::input(), CmpOp::In, Expr::named("B"))
+        .and(Pred::cmp(Expr::input(), CmpOp::Ne, Expr::int(0)).not());
+    let plan = Expr::named("A").select(p);
+    let s = decompile(&plan, &r).unwrap();
+    assert!(s.contains("x1 in B"), "{s}");
+    assert!(s.contains("and not ("), "{s}");
+}
+
+#[test]
+fn decompile_into_is_a_statement() {
+    let r = reg();
+    let s = decompile_into(&Expr::named("A").dup_elim(), &r, "Out").unwrap();
+    assert_eq!(s, "retrieve (de(A)) into Out");
+    // …which parses back as a retrieve with `into`.
+    let stmt = excess_lang::parse_statement(&s).unwrap();
+    assert!(matches!(
+        stmt,
+        excess_lang::ast::Stmt::Retrieve(excess_lang::ast::Retrieve { into: Some(_), .. })
+    ));
+}
+
+#[test]
+fn documented_failures() {
+    let r = reg();
+    // OID constants.
+    let oid = excess_types::Oid { minted: excess_types::TypeId(0), serial: 1 };
+    assert!(decompile(&Expr::lit(Value::Ref(oid)), &r).is_err());
+    // Primed field names.
+    assert!(decompile(&Expr::named("A").extract("x'"), &r).is_err());
+    // Free INPUT (an open term is not a query).
+    assert!(decompile(&Expr::input(), &r).is_err());
+    // Internal extent-view names.
+    assert!(decompile(&Expr::named("P::exact::T"), &r).is_err());
+    // Keyword-shaped object names.
+    assert!(decompile(&Expr::named("where"), &r).is_err());
+}

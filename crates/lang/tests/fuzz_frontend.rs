@@ -1,0 +1,88 @@
+//! Front-end robustness: the lexer and parser must return errors, never
+//! panic, on arbitrary input — including near-miss mutations of valid
+//! queries.
+
+use excess_lang::{lexer::lex, parse_program};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    #[test]
+    fn lexer_never_panics(s in "\\PC{0,120}") {
+        let _ = lex(&s);
+    }
+
+    #[test]
+    fn parser_never_panics(s in "\\PC{0,120}") {
+        let _ = parse_program(&s);
+    }
+
+    #[test]
+    fn parser_never_panics_on_query_shaped_soup(
+        words in prop::collection::vec(
+            prop_oneof![
+                Just("retrieve".to_string()),
+                Just("from".to_string()),
+                Just("where".to_string()),
+                Just("by".to_string()),
+                Just("unique".to_string()),
+                Just("in".to_string()),
+                Just("(".to_string()),
+                Just(")".to_string()),
+                Just("{".to_string()),
+                Just("}".to_string()),
+                Just("[".to_string()),
+                Just("]".to_string()),
+                Just(",".to_string()),
+                Just("=".to_string()),
+                Just(".".to_string()),
+                Just("x".to_string()),
+                Just("1".to_string()),
+                Just("\"s\"".to_string()),
+                Just("define".to_string()),
+                Just("type".to_string()),
+                Just("ref".to_string()),
+                Just("and".to_string()),
+                Just("not".to_string()),
+            ],
+            0..25
+        )
+    ) {
+        let src = words.join(" ");
+        let _ = parse_program(&src);
+    }
+
+    #[test]
+    fn valid_queries_with_one_token_deleted_never_panic(k in 0usize..40) {
+        let src = r#"retrieve unique ( S . dept . name , E . name ) by S . dept
+                     where S . advisor = E . name into Out"#;
+        let toks: Vec<&str> = src.split_whitespace().collect();
+        if k < toks.len() {
+            let mutated: Vec<&str> = toks
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| *i != k)
+                .map(|(_, t)| *t)
+                .collect();
+            let _ = parse_program(&mutated.join(" "));
+        }
+    }
+}
+
+#[test]
+fn deeply_nested_parens_fail_gracefully() {
+    // Moderate nesting parses; absurd nesting is rejected with an error
+    // (never a stack overflow — the parser carries a depth bound).
+    let nest = |n: usize| {
+        let mut src = String::from("retrieve (");
+        src.push_str(&"(".repeat(n));
+        src.push('1');
+        src.push_str(&")".repeat(n));
+        src.push(')');
+        src
+    };
+    assert!(parse_program(&nest(40)).is_ok());
+    let err = parse_program(&nest(5000)).unwrap_err();
+    assert!(err.to_string().contains("nesting"), "{err}");
+}

@@ -1,0 +1,273 @@
+//! Translator unit tests: variable resolution (explicit, `range of`,
+//! implicit path-prefix), shadowing, correlated aggregates, array
+//! semantics, method inlining, and error reporting.
+
+use excess_core::expr::Expr;
+use excess_lang::ast::Stmt;
+use excess_lang::methods::{MethodDef, MethodRegistry};
+use excess_lang::translate::{translate_retrieve, TranslateCtx};
+use excess_lang::{parse_program, parse_statement};
+use excess_types::{SchemaType, TypeRegistry};
+use std::collections::HashMap;
+
+struct Fx {
+    reg: TypeRegistry,
+    schemas: HashMap<String, SchemaType>,
+    ranges: HashMap<String, excess_lang::ast::QExpr>,
+    methods: MethodRegistry,
+}
+
+impl Fx {
+    fn new() -> Self {
+        let mut reg = TypeRegistry::new();
+        reg.define(
+            "Dept",
+            SchemaType::tuple([("dname", SchemaType::chars()), ("floor", SchemaType::int4())]),
+        )
+        .unwrap();
+        reg.define(
+            "Emp",
+            SchemaType::tuple([
+                ("name", SchemaType::chars()),
+                ("dept", SchemaType::reference("Dept")),
+                ("kids", SchemaType::set(SchemaType::tuple([(
+                    "kname",
+                    SchemaType::chars(),
+                )]))),
+            ]),
+        )
+        .unwrap();
+        let mut schemas = HashMap::new();
+        schemas.insert("Emps".to_string(), SchemaType::set(SchemaType::named("Emp")));
+        schemas.insert("Nums".to_string(), SchemaType::set(SchemaType::int4()));
+        schemas.insert("Arr".to_string(), SchemaType::array(SchemaType::int4()));
+        Fx { reg, schemas, ranges: HashMap::new(), methods: MethodRegistry::new() }
+    }
+
+    fn tx(&self, src: &str) -> Result<Expr, excess_lang::LangError> {
+        let stmts = parse_program(src)?;
+        let mut ranges = self.ranges.clone();
+        let mut last = None;
+        for s in stmts {
+            match s {
+                Stmt::RangeDecl { var, source } => {
+                    ranges.insert(var, source);
+                }
+                Stmt::Retrieve(r) => last = Some(r),
+                other => panic!("unsupported in fixture: {other:?}"),
+            }
+        }
+        let tc = TranslateCtx {
+            registry: &self.reg,
+            schemas: &self.schemas,
+            ranges: &ranges,
+            methods: &self.methods,
+            this_type: None,
+            params: vec![],
+        };
+        Ok(translate_retrieve(&last.expect("retrieve"), &tc)?.0)
+    }
+}
+
+#[test]
+fn zero_variable_retrieve_is_the_bare_value() {
+    let fx = Fx::new();
+    let e = fx.tx("retrieve (1 + 2)").unwrap();
+    assert_eq!(e.to_string(), "add(1, 2)");
+    // The proof's base case: retrieve (R) denotes R itself.
+    let r = fx.tx("retrieve (Nums)").unwrap();
+    assert_eq!(r, Expr::named("Nums"));
+}
+
+#[test]
+fn explicit_from_becomes_one_set_apply() {
+    let fx = Fx::new();
+    let e = fx.tx("retrieve (x) from x in Nums").unwrap();
+    assert_eq!(e, Expr::named("Nums").set_apply(Expr::input()));
+}
+
+#[test]
+fn implicit_variable_shared_across_clauses() {
+    // `Emps.name` in the target and `Emps.dept` in the filter must bind
+    // ONE variable (the Figure 4 correlation) — a single SET_APPLY.
+    let fx = Fx::new();
+    let e = fx
+        .tx(r#"retrieve (Emps.name) where Emps.dept.floor = 2"#)
+        .unwrap();
+    let s = e.to_string();
+    assert_eq!(s.matches("SET_APPLY").count(), 1, "{s}");
+    assert_eq!(s.matches("Emps").count(), 1, "{s}");
+}
+
+#[test]
+fn range_of_instantiates_lazily_and_orders_dependencies() {
+    let fx = Fx::new();
+    // C's source references E (declared by range-of); E's binder must end
+    // up OUTSIDE C's despite being created later.
+    let e = fx
+        .tx(
+            r#"range of E is Emps
+               retrieve (C.kname) from C in E.kids where E.name = "a""#,
+        )
+        .unwrap();
+    let s = e.to_string();
+    // Outer scan over Emps, inner over kids, flattened once.
+    assert_eq!(s.matches("SET_COLLAPSE").count(), 1, "{s}");
+    assert!(s.starts_with("SET_COLLAPSE(SET_APPLY["), "{s}");
+    assert!(s.contains("Emps"), "{s}");
+}
+
+#[test]
+fn aggregate_scopes_are_independent() {
+    // The aggregate's E is its own variable, correlated to the outer EMP
+    // by the where clause.
+    let fx = Fx::new();
+    let e = fx
+        .tx(
+            r#"range of EMP is Emps
+               retrieve (EMP.name, count(E.kids from E in Emps
+                         where E.dept.floor = EMP.dept.floor))"#,
+        )
+        .unwrap();
+    let s = e.to_string();
+    // Outer scan + inner aggregate scan of the same object.
+    assert_eq!(s.matches("Emps").count(), 2, "{s}");
+    assert!(s.contains("count("), "{s}");
+    // The correlation reaches the outer binder: INPUT^1 appears.
+    assert!(s.contains("INPUT^1"), "{s}");
+}
+
+#[test]
+fn shadowing_inner_variable_wins() {
+    let fx = Fx::new();
+    // The aggregate redeclares x over Emps; inner x.name must refer to the
+    // aggregate's x (an Emp), not the outer x (an int from Nums).
+    let e = fx
+        .tx(
+            r#"retrieve (count(x.name from x in Emps))
+               from x in Nums"#,
+        )
+        .unwrap();
+    // If shadowing failed, navigation of `.name` on an int would error.
+    let s = e.to_string();
+    assert!(s.contains("count("), "{s}");
+}
+
+#[test]
+fn single_array_source_is_order_preserving() {
+    let fx = Fx::new();
+    let e = fx.tx("retrieve (x + 1) from x in Arr where x > 2").unwrap();
+    let s = e.to_string();
+    assert!(s.starts_with("ARR_APPLY["), "{s}");
+    // unique over an array → ARR_DE.
+    let u = fx.tx("retrieve unique (x) from x in Arr").unwrap();
+    assert!(u.to_string().starts_with("ARR_DE("), "{}", u);
+}
+
+#[test]
+fn arrays_cannot_be_grouped_or_mixed() {
+    let fx = Fx::new();
+    assert!(fx.tx("retrieve (x) from x in Arr by x").is_err());
+    assert!(fx.tx("retrieve (x, y) from x in Arr, y in Nums").is_err());
+}
+
+#[test]
+fn by_clause_builds_the_grp_pipeline() {
+    let fx = Fx::new();
+    let e = fx
+        .tx("retrieve (E.name) by E.dept.floor from E in Emps")
+        .unwrap();
+    let s = e.to_string();
+    assert_eq!(s.matches("GRP[").count(), 1, "{s}");
+    // Combination tuples are keyed by the variable name.
+    assert!(s.contains("TUP[E]"), "{s}");
+}
+
+#[test]
+fn method_inlining_substitutes_receiver_and_args() {
+    let mut fx = Fx::new();
+    fx.methods
+        .define(MethodDef {
+            owner: "Emp".into(),
+            name: "kid_count".into(),
+            params: vec![],
+            returns: SchemaType::int4(),
+            body: Expr::call(
+                excess_core::expr::Func::Count,
+                vec![Expr::input().extract("kids")],
+            ),
+        })
+        .unwrap();
+    let e = fx.tx("retrieve (E.kid_count()) from E in Emps").unwrap();
+    let s = e.to_string();
+    // Inlined: no dispatch machinery, just the body applied to the binder.
+    assert!(!s.contains("SWITCH"), "{s}");
+    assert!(s.contains("count(TUP_EXTRACT[kids](INPUT))"), "{s}");
+}
+
+#[test]
+fn wrong_method_arity_is_reported() {
+    let mut fx = Fx::new();
+    fx.methods
+        .define(MethodDef {
+            owner: "Emp".into(),
+            name: "f".into(),
+            params: vec![("k".into(), SchemaType::int4())],
+            returns: SchemaType::int4(),
+            body: Expr::int(0),
+        })
+        .unwrap();
+    let err = fx.tx("retrieve (E.f()) from E in Emps").unwrap_err();
+    assert!(err.to_string().contains("takes 1 arguments"), "{err}");
+}
+
+#[test]
+fn unknown_names_fields_and_functions_error_cleanly() {
+    let fx = Fx::new();
+    for (src, needle) in [
+        ("retrieve (Nope)", "unknown name"),
+        ("retrieve (E.bogus) from E in Emps", "no field or method"),
+        ("retrieve (frobnicate(1))", "unknown function"),
+        ("retrieve (x) from x in 1", "must range over"),
+        ("retrieve (x, x) from x in Nums, x in Nums", "duplicate range variable"),
+    ] {
+        let err = fx.tx(src).unwrap_err();
+        assert!(err.to_string().contains(needle), "{src}: {err}");
+    }
+}
+
+#[test]
+fn or_lowers_to_not_and_not() {
+    let fx = Fx::new();
+    let e = fx.tx("retrieve (x) from x in Nums where x = 1 or x = 2").unwrap();
+    let s = e.to_string();
+    assert!(s.contains("¬((¬(") || s.contains("¬("), "{s}");
+}
+
+#[test]
+fn labeled_targets_and_clash_priming() {
+    let fx = Fx::new();
+    let e = fx
+        .tx("retrieve (a = x, a = x + 1) from x in Nums")
+        .unwrap();
+    let s = e.to_string();
+    assert!(s.contains("TUP[a]"), "{s}");
+    assert!(s.contains("TUP[a']"), "{s}");
+    // Single labeled target still produces a 1-tuple (not a bare value).
+    let one = fx.tx("retrieve (lbl = x) from x in Nums").unwrap();
+    assert!(one.to_string().contains("TUP[lbl]"), "{one}");
+}
+
+#[test]
+fn parse_statement_round_trips_replace() {
+    let s = parse_statement(r#"replace Depts (floor: Depts.floor + 1) where Depts.floor = 3"#)
+        .unwrap();
+    match s {
+        Stmt::Replace { target, fields, filter } => {
+            assert_eq!(target, "Depts");
+            assert_eq!(fields.len(), 1);
+            assert!(filter.is_some());
+        }
+        other => panic!("unexpected: {other:?}"),
+    }
+}

@@ -1,0 +1,433 @@
+//! The cost model: maps an algebra expression to (estimated rows, distinct
+//! values, total work).
+//!
+//! Costs are abstract work units chosen to mirror the evaluator's counters
+//! (`excess_core::Counters`): one unit per occurrence scanned or compared,
+//! [`DEREF_COST`] per dereference, [`MINT_COST`] per object creation,
+//! [`TYPE_TEST_COST`] per run-time exact-type test (the Section 4 dispatch
+//! costs).  Absolute values are meaningless; the optimizer only compares
+//! plans.
+
+use crate::stats::Statistics;
+use excess_core::expr::{Expr, Func, Pred};
+use excess_types::Value;
+
+/// Work units per DEREF (pointer chase + copy).
+pub const DEREF_COST: f64 = 2.0;
+/// Work units per REF (allocation + domain check).
+pub const MINT_COST: f64 = 5.0;
+/// Work units per run-time exact-type determination (shape match or store
+/// lookup) — paid per element by `only_types` filters and switch dispatch.
+pub const TYPE_TEST_COST: f64 = 1.0;
+/// Extra per-element overhead of the switch table itself.
+pub const SWITCH_COST: f64 = 0.5;
+
+/// A per-expression estimate.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Estimate {
+    /// Expected number of occurrences (1 for non-collections).
+    pub rows: f64,
+    /// Expected number of distinct elements.
+    pub distinct: f64,
+    /// Total work to produce the value once.
+    pub cost: f64,
+}
+
+impl Estimate {
+    fn scalar(cost: f64) -> Estimate {
+        Estimate { rows: 1.0, distinct: 1.0, cost }
+    }
+}
+
+/// Estimate `e` under `stats`.  `env` carries estimates for binder
+/// elements (innermost last): an element's `rows` models the expected size
+/// of its nested collections.
+pub fn estimate(e: &Expr, env: &mut Vec<Estimate>, stats: &Statistics) -> Estimate {
+    match e {
+        Expr::Input(d) => {
+            let idx = env.len().checked_sub(1 + d);
+            idx.and_then(|i| env.get(i).copied()).unwrap_or(Estimate::scalar(0.0))
+        }
+        Expr::Named(n) => {
+            let o = stats.object(n);
+            Estimate { rows: o.rows, distinct: o.distinct, cost: o.rows }
+        }
+        Expr::Const(v) => {
+            let rows = match v {
+                Value::Set(s) => s.len() as f64,
+                Value::Array(a) => a.len() as f64,
+                _ => 1.0,
+            };
+            Estimate { rows, distinct: rows, cost: 0.0 }
+        }
+
+        Expr::AddUnion(a, b) | Expr::Union(a, b) => {
+            let (ea, eb) = (estimate(a, env, stats), estimate(b, env, stats));
+            Estimate {
+                rows: ea.rows + eb.rows,
+                distinct: (ea.distinct + eb.distinct) * 0.75,
+                cost: ea.cost + eb.cost + ea.rows + eb.rows,
+            }
+        }
+        Expr::Diff(a, b) | Expr::Intersect(a, b) => {
+            let (ea, eb) = (estimate(a, env, stats), estimate(b, env, stats));
+            Estimate {
+                rows: (ea.rows * 0.5).max(1.0),
+                distinct: (ea.distinct * 0.5).max(1.0),
+                cost: ea.cost + eb.cost + ea.rows + eb.rows,
+            }
+        }
+        Expr::MakeSet(a) | Expr::MakeArr(a) => {
+            let ea = estimate(a, env, stats);
+            Estimate { rows: 1.0, distinct: 1.0, cost: ea.cost }
+        }
+        Expr::SetApply { input, body, only_types } => {
+            let ein = estimate(input, env, stats);
+            let elem = element_estimate(input, &ein, env, stats);
+            env.push(elem);
+            let eb = estimate(body, env, stats);
+            env.pop();
+            let (frac, filter_cost) = match only_types {
+                Some(ts) => {
+                    let f: f64 = ts.iter().map(|t| stats.type_fraction(t)).sum::<f64>().min(1.0);
+                    (f, TYPE_TEST_COST)
+                }
+                None => (1.0, 0.0),
+            };
+            let selectivity = body_selectivity(body, stats);
+            // Projection-like bodies collapse distinctness (the classical
+            // column-cardinality heuristic): π/TUP_EXTRACT keep only part
+            // of each element, so many inputs map to one output.
+            let distinct_factor = if body_is_projection(body) { 0.1 } else { 1.0 };
+            Estimate {
+                rows: ein.rows * frac * selectivity,
+                distinct: (ein.distinct * frac * selectivity * distinct_factor).max(1.0),
+                cost: ein.cost + ein.rows * filter_cost + ein.rows * frac * (1.0 + eb.cost),
+            }
+        }
+        Expr::SetApplySwitch { input, table } => {
+            let ein = estimate(input, env, stats);
+            let elem = element_estimate(input, &ein, env, stats);
+            env.push(elem);
+            let avg_body: f64 = if table.is_empty() {
+                0.0
+            } else {
+                table.iter().map(|(_, b)| estimate(b, env, stats).cost).sum::<f64>()
+                    / table.len() as f64
+            };
+            env.pop();
+            Estimate {
+                rows: ein.rows,
+                distinct: ein.distinct,
+                cost: ein.cost
+                    + ein.rows * (TYPE_TEST_COST + SWITCH_COST)
+                    + ein.rows * (1.0 + avg_body),
+            }
+        }
+        Expr::Group { input, by } => {
+            let ein = estimate(input, env, stats);
+            let elem = element_estimate(input, &ein, env, stats);
+            env.push(elem);
+            let eby = estimate(by, env, stats);
+            env.pop();
+            // Groups ≈ distinct grouping keys; assume a quarter of the
+            // distinct elements share a key absent better information.
+            let groups = (ein.distinct * 0.25).max(1.0);
+            Estimate {
+                rows: groups,
+                distinct: groups,
+                cost: ein.cost + ein.rows * (1.0 + eby.cost),
+            }
+        }
+        Expr::DupElim(a) => {
+            let ea = estimate(a, env, stats);
+            Estimate { rows: ea.distinct, distinct: ea.distinct, cost: ea.cost + ea.rows }
+        }
+        Expr::Cross(a, b) | Expr::RelCross(a, b) => {
+            let (ea, eb) = (estimate(a, env, stats), estimate(b, env, stats));
+            let rows = ea.rows * eb.rows;
+            Estimate {
+                rows,
+                distinct: ea.distinct * eb.distinct,
+                cost: ea.cost + eb.cost + rows,
+            }
+        }
+        Expr::RelJoin { left, right, pred } => {
+            let (ea, eb) = (estimate(left, env, stats), estimate(right, env, stats));
+            env.push(Estimate::scalar(0.0));
+            let pc = pred_cost(pred, env, stats);
+            env.pop();
+            let pairs = ea.rows * eb.rows;
+            let rows = (pairs * stats.default_selectivity).max(1.0);
+            Estimate {
+                rows,
+                distinct: rows,
+                cost: ea.cost + eb.cost + pairs * (1.0 + pc),
+            }
+        }
+        Expr::SetCollapse(a) => {
+            let ea = estimate(a, env, stats);
+            let rows = ea.rows * stats.default_avg_nested;
+            Estimate { rows, distinct: rows * 0.5, cost: ea.cost + rows }
+        }
+
+        Expr::Select { input, pred } => {
+            let ein = estimate(input, env, stats);
+            let elem = element_estimate(input, &ein, env, stats);
+            env.push(elem);
+            let pc = pred_cost(pred, env, stats);
+            env.pop();
+            let rows = (ein.rows * stats.default_selectivity).max(1.0);
+            Estimate {
+                rows,
+                distinct: (ein.distinct * stats.default_selectivity).max(1.0),
+                cost: ein.cost + ein.rows * (1.0 + pc),
+            }
+        }
+        Expr::ArrSelect { input, pred } => {
+            let ein = estimate(input, env, stats);
+            env.push(Estimate::scalar(0.0));
+            let pc = pred_cost(pred, env, stats);
+            env.pop();
+            Estimate {
+                rows: (ein.rows * stats.default_selectivity).max(1.0),
+                distinct: (ein.distinct * stats.default_selectivity).max(1.0),
+                cost: ein.cost + ein.rows * (1.0 + pc),
+            }
+        }
+
+        Expr::Project(a, _) | Expr::MakeTup(a, _) => {
+            let ea = estimate(a, env, stats);
+            Estimate { rows: 1.0, distinct: 1.0, cost: ea.cost + 0.5 }
+        }
+        Expr::TupCat(a, b) => {
+            let (ea, eb) = (estimate(a, env, stats), estimate(b, env, stats));
+            Estimate { rows: 1.0, distinct: 1.0, cost: ea.cost + eb.cost + 0.5 }
+        }
+        Expr::TupExtract(a, _) => {
+            let ea = estimate(a, env, stats);
+            // Extracting a (possibly nested-collection) field: its expected
+            // size is the context's avg_nested.
+            Estimate {
+                rows: stats.default_avg_nested,
+                distinct: stats.default_avg_nested,
+                cost: ea.cost + 0.25,
+            }
+        }
+
+        Expr::ArrExtract(a, _) => {
+            let ea = estimate(a, env, stats);
+            Estimate { rows: 1.0, distinct: 1.0, cost: ea.cost + 0.25 }
+        }
+        Expr::ArrApply { input, body } => {
+            let ein = estimate(input, env, stats);
+            let elem = element_estimate(input, &ein, env, stats);
+            env.push(elem);
+            let eb = estimate(body, env, stats);
+            env.pop();
+            Estimate {
+                rows: ein.rows,
+                distinct: ein.distinct,
+                cost: ein.cost + ein.rows * (1.0 + eb.cost),
+            }
+        }
+        Expr::SubArr(a, _, _) => {
+            let ea = estimate(a, env, stats);
+            Estimate { rows: (ea.rows * 0.5).max(1.0), distinct: ea.distinct, cost: ea.cost + ea.rows * 0.5 }
+        }
+        Expr::ArrCat(a, b) => {
+            let (ea, eb) = (estimate(a, env, stats), estimate(b, env, stats));
+            Estimate {
+                rows: ea.rows + eb.rows,
+                distinct: ea.distinct + eb.distinct,
+                cost: ea.cost + eb.cost + ea.rows + eb.rows,
+            }
+        }
+        Expr::ArrCollapse(a) => {
+            let ea = estimate(a, env, stats);
+            let rows = ea.rows * stats.default_avg_nested;
+            Estimate { rows, distinct: rows * 0.5, cost: ea.cost + rows }
+        }
+        Expr::ArrDiff(a, b) => {
+            let (ea, eb) = (estimate(a, env, stats), estimate(b, env, stats));
+            Estimate { rows: ea.rows, distinct: ea.distinct, cost: ea.cost + eb.cost + ea.rows + eb.rows }
+        }
+        Expr::ArrDupElim(a) => {
+            let ea = estimate(a, env, stats);
+            Estimate { rows: ea.distinct, distinct: ea.distinct, cost: ea.cost + ea.rows }
+        }
+        Expr::ArrCross(a, b) => {
+            let (ea, eb) = (estimate(a, env, stats), estimate(b, env, stats));
+            let rows = ea.rows * eb.rows;
+            Estimate { rows, distinct: rows, cost: ea.cost + eb.cost + rows }
+        }
+
+        Expr::MakeRef(a, _) => {
+            let ea = estimate(a, env, stats);
+            Estimate { rows: 1.0, distinct: 1.0, cost: ea.cost + MINT_COST }
+        }
+        Expr::Deref(a) => {
+            let ea = estimate(a, env, stats);
+            Estimate { rows: 1.0, distinct: 1.0, cost: ea.cost + DEREF_COST }
+        }
+
+        Expr::Comp { input, pred } => {
+            let ein = estimate(input, env, stats);
+            env.push(ein);
+            let pc = pred_cost(pred, env, stats);
+            env.pop();
+            Estimate { rows: ein.rows, distinct: ein.distinct, cost: ein.cost + pc }
+        }
+
+        Expr::Call(f, args) => {
+            let mut cost = 0.0;
+            let mut arg0 = Estimate::scalar(0.0);
+            for (i, a) in args.iter().enumerate() {
+                let ea = estimate(a, env, stats);
+                if i == 0 {
+                    arg0 = ea;
+                }
+                cost += ea.cost;
+            }
+            match f {
+                Func::Min | Func::Max | Func::Count | Func::Sum | Func::Avg | Func::The => {
+                    Estimate::scalar(cost + arg0.rows)
+                }
+                _ => Estimate::scalar(cost + 0.25),
+            }
+        }
+    }
+}
+
+/// Estimate for one element of a collection.  Structure-aware where it
+/// matters: elements of a `GRP` output are themselves multisets whose
+/// expected size is `|input| / #groups` (this is what makes "push σ ahead
+/// of GRP" correctly appear cheaper — the per-group σ still scans every
+/// member).  Otherwise nested collections get the configured average size.
+fn element_estimate(
+    input: &Expr,
+    ein: &Estimate,
+    env: &mut Vec<Estimate>,
+    stats: &Statistics,
+) -> Estimate {
+    // Peel wrappers that preserve (roughly) the element structure.
+    let mut cur = input;
+    loop {
+        match cur {
+            Expr::DupElim(i) | Expr::SetCollapse(i) => cur = i,
+            Expr::Select { input: i, .. } => cur = i,
+            Expr::SetApply { input: i, .. } => cur = i,
+            _ => break,
+        }
+    }
+    if let Expr::Group { input: gi, .. } = cur {
+        let g_in = estimate(gi, env, stats);
+        let members = (g_in.rows / ein.rows.max(1.0)).max(1.0);
+        return Estimate { rows: members, distinct: members, cost: 0.0 };
+    }
+    Estimate { rows: stats.default_avg_nested, distinct: stats.default_avg_nested, cost: 0.0 }
+}
+
+/// Does the body act as a filter (COMP at its spine)?  If so, SET_APPLY
+/// output shrinks by the default selectivity.
+fn body_selectivity(body: &Expr, stats: &Statistics) -> f64 {
+    fn has_comp_spine(e: &Expr) -> bool {
+        match e {
+            Expr::Comp { .. } => true,
+            Expr::Project(a, _) | Expr::TupExtract(a, _) | Expr::Deref(a) => has_comp_spine(a),
+            Expr::SetApply { input, .. } => has_comp_spine(input),
+            _ => false,
+        }
+    }
+    if has_comp_spine(body) {
+        stats.default_selectivity
+    } else {
+        1.0
+    }
+}
+
+/// Is the body a pure projection chain (π / TUP_EXTRACT / TUP over the
+/// element), i.e. guaranteed to be non-injective in general?
+fn body_is_projection(body: &Expr) -> bool {
+    match body {
+        Expr::Project(a, _) | Expr::TupExtract(a, _) | Expr::MakeTup(a, _) => {
+            matches!(**a, Expr::Input(_)) || body_is_projection(a)
+        }
+        Expr::TupCat(a, b) => body_is_projection(a) && body_is_projection(b),
+        _ => false,
+    }
+}
+
+fn pred_cost(p: &Pred, env: &mut Vec<Estimate>, stats: &Statistics) -> f64 {
+    match p {
+        Pred::Cmp(l, _, r) => {
+            1.0 + estimate(l, env, stats).cost + estimate(r, env, stats).cost
+        }
+        Pred::And(a, b) => pred_cost(a, env, stats) + pred_cost(b, env, stats),
+        Pred::Not(q) => pred_cost(q, env, stats),
+    }
+}
+
+/// Total estimated cost of a closed expression.
+pub fn cost_of(e: &Expr, stats: &Statistics) -> f64 {
+    let mut env = Vec::new();
+    estimate(e, &mut env, stats).cost
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use excess_core::expr::{CmpOp, Expr, Pred};
+
+    fn stats() -> Statistics {
+        let mut s = Statistics::new();
+        s.set_object("S", 1000.0, 100.0, 8.0);
+        s.set_object("E", 2000.0, 2000.0, 8.0);
+        s
+    }
+
+    #[test]
+    fn de_early_is_cheaper_with_high_duplication() {
+        // DE(SET_APPLY(S)) vs DE(SET_APPLY(DE(S))): with dup factor 10 the
+        // second plan's SET_APPLY runs over 100 rows instead of 1000.
+        let s = stats();
+        let body = Expr::input().extract("name");
+        let late = Expr::named("S").set_apply(body.clone()).dup_elim();
+        let early = Expr::named("S").dup_elim().set_apply(body).dup_elim();
+        assert!(cost_of(&early, &s) < cost_of(&late, &s));
+    }
+
+    #[test]
+    fn select_before_group_is_cheaper() {
+        let s = stats();
+        let pred = Pred::cmp(Expr::input().extract("floor"), CmpOp::Eq, Expr::int(5));
+        let by = Expr::input().extract("div");
+        // GRP then per-group σ (plus the compensation) vs σ then GRP.
+        let late = Expr::named("S")
+            .group_by(by.clone())
+            .set_apply(Expr::Select { input: Box::new(Expr::input()), pred: pred.clone() });
+        let early = Expr::named("S").select(pred).group_by(by);
+        assert!(cost_of(&early, &s) < cost_of(&late, &s));
+    }
+
+    #[test]
+    fn join_cost_dominated_by_pair_count() {
+        let s = stats();
+        let pred = Pred::eq(Expr::input().extract("a"), Expr::input().extract("b"));
+        let j = Expr::named("S").rel_join(Expr::named("E"), pred);
+        // 1000 × 2000 pairs dominate the 3000 scan cost.
+        assert!(cost_of(&j, &s) > 2_000_000.0);
+    }
+
+    #[test]
+    fn switch_dispatch_charges_type_tests() {
+        let s = stats();
+        let arm = Expr::input().extract("name");
+        let switch = Expr::SetApplySwitch {
+            input: Box::new(Expr::named("S")),
+            table: vec![("Person".into(), arm.clone())],
+        };
+        let plain = Expr::named("S").set_apply(arm);
+        assert!(cost_of(&switch, &s) > cost_of(&plain, &s));
+    }
+}

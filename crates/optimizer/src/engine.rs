@@ -1,0 +1,382 @@
+//! The rewrite engine: exhaustive exploration with a seen-set, plus a
+//! greedy heuristic pass.
+//!
+//! "The many-sortedness ensures that only a subset of the operators (and
+//! thus of the transformation rules) will be applicable at any point during
+//! query optimization" (Section 3.2) — rules here self-select by pattern
+//! matching, which realises the same pruning: a rule over multisets simply
+//! fails to match an array node.
+
+use crate::cost::cost_of;
+use crate::rule::{Rule, RuleCtx};
+use crate::stats::Statistics;
+use excess_core::expr::Expr;
+use std::collections::HashSet;
+
+/// Engine configuration.
+pub struct Optimizer {
+    rules: Vec<Box<dyn Rule>>,
+    /// Allow rules that are only sound modulo object identity (rule 28's
+    /// `REF(DEREF(A)) → A`).
+    pub allow_modulo_identity: bool,
+    /// Allow rules stated for null-free data (the paper's own stance).
+    pub allow_null_sensitive: bool,
+    /// Exploration budget: maximum number of distinct plans enumerated.
+    pub max_plans: usize,
+}
+
+impl Optimizer {
+    /// The full catalogue with default settings.
+    pub fn standard() -> Self {
+        Optimizer {
+            rules: crate::rules::all(),
+            allow_modulo_identity: true,
+            allow_null_sensitive: true,
+            max_plans: 512,
+        }
+    }
+
+    /// An engine with a chosen rule set.
+    pub fn with_rules(rules: Vec<Box<dyn Rule>>) -> Self {
+        Optimizer {
+            rules,
+            allow_modulo_identity: true,
+            allow_null_sensitive: true,
+            max_plans: 512,
+        }
+    }
+
+    fn rule_enabled(&self, r: &dyn Rule) -> bool {
+        (self.allow_modulo_identity || !r.modulo_identity())
+            && (self.allow_null_sensitive || !r.assumes_null_free())
+    }
+
+    /// Single-step rewrites of `e` (at every position), tagged with the
+    /// rule that produced each.
+    pub fn neighbors(&self, e: &Expr, ctx: &RuleCtx<'_>) -> Vec<(&'static str, Expr)> {
+        let mut out = Vec::new();
+        self.collect(e, ctx, &mut |rule, rewritten| out.push((rule, rewritten)));
+        out
+    }
+
+    fn collect(
+        &self,
+        e: &Expr,
+        ctx: &RuleCtx<'_>,
+        sink: &mut dyn FnMut(&'static str, Expr),
+    ) {
+        for r in &self.rules {
+            if !self.rule_enabled(r.as_ref()) {
+                continue;
+            }
+            for alt in r.apply(e, ctx) {
+                sink(r.name(), alt);
+            }
+        }
+        for (n, child) in e.children().into_iter().enumerate() {
+            let mut child_alts: Vec<(&'static str, Expr)> = Vec::new();
+            self.collect(child, ctx, &mut |rule, alt| child_alts.push((rule, alt)));
+            for (rule, alt) in child_alts {
+                sink(rule, replace_nth_child(e, n, &alt));
+            }
+        }
+    }
+
+    /// Enumerate the plan space reachable from `e` (breadth-first, bounded
+    /// by `max_plans`), including `e` itself.
+    pub fn explore(&self, e: &Expr, ctx: &RuleCtx<'_>) -> Vec<Expr> {
+        let mut seen: HashSet<Expr> = HashSet::new();
+        let mut queue: Vec<Expr> = vec![e.clone()];
+        seen.insert(e.clone());
+        let mut i = 0;
+        while i < queue.len() && seen.len() < self.max_plans {
+            let cur = queue[i].clone();
+            i += 1;
+            for (_, alt) in self.neighbors(&cur, ctx) {
+                if seen.len() >= self.max_plans {
+                    break;
+                }
+                if seen.insert(alt.clone()) {
+                    queue.push(alt);
+                }
+            }
+        }
+        queue
+    }
+
+    /// Exhaustively explore and return the cheapest plan under `stats`
+    /// (ties broken toward the original).
+    pub fn optimize(&self, e: &Expr, ctx: &RuleCtx<'_>, stats: &Statistics) -> Optimized {
+        let plans = self.explore(e, ctx);
+        let explored = plans.len();
+        let mut best = e.clone();
+        let mut best_cost = cost_of(e, stats);
+        for p in plans {
+            let c = cost_of(&p, stats);
+            if c < best_cost {
+                best_cost = c;
+                best = p;
+            }
+        }
+        Optimized { plan: best, cost: best_cost, explored }
+    }
+
+    /// Greedy hill-climbing: repeatedly take the single best cost-improving
+    /// neighbor until none improves.  Much cheaper than [`Self::optimize`]
+    /// and sufficient for the always-beneficial heuristics ("some of the
+    /// trees are obtained using heuristics that are always beneficial",
+    /// Section 5).
+    pub fn optimize_greedy(&self, e: &Expr, ctx: &RuleCtx<'_>, stats: &Statistics) -> Optimized {
+        let mut cur = e.clone();
+        let mut cur_cost = cost_of(&cur, stats);
+        let mut explored = 1;
+        loop {
+            let mut improved = false;
+            for (_, alt) in self.neighbors(&cur, ctx) {
+                explored += 1;
+                let c = cost_of(&alt, stats);
+                if c < cur_cost {
+                    cur = alt;
+                    cur_cost = c;
+                    improved = true;
+                    break;
+                }
+            }
+            if !improved {
+                return Optimized { plan: cur, cost: cur_cost, explored };
+            }
+        }
+    }
+}
+
+/// The result of an optimization run.
+#[derive(Debug, Clone)]
+pub struct Optimized {
+    /// The chosen plan.
+    pub plan: Expr,
+    /// Its estimated cost.
+    pub cost: f64,
+    /// Number of plans (or neighbor evaluations, for greedy) examined.
+    pub explored: usize,
+}
+
+/// One step of a traced greedy run.
+#[derive(Debug, Clone)]
+pub struct TraceStep {
+    /// The rule that fired.
+    pub rule: &'static str,
+    /// Estimated cost before the step.
+    pub cost_before: f64,
+    /// Estimated cost after the step.
+    pub cost_after: f64,
+    /// The plan after the step.
+    pub plan: Expr,
+}
+
+impl Optimizer {
+    /// [`Optimizer::optimize_greedy`] with a per-step trace — which rule
+    /// fired, and how much estimated cost it removed.  This is the
+    /// instrumentation the paper's Section 6 asks for when studying which
+    /// operators are "amenable to optimization".
+    pub fn optimize_greedy_traced(
+        &self,
+        e: &Expr,
+        ctx: &RuleCtx<'_>,
+        stats: &Statistics,
+    ) -> (Optimized, Vec<TraceStep>) {
+        let mut cur = e.clone();
+        let mut cur_cost = cost_of(&cur, stats);
+        let mut explored = 1;
+        let mut trace = Vec::new();
+        loop {
+            let mut improved = false;
+            for (rule, alt) in self.neighbors(&cur, ctx) {
+                explored += 1;
+                let c = cost_of(&alt, stats);
+                if c < cur_cost {
+                    trace.push(TraceStep {
+                        rule,
+                        cost_before: cur_cost,
+                        cost_after: c,
+                        plan: alt.clone(),
+                    });
+                    cur = alt;
+                    cur_cost = c;
+                    improved = true;
+                    break;
+                }
+            }
+            if !improved {
+                return (Optimized { plan: cur, cost: cur_cost, explored }, trace);
+            }
+        }
+    }
+}
+
+/// Rebuild `e` with its `n`-th child (in [`Expr::children`] order) replaced.
+pub fn replace_nth_child(e: &Expr, n: usize, new: &Expr) -> Expr {
+    let mut i = 0usize;
+    e.map_children(&mut |c| {
+        let r = if i == n { new.clone() } else { c.clone() };
+        i += 1;
+        r
+    })
+}
+
+/// Rewrite Section 4 type-filtered scans to use per-type extent indexes
+/// where `stats` says one exists:
+/// `SET_APPLY[T1/…;E](Named(P))` → `SET_APPLY[E](Named("P::exact::T1") ⊎ …)`
+/// — the "need to scan P three times … disappears" move.  The catalog
+/// (in `excess-db`) maintains the `P::exact::T` virtual objects.
+pub fn apply_extent_indexes(e: &Expr, stats: &Statistics) -> Expr {
+    let rebuilt = e.map_children(&mut |c| apply_extent_indexes(c, stats));
+    if let Expr::SetApply { input, body, only_types: Some(ts) } = &rebuilt {
+        if let Expr::Named(obj) = &**input {
+            if !ts.is_empty() && ts.iter().all(|t| stats.has_extent_index(obj, t)) {
+                let mut parts = ts.iter().map(|t| Expr::named(format!("{obj}::exact::{t}")));
+                let first = parts.next().expect("non-empty");
+                let unioned = parts.fold(first, |acc, p| acc.add_union(p));
+                return Expr::SetApply {
+                    input: Box::new(unioned),
+                    body: body.clone(),
+                    only_types: None,
+                };
+            }
+        }
+    }
+    rebuilt
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use excess_core::expr::Pred;
+    use excess_core::infer::SchemaCatalog;
+    use excess_types::{SchemaType, TypeRegistry};
+    use std::collections::HashMap;
+
+    fn ctx_fixtures() -> (TypeRegistry, HashMap<String, SchemaType>) {
+        let mut reg = TypeRegistry::new();
+        reg.define(
+            "Emp",
+            SchemaType::tuple([("name", SchemaType::chars()), ("floor", SchemaType::int4())]),
+        )
+        .unwrap();
+        let mut schemas = HashMap::new();
+        schemas.insert("S".to_string(), SchemaType::set(SchemaType::named("Emp")));
+        (reg, schemas)
+    }
+
+    fn ctx<'a>(
+        reg: &'a TypeRegistry,
+        schemas: &'a HashMap<String, SchemaType>,
+    ) -> RuleCtx<'a> {
+        RuleCtx { registry: reg, schemas }
+    }
+
+    #[test]
+    fn neighbors_fire_at_nested_positions() {
+        let (reg, schemas) = ctx_fixtures();
+        let opt = Optimizer::standard();
+        // DE nested under a SET: DE(DE(S)) inside MakeSet.
+        let e = Expr::named("S").dup_elim().dup_elim().make_set();
+        let ns = opt.neighbors(&e, &ctx(&reg, &schemas));
+        assert!(ns
+            .iter()
+            .any(|(r, p)| *r == "rel4-de-idempotent" && *p == Expr::named("S").dup_elim().make_set()));
+    }
+
+    #[test]
+    fn greedy_fuses_set_applys() {
+        let (reg, schemas) = ctx_fixtures();
+        let opt = Optimizer::standard();
+        let stats = Statistics::new();
+        let e = Expr::named("S")
+            .set_apply(Expr::input().extract("name"))
+            .set_apply(Expr::input().make_tup("n"));
+        let best = opt.optimize_greedy(&e, &ctx(&reg, &schemas), &stats);
+        // One SET_APPLY, fused body.
+        assert_eq!(
+            best.plan,
+            Expr::named("S").set_apply(Expr::input().extract("name").make_tup("n"))
+        );
+    }
+
+    #[test]
+    fn traced_greedy_records_each_improving_step() {
+        let (reg, schemas) = ctx_fixtures();
+        let opt = Optimizer::standard();
+        let stats = Statistics::new();
+        let e = Expr::named("S")
+            .set_apply(Expr::input().extract("name"))
+            .set_apply(Expr::input().make_tup("n"));
+        let (best, trace) = opt.optimize_greedy_traced(&e, &ctx(&reg, &schemas), &stats);
+        assert!(!trace.is_empty());
+        assert!(trace.iter().any(|s| s.rule == "rule15-combine-set-applys"));
+        // Costs strictly decrease along the trace and end at the result.
+        for w in trace.windows(2) {
+            assert!(w[1].cost_before <= w[0].cost_after + 1e-9);
+        }
+        assert_eq!(trace.last().unwrap().plan, best.plan);
+    }
+
+    #[test]
+    fn explore_is_bounded_and_contains_original() {
+        let (reg, schemas) = ctx_fixtures();
+        let mut opt = Optimizer::standard();
+        opt.max_plans = 16;
+        let pred = Pred::eq(Expr::input().extract("floor"), Expr::int(5));
+        let e = Expr::named("S").select(pred.clone()).select(pred);
+        let plans = opt.explore(&e, &ctx(&reg, &schemas));
+        assert!(plans.len() <= 16);
+        assert!(plans.contains(&e));
+    }
+
+    #[test]
+    fn extent_index_rewrite() {
+        let mut stats = Statistics::new();
+        stats.add_extent_index("P", "Student");
+        stats.add_extent_index("P", "Person");
+        let e = Expr::named("P")
+            .set_apply_only(["Person", "Student"], Expr::input().extract("name"));
+        let rewritten = apply_extent_indexes(&e, &stats);
+        let expected = Expr::named("P::exact::Person")
+            .add_union(Expr::named("P::exact::Student"))
+            .set_apply(Expr::input().extract("name"));
+        assert_eq!(rewritten, expected);
+        // Without the index nothing changes.
+        let none = apply_extent_indexes(&e, &Statistics::new());
+        assert_eq!(none, e);
+    }
+
+    #[test]
+    fn with_no_rules_nothing_rewrites() {
+        let (reg, schemas) = ctx_fixtures();
+        let opt = Optimizer::with_rules(vec![]);
+        let e = Expr::named("S").dup_elim().dup_elim();
+        assert!(opt.neighbors(&e, &ctx(&reg, &schemas)).is_empty());
+        let best = opt.optimize(&e, &ctx(&reg, &schemas), &Statistics::new());
+        assert_eq!(best.plan, e);
+        assert_eq!(best.explored, 1);
+    }
+
+    #[test]
+    fn disabling_rule_classes_prunes_neighbors() {
+        let (reg, schemas) = ctx_fixtures();
+        let mut opt = Optimizer::standard();
+        let e = Expr::named("S").make_ref("Emp").deref();
+        let with = opt.neighbors(&e, &ctx(&reg, &schemas)).len();
+        opt.allow_modulo_identity = false;
+        let without = opt.neighbors(&e, &ctx(&reg, &schemas)).len();
+        // rule28 (modulo-identity) is excluded; rule28a (sound) remains.
+        assert!(without < with, "{without} vs {with}");
+        assert!(without >= 1);
+    }
+
+    #[test]
+    fn schema_catalog_is_object_safe() {
+        let (_, schemas) = ctx_fixtures();
+        let dynref: &dyn SchemaCatalog = &schemas;
+        assert!(dynref.object_schema("S").is_some());
+    }
+}

@@ -1,0 +1,23 @@
+//! # excess-optimizer — algebraic transformations and plan search
+//!
+//! The optimizer half of the paper's contribution: the Appendix's
+//! transformation rules (1–28) as a [`rule::Rule`] catalogue, an
+//! exploration/greedy rewrite engine ([`engine::Optimizer`]), a statistics
+//! and cost model making the paper's Section 6 "future work" concrete, and
+//! the Section 4 overridden-method dispatch strategies
+//! ([`dispatch::choose`]).
+
+#![warn(missing_docs)]
+
+pub mod cost;
+pub mod dispatch;
+pub mod engine;
+pub mod rule;
+pub mod rules;
+pub mod stats;
+
+pub use cost::{cost_of, estimate, Estimate};
+pub use dispatch::{build_switch, build_union, choose, DispatchStrategy, MethodImpl};
+pub use engine::{apply_extent_indexes, Optimized, Optimizer, TraceStep};
+pub use rule::{Rule, RuleCtx};
+pub use stats::{ObjectStats, Statistics};

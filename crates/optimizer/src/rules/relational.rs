@@ -1,0 +1,203 @@
+//! Classical relational rules expressed in the EXCESS algebra.
+//!
+//! The paper notes (Appendix §4) that "the rules for pushing relational
+//! selection and projection ahead of a relational join are consequences of
+//! rules 13, 24, and 27"; this module provides them as direct, composed
+//! rules so the heuristic optimizer pass can fire them in one step, plus a
+//! handful of always-sound cleanups.
+
+use crate::rule::{input_only_via_extract_of, Rule, RuleCtx};
+use excess_core::expr::{Expr, Pred};
+
+fn bx(e: Expr) -> Box<Expr> {
+    Box::new(e)
+}
+
+/// `σ_{P1}(σ_{P2}(A)) = σ_{P2 ∧ P1}(A)` — the σ-level image of rule 27
+/// (same null-free caveat), both directions.
+pub struct RR1CombineSelects;
+
+impl Rule for RR1CombineSelects {
+    fn name(&self) -> &'static str {
+        "rel1-combine-selects"
+    }
+    fn assumes_null_free(&self) -> bool {
+        true
+    }
+    fn apply(&self, e: &Expr, _ctx: &RuleCtx<'_>) -> Vec<Expr> {
+        let mut out = Vec::new();
+        if let Expr::Select { input, pred: p1 } = e {
+            if let Expr::Select { input: a, pred: p2 } = &**input {
+                out.push(Expr::Select { input: a.clone(), pred: p2.clone().and(p1.clone()) });
+            }
+            if let Pred::And(p2, p1b) = p1 {
+                out.push(Expr::Select {
+                    input: bx(Expr::Select { input: input.clone(), pred: (**p2).clone() }),
+                    pred: (**p1b).clone(),
+                });
+            }
+        }
+        out
+    }
+}
+
+/// Push a join-predicate conjunct that references only one side's fields
+/// down into that side as a selection:
+/// `rel_join_{P1 ∧ P2}(A, B) = rel_join_{P2}(σ_{P1}(A), B)` when `P1`
+/// touches only A's fields (requires disjoint field names so the
+/// concatenated tuple's field provenance is unambiguous); symmetrically
+/// for B.
+pub struct RR2PushSelectIntoJoin;
+
+impl Rule for RR2PushSelectIntoJoin {
+    fn name(&self) -> &'static str {
+        "rel2-push-select-into-join"
+    }
+    fn assumes_null_free(&self) -> bool {
+        true
+    }
+    fn apply(&self, e: &Expr, ctx: &RuleCtx<'_>) -> Vec<Expr> {
+        let Expr::RelJoin { left, right, pred: Pred::And(p1, p2) } = e else {
+            return vec![];
+        };
+        let (Some(fa), Some(fb)) = (ctx.set_elem_fields(left), ctx.set_elem_fields(right))
+        else {
+            return vec![];
+        };
+        if fa.iter().any(|f| fb.contains(f)) {
+            return vec![];
+        }
+        let mut out = Vec::new();
+        // P1 references only A-fields → filter A first.
+        if p1.exprs().iter().all(|x| input_only_via_extract_of(x, 0, &fa)) {
+            out.push(Expr::RelJoin {
+                left: bx(Expr::Select { input: left.clone(), pred: (**p1).clone() }),
+                right: right.clone(),
+                pred: (**p2).clone(),
+            });
+        }
+        // P1 references only B-fields → filter B first.
+        if p1.exprs().iter().all(|x| input_only_via_extract_of(x, 0, &fb)) {
+            out.push(Expr::RelJoin {
+                left: left.clone(),
+                right: bx(Expr::Select { input: right.clone(), pred: (**p1).clone() }),
+                pred: (**p2).clone(),
+            });
+        }
+        out
+    }
+}
+
+/// `σ_P(A ⊎ B) = σ_P(A) ⊎ σ_P(B)` — the σ face of rule 12.
+pub struct RR3SelectOverUnion;
+
+impl Rule for RR3SelectOverUnion {
+    fn name(&self) -> &'static str {
+        "rel3-select-over-union"
+    }
+    fn apply(&self, e: &Expr, _ctx: &RuleCtx<'_>) -> Vec<Expr> {
+        let Expr::Select { input, pred } = e else { return vec![] };
+        let Expr::AddUnion(a, b) = &**input else { return vec![] };
+        vec![Expr::AddUnion(
+            bx(Expr::Select { input: a.clone(), pred: pred.clone() }),
+            bx(Expr::Select { input: b.clone(), pred: pred.clone() }),
+        )]
+    }
+}
+
+/// `DE(DE(A)) = DE(A)` — idempotence of duplicate elimination.
+pub struct RR4DeIdempotent;
+
+impl Rule for RR4DeIdempotent {
+    fn name(&self) -> &'static str {
+        "rel4-de-idempotent"
+    }
+    fn apply(&self, e: &Expr, _ctx: &RuleCtx<'_>) -> Vec<Expr> {
+        if let Expr::DupElim(inner) = e {
+            if matches!(**inner, Expr::DupElim(_)) {
+                return vec![(**inner).clone()];
+            }
+        }
+        vec![]
+    }
+}
+
+/// Push DE below a *duplicate-respecting projection-like* SET_APPLY when
+/// followed by DE anyway:
+/// `DE(SET_APPLY_E(A)) = DE(SET_APPLY_E(DE(A)))` — sound for any `E`
+/// (deterministic bodies map equal inputs to equal outputs, so the outer
+/// DE erases any cardinality differences).  This is the Figure 7→8 "push
+/// DE past the join input" building block.
+pub struct RR5DeEarly;
+
+impl Rule for RR5DeEarly {
+    fn name(&self) -> &'static str {
+        "rel5-de-early"
+    }
+    fn apply(&self, e: &Expr, _ctx: &RuleCtx<'_>) -> Vec<Expr> {
+        let mut out = Vec::new();
+        if let Expr::DupElim(inner) = e {
+            if let Expr::SetApply { input, body, only_types } = &**inner {
+                if !body.mints_oids() && !matches!(**input, Expr::DupElim(_)) {
+                    out.push(Expr::DupElim(bx(Expr::SetApply {
+                        input: bx(Expr::DupElim(input.clone())),
+                        body: body.clone(),
+                        only_types: only_types.clone(),
+                    })));
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Push a selection inside a SET_COLLAPSE (the σ face of rule 14):
+/// `σ_P(SET_COLLAPSE(A)) = SET_COLLAPSE(SET_APPLY_{σ_P}(A))` — filter each
+/// inner multiset before flattening (both directions).
+pub struct RR6SelectThroughCollapse;
+
+impl Rule for RR6SelectThroughCollapse {
+    fn name(&self) -> &'static str {
+        "rel6-select-through-collapse"
+    }
+    fn apply(&self, e: &Expr, _ctx: &RuleCtx<'_>) -> Vec<Expr> {
+        let mut out = Vec::new();
+        if let Expr::Select { input, pred } = e {
+            if let Expr::SetCollapse(a) = &**input {
+                // The σ moves one binder deeper: free refs shift up.
+                let inner = Expr::Select {
+                    input: bx(Expr::input()),
+                    pred: pred.map_exprs(&mut |x| x.shift_inputs(1, 1)),
+                };
+                out.push(Expr::SetCollapse(bx(a.as_ref().clone().set_apply(inner))));
+            }
+        }
+        if let Expr::SetCollapse(outer) = e {
+            if let Expr::SetApply { input: a, body, only_types: None } = &**outer {
+                if let Expr::Select { input: si, pred } = &**body {
+                    if **si == Expr::input()
+                        && !pred.exprs().iter().any(|x| x.mentions_input(1))
+                    {
+                        out.push(Expr::Select {
+                            input: bx(Expr::SetCollapse(a.clone())),
+                            pred: pred.map_exprs(&mut |x| x.shift_inputs(1, -1)),
+                        });
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+/// All relational rules, boxed.
+pub fn all() -> Vec<Box<dyn Rule>> {
+    vec![
+        Box::new(RR1CombineSelects),
+        Box::new(RR2PushSelectIntoJoin),
+        Box::new(RR3SelectOverUnion),
+        Box::new(RR4DeIdempotent),
+        Box::new(RR5DeEarly),
+        Box::new(RR6SelectThroughCollapse),
+    ]
+}

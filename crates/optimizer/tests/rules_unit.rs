@@ -1,0 +1,338 @@
+//! Exact-rewrite unit tests: for each Appendix rule, one concrete input
+//! and the precise output we expect the rule to propose.  (Semantic
+//! soundness of *every reachable* rewrite is separately checked by the
+//! workspace test `rule_soundness`.)
+
+use excess_core::expr::{Bound, CmpOp, Expr, Func, Pred};
+use excess_optimizer::{Rule, RuleCtx};
+use excess_optimizer::rules::{array, multiset, relational, tuple_ref};
+use excess_types::{SchemaType, TypeRegistry};
+use std::collections::HashMap;
+
+fn fixtures() -> (TypeRegistry, HashMap<String, SchemaType>) {
+    let mut reg = TypeRegistry::new();
+    reg.define(
+        "Row",
+        SchemaType::tuple([("x", SchemaType::int4()), ("y", SchemaType::chars())]),
+    )
+    .unwrap();
+    let mut schemas = HashMap::new();
+    schemas.insert("A".into(), SchemaType::set(SchemaType::named("Row")));
+    schemas.insert(
+        "B".into(),
+        SchemaType::set(SchemaType::tuple([("z", SchemaType::int4())])),
+    );
+    schemas.insert("Arr".into(), SchemaType::array(SchemaType::int4()));
+    (reg, schemas)
+}
+
+fn apply_one(rule: &dyn Rule, e: &Expr) -> Vec<Expr> {
+    let (reg, schemas) = fixtures();
+    let ctx = RuleCtx { registry: &reg, schemas: &schemas };
+    rule.apply(e, &ctx)
+}
+
+fn a() -> Expr {
+    Expr::named("A")
+}
+fn b() -> Expr {
+    Expr::named("B")
+}
+fn arr() -> Expr {
+    Expr::named("Arr")
+}
+fn px() -> Pred {
+    Pred::cmp(Expr::input().extract("x"), CmpOp::Eq, Expr::int(1))
+}
+
+#[test]
+fn rule1_reassociates_both_ways() {
+    let e = a().add_union(b().add_union(a()));
+    let out = apply_one(&multiset::R1Associativity, &e);
+    assert!(out.contains(&a().add_union(b()).add_union(a())));
+}
+
+#[test]
+fn rule2_distributes_and_factors() {
+    let e = a().cross(b().add_union(a()));
+    let out = apply_one(&multiset::R2DistributeCrossUnion, &e);
+    assert!(out.contains(&a().cross(b()).add_union(a().cross(a()))));
+    // Reverse direction.
+    let back = apply_one(&multiset::R2DistributeCrossUnion, &out[0]);
+    assert!(back.contains(&e));
+}
+
+#[test]
+fn rule3_commutes_with_compensating_projection() {
+    let e = a().rel_cross(b());
+    let out = apply_one(&multiset::R3RelCrossCommute, &e);
+    assert_eq!(out.len(), 1);
+    // rel_×(B, A) then project back to (x, y, z) order.
+    let expected = b().rel_cross(a()).set_apply(Expr::input().project(["x", "y", "z"]));
+    assert_eq!(out[0], expected);
+}
+
+#[test]
+fn rule3_skips_clashing_names() {
+    let e = a().rel_cross(a());
+    assert!(apply_one(&multiset::R3RelCrossCommute, &e).is_empty());
+}
+
+#[test]
+fn rule4_splits_a_disjunction() {
+    let p1 = px();
+    let p2 = Pred::cmp(Expr::input().extract("y"), CmpOp::Eq, Expr::str("q"));
+    let disj = Pred::Not(Box::new(Pred::And(
+        Box::new(p1.clone().not()),
+        Box::new(p2.clone().not()),
+    )));
+    let e = a().select(disj);
+    let out = apply_one(&multiset::R4DisjunctiveSelect, &e);
+    assert!(out.contains(&Expr::Union(
+        Box::new(a().select(p1)),
+        Box::new(a().select(p2))
+    )));
+}
+
+#[test]
+fn rule5_eliminates_the_cross() {
+    let body = Expr::input().extract("fst").extract("x");
+    let e = Expr::DupElim(Box::new(a().cross(b()).set_apply(body)));
+    let out = apply_one(&multiset::R5EliminateCross, &e);
+    assert_eq!(out, vec![Expr::DupElim(Box::new(
+        a().set_apply(Expr::input().extract("x"))
+    ))]);
+}
+
+#[test]
+fn rule5_requires_fst_only_bodies() {
+    let body = Expr::input().extract("snd").extract("z");
+    let e = Expr::DupElim(Box::new(a().cross(b()).set_apply(body)));
+    assert!(apply_one(&multiset::R5EliminateCross, &e).is_empty());
+}
+
+#[test]
+fn rule6_drops_de_over_group() {
+    let g = a().group_by(Expr::input().extract("x"));
+    let out = apply_one(&multiset::R6GroupIsDupFree, &g.clone().dup_elim());
+    assert_eq!(out, vec![g]);
+}
+
+#[test]
+fn rule8_moves_de_through_group() {
+    let e = a().dup_elim().group_by(Expr::input().extract("x"));
+    let out = apply_one(&multiset::R8DeThroughGroup, &e);
+    let expected = a()
+        .group_by(Expr::input().extract("x"))
+        .set_apply(Expr::input().dup_elim());
+    assert!(out.contains(&expected));
+    // And back.
+    assert!(apply_one(&multiset::R8DeThroughGroup, &expected).contains(&e));
+}
+
+#[test]
+fn rule9_groups_one_side_of_a_cross() {
+    let e = a().cross(b()).group_by(Expr::input().extract("fst").extract("x"));
+    let out = apply_one(&multiset::R9GroupCrossOneSide, &e);
+    assert_eq!(out.len(), 1);
+    let expected = a()
+        .group_by(Expr::input().extract("x"))
+        .set_apply(Expr::input().cross(b()));
+    assert_eq!(out[0], expected);
+}
+
+#[test]
+fn rule13_distributes_pairwise_bodies() {
+    let body = Expr::input()
+        .extract("fst")
+        .extract("x")
+        .make_tup("fst")
+        .tup_cat(Expr::input().extract("snd").extract("z").make_tup("snd"));
+    let e = a().cross(b()).set_apply(body);
+    let out = apply_one(&multiset::R13ApplyOverCross, &e);
+    let expected = a()
+        .set_apply(Expr::input().extract("x"))
+        .cross(b().set_apply(Expr::input().extract("z")));
+    assert_eq!(out, vec![expected]);
+}
+
+#[test]
+fn rule15_fuses_and_respects_binders() {
+    let inner = a().set_apply(Expr::input().extract("x"));
+    let e = inner.set_apply(Expr::input().make_tup("n"));
+    let out = apply_one(&multiset::R15CombineApplys, &e);
+    assert_eq!(
+        out,
+        vec![a().set_apply(Expr::input().extract("x").make_tup("n"))]
+    );
+    // Fusion under an outer binder reference: outer body mentions INPUT^1.
+    let nested = a()
+        .set_apply(Expr::input().extract("x"))
+        .set_apply(Expr::input_at(1));
+    // At top level INPUT^1 is free; fusion must keep it intact.
+    let fused = apply_one(&multiset::R15CombineApplys, &nested);
+    assert_eq!(fused, vec![a().set_apply(Expr::input_at(1))]);
+}
+
+#[test]
+fn rule17_routes_extraction_through_cat() {
+    let lit = Expr::lit(excess_types::Value::array([
+        excess_types::Value::int(7),
+        excess_types::Value::int(8),
+    ]));
+    let e = Expr::ArrExtract(Box::new(lit.clone().arr_cat(arr())), Bound::At(2));
+    let out = apply_one(&array::R17ExtractFromCat, &e);
+    assert_eq!(out, vec![Expr::ArrExtract(Box::new(lit.clone()), Bound::At(2))]);
+    let e2 = Expr::ArrExtract(Box::new(lit.arr_cat(arr())), Bound::At(3));
+    let out2 = apply_one(&array::R17ExtractFromCat, &e2);
+    assert_eq!(out2, vec![Expr::ArrExtract(Box::new(arr()), Bound::At(1))]);
+}
+
+#[test]
+fn rule18_adjusts_the_offset() {
+    let e = arr().subarr(Bound::At(3), Bound::At(7)).arr_extract(2);
+    let out = apply_one(&array::R18ExtractFromSubarr, &e);
+    assert_eq!(out, vec![arr().arr_extract(4)]);
+    // Out-of-extent extraction is not rewritten (LHS is dne).
+    let oob = arr().subarr(Bound::At(3), Bound::At(4)).arr_extract(5);
+    assert!(apply_one(&array::R18ExtractFromSubarr, &oob).is_empty());
+}
+
+#[test]
+fn rule19_beta_applies_the_body() {
+    let e = arr()
+        .arr_apply(Expr::call(Func::Add, vec![Expr::input(), Expr::int(1)]))
+        .arr_extract(3);
+    let out = apply_one(&array::R19ExtractFromApply, &e);
+    assert_eq!(
+        out,
+        vec![Expr::call(Func::Add, vec![arr().arr_extract(3), Expr::int(1)])]
+    );
+    // Filtering bodies shift positions — no rewrite.
+    let filt = arr()
+        .arr_apply(Expr::input().comp(Pred::cmp(Expr::input(), CmpOp::Gt, Expr::int(0))))
+        .arr_extract(3);
+    assert!(apply_one(&array::R19ExtractFromApply, &filt).is_empty());
+}
+
+#[test]
+fn rule20_composes_subarrays() {
+    let e = arr().subarr(Bound::At(2), Bound::At(9)).subarr(Bound::At(3), Bound::At(5));
+    let out = apply_one(&array::R20CombineSubarrs, &e);
+    assert_eq!(out, vec![arr().subarr(Bound::At(4), Bound::At(6))]);
+    // Upper bound clamps at the inner k.
+    let e2 = arr().subarr(Bound::At(2), Bound::At(4)).subarr(Bound::At(1), Bound::At(9));
+    let out2 = apply_one(&array::R20CombineSubarrs, &e2);
+    assert_eq!(out2, vec![arr().subarr(Bound::At(2), Bound::At(4))]);
+}
+
+#[test]
+fn rule24_splits_projection_lists() {
+    let t = Expr::named("A")
+        .set_apply(Expr::input()) // irrelevant; we need tuple exprs:
+        ;
+    let _ = t;
+    let one = Expr::input(); // placeholder tuple-typed exprs via OneTup-like fixture
+    let _ = one;
+    // Use concrete tuple-typed expressions through the schema fixtures:
+    // TUP_CAT of a Row-typed extract is awkward here, so test on literals.
+    let ta = Expr::lit(excess_types::Value::tuple([
+        ("x", excess_types::Value::int(1)),
+        ("y", excess_types::Value::str("s")),
+    ]));
+    let tb = Expr::lit(excess_types::Value::tuple([(
+        "z",
+        excess_types::Value::int(2),
+    )]));
+    let e = ta.clone().tup_cat(tb.clone()).project(["x", "z"]);
+    let out = apply_one(&tuple_ref::R24ProjectOverCat, &e);
+    assert_eq!(
+        out,
+        vec![ta.project(["x"]).tup_cat(tb.project(["z"]))]
+    );
+}
+
+#[test]
+fn rule25_routes_extraction() {
+    let ta = Expr::lit(excess_types::Value::tuple([(
+        "x",
+        excess_types::Value::int(1),
+    )]));
+    let tb = Expr::lit(excess_types::Value::tuple([(
+        "z",
+        excess_types::Value::int(2),
+    )]));
+    let e = ta.clone().tup_cat(tb.clone()).extract("z");
+    let out = apply_one(&tuple_ref::R25ExtractFromCat, &e);
+    assert_eq!(out, vec![tb.extract("z")]);
+}
+
+#[test]
+fn rule26_pushes_extract_into_comp() {
+    let comp = Expr::named("A")
+        .set_apply(Expr::input()) // any tuple-producing expr would do
+        ;
+    let _ = comp;
+    let t = Expr::lit(excess_types::Value::tuple([(
+        "x",
+        excess_types::Value::int(5),
+    )]));
+    let e = t
+        .clone()
+        .comp(Pred::cmp(Expr::input().extract("x"), CmpOp::Lt, Expr::int(9)))
+        .extract("x");
+    let out = apply_one(&tuple_ref::R26PushIntoComp, &e);
+    let expected = t
+        .extract("x")
+        .comp(Pred::cmp(Expr::input(), CmpOp::Lt, Expr::int(9)));
+    assert!(out.contains(&expected));
+}
+
+#[test]
+fn rule27_orders_the_conjunction_inner_first() {
+    let p_inner = px();
+    let p_outer = Pred::cmp(Expr::input().extract("y"), CmpOp::Ne, Expr::str("q"));
+    let t = Expr::lit(excess_types::Value::tuple([
+        ("x", excess_types::Value::int(1)),
+        ("y", excess_types::Value::str("a")),
+    ]));
+    let e = t.clone().comp(p_inner.clone()).comp(p_outer.clone());
+    let out = apply_one(&tuple_ref::R27CombineComps, &e);
+    assert!(out.contains(&t.comp(p_inner.and(p_outer))));
+}
+
+#[test]
+fn rule28_cancels_in_both_directions() {
+    let e = Expr::named("A").make_ref("Row").deref();
+    assert_eq!(apply_one(&tuple_ref::R28RefDeref, &e), vec![Expr::named("A")]);
+    let e2 = Expr::named("A").deref().make_ref("Row");
+    assert_eq!(apply_one(&tuple_ref::R28RefDeref, &e2), vec![Expr::named("A")]);
+    assert!(tuple_ref::R28RefDeref.modulo_identity());
+    assert!(!tuple_ref::R28aDerefOfRef.modulo_identity());
+}
+
+#[test]
+fn rel2_pushes_only_single_sided_conjuncts() {
+    let single = Pred::cmp(Expr::input().extract("x"), CmpOp::Eq, Expr::int(1));
+    let joiny = Pred::cmp(
+        Expr::input().extract("x"),
+        CmpOp::Eq,
+        Expr::input().extract("z"),
+    );
+    let e = a().rel_join(b(), single.clone().and(joiny.clone()));
+    let out = apply_one(&relational::RR2PushSelectIntoJoin, &e);
+    assert_eq!(out, vec![a().select(single).rel_join(b(), joiny)]);
+}
+
+#[test]
+fn rel5_dedups_inputs_under_an_outer_de() {
+    let e = a().set_apply(Expr::input().extract("x")).dup_elim();
+    let out = apply_one(&relational::RR5DeEarly, &e);
+    assert_eq!(
+        out,
+        vec![a().dup_elim().set_apply(Expr::input().extract("x")).dup_elim()]
+    );
+    // Minting bodies must not be deduplicated.
+    let minty = a().set_apply(Expr::input().make_ref("Row")).dup_elim();
+    assert!(apply_one(&relational::RR5DeEarly, &minty).is_empty());
+}

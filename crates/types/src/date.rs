@@ -1,0 +1,120 @@
+//! A minimal proleptic-Gregorian calendar date.
+//!
+//! EXTRA's example schema (Figure 1) gives `Person` a `birthday: Date`
+//! attribute, and the paper's second query example uses an `age` virtual
+//! field "defined by a function that computes the age of a Person from the
+//! current date and their birthday".  This module supplies exactly that much
+//! calendar arithmetic; it is not a general date/time library.
+
+use std::fmt;
+
+/// A calendar date (year, month, day), totally ordered chronologically.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Date {
+    /// Astronomical year (1 BCE == 0); realistic databases use 1900..2100.
+    pub year: i32,
+    /// 1-based month.
+    pub month: u8,
+    /// 1-based day of month.
+    pub day: u8,
+}
+
+impl Date {
+    /// Build a date, validating month/day ranges.
+    ///
+    /// Returns `None` for out-of-range months or days (leap years are
+    /// honoured for February).
+    pub fn new(year: i32, month: u8, day: u8) -> Option<Date> {
+        if !(1..=12).contains(&month) {
+            return None;
+        }
+        if day == 0 || day > days_in_month(year, month) {
+            return None;
+        }
+        Some(Date { year, month, day })
+    }
+
+    /// Age in whole years at `today`, as a birthday-based computation:
+    /// the value EXTRA's `age` virtual field returns.
+    ///
+    /// If `today` precedes `self` the age is negative (the paper never
+    /// exercises this, but the arithmetic is total).
+    pub fn age_at(&self, today: Date) -> i32 {
+        let mut years = today.year - self.year;
+        if (today.month, today.day) < (self.month, self.day) {
+            years -= 1;
+        }
+        years
+    }
+
+    /// Days since 0000-03-01 (a standard civil-date encoding); used for
+    /// stable ordering and arithmetic in tests.
+    pub fn to_ordinal(&self) -> i64 {
+        // Howard Hinnant's days_from_civil algorithm.
+        let y = i64::from(self.year) - i64::from(self.month <= 2);
+        let era = if y >= 0 { y } else { y - 399 } / 400;
+        let yoe = y - era * 400;
+        let m = i64::from(self.month);
+        let d = i64::from(self.day);
+        let doy = (153 * (if m > 2 { m - 3 } else { m + 9 }) + 2) / 5 + d - 1;
+        let doe = yoe * 365 + yoe / 4 - yoe / 100 + doy;
+        era * 146_097 + doe - 719_468
+    }
+}
+
+impl fmt::Display for Date {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:04}-{:02}-{:02}", self.year, self.month, self.day)
+    }
+}
+
+fn is_leap(year: i32) -> bool {
+    year % 4 == 0 && (year % 100 != 0 || year % 400 == 0)
+}
+
+fn days_in_month(year: i32, month: u8) -> u8 {
+    match month {
+        1 | 3 | 5 | 7 | 8 | 10 | 12 => 31,
+        4 | 6 | 9 | 11 => 30,
+        2 if is_leap(year) => 29,
+        2 => 28,
+        _ => 0,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rejects_out_of_range() {
+        assert!(Date::new(2020, 0, 1).is_none());
+        assert!(Date::new(2020, 13, 1).is_none());
+        assert!(Date::new(2020, 2, 30).is_none());
+        assert!(Date::new(2021, 2, 29).is_none());
+        assert!(Date::new(2020, 2, 29).is_some()); // leap year
+        assert!(Date::new(2000, 2, 29).is_some()); // 400-year leap
+        assert!(Date::new(1900, 2, 29).is_none()); // 100-year non-leap
+    }
+
+    #[test]
+    fn age_counts_whole_years() {
+        let b = Date::new(1960, 6, 15).unwrap();
+        assert_eq!(b.age_at(Date::new(1990, 6, 14).unwrap()), 29);
+        assert_eq!(b.age_at(Date::new(1990, 6, 15).unwrap()), 30);
+        assert_eq!(b.age_at(Date::new(1990, 6, 16).unwrap()), 30);
+    }
+
+    #[test]
+    fn ordering_is_chronological() {
+        let a = Date::new(1989, 12, 31).unwrap();
+        let b = Date::new(1990, 1, 1).unwrap();
+        assert!(a < b);
+        assert!(a.to_ordinal() + 1 == b.to_ordinal());
+    }
+
+    #[test]
+    fn display_is_iso() {
+        assert_eq!(Date::new(1990, 12, 1).unwrap().to_string(), "1990-12-01");
+    }
+}

@@ -1,0 +1,185 @@
+//! Scalar ("val") values and their types.
+//!
+//! Section 3.1 of the paper defines `D` as "the (infinite) domain of all
+//! scalars (excluding OIDs)".  EXTRA's DDL (Figure 1) uses `int4`,
+//! `float4`, `char[n]`/`char[]`, and `Date`; we add `bool` for predicate
+//! results used internally and by user data.
+//!
+//! Scalars are **totally ordered** so that multisets can be represented as
+//! sorted count maps and so that the algebra's single, value-based notion of
+//! equality (Section 3.2.4) is well defined.  Floats are ordered by
+//! `total_cmp`, which makes `NaN` equal to itself — a deliberate choice so
+//! that duplicate elimination and grouping are total functions.
+
+use crate::date::Date;
+use std::cmp::Ordering;
+use std::fmt;
+
+/// The type of a scalar value.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum ScalarType {
+    /// 32-bit signed integer (`int4`).
+    Int4,
+    /// Floating point (`float4` in EXTRA; stored as f64 here).
+    Float4,
+    /// Character string (`char[]` / `char[n]`; length bounds are advisory).
+    Char,
+    /// Boolean.
+    Bool,
+    /// Calendar date.
+    Date,
+}
+
+impl fmt::Display for ScalarType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            ScalarType::Int4 => "int4",
+            ScalarType::Float4 => "float4",
+            ScalarType::Char => "char[]",
+            ScalarType::Bool => "bool",
+            ScalarType::Date => "Date",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A scalar value: an element of the paper's domain `D`.
+#[derive(Debug, Clone)]
+pub enum Scalar {
+    /// `int4` value.
+    Int4(i32),
+    /// `float4` value (f64 storage).
+    Float4(f64),
+    /// `char[]` value.
+    Char(String),
+    /// Boolean value.
+    Bool(bool),
+    /// `Date` value.
+    Date(Date),
+}
+
+impl Scalar {
+    /// The scalar's type.
+    pub fn scalar_type(&self) -> ScalarType {
+        match self {
+            Scalar::Int4(_) => ScalarType::Int4,
+            Scalar::Float4(_) => ScalarType::Float4,
+            Scalar::Char(_) => ScalarType::Char,
+            Scalar::Bool(_) => ScalarType::Bool,
+            Scalar::Date(_) => ScalarType::Date,
+        }
+    }
+
+    /// Rank used to order scalars of different types deterministically.
+    fn type_rank(&self) -> u8 {
+        match self {
+            Scalar::Bool(_) => 0,
+            Scalar::Int4(_) => 1,
+            Scalar::Float4(_) => 2,
+            Scalar::Char(_) => 3,
+            Scalar::Date(_) => 4,
+        }
+    }
+}
+
+impl PartialEq for Scalar {
+    fn eq(&self, other: &Self) -> bool {
+        self.cmp(other) == Ordering::Equal
+    }
+}
+impl Eq for Scalar {}
+
+impl PartialOrd for Scalar {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Scalar {
+    fn cmp(&self, other: &Self) -> Ordering {
+        use Scalar::*;
+        match (self, other) {
+            (Bool(a), Bool(b)) => a.cmp(b),
+            (Int4(a), Int4(b)) => a.cmp(b),
+            (Float4(a), Float4(b)) => a.total_cmp(b),
+            (Char(a), Char(b)) => a.cmp(b),
+            (Date(a), Date(b)) => a.cmp(b),
+            // Cross-type comparison: numeric Int4/Float4 compare by value so
+            // that EXCESS's arithmetic-friendly equality behaves naturally;
+            // all other cross-type pairs order by type rank.
+            (Int4(a), Float4(b)) => (f64::from(*a)).total_cmp(b),
+            (Float4(a), Int4(b)) => a.total_cmp(&f64::from(*b)),
+            _ => self.type_rank().cmp(&other.type_rank()),
+        }
+    }
+}
+
+impl std::hash::Hash for Scalar {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        // Hash must agree with Eq: numeric values hash through their f64
+        // bits after normalisation; -0.0 is normalised to +0.0 so that
+        // total_cmp-equal values... Note: total_cmp distinguishes -0.0 from
+        // 0.0, so no normalisation is applied; Int4(k) must hash like
+        // Float4(k as f64) because they compare equal.
+        match self {
+            Scalar::Bool(b) => (0u8, b).hash(state),
+            Scalar::Int4(i) => (1u8, f64::from(*i).to_bits()).hash(state),
+            Scalar::Float4(x) => (1u8, x.to_bits()).hash(state),
+            Scalar::Char(s) => (3u8, s).hash(state),
+            Scalar::Date(d) => (4u8, d).hash(state),
+        }
+    }
+}
+
+impl fmt::Display for Scalar {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Scalar::Int4(i) => write!(f, "{i}"),
+            Scalar::Float4(x) => write!(f, "{x:?}"),
+            Scalar::Char(s) => write!(f, "{s:?}"),
+            Scalar::Bool(b) => write!(f, "{b}"),
+            Scalar::Date(d) => write!(f, "{d}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn total_order_handles_nan() {
+        let nan = Scalar::Float4(f64::NAN);
+        assert_eq!(nan, nan.clone());
+        assert_eq!(nan.cmp(&nan.clone()), Ordering::Equal);
+    }
+
+    #[test]
+    fn numeric_cross_type_equality() {
+        assert_eq!(Scalar::Int4(5), Scalar::Float4(5.0));
+        assert!(Scalar::Int4(5) < Scalar::Float4(5.5));
+        assert!(Scalar::Float4(4.5) < Scalar::Int4(5));
+    }
+
+    #[test]
+    fn distinct_types_are_ordered_consistently() {
+        let b = Scalar::Bool(true);
+        let c = Scalar::Char("x".into());
+        assert!(b < c);
+        assert_ne!(b, c);
+    }
+
+    #[test]
+    fn negative_zero_distinguished_by_total_cmp() {
+        // total_cmp: -0.0 < +0.0; we accept this (documented) refinement of
+        // IEEE equality because it keeps grouping total and deterministic.
+        assert!(Scalar::Float4(-0.0) < Scalar::Float4(0.0));
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(Scalar::Int4(7).to_string(), "7");
+        assert_eq!(Scalar::Char("hi".into()).to_string(), "\"hi\"");
+        assert_eq!(Scalar::Bool(false).to_string(), "false");
+    }
+}

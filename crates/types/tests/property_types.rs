@@ -1,0 +1,121 @@
+//! Property tests for the type-system substrate: scalar hash/order
+//! consistency, date arithmetic, domain monotonicity, and store laws.
+
+use excess_types::domain::{check_dom, check_dom_exact};
+use excess_types::{Date, ObjectStore, Scalar, SchemaType, TypeRegistry, Value};
+use proptest::prelude::*;
+use std::collections::hash_map::DefaultHasher;
+use std::hash::{Hash, Hasher};
+
+fn h<T: Hash>(v: &T) -> u64 {
+    let mut s = DefaultHasher::new();
+    v.hash(&mut s);
+    s.finish()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn int_float_equality_implies_equal_hashes(i in any::<i32>()) {
+        // Int4(k) == Float4(k as f64) demands equal hashes.
+        let a = Scalar::Int4(i);
+        let b = Scalar::Float4(f64::from(i));
+        prop_assert_eq!(&a, &b);
+        prop_assert_eq!(h(&a), h(&b));
+    }
+
+    #[test]
+    fn scalar_order_is_antisymmetric_and_total(
+        a in arb_scalar(), b in arb_scalar()
+    ) {
+        use std::cmp::Ordering::*;
+        match a.cmp(&b) {
+            Less => prop_assert_eq!(b.cmp(&a), Greater),
+            Greater => prop_assert_eq!(b.cmp(&a), Less),
+            Equal => {
+                prop_assert_eq!(b.cmp(&a), Equal);
+                prop_assert_eq!(h(&a), h(&b), "Eq must imply equal hashes");
+            }
+        }
+    }
+
+    #[test]
+    fn date_ordinal_is_monotone(
+        y1 in 1900i32..2100, m1 in 1u8..=12, d1 in 1u8..=28,
+        y2 in 1900i32..2100, m2 in 1u8..=12, d2 in 1u8..=28
+    ) {
+        let a = Date::new(y1, m1, d1).unwrap();
+        let b = Date::new(y2, m2, d2).unwrap();
+        prop_assert_eq!(a.cmp(&b), a.to_ordinal().cmp(&b.to_ordinal()));
+        // Age is anti-monotone in the birthday.
+        let today = Date::new(2100, 12, 31).unwrap();
+        if a <= b {
+            prop_assert!(a.age_at(today) >= b.age_at(today));
+        }
+    }
+
+    #[test]
+    fn dom_is_a_subset_of_big_dom(v in arb_flat_value()) {
+        // Any value in dom(S) is in DOM(S) for the matching scalar schema.
+        let reg = TypeRegistry::new();
+        for s in [
+            SchemaType::int4(),
+            SchemaType::float4(),
+            SchemaType::chars(),
+            SchemaType::boolean(),
+        ] {
+            if check_dom_exact(&v, &s, &reg).is_ok() {
+                prop_assert!(check_dom(&v, &s, &reg).is_ok());
+            }
+        }
+    }
+
+    #[test]
+    fn store_create_then_deref_is_identity(xs in prop::collection::vec(any::<i32>(), 0..6)) {
+        let mut reg = TypeRegistry::new();
+        reg.define("Box", SchemaType::tuple([("items", SchemaType::set(SchemaType::int4()))]))
+            .unwrap();
+        let ty = reg.lookup("Box").unwrap();
+        let mut store = ObjectStore::new();
+        let v = Value::tuple([("items", Value::set(xs.into_iter().map(Value::int)))]);
+        let oid = store.create(&reg, ty, v.clone()).unwrap();
+        prop_assert_eq!(store.deref(oid).unwrap(), &v);
+        prop_assert_eq!(store.exact_type(oid).unwrap(), ty);
+        // Updating to another valid value round-trips too.
+        let v2 = Value::tuple([("items", Value::set([Value::int(1)]))]);
+        store.update(&reg, oid, v2.clone()).unwrap();
+        prop_assert_eq!(store.deref(oid).unwrap(), &v2);
+    }
+
+    #[test]
+    fn fixed_array_domain_is_exactly_length_n(
+        n in 0usize..6, m in 0usize..6
+    ) {
+        let reg = TypeRegistry::new();
+        let s = SchemaType::fixed_array(SchemaType::int4(), n);
+        let v = Value::array((0..m).map(|i| Value::int(i as i32)));
+        prop_assert_eq!(check_dom(&v, &s, &reg).is_ok(), m == n);
+    }
+}
+
+fn arb_scalar() -> impl Strategy<Value = Scalar> {
+    prop_oneof![
+        any::<i32>().prop_map(Scalar::Int4),
+        any::<f64>().prop_map(Scalar::Float4),
+        "[a-z]{0,5}".prop_map(Scalar::Char),
+        any::<bool>().prop_map(Scalar::Bool),
+        (1900i32..2100, 1u8..=12, 1u8..=28)
+            .prop_map(|(y, m, d)| Scalar::Date(Date::new(y, m, d).unwrap())),
+    ]
+}
+
+fn arb_flat_value() -> impl Strategy<Value = Value> {
+    prop_oneof![
+        any::<i32>().prop_map(Value::int),
+        any::<f64>().prop_map(Value::float),
+        "[a-z]{0,5}".prop_map(Value::str),
+        any::<bool>().prop_map(Value::bool),
+        Just(Value::dne()),
+    ]
+}

@@ -1,0 +1,176 @@
+//! A structured office-document workload.
+//!
+//! Section 1 positions the EXCESS arrays against \[Guti89\]'s NST algebra
+//! "for structured office documents" — ordered, nested sequences.  This
+//! workload builds exactly that shape in EXTRA:
+//!
+//! ```text
+//! define type Paragraph: (style: char[], words: int4, text: char[])
+//! define type Section:   (title: char[], paras: array of Paragraph)
+//! define type Document:  (title: char[], author: ref Person,
+//!                         sections: array of Section)
+//! create Docs: { ref Document }
+//! ```
+//!
+//! so the array operators (ARR_APPLY, SUBARR, ARR_EXTRACT, ARR_COLLAPSE)
+//! have a realistic, order-significant substrate to work on.
+
+use crate::params::UniversityParams;
+use excess_db::{Database, DbResult};
+use excess_types::{Oid, SchemaType, Value};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Document-workload knobs.
+#[derive(Debug, Clone, Copy)]
+pub struct DocumentParams {
+    /// RNG seed.
+    pub seed: u64,
+    /// Number of documents.
+    pub documents: usize,
+    /// Sections per document.
+    pub sections_per_doc: usize,
+    /// Paragraphs per section.
+    pub paras_per_section: usize,
+    /// Number of distinct authors.
+    pub authors: usize,
+}
+
+impl Default for DocumentParams {
+    fn default() -> Self {
+        DocumentParams {
+            seed: UniversityParams::default().seed,
+            documents: 50,
+            sections_per_doc: 5,
+            paras_per_section: 8,
+            authors: 10,
+        }
+    }
+}
+
+/// The generated document database.
+pub struct DocumentStore {
+    /// The populated database.
+    pub db: Database,
+    /// OIDs of the Document objects, in creation order.
+    pub documents: Vec<Oid>,
+}
+
+/// Generate the document database.
+pub fn generate_documents(p: &DocumentParams) -> DbResult<DocumentStore> {
+    let mut db = Database::new();
+    db.execute(
+        r#"define type Author: (name: char[])
+           define type Paragraph: (style: char[], words: int4, text: char[])
+           define type Section: (title: char[], paras: array of Paragraph)
+           define type Document: (title: char[], author: ref Author,
+                                  sections: array of Section)
+           create Docs: { ref Document }"#,
+    )?;
+    let mut rng = StdRng::seed_from_u64(p.seed);
+    let author_ty = db.registry().lookup("Author")?;
+    let doc_ty = db.registry().lookup("Document")?;
+    let authors: Vec<Oid> = (0..p.authors.max(1))
+        .map(|i| {
+            db.store_mut()
+                .create_unchecked(author_ty, Value::tuple([("name", Value::str(format!("au{i}")))]))
+        })
+        .collect();
+    let styles = ["body", "quote", "code", "heading"];
+    let mut documents = Vec::with_capacity(p.documents);
+    for d in 0..p.documents {
+        let sections: Vec<Value> = (0..p.sections_per_doc)
+            .map(|s| {
+                let paras: Vec<Value> = (0..p.paras_per_section)
+                    .map(|q| {
+                        Value::tuple([
+                            ("style", Value::str(styles[rng.gen_range(0..styles.len())])),
+                            ("words", Value::int(rng.gen_range(5..120))),
+                            ("text", Value::str(format!("d{d}s{s}p{q}"))),
+                        ])
+                    })
+                    .collect();
+                Value::tuple([
+                    ("title", Value::str(format!("Section {s} of d{d}"))),
+                    ("paras", Value::array(paras)),
+                ])
+            })
+            .collect();
+        let doc = Value::tuple([
+            ("title", Value::str(format!("Doc {d}"))),
+            ("author", Value::Ref(authors[d % authors.len()])),
+            ("sections", Value::array(sections)),
+        ]);
+        documents.push(db.store_mut().create_unchecked(doc_ty, doc));
+    }
+    db.put_object(
+        "Docs",
+        SchemaType::set(SchemaType::reference("Document")),
+        Value::set(documents.iter().map(|o| Value::Ref(*o))),
+    );
+    db.collect_stats();
+    Ok(DocumentStore { db, documents })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_ordered_nesting() {
+        let ds = generate_documents(&DocumentParams {
+            documents: 3,
+            sections_per_doc: 2,
+            paras_per_section: 4,
+            ..Default::default()
+        })
+        .unwrap();
+        let mut db = ds.db;
+        // First paragraph of the first section of every document, in order.
+        let out = db
+            .execute("retrieve (D.sections[1].paras[1].text) from D in Docs")
+            .unwrap();
+        assert_eq!(out.as_set().unwrap().len(), 3);
+        for (v, _) in out.as_set().unwrap().iter_counted() {
+            assert!(v.as_str().unwrap().ends_with("s0p0"));
+        }
+    }
+
+    #[test]
+    fn array_navigation_preserves_order() {
+        let ds = generate_documents(&DocumentParams {
+            documents: 1,
+            sections_per_doc: 3,
+            paras_per_section: 2,
+            ..Default::default()
+        })
+        .unwrap();
+        let mut db = ds.db;
+        // Section titles of the single doc, as an ordered array.
+        let out = db
+            .execute("retrieve (the(Docs).sections.title)")
+            .unwrap_or_else(|e| panic!("{e}"));
+        let arr = out.as_array().expect("ordered array");
+        let titles: Vec<&str> = arr.iter().map(|v| v.as_str().unwrap()).collect();
+        assert_eq!(titles, vec!["Section 0 of d0", "Section 1 of d0", "Section 2 of d0"]);
+    }
+
+    #[test]
+    fn word_counts_via_nested_array_aggregation() {
+        let ds = generate_documents(&DocumentParams::default()).unwrap();
+        let mut db = ds.db;
+        let out = db
+            .execute(
+                "retrieve (D.title, total = sum(collapse(D.sections.paras).words))
+                 from D in Docs",
+            )
+            .unwrap();
+        let set = out.as_set().unwrap();
+        assert_eq!(set.len() as usize, DocumentParams::default().documents);
+        for (row, _) in set.iter_counted() {
+            let total = row.as_tuple().unwrap().get("total").unwrap().as_int().unwrap();
+            // 5 sections × 8 paras × words ∈ [5, 120)
+            assert!((5 * 8 * 5..5 * 8 * 120).contains(&total), "{total}");
+        }
+    }
+}

@@ -1,0 +1,15 @@
+//! # excess-workload — parameterised Figure 1 university database
+//!
+//! Deterministic, seeded generator for the paper's example database plus
+//! the canned query texts for every experiment (see DESIGN.md).
+
+#![warn(missing_docs)]
+
+pub mod documents;
+pub mod params;
+pub mod queries;
+pub mod university;
+
+pub use documents::{generate_documents, DocumentParams, DocumentStore};
+pub use params::UniversityParams;
+pub use university::{generate, University, FIGURE1_DDL};

@@ -1,0 +1,82 @@
+//! Workload knobs.
+//!
+//! Each knob maps to a lever in one of the paper's performance arguments
+//! (see DESIGN.md's experiment index): duplication factor for Figures 6–8,
+//! floor/city selectivity for Figures 4 and 9–11, `sub_ords` size and the
+//! exact-type mix for Figure 5.
+
+/// Parameters of the Figure 1 university database generator.
+#[derive(Debug, Clone, Copy)]
+pub struct UniversityParams {
+    /// RNG seed (generation is fully deterministic given the seed).
+    pub seed: u64,
+    /// Number of `Department` objects.
+    pub departments: usize,
+    /// Number of `Employee` objects.
+    pub employees: usize,
+    /// Number of `Student` objects.
+    pub students: usize,
+    /// Number of plain `Person` structures (only in the by-value `P` set).
+    pub plain_persons: usize,
+    /// Children per employee (exact).
+    pub kids_per_employee: usize,
+    /// Subordinates per employee (exact; drawn from earlier employees).
+    pub sub_ords_per_employee: usize,
+    /// Number of distinct advisor names students draw from — the
+    /// duplication-factor lever for Example 1 (Figures 6–8): fewer names
+    /// ⇒ more duplicate (dept, advisor) pairs.
+    pub distinct_advisors: usize,
+    /// Number of distinct floors (uniform); `floor = k` predicates then
+    /// have selectivity ≈ 1/floors.
+    pub floors: usize,
+    /// Fraction of employees living in Madison (Figure 4 selectivity).
+    pub madison_fraction: f64,
+    /// Number of distinct division names for departments.
+    pub divisions: usize,
+}
+
+impl Default for UniversityParams {
+    fn default() -> Self {
+        UniversityParams {
+            seed: 0x00EC_CE55,
+            departments: 10,
+            employees: 200,
+            students: 200,
+            plain_persons: 100,
+            kids_per_employee: 2,
+            sub_ords_per_employee: 4,
+            distinct_advisors: 20,
+            floors: 5,
+            madison_fraction: 0.2,
+            divisions: 4,
+        }
+    }
+}
+
+impl UniversityParams {
+    /// A tiny database for unit tests.
+    pub fn tiny() -> Self {
+        UniversityParams {
+            departments: 3,
+            employees: 12,
+            students: 10,
+            plain_persons: 5,
+            kids_per_employee: 2,
+            sub_ords_per_employee: 2,
+            distinct_advisors: 4,
+            floors: 3,
+            madison_fraction: 0.25,
+            divisions: 2,
+            ..Default::default()
+        }
+    }
+
+    /// Scale the population sizes by a factor (benchmark sweeps).
+    pub fn scaled(mut self, factor: usize) -> Self {
+        self.departments = (self.departments * factor).max(1);
+        self.employees = (self.employees * factor).max(1);
+        self.students = (self.students * factor).max(1);
+        self.plain_persons = (self.plain_persons * factor).max(1);
+        self
+    }
+}

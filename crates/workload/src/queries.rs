@@ -1,0 +1,81 @@
+//! Canned EXCESS texts for every paper query and method, keyed by the
+//! experiment index in DESIGN.md.
+
+/// Section 2.2, first example: children of employees in 2nd-floor
+/// departments.
+pub const SECTION2_KIDS: &str = r#"
+range of E is Employees
+retrieve (C.name) from C in E.kids where E.dept.floor = 2
+"#;
+
+/// Section 2.2, second example: per-employee minimum kid age on the same
+/// floor (correlated aggregate).
+pub const SECTION2_MIN_AGE: &str = r#"
+range of EMP is Employees
+retrieve (EMP.name, min(E.kids.age
+   from E in Employees
+   where E.dept.floor = EMP.dept.floor))
+"#;
+
+/// Figure 3: name and salary of the 5th TopTen employee.
+pub const FIGURE3: &str = "retrieve (TopTen[5].name, TopTen[5].salary)";
+
+/// Figure 4: functional join — department names of Madison employees.
+pub const FIGURE4: &str =
+    r#"retrieve (Employees.dept.name) where Employees.city = "Madison""#;
+
+/// Section 5 Example 1 (Figures 6–8): advisors grouped by student dept,
+/// using the *value* advisor field.
+pub const EXAMPLE1: &str = r#"
+range of S is Students
+range of E is Employees
+retrieve unique (S.dept.name, E.name) by S.dept where S.advisor_name = E.name
+"#;
+
+/// Section 5 Example 2 (Figures 9–11): student names by division for
+/// 5th-floor departments.
+pub const EXAMPLE2: &str = r#"
+range of S is Students
+retrieve (S.name) by S.dept.division where S.dept.floor = 5
+"#;
+
+/// Section 4's `get_ssnum` method (the inlining example).
+pub const DEFINE_GET_SSNUM: &str = r#"
+define Employee function get_ssnum (kname: char[]) returns int4
+{
+  retrieve (this.kids.ssnum) where (this.kids.name = kname)
+}
+"#;
+
+/// Section 4's `boss` method family: "returns the name of the person in
+/// charge of p's life" — trivial bodies, where the switch-table approach
+/// should win.
+pub const DEFINE_BOSS: &str = r#"
+define Person function boss () returns char[]
+{ retrieve (this.name) }
+
+define Employee function boss () returns char[]
+{ retrieve (this.manager.name) }
+
+define Student function boss () returns char[]
+{ retrieve (this.advisor.name) }
+"#;
+
+/// Invoke `boss` over the heterogeneous by-value set P.
+pub const QUERY_BOSS: &str = "retrieve (x.boss()) from x in P";
+
+/// The expensive overridden method: bodies scan large nested sets
+/// (`sub_ords` for employees) — where the ⊎-based plan should win.
+pub const DEFINE_WORKLOAD: &str = r#"
+define Person function load () returns int4
+{ retrieve (0) }
+
+define Employee function load () returns int4
+{ retrieve (count(s.salary from s in this.sub_ords where s.salary > 0)) }
+
+define Student function load () returns int4
+{ retrieve (count(e.salary from e in this.dept.employees where e.salary > 0)) }
+"#;
+
+/// Invoke `load` over P.
+pub const QUERY_WORKLOAD: &str = "retrieve (x.load()) from x in P";

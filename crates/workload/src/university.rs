@@ -1,0 +1,314 @@
+//! The Figure 1 university database, generated synthetically.
+//!
+//! Substitution note (DESIGN.md): the paper has no dataset; every
+//! performance argument it makes is parameterised by duplication factor,
+//! selectivity, nested-set size, and type mix, which
+//! [`crate::params::UniversityParams`] controls directly.
+//!
+//! Beyond Figure 1's schema we add two fields the paper's examples assume:
+//!
+//! * `Student.advisor_name: char[]` — Section 5 Example 1 says "assume the
+//!   advisor field of Student is a value (the advisor's name) instead of a
+//!   reference"; keeping both lets one database serve both examples;
+//! * the by-value set `P : { Person }` from Section 4, holding a mix of
+//!   exact `Person`/`Employee`/`Student` structures for dispatch tests.
+
+use crate::params::UniversityParams;
+use excess_db::{Database, DbResult};
+use excess_types::{Date, Oid, SchemaType, Value};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Handle to the generated database plus the OIDs it created (useful for
+/// direct store manipulation in tests).
+pub struct University {
+    /// The populated database.
+    pub db: Database,
+    /// OIDs of the Department objects.
+    pub departments: Vec<Oid>,
+    /// OIDs of the Employee objects.
+    pub employees: Vec<Oid>,
+    /// OIDs of the Student objects.
+    pub students: Vec<Oid>,
+}
+
+/// The Figure 1 DDL (with the documented `advisor_name` addition).
+pub const FIGURE1_DDL: &str = r#"
+define type Person:
+  ( ssnum: int4, name: char[], street: char[20], city: char[10],
+    zip: int4, birthday: Date )
+
+define type Employee:
+  ( jobtitle: char[20], dept: ref Department, manager: ref Employee,
+    sub_ords: { ref Employee }, salary: int4, kids: { Person } )
+  inherits Person
+
+define type Student:
+  ( gpa: float4, dept: ref Department, advisor: ref Employee,
+    advisor_name: char[] )
+  inherits Person
+
+define type Department:
+  ( division: char[], name: char[], floor: int4,
+    employees: { ref Employee } )
+
+create Employees: { ref Employee }
+create Students: { ref Student }
+create Departments: { ref Department }
+create TopTen: array [1..10] of ref Employee
+create P: { Person }
+"#;
+
+// `Department` is referenced by `Employee` before it is defined; EXTRA's
+// DDL in Figure 1 has the same forward reference.  The registry resolves
+// `ref` targets lazily, so definition order inside the DDL only matters
+// for `inherits`; we re-order Department before Employee when executing.
+
+/// Generate the university database.
+pub fn generate(p: &UniversityParams) -> DbResult<University> {
+    let mut db = Database::new();
+    // Figure 1, with Department first so `ref Department` targets resolve
+    // at object-creation time.
+    db.execute(
+        r#"define type Person:
+             ( ssnum: int4, name: char[], street: char[20], city: char[10],
+               zip: int4, birthday: Date )"#,
+    )?;
+    db.execute(
+        r#"define type Department:
+             ( division: char[], name: char[], floor: int4,
+               employees: { ref Employee } )"#,
+    )?;
+    db.execute(
+        r#"define type Employee:
+             ( jobtitle: char[20], dept: ref Department, manager: ref Employee,
+               sub_ords: { ref Employee }, salary: int4, kids: { Person } )
+             inherits Person"#,
+    )?;
+    db.execute(
+        r#"define type Student:
+             ( gpa: float4, dept: ref Department, advisor: ref Employee,
+               advisor_name: char[] )
+             inherits Person"#,
+    )?;
+    db.execute("create Employees: { ref Employee }")?;
+    db.execute("create Students: { ref Student }")?;
+    db.execute("create Departments: { ref Department }")?;
+    db.execute("create TopTen: array [1..10] of ref Employee")?;
+    db.execute("create P: { Person }")?;
+
+    let mut rng = StdRng::seed_from_u64(p.seed);
+    let dept_ty = db.registry().lookup("Department")?;
+    let emp_ty = db.registry().lookup("Employee")?;
+    let stu_ty = db.registry().lookup("Student")?;
+
+    // Departments (employees back-refs filled in afterwards).
+    let mut departments = Vec::with_capacity(p.departments);
+    for i in 0..p.departments {
+        let v = Value::tuple([
+            ("division", Value::str(format!("Division{}", i % p.divisions.max(1)))),
+            ("name", Value::str(format!("Dept{i}"))),
+            ("floor", Value::int((i % p.floors.max(1)) as i32 + 1)),
+            ("employees", Value::set([])),
+        ]);
+        departments.push(db.store_mut().create_unchecked(dept_ty, v));
+    }
+
+    // Employees.
+    let mut employees: Vec<Oid> = Vec::with_capacity(p.employees);
+    for i in 0..p.employees {
+        let dept = departments[rng.gen_range(0..departments.len().max(1))];
+        let manager = if employees.is_empty() {
+            Value::dne()
+        } else {
+            Value::Ref(employees[rng.gen_range(0..employees.len())])
+        };
+        let sub_ords: Vec<Value> = (0..p.sub_ords_per_employee.min(employees.len()))
+            .map(|_| Value::Ref(employees[rng.gen_range(0..employees.len())]))
+            .collect();
+        let kids: Vec<Value> = (0..p.kids_per_employee)
+            .map(|k| person_value(&mut rng, p, &format!("Kid{i}_{k}")))
+            .collect();
+        let mut fields = person_fields(&mut rng, p, &format!("Emp{i}"));
+        fields.extend([
+            ("jobtitle".to_string(), Value::str(format!("Job{}", i % 7))),
+            ("dept".to_string(), Value::Ref(dept)),
+            ("manager".to_string(), manager),
+            ("sub_ords".to_string(), Value::set(sub_ords)),
+            ("salary".to_string(), Value::int(30_000 + (i as i32 % 50) * 1000)),
+            ("kids".to_string(), Value::set(kids)),
+        ]);
+        employees.push(db.store_mut().create_unchecked(emp_ty, Value::tuple(fields)));
+    }
+
+    // Back-fill Department.employees.
+    for (di, d) in departments.iter().enumerate() {
+        let members: Vec<Value> = employees
+            .iter()
+            .enumerate()
+            .filter(|(ei, _)| ei % departments.len().max(1) == di)
+            .map(|(_, o)| Value::Ref(*o))
+            .collect();
+        let mut v = db.store().deref(*d)?.clone();
+        if let Value::Tuple(t) = &mut v {
+            let mut fields = t.clone().into_fields();
+            for f in &mut fields {
+                if f.0 == "employees" {
+                    f.1 = Value::set(members.clone());
+                }
+            }
+            v = Value::Tuple(excess_types::Tuple::from_fields(fields));
+        }
+        db.update_stored(*d, v)?;
+    }
+
+    // Students.
+    let mut students = Vec::with_capacity(p.students);
+    for i in 0..p.students {
+        let dept = departments[rng.gen_range(0..departments.len().max(1))];
+        let advisor_idx = rng.gen_range(0..employees.len().max(1));
+        // Advisor *names* are drawn from a small pool to control the
+        // Example 1 duplication factor.
+        let advisor_name =
+            format!("Emp{}", advisor_idx % p.distinct_advisors.max(1));
+        let mut fields = person_fields(&mut rng, p, &format!("Stu{i}"));
+        fields.extend([
+            ("gpa".to_string(), Value::float(2.0 + f64::from(i as u32 % 20) / 10.0)),
+            ("dept".to_string(), Value::Ref(dept)),
+            ("advisor".to_string(), Value::Ref(employees[advisor_idx])),
+            ("advisor_name".to_string(), Value::str(advisor_name)),
+        ]);
+        students.push(db.store_mut().create_unchecked(stu_ty, Value::tuple(fields)));
+    }
+
+    // Named top-level objects.
+    let ref_set = |name: &str, oids: &[Oid]| {
+        (
+            SchemaType::set(SchemaType::reference(name)),
+            Value::set(oids.iter().map(|o| Value::Ref(*o))),
+        )
+    };
+    let (s, v) = ref_set("Employee", &employees);
+    db.put_object("Employees", s, v);
+    let (s, v) = ref_set("Student", &students);
+    db.put_object("Students", s, v);
+    let (s, v) = ref_set("Department", &departments);
+    db.put_object("Departments", s, v);
+    let top: Vec<Value> = (0..10)
+        .map(|i| employees.get(i).map(|o| Value::Ref(*o)).unwrap_or_else(Value::dne))
+        .collect();
+    db.put_object(
+        "TopTen",
+        SchemaType::fixed_array(SchemaType::reference("Employee"), 10),
+        Value::array(top),
+    );
+
+    // The Section 4 by-value set P : { Person } with a mixed type profile:
+    // plain persons, employee-shaped, and student-shaped structures.
+    let mut p_elems: Vec<Value> = Vec::new();
+    for i in 0..p.plain_persons {
+        p_elems.push(person_value(&mut rng, p, &format!("Plain{i}")));
+    }
+    for o in employees.iter().take(p.employees / 2) {
+        p_elems.push(db.store().deref(*o)?.clone());
+    }
+    for o in students.iter().take(p.students / 2) {
+        p_elems.push(db.store().deref(*o)?.clone());
+    }
+    db.put_object(
+        "P",
+        SchemaType::set(SchemaType::named("Person")),
+        Value::set(p_elems),
+    );
+
+    db.collect_stats();
+    Ok(University { db, departments, employees, students })
+}
+
+fn person_fields(
+    rng: &mut StdRng,
+    p: &UniversityParams,
+    name: &str,
+) -> Vec<(String, Value)> {
+    let city = if rng.gen_bool(p.madison_fraction.clamp(0.0, 1.0)) {
+        "Madison"
+    } else {
+        "Milwaukee"
+    };
+    let birthday = Date::new(1940 + rng.gen_range(0..45), rng.gen_range(1..=12), rng.gen_range(1..=28))
+        .expect("valid date");
+    vec![
+        ("ssnum".to_string(), Value::int(rng.gen_range(100_000_000..999_999_999))),
+        ("name".to_string(), Value::str(name)),
+        ("street".to_string(), Value::str(format!("{} Main St", rng.gen_range(1..999)))),
+        ("city".to_string(), Value::str(city)),
+        ("zip".to_string(), Value::int(53_700 + rng.gen_range(0..100))),
+        ("birthday".to_string(), Value::date(birthday)),
+    ]
+}
+
+fn person_value(rng: &mut StdRng, p: &UniversityParams, name: &str) -> Value {
+    Value::tuple(person_fields(rng, p, name))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generates_consistent_database() {
+        let u = generate(&UniversityParams::tiny()).unwrap();
+        assert_eq!(u.employees.len(), 12);
+        assert_eq!(u.students.len(), 10);
+        let emps = u.db.catalog().value("Employees").unwrap();
+        assert_eq!(emps.as_set().unwrap().len() as usize, 12);
+        let top = u.db.catalog().value("TopTen").unwrap();
+        assert_eq!(top.as_array().unwrap().len(), 10);
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = generate(&UniversityParams::tiny()).unwrap();
+        let b = generate(&UniversityParams::tiny()).unwrap();
+        assert_eq!(
+            a.db.catalog().value("P").unwrap(),
+            b.db.catalog().value("P").unwrap()
+        );
+    }
+
+    #[test]
+    fn every_reference_resolves() {
+        let u = generate(&UniversityParams::tiny()).unwrap();
+        for name in ["Employees", "Students", "Departments"] {
+            let set = u.db.catalog().value(name).unwrap().as_set().unwrap().clone();
+            for (v, _) in set.iter_counted() {
+                let oid = v.as_ref_oid().expect("ref element");
+                u.db.store().deref(oid).expect("live object");
+            }
+        }
+    }
+
+    #[test]
+    fn p_mixes_exact_types() {
+        let u = generate(&UniversityParams::tiny()).unwrap();
+        let p = u.db.catalog().value("P").unwrap().as_set().unwrap().clone();
+        let reg = u.db.registry();
+        let mut kinds = std::collections::HashSet::new();
+        for (v, _) in p.iter_counted() {
+            if let Some(t) = u.db.exact_type_of(v) {
+                kinds.insert(reg.name_of(t).to_string());
+            }
+        }
+        assert!(kinds.contains("Person"));
+        assert!(kinds.contains("Employee"));
+        assert!(kinds.contains("Student"));
+    }
+
+    #[test]
+    fn stats_reflect_population() {
+        let u = generate(&UniversityParams::tiny()).unwrap();
+        let s = u.db.statistics();
+        assert_eq!(s.object("Employees").rows, 12.0);
+        assert!(s.type_fractions.contains_key("Student"));
+    }
+}

@@ -1,0 +1,83 @@
+//! Ordered structured documents — the array side of the algebra.
+//!
+//! The paper positions EXCESS's arrays against the NST office-document
+//! algebra [Guti89]: "our operators can be used in such a way that the
+//! ordering properties of the arrays can either be preserved or not,
+//! depending on the requirements of the query".  This example shows both
+//! modes over a nested Document → Section → Paragraph store.
+//!
+//! ```sh
+//! cargo run --release --example documents
+//! ```
+
+use excess::algebra::expr::{CmpOp, Expr, Pred};
+use excess::workload::{generate_documents, DocumentParams};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let params = DocumentParams { documents: 8, ..Default::default() };
+    let mut db = generate_documents(&params)?.db;
+
+    // Order-preserving: the opening paragraph of every document.
+    let openings = db.execute(
+        "retrieve (D.title, opening = D.sections[1].paras[1].text) from D in Docs",
+    )?;
+    println!("openings: {openings}\n");
+
+    // Order-preserving slice: the first two sections' titles of one doc.
+    let toc = db.execute(
+        r#"retrieve (subarr(the((retrieve (D.sections) from D in Docs
+                                 where D.title = "Doc 3")), 1, 2).title)"#,
+    )?;
+    println!("Doc 3, first two sections: {toc}\n");
+
+    // Order-erasing: word statistics ignore paragraph order entirely.
+    let stats = db.execute(
+        "retrieve (D.title, words = sum(collapse(D.sections.paras).words),
+                   longest = max(collapse(D.sections.paras).words))
+         from D in Docs",
+    )?;
+    println!("per-document word stats: {stats}\n");
+
+    // The same distinction in raw algebra: ARR_APPLY keeps positions,
+    // while a multiset aggregation of the flattened paragraphs drops them.
+    let ordered_styles = Expr::named("Docs")
+        .set_apply(
+            Expr::input()
+                .deref()
+                .extract("sections")
+                .arr_extract(1)
+                .extract("paras")
+                .arr_apply(Expr::input().extract("style")),
+        );
+    let out = db.run_plan(&ordered_styles)?;
+    println!("first-section style sequences (ordered arrays):");
+    for (v, _) in out.as_set().unwrap().iter_counted() {
+        println!("  {v}");
+    }
+
+    // Filtering inside an ordered array: long paragraphs of section 1,
+    // positions of survivors preserved (array σ drops, never reorders).
+    let long_paras = Expr::named("Docs").set_apply(
+        Expr::input()
+            .deref()
+            .extract("sections")
+            .arr_extract(1)
+            .extract("paras")
+            .arr_apply(
+                Expr::input()
+                    .comp(Pred::cmp(
+                        Expr::input().extract("words"),
+                        CmpOp::Ge,
+                        Expr::int(60),
+                    ))
+                    .extract("text"),
+            ),
+    );
+    let out = db.run_plan(&long_paras)?;
+    println!("\nlong paragraphs of each first section, in document order:");
+    for (v, _) in out.as_set().unwrap().iter_counted() {
+        println!("  {v}");
+    }
+
+    Ok(())
+}

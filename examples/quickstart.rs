@@ -1,0 +1,76 @@
+//! Quickstart: define an EXTRA schema, load data, and query it with EXCESS.
+//!
+//! ```sh
+//! cargo run --example quickstart
+//! ```
+
+use excess::db::Database;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut db = Database::new();
+
+    // EXTRA DDL: tuple types with inheritance, multisets, references.
+    db.execute(
+        r#"
+        define type Person: (name: char[], birthday: Date)
+        define type Department: (name: char[], floor: int4)
+        define type Employee: (salary: int4, dept: ref Department)
+          inherits Person
+        create Departments: { ref Department }
+        create Employees: { ref Employee }
+    "#,
+    )?;
+
+    // Updates: appending a tuple to a { ref T } set creates the object and
+    // stores a reference to it (object identity for free).
+    db.execute(r#"append to Departments (name: "CS", floor: 2)"#)?;
+    db.execute(r#"append to Departments (name: "Math", floor: 3)"#)?;
+
+    // Wire employees to their department through a sub-retrieve.
+    db.execute(
+        r#"append to Employees
+           (name: "Ada", birthday: date(1960, 12, 10), salary: 95000,
+            dept: the((retrieve (d) from d in Departments where d.name = "CS")))"#,
+    )?;
+    db.execute(
+        r#"append to Employees
+           (name: "Emmy", birthday: date(1955, 3, 23), salary: 99000,
+            dept: the((retrieve (d) from d in Departments where d.name = "Math")))"#,
+    )?;
+
+    // A functional join, QUEL-style: paths silently dereference.
+    let out = db.execute(
+        r#"retrieve (E.name, E.dept.name, E.dept.floor)
+           from E in Employees where E.salary > 96000"#,
+    )?;
+    println!("employees above 96k: {out}");
+
+    // The same query's algebra plan, before and after optimization.
+    let plan = db.plan_for(
+        r#"retrieve (E.name) from E in Employees where E.dept.floor = 2"#,
+    )?;
+    println!("\ninitial plan:   {plan}");
+    println!("optimized plan: {}", db.optimize_plan(&plan));
+
+    // Virtual fields: `age` computes from `birthday` (today = 1990-12-01,
+    // the paper's date).
+    let ages = db.execute("retrieve (E.name, E.age) from E in Employees")?;
+    println!("\nages: {ages}");
+
+    // Methods are EXCESS statements stored as algebra trees and inlined at
+    // call sites.
+    db.execute(
+        r#"define Employee function dept_floor () returns int4
+           { retrieve (this.dept.floor) }"#,
+    )?;
+    let floors = db.execute("retrieve (E.dept_floor()) from E in Employees")?;
+    println!("floors via method: {floors}");
+
+    // Grouping with `by`, uniqueness with `unique`.
+    let grouped = db.execute(
+        r#"retrieve unique (E.name) by E.dept.floor from E in Employees"#,
+    )?;
+    println!("names grouped by floor: {grouped}");
+
+    Ok(())
+}

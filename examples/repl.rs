@@ -1,0 +1,109 @@
+//! An interactive EXCESS shell over an in-memory database.
+//!
+//! ```sh
+//! cargo run --example repl
+//! ```
+//!
+//! Meta-commands:
+//!   .help             this text
+//!   .objects          list named top-level objects with their schemas
+//!   .plan <retrieve>  show the initial and optimized algebra plans
+//!   .counters         work counters of the last query
+//!   .load university  load the Figure 1 workload
+//!   .dump             print the schema as EXTRA DDL
+//!   .sweep            garbage-collect unreachable objects
+//!   .quit             exit
+//!
+//! Anything else is executed as EXCESS (multi-statement input is fine;
+//! statements may span lines — the shell submits on an empty line).
+
+use excess::db::Database;
+use std::io::{BufRead, Write};
+
+fn main() {
+    let mut db = Database::new();
+    let stdin = std::io::stdin();
+    let mut buffer = String::new();
+    println!("EXCESS shell — .help for commands, empty line to submit.");
+    print_prompt(&buffer);
+    for line in stdin.lock().lines() {
+        let line = match line {
+            Ok(l) => l,
+            Err(_) => break,
+        };
+        let trimmed = line.trim();
+        if buffer.is_empty() && trimmed.starts_with('.') {
+            if !meta(&mut db, trimmed) {
+                break;
+            }
+            print_prompt(&buffer);
+            continue;
+        }
+        if trimmed.is_empty() {
+            if !buffer.trim().is_empty() {
+                match db.execute(&buffer) {
+                    Ok(v) => println!("{}", excess::db::format_result(&v)),
+                    Err(e) => println!("error: {e}"),
+                }
+            }
+            buffer.clear();
+        } else {
+            buffer.push_str(&line);
+            buffer.push('\n');
+        }
+        print_prompt(&buffer);
+    }
+}
+
+fn print_prompt(buffer: &str) {
+    if buffer.is_empty() {
+        print!("excess> ");
+    } else {
+        print!("   ...> ");
+    }
+    let _ = std::io::stdout().flush();
+}
+
+/// Handle a meta-command; returns `false` to quit.
+fn meta(db: &mut Database, cmd: &str) -> bool {
+    let (head, rest) = cmd.split_once(' ').unwrap_or((cmd, ""));
+    match head {
+        ".quit" | ".exit" => return false,
+        ".help" => println!(
+            ".objects | .plan <retrieve> | .counters | .load university | .dump | .sweep | .quit"
+        ),
+        ".objects" => {
+            let mut names: Vec<&str> = db.catalog().names().collect();
+            names.sort_unstable();
+            for n in names {
+                if let Some(s) = db.catalog().schema(n) {
+                    println!("  {n} : {s}");
+                }
+            }
+        }
+        ".counters" => println!("  {}", db.last_counters()),
+        ".dump" => print!("{}", db.dump_schema()),
+        ".sweep" => println!("collected {} unreachable objects", db.sweep()),
+        ".load" if rest.trim() == "university" => {
+            match excess::workload::generate(&excess::workload::UniversityParams::default()) {
+                Ok(u) => {
+                    *db = u.db;
+                    println!("loaded the Figure 1 university database");
+                }
+                Err(e) => println!("error: {e}"),
+            }
+        }
+        ".plan" => match db.plan_for(rest) {
+            Ok(plan) => {
+                println!("-- initial --\n{}", db.explain(&plan));
+                let optimized = db.optimize_plan(&plan);
+                if optimized != plan {
+                    println!("-- optimized --\n{}", db.explain(&optimized));
+                }
+            }
+            Err(e) => println!("error: {e}"),
+        },
+        other => println!("unknown command `{other}` — try .help"),
+    }
+    true
+}

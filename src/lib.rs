@@ -1,0 +1,35 @@
+//! # excess — facade crate
+//!
+//! Re-exports the whole EXCESS workspace (see DESIGN.md) behind one crate:
+//!
+//! * [`types`] — the EXTRA type system: schemas, values, inheritance, OIDs,
+//!   the object store;
+//! * [`algebra`] — the EXCESS algebra: the 23 primitive operators, derived
+//!   operators, and the evaluator;
+//! * [`optimizer`] — the transformation-rule catalogue and cost-based
+//!   rewrite engine;
+//! * [`lang`] — the EXCESS query language: parser, EXCESS→algebra
+//!   translator, algebra→EXCESS decompiler, and method registry;
+//! * [`db`] — the end-to-end [`db::Database`] engine;
+//! * [`workload`] — the Figure 1 university-database generator used by the
+//!   examples and benchmarks.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use excess::db::Database;
+//!
+//! let mut db = Database::new();
+//! db.execute("define type Dept: (name: char[], floor: int4)").unwrap();
+//! db.execute("create Depts: { Dept }").unwrap();
+//! db.execute("append to Depts (name: \"CS\", floor: 2)").unwrap();
+//! let out = db.execute("retrieve (D.name) from D in Depts where D.floor = 2").unwrap();
+//! assert_eq!(out.to_string(), "{ \"CS\" }");
+//! ```
+
+pub use excess_core as algebra;
+pub use excess_db as db;
+pub use excess_lang as lang;
+pub use excess_optimizer as optimizer;
+pub use excess_types as types;
+pub use excess_workload as workload;

@@ -1,0 +1,58 @@
+//! Error types render actionable messages at every layer.
+
+use excess::db::Database;
+
+#[test]
+fn type_errors_name_the_offender() {
+    use excess::types::{SchemaType, TypeRegistry};
+    let mut r = TypeRegistry::new();
+    r.define("A", SchemaType::tuple([("x", SchemaType::int4())])).unwrap();
+    let dup = r.define("A", SchemaType::int4()).unwrap_err();
+    assert_eq!(dup.to_string(), "type `A` defined twice");
+    let unknown = r.lookup("Nope").unwrap_err();
+    assert_eq!(unknown.to_string(), "unknown type `Nope`");
+}
+
+#[test]
+fn eval_errors_name_operator_and_sorts() {
+    let mut db = Database::new();
+    db.execute("retrieve ({ 1 }) into S").unwrap();
+    let err = db.execute("retrieve (arr_extract(S, 1))").unwrap_err().to_string();
+    assert!(err.contains("array"), "{err}");
+    let err2 = db.execute("retrieve (1 / 0)").unwrap_err().to_string();
+    assert!(err2.contains("division by zero"), "{err2}");
+}
+
+#[test]
+fn parse_errors_point_at_the_token() {
+    let mut db = Database::new();
+    let err = db.execute("retrieve (1 +)").unwrap_err().to_string();
+    assert!(err.starts_with("parse error"), "{err}");
+    let err2 = db.execute("define type : ()").unwrap_err().to_string();
+    assert!(err2.contains("identifier"), "{err2}");
+}
+
+#[test]
+fn translate_errors_explain_name_resolution() {
+    let mut db = Database::new();
+    let err = db.execute("retrieve (Ghost.field)").unwrap_err().to_string();
+    assert!(err.contains("unknown name `Ghost`"), "{err}");
+}
+
+#[test]
+fn domain_violations_show_expected_and_found() {
+    let mut db = Database::new();
+    db.execute("define type T: (x: int4) create Ts: { T }").unwrap();
+    let err = db.execute(r#"append to Ts (x: "nope")"#).unwrap_err().to_string();
+    assert!(err.contains("int4"), "{err}");
+}
+
+#[test]
+fn workload_scaling_multiplies_populations() {
+    use excess::workload::UniversityParams;
+    let p = UniversityParams::default().scaled(3);
+    let d = UniversityParams::default();
+    assert_eq!(p.employees, d.employees * 3);
+    assert_eq!(p.students, d.students * 3);
+    assert_eq!(p.departments, d.departments * 3);
+}

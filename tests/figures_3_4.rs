@@ -1,0 +1,95 @@
+//! Figures 3 and 4 as *literally drawn* in the paper, evaluated against
+//! the translator's output for the corresponding EXCESS text.
+//!
+//! Figure 3:  π_{name,salary}(DEREF(ARR_EXTRACT_5(TopTen)))
+//!
+//! Figure 4 (bottom-up):
+//!   Employees
+//!   → SET_APPLY[DEREF(INPUT)]
+//!   → SET_APPLY[COMP_{TUP_EXTRACT_city(INPUT) = "Madison"}(INPUT)]
+//!   → SET_APPLY[DEREF(TUP_EXTRACT_dept(INPUT))]
+//!   → SET_APPLY[π_name]
+//!   (the last node is `π_name` applied per occurrence — the result is "a
+//!   multiset of 1-tuples obtained by projecting the name attribute")
+
+use excess::algebra::expr::{CmpOp, Expr, Pred};
+use excess::workload::{generate, queries, UniversityParams};
+
+#[test]
+fn figure3_verbatim_plan_equals_the_excess_query() {
+    let mut u = generate(&UniversityParams::tiny()).unwrap();
+    u.db.optimize = false;
+    let verbatim = Expr::named("TopTen")
+        .arr_extract(5)
+        .deref()
+        .project(["name", "salary"]);
+    let direct = u.db.run_plan(&verbatim).unwrap();
+    let via_excess = u.db.execute(queries::FIGURE3).unwrap();
+    assert_eq!(direct, via_excess);
+}
+
+#[test]
+fn figure4_verbatim_plan_matches_the_translator_modulo_tuple_shape() {
+    let mut u = generate(&UniversityParams::tiny()).unwrap();
+    u.db.optimize = false;
+    // The paper's four-level pipeline, node for node.
+    let verbatim = Expr::named("Employees")
+        .set_apply(Expr::input().deref())
+        .set_apply(Expr::input().comp(Pred::cmp(
+            Expr::input().extract("city"),
+            CmpOp::Eq,
+            Expr::str("Madison"),
+        )))
+        .set_apply(Expr::input().extract("dept").deref())
+        .set_apply(Expr::input().project(["name"]));
+    let paper_result = u.db.run_plan(&verbatim).unwrap();
+    // Our translator yields bare names for a single unlabeled target
+    // (documented choice); the figure yields 1-tuples.  Unwrap and compare.
+    let ours = u.db.execute(queries::FIGURE4).unwrap();
+    let unwrapped: excess::types::MultiSet = paper_result
+        .as_set()
+        .unwrap()
+        .iter_occurrences()
+        .map(|t| t.as_tuple().unwrap().extract("name").unwrap().clone())
+        .collect();
+    assert_eq!(excess::types::Value::Set(unwrapped), ours);
+    assert!(!paper_result.as_set().unwrap().is_empty());
+}
+
+#[test]
+fn figure4_counters_show_the_functional_join_shape() {
+    // The pipeline dereferences each employee once, then each *qualifying*
+    // employee's dept once — a functional join, not a cross product.
+    let p = UniversityParams { madison_fraction: 0.25, ..UniversityParams::tiny() };
+    let mut u = generate(&p).unwrap();
+    u.db.optimize = false;
+    let verbatim = Expr::named("Employees")
+        .set_apply(Expr::input().deref())
+        .set_apply(Expr::input().comp(Pred::cmp(
+            Expr::input().extract("city"),
+            CmpOp::Eq,
+            Expr::str("Madison"),
+        )))
+        .set_apply(Expr::input().extract("dept").deref())
+        .set_apply(Expr::input().project(["name"]));
+    let out = u.db.run_plan(&verbatim).unwrap();
+    let c = u.db.last_counters();
+    let n_emp = 12u64; // tiny() employees
+    let n_qualifying = out.as_set().unwrap().len();
+    assert_eq!(c.derefs, n_emp + n_qualifying);
+    assert_eq!(c.pairs_formed, 0, "a functional join forms no pairs");
+    // Four SET_APPLY levels; dne-filtered occurrences stop flowing after
+    // the COMP level.
+    assert_eq!(c.occurrences_scanned, n_emp * 2 + n_qualifying * 2);
+}
+
+#[test]
+fn optimizer_keeps_figure4_equivalent() {
+    let mut u = generate(&UniversityParams::tiny()).unwrap();
+    let plan = u.db.plan_for(queries::FIGURE4).unwrap();
+    let optimized = u.db.optimize_plan(&plan);
+    assert_eq!(
+        u.db.run_plan(&plan).unwrap(),
+        u.db.run_plan(&optimized).unwrap()
+    );
+}

@@ -1,0 +1,125 @@
+//! REF-minting plans under the rewrite engine: duplication-sensitive
+//! rules must refuse to fire on minting subexpressions, and everything
+//! that does fire must preserve results modulo object identity —
+//! including the *sharing structure* (canonical forms distinguish two
+//! references to one object from references to two equal-valued objects).
+
+use excess::algebra::canonical_form;
+use excess::algebra::expr::{CmpOp, Expr, Pred};
+use excess::db::Database;
+use excess::optimizer::{Optimizer, RuleCtx};
+use excess::types::{SchemaType, Value};
+
+fn database() -> Database {
+    let mut db = Database::new();
+    db.optimize = false;
+    db.execute("define type Cell: (v: int4)").unwrap();
+    db.put_object(
+        "Nums",
+        SchemaType::set(SchemaType::int4()),
+        Value::set([1, 1, 2, 3].map(Value::int)),
+    );
+    db.put_object(
+        "NumsB",
+        SchemaType::set(SchemaType::int4()),
+        Value::set([2, 4].map(Value::int)),
+    );
+    db
+}
+
+fn mint_body() -> Expr {
+    Expr::input().make_tup("v").make_ref("Cell")
+}
+
+fn minting_seeds() -> Vec<Expr> {
+    let nums = || Expr::named("Nums");
+    let numsb = || Expr::named("NumsB");
+    vec![
+        // The shapes whose naive rewrites would change mint counts:
+        // distribute × over ⊎ with a minting side,
+        nums().set_apply(mint_body()).cross(numsb().add_union(nums())),
+        // disjunctive σ over a minting input,
+        nums().set_apply(mint_body()).select(Pred::Not(Box::new(
+            Pred::cmp(Expr::input().deref().extract("v"), CmpOp::Eq, Expr::int(1))
+                .not()
+                .and(
+                    Pred::cmp(Expr::input().deref().extract("v"), CmpOp::Eq, Expr::int(2))
+                        .not(),
+                ),
+        ))),
+        // DE over a minting SET_APPLY over ×,
+        Expr::DupElim(Box::new(
+            nums()
+                .cross(numsb())
+                .set_apply(Expr::input().extract("fst").make_tup("v").make_ref("Cell")),
+        )),
+        // GRP over × whose other side mints,
+        nums()
+            .cross(numsb().set_apply(mint_body()))
+            .group_by(Expr::input().extract("fst")),
+        // fusion across a minting inner body (rule 15 — this one is fine
+        // and SHOULD still fire),
+        nums().set_apply(mint_body()).set_apply(Expr::input().deref().extract("v")),
+    ]
+}
+
+#[test]
+fn every_rewrite_of_a_minting_plan_is_sound_modulo_identity() {
+    let mut db = database();
+    let opt = Optimizer::standard();
+    let mut checked = 0;
+    for seed in minting_seeds() {
+        let base = db.run_plan(&seed).unwrap();
+        let base_canon = canonical_form(&base, db.store());
+        let ctx = RuleCtx { registry: db.registry(), schemas: db.catalog() };
+        for (rule, alt) in opt.neighbors(&seed, &ctx) {
+            let out = db
+                .run_plan(&alt)
+                .unwrap_or_else(|e| panic!("rule {rule} broke {seed}: {e}"));
+            let out_canon = canonical_form(&out, db.store());
+            assert_eq!(
+                base_canon, out_canon,
+                "rule {rule} changed a minting plan:\n  {seed}\n→ {alt}"
+            );
+            checked += 1;
+        }
+    }
+    assert!(checked > 0, "some rewrites must still apply to minting plans");
+}
+
+#[test]
+fn fusion_still_fires_on_minting_bodies() {
+    // Rule 15 preserves application counts, so it remains available even
+    // when the inner body mints.
+    let db = database();
+    let opt = Optimizer::standard();
+    let ctx = RuleCtx { registry: db.registry(), schemas: db.catalog() };
+    let seed = Expr::named("Nums")
+        .set_apply(mint_body())
+        .set_apply(Expr::input().deref().extract("v"));
+    let fired: Vec<&str> = opt.neighbors(&seed, &ctx).into_iter().map(|(r, _)| r).collect();
+    assert!(fired.contains(&"rule15-combine-set-applys"), "{fired:?}");
+}
+
+#[test]
+fn sharing_structure_is_what_canonical_forms_protect() {
+    // Two plans with equal deref'd values but different sharing must NOT
+    // be identified: one object referenced twice ≠ two equal objects.
+    let mut db = database();
+    let shared = Expr::int(7)
+        .make_tup("v")
+        .make_ref("Cell")
+        .make_set()
+        .set_apply(Expr::input().make_set())
+        .set_collapse(); // { r } — one object
+    let one = db.run_plan(&shared).unwrap();
+    let r = one.as_set().unwrap().iter_occurrences().next().unwrap().clone();
+    let two_shared = Value::set([r.clone(), r.clone()]);
+    let fresh_plan = Expr::int(7).make_tup("v").make_ref("Cell");
+    let r2 = db.run_plan(&fresh_plan).unwrap();
+    let two_distinct = Value::set([r, r2]);
+    assert_ne!(
+        canonical_form(&two_shared, db.store()),
+        canonical_form(&two_distinct, db.store())
+    );
+}

@@ -1,0 +1,149 @@
+//! The five OID-domain rules of Section 3.1, checked as laws over the
+//! hierarchy of Figure 1 extended with a multiple-inheritance diamond
+//! (`TA inherits Employee, Student`) — the exact scenario rule 5 governs.
+
+use excess::types::domain::{odom_contains, partition_cell_contains};
+use excess::types::{OidAllocator, SchemaType, TypeRegistry};
+
+fn hierarchy() -> (TypeRegistry, [excess::types::TypeId; 5]) {
+    let mut r = TypeRegistry::new();
+    let person = r
+        .define("Person", SchemaType::tuple([("name", SchemaType::chars())]))
+        .unwrap();
+    let employee = r
+        .define_with_supertypes(
+            "Employee",
+            SchemaType::tuple([("salary", SchemaType::int4())]),
+            &["Person"],
+        )
+        .unwrap();
+    let student = r
+        .define_with_supertypes(
+            "Student",
+            SchemaType::tuple([("gpa", SchemaType::float4())]),
+            &["Person"],
+        )
+        .unwrap();
+    let ta = r
+        .define_with_supertypes("TA", SchemaType::tuple::<_, String>([]), &["Employee", "Student"])
+        .unwrap();
+    let dept = r
+        .define("Department", SchemaType::tuple([("dname", SchemaType::chars())]))
+        .unwrap();
+    (r, [person, employee, student, ta, dept])
+}
+
+#[test]
+fn rule1_domains_are_inexhaustible() {
+    // |Odom(t)| = ∞ for every t — realised as a 2^64 serial space; minting
+    // many OIDs never collides.
+    let (_, [person, ..]) = hierarchy();
+    let mut alloc = OidAllocator::new();
+    let mut seen = std::collections::HashSet::new();
+    for _ in 0..10_000 {
+        assert!(seen.insert(alloc.mint(person)));
+    }
+}
+
+#[test]
+fn rule2_residue_after_subtypes_is_infinite() {
+    // |Odom(Person) − (Odom(Employee) ∪ Odom(Student) ∪ Odom(TA))| = ∞:
+    // OIDs minted *for Person itself* belong to no subtype's domain.
+    let (r, [person, employee, student, ta, _]) = hierarchy();
+    let mut alloc = OidAllocator::new();
+    for _ in 0..1_000 {
+        let o = alloc.mint(person);
+        assert!(odom_contains(&r, person, o));
+        for sub in [employee, student, ta] {
+            assert!(!odom_contains(&r, sub, o));
+        }
+    }
+}
+
+#[test]
+fn rule3_subtype_oids_flow_upward() {
+    // R → S ⇒ Odom(S) ⊆ Odom(R): every Employee OID is a Person OID.
+    let (r, [person, employee, _, ta, _]) = hierarchy();
+    let mut alloc = OidAllocator::new();
+    for _ in 0..100 {
+        let e = alloc.mint(employee);
+        assert!(odom_contains(&r, person, e));
+        let t = alloc.mint(ta);
+        assert!(odom_contains(&r, employee, t));
+        assert!(odom_contains(&r, person, t)); // transitively
+    }
+}
+
+#[test]
+fn rule4_unrelated_types_share_no_oids() {
+    // No shared descendants ⇒ disjoint domains: Department vs Person-tree.
+    let (r, [person, employee, student, ta, dept]) = hierarchy();
+    assert!(!r.shares_descendant(dept, person));
+    let mut alloc = OidAllocator::new();
+    for ty in [person, employee, student, ta] {
+        let o = alloc.mint(ty);
+        assert!(!odom_contains(&r, dept, o));
+        let d = alloc.mint(dept);
+        assert!(!odom_contains(&r, ty, d));
+    }
+    // Employee and Student DO share a descendant (TA), so rule 4 does not
+    // force disjointness: the TA OIDs are in both.
+    assert!(r.shares_descendant(employee, student));
+    let t = alloc.mint(ta);
+    assert!(odom_contains(&r, employee, t) && odom_contains(&r, student, t));
+}
+
+#[test]
+fn rule5_multiple_inheritance_intersection() {
+    // A → B with A = {Employee, Student}, B = {TA}:
+    // ⋃ Odom(Bj) ⊆ ⋂ Odom(Ai).
+    let (r, [_, employee, student, ta, _]) = hierarchy();
+    let mut alloc = OidAllocator::new();
+    for _ in 0..100 {
+        let o = alloc.mint(ta);
+        assert!(
+            odom_contains(&r, employee, o) && odom_contains(&r, student, o),
+            "TA OIDs must live in the intersection of the supertypes' domains"
+        );
+    }
+    // The intersection is not exhausted by B: an OID minted for Employee
+    // alone is in Odom(Employee) but not Odom(Student).
+    let e = alloc.mint(employee);
+    assert!(odom_contains(&r, employee, e) && !odom_contains(&r, student, e));
+}
+
+#[test]
+fn strict_partition_vs_amended_definition() {
+    // dom (strict R(n) cells) vs DOM (definition v'): the strict cell for
+    // Person contains only Person-minted OIDs.
+    let (r, [person, employee, ..]) = hierarchy();
+    let mut alloc = OidAllocator::new();
+    let p = alloc.mint(person);
+    let e = alloc.mint(employee);
+    assert!(partition_cell_contains(person, p));
+    assert!(!partition_cell_contains(person, e));
+    // …while the amended domain admits the subtype's OIDs.
+    assert!(odom_contains(&r, person, e));
+}
+
+#[test]
+fn type_migration_stays_inside_the_minting_partition() {
+    // "these semantics allow type migration to occur" — an object minted
+    // as Person may become a Student (or TA, transitively) and back, but a
+    // Student-minted object cannot become a plain Person.
+    let (r, [person, _, student, _, _]) = hierarchy();
+    let mut store = excess::types::ObjectStore::new();
+    let v_person = excess::types::Value::tuple([("name", excess::types::Value::str("A"))]);
+    let v_student = excess::types::Value::tuple([
+        ("name", excess::types::Value::str("A")),
+        ("gpa", excess::types::Value::float(3.0)),
+    ]);
+    let oid = store.create(&r, person, v_person.clone()).unwrap();
+    store.migrate(&r, oid, student, v_student.clone()).unwrap();
+    assert_eq!(store.exact_type(oid).unwrap(), student);
+    // References typed `ref Person` remain valid: oid ∈ Odom(Person).
+    assert!(odom_contains(&r, person, oid));
+    // Reverse direction from a Student-minted identity is rejected.
+    let s_oid = store.create(&r, student, v_student).unwrap();
+    assert!(store.migrate(&r, s_oid, person, v_person).is_err());
+}

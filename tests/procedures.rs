@@ -1,0 +1,103 @@
+//! Stored procedures: parameterised EXCESS scripts executed with `call`.
+
+use excess::db::Database;
+use excess::types::Value;
+
+fn payroll() -> Database {
+    let mut db = Database::new();
+    db.execute(
+        r#"define type Emp: (ename: char[], salary: int4)
+           create Emps: { ref Emp }
+           append to Emps (ename: "Ann", salary: 50000)
+           append to Emps (ename: "Bob", salary: 40000)
+           append to Emps (ename: "Cat", salary: 60000)"#,
+    )
+    .unwrap();
+    db
+}
+
+#[test]
+fn define_and_call_an_update_procedure() {
+    let mut db = payroll();
+    db.execute(
+        r#"define procedure give_raise (who: char[], amt: int4)
+           {
+             replace Emps (salary: Emps.salary + amt) where Emps.ename = who
+           }"#,
+    )
+    .unwrap();
+    db.execute(r#"call give_raise("Bob", 5000)"#).unwrap();
+    let out = db
+        .execute(r#"retrieve (the((retrieve (e.salary) from e in Emps where e.ename = "Bob")))"#)
+        .unwrap();
+    assert_eq!(out, Value::int(45_000));
+    // Others untouched.
+    let ann = db
+        .execute(r#"retrieve (the((retrieve (e.salary) from e in Emps where e.ename = "Ann")))"#)
+        .unwrap();
+    assert_eq!(ann, Value::int(50_000));
+    // Calls compose.
+    db.execute(r#"call give_raise("Bob", 1000) call give_raise("Ann", 1)"#).unwrap();
+    let bob = db
+        .execute(r#"retrieve (the((retrieve (e.salary) from e in Emps where e.ename = "Bob")))"#)
+        .unwrap();
+    assert_eq!(bob, Value::int(46_000));
+}
+
+#[test]
+fn procedures_can_mix_queries_and_updates() {
+    let mut db = payroll();
+    db.execute(
+        r#"define procedure snapshot_and_trim (floor: int4)
+           {
+             retrieve (e.ename) from e in Emps where e.salary < floor into Victims
+             delete from Emps where Emps.salary < floor
+             retrieve (count(Emps))
+           }"#,
+    )
+    .unwrap();
+    let remaining = db.execute("call snapshot_and_trim(45000)").unwrap();
+    assert_eq!(remaining, Value::int(2));
+    let victims = db.execute("retrieve (Victims)").unwrap();
+    assert_eq!(victims, Value::set([Value::str("Bob")]));
+}
+
+#[test]
+fn collection_arguments_pass_by_value() {
+    let mut db = payroll();
+    db.execute(
+        r#"define procedure keep_only (names: { char[] })
+           {
+             delete from Emps where not (Emps.ename in names)
+           }"#,
+    )
+    .unwrap();
+    db.execute(r#"call keep_only({ "Ann", "Cat" })"#).unwrap();
+    let out = db.execute("retrieve unique (e.ename) from e in Emps").unwrap();
+    assert_eq!(out, Value::set([Value::str("Ann"), Value::str("Cat")]));
+}
+
+#[test]
+fn argument_arity_and_domain_errors() {
+    let mut db = payroll();
+    db.execute(
+        r#"define procedure p (n: int4) { retrieve (n + 1) }"#,
+    )
+    .unwrap();
+    assert!(db.execute("call p()").is_err());
+    assert!(db.execute(r#"call p("nope")"#).is_err());
+    assert!(db.execute("call nope(1)").is_err());
+    assert_eq!(db.execute("call p(41)").unwrap(), Value::int(42));
+}
+
+#[test]
+fn parameters_shadowed_by_range_variables() {
+    let mut db = payroll();
+    // The parameter `e` must not capture the range variable `e`.
+    db.execute(
+        r#"define procedure count_above (e: int4)
+           { retrieve (count((retrieve (x) from x in Emps where x.salary > e))) }"#,
+    )
+    .unwrap();
+    assert_eq!(db.execute("call count_above(45000)").unwrap(), Value::int(2));
+}

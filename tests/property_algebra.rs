@@ -1,0 +1,231 @@
+//! Property-based tests (proptest) on the core data structures and the
+//! algebra's multiset/array laws, with randomly generated values.
+
+use excess::types::{multiset::naive, MultiSet, Value};
+use proptest::prelude::*;
+
+/// Random scalar-ish values (including nested structures two levels deep).
+fn arb_value() -> impl Strategy<Value = Value> {
+    let leaf = prop_oneof![
+        any::<i32>().prop_map(Value::int),
+        (-1.0e6f64..1.0e6).prop_map(Value::float),
+        "[a-z]{0,6}".prop_map(Value::str),
+        any::<bool>().prop_map(Value::bool),
+        Just(Value::unk()),
+    ];
+    leaf.prop_recursive(2, 16, 4, |inner| {
+        prop_oneof![
+            prop::collection::vec(inner.clone(), 0..4).prop_map(Value::set),
+            prop::collection::vec(inner.clone(), 0..4).prop_map(Value::array),
+            prop::collection::vec(("[a-c]", inner), 0..3).prop_map(|fs| {
+                // Field names must be unique within a tuple.
+                let mut seen = std::collections::HashSet::new();
+                Value::tuple(
+                    fs.into_iter()
+                        .filter(|(n, _)| seen.insert(n.clone()))
+                        .collect::<Vec<_>>(),
+                )
+            }),
+        ]
+    })
+}
+
+fn arb_multiset() -> impl Strategy<Value = MultiSet> {
+    prop::collection::vec(arb_value(), 0..12).prop_map(MultiSet::from_occurrences)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn value_order_is_total_and_consistent(a in arb_value(), b in arb_value(), c in arb_value()) {
+        use std::cmp::Ordering;
+        // Antisymmetry.
+        if a.cmp(&b) == Ordering::Equal {
+            prop_assert_eq!(&a, &b);
+        }
+        // Transitivity over one triple.
+        let mut v = [a, b, c];
+        v.sort();
+        prop_assert!(v[0] <= v[1] && v[1] <= v[2] && v[0] <= v[2]);
+    }
+
+    #[test]
+    fn additive_union_is_commutative_and_associative(
+        a in arb_multiset(), b in arb_multiset(), c in arb_multiset()
+    ) {
+        prop_assert_eq!(
+            a.clone().additive_union(b.clone()),
+            b.clone().additive_union(a.clone())
+        );
+        prop_assert_eq!(
+            a.clone().additive_union(b.clone().additive_union(c.clone())),
+            a.clone().additive_union(b.clone()).additive_union(c.clone())
+        );
+    }
+
+    #[test]
+    fn union_and_intersection_match_their_derivations(
+        a in arb_multiset(), b in arb_multiset()
+    ) {
+        // A ∪ B = (A − B) ⊎ B and A ∩ B = A − (A − B)   (Appendix §1)
+        prop_assert_eq!(
+            a.clone().union_max(&b),
+            a.clone().difference(&b).additive_union(b.clone())
+        );
+        prop_assert_eq!(
+            a.intersect_min(&b),
+            a.clone().difference(&a.clone().difference(&b))
+        );
+    }
+
+    #[test]
+    fn de_is_idempotent_and_bounds_cardinality(a in arb_multiset()) {
+        let de = a.dup_elim();
+        prop_assert_eq!(de.dup_elim(), de.clone());
+        prop_assert_eq!(de.len() as usize, a.distinct_len());
+        for (v, c) in de.iter_counted() {
+            prop_assert_eq!(c, 1);
+            prop_assert!(a.contains(v));
+        }
+    }
+
+    #[test]
+    fn difference_laws(a in arb_multiset(), b in arb_multiset()) {
+        // (A − B) ⊎ (A ∩ B) = A
+        prop_assert_eq!(
+            a.clone().difference(&b).additive_union(a.intersect_min(&b)),
+            a.clone()
+        );
+        // A − A = ∅
+        prop_assert!(a.clone().difference(&a).is_empty());
+    }
+
+    #[test]
+    fn cross_cardinality_multiplies(a in arb_multiset(), b in arb_multiset()) {
+        prop_assert_eq!(a.cross(&b).len(), a.len() * b.len());
+    }
+
+    #[test]
+    fn collapse_preserves_total_occurrences(inner in prop::collection::vec(arb_multiset(), 0..5)) {
+        let total: u64 = inner.iter().map(MultiSet::len).sum();
+        let outer: MultiSet = inner.into_iter().map(Value::Set).collect();
+        // Note: equal inner multisets merge in `outer`, but their
+        // cardinalities sum, so collapse still sees every occurrence.
+        prop_assert_eq!(outer.collapse().unwrap().len(), total);
+    }
+
+    #[test]
+    fn naive_kernels_agree_with_count_map(
+        a in prop::collection::vec(arb_value(), 0..10),
+        b in prop::collection::vec(arb_value(), 0..10)
+    ) {
+        let ms_a = MultiSet::from_occurrences(a.clone());
+        let ms_b = MultiSet::from_occurrences(b.clone());
+        // The naive kernels operate on raw occurrence lists which may
+        // contain dne; filter as the count map's insertion does.
+        let la: Vec<Value> = a.into_iter().filter(|v| !v.is_dne()).collect();
+        let lb: Vec<Value> = b.into_iter().filter(|v| !v.is_dne()).collect();
+        prop_assert_eq!(
+            MultiSet::from_occurrences(naive::additive_union(la.clone(), lb.clone())),
+            ms_a.clone().additive_union(ms_b.clone())
+        );
+        prop_assert_eq!(
+            MultiSet::from_occurrences(naive::dup_elim(&la)),
+            ms_a.dup_elim()
+        );
+        prop_assert_eq!(
+            MultiSet::from_occurrences(naive::difference(&la, &lb)),
+            ms_a.clone().difference(&ms_b)
+        );
+    }
+
+    #[test]
+    fn tuple_cat_is_associative_modulo_priming(
+        a in prop::collection::vec(("[a-b]", any::<i32>().prop_map(Value::int)), 0..3),
+        b in prop::collection::vec(("[c-d]", any::<i32>().prop_map(Value::int)), 0..3),
+        c in prop::collection::vec(("[e-f]", any::<i32>().prop_map(Value::int)), 0..3)
+    ) {
+        use excess::types::Tuple;
+        let dedup = |fs: Vec<(String, Value)>| {
+            let mut seen = std::collections::HashSet::new();
+            Tuple::from_fields(fs.into_iter().filter(|(n, _)| seen.insert(n.clone())))
+        };
+        let (ta, tb, tc) = (dedup(a), dedup(b), dedup(c));
+        // Disjoint name ranges: no priming, so cat is associative.
+        prop_assert_eq!(ta.cat(&tb).cat(&tc), ta.cat(&tb.cat(&tc)));
+    }
+}
+
+mod array_laws {
+    use super::*;
+    use excess::algebra::ops::array;
+    use excess::algebra::Bound;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(128))]
+
+        #[test]
+        fn subarr_composition_rule20(
+            a in prop::collection::vec(any::<i32>().prop_map(Value::int), 0..12),
+            j in 1usize..6, k in 1usize..12, m in 1usize..6, n in 1usize..12
+        ) {
+            prop_assume!(j <= k && m <= n);
+            // SUBARR_{m,n}(SUBARR_{j,k}(A)) = SUBARR_{j+m−1, min(j+n−1,k)}(A)
+            let lhs = array::subarr(
+                &array::subarr(&a, Bound::At(j), Bound::At(k)),
+                Bound::At(m),
+                Bound::At(n),
+            );
+            let rhs = array::subarr(
+                &a,
+                Bound::At(j + m - 1),
+                Bound::At((j + n - 1).min(k)),
+            );
+            prop_assert_eq!(lhs, rhs);
+        }
+
+        #[test]
+        fn extract_from_cat_rule17(
+            a in prop::collection::vec(any::<i32>().prop_map(Value::int), 0..6),
+            b in prop::collection::vec(any::<i32>().prop_map(Value::int), 0..6),
+            n in 1usize..12
+        ) {
+            let cat = array::cat(&a, &b);
+            let direct = array::extract(&cat, Bound::At(n));
+            let split = if n <= a.len() {
+                array::extract(&a, Bound::At(n))
+            } else {
+                array::extract(&b, Bound::At(n - a.len()))
+            };
+            prop_assert_eq!(direct, split);
+        }
+
+        #[test]
+        fn arr_diff_then_cat_identity_when_disjoint(
+            a in prop::collection::vec((0i32..100).prop_map(Value::int), 0..8),
+            b in prop::collection::vec((100i32..200).prop_map(Value::int), 0..8)
+        ) {
+            // Disjoint ranges: diff removes nothing.
+            prop_assert_eq!(array::diff(&a, &b), a.clone());
+            // Removing a itself from a++b leaves b.
+            prop_assert_eq!(array::diff(&array::cat(&a, &b), &a), b);
+        }
+
+        #[test]
+        fn arr_de_preserves_first_positions(
+            a in prop::collection::vec((0i32..5).prop_map(Value::int), 0..12)
+        ) {
+            let de = array::dup_elim(&a);
+            // Distinct, order-preserving subsequence of the input.
+            let set: std::collections::BTreeSet<_> = de.iter().cloned().collect();
+            prop_assert_eq!(set.len(), de.len());
+            let mut last_pos = 0usize;
+            for v in &de {
+                let pos = a.iter().position(|x| x == v).unwrap();
+                prop_assert!(pos >= last_pos || last_pos == 0);
+                last_pos = pos;
+            }
+        }
+    }
+}

@@ -1,0 +1,183 @@
+//! Randomised end-to-end properties over generated multiset pipelines.
+//!
+//! A pipeline is a random composition of multiset operators over two
+//! integer-set objects.  For every generated pipeline we check:
+//!
+//! 1. **Equipollence** — decompile → parse → translate → evaluate gives
+//!    the same value as direct evaluation;
+//! 2. **Rewrite soundness** — every one-step optimizer neighbor evaluates
+//!    to the same value;
+//! 3. **Greedy optimization** — the chosen plan evaluates to the same
+//!    value and its estimated cost does not exceed the original's.
+
+use excess::algebra::expr::{CmpOp, Expr, Func, Pred};
+use excess::db::Database;
+use excess::lang::decompile;
+use excess::optimizer::{cost_of, Optimizer, RuleCtx};
+use excess::types::{SchemaType, Value};
+use proptest::prelude::*;
+
+/// One pipeline stage over a multiset of ints.
+#[derive(Debug, Clone)]
+enum Stage {
+    DupElim,
+    SelectGe(i32),
+    SelectIn,
+    MapAdd(i32),
+    MapWrapSet,
+    DiffB,
+    AddUnionB,
+    IntersectB,
+    UnionB,
+    GroupModAndFlatten(i32),
+}
+
+fn arb_stage() -> impl Strategy<Value = Stage> {
+    prop_oneof![
+        Just(Stage::DupElim),
+        (-4i32..8).prop_map(Stage::SelectGe),
+        Just(Stage::SelectIn),
+        (-3i32..4).prop_map(Stage::MapAdd),
+        Just(Stage::MapWrapSet),
+        Just(Stage::DiffB),
+        Just(Stage::AddUnionB),
+        Just(Stage::IntersectB),
+        Just(Stage::UnionB),
+        (1i32..4).prop_map(Stage::GroupModAndFlatten),
+    ]
+}
+
+/// Compose stages into a plan, tracking whether the current value is a
+/// set of ints or a set of sets (so every generated plan is well-sorted).
+fn build(stages: &[Stage]) -> Expr {
+    let mut e = Expr::named("NumsA");
+    let mut nested = false;
+    for s in stages {
+        match s {
+            Stage::DupElim => e = e.dup_elim(),
+            Stage::SelectGe(k) if !nested => {
+                e = e.select(Pred::cmp(Expr::input(), CmpOp::Ge, Expr::int(*k)));
+            }
+            Stage::SelectIn if !nested => {
+                e = e.select(Pred::cmp(Expr::input(), CmpOp::In, Expr::named("NumsB")));
+            }
+            Stage::MapAdd(k) if !nested => {
+                e = e.set_apply(Expr::call(Func::Add, vec![Expr::input(), Expr::int(*k)]));
+            }
+            Stage::MapWrapSet if !nested => {
+                e = e.set_apply(Expr::input().make_set());
+                nested = true;
+            }
+            Stage::GroupModAndFlatten(_) if nested => {
+                e = e.set_collapse();
+                nested = false;
+            }
+            Stage::GroupModAndFlatten(m) if !nested => {
+                // Group by value mod m, then flatten back.
+                e = e
+                    .group_by(Expr::call(
+                        Func::Sub,
+                        vec![
+                            Expr::input(),
+                            Expr::call(
+                                Func::Mul,
+                                vec![
+                                    Expr::call(Func::Div, vec![Expr::input(), Expr::int(*m)]),
+                                    Expr::int(*m),
+                                ],
+                            ),
+                        ],
+                    ))
+                    .set_collapse();
+            }
+            Stage::DiffB if !nested => e = e.diff(Expr::named("NumsB")),
+            Stage::AddUnionB if !nested => e = e.add_union(Expr::named("NumsB")),
+            Stage::IntersectB if !nested => {
+                e = Expr::Intersect(Box::new(e), Box::new(Expr::named("NumsB")));
+            }
+            Stage::UnionB if !nested => {
+                e = Expr::Union(Box::new(e), Box::new(Expr::named("NumsB")));
+            }
+            _ => {} // stage invalid in the current sort: skip
+        }
+    }
+    if nested {
+        e = e.set_collapse();
+    }
+    e
+}
+
+fn database(a: &[i32], b: &[i32]) -> Database {
+    let mut db = Database::new();
+    db.optimize = false;
+    db.put_object(
+        "NumsA",
+        SchemaType::set(SchemaType::int4()),
+        Value::set(a.iter().copied().map(Value::int)),
+    );
+    db.put_object(
+        "NumsB",
+        SchemaType::set(SchemaType::int4()),
+        Value::set(b.iter().copied().map(Value::int)),
+    );
+    db.collect_stats();
+    db
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn pipelines_round_trip_through_excess(
+        stages in prop::collection::vec(arb_stage(), 0..6),
+        a in prop::collection::vec(-5i32..10, 0..10),
+        b in prop::collection::vec(-5i32..10, 0..8)
+    ) {
+        let plan = build(&stages);
+        let mut db = database(&a, &b);
+        let direct = db.run_plan(&plan).unwrap();
+        let text = decompile(&plan, db.registry()).unwrap();
+        let round = db.execute(&format!("retrieve ({text})")).unwrap();
+        prop_assert_eq!(direct, round, "pipeline {} via {}", plan, text);
+    }
+
+    #[test]
+    fn pipelines_survive_every_one_step_rewrite(
+        stages in prop::collection::vec(arb_stage(), 0..5),
+        a in prop::collection::vec(-5i32..10, 1..8),
+        b in prop::collection::vec(-5i32..10, 1..6)
+    ) {
+        let plan = build(&stages);
+        let mut db = database(&a, &b);
+        let base = db.run_plan(&plan).unwrap();
+        let opt = Optimizer::standard();
+        let ctx = RuleCtx { registry: db.registry(), schemas: db.catalog() };
+        let neighbors = opt.neighbors(&plan, &ctx);
+        for (rule, alt) in neighbors {
+            let out = db.run_plan(&alt).unwrap();
+            prop_assert_eq!(
+                &base, &out,
+                "rule {} changed the result of {} (rewritten: {})", rule, plan, alt
+            );
+        }
+    }
+
+    #[test]
+    fn greedy_optimization_preserves_results_and_cost_bound(
+        stages in prop::collection::vec(arb_stage(), 0..6),
+        a in prop::collection::vec(-5i32..10, 1..8),
+        b in prop::collection::vec(-5i32..10, 1..6)
+    ) {
+        let plan = build(&stages);
+        let mut db = database(&a, &b);
+        let base = db.run_plan(&plan).unwrap();
+        let best = db.optimize_plan(&plan);
+        let out = db.run_plan(&best).unwrap();
+        prop_assert_eq!(&base, &out, "optimizer broke {} into {}", plan, best);
+        // Cost bound against the better of the plan and its desugared form
+        // (optimize_plan may start from either).
+        let stats = db.statistics();
+        let baseline = cost_of(&plan, stats).min(cost_of(&plan.desugar(), stats));
+        prop_assert!(cost_of(&best, stats) <= baseline + 1e-6);
+    }
+}

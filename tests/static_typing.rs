@@ -1,0 +1,77 @@
+//! Static schema inference over whole query plans — the algebra's closure
+//! property, exposed as `Database::infer_schema`.
+
+use excess::types::SchemaType;
+use excess::workload::{generate, generate_documents, DocumentParams, UniversityParams};
+
+#[test]
+fn paper_queries_infer_sensible_schemas() {
+    let db = generate(&UniversityParams::tiny()).unwrap().db;
+    // Figure 3: a 2-field tuple.
+    let p3 = db.plan_for(excess::workload::queries::FIGURE3).unwrap();
+    assert_eq!(
+        db.infer_schema(&p3).unwrap(),
+        SchemaType::tuple([("name", SchemaType::chars()), ("salary", SchemaType::int4())])
+    );
+    // Figure 4: a multiset of names.
+    let p4 = db.plan_for(excess::workload::queries::FIGURE4).unwrap();
+    assert_eq!(db.infer_schema(&p4).unwrap(), SchemaType::set(SchemaType::chars()));
+}
+
+#[test]
+fn grouped_queries_infer_nested_sets() {
+    let db = generate(&UniversityParams::tiny()).unwrap().db;
+    let plan = db
+        .plan_for("retrieve (S.name) by S.gpa from S in Students")
+        .unwrap();
+    assert_eq!(
+        db.infer_schema(&plan).unwrap(),
+        SchemaType::set(SchemaType::set(SchemaType::chars()))
+    );
+}
+
+#[test]
+fn document_paths_infer_ordered_arrays() {
+    let ds = generate_documents(&DocumentParams::default()).unwrap();
+    let plan = ds
+        .db
+        .plan_for("retrieve (the(Docs).sections.title)")
+        .unwrap();
+    assert_eq!(
+        ds.db.infer_schema(&plan).unwrap(),
+        SchemaType::array(SchemaType::chars())
+    );
+}
+
+#[test]
+fn inferred_schema_admits_the_actual_result() {
+    // For a battery of queries: infer first, evaluate second, and check
+    // the result inhabits the inferred DOM — inference is sound.
+    let mut db = generate(&UniversityParams::tiny()).unwrap().db;
+    for src in [
+        "retrieve (E.name, E.salary) from E in Employees",
+        "retrieve (count(Employees))",
+        "retrieve (TopTen[2])",
+        "retrieve (D.employees) from D in Departments",
+        "retrieve unique (S.gpa) from S in Students",
+    ] {
+        let plan = db.plan_for(src).unwrap();
+        let schema = db.infer_schema(&plan).unwrap();
+        let value = db.run_plan(&plan).unwrap();
+        excess::types::domain::check_dom(&value, &schema, db.registry())
+            .unwrap_or_else(|e| panic!("{src}: result ∉ inferred {schema}: {e}"));
+    }
+}
+
+#[test]
+fn optimizer_preserves_inferred_schemas() {
+    // Rewrites must not change a plan's output schema (up to Named
+    // resolution) — checked on the Figure 4 plan.
+    let db = generate(&UniversityParams::tiny()).unwrap().db;
+    let plan = db.plan_for(excess::workload::queries::FIGURE4).unwrap();
+    let optimized = db.optimize_plan(&plan);
+    assert_eq!(
+        db.infer_schema(&plan).unwrap(),
+        db.infer_schema(&optimized).unwrap()
+    );
+}

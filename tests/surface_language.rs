@@ -1,0 +1,235 @@
+//! End-to-end coverage of the EXCESS surface: every system function, null
+//! literals, sub-retrieves, `exact`, labelled targets, and error paths —
+//! all through `Database::execute`.
+
+use excess::db::Database;
+use excess::types::Value;
+
+fn db_nums() -> Database {
+    let mut db = Database::new();
+    db.execute(
+        r#"retrieve ({ 3, 1, 1, 2 }) into A
+           retrieve ({ 2, 4 }) into B
+           retrieve ([ 10, 20, 30, 20 ]) into Xs"#,
+    )
+    .unwrap();
+    db
+}
+
+#[test]
+fn set_operators_in_expressions() {
+    let mut db = db_nums();
+    for (src, expect) in [
+        ("retrieve (A uplus B)", Value::set([3, 1, 1, 2, 2, 4].map(Value::int))),
+        ("retrieve (A - B)", Value::set([3, 1, 1].map(Value::int))),
+        ("retrieve (A union B)", Value::set([1, 1, 2, 3, 4].map(Value::int))),
+        ("retrieve (A intersect B)", Value::set([2].map(Value::int))),
+        ("retrieve (de(A))", Value::set([1, 2, 3].map(Value::int))),
+    ] {
+        assert_eq!(db.execute(src).unwrap(), expect, "{src}");
+    }
+    let pairs = db.execute("retrieve (count(A times B))").unwrap();
+    assert_eq!(pairs, Value::int(8));
+}
+
+#[test]
+fn array_functions() {
+    let mut db = db_nums();
+    assert_eq!(db.execute("retrieve (arr_extract(Xs, 2))").unwrap(), Value::int(20));
+    assert_eq!(db.execute("retrieve (arr_extract(Xs, last))").unwrap(), Value::int(20));
+    assert_eq!(
+        db.execute("retrieve (subarr(Xs, 2, 3))").unwrap(),
+        Value::array([20, 30].map(Value::int))
+    );
+    assert_eq!(
+        db.execute("retrieve (de(Xs))").unwrap(),
+        Value::array([10, 20, 30].map(Value::int))
+    );
+    assert_eq!(
+        db.execute("retrieve (arr_cat(Xs, [ 1 ]))").unwrap().as_array().unwrap().len(),
+        5
+    );
+    assert_eq!(
+        db.execute("retrieve (arr_diff(Xs, [ 20 ]))").unwrap(),
+        Value::array([10, 30, 20].map(Value::int))
+    );
+    assert_eq!(
+        db.execute("retrieve (collapse([ [ 1 ], [ 2, 3 ] ]))").unwrap(),
+        Value::array([1, 2, 3].map(Value::int))
+    );
+}
+
+#[test]
+fn tuple_functions_and_constructors() {
+    let mut db = db_nums();
+    assert_eq!(
+        db.execute("retrieve (tupcat((a: 1), (b: 2)))").unwrap(),
+        Value::tuple([("a", Value::int(1)), ("b", Value::int(2))])
+    );
+    assert_eq!(
+        db.execute("retrieve (project((a: 1, b: 2, c: 3), c, a))").unwrap(),
+        Value::tuple([("c", Value::int(3)), ("a", Value::int(1))])
+    );
+    assert_eq!(
+        db.execute("retrieve (((a: 7)).a)").unwrap(),
+        Value::int(7)
+    );
+    assert_eq!(
+        db.execute("retrieve (())").unwrap(),
+        Value::Tuple(excess::types::Tuple::empty())
+    );
+}
+
+#[test]
+fn the_and_aggregates() {
+    let mut db = db_nums();
+    assert_eq!(db.execute("retrieve (the({ 9 }))").unwrap(), Value::int(9));
+    assert!(db.execute("retrieve (the({ }))").is_err() || {
+        // `{ }` parses as the empty set literal; `the` of it is dne.
+        let v = db.execute("retrieve (the({ }))").unwrap();
+        v.is_dne()
+    });
+    assert_eq!(db.execute("retrieve (min(A))").unwrap(), Value::int(1));
+    assert_eq!(db.execute("retrieve (max(A))").unwrap(), Value::int(3));
+    assert_eq!(db.execute("retrieve (sum(A))").unwrap(), Value::int(7));
+    assert_eq!(db.execute("retrieve (avg(B))").unwrap(), Value::float(3.0));
+    assert_eq!(db.execute("retrieve (count(Xs))").unwrap(), Value::int(4));
+}
+
+#[test]
+fn null_literals_flow_through_queries() {
+    let mut db = db_nums();
+    // dne vanishes from constructed multisets; unk survives.
+    assert_eq!(db.execute("retrieve (count({ 1, dne, 2 }))").unwrap(), Value::int(2));
+    assert_eq!(db.execute("retrieve (count({ 1, unk }))").unwrap(), Value::int(2));
+    // Comparisons with unk are unknown: the qualifying element becomes unk.
+    let out = db
+        .execute("retrieve (x) from x in A where x = unk")
+        .unwrap();
+    assert_eq!(out.as_set().unwrap().count(&Value::unk()), 4);
+}
+
+#[test]
+fn sub_retrieves_nest_arbitrarily() {
+    let mut db = db_nums();
+    let out = db
+        .execute(
+            "retrieve (y) from y in (retrieve (x + 1) from x in A)
+             where y in (retrieve (z) from z in B)",
+        )
+        .unwrap();
+    // A+1 = {4,2,2,3}; keep members of B = {2,4} → {4,2,2}.
+    assert_eq!(out, Value::set([4, 2, 2].map(Value::int)));
+}
+
+#[test]
+fn exact_filters_by_runtime_type() {
+    let mut db = Database::new();
+    db.execute(
+        r#"define type Person: (name: char[])
+           define type Employee: (salary: int4) inherits Person
+           create P: { Person }
+           append to P (name: "p")
+           append to P (name: "e", salary: 5)"#,
+    )
+    .unwrap();
+    let only_p = db.execute("retrieve (x.name) from x in exact(P, Person)").unwrap();
+    assert_eq!(only_p, Value::set([Value::str("p")]));
+    let only_e = db.execute("retrieve (x.salary) from x in exact(P, Employee)").unwrap();
+    assert_eq!(only_e, Value::set([Value::int(5)]));
+    let both = db
+        .execute("retrieve (x.name) from x in exact(P, Person, Employee)")
+        .unwrap();
+    assert_eq!(both.as_set().unwrap().len(), 2);
+}
+
+#[test]
+fn date_and_age_builtins() {
+    let mut db = Database::new();
+    // today is fixed at 1990-12-01 (the paper's TR date).
+    assert_eq!(
+        db.execute("retrieve (age(date(1960, 6, 15)))").unwrap(),
+        Value::int(30)
+    );
+    assert!(db.execute("retrieve (date(1990, 13, 1))").is_err());
+}
+
+#[test]
+fn mkref_and_deref_round_trip() {
+    let mut db = Database::new();
+    db.execute("define type Cell: (v: int4)").unwrap();
+    // With the optimizer OFF, deref(mkref(x)) really mints an object…
+    db.optimize = false;
+    let out = db.execute("retrieve (deref(mkref((v: 5), Cell)).v)").unwrap();
+    assert_eq!(out, Value::int(5));
+    assert_eq!(db.store().len(), 1);
+    // …and with it ON, rule 28 cancels the pair: same value, no mint.
+    db.optimize = true;
+    let out2 = db.execute("retrieve (deref(mkref((v: 5), Cell)).v)").unwrap();
+    assert_eq!(out2, Value::int(5));
+    assert_eq!(db.store().len(), 1, "rule 28 should have cancelled the REF");
+}
+
+#[test]
+fn arithmetic_precedence_and_unary_minus() {
+    let mut db = db_nums();
+    assert_eq!(db.execute("retrieve (2 + 3 * 4)").unwrap(), Value::int(14));
+    assert_eq!(db.execute("retrieve ((2 + 3) * 4)").unwrap(), Value::int(20));
+    assert_eq!(db.execute("retrieve (- 5 + 1)").unwrap(), Value::int(-4));
+    assert_eq!(db.execute("retrieve (7 / 2)").unwrap(), Value::int(3));
+    assert_eq!(db.execute("retrieve (7.0 / 2)").unwrap(), Value::float(3.5));
+}
+
+#[test]
+fn error_paths_are_reported_not_panicked() {
+    let mut db = db_nums();
+    for src in [
+        "retrieve (1 / 0)",                     // division by zero
+        "retrieve (Nope)",                      // unknown object
+        "retrieve (the(Xs))",                   // the() over an array
+        "retrieve (A uplus Xs)",                // sort mismatch set/array
+        "create A: { int4 }",                   // already exists
+        "append to Nope (1)",                   // unknown target
+        "retrieve (x) from x in A where x in 3",// `in` needs a multiset
+    ] {
+        assert!(db.execute(src).is_err(), "{src} should fail");
+    }
+}
+
+#[test]
+fn explain_renders_a_tree_with_estimates() {
+    let db = db_nums();
+    let plan = db.plan_for("retrieve (x + 1) from x in A where x >= 2").unwrap();
+    let text = db.explain(&plan);
+    assert!(text.contains("SET_APPLY"), "{text}");
+    assert!(text.contains("est. cost"), "{text}");
+    assert!(text.contains("└─"), "{text}");
+}
+
+#[test]
+fn top_level_objects_of_any_type() {
+    // "support for persistent structures of any type definable in the
+    // EXTRA type system" — scalars, tuples, arrays, sets all work as
+    // named top-level objects.
+    let mut db = Database::new();
+    db.execute(
+        r#"create Counter: int4
+           create Config: (limit: int4, label: char[])
+           create Log: array of char[]"#,
+    )
+    .unwrap();
+    assert_eq!(db.execute("retrieve (Counter)").unwrap(), Value::int(0));
+    assert_eq!(
+        db.execute("retrieve (Config.limit + 1)").unwrap(),
+        Value::int(1)
+    );
+    db.execute(r#"append to Log ("started")"#).unwrap();
+    db.execute(r#"append to Log ("stopped")"#).unwrap();
+    assert_eq!(
+        db.execute("retrieve (arr_extract(Log, last))").unwrap(),
+        Value::str("stopped")
+    );
+    // `retrieve … into` can overwrite a whole object.
+    db.execute("retrieve (Counter + 41) into Counter2").unwrap();
+    assert_eq!(db.execute("retrieve (Counter2)").unwrap(), Value::int(41));
+}
