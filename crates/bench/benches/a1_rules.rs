@@ -8,9 +8,9 @@
 //! 3. Optimizer overhead: how long the greedy pass itself takes.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use std::time::Duration;
 use excess_bench::example2::{example2_db, figure9};
 use excess_types::{multiset::naive, MultiSet, Value};
+use std::time::Duration;
 
 fn bench_kernels(c: &mut Criterion) {
     let mut g = c.benchmark_group("a1_multiset_kernels");
@@ -18,7 +18,9 @@ fn bench_kernels(c: &mut Criterion) {
     g.warm_up_time(Duration::from_millis(400));
     g.measurement_time(Duration::from_secs(3));
     for n in [100usize, 1000, 4000] {
-        let a: Vec<Value> = (0..n).map(|i| Value::int((i % (n / 4).max(1)) as i32)).collect();
+        let a: Vec<Value> = (0..n)
+            .map(|i| Value::int((i % (n / 4).max(1)) as i32))
+            .collect();
         let b: Vec<Value> = (0..n / 2).map(|i| Value::int(i as i32)).collect();
         let ms_a: MultiSet = a.iter().cloned().collect();
         let ms_b: MultiSet = b.iter().cloned().collect();
@@ -47,11 +49,17 @@ fn bench_optimizer(c: &mut Criterion) {
     let initial = figure9();
     let optimized = db.optimize_plan(&initial);
     let mut db1 = example2_db(2000, 40, 10);
-    g.bench_function("eval_initial", |b| b.iter(|| db1.run_plan(&initial).unwrap()));
+    g.bench_function("eval_initial", |b| {
+        b.iter(|| db1.run_plan(&initial).unwrap())
+    });
     let mut db2 = example2_db(2000, 40, 10);
-    g.bench_function("eval_optimized", |b| b.iter(|| db2.run_plan(&optimized).unwrap()));
+    g.bench_function("eval_optimized", |b| {
+        b.iter(|| db2.run_plan(&optimized).unwrap())
+    });
     let db3 = example2_db(50, 40, 10);
-    g.bench_function("greedy_rewrite_pass", |b| b.iter(|| db3.optimize_plan(&initial)));
+    g.bench_function("greedy_rewrite_pass", |b| {
+        b.iter(|| db3.optimize_plan(&initial))
+    });
     g.finish();
 }
 

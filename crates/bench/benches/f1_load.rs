@@ -5,8 +5,8 @@
 //! substrate's baseline costs.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use std::time::Duration;
 use excess_workload::{generate, UniversityParams};
+use std::time::Duration;
 
 fn bench(c: &mut Criterion) {
     let mut g = c.benchmark_group("f1_load");

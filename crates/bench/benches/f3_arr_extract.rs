@@ -6,13 +6,16 @@
 //! whole array first (`ARR_APPLY DEREF`, then extract) scales linearly.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use std::time::Duration;
 use excess_bench::array_db;
 use excess_core::expr::Expr;
+use std::time::Duration;
 
 /// The Figure 3 plan: π(DEREF(ARR_EXTRACT_5(A))).
 fn figure3_plan() -> Expr {
-    Expr::named("BigArr").arr_extract(5).deref().project(["name", "salary"])
+    Expr::named("BigArr")
+        .arr_extract(5)
+        .deref()
+        .project(["name", "salary"])
 }
 
 /// Strawman: dereference every element, then take the 5th.

@@ -7,8 +7,8 @@
 //! filter.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use std::time::Duration;
 use excess_workload::{generate, queries, UniversityParams};
+use std::time::Duration;
 
 fn bench(c: &mut Criterion) {
     let mut g = c.benchmark_group("f4_functional_join");

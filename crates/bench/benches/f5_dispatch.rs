@@ -11,11 +11,11 @@
 //!     … disappears" — the indexed ⊎ plan wins outright.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use std::time::Duration;
 use excess_bench::dispatch::{
-    dispatch_db, expensive_impls, index_extents, indexed_union_plan, switch_plan,
-    trivial_impls, union_plan,
+    dispatch_db, expensive_impls, index_extents, indexed_union_plan, switch_plan, trivial_impls,
+    union_plan,
 };
+use std::time::Duration;
 
 fn bench(c: &mut Criterion) {
     let mut g = c.benchmark_group("f5_dispatch");

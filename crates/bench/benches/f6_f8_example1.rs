@@ -8,8 +8,8 @@
 //!   deduplicated before pairing, so the pair count collapses too.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use std::time::Duration;
 use excess_bench::example1::{example1_db, figure6, figure7, figure8};
+use std::time::Duration;
 
 fn bench(c: &mut Criterion) {
     let mut g = c.benchmark_group("f6_f8_example1");
@@ -19,7 +19,11 @@ fn bench(c: &mut Criterion) {
     for dup in [1usize, 8, 32] {
         let n_s = 512;
         let n_e = 256;
-        let plans = [("fig6", figure6()), ("fig7", figure7()), ("fig8", figure8())];
+        let plans = [
+            ("fig6", figure6()),
+            ("fig7", figure7()),
+            ("fig8", figure8()),
+        ];
         for (name, plan) in plans {
             let mut db = example1_db(n_s, n_e, dup);
             g.bench_with_input(BenchmarkId::new(name, format!("dup{dup}")), &(), |b, _| {

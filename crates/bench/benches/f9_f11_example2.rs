@@ -6,8 +6,8 @@
 //!   and `dept` is DEREF'd once per student instead of twice.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use std::time::Duration;
 use excess_bench::example2::{example2_db, figure10, figure11, figure9};
+use std::time::Duration;
 
 fn bench(c: &mut Criterion) {
     let mut g = c.benchmark_group("f9_f11_example2");
@@ -17,8 +17,11 @@ fn bench(c: &mut Criterion) {
     // floors controls selectivity of `floor = 5`: 1/floors of departments
     // qualify (0 when floors < 5).
     for (n, floors) in [(2000usize, 5usize), (2000, 20), (8000, 10)] {
-        let plans =
-            [("fig9", figure9()), ("fig10", figure10()), ("fig11", figure11())];
+        let plans = [
+            ("fig9", figure9()),
+            ("fig10", figure10()),
+            ("fig11", figure11()),
+        ];
         for (name, plan) in plans {
             let mut db = example2_db(n, 40, floors);
             g.bench_with_input(

@@ -11,8 +11,8 @@
 //! optimization fuses the filters (rules 15/27/rel1) into one pass.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use std::time::Duration;
 use excess_workload::{generate, UniversityParams};
+use std::time::Duration;
 
 const DEFINE_ADULT_KIDS: &str = r#"
 define Employee function adult_kids () returns { Person }

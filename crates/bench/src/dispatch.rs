@@ -30,12 +30,18 @@ pub fn dispatch_db(n: usize, sub_ords: usize) -> Database {
             1 => Value::tuple([
                 ("name", Value::str(format!("e{i}"))),
                 ("salary", Value::int(1000 + i as i32)),
-                ("sub_ords", Value::set((0..sub_ords).map(|k| Value::int(k as i32)))),
+                (
+                    "sub_ords",
+                    Value::set((0..sub_ords).map(|k| Value::int(k as i32))),
+                ),
             ]),
             _ => Value::tuple([
                 ("name", Value::str(format!("s{i}"))),
                 ("gpa", Value::float(3.0)),
-                ("friends", Value::set((0..sub_ords / 2).map(|k| Value::int(k as i32)))),
+                (
+                    "friends",
+                    Value::set((0..sub_ords / 2).map(|k| Value::int(k as i32))),
+                ),
             ]),
         };
         elems.push(v);
@@ -52,9 +58,18 @@ pub fn dispatch_db(n: usize, sub_ords: usize) -> Database {
 /// The trivial `boss`-style bodies ("at most a DEREF and a TUP_EXTRACT").
 pub fn trivial_impls() -> Vec<MethodImpl> {
     vec![
-        MethodImpl { owner: "Person".into(), body: Expr::input().extract("name") },
-        MethodImpl { owner: "Employee".into(), body: Expr::input().extract("salary") },
-        MethodImpl { owner: "Student".into(), body: Expr::input().extract("gpa") },
+        MethodImpl {
+            owner: "Person".into(),
+            body: Expr::input().extract("name"),
+        },
+        MethodImpl {
+            owner: "Employee".into(),
+            body: Expr::input().extract("salary"),
+        },
+        MethodImpl {
+            owner: "Student".into(),
+            body: Expr::input().extract("gpa"),
+        },
     ]
 }
 
@@ -72,9 +87,18 @@ pub fn expensive_impls() -> Vec<MethodImpl> {
         )
     };
     vec![
-        MethodImpl { owner: "Person".into(), body: Expr::int(0) },
-        MethodImpl { owner: "Employee".into(), body: scan("sub_ords") },
-        MethodImpl { owner: "Student".into(), body: scan("friends") },
+        MethodImpl {
+            owner: "Person".into(),
+            body: Expr::int(0),
+        },
+        MethodImpl {
+            owner: "Employee".into(),
+            body: scan("sub_ords"),
+        },
+        MethodImpl {
+            owner: "Student".into(),
+            body: scan("friends"),
+        },
     ]
 }
 

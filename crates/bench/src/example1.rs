@@ -29,7 +29,10 @@ pub fn example1_db(n_students: usize, n_emps: usize, dup: usize) -> Database {
             let k = i % distinct;
             Value::tuple([
                 ("sdept", Value::int((k % 10) as i32)),
-                ("sadv", Value::str(format!("e{}", k % (n_emps / dup).max(1)))),
+                (
+                    "sadv",
+                    Value::str(format!("e{}", k % (n_emps / dup).max(1))),
+                ),
                 ("sname", Value::str(format!("s{i}"))),
             ])
         })
@@ -107,8 +110,12 @@ pub fn figure7() -> Expr {
 /// Figure 8 — DE and π pushed past the join: "DE operating on |S| + |E|
 /// occurrences rather than |S| · |E| occurrences".
 pub fn figure8() -> Expr {
-    let s_small = Expr::named("S1").set_apply(Expr::input().project(["sdept", "sadv"])).dup_elim();
-    let e_small = Expr::named("E1").set_apply(Expr::input().project(["ename"])).dup_elim();
+    let s_small = Expr::named("S1")
+        .set_apply(Expr::input().project(["sdept", "sadv"]))
+        .dup_elim();
+    let e_small = Expr::named("E1")
+        .set_apply(Expr::input().project(["ename"]))
+        .dup_elim();
     s_small
         .rel_join(
             e_small,

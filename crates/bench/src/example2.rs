@@ -15,10 +15,8 @@ use excess_types::{SchemaType, Value};
 pub fn example2_db(n: usize, depts: usize, floors: usize) -> Database {
     let mut db = Database::new();
     db.optimize = false;
-    db.execute(
-        "define type Dept2: (division: char[], dname: char[], floor: int4)",
-    )
-    .unwrap();
+    db.execute("define type Dept2: (division: char[], dname: char[], floor: int4)")
+        .unwrap();
     let dept_ty = db.registry().lookup("Dept2").unwrap();
     let dept_oids: Vec<_> = (0..depts.max(1))
         .map(|i| {
@@ -92,9 +90,10 @@ pub fn figure10() -> Expr {
     drop_empty_groups(
         Expr::named("S2")
             .group_by(Expr::input().extract("dept").deref().extract("division"))
-            .set_apply(Expr::input().set_apply(
-                Expr::input().comp(floor_is_5_via_deref()).extract("sname"),
-            )),
+            .set_apply(
+                Expr::input()
+                    .set_apply(Expr::input().comp(floor_is_5_via_deref()).extract("sname")),
+            ),
     )
 }
 
@@ -160,6 +159,9 @@ mod tests {
                 <= excess_optimizer::cost_of(&figure9(), stats)
         );
         let mut db2 = example2_db(50, 10, 5);
-        assert_eq!(db2.run_plan(&fused).unwrap(), db2.run_plan(&figure9()).unwrap());
+        assert_eq!(
+            db2.run_plan(&fused).unwrap(),
+            db2.run_plan(&figure9()).unwrap()
+        );
     }
 }

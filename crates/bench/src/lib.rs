@@ -19,7 +19,8 @@ use excess_types::{SchemaType, Value};
 pub fn array_db(len: usize) -> Database {
     let mut db = Database::new();
     db.optimize = false;
-    db.execute("define type Cell: (name: char[], salary: int4)").unwrap();
+    db.execute("define type Cell: (name: char[], salary: int4)")
+        .unwrap();
     let cell_ty = db.registry().lookup("Cell").unwrap();
     let refs: Vec<Value> = (0..len)
         .map(|i| {

@@ -23,11 +23,7 @@ pub fn canonical_form(v: &Value, store: &ObjectStore) -> Value {
     canon(v, store, &mut visited)
 }
 
-fn canon(
-    v: &Value,
-    store: &ObjectStore,
-    visited: &mut HashMap<excess_types::Oid, usize>,
-) -> Value {
+fn canon(v: &Value, store: &ObjectStore, visited: &mut HashMap<excess_types::Oid, usize>) -> Value {
     match v {
         Value::Ref(oid) => {
             if let Some(&k) = visited.get(oid) {
@@ -47,7 +43,8 @@ fn canon(
             }
         }
         Value::Tuple(t) => Value::Tuple(excess_types::Tuple::from_fields(
-            t.iter().map(|(n, fv)| (n.to_string(), canon(fv, store, visited))),
+            t.iter()
+                .map(|(n, fv)| (n.to_string(), canon(fv, store, visited))),
         )),
         Value::Set(s) => {
             let mut out = excess_types::MultiSet::new();
@@ -79,7 +76,8 @@ mod tests {
 
     fn setup() -> (TypeRegistry, ObjectStore) {
         let mut r = TypeRegistry::new();
-        r.define("Cell", SchemaType::tuple([("v", SchemaType::int4())])).unwrap();
+        r.define("Cell", SchemaType::tuple([("v", SchemaType::int4())]))
+            .unwrap();
         (r, ObjectStore::new())
     }
 
@@ -91,7 +89,12 @@ mod tests {
         let o1 = s.create(&r, ty, cell.clone()).unwrap();
         let o2 = s.create(&r, ty, cell).unwrap();
         assert_ne!(Value::Ref(o1), Value::Ref(o2));
-        assert!(equal_modulo_identity(&Value::Ref(o1), &s, &Value::Ref(o2), &s));
+        assert!(equal_modulo_identity(
+            &Value::Ref(o1),
+            &s,
+            &Value::Ref(o2),
+            &s
+        ));
     }
 
     #[test]
@@ -112,13 +115,17 @@ mod tests {
     #[test]
     fn cyclic_object_graphs_terminate() {
         let mut r = TypeRegistry::new();
-        r.define("Node", SchemaType::tuple([("next", SchemaType::reference("Node"))]))
-            .unwrap();
+        r.define(
+            "Node",
+            SchemaType::tuple([("next", SchemaType::reference("Node"))]),
+        )
+        .unwrap();
         let ty = r.lookup("Node").unwrap();
         let mut s = ObjectStore::new();
         // Create a node, then point it at itself.
         let oid = s.create_unchecked(ty, Value::dne());
-        s.update(&r, oid, Value::tuple([("next", Value::Ref(oid))])).unwrap();
+        s.update(&r, oid, Value::tuple([("next", Value::Ref(oid))]))
+            .unwrap();
         let c = canonical_form(&Value::Ref(oid), &s);
         // The inner reference is a back-edge: (@obj: 0).
         assert_eq!(c.to_string(), "(@obj: 0, @val: (next: (@obj: 0)))");
@@ -128,7 +135,9 @@ mod tests {
     fn dangling_refs_are_marked() {
         let (r, mut s) = setup();
         let ty = r.lookup("Cell").unwrap();
-        let o = s.create(&r, ty, Value::tuple([("v", Value::int(1))])).unwrap();
+        let o = s
+            .create(&r, ty, Value::tuple([("v", Value::int(1))]))
+            .unwrap();
         s.delete(o).unwrap();
         let c = canonical_form(&Value::Ref(o), &s);
         assert!(c.to_string().contains("@dangling"));

@@ -31,6 +31,22 @@ pub struct Counters {
     pub pairs_formed: u64,
 }
 
+/// Apply `op` to every pair of corresponding fields.
+macro_rules! zip_fields {
+    ($a:expr, $b:expr, $op:expr) => {
+        Counters {
+            occurrences_scanned: $op($a.occurrences_scanned, $b.occurrences_scanned),
+            elements_scanned: $op($a.elements_scanned, $b.elements_scanned),
+            derefs: $op($a.derefs, $b.derefs),
+            de_input_occurrences: $op($a.de_input_occurrences, $b.de_input_occurrences),
+            comparisons: $op($a.comparisons, $b.comparisons),
+            oids_minted: $op($a.oids_minted, $b.oids_minted),
+            named_object_scans: $op($a.named_object_scans, $b.named_object_scans),
+            pairs_formed: $op($a.pairs_formed, $b.pairs_formed),
+        }
+    };
+}
+
 impl Counters {
     /// Fresh zeroed counters.
     pub fn new() -> Self {
@@ -40,6 +56,50 @@ impl Counters {
     /// Reset all counters to zero.
     pub fn reset(&mut self) {
         *self = Self::default();
+    }
+
+    /// Work performed between two snapshots: `after.diff(before)`.
+    ///
+    /// Counters only ever grow during evaluation, so the saturating
+    /// subtraction never actually clamps for (after, before) pairs taken
+    /// from the same run; clamping guards against swapped arguments.
+    pub fn diff(&self, before: &Counters) -> Counters {
+        zip_fields!(self, before, u64::saturating_sub)
+    }
+
+    /// Total of all individual counters — a crude "total work" scalar
+    /// useful for cheap is-anything-happening checks.
+    pub fn total(&self) -> u64 {
+        self.occurrences_scanned
+            + self.elements_scanned
+            + self.derefs
+            + self.de_input_occurrences
+            + self.comparisons
+            + self.oids_minted
+            + self.named_object_scans
+            + self.pairs_formed
+    }
+}
+
+impl std::ops::Sub for Counters {
+    type Output = Counters;
+
+    fn sub(self, rhs: Counters) -> Counters {
+        self.diff(&rhs)
+    }
+}
+
+impl std::ops::Add for Counters {
+    type Output = Counters;
+
+    fn add(self, rhs: Counters) -> Counters {
+        zip_fields!(self, rhs, u64::wrapping_add)
+    }
+}
+
+impl std::ops::AddAssign for Counters {
+    fn add_assign(&mut self, rhs: Counters) {
+        *self = *self + rhs;
     }
 }
 
@@ -73,9 +133,58 @@ mod tests {
         assert_eq!(c, Counters::new());
     }
 
+    fn sample(step: u64) -> Counters {
+        Counters {
+            occurrences_scanned: step,
+            elements_scanned: 2 * step,
+            derefs: 3 * step,
+            de_input_occurrences: 4 * step,
+            comparisons: 5 * step,
+            oids_minted: 6 * step,
+            named_object_scans: 7 * step,
+            pairs_formed: 8 * step,
+        }
+    }
+
+    #[test]
+    fn diff_subtracts_every_field() {
+        assert_eq!(sample(5).diff(&sample(2)), sample(3));
+        assert_eq!(sample(5) - sample(2), sample(3));
+    }
+
+    #[test]
+    fn diff_saturates_on_swapped_snapshots() {
+        assert_eq!(sample(2) - sample(5), Counters::new());
+    }
+
+    #[test]
+    fn add_assign_accumulates() {
+        let mut acc = sample(1);
+        acc += sample(2);
+        assert_eq!(acc, sample(3));
+        acc += Counters::new();
+        assert_eq!(acc, sample(3));
+    }
+
+    #[test]
+    fn diff_then_add_round_trips() {
+        let before = sample(4);
+        let after = sample(9);
+        assert_eq!(before + (after - before), after);
+    }
+
+    #[test]
+    fn total_sums_all_fields() {
+        assert_eq!(Counters::new().total(), 0);
+        assert_eq!(sample(1).total(), 36);
+    }
+
     #[test]
     fn display_lists_all_fields() {
-        let c = Counters { derefs: 2, ..Counters::new() };
+        let c = Counters {
+            derefs: 2,
+            ..Counters::new()
+        };
         let s = c.to_string();
         assert!(s.contains("derefs=2"), "{s}");
         assert!(s.contains("scans=0"), "{s}");

@@ -50,7 +50,9 @@ pub fn nest_pairs(input: Expr, key: Expr, val: Expr) -> Expr {
 /// element of B.  Derivation: σ over A whose predicate counts matches.
 pub fn semijoin(left: Expr, right: Expr, theta: impl Fn(Expr, Expr) -> Pred) -> Expr {
     // For each a ∈ A: keep a iff count(σ_{θ(a,b)}(B)) > 0.
-    let matches = right.shift_inputs(0, 1).select(theta(Expr::input_at(1), Expr::input()));
+    let matches = right
+        .shift_inputs(0, 1)
+        .select(theta(Expr::input_at(1), Expr::input()));
     left.select(Pred::cmp(
         Expr::call(Func::Count, vec![matches]),
         CmpOp::Gt,
@@ -60,7 +62,9 @@ pub fn semijoin(left: Expr, right: Expr, theta: impl Fn(Expr, Expr) -> Pred) -> 
 
 /// Antijoin `A ▷_θ B`: the elements of A with *no* match in B.
 pub fn antijoin(left: Expr, right: Expr, theta: impl Fn(Expr, Expr) -> Pred) -> Expr {
-    let matches = right.shift_inputs(0, 1).select(theta(Expr::input_at(1), Expr::input()));
+    let matches = right
+        .shift_inputs(0, 1)
+        .select(theta(Expr::input_at(1), Expr::input()));
     left.select(Pred::cmp(
         Expr::call(Func::Count, vec![matches]),
         CmpOp::Eq,
@@ -94,10 +98,7 @@ pub fn exists(input: Expr) -> Expr {
 /// Top-1 by a key: the element whose `key` equals the maximum — ties keep
 /// every maximal element.
 pub fn argmax(input: Expr, key: Expr) -> Expr {
-    let max_key = Expr::call(
-        Func::Max,
-        vec![input.clone().set_apply(key.clone())],
-    );
+    let max_key = Expr::call(Func::Max, vec![input.clone().set_apply(key.clone())]);
     input.select(Pred::cmp(key, CmpOp::Eq, max_key.shift_inputs(0, 1)))
 }
 
@@ -183,11 +184,9 @@ mod tests {
         assert_eq!(run(&semi, &objs), Value::set([2, 4].map(Value::int)));
         assert_eq!(run(&anti, &objs), Value::set([1, 3].map(Value::int)));
         // ⋉ ⊎ ▷ = identity
-        let both = semijoin(
-            Expr::named("N"),
-            Expr::named("E"),
-            |a, b| Pred::cmp(a, CmpOp::Eq, b),
-        )
+        let both = semijoin(Expr::named("N"), Expr::named("E"), |a, b| {
+            Pred::cmp(a, CmpOp::Eq, b)
+        })
         .add_union(antijoin(Expr::named("N"), Expr::named("E"), |a, b| {
             Pred::cmp(a, CmpOp::Eq, b)
         }));
@@ -214,7 +213,10 @@ mod tests {
             Value::bool(true)
         );
         // Empty input: the(σ over {true}) = dne ("no witness exists").
-        assert_eq!(run(&exists(Expr::named("X")), &[("X", empty)]), Value::dne());
+        assert_eq!(
+            run(&exists(Expr::named("X")), &[("X", empty)]),
+            Value::dne()
+        );
     }
 
     #[test]

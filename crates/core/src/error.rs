@@ -9,13 +9,21 @@ use std::fmt;
 pub enum EvalError {
     /// An operator received a structure of the wrong sort, e.g. `DE` of a
     /// tuple.  The algebra is many-sorted; this is the dynamic check.
-    SortMismatch { op: &'static str, expected: &'static str, found: String },
+    SortMismatch {
+        op: &'static str,
+        expected: &'static str,
+        found: String,
+    },
     /// `INPUT` used outside any binder (or at too great a depth).
     UnboundInput(usize),
     /// A named top-level object is not in the catalog.
     UnknownObject(String),
     /// Wrong number of arguments to a built-in function.
-    Arity { func: &'static str, expected: usize, found: usize },
+    Arity {
+        func: &'static str,
+        expected: usize,
+        found: usize,
+    },
     /// An error bubbled up from the type system (dangling OID, domain
     /// violation on REF, …).
     Type(TypeError),
@@ -30,12 +38,20 @@ pub enum EvalError {
 impl fmt::Display for EvalError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            EvalError::SortMismatch { op, expected, found } => {
+            EvalError::SortMismatch {
+                op,
+                expected,
+                found,
+            } => {
                 write!(f, "{op}: expected {expected}, found {found}")
             }
             EvalError::UnboundInput(d) => write!(f, "INPUT^{d} used outside a binder"),
             EvalError::UnknownObject(n) => write!(f, "unknown top-level object `{n}`"),
-            EvalError::Arity { func, expected, found } => {
+            EvalError::Arity {
+                func,
+                expected,
+                found,
+            } => {
                 write!(f, "{func}: expected {expected} arguments, found {found}")
             }
             EvalError::Type(e) => write!(f, "{e}"),

@@ -26,11 +26,10 @@ use crate::catalog::Catalog;
 use crate::counters::Counters;
 use crate::error::{EvalError, EvalResult};
 use crate::expr::{Expr, Func, Pred};
-use crate::ops::{aggregate, array, predicate};
 use crate::ops::predicate::Truth;
-use excess_types::{
-    domain, Date, MultiSet, ObjectStore, SchemaType, TypeId, TypeRegistry, Value,
-};
+use crate::ops::{aggregate, array, predicate};
+use crate::profile::{Profile, TraceSink};
+use excess_types::{domain, Date, MultiSet, ObjectStore, SchemaType, TypeId, TypeRegistry, Value};
 
 /// Everything evaluation needs besides the expression: the type registry,
 /// the (mutable — REF mints) object store, the catalog of named objects,
@@ -47,6 +46,10 @@ pub struct EvalCtx<'a> {
     pub today: Date,
     /// Work counters (see [`Counters`]).
     pub counters: Counters,
+    /// Opt-in per-operator profiler (see [`crate::profile`]).  `None` by
+    /// default: the evaluator then pays one branch per node and nothing
+    /// else.
+    pub trace: Option<Box<TraceSink>>,
 }
 
 impl<'a> EvalCtx<'a> {
@@ -62,7 +65,20 @@ impl<'a> EvalCtx<'a> {
             catalog,
             today: Date::new(1990, 12, 1).expect("valid date"),
             counters: Counters::new(),
+            trace: None,
         }
+    }
+
+    /// Turn on per-operator profiling for subsequent evaluations.  A fresh
+    /// [`TraceSink`] replaces any previous recording.
+    pub fn enable_tracing(&mut self) {
+        self.trace = Some(Box::new(TraceSink::new()));
+    }
+
+    /// Stop tracing and return the recorded [`Profile`], or `None` when
+    /// tracing was never enabled.
+    pub fn take_profile(&mut self) -> Option<Profile> {
+        self.trace.take().map(|sink| sink.finish())
     }
 }
 
@@ -97,7 +113,9 @@ pub fn exact_type_of_parts(
     let mut best: Option<TypeId> = None;
     let mut best_depth = 0usize;
     for ty in registry.all_ids() {
-        let Ok(body) = registry.full_body(ty) else { continue };
+        let Ok(body) = registry.full_body(ty) else {
+            continue;
+        };
         if !matches!(body, SchemaType::Tup(_)) {
             continue;
         }
@@ -113,7 +131,11 @@ pub fn exact_type_of_parts(
 }
 
 fn sort_err(op: &'static str, expected: &'static str, v: &Value) -> EvalError {
-    EvalError::SortMismatch { op, expected, found: v.kind_name().to_string() }
+    EvalError::SortMismatch {
+        op,
+        expected,
+        found: v.kind_name().to_string(),
+    }
 }
 
 fn as_set(op: &'static str, v: Value) -> EvalResult<MultiSet> {
@@ -131,7 +153,30 @@ fn as_array(op: &'static str, v: Value) -> EvalResult<Vec<Value>> {
 }
 
 /// Evaluate with an explicit binder environment (innermost last).
+///
+/// When profiling is enabled (see [`EvalCtx::enable_tracing`]) every call
+/// is bracketed by a [`TraceSink`] frame; otherwise this is a single
+/// branch in front of the operator dispatch.
 pub fn eval(e: &Expr, env: &mut Vec<Value>, ctx: &mut EvalCtx) -> EvalResult<Value> {
+    if ctx.trace.is_none() {
+        return eval_inner(e, env, ctx);
+    }
+    let token = ctx
+        .trace
+        .as_mut()
+        .expect("checked above")
+        .enter(e, ctx.counters);
+    let result = eval_inner(e, env, ctx);
+    // The sink can only disappear mid-evaluation if the traced expression
+    // itself takes the profile, which nothing does; guard anyway.
+    if let Some(sink) = ctx.trace.as_mut() {
+        sink.exit(token, e, &result, ctx.counters);
+    }
+    result
+}
+
+/// The operator dispatch behind [`eval`].
+fn eval_inner(e: &Expr, env: &mut Vec<Value>, ctx: &mut EvalCtx) -> EvalResult<Value> {
     match e {
         // ----- leaves -----
         Expr::Input(d) => {
@@ -166,7 +211,11 @@ pub fn eval(e: &Expr, env: &mut Vec<Value>, ctx: &mut EvalCtx) -> EvalResult<Val
             // SET(dne) = {} via the multiset's dne-discard on insertion.
             Ok(Value::Set(MultiSet::from_occurrences([v])))
         }
-        Expr::SetApply { input, body, only_types } => {
+        Expr::SetApply {
+            input,
+            body,
+            only_types,
+        } => {
             let inv = eval(input, env, ctx)?;
             if inv.is_null() {
                 return Ok(inv);
@@ -256,9 +305,13 @@ pub fn eval(e: &Expr, env: &mut Vec<Value>, ctx: &mut EvalCtx) -> EvalResult<Val
                 return Ok(v);
             }
             let s = as_set("SET_COLLAPSE", v)?;
-            s.collapse()
-                .map(Value::Set)
-                .ok_or_else(|| sort_err("SET_COLLAPSE", "multiset of multisets", &Value::Set(s.clone())))
+            s.collapse().map(Value::Set).ok_or_else(|| {
+                sort_err(
+                    "SET_COLLAPSE",
+                    "multiset of multisets",
+                    &Value::Set(s.clone()),
+                )
+            })
         }
 
         // ----- tuple operators -----
@@ -282,9 +335,7 @@ pub fn eval(e: &Expr, env: &mut Vec<Value>, ctx: &mut EvalCtx) -> EvalResult<Val
             }
             match (&a, &b) {
                 (Value::Tuple(x), Value::Tuple(y)) => Ok(Value::Tuple(x.cat(y))),
-                (Value::Tuple(_), other) | (other, _) => {
-                    Err(sort_err("TUP_CAT", "tuple", other))
-                }
+                (Value::Tuple(_), other) | (other, _) => Err(sort_err("TUP_CAT", "tuple", other)),
             }
         }
         Expr::TupExtract(a, field) => {
@@ -362,9 +413,13 @@ pub fn eval(e: &Expr, env: &mut Vec<Value>, ctx: &mut EvalCtx) -> EvalResult<Val
                 return Ok(v);
             }
             let arr = as_array("ARR_COLLAPSE", v)?;
-            array::collapse(&arr)
-                .map(Value::Array)
-                .ok_or_else(|| sort_err("ARR_COLLAPSE", "array of arrays", &Value::Array(arr.clone())))
+            array::collapse(&arr).map(Value::Array).ok_or_else(|| {
+                sort_err(
+                    "ARR_COLLAPSE",
+                    "array of arrays",
+                    &Value::Array(arr.clone()),
+                )
+            })
         }
         Expr::ArrDiff(a, b) => {
             let (a, b) = (eval(a, env, ctx)?, eval(b, env, ctx)?);
@@ -530,9 +585,13 @@ pub fn eval(e: &Expr, env: &mut Vec<Value>, ctx: &mut EvalCtx) -> EvalResult<Val
             let (sa, sb) = (as_set("rel_join", a)?, as_set("rel_join", b)?);
             let mut out = MultiSet::new();
             for (x, cx) in sa.iter_counted() {
-                let tx = x.as_tuple().ok_or_else(|| sort_err("rel_join", "tuple", x))?;
+                let tx = x
+                    .as_tuple()
+                    .ok_or_else(|| sort_err("rel_join", "tuple", x))?;
                 for (y, cy) in sb.iter_counted() {
-                    let ty = y.as_tuple().ok_or_else(|| sort_err("rel_join", "tuple", y))?;
+                    let ty = y
+                        .as_tuple()
+                        .ok_or_else(|| sort_err("rel_join", "tuple", y))?;
                     ctx.counters.occurrences_scanned += cx * cy;
                     let joined = Value::Tuple(tx.cat(ty));
                     env.push(joined.clone());
@@ -617,7 +676,11 @@ fn eval_call(f: Func, args: &[Expr], env: &mut Vec<Value>, ctx: &mut EvalCtx) ->
         if args.len() == n {
             Ok(())
         } else {
-            Err(EvalError::Arity { func: "call", expected: n, found: args.len() })
+            Err(EvalError::Arity {
+                func: "call",
+                expected: n,
+                found: args.len(),
+            })
         }
     };
     use aggregate::NumOp;
@@ -671,9 +734,7 @@ fn eval_call(f: Func, args: &[Expr], env: &mut Vec<Value>, ctx: &mut EvalCtx) ->
                 return Ok(v);
             }
             match v {
-                Value::Scalar(excess_types::Scalar::Date(d)) => {
-                    Ok(Value::int(d.age_at(ctx.today)))
-                }
+                Value::Scalar(excess_types::Scalar::Date(d)) => Ok(Value::int(d.age_at(ctx.today))),
                 other => Err(sort_err("age", "Date", &other)),
             }
         }

@@ -361,7 +361,11 @@ impl Expr {
 
     /// `SET_APPLY_body(self)`.
     pub fn set_apply(self, body: Expr) -> Expr {
-        Expr::SetApply { input: Box::new(self), body: Box::new(body), only_types: None }
+        Expr::SetApply {
+            input: Box::new(self),
+            body: Box::new(body),
+            only_types: None,
+        }
     }
     /// `SET_APPLY` restricted to a set of exact types (Section 4); the
     /// first name is the implementation's owning type.
@@ -378,11 +382,17 @@ impl Expr {
     }
     /// `ARR_APPLY_body(self)`.
     pub fn arr_apply(self, body: Expr) -> Expr {
-        Expr::ArrApply { input: Box::new(self), body: Box::new(body) }
+        Expr::ArrApply {
+            input: Box::new(self),
+            body: Box::new(body),
+        }
     }
     /// `GRP_by(self)`.
     pub fn group_by(self, by: Expr) -> Expr {
-        Expr::Group { input: Box::new(self), by: Box::new(by) }
+        Expr::Group {
+            input: Box::new(self),
+            by: Box::new(by),
+        }
     }
     /// `DE(self)`.
     pub fn dup_elim(self) -> Expr {
@@ -454,15 +464,25 @@ impl Expr {
     }
     /// `COMP_pred(self)`.
     pub fn comp(self, pred: Pred) -> Expr {
-        Expr::Comp { input: Box::new(self), pred }
+        Expr::Comp {
+            input: Box::new(self),
+            pred,
+        }
     }
     /// Derived `σ_pred(self)`.
     pub fn select(self, pred: Pred) -> Expr {
-        Expr::Select { input: Box::new(self), pred }
+        Expr::Select {
+            input: Box::new(self),
+            pred,
+        }
     }
     /// Derived `rel_join_pred(self, other)`.
     pub fn rel_join(self, other: Expr, pred: Pred) -> Expr {
-        Expr::RelJoin { left: Box::new(self), right: Box::new(other), pred }
+        Expr::RelJoin {
+            left: Box::new(self),
+            right: Box::new(other),
+            pred,
+        }
     }
     /// Derived `rel_×(self, other)`.
     pub fn rel_cross(self, other: Expr) -> Expr {
@@ -478,25 +498,32 @@ impl Expr {
     pub fn expand_derived(&self) -> Option<Expr> {
         Some(match self {
             // A ∪ B = (A − B) ⊎ B
-            Expr::Union(a, b) => a.as_ref().clone().diff((**b).clone()).add_union((**b).clone()),
-            // A ∩ B = A − (A − B)
-            Expr::Intersect(a, b) => {
-                a.as_ref().clone().diff(a.as_ref().clone().diff((**b).clone()))
-            }
-            // σ_P(A) = SET_APPLY_{COMP_P(INPUT)}(A)
-            Expr::Select { input, pred } => {
-                input.as_ref().clone().set_apply(Expr::input().comp(pred.clone()))
-            }
-            // array σ_P(A) = ARR_APPLY_{COMP_P(INPUT)}(A)
-            Expr::ArrSelect { input, pred } => {
-                input.as_ref().clone().arr_apply(Expr::input().comp(pred.clone()))
-            }
-            // rel_×(A,B) = SET_APPLY_{TUP_CAT(fst, snd)}(A × B)
-            Expr::RelCross(a, b) => a
+            Expr::Union(a, b) => a
                 .as_ref()
                 .clone()
-                .cross((**b).clone())
-                .set_apply(Expr::input().extract("fst").tup_cat(Expr::input().extract("snd"))),
+                .diff((**b).clone())
+                .add_union((**b).clone()),
+            // A ∩ B = A − (A − B)
+            Expr::Intersect(a, b) => a
+                .as_ref()
+                .clone()
+                .diff(a.as_ref().clone().diff((**b).clone())),
+            // σ_P(A) = SET_APPLY_{COMP_P(INPUT)}(A)
+            Expr::Select { input, pred } => input
+                .as_ref()
+                .clone()
+                .set_apply(Expr::input().comp(pred.clone())),
+            // array σ_P(A) = ARR_APPLY_{COMP_P(INPUT)}(A)
+            Expr::ArrSelect { input, pred } => input
+                .as_ref()
+                .clone()
+                .arr_apply(Expr::input().comp(pred.clone())),
+            // rel_×(A,B) = SET_APPLY_{TUP_CAT(fst, snd)}(A × B)
+            Expr::RelCross(a, b) => a.as_ref().clone().cross((**b).clone()).set_apply(
+                Expr::input()
+                    .extract("fst")
+                    .tup_cat(Expr::input().extract("snd")),
+            ),
             // rel_join_Θ(A,B) = SET_APPLY_{COMP_Θ}(rel_×(A,B)) — the paper
             // phrases it as SET_APPLY∘SET_APPLY over ×; we expand through
             // rel_× for clarity, which is the same tree after one more step.
@@ -602,24 +629,35 @@ impl Expr {
             Expr::ArrDupElim(a) => Expr::ArrDupElim(fb(a, f)),
             Expr::MakeRef(a, t) => Expr::MakeRef(fb(a, f), t.clone()),
             Expr::Deref(a) => Expr::Deref(fb(a, f)),
-            Expr::SetApply { input, body, only_types } => Expr::SetApply {
+            Expr::SetApply {
+                input,
+                body,
+                only_types,
+            } => Expr::SetApply {
                 input: fb(input, f),
                 body: fb(body, f),
                 only_types: only_types.clone(),
             },
-            Expr::ArrApply { input, body } => {
-                Expr::ArrApply { input: fb(input, f), body: fb(body, f) }
-            }
-            Expr::Group { input, by } => Expr::Group { input: fb(input, f), by: fb(by, f) },
-            Expr::Comp { input, pred } => {
-                Expr::Comp { input: fb(input, f), pred: pred.map_exprs(f) }
-            }
-            Expr::Select { input, pred } => {
-                Expr::Select { input: fb(input, f), pred: pred.map_exprs(f) }
-            }
-            Expr::ArrSelect { input, pred } => {
-                Expr::ArrSelect { input: fb(input, f), pred: pred.map_exprs(f) }
-            }
+            Expr::ArrApply { input, body } => Expr::ArrApply {
+                input: fb(input, f),
+                body: fb(body, f),
+            },
+            Expr::Group { input, by } => Expr::Group {
+                input: fb(input, f),
+                by: fb(by, f),
+            },
+            Expr::Comp { input, pred } => Expr::Comp {
+                input: fb(input, f),
+                pred: pred.map_exprs(f),
+            },
+            Expr::Select { input, pred } => Expr::Select {
+                input: fb(input, f),
+                pred: pred.map_exprs(f),
+            },
+            Expr::ArrSelect { input, pred } => Expr::ArrSelect {
+                input: fb(input, f),
+                pred: pred.map_exprs(f),
+            },
             Expr::RelJoin { left, right, pred } => Expr::RelJoin {
                 left: fb(left, f),
                 right: fb(right, f),
@@ -647,7 +685,11 @@ impl Expr {
             Expr::Input(_) | Expr::Named(_) | Expr::Const(_) => 0,
             _ => 1,
         };
-        me + self.children().iter().map(|c| c.operator_count()).sum::<usize>()
+        me + self
+            .children()
+            .iter()
+            .map(|c| c.operator_count())
+            .sum::<usize>()
     }
 
     /// Does the expression mention `Input(depth)` free (i.e. escaping all
@@ -686,11 +728,13 @@ impl Expr {
     /// binder).
     pub fn shift_inputs(&self, cutoff: usize, delta: isize) -> Expr {
         match self {
-            Expr::Input(d) if *d >= cutoff => {
-                Expr::Input((*d as isize + delta).max(0) as usize)
-            }
+            Expr::Input(d) if *d >= cutoff => Expr::Input((*d as isize + delta).max(0) as usize),
             Expr::Input(_) | Expr::Named(_) | Expr::Const(_) => self.clone(),
-            Expr::SetApply { input, body, only_types } => Expr::SetApply {
+            Expr::SetApply {
+                input,
+                body,
+                only_types,
+            } => Expr::SetApply {
                 input: Box::new(input.shift_inputs(cutoff, delta)),
                 body: Box::new(body.shift_inputs(cutoff + 1, delta)),
                 only_types: only_types.clone(),
@@ -736,7 +780,8 @@ impl Expr {
     /// down by one.  This is what rules 19 and 26 mean by "E applied to
     /// ARR_EXTRACT_n(A)" — the body of an APPLY used outside its binder.
     pub fn beta_apply(body: &Expr, arg: &Expr) -> Expr {
-        body.substitute_input(0, &arg.shift_inputs(0, 1)).shift_inputs(1, -1)
+        body.substitute_input(0, &arg.shift_inputs(0, 1))
+            .shift_inputs(1, -1)
     }
 
     /// Substitute `replacement` for `Input(depth)` (used by rule 15,
@@ -746,18 +791,18 @@ impl Expr {
         match self {
             Expr::Input(d) if *d == depth => replacement.clone(),
             Expr::Input(_) | Expr::Named(_) | Expr::Const(_) => self.clone(),
-            Expr::SetApply { input, body, only_types } => Expr::SetApply {
+            Expr::SetApply {
+                input,
+                body,
+                only_types,
+            } => Expr::SetApply {
                 input: Box::new(input.substitute_input(depth, replacement)),
-                body: Box::new(
-                    body.substitute_input(depth + 1, &replacement.shift_inputs(0, 1)),
-                ),
+                body: Box::new(body.substitute_input(depth + 1, &replacement.shift_inputs(0, 1))),
                 only_types: only_types.clone(),
             },
             Expr::ArrApply { input, body } => Expr::ArrApply {
                 input: Box::new(input.substitute_input(depth, replacement)),
-                body: Box::new(
-                    body.substitute_input(depth + 1, &replacement.shift_inputs(0, 1)),
-                ),
+                body: Box::new(body.substitute_input(depth + 1, &replacement.shift_inputs(0, 1))),
             },
             Expr::Group { input, by } => Expr::Group {
                 input: Box::new(input.substitute_input(depth, replacement)),
@@ -824,10 +869,18 @@ impl fmt::Display for Expr {
             Expr::Const(v) => write!(f, "{v}"),
             Expr::AddUnion(a, b) => write!(f, "({a} ⊎ {b})"),
             Expr::MakeSet(a) => write!(f, "SET({a})"),
-            Expr::SetApply { input, body, only_types: None } => {
+            Expr::SetApply {
+                input,
+                body,
+                only_types: None,
+            } => {
                 write!(f, "SET_APPLY[{body}]({input})")
             }
-            Expr::SetApply { input, body, only_types: Some(ts) } => {
+            Expr::SetApply {
+                input,
+                body,
+                only_types: Some(ts),
+            } => {
                 write!(f, "SET_APPLY[{}; {body}]({input})", ts.join("/"))
             }
             Expr::Group { input, by } => write!(f, "GRP[{by}]({input})"),
@@ -890,8 +943,14 @@ mod tests {
     #[test]
     fn display_matches_paper_notation() {
         // Figure 3: π_{name,salary}(DEREF(ARR_EXTRACT_5(TopTen)))
-        let e = Expr::named("TopTen").arr_extract(5).deref().project(["name", "salary"]);
-        assert_eq!(e.to_string(), "π[name,salary](DEREF(ARR_EXTRACT[5](TopTen)))");
+        let e = Expr::named("TopTen")
+            .arr_extract(5)
+            .deref()
+            .project(["name", "salary"]);
+        assert_eq!(
+            e.to_string(),
+            "π[name,salary](DEREF(ARR_EXTRACT[5](TopTen)))"
+        );
     }
 
     #[test]
@@ -907,7 +966,11 @@ mod tests {
         let e = Expr::named("A").select(p.clone());
         let expanded = e.desugar();
         match expanded {
-            Expr::SetApply { body, only_types: None, .. } => match *body {
+            Expr::SetApply {
+                body,
+                only_types: None,
+                ..
+            } => match *body {
                 Expr::Comp { input, .. } => assert_eq!(*input, Expr::input()),
                 other => panic!("expected COMP, got {other}"),
             },

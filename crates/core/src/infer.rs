@@ -76,7 +76,9 @@ pub fn value_schema(v: &Value, reg: &TypeRegistry) -> SchemaType {
         Value::Scalar(s) => SchemaType::Val(s.scalar_type()),
         Value::Null(_) => SchemaType::Tup(vec![]), // no better information
         Value::Tuple(t) => SchemaType::Tup(
-            t.iter().map(|(n, fv)| (n.to_string(), value_schema(fv, reg))).collect(),
+            t.iter()
+                .map(|(n, fv)| (n.to_string(), value_schema(fv, reg)))
+                .collect(),
         ),
         Value::Set(s) => {
             let elem = s
@@ -87,8 +89,10 @@ pub fn value_schema(v: &Value, reg: &TypeRegistry) -> SchemaType {
             SchemaType::set(elem)
         }
         Value::Array(a) => {
-            let elem =
-                a.first().map(|e| value_schema(e, reg)).unwrap_or(SchemaType::Tup(vec![]));
+            let elem = a
+                .first()
+                .map(|e| value_schema(e, reg))
+                .unwrap_or(SchemaType::Tup(vec![]));
             SchemaType::array(elem)
         }
         Value::Ref(oid) => SchemaType::reference(reg.name_of(oid.minted)),
@@ -124,7 +128,11 @@ fn elem_of_arr(t: SchemaType, reg: &TypeRegistry, op: &str) -> Result<SchemaType
     }
 }
 
-fn fields_of(t: SchemaType, reg: &TypeRegistry, op: &str) -> Result<Vec<(String, SchemaType)>, InferError> {
+fn fields_of(
+    t: SchemaType,
+    reg: &TypeRegistry,
+    op: &str,
+) -> Result<Vec<(String, SchemaType)>, InferError> {
     match resolve(t, reg)? {
         SchemaType::Tup(fs) => Ok(fs),
         other => Err(err(format!("{op}: expected tuple, found {other}"))),
@@ -173,17 +181,18 @@ pub fn infer(
             .ok_or_else(|| err(format!("unknown object `{n}`"))),
         Expr::Const(v) => Ok(value_schema(v, reg)),
 
-        Expr::AddUnion(a, b)
-        | Expr::Diff(a, b)
-        | Expr::Union(a, b)
-        | Expr::Intersect(a, b) => {
+        Expr::AddUnion(a, b) | Expr::Diff(a, b) | Expr::Union(a, b) | Expr::Intersect(a, b) => {
             let ta = infer(a, env, cat, reg)?;
             let _ = elem_of_set(infer(b, env, cat, reg)?, reg, "set-binop")?;
             let _ = elem_of_set(ta.clone(), reg, "set-binop")?;
             Ok(ta)
         }
         Expr::MakeSet(a) => Ok(SchemaType::set(infer(a, env, cat, reg)?)),
-        Expr::SetApply { input, body, only_types } => {
+        Expr::SetApply {
+            input,
+            body,
+            only_types,
+        } => {
             // With a type filter, the element type is the owning type (the
             // first name by convention); otherwise the input's element type.
             let elem = match only_types.as_ref().and_then(|ts| ts.first()) {
@@ -215,7 +224,10 @@ pub fn infer(
         Expr::Cross(a, b) => {
             let ea = elem_of_set(infer(a, env, cat, reg)?, reg, "×")?;
             let eb = elem_of_set(infer(b, env, cat, reg)?, reg, "×")?;
-            Ok(SchemaType::set(SchemaType::tuple([("fst", ea), ("snd", eb)])))
+            Ok(SchemaType::set(SchemaType::tuple([
+                ("fst", ea),
+                ("snd", eb),
+            ])))
         }
         Expr::SetCollapse(a) => {
             let outer = elem_of_set(infer(a, env, cat, reg)?, reg, "SET_COLLAPSE")?;
@@ -248,9 +260,7 @@ pub fn infer(
                 .map(|(_, t)| t)
                 .ok_or_else(|| err(format!("TUP_EXTRACT: no field `{n}`")))
         }
-        Expr::MakeTup(a, n) => {
-            Ok(SchemaType::Tup(vec![(n.clone(), infer(a, env, cat, reg)?)]))
-        }
+        Expr::MakeTup(a, n) => Ok(SchemaType::Tup(vec![(n.clone(), infer(a, env, cat, reg)?)])),
 
         Expr::MakeArr(a) => Ok(SchemaType::array(infer(a, env, cat, reg)?)),
         Expr::ArrExtract(a, _) => elem_of_arr(infer(a, env, cat, reg)?, reg, "ARR_EXTRACT"),
@@ -280,7 +290,10 @@ pub fn infer(
         Expr::ArrCross(a, b) => {
             let ea = elem_of_arr(infer(a, env, cat, reg)?, reg, "ARR_CROSS")?;
             let eb = elem_of_arr(infer(b, env, cat, reg)?, reg, "ARR_CROSS")?;
-            Ok(SchemaType::array(SchemaType::tuple([("fst", ea), ("snd", eb)])))
+            Ok(SchemaType::array(SchemaType::tuple([
+                ("fst", ea),
+                ("snd", eb),
+            ])))
         }
 
         Expr::MakeRef(a, ty) => {
@@ -318,7 +331,10 @@ pub fn infer(
             r?;
             Ok(t)
         }
-        Expr::RelCross(a, b) | Expr::RelJoin { left: a, right: b, .. } => {
+        Expr::RelCross(a, b)
+        | Expr::RelJoin {
+            left: a, right: b, ..
+        } => {
             let ea = elem_of_set(infer(a, env, cat, reg)?, reg, "rel_×")?;
             let eb = elem_of_set(infer(b, env, cat, reg)?, reg, "rel_×")?;
             let fa = fields_of(ea, reg, "rel_×")?;
@@ -345,7 +361,10 @@ pub fn infer(
                     }
                     Ok(numeric_join(&arg_tys[0], &arg_tys[1]))
                 }
-                Func::Neg => arg_tys.into_iter().next().ok_or_else(|| err("neg needs 1 arg")),
+                Func::Neg => arg_tys
+                    .into_iter()
+                    .next()
+                    .ok_or_else(|| err("neg needs 1 arg")),
                 Func::Count => Ok(SchemaType::int4()),
                 Func::Avg => Ok(SchemaType::float4()),
                 Func::Age => Ok(SchemaType::int4()),
@@ -357,7 +376,10 @@ pub fn infer(
                     }
                 }
                 Func::Min | Func::Max | Func::Sum => {
-                    let t = arg_tys.into_iter().next().ok_or_else(|| err("aggregate arity"))?;
+                    let t = arg_tys
+                        .into_iter()
+                        .next()
+                        .ok_or_else(|| err("aggregate arity"))?;
                     match resolve(t, reg)? {
                         SchemaType::Set(e) => Ok(*e),
                         SchemaType::Arr { elem, .. } => Ok(*elem),
@@ -420,11 +442,7 @@ pub fn infer_closed(
 }
 
 /// Convenience: the coarse sort of a closed expression's output.
-pub fn output_sort(
-    e: &Expr,
-    cat: &dyn SchemaCatalog,
-    reg: &TypeRegistry,
-) -> Option<Sort> {
+pub fn output_sort(e: &Expr, cat: &dyn SchemaCatalog, reg: &TypeRegistry) -> Option<Sort> {
     sort_of(&infer_closed(e, cat, reg).ok()?, reg)
 }
 
@@ -456,7 +474,10 @@ mod tests {
         )
         .unwrap();
         let mut cat = HashMap::new();
-        cat.insert("Emps".to_string(), SchemaType::set(SchemaType::named("Emp")));
+        cat.insert(
+            "Emps".to_string(),
+            SchemaType::set(SchemaType::named("Emp")),
+        );
         cat.insert(
             "Top".to_string(),
             SchemaType::fixed_array(SchemaType::reference("Emp"), 10),
@@ -468,11 +489,17 @@ mod tests {
     fn figure3_plan_types() {
         // π_{name,salary}(DEREF(ARR_EXTRACT_5(Top))) : (name, salary)
         let (reg, cat) = setup();
-        let e = Expr::named("Top").arr_extract(5).deref().project(["name", "salary"]);
+        let e = Expr::named("Top")
+            .arr_extract(5)
+            .deref()
+            .project(["name", "salary"]);
         let t = infer_closed(&e, &cat, &reg).unwrap();
         assert_eq!(
             t,
-            SchemaType::tuple([("name", SchemaType::chars()), ("salary", SchemaType::int4())])
+            SchemaType::tuple([
+                ("name", SchemaType::chars()),
+                ("salary", SchemaType::int4())
+            ])
         );
     }
 
@@ -488,8 +515,8 @@ mod tests {
     #[test]
     fn deref_resolves_to_named_body() {
         let (reg, cat) = setup();
-        let e = Expr::named("Emps")
-            .set_apply(Expr::input().extract("dept").deref().extract("floor"));
+        let e =
+            Expr::named("Emps").set_apply(Expr::input().extract("dept").deref().extract("floor"));
         let t = infer_closed(&e, &cat, &reg).unwrap();
         assert_eq!(t, SchemaType::set(SchemaType::int4()));
     }
@@ -499,7 +526,10 @@ mod tests {
         let (reg, cat) = setup();
         let e = Expr::named("Emps").group_by(Expr::input().extract("salary"));
         let t = infer_closed(&e, &cat, &reg).unwrap();
-        assert_eq!(t, SchemaType::set(SchemaType::set(SchemaType::named("Emp"))));
+        assert_eq!(
+            t,
+            SchemaType::set(SchemaType::set(SchemaType::named("Emp")))
+        );
     }
 
     #[test]
@@ -524,7 +554,10 @@ mod tests {
         let SchemaType::Set(elem) = t else { panic!() };
         let SchemaType::Tup(fs) = *elem else { panic!() };
         let names: Vec<_> = fs.iter().map(|(n, _)| n.as_str()).collect();
-        assert_eq!(names, vec!["name", "dept", "salary", "name'", "dept'", "salary'"]);
+        assert_eq!(
+            names,
+            vec!["name", "dept", "salary", "name'", "dept'", "salary'"]
+        );
     }
 
     #[test]
@@ -557,8 +590,14 @@ mod tests {
     #[test]
     fn output_sort_matches() {
         let (reg, cat) = setup();
-        assert_eq!(output_sort(&Expr::named("Emps"), &cat, &reg), Some(Sort::Set));
-        assert_eq!(output_sort(&Expr::named("Top"), &cat, &reg), Some(Sort::Arr));
+        assert_eq!(
+            output_sort(&Expr::named("Emps"), &cat, &reg),
+            Some(Sort::Set)
+        );
+        assert_eq!(
+            output_sort(&Expr::named("Top"), &cat, &reg),
+            Some(Sort::Arr)
+        );
         assert_eq!(
             output_sort(&Expr::named("Top").arr_extract(1), &cat, &reg),
             Some(Sort::Ref)

@@ -34,6 +34,7 @@ pub mod eval;
 pub mod expr;
 pub mod infer;
 pub mod ops;
+pub mod profile;
 pub mod render;
 
 pub use canon::{canonical_form, equal_modulo_identity};
@@ -43,3 +44,4 @@ pub use error::{EvalError, EvalResult};
 pub use eval::{eval, evaluate, exact_type_of, exact_type_of_parts, EvalCtx};
 pub use expr::{Bound, CmpOp, Expr, Func, Pred};
 pub use ops::predicate::Truth;
+pub use profile::{NodePath, NodeProfile, Profile, TraceSink};

@@ -45,8 +45,8 @@ pub fn numeric(op: NumOp, a: &Value, b: &Value) -> EvalResult<Value> {
     if let Some(n) = null_out(a, b) {
         return Ok(n);
     }
-    let both_int = matches!(a, Value::Scalar(Scalar::Int4(_)))
-        && matches!(b, Value::Scalar(Scalar::Int4(_)));
+    let both_int =
+        matches!(a, Value::Scalar(Scalar::Int4(_))) && matches!(b, Value::Scalar(Scalar::Int4(_)));
     let (x, y) = match (a.as_float(), b.as_float()) {
         (Some(x), Some(y)) => (x, y),
         _ => {
@@ -95,7 +95,10 @@ pub fn negate(a: &Value) -> EvalResult<Value> {
         return Ok(a.clone());
     }
     if let Some(i) = a.as_int() {
-        return Ok(i.checked_neg().map(Value::int).unwrap_or_else(|| Value::float(-f64::from(i))));
+        return Ok(i
+            .checked_neg()
+            .map(Value::int)
+            .unwrap_or_else(|| Value::float(-f64::from(i))));
     }
     match a.as_float() {
         Some(x) => Ok(Value::float(-x)),
@@ -184,7 +187,11 @@ pub fn avg(v: &Value) -> EvalResult<Value> {
     if s.is_unk() {
         return Ok(Value::unk());
     }
-    Ok(Value::float(s.as_float().ok_or(EvalError::BadAggregate("non-numeric sum".into()))? / n))
+    Ok(Value::float(
+        s.as_float()
+            .ok_or(EvalError::BadAggregate("non-numeric sum".into()))?
+            / n,
+    ))
 }
 
 #[cfg(test)]
@@ -197,8 +204,14 @@ mod tests {
 
     #[test]
     fn integer_arithmetic_stays_integer() {
-        assert_eq!(numeric(NumOp::Add, &Value::int(2), &Value::int(3)).unwrap(), Value::int(5));
-        assert_eq!(numeric(NumOp::Div, &Value::int(7), &Value::int(2)).unwrap(), Value::int(3));
+        assert_eq!(
+            numeric(NumOp::Add, &Value::int(2), &Value::int(3)).unwrap(),
+            Value::int(5)
+        );
+        assert_eq!(
+            numeric(NumOp::Div, &Value::int(7), &Value::int(2)).unwrap(),
+            Value::int(3)
+        );
     }
 
     #[test]
@@ -225,8 +238,14 @@ mod tests {
 
     #[test]
     fn null_propagation_dne_dominates() {
-        assert_eq!(numeric(NumOp::Add, &Value::dne(), &Value::unk()).unwrap(), Value::dne());
-        assert_eq!(numeric(NumOp::Add, &Value::unk(), &Value::int(1)).unwrap(), Value::unk());
+        assert_eq!(
+            numeric(NumOp::Add, &Value::dne(), &Value::unk()).unwrap(),
+            Value::dne()
+        );
+        assert_eq!(
+            numeric(NumOp::Add, &Value::unk(), &Value::int(1)).unwrap(),
+            Value::unk()
+        );
     }
 
     #[test]

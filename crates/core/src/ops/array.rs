@@ -61,7 +61,10 @@ pub fn collapse(a: &[Value]) -> Option<Vec<Value>> {
 /// occurrence of each value is kept in place.
 pub fn dup_elim(a: &[Value]) -> Vec<Value> {
     let mut seen = std::collections::BTreeSet::new();
-    a.iter().filter(|v| seen.insert((*v).clone())).cloned().collect()
+    a.iter()
+        .filter(|v| seen.insert((*v).clone()))
+        .cloned()
+        .collect()
 }
 
 /// `ARR_DIFF(A, B)`: order-preserving analog of multiset difference — each

@@ -23,7 +23,9 @@ pub fn render_tree(e: &Expr) -> String {
     out
 }
 
-fn label(e: &Expr) -> String {
+/// The one-line label an operator node gets in rendered trees — also the
+/// node name used by profiles and EXPLAIN ANALYZE output.
+pub fn op_label(e: &Expr) -> String {
     match e {
         Expr::Input(0) => "INPUT".into(),
         Expr::Input(d) => format!("INPUT^{d}"),
@@ -31,15 +33,28 @@ fn label(e: &Expr) -> String {
         Expr::Const(v) => {
             let s = v.to_string();
             if s.len() > 40 {
-                format!("{}…", &s[..s.char_indices().take(40).last().map(|(i, c)| i + c.len_utf8()).unwrap_or(0)])
+                format!(
+                    "{}…",
+                    &s[..s
+                        .char_indices()
+                        .take(40)
+                        .last()
+                        .map(|(i, c)| i + c.len_utf8())
+                        .unwrap_or(0)]
+                )
             } else {
                 s
             }
         }
         Expr::AddUnion(..) => "⊎".into(),
         Expr::MakeSet(_) => "SET".into(),
-        Expr::SetApply { only_types: None, .. } => "SET_APPLY".into(),
-        Expr::SetApply { only_types: Some(ts), .. } => {
+        Expr::SetApply {
+            only_types: None, ..
+        } => "SET_APPLY".into(),
+        Expr::SetApply {
+            only_types: Some(ts),
+            ..
+        } => {
             format!("SET_APPLY[{}]", ts.join("/"))
         }
         Expr::Group { .. } => "GRP".into(),
@@ -80,7 +95,12 @@ fn label(e: &Expr) -> String {
 fn pred_label(p: &Pred) -> String {
     let s = p.to_string();
     if s.len() > 48 {
-        let cut = s.char_indices().take(48).last().map(|(i, c)| i + c.len_utf8()).unwrap_or(0);
+        let cut = s
+            .char_indices()
+            .take(48)
+            .last()
+            .map(|(i, c)| i + c.len_utf8())
+            .unwrap_or(0);
         format!("{}…", &s[..cut])
     } else {
         s
@@ -102,7 +122,7 @@ fn render(e: &Expr, prefix: &str, last: bool, depth: usize, out: &mut String) {
     } else {
         "├─ "
     };
-    let _ = writeln!(out, "{prefix}{connector}{}", label(e));
+    let _ = writeln!(out, "{prefix}{connector}{}", op_label(e));
     let kids = e.children();
     let child_prefix = if depth == 0 {
         String::new()
@@ -121,7 +141,10 @@ mod tests {
 
     #[test]
     fn renders_figure3_like_tree() {
-        let plan = Expr::named("TopTen").arr_extract(5).deref().project(["name", "salary"]);
+        let plan = Expr::named("TopTen")
+            .arr_extract(5)
+            .deref()
+            .project(["name", "salary"]);
         let t = render_tree(&plan);
         let lines: Vec<&str> = t.lines().collect();
         assert_eq!(lines[0], "π[name,salary]");

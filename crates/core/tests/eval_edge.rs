@@ -15,7 +15,8 @@ struct Fixture {
 impl Fixture {
     fn new() -> Self {
         let mut reg = TypeRegistry::new();
-        reg.define("Person", SchemaType::tuple([("name", SchemaType::chars())])).unwrap();
+        reg.define("Person", SchemaType::tuple([("name", SchemaType::chars())]))
+            .unwrap();
         reg.define_with_supertypes(
             "Employee",
             SchemaType::tuple([("salary", SchemaType::int4())]),
@@ -28,7 +29,11 @@ impl Fixture {
             &["Employee"],
         )
         .unwrap();
-        Fixture { reg, store: ObjectStore::new(), cat: HashMap::new() }
+        Fixture {
+            reg,
+            store: ObjectStore::new(),
+            cat: HashMap::new(),
+        }
     }
 
     fn run(&mut self, e: &Expr) -> Result<Value, EvalError> {
@@ -58,7 +63,10 @@ fn nulls_propagate_through_structural_operators() {
     assert!(f.run(&dne.clone().project(["a"])).unwrap().is_dne());
     assert!(f.run(&dne.clone().arr_extract(1)).unwrap().is_dne());
     assert!(f.run(&dne.clone().dup_elim()).unwrap().is_dne());
-    assert!(f.run(&dne.clone().set_apply(Expr::input())).unwrap().is_dne());
+    assert!(f
+        .run(&dne.clone().set_apply(Expr::input()))
+        .unwrap()
+        .is_dne());
     // Binary set ops: either null operand wins.
     let s = Expr::lit(Value::set([Value::int(1)]));
     assert!(f.run(&s.clone().add_union(dne.clone())).unwrap().is_dne());
@@ -81,9 +89,13 @@ fn set_of_dne_is_empty_and_arr_of_dne_is_empty() {
 fn comp_truth_values_map_to_input_unk_dne() {
     let mut f = Fixture::new();
     let five = Expr::int(5);
-    let t = five.clone().comp(Pred::cmp(Expr::input(), CmpOp::Eq, Expr::int(5)));
+    let t = five
+        .clone()
+        .comp(Pred::cmp(Expr::input(), CmpOp::Eq, Expr::int(5)));
     assert_eq!(f.run(&t).unwrap(), Value::int(5));
-    let fls = five.clone().comp(Pred::cmp(Expr::input(), CmpOp::Eq, Expr::int(6)));
+    let fls = five
+        .clone()
+        .comp(Pred::cmp(Expr::input(), CmpOp::Eq, Expr::int(6)));
     assert!(f.run(&fls).unwrap().is_dne());
     let u = five.comp(Pred::cmp(Expr::input(), CmpOp::Eq, Expr::lit(Value::unk())));
     assert!(f.run(&u).unwrap().is_unk());
@@ -103,11 +115,7 @@ fn selection_keeps_unk_occurrences_per_comp_semantics() {
 fn and_short_circuits_on_false() {
     // F ∧ (error) must not evaluate the right side.
     let mut f = Fixture::new();
-    let bad_right = Pred::cmp(
-        Expr::named("NoSuchObject"),
-        CmpOp::Eq,
-        Expr::int(1),
-    );
+    let bad_right = Pred::cmp(Expr::named("NoSuchObject"), CmpOp::Eq, Expr::int(1));
     let p = Pred::cmp(Expr::int(1), CmpOp::Eq, Expr::int(2)).and(bad_right);
     let e = Expr::int(9).comp(p);
     assert!(f.run(&e).unwrap().is_dne());
@@ -137,8 +145,10 @@ fn unbound_input_is_an_error() {
 fn nested_binders_resolve_by_depth() {
     // For each x in {10, 20}: sum over {1, 2} of (x + y).
     let mut f = Fixture::new();
-    let inner = Expr::lit(Value::set([Value::int(1), Value::int(2)]))
-        .set_apply(Expr::call(Func::Add, vec![Expr::input_at(1), Expr::input()]));
+    let inner = Expr::lit(Value::set([Value::int(1), Value::int(2)])).set_apply(Expr::call(
+        Func::Add,
+        vec![Expr::input_at(1), Expr::input()],
+    ));
     let e = Expr::lit(Value::set([Value::int(10), Value::int(20)]))
         .set_apply(Expr::call(Func::Sum, vec![inner]));
     let out = f.run(&e).unwrap();
@@ -162,11 +172,17 @@ fn sort_mismatches_are_reported_with_operator_names() {
     let mut f = Fixture::new();
     let tuple = Expr::lit(Value::tuple([("a", Value::int(1))]));
     match f.run(&tuple.clone().dup_elim()) {
-        Err(EvalError::SortMismatch { op: "DE", expected: "multiset", .. }) => {}
+        Err(EvalError::SortMismatch {
+            op: "DE",
+            expected: "multiset",
+            ..
+        }) => {}
         other => panic!("unexpected: {other:?}"),
     }
     match f.run(&tuple.clone().arr_extract(1)) {
-        Err(EvalError::SortMismatch { op: "ARR_EXTRACT", .. }) => {}
+        Err(EvalError::SortMismatch {
+            op: "ARR_EXTRACT", ..
+        }) => {}
         other => panic!("unexpected: {other:?}"),
     }
     // `in` with a non-multiset right operand.
@@ -247,8 +263,7 @@ fn only_types_filters_ignore_non_matching_elements() {
     let out = f.run(&e).unwrap();
     assert_eq!(out, Value::set([Value::str("e")]));
     // Person/Manager multi-filter.
-    let e2 = Expr::named("P")
-        .set_apply_only(["Person", "Manager"], Expr::input().extract("name"));
+    let e2 = Expr::named("P").set_apply_only(["Person", "Manager"], Expr::input().extract("name"));
     let out2 = f.run(&e2).unwrap();
     assert_eq!(out2, Value::set([Value::str("p"), Value::str("m")]));
 }
@@ -259,10 +274,7 @@ fn ref_elements_dispatch_via_store_exact_type() {
     let emp_ty = f.reg.lookup("Employee").unwrap();
     let oid = f.store.create(&f.reg, emp_ty, employee("e", 9)).unwrap();
     f.cat.insert("R".into(), Value::set([Value::Ref(oid)]));
-    let e = Expr::named("R").set_apply_only(
-        ["Employee"],
-        Expr::input().deref().extract("salary"),
-    );
+    let e = Expr::named("R").set_apply_only(["Employee"], Expr::input().deref().extract("salary"));
     assert_eq!(f.run(&e).unwrap(), Value::set([Value::int(9)]));
     // Filtering for Person must skip the Employee-minted ref (exact ≠).
     let e2 = Expr::named("R").set_apply_only(["Person"], Expr::input());
@@ -300,7 +312,13 @@ fn counters_count_exactly_what_happened() {
     let mut f = Fixture::new();
     let ty = f.reg.lookup("Person").unwrap();
     let oids: Vec<Value> = (0..4)
-        .map(|i| Value::Ref(f.store.create(&f.reg, ty, person(&format!("p{i}"))).unwrap()))
+        .map(|i| {
+            Value::Ref(
+                f.store
+                    .create(&f.reg, ty, person(&format!("p{i}")))
+                    .unwrap(),
+            )
+        })
         .collect();
     f.cat.insert("R".into(), Value::set(oids));
     let e = Expr::named("R")
@@ -319,7 +337,8 @@ fn arr_extract_bounds_and_last() {
     let mut f = Fixture::new();
     let a = Expr::lit(Value::array([Value::int(1), Value::int(2)]));
     assert_eq!(
-        f.run(&Expr::ArrExtract(Box::new(a.clone()), Bound::Last)).unwrap(),
+        f.run(&Expr::ArrExtract(Box::new(a.clone()), Bound::Last))
+            .unwrap(),
         Value::int(2)
     );
     assert!(f.run(&a.clone().arr_extract(5)).unwrap().is_dne());

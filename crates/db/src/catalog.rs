@@ -30,7 +30,8 @@ impl DbCatalog {
 
     /// Register or replace an object.
     pub fn put(&mut self, name: &str, schema: SchemaType, value: Value) {
-        self.objects.insert(name.to_string(), NamedObject { schema, value });
+        self.objects
+            .insert(name.to_string(), NamedObject { schema, value });
     }
 
     /// Current value, if present.
@@ -62,7 +63,10 @@ impl DbCatalog {
 
     /// Iterate user-visible object names (extent views excluded).
     pub fn names(&self) -> impl Iterator<Item = &str> {
-        self.objects.keys().map(String::as_str).filter(|n| !n.contains("::exact::"))
+        self.objects
+            .keys()
+            .map(String::as_str)
+            .filter(|n| !n.contains("::exact::"))
     }
 }
 

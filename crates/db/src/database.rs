@@ -3,18 +3,21 @@
 
 use crate::catalog::DbCatalog;
 use crate::error::{DbError, DbResult};
+use crate::metrics::SessionMetrics;
 use crate::stats::collect_statistics;
 use excess_core::counters::Counters;
 use excess_core::eval::{evaluate, EvalCtx};
 use excess_core::expr::Expr;
+use excess_core::profile::Profile;
 use excess_lang::ast::{QExpr, QPred, Retrieve, Step, Stmt};
 use excess_lang::ddl::{initial_value, lower_type};
 use excess_lang::methods::{MethodDef, MethodRegistry};
 use excess_lang::translate::{resolve_this, translate_retrieve, TranslateCtx};
 use excess_lang::{parse_program, LangError};
-use excess_optimizer::{apply_extent_indexes, Optimizer, RuleCtx, Statistics};
+use excess_optimizer::{apply_extent_indexes, Optimizer, RewriteJournal, RuleCtx, Statistics};
 use excess_types::{ObjectStore, SchemaType, TypeId, TypeRegistry, Value};
 use std::collections::HashMap;
+use std::time::Instant;
 
 /// A stored procedure: a parameterised script of statements.
 #[derive(Debug, Clone)]
@@ -35,6 +38,7 @@ pub struct Database {
     /// Run the rule-based optimizer on every query (default: on).
     pub optimize: bool,
     last_counters: Counters,
+    metrics: SessionMetrics,
 }
 
 impl Default for Database {
@@ -56,6 +60,7 @@ impl Database {
             stats: Statistics::new(),
             optimize: true,
             last_counters: Counters::new(),
+            metrics: SessionMetrics::new(),
         }
     }
 
@@ -88,6 +93,14 @@ impl Database {
     /// Work counters of the most recent evaluation.
     pub fn last_counters(&self) -> Counters {
         self.last_counters
+    }
+    /// Cumulative per-session metrics (queries, counters, rule firings).
+    pub fn metrics(&self) -> &SessionMetrics {
+        &self.metrics
+    }
+    /// Zero the session metrics registry.
+    pub fn reset_metrics(&mut self) {
+        self.metrics.reset();
     }
 
     /// Update a stored object's value (bulk loading outside the DDL path).
@@ -130,7 +143,11 @@ impl Database {
     /// Execute one parsed statement.
     pub fn run_stmt(&mut self, stmt: &Stmt) -> DbResult<Value> {
         match stmt {
-            Stmt::DefineType { name, body, inherits } => {
+            Stmt::DefineType {
+                name,
+                body,
+                inherits,
+            } => {
                 let body = lower_type(body);
                 let sups: Vec<&str> = inherits.iter().map(String::as_str).collect();
                 self.registry.define_with_supertypes(name, body, &sups)?;
@@ -145,10 +162,18 @@ impl Database {
                 self.catalog.put(name, schema, init);
                 Ok(Value::bool(true))
             }
-            Stmt::DefineFunction { on_type, name, params, returns, body } => {
+            Stmt::DefineFunction {
+                on_type,
+                name,
+                params,
+                returns,
+                body,
+            } => {
                 self.registry.lookup(on_type)?;
-                let params: Vec<(String, SchemaType)> =
-                    params.iter().map(|(n, t)| (n.clone(), lower_type(t))).collect();
+                let params: Vec<(String, SchemaType)> = params
+                    .iter()
+                    .map(|(n, t)| (n.clone(), lower_type(t)))
+                    .collect();
                 let tc = TranslateCtx {
                     registry: &self.registry,
                     schemas: &self.catalog,
@@ -175,7 +200,11 @@ impl Database {
             }
             Stmt::Retrieve(r) => {
                 let (plan, ty) = self.translate(r)?;
-                let plan = if self.optimize { self.optimize_plan(&plan) } else { plan };
+                let plan = if self.optimize {
+                    self.optimize_plan_journaled(&plan).0
+                } else {
+                    plan
+                };
                 let value = self.run_plan(&plan)?;
                 if let Some(into) = &r.into {
                     self.catalog.put(into, ty, value.clone());
@@ -187,8 +216,10 @@ impl Database {
                 // Validate the parameter types exist; bodies are checked
                 // lazily at call time (they may reference objects created
                 // by earlier statements of the same call).
-                let params: Vec<(String, SchemaType)> =
-                    params.iter().map(|(n, t)| (n.clone(), lower_type(t))).collect();
+                let params: Vec<(String, SchemaType)> = params
+                    .iter()
+                    .map(|(n, t)| (n.clone(), lower_type(t)))
+                    .collect();
                 for (_, t) in &params {
                     for mentioned in t.mentioned_types() {
                         self.registry.lookup(mentioned)?;
@@ -196,19 +227,26 @@ impl Database {
                 }
                 self.procedures.insert(
                     name.clone(),
-                    Procedure { params, body: body.clone() },
+                    Procedure {
+                        params,
+                        body: body.clone(),
+                    },
                 );
                 Ok(Value::bool(true))
             }
             Stmt::Call { name, args } => self.call_procedure(name, args),
             Stmt::Append { target, value } => self.append(target, value),
             Stmt::Delete { target, filter } => self.delete(target, filter),
-            Stmt::Replace { target, fields, filter } => {
-                self.replace(target, fields, filter.as_ref())
-            }
-            Stmt::AssignIndex { target, index, value } => {
-                self.assign_index(target, *index, value)
-            }
+            Stmt::Replace {
+                target,
+                fields,
+                filter,
+            } => self.replace(target, fields, filter.as_ref()),
+            Stmt::AssignIndex {
+                target,
+                index,
+                value,
+            } => self.assign_index(target, *index, value),
         }
     }
 
@@ -232,7 +270,9 @@ impl Database {
         let stmt = excess_lang::parse_statement(src)?;
         match stmt {
             Stmt::Retrieve(r) => Ok(self.translate(&r)?.0),
-            _ => Err(DbError::Lang(LangError::Parse("expected a retrieve".into()))),
+            _ => Err(DbError::Lang(LangError::Parse(
+                "expected a retrieve".into(),
+            ))),
         }
     }
 
@@ -243,12 +283,39 @@ impl Database {
     /// several fusion rules — rule 15 in particular — only match the
     /// primitive shapes; the cheaper result wins.
     pub fn optimize_plan(&self, plan: &Expr) -> Expr {
-        let ctx = RuleCtx { registry: &self.registry, schemas: &self.catalog };
+        let ctx = RuleCtx {
+            registry: &self.registry,
+            schemas: &self.catalog,
+        };
         let opt = Optimizer::standard();
         let a = opt.optimize_greedy(plan, &ctx, &self.stats);
         let b = opt.optimize_greedy(&plan.desugar(), &ctx, &self.stats);
         let best = if b.cost < a.cost { b.plan } else { a.plan };
         apply_extent_indexes(&best, &self.stats)
+    }
+
+    /// [`Database::optimize_plan`] with a rewrite journal: the same dual
+    /// greedy pass (plan as given and desugared, cheaper wins), but every
+    /// accepted rule firing is recorded — rule name, node path, cost
+    /// before/after — along with the plans-enumerated tally.  The journal
+    /// covers the greedy phase; the final extent-index substitution is a
+    /// separate deterministic rewrite.  The run is also folded into the
+    /// session [`SessionMetrics`].
+    pub fn optimize_plan_journaled(&mut self, plan: &Expr) -> (Expr, RewriteJournal) {
+        let ctx = RuleCtx {
+            registry: &self.registry,
+            schemas: &self.catalog,
+        };
+        let opt = Optimizer::standard();
+        let (a, ja) = opt.optimize_greedy_journaled(plan, &ctx, &self.stats);
+        let (b, jb) = opt.optimize_greedy_journaled(&plan.desugar(), &ctx, &self.stats);
+        let (best, journal) = if b.cost < a.cost {
+            (b.plan, jb)
+        } else {
+            (a.plan, ja)
+        };
+        self.metrics.record_journal(&journal);
+        (apply_extent_indexes(&best, &self.stats), journal)
     }
 
     /// Garbage-sweep the object store: every object unreachable from the
@@ -280,8 +347,11 @@ impl Database {
                 excess_lang::ddl::type_to_surface(&def.body)
             );
             if !def.supertypes.is_empty() {
-                let sups: Vec<&str> =
-                    def.supertypes.iter().map(|s| self.registry.name_of(*s)).collect();
+                let sups: Vec<&str> = def
+                    .supertypes
+                    .iter()
+                    .map(|s| self.registry.name_of(*s))
+                    .collect();
                 let _ = write!(out, " inherits {}", sups.join(", "));
             }
             out.push('\n');
@@ -290,11 +360,7 @@ impl Database {
         names.sort_unstable();
         for n in names {
             if let Some(s) = self.catalog.schema(n) {
-                let _ = writeln!(
-                    out,
-                    "create {n}: {}",
-                    excess_lang::ddl::type_to_surface(s)
-                );
+                let _ = writeln!(out, "create {n}: {}", excess_lang::ddl::type_to_surface(s));
             }
         }
         out
@@ -303,7 +369,11 @@ impl Database {
     /// Infer the output schema of a plan against this database's catalog
     /// and type registry (closure property of the algebra, Section 3).
     pub fn infer_schema(&self, plan: &Expr) -> DbResult<SchemaType> {
-        Ok(excess_core::infer::infer_closed(plan, &self.catalog, &self.registry)?)
+        Ok(excess_core::infer::infer_closed(
+            plan,
+            &self.catalog,
+            &self.registry,
+        )?)
     }
 
     /// EXPLAIN: the plan as an operator tree plus the cost model's
@@ -321,10 +391,44 @@ impl Database {
 
     /// Evaluate a plan against the database, recording work counters.
     pub fn run_plan(&mut self, plan: &Expr) -> DbResult<Value> {
-        let mut ctx = EvalCtx::new(&self.registry, &mut self.store, &self.catalog);
-        let out = evaluate(plan, &mut ctx);
-        self.last_counters = ctx.counters;
+        let started = Instant::now();
+        let (out, counters) = {
+            let mut ctx = EvalCtx::new(&self.registry, &mut self.store, &self.catalog);
+            (evaluate(plan, &mut ctx), ctx.counters)
+        };
+        self.last_counters = counters;
+        self.metrics.record_query(counters, started.elapsed());
         Ok(out?)
+    }
+
+    /// Evaluate a plan with per-operator profiling enabled; returns the
+    /// result together with the execution [`Profile`].  Work counters and
+    /// session metrics are recorded exactly as by [`Database::run_plan`]
+    /// (profiling changes neither results nor counters).
+    pub fn run_plan_profiled(&mut self, plan: &Expr) -> DbResult<(Value, Profile)> {
+        let started = Instant::now();
+        let (out, counters, profile) = {
+            let mut ctx = EvalCtx::new(&self.registry, &mut self.store, &self.catalog);
+            ctx.enable_tracing();
+            let out = evaluate(plan, &mut ctx);
+            let profile = ctx.take_profile().expect("tracing was enabled above");
+            (out, ctx.counters, profile)
+        };
+        self.last_counters = counters;
+        self.metrics.record_query(counters, started.elapsed());
+        Ok((out?, profile))
+    }
+
+    /// EXPLAIN ANALYZE: execute the plan with profiling and render the
+    /// operator tree annotated with per-node actuals (calls, rows in→out,
+    /// self counters, ms and share of the query) next to the cost model's
+    /// static per-node estimates.
+    pub fn explain_analyze(&mut self, plan: &Expr) -> DbResult<String> {
+        let estimates = excess_optimizer::estimate_nodes(plan, &self.stats);
+        let (_, profile) = self.run_plan_profiled(plan)?;
+        Ok(crate::explain::render_explain_analyze(
+            plan, &profile, &estimates,
+        ))
     }
 
     // ----- statistics & extent indexes -----
@@ -358,9 +462,13 @@ impl Database {
             .cloned()
             .collect();
         for (obj, ty) in pairs {
-            let Some(base) = self.catalog.value(&obj).cloned() else { continue };
+            let Some(base) = self.catalog.value(&obj).cloned() else {
+                continue;
+            };
             let Some(set) = base.as_set() else { continue };
-            let Ok(want) = self.registry.lookup(&ty) else { continue };
+            let Ok(want) = self.registry.lookup(&ty) else {
+                continue;
+            };
             let mut extent = excess_types::MultiSet::new();
             for (elem, card) in set.iter_counted() {
                 if self.exact_type_of(elem) == Some(want) {
@@ -388,7 +496,10 @@ impl Database {
         // A zero-variable retrieve denotes the bare expression value.
         let r = Retrieve {
             unique: false,
-            targets: vec![excess_lang::ast::Target { label: None, expr: q.clone() }],
+            targets: vec![excess_lang::ast::Target {
+                label: None,
+                expr: q.clone(),
+            }],
             from: vec![],
             filter: None,
             by: None,
@@ -523,9 +634,8 @@ impl Database {
         let mut bindings: HashMap<String, QExpr> = HashMap::new();
         for ((pname, pty), actual) in proc.params.iter().zip(args) {
             let (v, _) = self.eval_standalone(actual)?;
-            excess_types::domain::check_dom(&v, pty, &self.registry).map_err(|e| {
-                DbError::Other(format!("argument `{pname}` of `{name}`: {e}"))
-            })?;
+            excess_types::domain::check_dom(&v, pty, &self.registry)
+                .map_err(|e| DbError::Other(format!("argument `{pname}` of `{name}`: {e}")))?;
             bindings.insert(pname.clone(), value_to_qexpr(&v)?);
         }
         let mut last = Value::bool(true);
@@ -582,14 +692,16 @@ impl Database {
         let (plan, _) = self.translate(&pairs)?;
         let rows = self.run_plan(&plan)?;
         let Value::Set(rows) = rows else {
-            return Err(DbError::Other("replace query did not yield a multiset".into()));
+            return Err(DbError::Other(
+                "replace query did not yield a multiset".into(),
+            ));
         };
 
         if is_ref {
             for (row, _) in rows.iter_counted() {
-                let t = row.as_tuple().ok_or_else(|| {
-                    DbError::Other("replace row is not a tuple".into())
-                })?;
+                let t = row
+                    .as_tuple()
+                    .ok_or_else(|| DbError::Other("replace row is not a tuple".into()))?;
                 let Some(oid) = t.get("$old").and_then(Value::as_ref_oid) else {
                     continue; // dne slot
                 };
@@ -615,9 +727,9 @@ impl Database {
                 _ => return Err(DbError::Other(format!("`{target}` is not a multiset"))),
             };
             for (row, card) in rows.iter_counted() {
-                let t = row.as_tuple().ok_or_else(|| {
-                    DbError::Other("replace row is not a tuple".into())
-                })?;
+                let t = row
+                    .as_tuple()
+                    .ok_or_else(|| DbError::Other("replace row is not a tuple".into()))?;
                 let old = t.extract("$old")?.clone();
                 let mut elem_fields = match old.clone() {
                     Value::Tuple(e) => e.into_fields(),
@@ -714,7 +826,9 @@ fn value_to_qexpr(v: &Value) -> DbResult<QExpr> {
                 .collect::<DbResult<Vec<_>>>()?,
         ),
         Value::Set(s) => QExpr::SetLit(
-            s.iter_occurrences().map(value_to_qexpr).collect::<DbResult<Vec<_>>>()?,
+            s.iter_occurrences()
+                .map(value_to_qexpr)
+                .collect::<DbResult<Vec<_>>>()?,
         ),
         Value::Array(a) => {
             QExpr::ArrLit(a.iter().map(value_to_qexpr).collect::<DbResult<Vec<_>>>()?)
@@ -736,9 +850,10 @@ fn apply_updates(
 ) -> DbResult<()> {
     for (f, _) in fields {
         let new_v = row.extract(&format!("$new${f}"))?.clone();
-        let slot = obj_fields.iter_mut().find(|(n, _)| n == f).ok_or_else(|| {
-            DbError::Other(format!("element has no field `{f}` to replace"))
-        })?;
+        let slot = obj_fields
+            .iter_mut()
+            .find(|(n, _)| n == f)
+            .ok_or_else(|| DbError::Other(format!("element has no field `{f}` to replace")))?;
         slot.1 = new_v;
     }
     Ok(())
@@ -746,12 +861,7 @@ fn apply_updates(
 
 /// Rewrite target-object references (direct or via `range of` aliases)
 /// inside a delete/replace predicate into the update variable.
-fn rewrite_pred(
-    p: &QPred,
-    target: &str,
-    ranges: &HashMap<String, QExpr>,
-    var: &str,
-) -> QPred {
+fn rewrite_pred(p: &QPred, target: &str, ranges: &HashMap<String, QExpr>, var: &str) -> QPred {
     match p {
         QPred::Cmp { l, op, r } => QPred::Cmp {
             l: Box::new(rewrite_expr(l, target, ranges, var)),
@@ -770,16 +880,11 @@ fn rewrite_pred(
     }
 }
 
-fn rewrite_expr(
-    q: &QExpr,
-    target: &str,
-    ranges: &HashMap<String, QExpr>,
-    var: &str,
-) -> QExpr {
+fn rewrite_expr(q: &QExpr, target: &str, ranges: &HashMap<String, QExpr>, var: &str) -> QExpr {
     match q {
         QExpr::Var(n) => {
-            let aliases_target = n == target
-                || matches!(ranges.get(n), Some(QExpr::Var(t)) if t == target);
+            let aliases_target =
+                n == target || matches!(ranges.get(n), Some(QExpr::Var(t)) if t == target);
             if aliases_target {
                 QExpr::Var(var.to_string())
             } else {
@@ -810,7 +915,10 @@ fn rewrite_expr(
         QExpr::Neg(e) => QExpr::Neg(Box::new(rewrite_expr(e, target, ranges, var))),
         QExpr::Call { name, args } => QExpr::Call {
             name: name.clone(),
-            args: args.iter().map(|a| rewrite_expr(a, target, ranges, var)).collect(),
+            args: args
+                .iter()
+                .map(|a| rewrite_expr(a, target, ranges, var))
+                .collect(),
         },
         other => other.clone(),
     }

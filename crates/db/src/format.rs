@@ -40,8 +40,10 @@ pub fn try_table(v: &Value) -> Option<String> {
     cols.push(head);
     for (e, c) in set.iter_counted() {
         let t = e.as_tuple().expect("checked above");
-        let mut row: Vec<String> =
-            header.iter().map(|n| t.get(n).map(cell).unwrap_or_default()).collect();
+        let mut row: Vec<String> = header
+            .iter()
+            .map(|n| t.get(n).map(cell).unwrap_or_default())
+            .collect();
         if show_card {
             row.push(c.to_string());
         }

@@ -1,0 +1,188 @@
+//! Hand-rolled JSON serializers for the observability types.
+//!
+//! The workspace deliberately has no serialization dependency, so —
+//! matching the spirit of [`format`](crate::format)'s hand-rolled table
+//! renderer — profiles, rewrite journals, and session metrics are turned
+//! into JSON with plain string building.  Output is deterministic
+//! (field order fixed, maps iterated in `BTreeMap` order) so benchmark
+//! artifacts diff cleanly across runs.
+
+use crate::metrics::SessionMetrics;
+use excess_core::counters::Counters;
+use excess_core::profile::Profile;
+use excess_optimizer::RewriteJournal;
+use std::time::Duration;
+
+/// Escape a string for inclusion in a JSON document (adds no quotes).
+pub fn escape_json(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn quoted(s: &str) -> String {
+    format!("\"{}\"", escape_json(s))
+}
+
+/// Render an `f64` so the output is valid JSON (no `NaN`/`inf` literals).
+fn number(x: f64) -> String {
+    if x.is_finite() {
+        format!("{x}")
+    } else {
+        "null".to_string()
+    }
+}
+
+fn millis(d: Duration) -> String {
+    number(d.as_secs_f64() * 1e3)
+}
+
+fn path_json(path: &[usize]) -> String {
+    let parts: Vec<String> = path.iter().map(|i| i.to_string()).collect();
+    format!("[{}]", parts.join(","))
+}
+
+/// `{"occurrences_scanned":…,…}` — every counter field by name.
+pub fn counters_json(c: &Counters) -> String {
+    format!(
+        "{{\"occurrences_scanned\":{},\"elements_scanned\":{},\"derefs\":{},\
+         \"de_input_occurrences\":{},\"comparisons\":{},\"oids_minted\":{},\
+         \"named_object_scans\":{},\"pairs_formed\":{}}}",
+        c.occurrences_scanned,
+        c.elements_scanned,
+        c.derefs,
+        c.de_input_occurrences,
+        c.comparisons,
+        c.oids_minted,
+        c.named_object_scans,
+        c.pairs_formed
+    )
+}
+
+/// Serialize an execution [`Profile`]: per-node statistics in preorder
+/// plus the global totals they sum to.
+pub fn profile_json(p: &Profile) -> String {
+    let mut nodes = Vec::with_capacity(p.nodes.len());
+    for n in &p.nodes {
+        nodes.push(format!(
+            "{{\"path\":{},\"op\":{},\"calls\":{},\"rows_in\":{},\"rows_out\":{},\
+             \"self_ms\":{},\"total_ms\":{},\"self\":{},\"total\":{}}}",
+            path_json(&n.path),
+            quoted(&n.label),
+            n.calls,
+            n.rows_in,
+            n.rows_out,
+            millis(n.self_wall),
+            millis(n.total_wall),
+            counters_json(&n.self_counters),
+            counters_json(&n.total_counters)
+        ));
+    }
+    format!(
+        "{{\"total_ms\":{},\"total\":{},\"nodes\":[{}]}}",
+        millis(p.total_wall),
+        counters_json(&p.total),
+        nodes.join(",")
+    )
+}
+
+/// Serialize a [`RewriteJournal`]: every accepted rule firing with its
+/// position and cost delta, plus the search totals.
+pub fn journal_json(j: &RewriteJournal) -> String {
+    let mut steps = Vec::with_capacity(j.steps.len());
+    for s in &j.steps {
+        steps.push(format!(
+            "{{\"rule\":{},\"path\":{},\"cost_before\":{},\"cost_after\":{},\"plan\":{}}}",
+            quoted(s.rule),
+            path_json(&s.path),
+            number(s.cost_before),
+            number(s.cost_after),
+            quoted(&s.plan.to_string())
+        ));
+    }
+    format!(
+        "{{\"initial_cost\":{},\"final_cost\":{},\"plans_enumerated\":{},\
+         \"max_plans\":{},\"rule_sequence\":[{}],\"steps\":[{}]}}",
+        number(j.initial_cost),
+        number(j.final_cost),
+        j.plans_enumerated,
+        j.max_plans,
+        j.rule_sequence()
+            .iter()
+            .map(|r| quoted(r))
+            .collect::<Vec<_>>()
+            .join(","),
+        steps.join(",")
+    )
+}
+
+/// Serialize the cumulative [`SessionMetrics`] registry.
+pub fn metrics_json(m: &SessionMetrics) -> String {
+    let rules: Vec<String> = m
+        .rules_fired
+        .iter()
+        .map(|(rule, n)| format!("{}:{}", quoted(rule), n))
+        .collect();
+    format!(
+        "{{\"queries\":{},\"eval_ms\":{},\"counters\":{},\"optimizations\":{},\
+         \"rewrites_applied\":{},\"plans_enumerated\":{},\"cost_removed\":{},\
+         \"rules_fired\":{{{}}}}}",
+        m.queries,
+        millis(m.eval_wall),
+        counters_json(&m.counters),
+        m.optimizations,
+        m.rewrites_applied,
+        m.plans_enumerated,
+        number(m.cost_removed),
+        rules.join(",")
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escape_handles_quotes_and_control_chars() {
+        assert_eq!(escape_json("a\"b\\c"), "a\\\"b\\\\c");
+        assert_eq!(escape_json("x\ny\t"), "x\\ny\\t");
+        assert_eq!(escape_json("\u{1}"), "\\u0001");
+    }
+
+    #[test]
+    fn counters_json_names_every_field() {
+        let c = Counters {
+            derefs: 7,
+            ..Counters::new()
+        };
+        let j = counters_json(&c);
+        assert!(j.contains("\"derefs\":7"), "{j}");
+        assert!(j.contains("\"pairs_formed\":0"), "{j}");
+        assert!(j.starts_with('{') && j.ends_with('}'));
+    }
+
+    #[test]
+    fn non_finite_costs_become_null() {
+        assert_eq!(number(f64::INFINITY), "null");
+        assert_eq!(number(2.5), "2.5");
+    }
+
+    #[test]
+    fn metrics_json_is_well_formed() {
+        let mut m = SessionMetrics::new();
+        m.record_query(Counters::new(), Duration::from_millis(1));
+        let j = metrics_json(&m);
+        assert!(j.contains("\"queries\":1"), "{j}");
+        assert!(j.contains("\"rules_fired\":{}"), "{j}");
+    }
+}

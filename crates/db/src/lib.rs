@@ -24,11 +24,17 @@
 pub mod catalog;
 pub mod database;
 pub mod error;
+pub mod explain;
 pub mod format;
+pub mod json;
+pub mod metrics;
 pub mod stats;
 
 pub use catalog::{DbCatalog, NamedObject};
 pub use database::Database;
 pub use error::{DbError, DbResult};
+pub use explain::render_explain_analyze;
 pub use format::{format_result, try_table};
+pub use json::{counters_json, journal_json, metrics_json, profile_json};
+pub use metrics::SessionMetrics;
 pub use stats::collect_statistics;

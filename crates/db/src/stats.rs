@@ -25,23 +25,28 @@ pub fn collect_statistics(
     let mut total_elems = 0u64;
 
     for name in catalog.names() {
-        let Some(value) = catalog.value(name) else { continue };
+        let Some(value) = catalog.value(name) else {
+            continue;
+        };
         let (rows, distinct, nested_sizes) = match value {
             Value::Set(s) => {
                 let mut nested = Vec::new();
                 for (e, card) in s.iter_counted() {
                     nested.extend(nested_collection_sizes(e, store));
                     if let Some(ty) = exact_type_of_parts(e, registry, store) {
-                        *type_counts.entry(registry.name_of(ty).to_string()).or_insert(0) +=
-                            card;
+                        *type_counts
+                            .entry(registry.name_of(ty).to_string())
+                            .or_insert(0) += card;
                     }
                     total_elems += card;
                 }
                 (s.len() as f64, s.distinct_len() as f64, nested)
             }
             Value::Array(a) => {
-                let nested =
-                    a.iter().flat_map(|e| nested_collection_sizes(e, store)).collect();
+                let nested = a
+                    .iter()
+                    .flat_map(|e| nested_collection_sizes(e, store))
+                    .collect();
                 (a.len() as f64, a.len() as f64, nested)
             }
             _ => (1.0, 1.0, Vec::new()),
@@ -56,7 +61,9 @@ pub fn collect_statistics(
 
     if total_elems > 0 {
         for (ty, n) in type_counts {
-            stats.type_fractions.insert(ty, n as f64 / total_elems as f64);
+            stats
+                .type_fractions
+                .insert(ty, n as f64 / total_elems as f64);
         }
     }
     stats

@@ -47,9 +47,7 @@ pub fn initial_value(ty: &SchemaType, reg: &TypeRegistry) -> LangResult<Value> {
         ),
         SchemaType::Set(_) => Value::set([]),
         SchemaType::Arr { len: None, .. } => Value::array([]),
-        SchemaType::Arr { len: Some(n), .. } => {
-            Value::array(std::iter::repeat_n(Value::dne(), *n))
-        }
+        SchemaType::Arr { len: Some(n), .. } => Value::array(std::iter::repeat_n(Value::dne(), *n)),
         SchemaType::Ref(_) => Value::dne(),
         SchemaType::Named(n) => {
             let id = reg.lookup(n)?;
@@ -107,7 +105,10 @@ mod tests {
         let t = parse_type("{ ref Employee }").unwrap();
         assert_eq!(t, SchemaType::set(SchemaType::reference("Employee")));
         let t2 = parse_type("array [1..10] of ref Employee").unwrap();
-        assert_eq!(t2, SchemaType::fixed_array(SchemaType::reference("Employee"), 10));
+        assert_eq!(
+            t2,
+            SchemaType::fixed_array(SchemaType::reference("Employee"), 10)
+        );
     }
 
     #[test]
@@ -128,8 +129,10 @@ mod tests {
     #[test]
     fn initial_values() {
         let reg = TypeRegistry::new();
-        assert_eq!(initial_value(&SchemaType::set(SchemaType::int4()), &reg).unwrap(),
-                   Value::set([]));
+        assert_eq!(
+            initial_value(&SchemaType::set(SchemaType::int4()), &reg).unwrap(),
+            Value::set([])
+        );
         let arr = initial_value(&SchemaType::fixed_array(SchemaType::int4(), 3), &reg).unwrap();
         assert_eq!(arr.as_array().unwrap().len(), 3);
         assert!(arr.as_array().unwrap().iter().all(|v| v.is_dne()));

@@ -32,7 +32,11 @@ use excess_types::{Null, Scalar, TypeRegistry, Value};
 
 /// Decompile a closed algebra expression to an EXCESS expression string.
 pub fn decompile(e: &Expr, reg: &TypeRegistry) -> LangResult<String> {
-    let mut d = D { reg, stack: Vec::new(), counter: 0 };
+    let mut d = D {
+        reg,
+        stack: Vec::new(),
+        counter: 0,
+    };
     d.expr(&desugar_surface_less(e))
 }
 
@@ -75,7 +79,10 @@ impl<'a> D<'a> {
 
     fn ident_ok(name: &str) -> bool {
         !name.is_empty()
-            && name.chars().next().is_some_and(|c| c.is_ascii_alphabetic() || c == '_')
+            && name
+                .chars()
+                .next()
+                .is_some_and(|c| c.is_ascii_alphabetic() || c == '_')
             && name.chars().all(|c| c.is_ascii_alphanumeric() || c == '_')
             && crate::token::Token::keyword(name).is_none()
     }
@@ -128,7 +135,11 @@ impl<'a> D<'a> {
                 format!("arr_extract({}, {})", self.expr(a)?, bound(*b))
             }
 
-            Expr::SetApply { input, body, only_types } => {
+            Expr::SetApply {
+                input,
+                body,
+                only_types,
+            } => {
                 let src = self.expr(input)?;
                 let src = match only_types {
                     None => src,
@@ -192,7 +203,10 @@ impl<'a> D<'a> {
                 self.stack.push(v.clone());
                 let p = self.pred(pred);
                 self.stack.pop();
-                format!("the((retrieve ({v}) from {v} in {{ {inner} }} where {}))", p?)
+                format!(
+                    "the((retrieve ({v}) from {v} in {{ {inner} }} where {}))",
+                    p?
+                )
             }
 
             Expr::Call(f, args) => {
@@ -226,8 +240,7 @@ impl<'a> D<'a> {
                         body: b.clone(),
                     })
                     .collect();
-                let unioned =
-                    excess_optimizer::build_union(self.reg, (**input).clone(), &impls);
+                let unioned = excess_optimizer::build_union(self.reg, (**input).clone(), &impls);
                 self.expr(&unioned)?
             }
 

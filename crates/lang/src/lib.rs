@@ -36,8 +36,8 @@ pub mod error;
 pub mod lexer;
 pub mod methods;
 pub mod parser;
-pub mod token;
 pub mod subst;
+pub mod token;
 pub mod translate;
 
 pub use decompile::{decompile, decompile_into};

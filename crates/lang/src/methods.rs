@@ -52,8 +52,7 @@ impl MethodRegistry {
     pub fn define(&mut self, def: MethodDef) -> LangResult<()> {
         let slot = self.by_name.entry(def.name.clone()).or_default();
         if let Some(existing) = slot.first() {
-            let sig_existing: Vec<&SchemaType> =
-                existing.params.iter().map(|(_, t)| t).collect();
+            let sig_existing: Vec<&SchemaType> = existing.params.iter().map(|(_, t)| t).collect();
             let sig_new: Vec<&SchemaType> = def.params.iter().map(|(_, t)| t).collect();
             if sig_existing != sig_new || existing.returns != def.returns {
                 return Err(LangError::Translate(format!(
@@ -77,7 +76,9 @@ impl MethodRegistry {
 
     /// Method names defined on (or inherited by) `ty`.
     pub fn methods_of(&self, reg: &TypeRegistry, ty: &str) -> Vec<&MethodDef> {
-        let Ok(id) = reg.lookup(ty) else { return vec![] };
+        let Ok(id) = reg.lookup(ty) else {
+            return vec![];
+        };
         self.by_name
             .values()
             .filter_map(|defs| {
@@ -89,7 +90,9 @@ impl MethodRegistry {
                             .unwrap_or(false)
                     })
                     .max_by_key(|d| {
-                        reg.lookup(&d.owner).map(|o| reg.ancestors(o).len()).unwrap_or(0)
+                        reg.lookup(&d.owner)
+                            .map(|o| reg.ancestors(o).len())
+                            .unwrap_or(0)
                     })
             })
             .collect()
@@ -102,21 +105,24 @@ impl MethodRegistry {
         self.implementations(name)
             .iter()
             .filter(|d| {
-                reg.lookup(&d.owner).map(|o| reg.is_subtype_or_self(id, o)).unwrap_or(false)
+                reg.lookup(&d.owner)
+                    .map(|o| reg.is_subtype_or_self(id, o))
+                    .unwrap_or(false)
             })
-            .max_by_key(|d| reg.lookup(&d.owner).map(|o| reg.ancestors(o).len()).unwrap_or(0))
+            .max_by_key(|d| {
+                reg.lookup(&d.owner)
+                    .map(|o| reg.ancestors(o).len())
+                    .unwrap_or(0)
+            })
     }
 
     /// The implementations *relevant* to a receiver of static type `ty`:
     /// the resolved one plus every override on a descendant of `ty` — the
     /// "relevant portion of the hierarchy" Section 4's ⊎ plan enumerates.
-    pub fn relevant_impls(
-        &self,
-        reg: &TypeRegistry,
-        name: &str,
-        ty: &str,
-    ) -> Vec<&MethodDef> {
-        let Ok(id) = reg.lookup(ty) else { return vec![] };
+    pub fn relevant_impls(&self, reg: &TypeRegistry, name: &str, ty: &str) -> Vec<&MethodDef> {
+        let Ok(id) = reg.lookup(ty) else {
+            return vec![];
+        };
         let mut out: Vec<&MethodDef> = Vec::new();
         if let Some(base) = self.resolve(reg, name, ty) {
             out.push(base);
@@ -155,7 +161,8 @@ mod tests {
 
     fn reg_with_hierarchy() -> TypeRegistry {
         let mut r = TypeRegistry::new();
-        r.define("Person", SchemaType::tuple([("name", SchemaType::chars())])).unwrap();
+        r.define("Person", SchemaType::tuple([("name", SchemaType::chars())]))
+            .unwrap();
         r.define_with_supertypes(
             "Employee",
             SchemaType::tuple([("salary", SchemaType::int4())]),
@@ -185,12 +192,14 @@ mod tests {
     fn resolve_walks_up_the_hierarchy() {
         let reg = reg_with_hierarchy();
         let mut m = MethodRegistry::new();
-        m.define(def("Person", Expr::input().extract("name"))).unwrap();
+        m.define(def("Person", Expr::input().extract("name")))
+            .unwrap();
         // Student inherits Person's f.
         let r = m.resolve(&reg, "f", "Student").unwrap();
         assert_eq!(r.owner, "Person");
         // An override on Employee takes precedence for Employee.
-        m.define(def("Employee", Expr::input().extract("salary"))).unwrap();
+        m.define(def("Employee", Expr::input().extract("salary")))
+            .unwrap();
         assert_eq!(m.resolve(&reg, "f", "Employee").unwrap().owner, "Employee");
         assert_eq!(m.resolve(&reg, "f", "Person").unwrap().owner, "Person");
     }
@@ -213,8 +222,10 @@ mod tests {
     fn relevant_impls_cover_the_sub_hierarchy() {
         let reg = reg_with_hierarchy();
         let mut m = MethodRegistry::new();
-        m.define(def("Person", Expr::input().extract("name"))).unwrap();
-        m.define(def("Employee", Expr::input().extract("salary"))).unwrap();
+        m.define(def("Person", Expr::input().extract("name")))
+            .unwrap();
+        m.define(def("Employee", Expr::input().extract("salary")))
+            .unwrap();
         let rel = m.relevant_impls(&reg, "f", "Person");
         let owners: Vec<_> = rel.iter().map(|d| d.owner.as_str()).collect();
         assert_eq!(owners, vec!["Person", "Employee"]);
@@ -226,12 +237,9 @@ mod tests {
 
     #[test]
     fn argument_substitution() {
-        let body = Expr::input()
-            .extract("kids")
-            .set_apply(Expr::input().comp(excess_core::expr::Pred::eq(
-                Expr::input().extract("name"),
-                arg_placeholder("kname"),
-            )));
+        let body = Expr::input().extract("kids").set_apply(Expr::input().comp(
+            excess_core::expr::Pred::eq(Expr::input().extract("name"), arg_placeholder("kname")),
+        ));
         let inlined = substitute_args(&body, &[("kname".into(), Expr::str("Joe"))]);
         assert!(!format!("{inlined}").contains("$arg:"));
         assert!(format!("{inlined}").contains("\"Joe\""));
@@ -241,7 +249,8 @@ mod tests {
     fn redefinition_on_same_type_replaces() {
         let mut m = MethodRegistry::new();
         m.define(def("Person", Expr::input())).unwrap();
-        m.define(def("Person", Expr::input().extract("name"))).unwrap();
+        m.define(def("Person", Expr::input().extract("name")))
+            .unwrap();
         assert_eq!(m.implementations("f").len(), 1);
     }
 }

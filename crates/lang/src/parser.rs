@@ -30,7 +30,11 @@ use crate::token::Token;
 /// Parse a whole program (sequence of statements; `;` separators optional).
 pub fn parse_program(src: &str) -> LangResult<Vec<Stmt>> {
     let toks = lex(src)?;
-    let mut p = Parser { toks, pos: 0, depth: 0 };
+    let mut p = Parser {
+        toks,
+        pos: 0,
+        depth: 0,
+    };
     let mut out = Vec::new();
     while !p.at(&Token::Eof) {
         out.push(p.statement()?);
@@ -44,7 +48,10 @@ pub fn parse_statement(src: &str) -> LangResult<Stmt> {
     let stmts = parse_program(src)?;
     match <[Stmt; 1]>::try_from(stmts) {
         Ok([s]) => Ok(s),
-        Err(v) => Err(LangError::Parse(format!("expected one statement, found {}", v.len()))),
+        Err(v) => Err(LangError::Parse(format!(
+            "expected one statement, found {}",
+            v.len()
+        ))),
     }
 }
 
@@ -88,13 +95,18 @@ impl Parser {
         if self.eat(t) {
             Ok(())
         } else {
-            Err(LangError::Parse(format!("expected `{t}`, found `{}`", self.peek())))
+            Err(LangError::Parse(format!(
+                "expected `{t}`, found `{}`",
+                self.peek()
+            )))
         }
     }
     fn ident(&mut self) -> LangResult<String> {
         match self.bump() {
             Token::Ident(s) => Ok(s),
-            other => Err(LangError::Parse(format!("expected identifier, found `{other}`"))),
+            other => Err(LangError::Parse(format!(
+                "expected identifier, found `{other}`"
+            ))),
         }
     }
 
@@ -111,7 +123,9 @@ impl Parser {
             Token::Replace => self.replace_stmt(),
             Token::Assign => self.assign_stmt(),
             Token::Call => self.call_stmt(),
-            other => Err(LangError::Parse(format!("unexpected token `{other}` at statement start"))),
+            other => Err(LangError::Parse(format!(
+                "unexpected token `{other}` at statement start"
+            ))),
         }
     }
 
@@ -158,7 +172,11 @@ impl Parser {
                     inherits.push(self.ident()?);
                 }
             }
-            return Ok(Stmt::DefineType { name, body, inherits });
+            return Ok(Stmt::DefineType {
+                name,
+                body,
+                inherits,
+            });
         }
         // define T function f (params) returns R { body }
         let on_type = self.ident()?;
@@ -197,7 +215,13 @@ impl Parser {
         if body.is_empty() {
             return Err(LangError::Parse("empty method body".into()));
         }
-        Ok(Stmt::DefineFunction { on_type, name, params, returns, body })
+        Ok(Stmt::DefineFunction {
+            on_type,
+            name,
+            params,
+            returns,
+            body,
+        })
     }
 
     fn create_stmt(&mut self) -> LangResult<Stmt> {
@@ -251,8 +275,16 @@ impl Parser {
             }
         }
         self.expect(&Token::RParen)?;
-        let filter = if self.eat(&Token::Where) { Some(self.pred()?) } else { None };
-        Ok(Stmt::Replace { target, fields, filter })
+        let filter = if self.eat(&Token::Where) {
+            Some(self.pred()?)
+        } else {
+            None
+        };
+        Ok(Stmt::Replace {
+            target,
+            fields,
+            filter,
+        })
     }
 
     fn assign_stmt(&mut self) -> LangResult<Stmt> {
@@ -263,7 +295,11 @@ impl Parser {
         self.expect(&Token::RBracket)?;
         self.expect(&Token::LParen)?;
         let value = self.paren_tail()?;
-        Ok(Stmt::AssignIndex { target, index, value })
+        Ok(Stmt::AssignIndex {
+            target,
+            index,
+            value,
+        })
     }
 
     fn call_stmt(&mut self) -> LangResult<Stmt> {
@@ -289,7 +325,9 @@ impl Parser {
         }
         match self.bump() {
             Token::Int(i) if i >= 1 => Ok(IndexExpr::At(i as usize)),
-            other => Err(LangError::Parse(format!("expected index ≥ 1 or `last`, found `{other}`"))),
+            other => Err(LangError::Parse(format!(
+                "expected index ≥ 1 or `last`, found `{other}`"
+            ))),
         }
     }
 
@@ -344,7 +382,14 @@ impl Parser {
                 break;
             }
         }
-        Ok(Retrieve { unique, targets, from, filter, by, into })
+        Ok(Retrieve {
+            unique,
+            targets,
+            from,
+            filter,
+            by,
+            into,
+        })
     }
 
     fn target(&mut self) -> LangResult<Target> {
@@ -353,9 +398,15 @@ impl Parser {
             self.bump();
             self.bump();
             let expr = self.expr()?;
-            return Ok(Target { label: Some(label), expr });
+            return Ok(Target {
+                label: Some(label),
+                expr,
+            });
         }
-        Ok(Target { label: None, expr: self.expr()? })
+        Ok(Target {
+            label: None,
+            expr: self.expr()?,
+        })
     }
 
     // ---------- types ----------
@@ -404,7 +455,10 @@ impl Parser {
                 };
                 self.expect(&Token::Of)?;
                 let elem = self.type_expr()?;
-                Ok(TypeExpr::Array { elem: Box::new(elem), len })
+                Ok(TypeExpr::Array {
+                    elem: Box::new(elem),
+                    len,
+                })
             }
             Token::LParen => {
                 self.bump();
@@ -520,11 +574,17 @@ impl Parser {
             Token::Ge => CmpOp::Ge,
             Token::In => CmpOp::In,
             other => {
-                return Err(LangError::Parse(format!("expected comparator, found `{other}`")))
+                return Err(LangError::Parse(format!(
+                    "expected comparator, found `{other}`"
+                )))
             }
         };
         let r = self.expr()?;
-        Ok(QPred::Cmp { l: Box::new(l), op, r: Box::new(r) })
+        Ok(QPred::Cmp {
+            l: Box::new(l),
+            op,
+            r: Box::new(r),
+        })
     }
 
     // ---------- expressions ----------
@@ -556,7 +616,11 @@ impl Parser {
             };
             self.bump();
             let right = self.term()?;
-            left = QExpr::Binary { op, l: Box::new(left), r: Box::new(right) };
+            left = QExpr::Binary {
+                op,
+                l: Box::new(left),
+                r: Box::new(right),
+            };
         }
         Ok(left)
     }
@@ -571,7 +635,11 @@ impl Parser {
             };
             self.bump();
             let right = self.unary()?;
-            left = QExpr::Binary { op, l: Box::new(left), r: Box::new(right) };
+            left = QExpr::Binary {
+                op,
+                l: Box::new(left),
+                r: Box::new(right),
+            };
         }
         Ok(left)
     }
@@ -617,7 +685,10 @@ impl Parser {
         if steps.is_empty() {
             Ok(base)
         } else {
-            Ok(QExpr::Path { base: Box::new(base), steps })
+            Ok(QExpr::Path {
+                base: Box::new(base),
+                steps,
+            })
         }
     }
 
@@ -695,7 +766,9 @@ impl Parser {
                 }
                 Ok(QExpr::Var(name))
             }
-            other => Err(LangError::Parse(format!("unexpected token `{other}` in expression"))),
+            other => Err(LangError::Parse(format!(
+                "unexpected token `{other}` in expression"
+            ))),
         }
     }
 
@@ -771,7 +844,11 @@ impl Parser {
                     }
                 }
             }
-            let filter = if self.eat(&Token::Where) { Some(self.pred()?) } else { None };
+            let filter = if self.eat(&Token::Where) {
+                Some(self.pred()?)
+            } else {
+                None
+            };
             self.expect(&Token::RParen)?;
             return Ok(QExpr::Aggregate {
                 func: name,
@@ -805,16 +882,26 @@ mod tests {
         let stmts = parse_program(src).unwrap();
         assert_eq!(stmts.len(), 4);
         match &stmts[1] {
-            Stmt::DefineType { name, inherits, body: TypeExpr::Tuple(fs) } => {
+            Stmt::DefineType {
+                name,
+                inherits,
+                body: TypeExpr::Tuple(fs),
+            } => {
                 assert_eq!(name, "Employee");
                 assert_eq!(inherits, &vec!["Person".to_string()]);
                 assert_eq!(fs.len(), 6);
-                assert_eq!(fs[3].1, TypeExpr::Set(Box::new(TypeExpr::Ref("Employee".into()))));
+                assert_eq!(
+                    fs[3].1,
+                    TypeExpr::Set(Box::new(TypeExpr::Ref("Employee".into())))
+                );
             }
             other => panic!("unexpected: {other:?}"),
         }
         match &stmts[3] {
-            Stmt::Create { name, ty: TypeExpr::Array { len: Some(10), .. } } => {
+            Stmt::Create {
+                name,
+                ty: TypeExpr::Array { len: Some(10), .. },
+            } => {
                 assert_eq!(name, "TopTen");
             }
             other => panic!("unexpected: {other:?}"),
@@ -827,7 +914,9 @@ mod tests {
                      retrieve (C.name) from C in E.kids where E.dept.floor = 2"#;
         let stmts = parse_program(src).unwrap();
         assert_eq!(stmts.len(), 2);
-        let Stmt::Retrieve(r) = &stmts[1] else { panic!() };
+        let Stmt::Retrieve(r) = &stmts[1] else {
+            panic!()
+        };
         assert_eq!(r.from.len(), 1);
         assert!(r.filter.is_some());
         assert!(!r.unique);
@@ -838,10 +927,14 @@ mod tests {
         let src = r#"retrieve (EMP.name, min(E.kids.age
                         from E in Employees
                         where E.dept.floor = EMP.dept.floor))"#;
-        let Stmt::Retrieve(r) = parse_statement(src).unwrap() else { panic!() };
+        let Stmt::Retrieve(r) = parse_statement(src).unwrap() else {
+            panic!()
+        };
         assert_eq!(r.targets.len(), 2);
         match &r.targets[1].expr {
-            QExpr::Aggregate { func, from, filter, .. } => {
+            QExpr::Aggregate {
+                func, from, filter, ..
+            } => {
                 assert_eq!(func, "min");
                 assert_eq!(from.len(), 1);
                 assert!(filter.is_some());
@@ -854,7 +947,9 @@ mod tests {
     fn parses_by_unique_into() {
         let src = r#"retrieve unique (S.dept.name, E.name) by S.dept
                      where S.advisor = E.name into Out"#;
-        let Stmt::Retrieve(r) = parse_statement(src).unwrap() else { panic!() };
+        let Stmt::Retrieve(r) = parse_statement(src).unwrap() else {
+            panic!()
+        };
         assert!(r.unique);
         assert!(r.by.is_some());
         assert_eq!(r.into.as_deref(), Some("Out"));
@@ -863,7 +958,9 @@ mod tests {
     #[test]
     fn parses_array_indexing() {
         let src = "retrieve (TopTen[5].name, TopTen[5].salary)";
-        let Stmt::Retrieve(r) = parse_statement(src).unwrap() else { panic!() };
+        let Stmt::Retrieve(r) = parse_statement(src).unwrap() else {
+            panic!()
+        };
         match &r.targets[0].expr {
             QExpr::Path { steps, .. } => {
                 assert_eq!(steps[0], Step::Index(IndexExpr::At(5)));
@@ -877,8 +974,13 @@ mod tests {
     fn parses_method_definition() {
         let src = r#"define Employee function get_ssnum (kname: char[]) returns int4
                      { retrieve (this.kids.ssnum) where (this.kids.name = kname) }"#;
-        let Stmt::DefineFunction { on_type, name, params, body, .. } =
-            parse_statement(src).unwrap()
+        let Stmt::DefineFunction {
+            on_type,
+            name,
+            params,
+            body,
+            ..
+        } = parse_statement(src).unwrap()
         else {
             panic!()
         };
@@ -892,7 +994,9 @@ mod tests {
     fn parses_set_expression_sources() {
         // The equipollence proof's `retrieve (x) from x in (E1 - E2)`.
         let src = "retrieve (x) from x in (E1 - E2) into E";
-        let Stmt::Retrieve(r) = parse_statement(src).unwrap() else { panic!() };
+        let Stmt::Retrieve(r) = parse_statement(src).unwrap() else {
+            panic!()
+        };
         match &r.from[0].1 {
             QExpr::Binary { op: BinOp::Sub, .. } => {}
             other => panic!("unexpected: {other:?}"),
@@ -903,7 +1007,9 @@ mod tests {
     fn parses_constructor_targets() {
         // `retrieve ( { E1 } ) into E` — SET via output formatting.
         let src = "retrieve ( { E1 } ) into E";
-        let Stmt::Retrieve(r) = parse_statement(src).unwrap() else { panic!() };
+        let Stmt::Retrieve(r) = parse_statement(src).unwrap() else {
+            panic!()
+        };
         assert!(matches!(r.targets[0].expr, QExpr::SetLit(_)));
     }
 
@@ -911,14 +1017,18 @@ mod tests {
     fn parses_parenthesised_predicates() {
         let src = r#"retrieve (x) from x in S
                      where (x.a = 1 and not (x.b = 2)) or x.c in T"#;
-        let Stmt::Retrieve(r) = parse_statement(src).unwrap() else { panic!() };
+        let Stmt::Retrieve(r) = parse_statement(src).unwrap() else {
+            panic!()
+        };
         assert!(matches!(r.filter, Some(QPred::Or(_, _))));
     }
 
     #[test]
     fn parses_sub_retrieve_expression() {
         let src = "retrieve (the((retrieve (x) from x in { 1, 2 } where x = 1)))";
-        let Stmt::Retrieve(r) = parse_statement(src).unwrap() else { panic!() };
+        let Stmt::Retrieve(r) = parse_statement(src).unwrap() else {
+            panic!()
+        };
         match &r.targets[0].expr {
             QExpr::Call { name, args } => {
                 assert_eq!(name, "the");

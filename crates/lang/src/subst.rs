@@ -20,12 +20,23 @@ pub fn subst_stmt(s: &Stmt, vars: &HashMap<String, QExpr>) -> Stmt {
             target: target.clone(),
             filter: subst_pred(filter, vars),
         },
-        Stmt::Replace { target, fields, filter } => Stmt::Replace {
+        Stmt::Replace {
+            target,
+            fields,
+            filter,
+        } => Stmt::Replace {
             target: target.clone(),
-            fields: fields.iter().map(|(f, e)| (f.clone(), subst_expr(e, vars))).collect(),
+            fields: fields
+                .iter()
+                .map(|(f, e)| (f.clone(), subst_expr(e, vars)))
+                .collect(),
             filter: filter.as_ref().map(|p| subst_pred(p, vars)),
         },
-        Stmt::AssignIndex { target, index, value } => Stmt::AssignIndex {
+        Stmt::AssignIndex {
+            target,
+            index,
+            value,
+        } => Stmt::AssignIndex {
             target: target.clone(),
             index: *index,
             value: subst_expr(value, vars),
@@ -51,7 +62,10 @@ fn subst_retrieve(r: &Retrieve, vars: &HashMap<String, QExpr>) -> Retrieve {
         targets: r
             .targets
             .iter()
-            .map(|t| Target { label: t.label.clone(), expr: subst_expr(&t.expr, &inner) })
+            .map(|t| Target {
+                label: t.label.clone(),
+                expr: subst_expr(&t.expr, &inner),
+            })
             .collect(),
         // Sources are evaluated in the *outer* scope (a source may use a
         // parameter even when its variable shadows it downstream).
@@ -76,9 +90,7 @@ fn subst_pred(p: &QPred, vars: &HashMap<String, QExpr>) -> QPred {
         QPred::And(a, b) => {
             QPred::And(Box::new(subst_pred(a, vars)), Box::new(subst_pred(b, vars)))
         }
-        QPred::Or(a, b) => {
-            QPred::Or(Box::new(subst_pred(a, vars)), Box::new(subst_pred(b, vars)))
-        }
+        QPred::Or(a, b) => QPred::Or(Box::new(subst_pred(a, vars)), Box::new(subst_pred(b, vars))),
         QPred::Not(q) => QPred::Not(Box::new(subst_pred(q, vars))),
     }
 }
@@ -102,7 +114,9 @@ fn subst_expr(e: &QExpr, vars: &HashMap<String, QExpr>) -> QExpr {
         QExpr::SetLit(xs) => QExpr::SetLit(xs.iter().map(|x| subst_expr(x, vars)).collect()),
         QExpr::ArrLit(xs) => QExpr::ArrLit(xs.iter().map(|x| subst_expr(x, vars)).collect()),
         QExpr::TupLit(fs) => QExpr::TupLit(
-            fs.iter().map(|(n, v)| (n.clone(), subst_expr(v, vars))).collect(),
+            fs.iter()
+                .map(|(n, v)| (n.clone(), subst_expr(v, vars)))
+                .collect(),
         ),
         QExpr::Binary { op, l, r } => QExpr::Binary {
             op: *op,
@@ -114,7 +128,12 @@ fn subst_expr(e: &QExpr, vars: &HashMap<String, QExpr>) -> QExpr {
             name: name.clone(),
             args: args.iter().map(|a| subst_expr(a, vars)).collect(),
         },
-        QExpr::Aggregate { func, arg, from, filter } => {
+        QExpr::Aggregate {
+            func,
+            arg,
+            from,
+            filter,
+        } => {
             let mut inner = vars.clone();
             for (v, _) in from {
                 inner.remove(v);
@@ -122,7 +141,10 @@ fn subst_expr(e: &QExpr, vars: &HashMap<String, QExpr>) -> QExpr {
             QExpr::Aggregate {
                 func: func.clone(),
                 arg: Box::new(subst_expr(arg, &inner)),
-                from: from.iter().map(|(v, s)| (v.clone(), subst_expr(s, vars))).collect(),
+                from: from
+                    .iter()
+                    .map(|(v, s)| (v.clone(), subst_expr(s, vars)))
+                    .collect(),
                 filter: filter.as_ref().map(|p| subst_pred(p, &inner)),
             }
         }
@@ -137,8 +159,10 @@ mod tests {
     use crate::parse_statement;
 
     fn one(vars: &[(&str, QExpr)], src: &str) -> Stmt {
-        let m: HashMap<String, QExpr> =
-            vars.iter().map(|(n, e)| (n.to_string(), e.clone())).collect();
+        let m: HashMap<String, QExpr> = vars
+            .iter()
+            .map(|(n, e)| (n.to_string(), e.clone()))
+            .collect();
         subst_stmt(&parse_statement(src).unwrap(), &m)
     }
 

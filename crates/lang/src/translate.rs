@@ -99,10 +99,7 @@ fn resolve_ty(ty: &SchemaType, reg: &TypeRegistry) -> LangResult<SchemaType> {
 
 /// Translate a whole retrieve to an algebra expression; the result's shape
 /// is also returned (set / array / bare value / set of groups).
-pub fn translate_retrieve(
-    r: &Retrieve,
-    tc: &TranslateCtx<'_>,
-) -> LangResult<(Expr, SchemaType)> {
+pub fn translate_retrieve(r: &Retrieve, tc: &TranslateCtx<'_>) -> LangResult<(Expr, SchemaType)> {
     translate_retrieve_in(r, tc, None)
 }
 
@@ -111,7 +108,10 @@ fn translate_retrieve_in(
     tc: &TranslateCtx<'_>,
     parent: Option<&RScope<'_>>,
 ) -> LangResult<(Expr, SchemaType)> {
-    let mut sc = RScope { vars: Vec::new(), parent };
+    let mut sc = RScope {
+        vars: Vec::new(),
+        parent,
+    };
 
     // 1. Explicit range variables.
     for (v, src) in &r.from {
@@ -143,11 +143,12 @@ fn translate_retrieve_in(
             unique_names.push((name, e, ty));
         }
         let ty = SchemaType::Tup(
-            unique_names.iter().map(|(n, _, t)| (n.clone(), t.clone())).collect(),
+            unique_names
+                .iter()
+                .map(|(n, _, t)| (n.clone(), t.clone()))
+                .collect(),
         );
-        let mut parts = unique_names
-            .into_iter()
-            .map(|(n, e, _)| e.make_tup(n));
+        let mut parts = unique_names.into_iter().map(|(n, e, _)| e.make_tup(n));
         let first = parts.next().expect("at least one target");
         (parts.fold(first, |acc, p| acc.tup_cat(p)), ty)
     };
@@ -188,20 +189,26 @@ fn push_explicit_var(
             )))
         }
     };
-    sc.vars.push(RVar { key: name.to_string(), source, elem_ty, is_array });
+    sc.vars.push(RVar {
+        key: name.to_string(),
+        source,
+        elem_ty,
+        is_array,
+    });
     Ok(())
 }
 
 /// Get-or-create the implicit variable ranging over `source` (keyed by its
 /// display form so repeated path prefixes share one variable).
-fn implicit_var(
-    sc: &mut RScope<'_>,
-    source: Expr,
-    elem_ty: SchemaType,
-) -> (Expr, SchemaType) {
+fn implicit_var(sc: &mut RScope<'_>, source: Expr, elem_ty: SchemaType) -> (Expr, SchemaType) {
     let key = format!("$imp:{source}");
     if !sc.vars.iter().any(|v| v.key == key) {
-        sc.vars.push(RVar { key: key.clone(), source, elem_ty: elem_ty.clone(), is_array: false });
+        sc.vars.push(RVar {
+            key: key.clone(),
+            source,
+            elem_ty: elem_ty.clone(),
+            is_array: false,
+        });
     }
     (var_placeholder(&key), elem_ty)
 }
@@ -231,7 +238,9 @@ fn tx_expr(
 ) -> LangResult<(Expr, SchemaType)> {
     match q {
         QExpr::Int(i) => Ok((
-            Expr::lit(Value::int(i32::try_from(*i).map_err(|_| terr("int4 overflow"))?)),
+            Expr::lit(Value::int(
+                i32::try_from(*i).map_err(|_| terr("int4 overflow"))?,
+            )),
             SchemaType::int4(),
         )),
         QExpr::Float(x) => Ok((Expr::lit(Value::float(*x)), SchemaType::float4())),
@@ -314,10 +323,18 @@ fn tx_expr(
         }
         QExpr::Binary { op, l, r } => tx_binary(*op, l, r, tc, sc),
         QExpr::Call { name, args } => tx_call(name, args, tc, sc),
-        QExpr::Aggregate { func, arg, from, filter } => {
+        QExpr::Aggregate {
+            func,
+            arg,
+            from,
+            filter,
+        } => {
             let sub = Retrieve {
                 unique: false,
-                targets: vec![Target { label: None, expr: (**arg).clone() }],
+                targets: vec![Target {
+                    label: None,
+                    expr: (**arg).clone(),
+                }],
                 from: from.clone(),
                 filter: filter.clone(),
                 by: None,
@@ -400,7 +417,9 @@ fn navigate(
                 }
                 // `age` virtual field: computable from `birthday`.
                 if f == "age"
-                    && fields.iter().any(|(n, t)| n == "birthday" && *t == SchemaType::date())
+                    && fields
+                        .iter()
+                        .any(|(n, t)| n == "birthday" && *t == SchemaType::date())
                 {
                     return Ok((
                         Expr::call(Func::Age, vec![e.extract("birthday")]),
@@ -423,8 +442,7 @@ fn navigate(
             }
             SchemaType::Arr { elem, .. } => {
                 // Arrays map in place, order preserved (uniform interface).
-                let (body, body_ty) =
-                    navigate(Expr::input(), (*elem).clone(), step, tc, sc)?;
+                let (body, body_ty) = navigate(Expr::input(), (*elem).clone(), step, tc, sc)?;
                 Ok((e.arr_apply(body), SchemaType::array(body_ty)))
             }
             other => Err(terr(format!("cannot navigate `.{f}` into {other}"))),
@@ -519,8 +537,7 @@ fn tx_binary(
     let ls = resolve_ty(&lty, tc.registry)?;
     let rs = resolve_ty(&rty, tc.registry)?;
     let both_sets = matches!(ls, SchemaType::Set(_)) && matches!(rs, SchemaType::Set(_));
-    let both_arrays =
-        matches!(ls, SchemaType::Arr { .. }) && matches!(rs, SchemaType::Arr { .. });
+    let both_arrays = matches!(ls, SchemaType::Arr { .. }) && matches!(rs, SchemaType::Arr { .. });
     let numeric_ty = |a: &SchemaType, b: &SchemaType| {
         if *a == SchemaType::int4() && *b == SchemaType::int4() {
             SchemaType::int4()
@@ -545,8 +562,13 @@ fn tx_binary(
         BinOp::Intersect if both_sets => (Expr::Intersect(Box::new(le), Box::new(re)), lty),
         BinOp::Uplus if both_sets => (le.add_union(re), lty),
         BinOp::Times if both_sets => {
-            let (SchemaType::Set(a), SchemaType::Set(b)) = (ls, rs) else { unreachable!() };
-            (le.cross(re), SchemaType::set(SchemaType::tuple([("fst", *a), ("snd", *b)])))
+            let (SchemaType::Set(a), SchemaType::Set(b)) = (ls, rs) else {
+                unreachable!()
+            };
+            (
+                le.cross(re),
+                SchemaType::set(SchemaType::tuple([("fst", *a), ("snd", *b)])),
+            )
         }
         BinOp::Times if both_arrays => {
             let (SchemaType::Arr { elem: a, .. }, SchemaType::Arr { elem: b, .. }) = (ls, rs)
@@ -576,20 +598,27 @@ fn tx_call(
         if args.len() == n {
             Ok(())
         } else {
-            Err(terr(format!("`{name}` takes {n} arguments, {} given", args.len())))
+            Err(terr(format!(
+                "`{name}` takes {n} arguments, {} given",
+                args.len()
+            )))
         }
     };
     let ident_arg = |q: &QExpr| -> LangResult<String> {
         match q {
             QExpr::Var(s) => Ok(s.clone()),
-            other => Err(terr(format!("expected an identifier argument, found {other:?}"))),
+            other => Err(terr(format!(
+                "expected an identifier argument, found {other:?}"
+            ))),
         }
     };
     let bound_arg = |q: &QExpr| -> LangResult<Bound> {
         match q {
             QExpr::Int(i) if *i >= 1 => Ok(Bound::At(*i as usize)),
             QExpr::Var(s) if s == "last" => Ok(Bound::Last),
-            other => Err(terr(format!("expected index ≥ 1 or `last`, found {other:?}"))),
+            other => Err(terr(format!(
+                "expected index ≥ 1 or `last`, found {other:?}"
+            ))),
         }
     };
     match name {
@@ -616,10 +645,10 @@ fn tx_call(
             let (e, ty) = tx_expr(&args[0], tc, sc)?;
             match resolve_ty(&ty, tc.registry)? {
                 SchemaType::Set(inner) => Ok((e.set_collapse(), *inner)),
-                SchemaType::Arr { elem, .. } => {
-                    Ok((Expr::ArrCollapse(Box::new(e)), *elem))
-                }
-                other => Err(terr(format!("collapse() needs a collection, found {other}"))),
+                SchemaType::Arr { elem, .. } => Ok((Expr::ArrCollapse(Box::new(e)), *elem)),
+                other => Err(terr(format!(
+                    "collapse() needs a collection, found {other}"
+                ))),
             }
         }
         "subarr" => {
@@ -655,8 +684,10 @@ fn tx_call(
             arity(2)?;
             let (a, aty) = tx_expr(&args[0], tc, sc)?;
             let (b, bty) = tx_expr(&args[1], tc, sc)?;
-            let fields = match (resolve_ty(&aty, tc.registry)?, resolve_ty(&bty, tc.registry)?)
-            {
+            let fields = match (
+                resolve_ty(&aty, tc.registry)?,
+                resolve_ty(&bty, tc.registry)?,
+            ) {
                 (SchemaType::Tup(mut fa), SchemaType::Tup(fb)) => {
                     for (n, t) in fb {
                         let mut nn = n;
@@ -676,8 +707,7 @@ fn tx_call(
                 return Err(terr("project() needs an expression and field names"));
             }
             let (e, ty) = tx_expr(&args[0], tc, sc)?;
-            let names: Vec<String> =
-                args[1..].iter().map(ident_arg).collect::<LangResult<_>>()?;
+            let names: Vec<String> = args[1..].iter().map(ident_arg).collect::<LangResult<_>>()?;
             let out_ty = match resolve_ty(&ty, tc.registry)? {
                 SchemaType::Tup(fs) => SchemaType::Tup(
                     names
@@ -714,8 +744,7 @@ fn tx_call(
                 return Err(terr("exact() needs an expression and type names"));
             }
             let (e, _) = tx_expr(&args[0], tc, sc)?;
-            let tys: Vec<String> =
-                args[1..].iter().map(ident_arg).collect::<LangResult<_>>()?;
+            let tys: Vec<String> = args[1..].iter().map(ident_arg).collect::<LangResult<_>>()?;
             for t in &tys {
                 tc.registry.lookup(t)?;
             }
@@ -750,9 +779,7 @@ fn tx_call(
             let elem = match resolve_ty(&ty, tc.registry)? {
                 SchemaType::Set(e) => *e,
                 SchemaType::Arr { elem, .. } => *elem,
-                other => {
-                    return Err(terr(format!("`{name}` needs a collection, found {other}")))
-                }
+                other => return Err(terr(format!("`{name}` needs a collection, found {other}"))),
             };
             let (f, out) = aggregate_func(name, &elem)?;
             Ok((Expr::call(f, vec![e]), out))
@@ -779,9 +806,9 @@ fn tx_pred(p: &QPred, tc: &TranslateCtx<'_>, sc: &mut RScope<'_>) -> LangResult<
         }
         QPred::And(a, b) => tx_pred(a, tc, sc)?.and(tx_pred(b, tc, sc)?),
         // a ∨ b ≡ ¬(¬a ∧ ¬b): the algebra's predicates have only ∧ and ¬.
-        QPred::Or(a, b) => {
-            Pred::Not(Box::new(tx_pred(a, tc, sc)?.not().and(tx_pred(b, tc, sc)?.not())))
-        }
+        QPred::Or(a, b) => Pred::Not(Box::new(
+            tx_pred(a, tc, sc)?.not().and(tx_pred(b, tc, sc)?.not()),
+        )),
         QPred::Not(q) => tx_pred(q, tc, sc)?.not(),
     })
 }
@@ -814,7 +841,10 @@ fn assemble(
         };
         let body = resolve_placeholders(&inner, std::slice::from_ref(&v.key), 0);
         let src = resolve_placeholders(&v.source, &[], 0);
-        let mut plan = Expr::ArrApply { input: Box::new(src), body: Box::new(body) };
+        let mut plan = Expr::ArrApply {
+            input: Box::new(src),
+            body: Box::new(body),
+        };
         if unique {
             plan = Expr::ArrDupElim(Box::new(plan));
         }
@@ -957,14 +987,20 @@ fn resolve_combo(e: &Expr, keys: &[String], local: usize) -> Expr {
             return e.clone();
         }
     }
-    with_binder_tracking(e, &mut |child, extra| resolve_combo(child, keys, local + extra))
+    with_binder_tracking(e, &mut |child, extra| {
+        resolve_combo(child, keys, local + extra)
+    })
 }
 
 /// Rebuild a node, applying `f(child, binders_crossed)` to every direct
 /// child — the binder-aware analog of [`Expr::map_children`].
 fn with_binder_tracking(e: &Expr, f: &mut dyn FnMut(&Expr, usize) -> Expr) -> Expr {
     match e {
-        Expr::SetApply { input, body, only_types } => Expr::SetApply {
+        Expr::SetApply {
+            input,
+            body,
+            only_types,
+        } => Expr::SetApply {
             input: Box::new(f(input, 0)),
             body: Box::new(f(body, 1)),
             only_types: only_types.clone(),

@@ -7,13 +7,10 @@ use excess_types::{SchemaType, TypeRegistry, Value};
 
 fn reg() -> TypeRegistry {
     let mut r = TypeRegistry::new();
-    r.define("T", SchemaType::tuple([("x", SchemaType::int4())])).unwrap();
-    r.define_with_supertypes(
-        "U",
-        SchemaType::tuple([("y", SchemaType::int4())]),
-        &["T"],
-    )
-    .unwrap();
+    r.define("T", SchemaType::tuple([("x", SchemaType::int4())]))
+        .unwrap();
+    r.define_with_supertypes("U", SchemaType::tuple([("y", SchemaType::int4())]), &["T"])
+        .unwrap();
     r
 }
 
@@ -23,13 +20,22 @@ fn leaf_and_literal_forms() {
     assert_eq!(decompile(&Expr::named("A"), &r).unwrap(), "A");
     assert_eq!(decompile(&Expr::int(5), &r).unwrap(), "5");
     assert_eq!(decompile(&Expr::lit(Value::float(2.5)), &r).unwrap(), "2.5");
-    assert_eq!(decompile(&Expr::lit(Value::str("a\"b")), &r).unwrap(), "\"a\\\"b\"");
-    assert_eq!(decompile(&Expr::lit(Value::bool(true)), &r).unwrap(), "true");
+    assert_eq!(
+        decompile(&Expr::lit(Value::str("a\"b")), &r).unwrap(),
+        "\"a\\\"b\""
+    );
+    assert_eq!(
+        decompile(&Expr::lit(Value::bool(true)), &r).unwrap(),
+        "true"
+    );
     assert_eq!(decompile(&Expr::lit(Value::dne()), &r).unwrap(), "dne");
     assert_eq!(decompile(&Expr::lit(Value::unk()), &r).unwrap(), "unk");
     assert_eq!(
-        decompile(&Expr::lit(Value::date(excess_types::Date::new(1990, 12, 1).unwrap())), &r)
-            .unwrap(),
+        decompile(
+            &Expr::lit(Value::date(excess_types::Date::new(1990, 12, 1).unwrap())),
+            &r
+        )
+        .unwrap(),
         "date(1990, 12, 1)"
     );
     assert_eq!(
@@ -50,14 +56,23 @@ fn operator_surface_forms() {
     for (plan, expected) in [
         (a.clone().add_union(b.clone()), "(A uplus B)"),
         (a.clone().diff(b.clone()), "(A - B)"),
-        (Expr::Union(Box::new(a.clone()), Box::new(b.clone())), "(A union B)"),
-        (Expr::Intersect(Box::new(a.clone()), Box::new(b.clone())), "(A intersect B)"),
+        (
+            Expr::Union(Box::new(a.clone()), Box::new(b.clone())),
+            "(A union B)",
+        ),
+        (
+            Expr::Intersect(Box::new(a.clone()), Box::new(b.clone())),
+            "(A intersect B)",
+        ),
         (a.clone().cross(b.clone()), "(A times B)"),
         (a.clone().make_set(), "{ A }"),
         (a.clone().make_arr(), "[ A ]"),
         (a.clone().dup_elim(), "de(A)"),
         (a.clone().set_collapse(), "collapse(A)"),
-        (a.clone().subarr(Bound::At(2), Bound::Last), "subarr(A, 2, last)"),
+        (
+            a.clone().subarr(Bound::At(2), Bound::Last),
+            "subarr(A, 2, last)",
+        ),
         (
             Expr::ArrExtract(Box::new(a.clone()), Bound::At(3)),
             "arr_extract(A, 3)",
@@ -79,12 +94,10 @@ fn operator_surface_forms() {
 #[test]
 fn binder_forms_use_fresh_variables() {
     let r = reg();
-    let plan = Expr::named("A").set_apply(
-        Expr::named("B").set_apply(Expr::call(
-            Func::Add,
-            vec![Expr::input(), Expr::input_at(1)],
-        )),
-    );
+    let plan = Expr::named("A").set_apply(Expr::named("B").set_apply(Expr::call(
+        Func::Add,
+        vec![Expr::input(), Expr::input_at(1)],
+    )));
     let s = decompile(&plan, &r).unwrap();
     assert_eq!(
         s,
@@ -162,7 +175,10 @@ fn decompile_into_is_a_statement() {
 fn documented_failures() {
     let r = reg();
     // OID constants.
-    let oid = excess_types::Oid { minted: excess_types::TypeId(0), serial: 1 };
+    let oid = excess_types::Oid {
+        minted: excess_types::TypeId(0),
+        serial: 1,
+    };
     assert!(decompile(&Expr::lit(Value::Ref(oid)), &r).is_err());
     // Primed field names.
     assert!(decompile(&Expr::named("A").extract("x'"), &r).is_err());

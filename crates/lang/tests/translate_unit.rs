@@ -22,7 +22,10 @@ impl Fx {
         let mut reg = TypeRegistry::new();
         reg.define(
             "Dept",
-            SchemaType::tuple([("dname", SchemaType::chars()), ("floor", SchemaType::int4())]),
+            SchemaType::tuple([
+                ("dname", SchemaType::chars()),
+                ("floor", SchemaType::int4()),
+            ]),
         )
         .unwrap();
         reg.define(
@@ -30,18 +33,26 @@ impl Fx {
             SchemaType::tuple([
                 ("name", SchemaType::chars()),
                 ("dept", SchemaType::reference("Dept")),
-                ("kids", SchemaType::set(SchemaType::tuple([(
-                    "kname",
-                    SchemaType::chars(),
-                )]))),
+                (
+                    "kids",
+                    SchemaType::set(SchemaType::tuple([("kname", SchemaType::chars())])),
+                ),
             ]),
         )
         .unwrap();
         let mut schemas = HashMap::new();
-        schemas.insert("Emps".to_string(), SchemaType::set(SchemaType::named("Emp")));
+        schemas.insert(
+            "Emps".to_string(),
+            SchemaType::set(SchemaType::named("Emp")),
+        );
         schemas.insert("Nums".to_string(), SchemaType::set(SchemaType::int4()));
         schemas.insert("Arr".to_string(), SchemaType::array(SchemaType::int4()));
-        Fx { reg, schemas, ranges: HashMap::new(), methods: MethodRegistry::new() }
+        Fx {
+            reg,
+            schemas,
+            ranges: HashMap::new(),
+            methods: MethodRegistry::new(),
+        }
     }
 
     fn tx(&self, src: &str) -> Result<Expr, excess_lang::LangError> {
@@ -105,10 +116,8 @@ fn range_of_instantiates_lazily_and_orders_dependencies() {
     // C's source references E (declared by range-of); E's binder must end
     // up OUTSIDE C's despite being created later.
     let e = fx
-        .tx(
-            r#"range of E is Emps
-               retrieve (C.kname) from C in E.kids where E.name = "a""#,
-        )
+        .tx(r#"range of E is Emps
+               retrieve (C.kname) from C in E.kids where E.name = "a""#)
         .unwrap();
     let s = e.to_string();
     // Outer scan over Emps, inner over kids, flattened once.
@@ -123,11 +132,9 @@ fn aggregate_scopes_are_independent() {
     // by the where clause.
     let fx = Fx::new();
     let e = fx
-        .tx(
-            r#"range of EMP is Emps
+        .tx(r#"range of EMP is Emps
                retrieve (EMP.name, count(E.kids from E in Emps
-                         where E.dept.floor = EMP.dept.floor))"#,
-        )
+                         where E.dept.floor = EMP.dept.floor))"#)
         .unwrap();
     let s = e.to_string();
     // Outer scan + inner aggregate scan of the same object.
@@ -143,10 +150,8 @@ fn shadowing_inner_variable_wins() {
     // The aggregate redeclares x over Emps; inner x.name must refer to the
     // aggregate's x (an Emp), not the outer x (an int from Nums).
     let e = fx
-        .tx(
-            r#"retrieve (count(x.name from x in Emps))
-               from x in Nums"#,
-        )
+        .tx(r#"retrieve (count(x.name from x in Emps))
+               from x in Nums"#)
         .unwrap();
     // If shadowing failed, navigation of `.name` on an int would error.
     let s = e.to_string();
@@ -229,7 +234,10 @@ fn unknown_names_fields_and_functions_error_cleanly() {
         ("retrieve (E.bogus) from E in Emps", "no field or method"),
         ("retrieve (frobnicate(1))", "unknown function"),
         ("retrieve (x) from x in 1", "must range over"),
-        ("retrieve (x, x) from x in Nums, x in Nums", "duplicate range variable"),
+        (
+            "retrieve (x, x) from x in Nums, x in Nums",
+            "duplicate range variable",
+        ),
     ] {
         let err = fx.tx(src).unwrap_err();
         assert!(err.to_string().contains(needle), "{src}: {err}");
@@ -239,7 +247,9 @@ fn unknown_names_fields_and_functions_error_cleanly() {
 #[test]
 fn or_lowers_to_not_and_not() {
     let fx = Fx::new();
-    let e = fx.tx("retrieve (x) from x in Nums where x = 1 or x = 2").unwrap();
+    let e = fx
+        .tx("retrieve (x) from x in Nums where x = 1 or x = 2")
+        .unwrap();
     let s = e.to_string();
     assert!(s.contains("¬((¬(") || s.contains("¬("), "{s}");
 }
@@ -247,9 +257,7 @@ fn or_lowers_to_not_and_not() {
 #[test]
 fn labeled_targets_and_clash_priming() {
     let fx = Fx::new();
-    let e = fx
-        .tx("retrieve (a = x, a = x + 1) from x in Nums")
-        .unwrap();
+    let e = fx.tx("retrieve (a = x, a = x + 1) from x in Nums").unwrap();
     let s = e.to_string();
     assert!(s.contains("TUP[a]"), "{s}");
     assert!(s.contains("TUP[a']"), "{s}");
@@ -260,10 +268,14 @@ fn labeled_targets_and_clash_priming() {
 
 #[test]
 fn parse_statement_round_trips_replace() {
-    let s = parse_statement(r#"replace Depts (floor: Depts.floor + 1) where Depts.floor = 3"#)
-        .unwrap();
+    let s =
+        parse_statement(r#"replace Depts (floor: Depts.floor + 1) where Depts.floor = 3"#).unwrap();
     match s {
-        Stmt::Replace { target, fields, filter } => {
+        Stmt::Replace {
+            target,
+            fields,
+            filter,
+        } => {
             assert_eq!(target, "Depts");
             assert_eq!(fields.len(), 1);
             assert!(filter.is_some());

@@ -35,7 +35,11 @@ pub struct Estimate {
 
 impl Estimate {
     fn scalar(cost: f64) -> Estimate {
-        Estimate { rows: 1.0, distinct: 1.0, cost }
+        Estimate {
+            rows: 1.0,
+            distinct: 1.0,
+            cost,
+        }
     }
 }
 
@@ -46,11 +50,16 @@ pub fn estimate(e: &Expr, env: &mut Vec<Estimate>, stats: &Statistics) -> Estima
     match e {
         Expr::Input(d) => {
             let idx = env.len().checked_sub(1 + d);
-            idx.and_then(|i| env.get(i).copied()).unwrap_or(Estimate::scalar(0.0))
+            idx.and_then(|i| env.get(i).copied())
+                .unwrap_or(Estimate::scalar(0.0))
         }
         Expr::Named(n) => {
             let o = stats.object(n);
-            Estimate { rows: o.rows, distinct: o.distinct, cost: o.rows }
+            Estimate {
+                rows: o.rows,
+                distinct: o.distinct,
+                cost: o.rows,
+            }
         }
         Expr::Const(v) => {
             let rows = match v {
@@ -58,7 +67,11 @@ pub fn estimate(e: &Expr, env: &mut Vec<Estimate>, stats: &Statistics) -> Estima
                 Value::Array(a) => a.len() as f64,
                 _ => 1.0,
             };
-            Estimate { rows, distinct: rows, cost: 0.0 }
+            Estimate {
+                rows,
+                distinct: rows,
+                cost: 0.0,
+            }
         }
 
         Expr::AddUnion(a, b) | Expr::Union(a, b) => {
@@ -79,9 +92,17 @@ pub fn estimate(e: &Expr, env: &mut Vec<Estimate>, stats: &Statistics) -> Estima
         }
         Expr::MakeSet(a) | Expr::MakeArr(a) => {
             let ea = estimate(a, env, stats);
-            Estimate { rows: 1.0, distinct: 1.0, cost: ea.cost }
+            Estimate {
+                rows: 1.0,
+                distinct: 1.0,
+                cost: ea.cost,
+            }
         }
-        Expr::SetApply { input, body, only_types } => {
+        Expr::SetApply {
+            input,
+            body,
+            only_types,
+        } => {
             let ein = estimate(input, env, stats);
             let elem = element_estimate(input, &ein, env, stats);
             env.push(elem);
@@ -89,7 +110,11 @@ pub fn estimate(e: &Expr, env: &mut Vec<Estimate>, stats: &Statistics) -> Estima
             env.pop();
             let (frac, filter_cost) = match only_types {
                 Some(ts) => {
-                    let f: f64 = ts.iter().map(|t| stats.type_fraction(t)).sum::<f64>().min(1.0);
+                    let f: f64 = ts
+                        .iter()
+                        .map(|t| stats.type_fraction(t))
+                        .sum::<f64>()
+                        .min(1.0);
                     (f, TYPE_TEST_COST)
                 }
                 None => (1.0, 0.0),
@@ -112,7 +137,10 @@ pub fn estimate(e: &Expr, env: &mut Vec<Estimate>, stats: &Statistics) -> Estima
             let avg_body: f64 = if table.is_empty() {
                 0.0
             } else {
-                table.iter().map(|(_, b)| estimate(b, env, stats).cost).sum::<f64>()
+                table
+                    .iter()
+                    .map(|(_, b)| estimate(b, env, stats).cost)
+                    .sum::<f64>()
                     / table.len() as f64
             };
             env.pop();
@@ -141,7 +169,11 @@ pub fn estimate(e: &Expr, env: &mut Vec<Estimate>, stats: &Statistics) -> Estima
         }
         Expr::DupElim(a) => {
             let ea = estimate(a, env, stats);
-            Estimate { rows: ea.distinct, distinct: ea.distinct, cost: ea.cost + ea.rows }
+            Estimate {
+                rows: ea.distinct,
+                distinct: ea.distinct,
+                cost: ea.cost + ea.rows,
+            }
         }
         Expr::Cross(a, b) | Expr::RelCross(a, b) => {
             let (ea, eb) = (estimate(a, env, stats), estimate(b, env, stats));
@@ -168,7 +200,11 @@ pub fn estimate(e: &Expr, env: &mut Vec<Estimate>, stats: &Statistics) -> Estima
         Expr::SetCollapse(a) => {
             let ea = estimate(a, env, stats);
             let rows = ea.rows * stats.default_avg_nested;
-            Estimate { rows, distinct: rows * 0.5, cost: ea.cost + rows }
+            Estimate {
+                rows,
+                distinct: rows * 0.5,
+                cost: ea.cost + rows,
+            }
         }
 
         Expr::Select { input, pred } => {
@@ -198,11 +234,19 @@ pub fn estimate(e: &Expr, env: &mut Vec<Estimate>, stats: &Statistics) -> Estima
 
         Expr::Project(a, _) | Expr::MakeTup(a, _) => {
             let ea = estimate(a, env, stats);
-            Estimate { rows: 1.0, distinct: 1.0, cost: ea.cost + 0.5 }
+            Estimate {
+                rows: 1.0,
+                distinct: 1.0,
+                cost: ea.cost + 0.5,
+            }
         }
         Expr::TupCat(a, b) => {
             let (ea, eb) = (estimate(a, env, stats), estimate(b, env, stats));
-            Estimate { rows: 1.0, distinct: 1.0, cost: ea.cost + eb.cost + 0.5 }
+            Estimate {
+                rows: 1.0,
+                distinct: 1.0,
+                cost: ea.cost + eb.cost + 0.5,
+            }
         }
         Expr::TupExtract(a, _) => {
             let ea = estimate(a, env, stats);
@@ -217,7 +261,11 @@ pub fn estimate(e: &Expr, env: &mut Vec<Estimate>, stats: &Statistics) -> Estima
 
         Expr::ArrExtract(a, _) => {
             let ea = estimate(a, env, stats);
-            Estimate { rows: 1.0, distinct: 1.0, cost: ea.cost + 0.25 }
+            Estimate {
+                rows: 1.0,
+                distinct: 1.0,
+                cost: ea.cost + 0.25,
+            }
         }
         Expr::ArrApply { input, body } => {
             let ein = estimate(input, env, stats);
@@ -233,7 +281,11 @@ pub fn estimate(e: &Expr, env: &mut Vec<Estimate>, stats: &Statistics) -> Estima
         }
         Expr::SubArr(a, _, _) => {
             let ea = estimate(a, env, stats);
-            Estimate { rows: (ea.rows * 0.5).max(1.0), distinct: ea.distinct, cost: ea.cost + ea.rows * 0.5 }
+            Estimate {
+                rows: (ea.rows * 0.5).max(1.0),
+                distinct: ea.distinct,
+                cost: ea.cost + ea.rows * 0.5,
+            }
         }
         Expr::ArrCat(a, b) => {
             let (ea, eb) = (estimate(a, env, stats), estimate(b, env, stats));
@@ -246,29 +298,53 @@ pub fn estimate(e: &Expr, env: &mut Vec<Estimate>, stats: &Statistics) -> Estima
         Expr::ArrCollapse(a) => {
             let ea = estimate(a, env, stats);
             let rows = ea.rows * stats.default_avg_nested;
-            Estimate { rows, distinct: rows * 0.5, cost: ea.cost + rows }
+            Estimate {
+                rows,
+                distinct: rows * 0.5,
+                cost: ea.cost + rows,
+            }
         }
         Expr::ArrDiff(a, b) => {
             let (ea, eb) = (estimate(a, env, stats), estimate(b, env, stats));
-            Estimate { rows: ea.rows, distinct: ea.distinct, cost: ea.cost + eb.cost + ea.rows + eb.rows }
+            Estimate {
+                rows: ea.rows,
+                distinct: ea.distinct,
+                cost: ea.cost + eb.cost + ea.rows + eb.rows,
+            }
         }
         Expr::ArrDupElim(a) => {
             let ea = estimate(a, env, stats);
-            Estimate { rows: ea.distinct, distinct: ea.distinct, cost: ea.cost + ea.rows }
+            Estimate {
+                rows: ea.distinct,
+                distinct: ea.distinct,
+                cost: ea.cost + ea.rows,
+            }
         }
         Expr::ArrCross(a, b) => {
             let (ea, eb) = (estimate(a, env, stats), estimate(b, env, stats));
             let rows = ea.rows * eb.rows;
-            Estimate { rows, distinct: rows, cost: ea.cost + eb.cost + rows }
+            Estimate {
+                rows,
+                distinct: rows,
+                cost: ea.cost + eb.cost + rows,
+            }
         }
 
         Expr::MakeRef(a, _) => {
             let ea = estimate(a, env, stats);
-            Estimate { rows: 1.0, distinct: 1.0, cost: ea.cost + MINT_COST }
+            Estimate {
+                rows: 1.0,
+                distinct: 1.0,
+                cost: ea.cost + MINT_COST,
+            }
         }
         Expr::Deref(a) => {
             let ea = estimate(a, env, stats);
-            Estimate { rows: 1.0, distinct: 1.0, cost: ea.cost + DEREF_COST }
+            Estimate {
+                rows: 1.0,
+                distinct: 1.0,
+                cost: ea.cost + DEREF_COST,
+            }
         }
 
         Expr::Comp { input, pred } => {
@@ -276,7 +352,11 @@ pub fn estimate(e: &Expr, env: &mut Vec<Estimate>, stats: &Statistics) -> Estima
             env.push(ein);
             let pc = pred_cost(pred, env, stats);
             env.pop();
-            Estimate { rows: ein.rows, distinct: ein.distinct, cost: ein.cost + pc }
+            Estimate {
+                rows: ein.rows,
+                distinct: ein.distinct,
+                cost: ein.cost + pc,
+            }
         }
 
         Expr::Call(f, args) => {
@@ -323,9 +403,17 @@ fn element_estimate(
     if let Expr::Group { input: gi, .. } = cur {
         let g_in = estimate(gi, env, stats);
         let members = (g_in.rows / ein.rows.max(1.0)).max(1.0);
-        return Estimate { rows: members, distinct: members, cost: 0.0 };
+        return Estimate {
+            rows: members,
+            distinct: members,
+            cost: 0.0,
+        };
     }
-    Estimate { rows: stats.default_avg_nested, distinct: stats.default_avg_nested, cost: 0.0 }
+    Estimate {
+        rows: stats.default_avg_nested,
+        distinct: stats.default_avg_nested,
+        cost: 0.0,
+    }
 }
 
 /// Does the body act as a filter (COMP at its spine)?  If so, SET_APPLY
@@ -360,9 +448,7 @@ fn body_is_projection(body: &Expr) -> bool {
 
 fn pred_cost(p: &Pred, env: &mut Vec<Estimate>, stats: &Statistics) -> f64 {
     match p {
-        Pred::Cmp(l, _, r) => {
-            1.0 + estimate(l, env, stats).cost + estimate(r, env, stats).cost
-        }
+        Pred::Cmp(l, _, r) => 1.0 + estimate(l, env, stats).cost + estimate(r, env, stats).cost,
         Pred::And(a, b) => pred_cost(a, env, stats) + pred_cost(b, env, stats),
         Pred::Not(q) => pred_cost(q, env, stats),
     }
@@ -372,6 +458,61 @@ fn pred_cost(p: &Pred, env: &mut Vec<Estimate>, stats: &Statistics) -> f64 {
 pub fn cost_of(e: &Expr, stats: &Statistics) -> f64 {
     let mut env = Vec::new();
     estimate(e, &mut env, stats).cost
+}
+
+/// Per-node estimates for every node of `e`, keyed by its path (child
+/// indices in [`Expr::children`] order — the same keying the evaluator's
+/// profile uses, so EXPLAIN ANALYZE can put estimate and measurement side
+/// by side).  Binder environments are maintained exactly as [`estimate`]
+/// does internally, so a body node's estimate matches what the cost model
+/// assumed for it in context.
+pub fn estimate_nodes(
+    e: &Expr,
+    stats: &Statistics,
+) -> Vec<(excess_core::profile::NodePath, Estimate)> {
+    let mut out = Vec::new();
+    let mut path = Vec::new();
+    let mut env = Vec::new();
+    walk_estimates(e, &mut path, &mut env, stats, &mut out);
+    out
+}
+
+fn walk_estimates(
+    e: &Expr,
+    path: &mut Vec<usize>,
+    env: &mut Vec<Estimate>,
+    stats: &Statistics,
+    out: &mut Vec<(excess_core::profile::NodePath, Estimate)>,
+) {
+    out.push((path.clone(), estimate(e, env, stats)));
+    // Children at index ≥ `start` see one extra binder on the environment,
+    // mirroring the env pushes in `estimate`'s own arms.
+    let binder: Option<(usize, Estimate)> = match e {
+        Expr::SetApply { input, .. }
+        | Expr::ArrApply { input, .. }
+        | Expr::Group { input, .. }
+        | Expr::Select { input, .. }
+        | Expr::SetApplySwitch { input, .. } => {
+            let ein = estimate(input, env, stats);
+            Some((1, element_estimate(input, &ein, env, stats)))
+        }
+        Expr::ArrSelect { .. } => Some((1, Estimate::scalar(0.0))),
+        Expr::RelJoin { .. } => Some((2, Estimate::scalar(0.0))),
+        Expr::Comp { input, .. } => Some((1, estimate(input, env, stats))),
+        _ => None,
+    };
+    for (i, child) in e.children().into_iter().enumerate() {
+        let bound = matches!(binder, Some((start, _)) if i >= start);
+        if bound {
+            env.push(binder.expect("checked").1);
+        }
+        path.push(i);
+        walk_estimates(child, path, env, stats, out);
+        path.pop();
+        if bound {
+            env.pop();
+        }
+    }
 }
 
 #[cfg(test)]
@@ -405,7 +546,10 @@ mod tests {
         // GRP then per-group σ (plus the compensation) vs σ then GRP.
         let late = Expr::named("S")
             .group_by(by.clone())
-            .set_apply(Expr::Select { input: Box::new(Expr::input()), pred: pred.clone() });
+            .set_apply(Expr::Select {
+                input: Box::new(Expr::input()),
+                pred: pred.clone(),
+            });
         let early = Expr::named("S").select(pred).group_by(by);
         assert!(cost_of(&early, &s) < cost_of(&late, &s));
     }

@@ -44,7 +44,10 @@ pub enum DispatchStrategy {
 pub fn build_switch(input: Expr, impls: &[MethodImpl]) -> Expr {
     Expr::SetApplySwitch {
         input: Box::new(input),
-        table: impls.iter().map(|m| (m.owner.clone(), m.body.clone())).collect(),
+        table: impls
+            .iter()
+            .map(|m| (m.owner.clone(), m.body.clone()))
+            .collect(),
     }
 }
 
@@ -80,9 +83,9 @@ pub fn coverage(reg: &TypeRegistry, impls: &[MethodImpl]) -> Vec<(MethodImpl, Ve
 /// implementation, each filtered to the exact types that implementation
 /// covers.
 pub fn build_union(reg: &TypeRegistry, input: Expr, impls: &[MethodImpl]) -> Expr {
-    let mut arms = coverage(reg, impls).into_iter().map(|(m, covered)| {
-        input.clone().set_apply_only(covered, m.body)
-    });
+    let mut arms = coverage(reg, impls)
+        .into_iter()
+        .map(|(m, covered)| input.clone().set_apply_only(covered, m.body));
     let first = arms.next().expect("at least one implementation");
     arms.fold(first, |acc, arm| acc.add_union(arm))
 }
@@ -108,8 +111,7 @@ pub fn choose(
         return DispatchStrategy::UnionPerType;
     }
     let n = impls.len().max(1) as f64;
-    let avg_body_cost: f64 =
-        impls.iter().map(|m| cost_of(&m.body, stats)).sum::<f64>() / n;
+    let avg_body_cost: f64 = impls.iter().map(|m| cost_of(&m.body, stats)).sum::<f64>() / n;
     // Per element: switch pays type-test + switch overhead, once.
     // ⊎ pays (n − 1) extra scans + n type tests per element of the set.
     let switch_per_elem = TYPE_TEST_COST + SWITCH_COST + 1.0 + avg_body_cost;
@@ -131,7 +133,8 @@ mod tests {
 
     fn university() -> TypeRegistry {
         let mut r = TypeRegistry::new();
-        r.define("Person", SchemaType::tuple([("name", SchemaType::chars())])).unwrap();
+        r.define("Person", SchemaType::tuple([("name", SchemaType::chars())]))
+            .unwrap();
         r.define_with_supertypes(
             "Employee",
             SchemaType::tuple([("salary", SchemaType::int4())]),
@@ -149,9 +152,18 @@ mod tests {
 
     fn boss_impls() -> Vec<MethodImpl> {
         vec![
-            MethodImpl { owner: "Person".into(), body: Expr::input().extract("name") },
-            MethodImpl { owner: "Employee".into(), body: Expr::input().extract("salary") },
-            MethodImpl { owner: "Student".into(), body: Expr::input().extract("gpa") },
+            MethodImpl {
+                owner: "Person".into(),
+                body: Expr::input().extract("name"),
+            },
+            MethodImpl {
+                owner: "Employee".into(),
+                body: Expr::input().extract("salary"),
+            },
+            MethodImpl {
+                owner: "Student".into(),
+                body: Expr::input().extract("gpa"),
+            },
         ]
     }
 
@@ -161,17 +173,31 @@ mod tests {
         // Only Person and Employee implement f: Person's arm covers
         // Person and Student; Employee's covers Employee.
         let impls = vec![
-            MethodImpl { owner: "Person".into(), body: Expr::input() },
-            MethodImpl { owner: "Employee".into(), body: Expr::input() },
+            MethodImpl {
+                owner: "Person".into(),
+                body: Expr::input(),
+            },
+            MethodImpl {
+                owner: "Employee".into(),
+                body: Expr::input(),
+            },
         ];
         let cov = coverage(&reg, &impls);
-        let person_cov: Vec<_> =
-            cov.iter().find(|(m, _)| m.owner == "Person").unwrap().1.clone();
+        let person_cov: Vec<_> = cov
+            .iter()
+            .find(|(m, _)| m.owner == "Person")
+            .unwrap()
+            .1
+            .clone();
         assert!(person_cov.contains(&"Person".to_string()));
         assert!(person_cov.contains(&"Student".to_string()));
         assert!(!person_cov.contains(&"Employee".to_string()));
-        let emp_cov: Vec<_> =
-            cov.iter().find(|(m, _)| m.owner == "Employee").unwrap().1.clone();
+        let emp_cov: Vec<_> = cov
+            .iter()
+            .find(|(m, _)| m.owner == "Employee")
+            .unwrap()
+            .1
+            .clone();
         assert_eq!(emp_cov, vec!["Employee".to_string()]);
     }
 
@@ -212,10 +238,19 @@ mod tests {
             .extract("sub_ords")
             .set_apply(Expr::input().deref().extract("name"));
         let impls = vec![
-            MethodImpl { owner: "Person".into(), body: big_body.clone() },
-            MethodImpl { owner: "Employee".into(), body: big_body },
+            MethodImpl {
+                owner: "Person".into(),
+                body: big_body.clone(),
+            },
+            MethodImpl {
+                owner: "Employee".into(),
+                body: big_body,
+            },
         ];
-        assert_eq!(choose(&reg, &stats, "P", &impls), DispatchStrategy::UnionPerType);
+        assert_eq!(
+            choose(&reg, &stats, "P", &impls),
+            DispatchStrategy::UnionPerType
+        );
     }
 
     #[test]

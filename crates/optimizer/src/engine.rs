@@ -11,6 +11,7 @@ use crate::cost::cost_of;
 use crate::rule::{Rule, RuleCtx};
 use crate::stats::Statistics;
 use excess_core::expr::Expr;
+use excess_core::profile::NodePath;
 use std::collections::HashSet;
 
 /// Engine configuration.
@@ -54,8 +55,25 @@ impl Optimizer {
     /// Single-step rewrites of `e` (at every position), tagged with the
     /// rule that produced each.
     pub fn neighbors(&self, e: &Expr, ctx: &RuleCtx<'_>) -> Vec<(&'static str, Expr)> {
+        self.neighbors_at(e, ctx)
+            .into_iter()
+            .map(|n| (n.rule, n.plan))
+            .collect()
+    }
+
+    /// [`Optimizer::neighbors`] with each rewrite tagged by the path of the
+    /// node it fired at (child indices from the root, [`Expr::children`]
+    /// order) — the position information the rewrite journal records.
+    pub fn neighbors_at(&self, e: &Expr, ctx: &RuleCtx<'_>) -> Vec<Neighbor> {
         let mut out = Vec::new();
-        self.collect(e, ctx, &mut |rule, rewritten| out.push((rule, rewritten)));
+        let mut path = Vec::new();
+        self.collect(e, ctx, &mut path, &mut |rule, path, rewritten| {
+            out.push(Neighbor {
+                rule,
+                path,
+                plan: rewritten,
+            })
+        });
         out
     }
 
@@ -63,21 +81,26 @@ impl Optimizer {
         &self,
         e: &Expr,
         ctx: &RuleCtx<'_>,
-        sink: &mut dyn FnMut(&'static str, Expr),
+        path: &mut NodePath,
+        sink: &mut dyn FnMut(&'static str, NodePath, Expr),
     ) {
         for r in &self.rules {
             if !self.rule_enabled(r.as_ref()) {
                 continue;
             }
             for alt in r.apply(e, ctx) {
-                sink(r.name(), alt);
+                sink(r.name(), path.clone(), alt);
             }
         }
         for (n, child) in e.children().into_iter().enumerate() {
-            let mut child_alts: Vec<(&'static str, Expr)> = Vec::new();
-            self.collect(child, ctx, &mut |rule, alt| child_alts.push((rule, alt)));
-            for (rule, alt) in child_alts {
-                sink(rule, replace_nth_child(e, n, &alt));
+            let mut child_alts: Vec<(&'static str, NodePath, Expr)> = Vec::new();
+            path.push(n);
+            self.collect(child, ctx, path, &mut |rule, at, alt| {
+                child_alts.push((rule, at, alt))
+            });
+            path.pop();
+            for (rule, at, alt) in child_alts {
+                sink(rule, at, replace_nth_child(e, n, &alt));
             }
         }
     }
@@ -118,7 +141,11 @@ impl Optimizer {
                 best = p;
             }
         }
-        Optimized { plan: best, cost: best_cost, explored }
+        Optimized {
+            plan: best,
+            cost: best_cost,
+            explored,
+        }
     }
 
     /// Greedy hill-climbing: repeatedly take the single best cost-improving
@@ -143,7 +170,11 @@ impl Optimizer {
                 }
             }
             if !improved {
-                return Optimized { plan: cur, cost: cur_cost, explored };
+                return Optimized {
+                    plan: cur,
+                    cost: cur_cost,
+                    explored,
+                };
             }
         }
     }
@@ -160,6 +191,18 @@ pub struct Optimized {
     pub explored: usize,
 }
 
+/// A single-step rewrite: the rule, the position it fired at, and the
+/// whole-plan result.
+#[derive(Debug, Clone)]
+pub struct Neighbor {
+    /// The rule that fired.
+    pub rule: &'static str,
+    /// Path of the node the rule fired at (empty = root).
+    pub path: NodePath,
+    /// The rewritten plan (with the rewrite spliced in at `path`).
+    pub plan: Expr,
+}
+
 /// One step of a traced greedy run.
 #[derive(Debug, Clone)]
 pub struct TraceStep {
@@ -173,6 +216,55 @@ pub struct TraceStep {
     pub plan: Expr,
 }
 
+/// One accepted rewrite in a [`RewriteJournal`].
+#[derive(Debug, Clone)]
+pub struct JournalStep {
+    /// The rule that fired.
+    pub rule: &'static str,
+    /// Path of the node the rule fired at (empty = root).
+    pub path: NodePath,
+    /// Estimated cost before the step.
+    pub cost_before: f64,
+    /// Estimated cost after the step.
+    pub cost_after: f64,
+    /// The plan after the step.
+    pub plan: Expr,
+}
+
+/// The full story of one optimization run: every rule firing with its
+/// node position and cost delta, the enumeration effort against the
+/// `max_plans` budget, and the best-cost trajectory.
+#[derive(Debug, Clone)]
+pub struct RewriteJournal {
+    /// Accepted rewrites, in order.
+    pub steps: Vec<JournalStep>,
+    /// Neighbor plans enumerated (cost-model evaluations), including the
+    /// starting plan.
+    pub plans_enumerated: usize,
+    /// The engine's exploration budget at the time of the run.
+    pub max_plans: usize,
+    /// Estimated cost of the starting plan.
+    pub initial_cost: f64,
+    /// Estimated cost of the final plan.
+    pub final_cost: f64,
+}
+
+impl RewriteJournal {
+    /// Best cost after each accepted step, starting with the initial plan —
+    /// the trajectory a cost-over-time plot wants.
+    pub fn cost_trajectory(&self) -> Vec<f64> {
+        let mut t = Vec::with_capacity(self.steps.len() + 1);
+        t.push(self.initial_cost);
+        t.extend(self.steps.iter().map(|s| s.cost_after));
+        t
+    }
+
+    /// The names of the rules that fired, in order.
+    pub fn rule_sequence(&self) -> Vec<&'static str> {
+        self.steps.iter().map(|s| s.rule).collect()
+    }
+}
+
 impl Optimizer {
     /// [`Optimizer::optimize_greedy`] with a per-step trace — which rule
     /// fired, and how much estimated cost it removed.  This is the
@@ -184,30 +276,69 @@ impl Optimizer {
         ctx: &RuleCtx<'_>,
         stats: &Statistics,
     ) -> (Optimized, Vec<TraceStep>) {
+        let (best, journal) = self.optimize_greedy_journaled(e, ctx, stats);
+        let trace = journal
+            .steps
+            .into_iter()
+            .map(|s| TraceStep {
+                rule: s.rule,
+                cost_before: s.cost_before,
+                cost_after: s.cost_after,
+                plan: s.plan,
+            })
+            .collect();
+        (best, trace)
+    }
+
+    /// [`Optimizer::optimize_greedy`] with a full [`RewriteJournal`]:
+    /// every accepted rule firing with the node path it fired at, plus the
+    /// enumeration effort against the `max_plans` budget.
+    pub fn optimize_greedy_journaled(
+        &self,
+        e: &Expr,
+        ctx: &RuleCtx<'_>,
+        stats: &Statistics,
+    ) -> (Optimized, RewriteJournal) {
         let mut cur = e.clone();
         let mut cur_cost = cost_of(&cur, stats);
+        let initial_cost = cur_cost;
         let mut explored = 1;
-        let mut trace = Vec::new();
+        let mut steps = Vec::new();
         loop {
             let mut improved = false;
-            for (rule, alt) in self.neighbors(&cur, ctx) {
+            for n in self.neighbors_at(&cur, ctx) {
                 explored += 1;
-                let c = cost_of(&alt, stats);
+                let c = cost_of(&n.plan, stats);
                 if c < cur_cost {
-                    trace.push(TraceStep {
-                        rule,
+                    steps.push(JournalStep {
+                        rule: n.rule,
+                        path: n.path,
                         cost_before: cur_cost,
                         cost_after: c,
-                        plan: alt.clone(),
+                        plan: n.plan.clone(),
                     });
-                    cur = alt;
+                    cur = n.plan;
                     cur_cost = c;
                     improved = true;
                     break;
                 }
             }
             if !improved {
-                return (Optimized { plan: cur, cost: cur_cost, explored }, trace);
+                let journal = RewriteJournal {
+                    steps,
+                    plans_enumerated: explored,
+                    max_plans: self.max_plans,
+                    initial_cost,
+                    final_cost: cur_cost,
+                };
+                return (
+                    Optimized {
+                        plan: cur,
+                        cost: cur_cost,
+                        explored,
+                    },
+                    journal,
+                );
             }
         }
     }
@@ -230,7 +361,12 @@ pub fn replace_nth_child(e: &Expr, n: usize, new: &Expr) -> Expr {
 /// (in `excess-db`) maintains the `P::exact::T` virtual objects.
 pub fn apply_extent_indexes(e: &Expr, stats: &Statistics) -> Expr {
     let rebuilt = e.map_children(&mut |c| apply_extent_indexes(c, stats));
-    if let Expr::SetApply { input, body, only_types: Some(ts) } = &rebuilt {
+    if let Expr::SetApply {
+        input,
+        body,
+        only_types: Some(ts),
+    } = &rebuilt
+    {
         if let Expr::Named(obj) = &**input {
             if !ts.is_empty() && ts.iter().all(|t| stats.has_extent_index(obj, t)) {
                 let mut parts = ts.iter().map(|t| Expr::named(format!("{obj}::exact::{t}")));
@@ -267,11 +403,11 @@ mod tests {
         (reg, schemas)
     }
 
-    fn ctx<'a>(
-        reg: &'a TypeRegistry,
-        schemas: &'a HashMap<String, SchemaType>,
-    ) -> RuleCtx<'a> {
-        RuleCtx { registry: reg, schemas }
+    fn ctx<'a>(reg: &'a TypeRegistry, schemas: &'a HashMap<String, SchemaType>) -> RuleCtx<'a> {
+        RuleCtx {
+            registry: reg,
+            schemas,
+        }
     }
 
     #[test]
@@ -281,9 +417,9 @@ mod tests {
         // DE nested under a SET: DE(DE(S)) inside MakeSet.
         let e = Expr::named("S").dup_elim().dup_elim().make_set();
         let ns = opt.neighbors(&e, &ctx(&reg, &schemas));
-        assert!(ns
-            .iter()
-            .any(|(r, p)| *r == "rel4-de-idempotent" && *p == Expr::named("S").dup_elim().make_set()));
+        assert!(ns.iter().any(
+            |(r, p)| *r == "rel4-de-idempotent" && *p == Expr::named("S").dup_elim().make_set()
+        ));
     }
 
     #[test]
@@ -321,6 +457,61 @@ mod tests {
     }
 
     #[test]
+    fn neighbors_at_reports_firing_positions() {
+        let (reg, schemas) = ctx_fixtures();
+        let opt = Optimizer::standard();
+        // DE(DE(S)) inside MakeSet: the idempotence rule fires at the
+        // outer DE, which is child 0 of the root SET node.
+        let e = Expr::named("S").dup_elim().dup_elim().make_set();
+        let ns = opt.neighbors_at(&e, &ctx(&reg, &schemas));
+        let hit = ns
+            .iter()
+            .find(|n| {
+                n.rule == "rel4-de-idempotent" && n.plan == Expr::named("S").dup_elim().make_set()
+            })
+            .expect("idempotence rewrite offered");
+        assert_eq!(hit.path, vec![0]);
+    }
+
+    #[test]
+    fn journal_records_rules_paths_and_costs() {
+        let (reg, schemas) = ctx_fixtures();
+        let opt = Optimizer::standard();
+        let stats = Statistics::new();
+        let e = Expr::named("S")
+            .set_apply(Expr::input().extract("name"))
+            .set_apply(Expr::input().make_tup("n"));
+        let (best, journal) = opt.optimize_greedy_journaled(&e, &ctx(&reg, &schemas), &stats);
+        assert!(!journal.steps.is_empty());
+        assert!(journal
+            .rule_sequence()
+            .contains(&"rule15-combine-set-applys"));
+        assert_eq!(journal.initial_cost, journal.steps[0].cost_before);
+        assert_eq!(journal.final_cost, best.cost);
+        assert_eq!(journal.plans_enumerated, best.explored);
+        assert_eq!(journal.max_plans, opt.max_plans);
+        // Trajectory: initial cost, then strictly decreasing accepted costs.
+        let traj = journal.cost_trajectory();
+        assert_eq!(traj.len(), journal.steps.len() + 1);
+        assert!(traj.windows(2).all(|w| w[1] < w[0]));
+        assert_eq!(journal.steps.last().unwrap().plan, best.plan);
+    }
+
+    #[test]
+    fn traced_and_journaled_greedy_agree() {
+        let (reg, schemas) = ctx_fixtures();
+        let opt = Optimizer::standard();
+        let stats = Statistics::new();
+        let e = Expr::named("S")
+            .set_apply(Expr::input().extract("name"))
+            .set_apply(Expr::input().make_tup("n"));
+        let (plain, _) = (opt.optimize_greedy(&e, &ctx(&reg, &schemas), &stats), ());
+        let (journaled, _) = opt.optimize_greedy_journaled(&e, &ctx(&reg, &schemas), &stats);
+        assert_eq!(plain.plan, journaled.plan);
+        assert_eq!(plain.explored, journaled.explored);
+    }
+
+    #[test]
     fn explore_is_bounded_and_contains_original() {
         let (reg, schemas) = ctx_fixtures();
         let mut opt = Optimizer::standard();
@@ -337,8 +528,8 @@ mod tests {
         let mut stats = Statistics::new();
         stats.add_extent_index("P", "Student");
         stats.add_extent_index("P", "Person");
-        let e = Expr::named("P")
-            .set_apply_only(["Person", "Student"], Expr::input().extract("name"));
+        let e =
+            Expr::named("P").set_apply_only(["Person", "Student"], Expr::input().extract("name"));
         let rewritten = apply_extent_indexes(&e, &stats);
         let expected = Expr::named("P::exact::Person")
             .add_union(Expr::named("P::exact::Student"))

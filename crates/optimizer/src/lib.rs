@@ -16,8 +16,10 @@ pub mod rule;
 pub mod rules;
 pub mod stats;
 
-pub use cost::{cost_of, estimate, Estimate};
+pub use cost::{cost_of, estimate, estimate_nodes, Estimate};
 pub use dispatch::{build_switch, build_union, choose, DispatchStrategy, MethodImpl};
-pub use engine::{apply_extent_indexes, Optimized, Optimizer, TraceStep};
+pub use engine::{
+    apply_extent_indexes, JournalStep, Neighbor, Optimized, Optimizer, RewriteJournal, TraceStep,
+};
 pub use rule::{Rule, RuleCtx};
 pub use stats::{ObjectStats, Statistics};

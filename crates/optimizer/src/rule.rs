@@ -116,22 +116,36 @@ pub fn input_only_via_extract(e: &Expr, depth: usize, field: &str) -> bool {
         }
         Expr::Comp { input, pred } => {
             input_only_via_extract(input, depth, field)
-                && pred.exprs().iter().all(|x| input_only_via_extract(x, depth + 1, field))
+                && pred
+                    .exprs()
+                    .iter()
+                    .all(|x| input_only_via_extract(x, depth + 1, field))
         }
         Expr::Select { input, pred } | Expr::ArrSelect { input, pred } => {
             input_only_via_extract(input, depth, field)
-                && pred.exprs().iter().all(|x| input_only_via_extract(x, depth + 1, field))
+                && pred
+                    .exprs()
+                    .iter()
+                    .all(|x| input_only_via_extract(x, depth + 1, field))
         }
         Expr::RelJoin { left, right, pred } => {
             input_only_via_extract(left, depth, field)
                 && input_only_via_extract(right, depth, field)
-                && pred.exprs().iter().all(|x| input_only_via_extract(x, depth + 1, field))
+                && pred
+                    .exprs()
+                    .iter()
+                    .all(|x| input_only_via_extract(x, depth + 1, field))
         }
         Expr::SetApplySwitch { input, table } => {
             input_only_via_extract(input, depth, field)
-                && table.iter().all(|(_, b)| input_only_via_extract(b, depth + 1, field))
+                && table
+                    .iter()
+                    .all(|(_, b)| input_only_via_extract(b, depth + 1, field))
         }
-        _ => e.children().iter().all(|c| input_only_via_extract(c, depth, field)),
+        _ => e
+            .children()
+            .iter()
+            .all(|c| input_only_via_extract(c, depth, field)),
     }
 }
 
@@ -162,22 +176,36 @@ pub fn input_only_via_extract_of(e: &Expr, depth: usize, fields: &[String]) -> b
         }
         Expr::Comp { input, pred } => {
             input_only_via_extract_of(input, depth, fields)
-                && pred.exprs().iter().all(|x| input_only_via_extract_of(x, depth + 1, fields))
+                && pred
+                    .exprs()
+                    .iter()
+                    .all(|x| input_only_via_extract_of(x, depth + 1, fields))
         }
         Expr::Select { input, pred } | Expr::ArrSelect { input, pred } => {
             input_only_via_extract_of(input, depth, fields)
-                && pred.exprs().iter().all(|x| input_only_via_extract_of(x, depth + 1, fields))
+                && pred
+                    .exprs()
+                    .iter()
+                    .all(|x| input_only_via_extract_of(x, depth + 1, fields))
         }
         Expr::RelJoin { left, right, pred } => {
             input_only_via_extract_of(left, depth, fields)
                 && input_only_via_extract_of(right, depth, fields)
-                && pred.exprs().iter().all(|x| input_only_via_extract_of(x, depth + 1, fields))
+                && pred
+                    .exprs()
+                    .iter()
+                    .all(|x| input_only_via_extract_of(x, depth + 1, fields))
         }
         Expr::SetApplySwitch { input, table } => {
             input_only_via_extract_of(input, depth, fields)
-                && table.iter().all(|(_, b)| input_only_via_extract_of(b, depth + 1, fields))
+                && table
+                    .iter()
+                    .all(|(_, b)| input_only_via_extract_of(b, depth + 1, fields))
         }
-        _ => e.children().iter().all(|c| input_only_via_extract_of(c, depth, fields)),
+        _ => e
+            .children()
+            .iter()
+            .all(|c| input_only_via_extract_of(c, depth, fields)),
     }
 }
 
@@ -193,7 +221,11 @@ pub fn strip_extract(e: &Expr, depth: usize, field: &str) -> Expr {
         }
     }
     match e {
-        Expr::SetApply { input, body, only_types } => Expr::SetApply {
+        Expr::SetApply {
+            input,
+            body,
+            only_types,
+        } => Expr::SetApply {
             input: Box::new(strip_extract(input, depth, field)),
             body: Box::new(strip_extract(body, depth + 1, field)),
             only_types: only_types.clone(),
@@ -242,8 +274,10 @@ mod tests {
     #[test]
     fn only_via_extract_accepts_projection_chains() {
         // COMP[fst.x = 1](INPUT) uses INPUT only via fst.
-        let body = Expr::input()
-            .comp(Pred::eq(Expr::input_at(1).extract("fst").extract("x"), Expr::int(1)));
+        let body = Expr::input().comp(Pred::eq(
+            Expr::input_at(1).extract("fst").extract("x"),
+            Expr::int(1),
+        ));
         // Hmm — the COMP's input is Input(0) itself, which is a bare use.
         assert!(!input_only_via_extract(&body, 0, "fst"));
         // TUP_EXTRACT_fst(INPUT) alone qualifies.
@@ -277,7 +311,9 @@ mod tests {
 
     #[test]
     fn extract_of_many_fields() {
-        let e = Expr::input().extract("a").tup_cat(Expr::input().extract("b"));
+        let e = Expr::input()
+            .extract("a")
+            .tup_cat(Expr::input().extract("b"));
         assert!(input_only_via_extract_of(&e, 0, &["a".into(), "b".into()]));
         assert!(!input_only_via_extract_of(&e, 0, &["a".into()]));
     }

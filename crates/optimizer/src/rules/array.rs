@@ -37,10 +37,16 @@ impl Rule for R16CatAssoc {
         let mut out = Vec::new();
         if let Expr::ArrCat(a, bc) = e {
             if let Expr::ArrCat(b, c) = &**bc {
-                out.push(Expr::ArrCat(bx(Expr::ArrCat(a.clone(), b.clone())), c.clone()));
+                out.push(Expr::ArrCat(
+                    bx(Expr::ArrCat(a.clone(), b.clone())),
+                    c.clone(),
+                ));
             }
             if let Expr::ArrCat(a2, b2) = &**a {
-                out.push(Expr::ArrCat(a2.clone(), bx(Expr::ArrCat(b2.clone(), bc.clone()))));
+                out.push(Expr::ArrCat(
+                    a2.clone(),
+                    bx(Expr::ArrCat(b2.clone(), bc.clone())),
+                ));
             }
         }
         out
@@ -69,9 +75,15 @@ impl Rule for R17ExtractFromCat {
         "rule17-extract-from-cat"
     }
     fn apply(&self, e: &Expr, _ctx: &RuleCtx<'_>) -> Vec<Expr> {
-        let Expr::ArrExtract(inner, Bound::At(n)) = e else { return vec![] };
-        let Expr::ArrCat(a, b) = &**inner else { return vec![] };
-        let Some(la) = static_len(a) else { return vec![] };
+        let Expr::ArrExtract(inner, Bound::At(n)) = e else {
+            return vec![];
+        };
+        let Expr::ArrCat(a, b) = &**inner else {
+            return vec![];
+        };
+        let Some(la) = static_len(a) else {
+            return vec![];
+        };
         if *n <= la {
             vec![Expr::ArrExtract(a.clone(), Bound::At(*n))]
         } else {
@@ -92,8 +104,12 @@ impl Rule for R18ExtractFromSubarr {
         "rule18-extract-from-subarr"
     }
     fn apply(&self, e: &Expr, _ctx: &RuleCtx<'_>) -> Vec<Expr> {
-        let Expr::ArrExtract(inner, Bound::At(p)) = e else { return vec![] };
-        let Expr::SubArr(a, Bound::At(m), n) = &**inner else { return vec![] };
+        let Expr::ArrExtract(inner, Bound::At(p)) = e else {
+            return vec![];
+        };
+        let Expr::SubArr(a, Bound::At(m), n) = &**inner else {
+            return vec![];
+        };
         if *p == 0 || *m == 0 {
             return vec![];
         }
@@ -128,8 +144,12 @@ impl Rule for R19ExtractFromApply {
         "rule19-extract-from-apply"
     }
     fn apply(&self, e: &Expr, _ctx: &RuleCtx<'_>) -> Vec<Expr> {
-        let Expr::ArrExtract(inner, n) = e else { return vec![] };
-        let Expr::ArrApply { input, body } = &**inner else { return vec![] };
+        let Expr::ArrExtract(inner, n) = e else {
+            return vec![];
+        };
+        let Expr::ArrApply { input, body } = &**inner else {
+            return vec![];
+        };
         if contains_filter(body) || contains_constructor(body) {
             return vec![];
         }
@@ -155,8 +175,12 @@ impl Rule for R20CombineSubarrs {
         "rule20-combine-subarrs"
     }
     fn apply(&self, e: &Expr, _ctx: &RuleCtx<'_>) -> Vec<Expr> {
-        let Expr::SubArr(inner, Bound::At(m), Bound::At(n)) = e else { return vec![] };
-        let Expr::SubArr(a, Bound::At(j), k) = &**inner else { return vec![] };
+        let Expr::SubArr(inner, Bound::At(m), Bound::At(n)) = e else {
+            return vec![];
+        };
+        let Expr::SubArr(a, Bound::At(j), k) = &**inner else {
+            return vec![];
+        };
         if *m == 0 || *j == 0 {
             return vec![];
         }
@@ -183,16 +207,26 @@ impl Rule for R21SubarrFromCat {
         "rule21-subarr-from-cat"
     }
     fn apply(&self, e: &Expr, _ctx: &RuleCtx<'_>) -> Vec<Expr> {
-        let Expr::SubArr(inner, Bound::At(m), Bound::At(n)) = e else { return vec![] };
-        let Expr::ArrCat(a, b) = &**inner else { return vec![] };
-        let Some(la) = static_len(a) else { return vec![] };
+        let Expr::SubArr(inner, Bound::At(m), Bound::At(n)) = e else {
+            return vec![];
+        };
+        let Expr::ArrCat(a, b) = &**inner else {
+            return vec![];
+        };
+        let Some(la) = static_len(a) else {
+            return vec![];
+        };
         if *m == 0 {
             return vec![];
         }
         if *n <= la {
             vec![Expr::SubArr(a.clone(), Bound::At(*m), Bound::At(*n))]
         } else if *m > la {
-            vec![Expr::SubArr(b.clone(), Bound::At(m - la), Bound::At(n - la))]
+            vec![Expr::SubArr(
+                b.clone(),
+                Bound::At(m - la),
+                Bound::At(n - la),
+            )]
         } else {
             vec![Expr::ArrCat(
                 bx(Expr::SubArr(a.clone(), Bound::At(*m), Bound::At(la))),
@@ -228,7 +262,10 @@ impl Rule for R22SubarrThroughApply {
             if let Expr::SubArr(a, m, n) = &**input {
                 if !contains_filter(body) {
                     out.push(Expr::SubArr(
-                        bx(Expr::ArrApply { input: a.clone(), body: body.clone() }),
+                        bx(Expr::ArrApply {
+                            input: a.clone(),
+                            body: body.clone(),
+                        }),
                         *m,
                         *n,
                     ));
@@ -248,8 +285,12 @@ impl Rule for RA1CombineArrApplys {
         "ruleA1-combine-arr-applys"
     }
     fn apply(&self, e: &Expr, _ctx: &RuleCtx<'_>) -> Vec<Expr> {
-        let Expr::ArrApply { input, body: e1 } = e else { return vec![] };
-        let Expr::ArrApply { input: a, body: e2 } = &**input else { return vec![] };
+        let Expr::ArrApply { input, body: e1 } = e else {
+            return vec![];
+        };
+        let Expr::ArrApply { input: a, body: e2 } = &**input else {
+            return vec![];
+        };
         // Fusing across a filtering inner body is still sound for arrays?
         // No: the inner filter drops elements *before* E1 sees positions,
         // while the fused form feeds E1 the dne — E1 propagates it and the
@@ -261,7 +302,10 @@ impl Rule for RA1CombineArrApplys {
             return vec![];
         }
         let fused = e1.substitute_input(0, e2);
-        vec![Expr::ArrApply { input: a.clone(), body: bx(fused) }]
+        vec![Expr::ArrApply {
+            input: a.clone(),
+            body: bx(fused),
+        }]
     }
 }
 

@@ -21,12 +21,27 @@ impl Rule for RD1LiftSingletonSwitch {
         "dispatch1-lift-singleton-switch"
     }
     fn apply(&self, e: &Expr, _ctx: &RuleCtx<'_>) -> Vec<Expr> {
-        let Expr::SetApply { input, body, only_types: None } = e else { return vec![] };
-        let Expr::Call(Func::The, args) = &**body else { return vec![] };
-        let [Expr::SetApplySwitch { input: sw_in, table }] = args.as_slice() else {
+        let Expr::SetApply {
+            input,
+            body,
+            only_types: None,
+        } = e
+        else {
             return vec![];
         };
-        let Expr::MakeSet(recv) = &**sw_in else { return vec![] };
+        let Expr::Call(Func::The, args) = &**body else {
+            return vec![];
+        };
+        let [Expr::SetApplySwitch {
+            input: sw_in,
+            table,
+        }] = args.as_slice()
+        else {
+            return vec![];
+        };
+        let Expr::MakeSet(recv) = &**sw_in else {
+            return vec![];
+        };
         if **recv != Expr::input() {
             return vec![];
         }
@@ -40,7 +55,10 @@ impl Rule for RD1LiftSingletonSwitch {
             .iter()
             .map(|(t, b)| (t.clone(), b.shift_inputs(1, -1)))
             .collect();
-        vec![Expr::SetApplySwitch { input: input.clone(), table: lifted }]
+        vec![Expr::SetApplySwitch {
+            input: input.clone(),
+            table: lifted,
+        }]
     }
 }
 
@@ -54,7 +72,9 @@ impl Rule for RD2SwitchToUnion {
         "dispatch2-switch-to-union"
     }
     fn apply(&self, e: &Expr, ctx: &RuleCtx<'_>) -> Vec<Expr> {
-        let Expr::SetApplySwitch { input, table } = e else { return vec![] };
+        let Expr::SetApplySwitch { input, table } = e else {
+            return vec![];
+        };
         if table.is_empty() || input.mints_oids() {
             // The ⊎ plan scans `input` once per arm; a minting input would
             // mint that many times over.
@@ -67,7 +87,10 @@ impl Rule for RD2SwitchToUnion {
         }
         let impls: Vec<MethodImpl> = table
             .iter()
-            .map(|(t, b)| MethodImpl { owner: t.clone(), body: b.clone() })
+            .map(|(t, b)| MethodImpl {
+                owner: t.clone(),
+                body: b.clone(),
+            })
             .collect();
         vec![build_union(ctx.registry, (**input).clone(), &impls)]
     }
@@ -86,7 +109,8 @@ mod tests {
 
     fn fixtures() -> (TypeRegistry, HashMap<String, SchemaType>) {
         let mut reg = TypeRegistry::new();
-        reg.define("Person", SchemaType::tuple([("name", SchemaType::chars())])).unwrap();
+        reg.define("Person", SchemaType::tuple([("name", SchemaType::chars())]))
+            .unwrap();
         reg.define_with_supertypes(
             "Employee",
             SchemaType::tuple([("salary", SchemaType::int4())]),
@@ -94,14 +118,20 @@ mod tests {
         )
         .unwrap();
         let mut schemas = HashMap::new();
-        schemas.insert("P".to_string(), SchemaType::set(SchemaType::named("Person")));
+        schemas.insert(
+            "P".to_string(),
+            SchemaType::set(SchemaType::named("Person")),
+        );
         (reg, schemas)
     }
 
     #[test]
     fn lift_singleton_switch() {
         let (reg, schemas) = fixtures();
-        let ctx = RuleCtx { registry: &reg, schemas: &schemas };
+        let ctx = RuleCtx {
+            registry: &reg,
+            schemas: &schemas,
+        };
         // The translator's shape for `retrieve (P.f())`.
         let per_elem = Expr::call(
             Func::The,
@@ -129,7 +159,10 @@ mod tests {
     #[test]
     fn switch_to_union_covers_types() {
         let (reg, schemas) = fixtures();
-        let ctx = RuleCtx { registry: &reg, schemas: &schemas };
+        let ctx = RuleCtx {
+            registry: &reg,
+            schemas: &schemas,
+        };
         let e = Expr::SetApplySwitch {
             input: Box::new(Expr::named("P")),
             table: vec![

@@ -39,10 +39,16 @@ impl Rule for R1Associativity {
             }
             Expr::Union(a, bc) => {
                 if let Expr::Union(b, c) = &**bc {
-                    out.push(Expr::Union(bx(Expr::Union(a.clone(), b.clone())), c.clone()));
+                    out.push(Expr::Union(
+                        bx(Expr::Union(a.clone(), b.clone())),
+                        c.clone(),
+                    ));
                 }
                 if let Expr::Union(a2, b2) = &**a {
-                    out.push(Expr::Union(a2.clone(), bx(Expr::Union(b2.clone(), bc.clone()))));
+                    out.push(Expr::Union(
+                        a2.clone(),
+                        bx(Expr::Union(b2.clone(), bc.clone())),
+                    ));
                 }
             }
             Expr::Intersect(a, bc) => {
@@ -133,7 +139,9 @@ impl Rule for R3RelCrossCommute {
         "rule3-rel-cross-commute"
     }
     fn apply(&self, e: &Expr, ctx: &RuleCtx<'_>) -> Vec<Expr> {
-        let Expr::RelCross(a, b) = e else { return vec![] };
+        let Expr::RelCross(a, b) = e else {
+            return vec![];
+        };
         let (Some(fa), Some(fb)) = (ctx.set_elem_fields(a), ctx.set_elem_fields(b)) else {
             return vec![];
         };
@@ -141,8 +149,7 @@ impl Rule for R3RelCrossCommute {
             return vec![];
         }
         let order: Vec<String> = fa.iter().chain(fb.iter()).cloned().collect();
-        vec![Expr::RelCross(b.clone(), a.clone())
-            .set_apply(Expr::input().project(order))]
+        vec![Expr::RelCross(b.clone(), a.clone()).set_apply(Expr::input().project(order))]
     }
 }
 
@@ -162,17 +169,25 @@ impl Rule for R4DisjunctiveSelect {
     }
     fn apply(&self, e: &Expr, _ctx: &RuleCtx<'_>) -> Vec<Expr> {
         let mut out = Vec::new();
-        if let Expr::Select { input, pred: Pred::Not(q) } = e {
-            if input.mints_oids()
-                || q.exprs().iter().any(|x| x.mints_oids())
-            {
+        if let Expr::Select {
+            input,
+            pred: Pred::Not(q),
+        } = e
+        {
+            if input.mints_oids() || q.exprs().iter().any(|x| x.mints_oids()) {
                 return out; // duplicating a minting input/pred is observable
             }
             if let Pred::And(na, nb) = &**q {
                 if let (Pred::Not(p1), Pred::Not(p2)) = (&**na, &**nb) {
                     out.push(Expr::Union(
-                        bx(Expr::Select { input: input.clone(), pred: (**p1).clone() }),
-                        bx(Expr::Select { input: input.clone(), pred: (**p2).clone() }),
+                        bx(Expr::Select {
+                            input: input.clone(),
+                            pred: (**p1).clone(),
+                        }),
+                        bx(Expr::Select {
+                            input: input.clone(),
+                            pred: (**p2).clone(),
+                        }),
                     ));
                 }
             }
@@ -180,14 +195,23 @@ impl Rule for R4DisjunctiveSelect {
         // Reverse: σ_P1(A) ∪ σ_P2(A) → σ_{P1∨P2}(A).
         if let Expr::Union(l, r) = e {
             if let (
-                Expr::Select { input: i1, pred: p1 },
-                Expr::Select { input: i2, pred: p2 },
+                Expr::Select {
+                    input: i1,
+                    pred: p1,
+                },
+                Expr::Select {
+                    input: i2,
+                    pred: p2,
+                },
             ) = (&**l, &**r)
             {
                 if i1 == i2 {
                     let disj =
                         Pred::Not(bx2(Pred::And(bx2(p1.clone().not()), bx2(p2.clone().not()))));
-                    out.push(Expr::Select { input: i1.clone(), pred: disj });
+                    out.push(Expr::Select {
+                        input: i1.clone(),
+                        pred: disj,
+                    });
                 }
             }
         }
@@ -214,11 +238,20 @@ impl Rule for R5EliminateCross {
         "rule5-eliminate-cross"
     }
     fn apply(&self, e: &Expr, _ctx: &RuleCtx<'_>) -> Vec<Expr> {
-        let Expr::DupElim(inner) = e else { return vec![] };
-        let Expr::SetApply { input, body, only_types: None } = &**inner else {
+        let Expr::DupElim(inner) = e else {
             return vec![];
         };
-        let Expr::Cross(a, _b) = &**input else { return vec![] };
+        let Expr::SetApply {
+            input,
+            body,
+            only_types: None,
+        } = &**inner
+        else {
+            return vec![];
+        };
+        let Expr::Cross(a, _b) = &**input else {
+            return vec![];
+        };
         // The binder variable is Input(0) at the body root; every use must
         // go through the pair's `fst` component.  A minting body would
         // change its mint count (|A|·|B| → |A|): observable, skip.
@@ -264,7 +297,10 @@ impl Rule for R7DistributeDeCross {
         let mut out = Vec::new();
         if let Expr::DupElim(inner) = e {
             if let Expr::Cross(a, b) = &**inner {
-                out.push(Expr::Cross(bx(Expr::DupElim(a.clone())), bx(Expr::DupElim(b.clone()))));
+                out.push(Expr::Cross(
+                    bx(Expr::DupElim(a.clone())),
+                    bx(Expr::DupElim(b.clone())),
+                ));
             }
         }
         if let Expr::Cross(a, b) = e {
@@ -290,13 +326,21 @@ impl Rule for R8DeThroughGroup {
         if let Expr::Group { input, by } = e {
             if let Expr::DupElim(a) = &**input {
                 out.push(
-                    Expr::Group { input: a.clone(), by: by.clone() }
-                        .set_apply(Expr::input().dup_elim()),
+                    Expr::Group {
+                        input: a.clone(),
+                        by: by.clone(),
+                    }
+                    .set_apply(Expr::input().dup_elim()),
                 );
             }
         }
         // SET_APPLY_DE(GRP_E(A)) → GRP_E(DE(A))
-        if let Expr::SetApply { input, body, only_types: None } = e {
+        if let Expr::SetApply {
+            input,
+            body,
+            only_types: None,
+        } = e
+        {
             if **body == Expr::input().dup_elim() {
                 if let Expr::Group { input: a, by } = &**input {
                     out.push(Expr::Group {
@@ -326,8 +370,12 @@ impl Rule for R9GroupCrossOneSide {
         "rule9-group-cross-one-side"
     }
     fn apply(&self, e: &Expr, _ctx: &RuleCtx<'_>) -> Vec<Expr> {
-        let Expr::Group { input, by } = e else { return vec![] };
-        let Expr::Cross(a, b) = &**input else { return vec![] };
+        let Expr::Group { input, by } = e else {
+            return vec![];
+        };
+        let Expr::Cross(a, b) = &**input else {
+            return vec![];
+        };
         if !input_only_via_extract(by, 0, "fst") {
             return vec![];
         }
@@ -339,7 +387,11 @@ impl Rule for R9GroupCrossOneSide {
         let by2 = strip_extract(by, 0, "fst");
         // body: INPUT × B, with B shifted under the new binder.
         let body = Expr::Cross(bx(Expr::input()), bx(b.shift_inputs(0, 1)));
-        vec![Expr::Group { input: a.clone(), by: bx(by2) }.set_apply(body)]
+        vec![Expr::Group {
+            input: a.clone(),
+            by: bx(by2),
+        }
+        .set_apply(body)]
     }
 }
 
@@ -370,8 +422,11 @@ impl Rule for R10GroupThroughSelect {
                     input: bx(Expr::input()),
                     pred: pred.map_exprs(&mut |x| x.shift_inputs(1, 1)),
                 };
-                let regrouped = Expr::Group { input: a.clone(), by: by.clone() }
-                    .set_apply(per_group);
+                let regrouped = Expr::Group {
+                    input: a.clone(),
+                    by: by.clone(),
+                }
+                .set_apply(per_group);
                 out.push(Expr::Select {
                     input: bx(regrouped),
                     pred: Pred::cmp(
@@ -383,16 +438,30 @@ impl Rule for R10GroupThroughSelect {
             }
         }
         // Reverse: σ_{count>0}(SET_APPLY_σ(GRP(A))) → GRP(σ(A)).
-        if let Expr::Select { input: outer_in, pred: outer_pred } = e {
+        if let Expr::Select {
+            input: outer_in,
+            pred: outer_pred,
+        } = e
+        {
             let count_gt0 = Pred::cmp(
                 Expr::call(Func::Count, vec![Expr::input()]),
                 CmpOp::Gt,
                 Expr::int(0),
             );
             if *outer_pred == count_gt0 {
-                if let Expr::SetApply { input, body, only_types: None } = &**outer_in {
-                    if let (Expr::Group { input: a, by }, Expr::Select { input: sel_in, pred }) =
-                        (&**input, &**body)
+                if let Expr::SetApply {
+                    input,
+                    body,
+                    only_types: None,
+                } = &**outer_in
+                {
+                    if let (
+                        Expr::Group { input: a, by },
+                        Expr::Select {
+                            input: sel_in,
+                            pred,
+                        },
+                    ) = (&**input, &**body)
                     {
                         if **sel_in == Expr::input()
                             && !pred.exprs().iter().any(|x| x.mentions_input(1))
@@ -403,7 +472,10 @@ impl Rule for R10GroupThroughSelect {
                             // binder cannot be moved — guarded above.)
                             let p_down = pred.map_exprs(&mut |x| x.shift_inputs(1, -1));
                             out.push(Expr::Group {
-                                input: bx(Expr::Select { input: a.clone(), pred: p_down }),
+                                input: bx(Expr::Select {
+                                    input: a.clone(),
+                                    pred: p_down,
+                                }),
                                 by: by.clone(),
                             });
                         }
@@ -452,7 +524,12 @@ impl Rule for R12ApplyOverUnion {
     }
     fn apply(&self, e: &Expr, _ctx: &RuleCtx<'_>) -> Vec<Expr> {
         let mut out = Vec::new();
-        if let Expr::SetApply { input, body, only_types } = e {
+        if let Expr::SetApply {
+            input,
+            body,
+            only_types,
+        } = e
+        {
             if let Expr::AddUnion(a, b) = &**input {
                 out.push(Expr::AddUnion(
                     bx(Expr::SetApply {
@@ -470,8 +547,16 @@ impl Rule for R12ApplyOverUnion {
         }
         if let Expr::AddUnion(l, r) = e {
             if let (
-                Expr::SetApply { input: a, body: b1, only_types: t1 },
-                Expr::SetApply { input: b, body: b2, only_types: t2 },
+                Expr::SetApply {
+                    input: a,
+                    body: b1,
+                    only_types: t1,
+                },
+                Expr::SetApply {
+                    input: b,
+                    body: b2,
+                    only_types: t2,
+                },
             ) = (&**l, &**r)
             {
                 if b1 == b2 && t1 == t2 {
@@ -498,10 +583,21 @@ impl Rule for R13ApplyOverCross {
         "rule13-apply-over-cross"
     }
     fn apply(&self, e: &Expr, _ctx: &RuleCtx<'_>) -> Vec<Expr> {
-        let Expr::SetApply { input, body, only_types: None } = e else { return vec![] };
-        let Expr::Cross(a, b) = &**input else { return vec![] };
+        let Expr::SetApply {
+            input,
+            body,
+            only_types: None,
+        } = e
+        else {
+            return vec![];
+        };
+        let Expr::Cross(a, b) = &**input else {
+            return vec![];
+        };
         // body must be TUP_CAT(TUP[fst](E1), TUP[snd](E2)).
-        let Expr::TupCat(l, r) = &**body else { return vec![] };
+        let Expr::TupCat(l, r) = &**body else {
+            return vec![];
+        };
         let (Expr::MakeTup(e1, f1), Expr::MakeTup(e2, f2)) = (&**l, &**r) else {
             return vec![];
         };
@@ -536,7 +632,12 @@ impl Rule for R14ApplyIntoCollapse {
     }
     fn apply(&self, e: &Expr, _ctx: &RuleCtx<'_>) -> Vec<Expr> {
         let mut out = Vec::new();
-        if let Expr::SetApply { input, body, only_types: None } = e {
+        if let Expr::SetApply {
+            input,
+            body,
+            only_types: None,
+        } = e
+        {
             if let Expr::SetCollapse(a) = &**input {
                 // Inner body gains one binder level: shift its outer refs.
                 let inner = Expr::SetApply {
@@ -548,9 +649,17 @@ impl Rule for R14ApplyIntoCollapse {
             }
         }
         if let Expr::SetCollapse(outer) = e {
-            if let Expr::SetApply { input: a, body, only_types: None } = &**outer {
-                if let Expr::SetApply { input: ii, body: inner_body, only_types: None } =
-                    &**body
+            if let Expr::SetApply {
+                input: a,
+                body,
+                only_types: None,
+            } = &**outer
+            {
+                if let Expr::SetApply {
+                    input: ii,
+                    body: inner_body,
+                    only_types: None,
+                } = &**body
                 {
                     if **ii == Expr::input() && !inner_body.mentions_input(1) {
                         out.push(Expr::SetApply {
@@ -575,14 +684,30 @@ impl Rule for R15CombineApplys {
         "rule15-combine-set-applys"
     }
     fn apply(&self, e: &Expr, _ctx: &RuleCtx<'_>) -> Vec<Expr> {
-        let Expr::SetApply { input, body: e1, only_types: None } = e else { return vec![] };
-        let Expr::SetApply { input: a, body: e2, only_types: None } = &**input else {
+        let Expr::SetApply {
+            input,
+            body: e1,
+            only_types: None,
+        } = e
+        else {
+            return vec![];
+        };
+        let Expr::SetApply {
+            input: a,
+            body: e2,
+            only_types: None,
+        } = &**input
+        else {
             return vec![];
         };
         // Fused body: E1 with its element variable replaced by E2's body
         // (both now live under the single remaining binder).
         let fused = e1.substitute_input(0, e2);
-        vec![Expr::SetApply { input: a.clone(), body: bx(fused), only_types: None }]
+        vec![Expr::SetApply {
+            input: a.clone(),
+            body: bx(fused),
+            only_types: None,
+        }]
     }
 }
 

@@ -28,11 +28,17 @@ impl Rule for RR1CombineSelects {
         let mut out = Vec::new();
         if let Expr::Select { input, pred: p1 } = e {
             if let Expr::Select { input: a, pred: p2 } = &**input {
-                out.push(Expr::Select { input: a.clone(), pred: p2.clone().and(p1.clone()) });
+                out.push(Expr::Select {
+                    input: a.clone(),
+                    pred: p2.clone().and(p1.clone()),
+                });
             }
             if let Pred::And(p2, p1b) = p1 {
                 out.push(Expr::Select {
-                    input: bx(Expr::Select { input: input.clone(), pred: (**p2).clone() }),
+                    input: bx(Expr::Select {
+                        input: input.clone(),
+                        pred: (**p2).clone(),
+                    }),
                     pred: (**p1b).clone(),
                 });
             }
@@ -57,11 +63,15 @@ impl Rule for RR2PushSelectIntoJoin {
         true
     }
     fn apply(&self, e: &Expr, ctx: &RuleCtx<'_>) -> Vec<Expr> {
-        let Expr::RelJoin { left, right, pred: Pred::And(p1, p2) } = e else {
+        let Expr::RelJoin {
+            left,
+            right,
+            pred: Pred::And(p1, p2),
+        } = e
+        else {
             return vec![];
         };
-        let (Some(fa), Some(fb)) = (ctx.set_elem_fields(left), ctx.set_elem_fields(right))
-        else {
+        let (Some(fa), Some(fb)) = (ctx.set_elem_fields(left), ctx.set_elem_fields(right)) else {
             return vec![];
         };
         if fa.iter().any(|f| fb.contains(f)) {
@@ -69,18 +79,32 @@ impl Rule for RR2PushSelectIntoJoin {
         }
         let mut out = Vec::new();
         // P1 references only A-fields → filter A first.
-        if p1.exprs().iter().all(|x| input_only_via_extract_of(x, 0, &fa)) {
+        if p1
+            .exprs()
+            .iter()
+            .all(|x| input_only_via_extract_of(x, 0, &fa))
+        {
             out.push(Expr::RelJoin {
-                left: bx(Expr::Select { input: left.clone(), pred: (**p1).clone() }),
+                left: bx(Expr::Select {
+                    input: left.clone(),
+                    pred: (**p1).clone(),
+                }),
                 right: right.clone(),
                 pred: (**p2).clone(),
             });
         }
         // P1 references only B-fields → filter B first.
-        if p1.exprs().iter().all(|x| input_only_via_extract_of(x, 0, &fb)) {
+        if p1
+            .exprs()
+            .iter()
+            .all(|x| input_only_via_extract_of(x, 0, &fb))
+        {
             out.push(Expr::RelJoin {
                 left: left.clone(),
-                right: bx(Expr::Select { input: right.clone(), pred: (**p1).clone() }),
+                right: bx(Expr::Select {
+                    input: right.clone(),
+                    pred: (**p1).clone(),
+                }),
                 pred: (**p2).clone(),
             });
         }
@@ -96,11 +120,21 @@ impl Rule for RR3SelectOverUnion {
         "rel3-select-over-union"
     }
     fn apply(&self, e: &Expr, _ctx: &RuleCtx<'_>) -> Vec<Expr> {
-        let Expr::Select { input, pred } = e else { return vec![] };
-        let Expr::AddUnion(a, b) = &**input else { return vec![] };
+        let Expr::Select { input, pred } = e else {
+            return vec![];
+        };
+        let Expr::AddUnion(a, b) = &**input else {
+            return vec![];
+        };
         vec![Expr::AddUnion(
-            bx(Expr::Select { input: a.clone(), pred: pred.clone() }),
-            bx(Expr::Select { input: b.clone(), pred: pred.clone() }),
+            bx(Expr::Select {
+                input: a.clone(),
+                pred: pred.clone(),
+            }),
+            bx(Expr::Select {
+                input: b.clone(),
+                pred: pred.clone(),
+            }),
         )]
     }
 }
@@ -137,7 +171,12 @@ impl Rule for RR5DeEarly {
     fn apply(&self, e: &Expr, _ctx: &RuleCtx<'_>) -> Vec<Expr> {
         let mut out = Vec::new();
         if let Expr::DupElim(inner) = e {
-            if let Expr::SetApply { input, body, only_types } = &**inner {
+            if let Expr::SetApply {
+                input,
+                body,
+                only_types,
+            } = &**inner
+            {
                 if !body.mints_oids() && !matches!(**input, Expr::DupElim(_)) {
                     out.push(Expr::DupElim(bx(Expr::SetApply {
                         input: bx(Expr::DupElim(input.clone())),
@@ -173,11 +212,14 @@ impl Rule for RR6SelectThroughCollapse {
             }
         }
         if let Expr::SetCollapse(outer) = e {
-            if let Expr::SetApply { input: a, body, only_types: None } = &**outer {
+            if let Expr::SetApply {
+                input: a,
+                body,
+                only_types: None,
+            } = &**outer
+            {
                 if let Expr::Select { input: si, pred } = &**body {
-                    if **si == Expr::input()
-                        && !pred.exprs().iter().any(|x| x.mentions_input(1))
-                    {
+                    if **si == Expr::input() && !pred.exprs().iter().any(|x| x.mentions_input(1)) {
                         out.push(Expr::Select {
                             input: bx(Expr::SetCollapse(a.clone())),
                             pred: pred.map_exprs(&mut |x| x.shift_inputs(1, -1)),

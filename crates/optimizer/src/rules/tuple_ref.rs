@@ -45,8 +45,12 @@ impl Rule for R24ProjectOverCat {
         "rule24-project-over-cat"
     }
     fn apply(&self, e: &Expr, ctx: &RuleCtx<'_>) -> Vec<Expr> {
-        let Expr::Project(inner, l) = e else { return vec![] };
-        let Expr::TupCat(a, b) = &**inner else { return vec![] };
+        let Expr::Project(inner, l) = e else {
+            return vec![];
+        };
+        let Expr::TupCat(a, b) = &**inner else {
+            return vec![];
+        };
         let (Some(fa), Some(fb)) = (ctx.tuple_fields(a), ctx.tuple_fields(b)) else {
             return vec![];
         };
@@ -75,9 +79,15 @@ impl Rule for R25ExtractFromCat {
         "rule25-extract-from-tup-cat"
     }
     fn apply(&self, e: &Expr, ctx: &RuleCtx<'_>) -> Vec<Expr> {
-        let Expr::TupExtract(inner, f) = e else { return vec![] };
-        let Expr::TupCat(a, b) = &**inner else { return vec![] };
-        let Some(fa) = ctx.tuple_fields(a) else { return vec![] };
+        let Expr::TupExtract(inner, f) = e else {
+            return vec![];
+        };
+        let Expr::TupCat(a, b) = &**inner else {
+            return vec![];
+        };
+        let Some(fa) = ctx.tuple_fields(a) else {
+            return vec![];
+        };
         if fa.contains(f) {
             return vec![Expr::TupExtract(a.clone(), f.clone())];
         }
@@ -126,8 +136,7 @@ impl Rule for R26PushIntoComp {
             }
             Expr::TupExtract(inner, f) => {
                 if let Expr::Comp { input, pred } = &**inner {
-                    let ok =
-                        pred.exprs().iter().all(|x| input_only_via_extract(x, 0, f));
+                    let ok = pred.exprs().iter().all(|x| input_only_via_extract(x, 0, f));
                     if ok {
                         let pred2 = pred.map_exprs(&mut |x| strip_extract(x, 0, f));
                         out.push(Expr::Comp {
@@ -147,8 +156,11 @@ impl Rule for R26PushIntoComp {
                         .all(|x| input_only_via_extract_of(x, 0, l));
                     if ok {
                         out.push(
-                            Expr::Comp { input: a.clone(), pred: pred.clone() }
-                                .project(l.clone()),
+                            Expr::Comp {
+                                input: a.clone(),
+                                pred: pred.clone(),
+                            }
+                            .project(l.clone()),
                         );
                     }
                 }
@@ -187,7 +199,10 @@ impl Rule for R27CombineComps {
             // Reverse: split a top-level conjunction.
             if let Pred::And(p2, p1b) = p1 {
                 out.push(Expr::Comp {
-                    input: bx(Expr::Comp { input: input.clone(), pred: (**p2).clone() }),
+                    input: bx(Expr::Comp {
+                        input: input.clone(),
+                        pred: (**p2).clone(),
+                    }),
                     pred: (**p1b).clone(),
                 });
             }

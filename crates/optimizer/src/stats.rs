@@ -24,7 +24,11 @@ pub struct ObjectStats {
 
 impl Default for ObjectStats {
     fn default() -> Self {
-        ObjectStats { rows: 1000.0, distinct: 1000.0, avg_nested: 8.0 }
+        ObjectStats {
+            rows: 1000.0,
+            distinct: 1000.0,
+            avg_nested: 8.0,
+        }
     }
 }
 
@@ -59,7 +63,14 @@ impl Statistics {
 
     /// Record statistics for an object.
     pub fn set_object(&mut self, name: &str, rows: f64, distinct: f64, avg_nested: f64) {
-        self.objects.insert(name.to_string(), ObjectStats { rows, distinct, avg_nested });
+        self.objects.insert(
+            name.to_string(),
+            ObjectStats {
+                rows,
+                distinct,
+                avg_nested,
+            },
+        );
     }
 
     /// Statistics for an object (defaults when unknown).
@@ -75,12 +86,14 @@ impl Statistics {
 
     /// Is there an extent index on `(object, ty)`?
     pub fn has_extent_index(&self, object: &str, ty: &str) -> bool {
-        self.extent_indexes.contains(&(object.to_string(), ty.to_string()))
+        self.extent_indexes
+            .contains(&(object.to_string(), ty.to_string()))
     }
 
     /// Declare an extent index.
     pub fn add_extent_index(&mut self, object: &str, ty: &str) {
-        self.extent_indexes.insert((object.to_string(), ty.to_string()));
+        self.extent_indexes
+            .insert((object.to_string(), ty.to_string()));
     }
 }
 

@@ -4,8 +4,8 @@
 //! workspace test `rule_soundness`.)
 
 use excess_core::expr::{Bound, CmpOp, Expr, Func, Pred};
-use excess_optimizer::{Rule, RuleCtx};
 use excess_optimizer::rules::{array, multiset, relational, tuple_ref};
+use excess_optimizer::{Rule, RuleCtx};
 use excess_types::{SchemaType, TypeRegistry};
 use std::collections::HashMap;
 
@@ -28,7 +28,10 @@ fn fixtures() -> (TypeRegistry, HashMap<String, SchemaType>) {
 
 fn apply_one(rule: &dyn Rule, e: &Expr) -> Vec<Expr> {
     let (reg, schemas) = fixtures();
-    let ctx = RuleCtx { registry: &reg, schemas: &schemas };
+    let ctx = RuleCtx {
+        registry: &reg,
+        schemas: &schemas,
+    };
     rule.apply(e, &ctx)
 }
 
@@ -68,7 +71,9 @@ fn rule3_commutes_with_compensating_projection() {
     let out = apply_one(&multiset::R3RelCrossCommute, &e);
     assert_eq!(out.len(), 1);
     // rel_×(B, A) then project back to (x, y, z) order.
-    let expected = b().rel_cross(a()).set_apply(Expr::input().project(["x", "y", "z"]));
+    let expected = b()
+        .rel_cross(a())
+        .set_apply(Expr::input().project(["x", "y", "z"]));
     assert_eq!(out[0], expected);
 }
 
@@ -99,9 +104,12 @@ fn rule5_eliminates_the_cross() {
     let body = Expr::input().extract("fst").extract("x");
     let e = Expr::DupElim(Box::new(a().cross(b()).set_apply(body)));
     let out = apply_one(&multiset::R5EliminateCross, &e);
-    assert_eq!(out, vec![Expr::DupElim(Box::new(
-        a().set_apply(Expr::input().extract("x"))
-    ))]);
+    assert_eq!(
+        out,
+        vec![Expr::DupElim(Box::new(
+            a().set_apply(Expr::input().extract("x"))
+        ))]
+    );
 }
 
 #[test]
@@ -132,7 +140,9 @@ fn rule8_moves_de_through_group() {
 
 #[test]
 fn rule9_groups_one_side_of_a_cross() {
-    let e = a().cross(b()).group_by(Expr::input().extract("fst").extract("x"));
+    let e = a()
+        .cross(b())
+        .group_by(Expr::input().extract("fst").extract("x"));
     let out = apply_one(&multiset::R9GroupCrossOneSide, &e);
     assert_eq!(out.len(), 1);
     let expected = a()
@@ -182,7 +192,10 @@ fn rule17_routes_extraction_through_cat() {
     ]));
     let e = Expr::ArrExtract(Box::new(lit.clone().arr_cat(arr())), Bound::At(2));
     let out = apply_one(&array::R17ExtractFromCat, &e);
-    assert_eq!(out, vec![Expr::ArrExtract(Box::new(lit.clone()), Bound::At(2))]);
+    assert_eq!(
+        out,
+        vec![Expr::ArrExtract(Box::new(lit.clone()), Bound::At(2))]
+    );
     let e2 = Expr::ArrExtract(Box::new(lit.arr_cat(arr())), Bound::At(3));
     let out2 = apply_one(&array::R17ExtractFromCat, &e2);
     assert_eq!(out2, vec![Expr::ArrExtract(Box::new(arr()), Bound::At(1))]);
@@ -206,7 +219,10 @@ fn rule19_beta_applies_the_body() {
     let out = apply_one(&array::R19ExtractFromApply, &e);
     assert_eq!(
         out,
-        vec![Expr::call(Func::Add, vec![arr().arr_extract(3), Expr::int(1)])]
+        vec![Expr::call(
+            Func::Add,
+            vec![arr().arr_extract(3), Expr::int(1)]
+        )]
     );
     // Filtering bodies shift positions — no rewrite.
     let filt = arr()
@@ -217,11 +233,15 @@ fn rule19_beta_applies_the_body() {
 
 #[test]
 fn rule20_composes_subarrays() {
-    let e = arr().subarr(Bound::At(2), Bound::At(9)).subarr(Bound::At(3), Bound::At(5));
+    let e = arr()
+        .subarr(Bound::At(2), Bound::At(9))
+        .subarr(Bound::At(3), Bound::At(5));
     let out = apply_one(&array::R20CombineSubarrs, &e);
     assert_eq!(out, vec![arr().subarr(Bound::At(4), Bound::At(6))]);
     // Upper bound clamps at the inner k.
-    let e2 = arr().subarr(Bound::At(2), Bound::At(4)).subarr(Bound::At(1), Bound::At(9));
+    let e2 = arr()
+        .subarr(Bound::At(2), Bound::At(4))
+        .subarr(Bound::At(1), Bound::At(9));
     let out2 = apply_one(&array::R20CombineSubarrs, &e2);
     assert_eq!(out2, vec![arr().subarr(Bound::At(2), Bound::At(4))]);
 }
@@ -246,10 +266,7 @@ fn rule24_splits_projection_lists() {
     )]));
     let e = ta.clone().tup_cat(tb.clone()).project(["x", "z"]);
     let out = apply_one(&tuple_ref::R24ProjectOverCat, &e);
-    assert_eq!(
-        out,
-        vec![ta.project(["x"]).tup_cat(tb.project(["z"]))]
-    );
+    assert_eq!(out, vec![ta.project(["x"]).tup_cat(tb.project(["z"]))]);
 }
 
 #[test]
@@ -279,7 +296,11 @@ fn rule26_pushes_extract_into_comp() {
     )]));
     let e = t
         .clone()
-        .comp(Pred::cmp(Expr::input().extract("x"), CmpOp::Lt, Expr::int(9)))
+        .comp(Pred::cmp(
+            Expr::input().extract("x"),
+            CmpOp::Lt,
+            Expr::int(9),
+        ))
         .extract("x");
     let out = apply_one(&tuple_ref::R26PushIntoComp, &e);
     let expected = t
@@ -304,9 +325,15 @@ fn rule27_orders_the_conjunction_inner_first() {
 #[test]
 fn rule28_cancels_in_both_directions() {
     let e = Expr::named("A").make_ref("Row").deref();
-    assert_eq!(apply_one(&tuple_ref::R28RefDeref, &e), vec![Expr::named("A")]);
+    assert_eq!(
+        apply_one(&tuple_ref::R28RefDeref, &e),
+        vec![Expr::named("A")]
+    );
     let e2 = Expr::named("A").deref().make_ref("Row");
-    assert_eq!(apply_one(&tuple_ref::R28RefDeref, &e2), vec![Expr::named("A")]);
+    assert_eq!(
+        apply_one(&tuple_ref::R28RefDeref, &e2),
+        vec![Expr::named("A")]
+    );
     assert!(tuple_ref::R28RefDeref.modulo_identity());
     assert!(!tuple_ref::R28aDerefOfRef.modulo_identity());
 }
@@ -330,7 +357,10 @@ fn rel5_dedups_inputs_under_an_outer_de() {
     let out = apply_one(&relational::RR5DeEarly, &e);
     assert_eq!(
         out,
-        vec![a().dup_elim().set_apply(Expr::input().extract("x")).dup_elim()]
+        vec![a()
+            .dup_elim()
+            .set_apply(Expr::input().extract("x"))
+            .dup_elim()]
     );
     // Minting bodies must not be deduplicated.
     let minty = a().set_apply(Expr::input().make_ref("Row")).dup_elim();

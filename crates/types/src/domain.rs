@@ -74,7 +74,9 @@ fn check(v: &Value, s: &SchemaType, reg: &TypeRegistry, substituting: bool) -> R
             _ => Err(mismatch(s, v)),
         },
         SchemaType::Tup(fields) => {
-            let Value::Tuple(t) = v else { return Err(mismatch(s, v)) };
+            let Value::Tuple(t) = v else {
+                return Err(mismatch(s, v));
+            };
             if t.arity() != fields.len() {
                 return Err(mismatch(s, v));
             }
@@ -85,7 +87,9 @@ fn check(v: &Value, s: &SchemaType, reg: &TypeRegistry, substituting: bool) -> R
             Ok(())
         }
         SchemaType::Set(elem) => {
-            let Value::Set(ms) = v else { return Err(mismatch(s, v)) };
+            let Value::Set(ms) = v else {
+                return Err(mismatch(s, v));
+            };
             // "every element of the multiset appears in the domain of the
             // child of the multiset node" (definition iii); DE(x) ⊆ dom(S1)
             // means checking distinct elements suffices.
@@ -95,10 +99,15 @@ fn check(v: &Value, s: &SchemaType, reg: &TypeRegistry, substituting: bool) -> R
             Ok(())
         }
         SchemaType::Arr { elem, len } => {
-            let Value::Array(a) = v else { return Err(mismatch(s, v)) };
+            let Value::Array(a) = v else {
+                return Err(mismatch(s, v));
+            };
             if let Some(n) = len {
                 if a.len() != *n {
-                    return Err(TypeError::ArrayLength { expected: *n, found: a.len() });
+                    return Err(TypeError::ArrayLength {
+                        expected: *n,
+                        found: a.len(),
+                    });
                 }
             }
             for e in a {
@@ -107,7 +116,9 @@ fn check(v: &Value, s: &SchemaType, reg: &TypeRegistry, substituting: bool) -> R
             Ok(())
         }
         SchemaType::Ref(name) => {
-            let Value::Ref(oid) = v else { return Err(mismatch(s, v)) };
+            let Value::Ref(oid) = v else {
+                return Err(mismatch(s, v));
+            };
             let ty = reg.lookup(name)?;
             let ok = if substituting {
                 odom_contains(reg, ty, *oid) // definition (v')
@@ -157,10 +168,7 @@ mod tests {
         let person = r
             .define(
                 "Person",
-                SchemaType::tuple([
-                    ("ssnum", SchemaType::int4()),
-                    ("name", SchemaType::chars()),
-                ]),
+                SchemaType::tuple([("ssnum", SchemaType::int4()), ("name", SchemaType::chars())]),
             )
             .unwrap();
         let employee = r
@@ -250,10 +258,7 @@ mod tests {
         let (mut r, ..) = university();
         r.define(
             "Clone",
-            SchemaType::tuple([
-                ("ssnum", SchemaType::int4()),
-                ("name", SchemaType::chars()),
-            ]),
+            SchemaType::tuple([("ssnum", SchemaType::int4()), ("name", SchemaType::chars())]),
         )
         .unwrap();
         let clone_ty = r.lookup("Clone").unwrap();
@@ -266,17 +271,32 @@ mod tests {
     fn fixed_length_arrays_enforced() {
         let (r, ..) = university();
         let s = SchemaType::fixed_array(SchemaType::int4(), 3);
-        check_dom(&Value::array([Value::int(1), Value::int(2), Value::int(3)]), &s, &r).unwrap();
-        let err =
-            check_dom(&Value::array([Value::int(1)]), &s, &r).unwrap_err();
-        assert!(matches!(err, TypeError::ArrayLength { expected: 3, found: 1 }));
+        check_dom(
+            &Value::array([Value::int(1), Value::int(2), Value::int(3)]),
+            &s,
+            &r,
+        )
+        .unwrap();
+        let err = check_dom(&Value::array([Value::int(1)]), &s, &r).unwrap_err();
+        assert!(matches!(
+            err,
+            TypeError::ArrayLength {
+                expected: 3,
+                found: 1
+            }
+        ));
     }
 
     #[test]
     fn variable_length_arrays_accept_empty() {
         // "it is legal for a variable-length array to be empty" (def. iv).
         let (r, ..) = university();
-        check_dom(&Value::array([]), &SchemaType::array(SchemaType::int4()), &r).unwrap();
+        check_dom(
+            &Value::array([]),
+            &SchemaType::array(SchemaType::int4()),
+            &r,
+        )
+        .unwrap();
     }
 
     #[test]
@@ -291,7 +311,11 @@ mod tests {
     fn tuple_arity_must_match() {
         let (r, ..) = university();
         let s = SchemaType::tuple([("a", SchemaType::int4())]);
-        assert!(check_dom(&Value::tuple([("a", Value::int(1)), ("b", Value::int(2))]), &s, &r)
-            .is_err());
+        assert!(check_dom(
+            &Value::tuple([("a", Value::int(1)), ("b", Value::int(2))]),
+            &s,
+            &r
+        )
+        .is_err());
     }
 }

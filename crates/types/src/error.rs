@@ -22,7 +22,11 @@ pub enum TypeError {
     /// conflicting types and not overridden.
     AttributeConflict { ty: String, attr: String },
     /// An attribute override changed the attribute set illegally.
-    BadOverride { ty: String, attr: String, detail: String },
+    BadOverride {
+        ty: String,
+        attr: String,
+        detail: String,
+    },
     /// A value was not a member of the domain of the schema it was checked
     /// against.
     DomainViolation { expected: String, found: String },
@@ -50,7 +54,10 @@ impl fmt::Display for TypeError {
                 write!(f, "inheritance cycle through type `{n}`")
             }
             TypeError::AttributeConflict { ty, attr } => {
-                write!(f, "type `{ty}` inherits attribute `{attr}` with conflicting types")
+                write!(
+                    f,
+                    "type `{ty}` inherits attribute `{attr}` with conflicting types"
+                )
             }
             TypeError::BadOverride { ty, attr, detail } => {
                 write!(f, "illegal override of `{attr}` in type `{ty}`: {detail}")
@@ -63,7 +70,10 @@ impl fmt::Display for TypeError {
                 write!(f, "illegal type migration from `{from}` to `{to}`")
             }
             TypeError::ArrayLength { expected, found } => {
-                write!(f, "fixed-length array expected {expected} elements, found {found}")
+                write!(
+                    f,
+                    "fixed-length array expected {expected} elements, found {found}"
+                )
             }
             TypeError::NoSuchField { field } => write!(f, "tuple has no field `{field}`"),
             TypeError::Structure(s) => write!(f, "structural error: {s}"),

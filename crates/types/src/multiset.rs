@@ -377,7 +377,9 @@ mod tests {
         let a = vec![Value::int(1), Value::int(1), Value::int(2)];
         let b = vec![Value::int(1), Value::int(3)];
         let fast = ints(&[1, 1, 2]).additive_union(ints(&[1, 3]));
-        let slow: MultiSet = naive::additive_union(a.clone(), b.clone()).into_iter().collect();
+        let slow: MultiSet = naive::additive_union(a.clone(), b.clone())
+            .into_iter()
+            .collect();
         assert_eq!(fast, slow);
         let fast_de = ints(&[1, 1, 2]).dup_elim();
         let slow_de: MultiSet = naive::dup_elim(&a).into_iter().collect();

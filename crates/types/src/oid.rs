@@ -65,7 +65,10 @@ impl OidAllocator {
     /// Mint a fresh OID in `R(ty)`.
     pub fn mint(&mut self, ty: TypeId) -> Oid {
         let serial = self.next.entry(ty).or_insert(0);
-        let oid = Oid { minted: ty, serial: *serial };
+        let oid = Oid {
+            minted: ty,
+            serial: *serial,
+        };
         *serial += 1;
         oid
     }
@@ -103,7 +106,10 @@ mod tests {
 
     #[test]
     fn display_is_opaque_but_stable() {
-        let o = Oid { minted: TypeId(3), serial: 9 };
+        let o = Oid {
+            minted: TypeId(3),
+            serial: 9,
+        };
         assert_eq!(o.to_string(), "@ty3#9");
     }
 }

@@ -83,11 +83,17 @@ impl SchemaType {
     }
     /// Shorthand: variable-length `array of T`.
     pub fn array(elem: SchemaType) -> SchemaType {
-        SchemaType::Arr { elem: Box::new(elem), len: None }
+        SchemaType::Arr {
+            elem: Box::new(elem),
+            len: None,
+        }
     }
     /// Shorthand: fixed-length `array [1..n] of T`.
     pub fn fixed_array(elem: SchemaType, n: usize) -> SchemaType {
-        SchemaType::Arr { elem: Box::new(elem), len: Some(n) }
+        SchemaType::Arr {
+            elem: Box::new(elem),
+            len: Some(n),
+        }
     }
     /// Shorthand: `ref Name`.
     pub fn reference(name: impl Into<String>) -> SchemaType {
@@ -213,13 +219,20 @@ pub struct SchemaGraph {
 impl SchemaGraph {
     /// Add a node, returning its index.
     pub fn add_node(&mut self, kind: NodeKind, name: impl Into<String>) -> usize {
-        self.nodes.push(GraphNode { kind, name: name.into() });
+        self.nodes.push(GraphNode {
+            kind,
+            name: name.into(),
+        });
         self.nodes.len() - 1
     }
 
     /// Add a component edge.
     pub fn add_edge(&mut self, from: usize, to: usize, field: Option<&str>) {
-        self.edges.push(GraphEdge { from, to, field: field.map(str::to_owned) });
+        self.edges.push(GraphEdge {
+            from,
+            to,
+            field: field.map(str::to_owned),
+        });
     }
 
     /// Out-edges of node `i`.
@@ -279,14 +292,16 @@ impl SchemaGraph {
             if parents[e.to] > 1 {
                 return Err(TypeError::SchemaCondition {
                     condition: "(iv)",
-                    detail: format!("node `{}` has two parents in deref(S)", self.nodes[e.to].name),
+                    detail: format!(
+                        "node `{}` has two parents in deref(S)",
+                        self.nodes[e.to].name
+                    ),
                 });
             }
         }
         // Cycle detection by iterative leaf-stripping (Kahn) on deref(S).
         let mut indeg = parents;
-        let mut queue: Vec<usize> =
-            (0..self.nodes.len()).filter(|&i| indeg[i] == 0).collect();
+        let mut queue: Vec<usize> = (0..self.nodes.len()).filter(|&i| indeg[i] == 0).collect();
         let mut visited = 0usize;
         while let Some(i) = queue.pop() {
             visited += 1;
@@ -318,12 +333,7 @@ impl SchemaGraph {
         g.root = root;
         return g;
 
-        fn build(
-            g: &mut SchemaGraph,
-            name: &str,
-            ty: &SchemaType,
-            counter: &mut usize,
-        ) -> usize {
+        fn build(g: &mut SchemaGraph, name: &str, ty: &SchemaType, counter: &mut usize) -> usize {
             let fresh = |counter: &mut usize, base: &str| {
                 *counter += 1;
                 format!("{base}${counter}", base = base, counter = *counter)
@@ -397,7 +407,13 @@ mod tests {
         let w = g.add_node(NodeKind::Val, "w");
         g.add_edge(v, w, None);
         let err = g.validate().unwrap_err();
-        assert!(matches!(err, TypeError::SchemaCondition { condition: "(i)", .. }));
+        assert!(matches!(
+            err,
+            TypeError::SchemaCondition {
+                condition: "(i)",
+                ..
+            }
+        ));
     }
 
     #[test]
@@ -425,7 +441,13 @@ mod tests {
         g.add_edge(s, a, None);
         g.add_edge(s, b, None);
         let err = g.validate().unwrap_err();
-        assert!(matches!(err, TypeError::SchemaCondition { condition: "(iii)", .. }));
+        assert!(matches!(
+            err,
+            TypeError::SchemaCondition {
+                condition: "(iii)",
+                ..
+            }
+        ));
     }
 
     #[test]
@@ -436,7 +458,13 @@ mod tests {
         g.add_edge(t1, t2, Some("a"));
         g.add_edge(t2, t1, Some("b"));
         let err = g.validate().unwrap_err();
-        assert!(matches!(err, TypeError::SchemaCondition { condition: "(iv)", .. }));
+        assert!(matches!(
+            err,
+            TypeError::SchemaCondition {
+                condition: "(iv)",
+                ..
+            }
+        ));
     }
 
     #[test]
@@ -469,7 +497,13 @@ mod tests {
         g.add_edge(a, shared, Some("x"));
         g.add_edge(b, shared, Some("y"));
         let err = g.validate().unwrap_err();
-        assert!(matches!(err, TypeError::SchemaCondition { condition: "(iv)", .. }));
+        assert!(matches!(
+            err,
+            TypeError::SchemaCondition {
+                condition: "(iv)",
+                ..
+            }
+        ));
     }
 
     #[test]

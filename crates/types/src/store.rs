@@ -57,7 +57,13 @@ impl ObjectStore {
     /// generator constructs values it already knows to be well-typed).
     pub fn create_unchecked(&mut self, ty: TypeId, value: Value) -> Oid {
         let oid = self.alloc.mint(ty);
-        self.objects.insert(oid, StoredObject { exact_type: ty, value });
+        self.objects.insert(
+            oid,
+            StoredObject {
+                exact_type: ty,
+                value,
+            },
+        );
         oid
     }
 
@@ -107,7 +113,13 @@ impl ObjectStore {
         }
         let named = crate::schema::SchemaType::named(reg.name_of(new_type));
         check_dom(&new_value, &named, reg)?;
-        self.objects.insert(oid, StoredObject { exact_type: new_type, value: new_value });
+        self.objects.insert(
+            oid,
+            StoredObject {
+                exact_type: new_type,
+                value: new_value,
+            },
+        );
         Ok(())
     }
 
@@ -181,8 +193,11 @@ impl ObjectStore {
     /// OIDs of all objects whose *exact* type is `ty` (used by the
     /// extent indexes backing the ⊎-based dispatch of Section 4).
     pub fn oids_with_exact_type(&self, ty: TypeId) -> Vec<Oid> {
-        let mut v: Vec<Oid> =
-            self.iter().filter(|(_, s)| s.exact_type == ty).map(|(o, _)| o).collect();
+        let mut v: Vec<Oid> = self
+            .iter()
+            .filter(|(_, s)| s.exact_type == ty)
+            .map(|(o, _)| o)
+            .collect();
         v.sort_unstable();
         v
     }
@@ -207,10 +222,7 @@ mod tests {
     fn setup() -> (TypeRegistry, TypeId, TypeId) {
         let mut r = TypeRegistry::new();
         let person = r
-            .define(
-                "Person",
-                SchemaType::tuple([("name", SchemaType::chars())]),
-            )
+            .define("Person", SchemaType::tuple([("name", SchemaType::chars())]))
             .unwrap();
         let student = r
             .define_with_supertypes(

@@ -235,10 +235,7 @@ mod tests {
     use super::*;
 
     fn person_body() -> SchemaType {
-        SchemaType::tuple([
-            ("ssnum", SchemaType::int4()),
-            ("name", SchemaType::chars()),
-        ])
+        SchemaType::tuple([("ssnum", SchemaType::int4()), ("name", SchemaType::chars())])
     }
 
     fn reg_with_person() -> (TypeRegistry, TypeId) {
@@ -257,7 +254,9 @@ mod tests {
                 &["Person"],
             )
             .unwrap();
-        let SchemaType::Tup(fields) = r.full_body(e).unwrap() else { panic!() };
+        let SchemaType::Tup(fields) = r.full_body(e).unwrap() else {
+            panic!()
+        };
         let names: Vec<_> = fields.iter().map(|(n, _)| n.as_str()).collect();
         assert_eq!(names, vec!["ssnum", "name", "salary"]);
         assert!(r.is_subtype_or_self(e, p));
@@ -276,7 +275,9 @@ mod tests {
                 &["Person"],
             )
             .unwrap();
-        let SchemaType::Tup(fields) = r.full_body(s).unwrap() else { panic!() };
+        let SchemaType::Tup(fields) = r.full_body(s).unwrap() else {
+            panic!()
+        };
         let name_ty = &fields.iter().find(|(n, _)| n == "name").unwrap().1;
         assert_eq!(*name_ty, SchemaType::int4());
         // Position of the inherited attribute is preserved.
@@ -300,9 +301,15 @@ mod tests {
         .unwrap();
         // TA inherits Person twice (via Employee and Student): fine.
         let ta = r
-            .define_with_supertypes("TA", SchemaType::tuple::<_, String>([]), &["Employee", "Student"])
+            .define_with_supertypes(
+                "TA",
+                SchemaType::tuple::<_, String>([]),
+                &["Employee", "Student"],
+            )
             .unwrap();
-        let SchemaType::Tup(fields) = r.full_body(ta).unwrap() else { panic!() };
+        let SchemaType::Tup(fields) = r.full_body(ta).unwrap() else {
+            panic!()
+        };
         let names: Vec<_> = fields.iter().map(|(n, _)| n.as_str()).collect();
         assert_eq!(names, vec!["ssnum", "name", "salary", "gpa"]);
     }
@@ -310,8 +317,10 @@ mod tests {
     #[test]
     fn conflicting_unrelated_attributes_require_override() {
         let mut r = TypeRegistry::new();
-        r.define("A", SchemaType::tuple([("x", SchemaType::int4())])).unwrap();
-        r.define("B", SchemaType::tuple([("x", SchemaType::chars())])).unwrap();
+        r.define("A", SchemaType::tuple([("x", SchemaType::int4())]))
+            .unwrap();
+        r.define("B", SchemaType::tuple([("x", SchemaType::chars())]))
+            .unwrap();
         let err = r
             .define_with_supertypes("C", SchemaType::tuple::<_, String>([]), &["A", "B"])
             .unwrap_err();
@@ -374,7 +383,11 @@ mod tests {
         assert!(!r.shares_descendant(e, s));
         // …until a TA type inherits from both (rule 5 scenario).
         let ta = r
-            .define_with_supertypes("TA", SchemaType::tuple::<_, String>([]), &["Employee", "Student"])
+            .define_with_supertypes(
+                "TA",
+                SchemaType::tuple::<_, String>([]),
+                &["Employee", "Student"],
+            )
             .unwrap();
         assert!(r.shares_descendant(e, s));
         assert!(r.is_subtype_or_self(ta, e) && r.is_subtype_or_self(ta, s));

@@ -62,7 +62,8 @@ impl Tuple {
 
     /// `TUP_EXTRACT`: a single field as a structure (operator, §3.2.2).
     pub fn extract(&self, name: &str) -> Result<&Value, TypeError> {
-        self.get(name).ok_or_else(|| TypeError::NoSuchField { field: name.into() })
+        self.get(name)
+            .ok_or_else(|| TypeError::NoSuchField { field: name.into() })
     }
 
     /// `π`: keep only the named fields, in the order given (operator, §3.2.2
@@ -337,8 +338,14 @@ mod tests {
     fn paper_figure2_instance_builds() {
         // { (26, [1, 2], x), (25, [], y) } — the instance below Figure 2.
         use crate::oid::{Oid, TypeId};
-        let x = Oid { minted: TypeId(0), serial: 0 };
-        let y = Oid { minted: TypeId(0), serial: 1 };
+        let x = Oid {
+            minted: TypeId(0),
+            serial: 0,
+        };
+        let y = Oid {
+            minted: TypeId(0),
+            serial: 1,
+        };
         let inst = Value::set([
             Value::tuple([
                 ("f1", Value::int(26)),
@@ -356,11 +363,13 @@ mod tests {
 
     #[test]
     fn value_order_is_total_over_mixed_shapes() {
-        let mut vs = [Value::set([Value::int(1)]),
+        let mut vs = [
+            Value::set([Value::int(1)]),
             Value::int(0),
             Value::array([]),
             Value::tuple([("a", Value::int(1))]),
-            Value::dne()];
+            Value::dne(),
+        ];
         vs.sort(); // must not panic; total order
         assert_eq!(vs.len(), 5);
     }
@@ -369,6 +378,9 @@ mod tests {
     fn display_forms() {
         let v = Value::tuple([("a", Value::int(1)), ("b", Value::set([Value::int(2)]))]);
         assert_eq!(v.to_string(), "(a: 1, b: { 2 })");
-        assert_eq!(Value::array([Value::int(1), Value::int(2)]).to_string(), "[1, 2]");
+        assert_eq!(
+            Value::array([Value::int(1), Value::int(2)]).to_string(),
+            "[1, 2]"
+        );
     }
 }

@@ -26,7 +26,10 @@ fn university() -> TypeRegistry {
             ("division", SchemaType::chars()),
             ("name", SchemaType::chars()),
             ("floor", SchemaType::int4()),
-            ("employees", SchemaType::set(SchemaType::reference("Employee"))),
+            (
+                "employees",
+                SchemaType::set(SchemaType::reference("Employee")),
+            ),
         ]),
     )
     .unwrap();
@@ -36,7 +39,10 @@ fn university() -> TypeRegistry {
             ("jobtitle", SchemaType::chars()),
             ("dept", SchemaType::reference("Department")),
             ("manager", SchemaType::reference("Employee")),
-            ("sub_ords", SchemaType::set(SchemaType::reference("Employee"))),
+            (
+                "sub_ords",
+                SchemaType::set(SchemaType::reference("Employee")),
+            ),
             ("salary", SchemaType::int4()),
             ("kids", SchemaType::set(SchemaType::named("Person"))),
         ]),
@@ -62,7 +68,8 @@ fn every_figure1_type_has_a_valid_schema_digraph() {
     for id in r.all_ids() {
         let body = r.full_body(id).unwrap();
         let g = SchemaGraph::from_schema_type(r.name_of(id), &body);
-        g.validate().unwrap_or_else(|e| panic!("{}: {e}", r.name_of(id)));
+        g.validate()
+            .unwrap_or_else(|e| panic!("{}: {e}", r.name_of(id)));
     }
     // Top-level object schemas too.
     for s in [
@@ -176,7 +183,10 @@ fn store_round_trips_a_full_employee_object() {
         ("street", Value::str("1 Elm")),
         ("city", Value::str("Madison")),
         ("zip", Value::int(53706)),
-        ("birthday", Value::date(excess_types::Date::new(1960, 1, 2).unwrap())),
+        (
+            "birthday",
+            Value::date(excess_types::Date::new(1960, 1, 2).unwrap()),
+        ),
         ("jobtitle", Value::str("prof")),
         ("dept", Value::Ref(dept_oid)),
         ("manager", Value::dne()),
@@ -184,7 +194,9 @@ fn store_round_trips_a_full_employee_object() {
         ("salary", Value::int(90_000)),
         ("kids", Value::set([])),
     ]);
-    let oid = store.create(&r, r.lookup("Employee").unwrap(), emp.clone()).unwrap();
+    let oid = store
+        .create(&r, r.lookup("Employee").unwrap(), emp.clone())
+        .unwrap();
     assert_eq!(store.deref(oid).unwrap(), &emp);
     // …and the same value is in DOM(Person) via substitutability.
     check_dom(&emp, &SchemaType::named("Person"), &r).unwrap();

@@ -72,8 +72,10 @@ pub fn generate_documents(p: &DocumentParams) -> DbResult<DocumentStore> {
     let doc_ty = db.registry().lookup("Document")?;
     let authors: Vec<Oid> = (0..p.authors.max(1))
         .map(|i| {
-            db.store_mut()
-                .create_unchecked(author_ty, Value::tuple([("name", Value::str(format!("au{i}")))]))
+            db.store_mut().create_unchecked(
+                author_ty,
+                Value::tuple([("name", Value::str(format!("au{i}")))]),
+            )
         })
         .collect();
     let styles = ["body", "quote", "code", "heading"];
@@ -152,7 +154,10 @@ mod tests {
             .unwrap_or_else(|e| panic!("{e}"));
         let arr = out.as_array().expect("ordered array");
         let titles: Vec<&str> = arr.iter().map(|v| v.as_str().unwrap()).collect();
-        assert_eq!(titles, vec!["Section 0 of d0", "Section 1 of d0", "Section 2 of d0"]);
+        assert_eq!(
+            titles,
+            vec!["Section 0 of d0", "Section 1 of d0", "Section 2 of d0"]
+        );
     }
 
     #[test]
@@ -168,7 +173,13 @@ mod tests {
         let set = out.as_set().unwrap();
         assert_eq!(set.len() as usize, DocumentParams::default().documents);
         for (row, _) in set.iter_counted() {
-            let total = row.as_tuple().unwrap().get("total").unwrap().as_int().unwrap();
+            let total = row
+                .as_tuple()
+                .unwrap()
+                .get("total")
+                .unwrap()
+                .as_int()
+                .unwrap();
             // 5 sections × 8 paras × words ∈ [5, 120)
             assert!((5 * 8 * 5..5 * 8 * 120).contains(&total), "{total}");
         }

@@ -21,8 +21,7 @@ retrieve (EMP.name, min(E.kids.age
 pub const FIGURE3: &str = "retrieve (TopTen[5].name, TopTen[5].salary)";
 
 /// Figure 4: functional join — department names of Madison employees.
-pub const FIGURE4: &str =
-    r#"retrieve (Employees.dept.name) where Employees.city = "Madison""#;
+pub const FIGURE4: &str = r#"retrieve (Employees.dept.name) where Employees.city = "Madison""#;
 
 /// Section 5 Example 1 (Figures 6–8): advisors grouped by student dept,
 /// using the *value* advisor field.

@@ -106,7 +106,10 @@ pub fn generate(p: &UniversityParams) -> DbResult<University> {
     let mut departments = Vec::with_capacity(p.departments);
     for i in 0..p.departments {
         let v = Value::tuple([
-            ("division", Value::str(format!("Division{}", i % p.divisions.max(1)))),
+            (
+                "division",
+                Value::str(format!("Division{}", i % p.divisions.max(1))),
+            ),
             ("name", Value::str(format!("Dept{i}"))),
             ("floor", Value::int((i % p.floors.max(1)) as i32 + 1)),
             ("employees", Value::set([])),
@@ -135,10 +138,16 @@ pub fn generate(p: &UniversityParams) -> DbResult<University> {
             ("dept".to_string(), Value::Ref(dept)),
             ("manager".to_string(), manager),
             ("sub_ords".to_string(), Value::set(sub_ords)),
-            ("salary".to_string(), Value::int(30_000 + (i as i32 % 50) * 1000)),
+            (
+                "salary".to_string(),
+                Value::int(30_000 + (i as i32 % 50) * 1000),
+            ),
             ("kids".to_string(), Value::set(kids)),
         ]);
-        employees.push(db.store_mut().create_unchecked(emp_ty, Value::tuple(fields)));
+        employees.push(
+            db.store_mut()
+                .create_unchecked(emp_ty, Value::tuple(fields)),
+        );
     }
 
     // Back-fill Department.employees.
@@ -169,16 +178,21 @@ pub fn generate(p: &UniversityParams) -> DbResult<University> {
         let advisor_idx = rng.gen_range(0..employees.len().max(1));
         // Advisor *names* are drawn from a small pool to control the
         // Example 1 duplication factor.
-        let advisor_name =
-            format!("Emp{}", advisor_idx % p.distinct_advisors.max(1));
+        let advisor_name = format!("Emp{}", advisor_idx % p.distinct_advisors.max(1));
         let mut fields = person_fields(&mut rng, p, &format!("Stu{i}"));
         fields.extend([
-            ("gpa".to_string(), Value::float(2.0 + f64::from(i as u32 % 20) / 10.0)),
+            (
+                "gpa".to_string(),
+                Value::float(2.0 + f64::from(i as u32 % 20) / 10.0),
+            ),
             ("dept".to_string(), Value::Ref(dept)),
             ("advisor".to_string(), Value::Ref(employees[advisor_idx])),
             ("advisor_name".to_string(), Value::str(advisor_name)),
         ]);
-        students.push(db.store_mut().create_unchecked(stu_ty, Value::tuple(fields)));
+        students.push(
+            db.store_mut()
+                .create_unchecked(stu_ty, Value::tuple(fields)),
+        );
     }
 
     // Named top-level objects.
@@ -195,7 +209,12 @@ pub fn generate(p: &UniversityParams) -> DbResult<University> {
     let (s, v) = ref_set("Department", &departments);
     db.put_object("Departments", s, v);
     let top: Vec<Value> = (0..10)
-        .map(|i| employees.get(i).map(|o| Value::Ref(*o)).unwrap_or_else(Value::dne))
+        .map(|i| {
+            employees
+                .get(i)
+                .map(|o| Value::Ref(*o))
+                .unwrap_or_else(Value::dne)
+        })
         .collect();
     db.put_object(
         "TopTen",
@@ -222,27 +241,41 @@ pub fn generate(p: &UniversityParams) -> DbResult<University> {
     );
 
     db.collect_stats();
-    Ok(University { db, departments, employees, students })
+    Ok(University {
+        db,
+        departments,
+        employees,
+        students,
+    })
 }
 
-fn person_fields(
-    rng: &mut StdRng,
-    p: &UniversityParams,
-    name: &str,
-) -> Vec<(String, Value)> {
+fn person_fields(rng: &mut StdRng, p: &UniversityParams, name: &str) -> Vec<(String, Value)> {
     let city = if rng.gen_bool(p.madison_fraction.clamp(0.0, 1.0)) {
         "Madison"
     } else {
         "Milwaukee"
     };
-    let birthday = Date::new(1940 + rng.gen_range(0..45), rng.gen_range(1..=12), rng.gen_range(1..=28))
-        .expect("valid date");
+    let birthday = Date::new(
+        1940 + rng.gen_range(0..45),
+        rng.gen_range(1..=12),
+        rng.gen_range(1..=28),
+    )
+    .expect("valid date");
     vec![
-        ("ssnum".to_string(), Value::int(rng.gen_range(100_000_000..999_999_999))),
+        (
+            "ssnum".to_string(),
+            Value::int(rng.gen_range(100_000_000..999_999_999)),
+        ),
         ("name".to_string(), Value::str(name)),
-        ("street".to_string(), Value::str(format!("{} Main St", rng.gen_range(1..999)))),
+        (
+            "street".to_string(),
+            Value::str(format!("{} Main St", rng.gen_range(1..999))),
+        ),
         ("city".to_string(), Value::str(city)),
-        ("zip".to_string(), Value::int(53_700 + rng.gen_range(0..100))),
+        (
+            "zip".to_string(),
+            Value::int(53_700 + rng.gen_range(0..100)),
+        ),
         ("birthday".to_string(), Value::date(birthday)),
     ]
 }
@@ -280,7 +313,13 @@ mod tests {
     fn every_reference_resolves() {
         let u = generate(&UniversityParams::tiny()).unwrap();
         for name in ["Employees", "Students", "Departments"] {
-            let set = u.db.catalog().value(name).unwrap().as_set().unwrap().clone();
+            let set =
+                u.db.catalog()
+                    .value(name)
+                    .unwrap()
+                    .as_set()
+                    .unwrap()
+                    .clone();
             for (v, _) in set.iter_counted() {
                 let oid = v.as_ref_oid().expect("ref element");
                 u.db.store().deref(oid).expect("live object");

@@ -31,7 +31,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // σ_{qty ≥ 2} then π item — built with the fluent constructors.
     let plan = Expr::named("Orders")
-        .select(Pred::cmp(Expr::input().extract("qty"), CmpOp::Ge, Expr::int(2)))
+        .select(Pred::cmp(
+            Expr::input().extract("qty"),
+            CmpOp::Ge,
+            Expr::int(2),
+        ))
         .set_apply(Expr::input().extract("item"))
         .dup_elim();
     println!("plan:    {plan}");
@@ -58,14 +62,20 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // One manual rewrite step: ask the engine for every applicable
     // transformation of the first plan and show a few.
     let stats = Statistics::new();
-    let ctx = RuleCtx { registry: db.registry(), schemas: db.catalog() };
+    let ctx = RuleCtx {
+        registry: db.registry(),
+        schemas: db.catalog(),
+    };
     let opt = Optimizer::standard();
     println!("one-step rewrites of the first plan:");
     for (rule, alt) in opt.neighbors(&plan, &ctx).into_iter().take(4) {
         println!("  [{rule}]\n    {alt}");
     }
     let best = opt.optimize_greedy(&plan.desugar(), &ctx, &stats);
-    println!("\ngreedy best ({} neighbors examined):\n  {}", best.explored, best.plan);
+    println!(
+        "\ngreedy best ({} neighbors examined):\n  {}",
+        best.explored, best.plan
+    );
     assert_eq!(db.run_plan(&best.plan)?, out);
 
     // Equipollence in action: the algebra tree as EXCESS text.

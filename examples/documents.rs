@@ -14,13 +14,15 @@ use excess::algebra::expr::{CmpOp, Expr, Pred};
 use excess::workload::{generate_documents, DocumentParams};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let params = DocumentParams { documents: 8, ..Default::default() };
+    let params = DocumentParams {
+        documents: 8,
+        ..Default::default()
+    };
     let mut db = generate_documents(&params)?.db;
 
     // Order-preserving: the opening paragraph of every document.
-    let openings = db.execute(
-        "retrieve (D.title, opening = D.sections[1].paras[1].text) from D in Docs",
-    )?;
+    let openings =
+        db.execute("retrieve (D.title, opening = D.sections[1].paras[1].text) from D in Docs")?;
     println!("openings: {openings}\n");
 
     // Order-preserving slice: the first two sections' titles of one doc.
@@ -40,15 +42,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // The same distinction in raw algebra: ARR_APPLY keeps positions,
     // while a multiset aggregation of the flattened paragraphs drops them.
-    let ordered_styles = Expr::named("Docs")
-        .set_apply(
-            Expr::input()
-                .deref()
-                .extract("sections")
-                .arr_extract(1)
-                .extract("paras")
-                .arr_apply(Expr::input().extract("style")),
-        );
+    let ordered_styles = Expr::named("Docs").set_apply(
+        Expr::input()
+            .deref()
+            .extract("sections")
+            .arr_extract(1)
+            .extract("paras")
+            .arr_apply(Expr::input().extract("style")),
+    );
     let out = db.run_plan(&ordered_styles)?;
     println!("first-section style sequences (ordered arrays):");
     for (v, _) in out.as_set().unwrap().iter_counted() {

@@ -9,8 +9,8 @@
 //! cargo run --release --example method_dispatch
 //! ```
 
-use excess::optimizer::{build_switch, build_union, choose, DispatchStrategy, MethodImpl};
 use excess::algebra::Expr;
+use excess::optimizer::{build_switch, build_union, choose, DispatchStrategy, MethodImpl};
 use excess::workload::{generate, queries, UniversityParams};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -24,15 +24,21 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let optimized = db.optimize_plan(&plan);
     println!("optimizer's choice:\n  {optimized}\n");
     let out = db.run_plan(&optimized)?;
-    println!("result ({} bosses): {}\n", out.as_set().map(|s| s.len()).unwrap_or(0),
-        &out.to_string()[..120.min(out.to_string().len())]);
+    println!(
+        "result ({} bosses): {}\n",
+        out.as_set().map(|s| s.len()).unwrap_or(0),
+        &out.to_string()[..120.min(out.to_string().len())]
+    );
 
     // Build both Section 4 strategies explicitly from the stored method.
     let impls: Vec<MethodImpl> = db
         .methods()
         .implementations("boss")
         .iter()
-        .map(|m| MethodImpl { owner: m.owner.clone(), body: m.body.clone() })
+        .map(|m| MethodImpl {
+            owner: m.owner.clone(),
+            body: m.body.clone(),
+        })
         .collect();
     let switch = build_switch(Expr::named("P"), &impls);
     let union = build_union(db.registry(), Expr::named("P"), &impls);
@@ -45,7 +51,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let uc = db.last_counters();
     assert_eq!(a, b, "both strategies must agree");
     println!("switch counters: {sc}");
-    println!("union  counters: {uc}  ← P scanned {}×", uc.named_object_scans);
+    println!(
+        "union  counters: {uc}  ← P scanned {}×",
+        uc.named_object_scans
+    );
 
     // Extent indexes make the re-scans free.
     for t in ["Person", "Employee", "Student"] {

@@ -46,9 +46,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("employees above 96k: {out}");
 
     // The same query's algebra plan, before and after optimization.
-    let plan = db.plan_for(
-        r#"retrieve (E.name) from E in Employees where E.dept.floor = 2"#,
-    )?;
+    let plan = db.plan_for(r#"retrieve (E.name) from E in Employees where E.dept.floor = 2"#)?;
     println!("\ninitial plan:   {plan}");
     println!("optimized plan: {}", db.optimize_plan(&plan));
 
@@ -67,9 +65,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("floors via method: {floors}");
 
     // Grouping with `by`, uniqueness with `unique`.
-    let grouped = db.execute(
-        r#"retrieve unique (E.name) by E.dept.floor from E in Employees"#,
-    )?;
+    let grouped = db.execute(r#"retrieve unique (E.name) by E.dept.floor from E in Employees"#)?;
     println!("names grouped by floor: {grouped}");
 
     Ok(())

@@ -4,21 +4,92 @@
 //! cargo run --example repl
 //! ```
 //!
-//! Meta-commands:
-//!   .help             this text
-//!   .objects          list named top-level objects with their schemas
-//!   .plan <retrieve>  show the initial and optimized algebra plans
-//!   .counters         work counters of the last query
-//!   .load university  load the Figure 1 workload
-//!   .dump             print the schema as EXTRA DDL
-//!   .sweep            garbage-collect unreachable objects
-//!   .quit             exit
-//!
+//! Meta-commands are listed by `.help` (the text is generated from the
+//! same [`COMMANDS`] table that dispatches them, so it cannot drift).
 //! Anything else is executed as EXCESS (multi-statement input is fine;
 //! statements may span lines — the shell submits on an empty line).
 
 use excess::db::Database;
 use std::io::{BufRead, Write};
+
+/// One meta-command: its name, argument placeholder shown in `.help`, a
+/// one-line description, and its handler.  Returning `false` quits.
+struct MetaCommand {
+    name: &'static str,
+    args: &'static str,
+    help: &'static str,
+    run: fn(&mut Database, &str) -> bool,
+}
+
+/// The command table — `.help` output and dispatch both derive from it.
+const COMMANDS: &[MetaCommand] = &[
+    MetaCommand {
+        name: ".help",
+        args: "",
+        help: "this text",
+        run: cmd_help,
+    },
+    MetaCommand {
+        name: ".objects",
+        args: "",
+        help: "list named top-level objects with their schemas",
+        run: cmd_objects,
+    },
+    MetaCommand {
+        name: ".plan",
+        args: "<retrieve>",
+        help: "show the initial and optimized algebra plans",
+        run: cmd_plan,
+    },
+    MetaCommand {
+        name: ".profile",
+        args: "<retrieve>",
+        help: "EXPLAIN ANALYZE: run the optimized plan with per-operator profiling",
+        run: cmd_profile,
+    },
+    MetaCommand {
+        name: ".trace",
+        args: "<retrieve>",
+        help: "show the optimizer's rewrite journal for the query",
+        run: cmd_trace,
+    },
+    MetaCommand {
+        name: ".counters",
+        args: "",
+        help: "work counters of the last query",
+        run: cmd_counters,
+    },
+    MetaCommand {
+        name: ".metrics",
+        args: "[json|reset]",
+        help: "cumulative session metrics (queries, work, rules fired)",
+        run: cmd_metrics,
+    },
+    MetaCommand {
+        name: ".load",
+        args: "university",
+        help: "load the Figure 1 workload",
+        run: cmd_load,
+    },
+    MetaCommand {
+        name: ".dump",
+        args: "",
+        help: "print the schema as EXTRA DDL",
+        run: cmd_dump,
+    },
+    MetaCommand {
+        name: ".sweep",
+        args: "",
+        help: "garbage-collect unreachable objects",
+        run: cmd_sweep,
+    },
+    MetaCommand {
+        name: ".quit",
+        args: "",
+        help: "exit",
+        run: cmd_quit,
+    },
+];
 
 fn main() {
     let mut db = Database::new();
@@ -64,46 +135,155 @@ fn print_prompt(buffer: &str) {
     let _ = std::io::stdout().flush();
 }
 
-/// Handle a meta-command; returns `false` to quit.
+/// Dispatch a meta-command through the table; returns `false` to quit.
 fn meta(db: &mut Database, cmd: &str) -> bool {
     let (head, rest) = cmd.split_once(' ').unwrap_or((cmd, ""));
-    match head {
-        ".quit" | ".exit" => return false,
-        ".help" => println!(
-            ".objects | .plan <retrieve> | .counters | .load university | .dump | .sweep | .quit"
-        ),
-        ".objects" => {
-            let mut names: Vec<&str> = db.catalog().names().collect();
-            names.sort_unstable();
-            for n in names {
-                if let Some(s) = db.catalog().schema(n) {
-                    println!("  {n} : {s}");
+    let head = if head == ".exit" { ".quit" } else { head };
+    match COMMANDS.iter().find(|c| c.name == head) {
+        Some(c) => (c.run)(db, rest.trim()),
+        None => {
+            println!("unknown command `{head}` — try .help");
+            true
+        }
+    }
+}
+
+fn cmd_help(_db: &mut Database, _rest: &str) -> bool {
+    let width = COMMANDS
+        .iter()
+        .map(|c| {
+            c.name.len()
+                + if c.args.is_empty() {
+                    0
+                } else {
+                    c.args.len() + 1
                 }
+        })
+        .max()
+        .unwrap_or(0);
+    for c in COMMANDS {
+        let usage = if c.args.is_empty() {
+            c.name.to_string()
+        } else {
+            format!("{} {}", c.name, c.args)
+        };
+        println!("  {usage:<width$}  {}", c.help);
+    }
+    true
+}
+
+fn cmd_objects(db: &mut Database, _rest: &str) -> bool {
+    let mut names: Vec<&str> = db.catalog().names().collect();
+    names.sort_unstable();
+    for n in names {
+        if let Some(s) = db.catalog().schema(n) {
+            println!("  {n} : {s}");
+        }
+    }
+    true
+}
+
+fn cmd_plan(db: &mut Database, rest: &str) -> bool {
+    match db.plan_for(rest) {
+        Ok(plan) => {
+            println!("-- initial --\n{}", db.explain(&plan));
+            let optimized = db.optimize_plan(&plan);
+            if optimized != plan {
+                println!("-- optimized --\n{}", db.explain(&optimized));
             }
         }
-        ".counters" => println!("  {}", db.last_counters()),
-        ".dump" => print!("{}", db.dump_schema()),
-        ".sweep" => println!("collected {} unreachable objects", db.sweep()),
-        ".load" if rest.trim() == "university" => {
-            match excess::workload::generate(&excess::workload::UniversityParams::default()) {
-                Ok(u) => {
-                    *db = u.db;
-                    println!("loaded the Figure 1 university database");
-                }
+        Err(e) => println!("error: {e}"),
+    }
+    true
+}
+
+fn cmd_profile(db: &mut Database, rest: &str) -> bool {
+    match db.plan_for(rest) {
+        Ok(plan) => {
+            let plan = if db.optimize {
+                db.optimize_plan_journaled(&plan).0
+            } else {
+                plan
+            };
+            match db.explain_analyze(&plan) {
+                Ok(text) => print!("{text}"),
                 Err(e) => println!("error: {e}"),
             }
         }
-        ".plan" => match db.plan_for(rest) {
-            Ok(plan) => {
-                println!("-- initial --\n{}", db.explain(&plan));
-                let optimized = db.optimize_plan(&plan);
-                if optimized != plan {
-                    println!("-- optimized --\n{}", db.explain(&optimized));
-                }
-            }
-            Err(e) => println!("error: {e}"),
-        },
-        other => println!("unknown command `{other}` — try .help"),
+        Err(e) => println!("error: {e}"),
     }
     true
+}
+
+fn cmd_trace(db: &mut Database, rest: &str) -> bool {
+    match db.plan_for(rest) {
+        Ok(plan) => {
+            let (_, journal) = db.optimize_plan_journaled(&plan);
+            if journal.steps.is_empty() {
+                println!("no rewrites fired (cost {:.0})", journal.initial_cost);
+            } else {
+                for s in &journal.steps {
+                    println!(
+                        "  {} @ {:?}: cost {:.0} → {:.0}",
+                        s.rule, s.path, s.cost_before, s.cost_after
+                    );
+                }
+                println!(
+                    "  {} plans enumerated (budget {}), cost {:.0} → {:.0}",
+                    journal.plans_enumerated,
+                    journal.max_plans,
+                    journal.initial_cost,
+                    journal.final_cost
+                );
+            }
+        }
+        Err(e) => println!("error: {e}"),
+    }
+    true
+}
+
+fn cmd_counters(db: &mut Database, _rest: &str) -> bool {
+    println!("  {}", db.last_counters());
+    true
+}
+
+fn cmd_metrics(db: &mut Database, rest: &str) -> bool {
+    match rest {
+        "json" => println!("{}", excess::db::metrics_json(db.metrics())),
+        "reset" => {
+            db.reset_metrics();
+            println!("session metrics reset");
+        }
+        _ => print!("{}", db.metrics()),
+    }
+    true
+}
+
+fn cmd_load(db: &mut Database, rest: &str) -> bool {
+    if rest != "university" {
+        println!("usage: .load university");
+        return true;
+    }
+    match excess::workload::generate(&excess::workload::UniversityParams::default()) {
+        Ok(u) => {
+            *db = u.db;
+            println!("loaded the Figure 1 university database");
+        }
+        Err(e) => println!("error: {e}"),
+    }
+    true
+}
+
+fn cmd_dump(db: &mut Database, _rest: &str) -> bool {
+    print!("{}", db.dump_schema());
+    true
+}
+
+fn cmd_sweep(db: &mut Database, _rest: &str) -> bool {
+    println!("collected {} unreachable objects", db.sweep());
+    true
+}
+
+fn cmd_quit(_db: &mut Database, _rest: &str) -> bool {
+    false
 }

@@ -25,7 +25,10 @@ fn show(db: &mut Database, title: &str, src: &str) -> Result<(), Box<dyn std::er
     println!("\n  initial plan:\n    {plan}");
     // Trace the greedy pass on the desugared form so fusion rules can fire.
     let opt = excess::optimizer::Optimizer::standard();
-    let ctx = excess::optimizer::RuleCtx { registry: db.registry(), schemas: db.catalog() };
+    let ctx = excess::optimizer::RuleCtx {
+        registry: db.registry(),
+        schemas: db.catalog(),
+    };
     let (_, trace) = opt.optimize_greedy_traced(&plan.desugar(), &ctx, db.statistics());
     for step in &trace {
         println!(
@@ -53,10 +56,17 @@ fn show(db: &mut Database, title: &str, src: &str) -> Result<(), Box<dyn std::er
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // floors = 5 so Example 2's `floor = 5` predicate matches.
-    let p = UniversityParams { floors: 5, ..Default::default() };
+    let p = UniversityParams {
+        floors: 5,
+        ..Default::default()
+    };
     let mut db = generate(&p)?.db;
 
-    show(&mut db, "Section 2.2 — kids of 2nd-floor employees", queries::SECTION2_KIDS)?;
+    show(
+        &mut db,
+        "Section 2.2 — kids of 2nd-floor employees",
+        queries::SECTION2_KIDS,
+    )?;
     show(
         &mut db,
         "Section 2.2 — correlated min-age aggregate",

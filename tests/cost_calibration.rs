@@ -23,9 +23,7 @@ fn rows_db(n: i32) -> Database {
             ("k", SchemaType::int4()),
             ("v", SchemaType::int4()),
         ])),
-        Value::set((0..n).map(|i| {
-            Value::tuple([("k", Value::int(i % 7)), ("v", Value::int(i))])
-        })),
+        Value::set((0..n).map(|i| Value::tuple([("k", Value::int(i % 7)), ("v", Value::int(i))]))),
     );
     db.put_object(
         "S",
@@ -50,7 +48,12 @@ fn check_pairs(db: &mut Database, plans: &[(&str, Expr)]) {
                 assert!(
                     a.2 > b.2,
                     "measured {} ({}) ≫ {} ({}), but est {} ≤ {}",
-                    a.0, a.1, b.0, b.1, a.2, b.2
+                    a.0,
+                    a.1,
+                    b.0,
+                    b.1,
+                    a.2,
+                    b.2
                 );
             }
         }
@@ -63,7 +66,11 @@ fn joins_dominate_scans_in_both_worlds() {
     let scan = Expr::named("R").set_apply(Expr::input().extract("v"));
     let join = Expr::named("R").rel_join(
         Expr::named("S"),
-        Pred::cmp(Expr::input().extract("k"), CmpOp::Eq, Expr::input().extract("w")),
+        Pred::cmp(
+            Expr::input().extract("k"),
+            CmpOp::Eq,
+            Expr::input().extract("w"),
+        ),
     );
     let cross_then_filter = Expr::named("R").cross(Expr::named("S")).select(Pred::cmp(
         Expr::input().extract("fst").extract("k"),
@@ -85,7 +92,9 @@ fn de_early_ranks_below_de_late_under_duplication() {
     // R has a heavily duplicated projection (k has 7 distinct values).
     let mut db = rows_db(400);
     let project_k = |e: Expr| e.set_apply(Expr::input().extract("k"));
-    let late = project_k(Expr::named("R")).dup_elim().set_apply(Expr::input().make_tup("x"));
+    let late = project_k(Expr::named("R"))
+        .dup_elim()
+        .set_apply(Expr::input().make_tup("x"));
     let early = project_k(Expr::named("R"))
         .dup_elim()
         .set_apply(Expr::input().make_tup("x"));

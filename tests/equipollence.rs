@@ -77,9 +77,11 @@ fn database() -> Database {
 
 /// The round trip for one plan.
 fn round_trip(db: &mut Database, plan: &Expr, modulo_identity: bool) {
-    let direct = db.run_plan(plan).unwrap_or_else(|e| panic!("direct eval of {plan}: {e}"));
-    let text = decompile(plan, db.registry())
-        .unwrap_or_else(|e| panic!("decompile of {plan}: {e}"));
+    let direct = db
+        .run_plan(plan)
+        .unwrap_or_else(|e| panic!("direct eval of {plan}: {e}"));
+    let text =
+        decompile(plan, db.registry()).unwrap_or_else(|e| panic!("decompile of {plan}: {e}"));
     let via_excess = db
         .execute(&format!("retrieve ({text})"))
         .unwrap_or_else(|e| panic!("re-translation of `{text}` (from {plan}): {e}"));
@@ -109,16 +111,16 @@ fn xs() -> Expr {
 fn multiset_operator_cases() {
     let mut db = database();
     let cases = vec![
-        nums().add_union(numsb()),                         // ⊎
-        Expr::int(9).make_set(),                           // SET
+        nums().add_union(numsb()), // ⊎
+        Expr::int(9).make_set(),   // SET
         nums().set_apply(Expr::call(Func::Add, vec![Expr::input(), Expr::int(1)])), // SET_APPLY
-        nums().group_by(Expr::input()),                    // GRP (identity key)
+        nums().group_by(Expr::input()), // GRP (identity key)
         Expr::named("Pairs").group_by(Expr::input().extract("a")), // GRP (field key)
-        nums().dup_elim(),                                 // DE
-        nums().diff(numsb()),                              // −
-        nums().cross(numsb()),                             // ×
-        Expr::named("Nested").set_collapse(),              // SET_COLLAPSE
-        Expr::Union(Box::new(nums()), Box::new(numsb())),  // derived ∪
+        nums().dup_elim(),         // DE
+        nums().diff(numsb()),      // −
+        nums().cross(numsb()),     // ×
+        Expr::named("Nested").set_collapse(), // SET_COLLAPSE
+        Expr::Union(Box::new(nums()), Box::new(numsb())), // derived ∪
         Expr::Intersect(Box::new(nums()), Box::new(numsb())), // derived ∩
     ];
     for plan in cases {
@@ -131,10 +133,10 @@ fn tuple_operator_cases() {
     let mut db = database();
     let one = Expr::named("OneTup");
     let cases = vec![
-        one.clone().project(["b"]),                         // π
-        one.clone().tup_cat(Expr::int(3).make_tup("c")),    // TUP_CAT
-        one.clone().extract("a"),                           // TUP_EXTRACT
-        Expr::int(5).make_tup("only"),                      // TUP
+        one.clone().project(["b"]),                      // π
+        one.clone().tup_cat(Expr::int(3).make_tup("c")), // TUP_CAT
+        one.clone().extract("a"),                        // TUP_EXTRACT
+        Expr::int(5).make_tup("only"),                   // TUP
         Expr::named("Pairs").set_apply(Expr::input().extract("b")),
     ];
     for plan in cases {
@@ -146,16 +148,16 @@ fn tuple_operator_cases() {
 fn array_operator_cases() {
     let mut db = database();
     let cases = vec![
-        Expr::int(1).make_arr(),                            // ARR
-        xs().arr_extract(2),                                // ARR_EXTRACT
-        Expr::ArrExtract(Box::new(xs()), Bound::Last),      // ARR_EXTRACT last
+        Expr::int(1).make_arr(),                       // ARR
+        xs().arr_extract(2),                           // ARR_EXTRACT
+        Expr::ArrExtract(Box::new(xs()), Bound::Last), // ARR_EXTRACT last
         xs().arr_apply(Expr::call(Func::Mul, vec![Expr::input(), Expr::int(2)])), // ARR_APPLY
-        xs().subarr(Bound::At(2), Bound::At(3)),            // SUBARR
-        xs().subarr(Bound::At(2), Bound::Last),             // SUBARR last
-        xs().arr_cat(Expr::named("Ys")),                    // ARR_CAT
+        xs().subarr(Bound::At(2), Bound::At(3)),       // SUBARR
+        xs().subarr(Bound::At(2), Bound::Last),        // SUBARR last
+        xs().arr_cat(Expr::named("Ys")),               // ARR_CAT
         Expr::ArrCollapse(Box::new(Expr::named("NestedArr"))), // ARR_COLLAPSE
         Expr::ArrDiff(Box::new(xs()), Box::new(Expr::named("Ys"))), // ARR_DIFF
-        Expr::ArrDupElim(Box::new(xs())),                   // ARR_DE
+        Expr::ArrDupElim(Box::new(xs())),              // ARR_DE
         Expr::ArrCross(Box::new(xs()), Box::new(Expr::named("Ys"))), // ARR_CROSS
     ];
     for plan in cases {
@@ -167,13 +169,10 @@ fn array_operator_cases() {
 fn reference_operator_cases() {
     let mut db = database();
     // DEREF over existing identities.
-    let deref_plan = Expr::named("Employees")
-        .set_apply(Expr::input().deref().extract("name"));
+    let deref_plan = Expr::named("Employees").set_apply(Expr::input().deref().extract("name"));
     round_trip(&mut db, &deref_plan, false);
     // REF mints fresh OIDs — compare modulo identity.
-    let mint = Expr::named("Departments").set_apply(
-        Expr::input().deref().make_ref("Department"),
-    );
+    let mint = Expr::named("Departments").set_apply(Expr::input().deref().make_ref("Department"));
     round_trip(&mut db, &mint, true);
 }
 
@@ -198,8 +197,11 @@ fn predicate_cases() {
     round_trip(&mut db, &sel, false);
     // Conjunction + negation + membership.
     let fancy = Expr::named("Pairs").select(
-        Pred::cmp(Expr::input().extract("a"), CmpOp::In, numsb())
-            .and(Pred::cmp(Expr::input().extract("b"), CmpOp::Ne, Expr::str("zzz")).not().not()),
+        Pred::cmp(Expr::input().extract("a"), CmpOp::In, numsb()).and(
+            Pred::cmp(Expr::input().extract("b"), CmpOp::Ne, Expr::str("zzz"))
+                .not()
+                .not(),
+        ),
     );
     round_trip(&mut db, &fancy, false);
 }
@@ -270,15 +272,14 @@ fn rel_join_and_rel_cross_desugar_and_round_trip() {
 fn primed_fields_are_a_documented_decompile_limit() {
     let db = database();
     // Self-join: the clash-primed field `a'` has no surface form.
-    let join = Expr::named("Pairs")
-        .rel_join(
-            Expr::named("Pairs"),
-            Pred::cmp(
-                Expr::input().extract("a"),
-                CmpOp::Eq,
-                Expr::input().extract("a'"),
-            ),
-        );
+    let join = Expr::named("Pairs").rel_join(
+        Expr::named("Pairs"),
+        Pred::cmp(
+            Expr::input().extract("a"),
+            CmpOp::Eq,
+            Expr::input().extract("a'"),
+        ),
+    );
     assert!(decompile(&join, db.registry()).is_err());
 }
 
@@ -287,9 +288,10 @@ fn nested_binders_round_trip() {
     let mut db = database();
     // SET_APPLY within SET_APPLY, inner body referencing the outer binder:
     // for each n in Nums, the set of sums n+m over NumsB.
-    let plan = nums().set_apply(
-        numsb().set_apply(Expr::call(Func::Add, vec![Expr::input(), Expr::input_at(1)])),
-    );
+    let plan = nums().set_apply(numsb().set_apply(Expr::call(
+        Func::Add,
+        vec![Expr::input(), Expr::input_at(1)],
+    )));
     round_trip(&mut db, &plan, false);
 }
 
@@ -299,7 +301,10 @@ fn literal_cases() {
     let cases = vec![
         Expr::lit(Value::set([Value::int(1), Value::int(1)])),
         Expr::lit(Value::array([Value::str("a"), Value::str("b")])),
-        Expr::lit(Value::tuple([("x", Value::float(2.5)), ("y", Value::bool(true))])),
+        Expr::lit(Value::tuple([
+            ("x", Value::float(2.5)),
+            ("y", Value::bool(true)),
+        ])),
         Expr::lit(Value::dne()),
         Expr::lit(Value::unk()),
         Expr::lit(Value::date(excess::types::Date::new(1990, 12, 1).unwrap())),

@@ -6,7 +6,8 @@ use excess::db::Database;
 fn type_errors_name_the_offender() {
     use excess::types::{SchemaType, TypeRegistry};
     let mut r = TypeRegistry::new();
-    r.define("A", SchemaType::tuple([("x", SchemaType::int4())])).unwrap();
+    r.define("A", SchemaType::tuple([("x", SchemaType::int4())]))
+        .unwrap();
     let dup = r.define("A", SchemaType::int4()).unwrap_err();
     assert_eq!(dup.to_string(), "type `A` defined twice");
     let unknown = r.lookup("Nope").unwrap_err();
@@ -17,7 +18,10 @@ fn type_errors_name_the_offender() {
 fn eval_errors_name_operator_and_sorts() {
     let mut db = Database::new();
     db.execute("retrieve ({ 1 }) into S").unwrap();
-    let err = db.execute("retrieve (arr_extract(S, 1))").unwrap_err().to_string();
+    let err = db
+        .execute("retrieve (arr_extract(S, 1))")
+        .unwrap_err()
+        .to_string();
     assert!(err.contains("array"), "{err}");
     let err2 = db.execute("retrieve (1 / 0)").unwrap_err().to_string();
     assert!(err2.contains("division by zero"), "{err2}");
@@ -35,15 +39,22 @@ fn parse_errors_point_at_the_token() {
 #[test]
 fn translate_errors_explain_name_resolution() {
     let mut db = Database::new();
-    let err = db.execute("retrieve (Ghost.field)").unwrap_err().to_string();
+    let err = db
+        .execute("retrieve (Ghost.field)")
+        .unwrap_err()
+        .to_string();
     assert!(err.contains("unknown name `Ghost`"), "{err}");
 }
 
 #[test]
 fn domain_violations_show_expected_and_found() {
     let mut db = Database::new();
-    db.execute("define type T: (x: int4) create Ts: { T }").unwrap();
-    let err = db.execute(r#"append to Ts (x: "nope")"#).unwrap_err().to_string();
+    db.execute("define type T: (x: int4) create Ts: { T }")
+        .unwrap();
+    let err = db
+        .execute(r#"append to Ts (x: "nope")"#)
+        .unwrap_err()
+        .to_string();
     assert!(err.contains("int4"), "{err}");
 }
 

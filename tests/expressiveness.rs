@@ -16,9 +16,11 @@ use excess::db::Database;
 use excess::types::{SchemaType, Value};
 
 fn relation(name_vals: &[(i32, &str)]) -> Value {
-    Value::set(name_vals.iter().map(|(a, b)| {
-        Value::tuple([("a", Value::int(*a)), ("b", Value::str(*b))])
-    }))
+    Value::set(
+        name_vals
+            .iter()
+            .map(|(a, b)| Value::tuple([("a", Value::int(*a)), ("b", Value::str(*b))])),
+    )
 }
 
 fn db_with(rels: &[(&str, Value)]) -> Database {
@@ -38,12 +40,11 @@ fn db_with(rels: &[(&str, Value)]) -> Database {
 fn relational_select() {
     let mut db = db_with(&[("R", relation(&[(1, "x"), (2, "y"), (3, "x")]))]);
     // σ_{b = "x"}(R) via SET_APPLY ∘ COMP (the derivation in Appendix §1).
-    let plan = Expr::named("R")
-        .set_apply(Expr::input().comp(Pred::cmp(
-            Expr::input().extract("b"),
-            CmpOp::Eq,
-            Expr::str("x"),
-        )));
+    let plan = Expr::named("R").set_apply(Expr::input().comp(Pred::cmp(
+        Expr::input().extract("b"),
+        CmpOp::Eq,
+        Expr::str("x"),
+    )));
     let out = db.run_plan(&plan).unwrap();
     assert_eq!(out, relation(&[(1, "x"), (3, "x")]));
 }
@@ -66,9 +67,17 @@ fn relational_cross_union_difference() {
     let s = relation(&[(2, "y"), (3, "z")]);
     let mut db = db_with(&[("R", r), ("S", s)]);
     // rel_× flattens into concatenated tuples (names primed).
-    let cross = db.run_plan(&Expr::named("R").rel_cross(Expr::named("S"))).unwrap();
+    let cross = db
+        .run_plan(&Expr::named("R").rel_cross(Expr::named("S")))
+        .unwrap();
     assert_eq!(cross.as_set().unwrap().len(), 4);
-    let first = cross.as_set().unwrap().iter_occurrences().next().unwrap().clone();
+    let first = cross
+        .as_set()
+        .unwrap()
+        .iter_occurrences()
+        .next()
+        .unwrap()
+        .clone();
     let names: Vec<_> = first.as_tuple().unwrap().field_names().collect();
     assert_eq!(names, vec!["a", "b", "a'", "b'"]);
     // ∪ and − with set semantics = DE'd multiset ops.
@@ -76,7 +85,9 @@ fn relational_cross_union_difference() {
         .run_plan(&Expr::named("R").add_union(Expr::named("S")).dup_elim())
         .unwrap();
     assert_eq!(union.as_set().unwrap().len(), 3);
-    let diff = db.run_plan(&Expr::named("R").diff(Expr::named("S"))).unwrap();
+    let diff = db
+        .run_plan(&Expr::named("R").diff(Expr::named("S")))
+        .unwrap();
     assert_eq!(diff, relation(&[(1, "x")]));
 }
 
@@ -88,7 +99,11 @@ fn relational_theta_join() {
     ]);
     let join = Expr::named("R").rel_join(
         Expr::named("S"),
-        Pred::cmp(Expr::input().extract("a"), CmpOp::Eq, Expr::input().extract("a'")),
+        Pred::cmp(
+            Expr::input().extract("a"),
+            CmpOp::Eq,
+            Expr::input().extract("a'"),
+        ),
     );
     let out = db.run_plan(&join).unwrap();
     // (2,y) matches both S-rows with a=2.
@@ -113,7 +128,10 @@ fn nested_relational_nest_and_unnest() {
     // UNNEST: SET_COLLAPSE flattens back to the multiset of b's.
     let unnest = nest.set_collapse();
     let flat = db.run_plan(&unnest).unwrap();
-    assert_eq!(flat, Value::set([Value::str("x"), Value::str("y"), Value::str("z")]));
+    assert_eq!(
+        flat,
+        Value::set([Value::str("x"), Value::str("y"), Value::str("z")])
+    );
 }
 
 #[test]
@@ -135,7 +153,10 @@ fn set_apply_is_iteration_not_while() {
         plan = plan.set_apply(Expr::call(Func::Add, vec![Expr::input(), Expr::int(1)]));
     }
     db.run_plan(&plan).unwrap();
-    assert_eq!(db.last_counters().occurrences_scanned, (k as u64) * n as u64);
+    assert_eq!(
+        db.last_counters().occurrences_scanned,
+        (k as u64) * n as u64
+    );
 }
 
 #[test]
@@ -153,6 +174,8 @@ fn powerset_sized_output_requires_exponential_plan_size() {
         SchemaType::set(SchemaType::int4()),
         Value::set((0..40).map(Value::int)),
     );
-    let sq = db.run_plan(&Expr::named("N").cross(Expr::named("N"))).unwrap();
+    let sq = db
+        .run_plan(&Expr::named("N").cross(Expr::named("N")))
+        .unwrap();
     assert_eq!(sq.as_set().unwrap().len(), 1600);
 }

@@ -60,7 +60,10 @@ fn figure4_verbatim_plan_matches_the_translator_modulo_tuple_shape() {
 fn figure4_counters_show_the_functional_join_shape() {
     // The pipeline dereferences each employee once, then each *qualifying*
     // employee's dept once — a functional join, not a cross product.
-    let p = UniversityParams { madison_fraction: 0.25, ..UniversityParams::tiny() };
+    let p = UniversityParams {
+        madison_fraction: 0.25,
+        ..UniversityParams::tiny()
+    };
     let mut u = generate(&p).unwrap();
     u.db.optimize = false;
     let verbatim = Expr::named("Employees")

@@ -39,7 +39,9 @@ fn shared_subobjects_observe_updates() {
     )
     .unwrap();
     db.execute("replace Depts (floor: 9)").unwrap();
-    let floors = db.execute("retrieve (E.dept.floor) from E in Emps").unwrap();
+    let floors = db
+        .execute("retrieve (E.dept.floor) from E in Emps")
+        .unwrap();
     assert_eq!(floors, Value::set([Value::int(9), Value::int(9)]));
     // And it is identity, not value copies: exactly one Dept object exists.
     assert_eq!(db.store().len(), 3); // 1 dept + 2 emps
@@ -59,18 +61,22 @@ fn cyclic_object_graphs_queryable() {
     let ty = db.registry().lookup("E2").unwrap();
     let a = db.store_mut().create_unchecked(ty, Value::dne());
     let b = db.store_mut().create_unchecked(ty, Value::dne());
-    db.update_stored(a, Value::tuple([("n", Value::str("a")), ("mgr", Value::Ref(b))]))
-        .unwrap();
-    db.update_stored(b, Value::tuple([("n", Value::str("b")), ("mgr", Value::Ref(a))]))
-        .unwrap();
+    db.update_stored(
+        a,
+        Value::tuple([("n", Value::str("a")), ("mgr", Value::Ref(b))]),
+    )
+    .unwrap();
+    db.update_stored(
+        b,
+        Value::tuple([("n", Value::str("b")), ("mgr", Value::Ref(a))]),
+    )
+    .unwrap();
     db.put_object(
         "Es",
         SchemaType::set(SchemaType::reference("E2")),
         Value::set([Value::Ref(a), Value::Ref(b)]),
     );
-    let out = db
-        .execute("retrieve (x.mgr.mgr.n) from x in Es")
-        .unwrap();
+    let out = db.execute("retrieve (x.mgr.mgr.n) from x in Es").unwrap();
     assert_eq!(out, Value::set([Value::str("a"), Value::str("b")]));
 }
 
@@ -85,7 +91,11 @@ fn type_migration_changes_dispatch() {
     let reg0 = db.registry().clone();
     let oid = db
         .store_mut()
-        .create(&reg0, person_ty, Value::tuple([("name", Value::str("Ann"))]))
+        .create(
+            &reg0,
+            person_ty,
+            Value::tuple([("name", Value::str("Ann"))]),
+        )
         .unwrap();
     db.put_object(
         "Ppl",
@@ -145,7 +155,10 @@ fn exhaustive_search_finds_cheaper_or_equal_dispatch_plans() {
     };
     let mut opt = Optimizer::standard();
     opt.max_plans = 64;
-    let ctx = RuleCtx { registry: db.registry(), schemas: db.catalog() };
+    let ctx = RuleCtx {
+        registry: db.registry(),
+        schemas: db.catalog(),
+    };
     let best = opt.optimize(&seed, &ctx, db.statistics());
     assert!(best.cost <= excess::optimizer::cost_of(&seed, db.statistics()));
     let a = db.run_plan(&seed).unwrap();

@@ -37,29 +37,28 @@ fn minting_seeds() -> Vec<Expr> {
     vec![
         // The shapes whose naive rewrites would change mint counts:
         // distribute × over ⊎ with a minting side,
-        nums().set_apply(mint_body()).cross(numsb().add_union(nums())),
+        nums()
+            .set_apply(mint_body())
+            .cross(numsb().add_union(nums())),
         // disjunctive σ over a minting input,
         nums().set_apply(mint_body()).select(Pred::Not(Box::new(
             Pred::cmp(Expr::input().deref().extract("v"), CmpOp::Eq, Expr::int(1))
                 .not()
-                .and(
-                    Pred::cmp(Expr::input().deref().extract("v"), CmpOp::Eq, Expr::int(2))
-                        .not(),
-                ),
+                .and(Pred::cmp(Expr::input().deref().extract("v"), CmpOp::Eq, Expr::int(2)).not()),
         ))),
         // DE over a minting SET_APPLY over ×,
-        Expr::DupElim(Box::new(
-            nums()
-                .cross(numsb())
-                .set_apply(Expr::input().extract("fst").make_tup("v").make_ref("Cell")),
-        )),
+        Expr::DupElim(Box::new(nums().cross(numsb()).set_apply(
+            Expr::input().extract("fst").make_tup("v").make_ref("Cell"),
+        ))),
         // GRP over × whose other side mints,
         nums()
             .cross(numsb().set_apply(mint_body()))
             .group_by(Expr::input().extract("fst")),
         // fusion across a minting inner body (rule 15 — this one is fine
         // and SHOULD still fire),
-        nums().set_apply(mint_body()).set_apply(Expr::input().deref().extract("v")),
+        nums()
+            .set_apply(mint_body())
+            .set_apply(Expr::input().deref().extract("v")),
     ]
 }
 
@@ -71,7 +70,10 @@ fn every_rewrite_of_a_minting_plan_is_sound_modulo_identity() {
     for seed in minting_seeds() {
         let base = db.run_plan(&seed).unwrap();
         let base_canon = canonical_form(&base, db.store());
-        let ctx = RuleCtx { registry: db.registry(), schemas: db.catalog() };
+        let ctx = RuleCtx {
+            registry: db.registry(),
+            schemas: db.catalog(),
+        };
         for (rule, alt) in opt.neighbors(&seed, &ctx) {
             let out = db
                 .run_plan(&alt)
@@ -84,7 +86,10 @@ fn every_rewrite_of_a_minting_plan_is_sound_modulo_identity() {
             checked += 1;
         }
     }
-    assert!(checked > 0, "some rewrites must still apply to minting plans");
+    assert!(
+        checked > 0,
+        "some rewrites must still apply to minting plans"
+    );
 }
 
 #[test]
@@ -93,11 +98,18 @@ fn fusion_still_fires_on_minting_bodies() {
     // when the inner body mints.
     let db = database();
     let opt = Optimizer::standard();
-    let ctx = RuleCtx { registry: db.registry(), schemas: db.catalog() };
+    let ctx = RuleCtx {
+        registry: db.registry(),
+        schemas: db.catalog(),
+    };
     let seed = Expr::named("Nums")
         .set_apply(mint_body())
         .set_apply(Expr::input().deref().extract("v"));
-    let fired: Vec<&str> = opt.neighbors(&seed, &ctx).into_iter().map(|(r, _)| r).collect();
+    let fired: Vec<&str> = opt
+        .neighbors(&seed, &ctx)
+        .into_iter()
+        .map(|(r, _)| r)
+        .collect();
     assert!(fired.contains(&"rule15-combine-set-applys"), "{fired:?}");
 }
 
@@ -113,7 +125,13 @@ fn sharing_structure_is_what_canonical_forms_protect() {
         .set_apply(Expr::input().make_set())
         .set_collapse(); // { r } — one object
     let one = db.run_plan(&shared).unwrap();
-    let r = one.as_set().unwrap().iter_occurrences().next().unwrap().clone();
+    let r = one
+        .as_set()
+        .unwrap()
+        .iter_occurrences()
+        .next()
+        .unwrap()
+        .clone();
     let two_shared = Value::set([r.clone(), r.clone()]);
     let fresh_plan = Expr::int(7).make_tup("v").make_ref("Cell");
     let r2 = db.run_plan(&fresh_plan).unwrap();

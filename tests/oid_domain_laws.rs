@@ -25,10 +25,17 @@ fn hierarchy() -> (TypeRegistry, [excess::types::TypeId; 5]) {
         )
         .unwrap();
     let ta = r
-        .define_with_supertypes("TA", SchemaType::tuple::<_, String>([]), &["Employee", "Student"])
+        .define_with_supertypes(
+            "TA",
+            SchemaType::tuple::<_, String>([]),
+            &["Employee", "Student"],
+        )
         .unwrap();
     let dept = r
-        .define("Department", SchemaType::tuple([("dname", SchemaType::chars())]))
+        .define(
+            "Department",
+            SchemaType::tuple([("dname", SchemaType::chars())]),
+        )
         .unwrap();
     (r, [person, employee, student, ta, dept])
 }

@@ -16,7 +16,8 @@ fn discarded_mkref_temporaries_are_collected() {
     )
     .unwrap();
     // A query that mints a temporary and throws the reference away.
-    db.execute("retrieve (deref(mkref((v: 99), Cell)).v)").unwrap();
+    db.execute("retrieve (deref(mkref((v: 99), Cell)).v)")
+        .unwrap();
     assert_eq!(db.store().len(), 2);
     let collected = db.sweep();
     assert_eq!(collected, 1);
@@ -39,14 +40,13 @@ fn transitively_referenced_objects_survive() {
     .unwrap();
     // Emp references a Dept that is NOT in any top-level set — it is
     // reachable only through the employee.
-    db.execute(
-        r#"append to Emps (ename: "a", dept: mkref((dname: "CS"), Dept))"#,
-    )
-    .unwrap();
+    db.execute(r#"append to Emps (ename: "a", dept: mkref((dname: "CS"), Dept))"#)
+        .unwrap();
     assert_eq!(db.store().len(), 2);
     assert_eq!(db.sweep(), 0, "both objects are reachable");
     // Remove the employee: the department becomes garbage too.
-    db.execute(r#"delete from Emps where Emps.ename = "a""#).unwrap();
+    db.execute(r#"delete from Emps where Emps.ename = "a""#)
+        .unwrap();
     assert_eq!(db.sweep(), 2);
     assert_eq!(db.store().len(), 0);
 }
@@ -63,11 +63,14 @@ fn unreachable_cycles_are_collected() {
     // An unreachable 2-cycle…
     let a = db.store_mut().create_unchecked(ty, Value::dne());
     let b = db.store_mut().create_unchecked(ty, Value::dne());
-    db.update_stored(a, Value::tuple([("next", Value::Ref(b))])).unwrap();
-    db.update_stored(b, Value::tuple([("next", Value::Ref(a))])).unwrap();
+    db.update_stored(a, Value::tuple([("next", Value::Ref(b))]))
+        .unwrap();
+    db.update_stored(b, Value::tuple([("next", Value::Ref(a))]))
+        .unwrap();
     // …and a reachable self-loop.
     let c = db.store_mut().create_unchecked(ty, Value::dne());
-    db.update_stored(c, Value::tuple([("next", Value::Ref(c))])).unwrap();
+    db.update_stored(c, Value::tuple([("next", Value::Ref(c))]))
+        .unwrap();
     db.execute("retrieve (Keep)").unwrap(); // no-op sanity
     let keep = Value::set([Value::Ref(c)]);
     db.put_object(
@@ -75,7 +78,11 @@ fn unreachable_cycles_are_collected() {
         excess::types::SchemaType::set(excess::types::SchemaType::reference("Node")),
         keep,
     );
-    assert_eq!(db.sweep(), 2, "the unreachable cycle goes, the kept loop stays");
+    assert_eq!(
+        db.sweep(),
+        2,
+        "the unreachable cycle goes, the kept loop stays"
+    );
     assert!(db.store().contains(c));
     assert!(!db.store().contains(a) && !db.store().contains(b));
 }

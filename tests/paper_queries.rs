@@ -36,14 +36,26 @@ fn section2_kids_of_second_floor_employees() {
 }
 
 fn hand_count_kids_on_floor(db: &excess::db::Database, floor: i32) -> u64 {
-    let emps = db.catalog().value("Employees").unwrap().as_set().unwrap().clone();
+    let emps = db
+        .catalog()
+        .value("Employees")
+        .unwrap()
+        .as_set()
+        .unwrap()
+        .clone();
     let mut n = 0;
     for (e, _) in emps.iter_counted() {
         let emp = db.store().deref(e.as_ref_oid().unwrap()).unwrap().clone();
         let t = emp.as_tuple().unwrap();
         let dept_ref = t.get("dept").unwrap().as_ref_oid().unwrap();
         let dept = db.store().deref(dept_ref).unwrap().clone();
-        let f = dept.as_tuple().unwrap().get("floor").unwrap().as_int().unwrap();
+        let f = dept
+            .as_tuple()
+            .unwrap()
+            .get("floor")
+            .unwrap()
+            .as_int()
+            .unwrap();
         if f == floor {
             n += t.get("kids").unwrap().as_set().unwrap().len();
         }
@@ -57,7 +69,13 @@ fn section2_correlated_min_age_aggregate() {
     let out = run_both_ways(&mut db, queries::SECTION2_MIN_AGE);
     let set = out.as_set().expect("multiset result");
     // One row per employee.
-    let n_emp = db.catalog().value("Employees").unwrap().as_set().unwrap().len();
+    let n_emp = db
+        .catalog()
+        .value("Employees")
+        .unwrap()
+        .as_set()
+        .unwrap()
+        .len();
     assert_eq!(set.len(), n_emp);
     for (v, _) in set.iter_counted() {
         let t = v.as_tuple().expect("tuple row");
@@ -84,13 +102,22 @@ fn figure4_functional_join() {
     let out = run_both_ways(&mut db, queries::FIGURE4);
     let set = out.as_set().expect("multiset result");
     // Hand-check: dept names of employees living in Madison.
-    let emps = db.catalog().value("Employees").unwrap().as_set().unwrap().clone();
+    let emps = db
+        .catalog()
+        .value("Employees")
+        .unwrap()
+        .as_set()
+        .unwrap()
+        .clone();
     let mut expected = excess::types::MultiSet::new();
     for (e, _) in emps.iter_counted() {
         let emp = db.store().deref(e.as_ref_oid().unwrap()).unwrap().clone();
         let t = emp.as_tuple().unwrap();
         if t.get("city").unwrap().as_str().unwrap() == "Madison" {
-            let d = db.store().deref(t.get("dept").unwrap().as_ref_oid().unwrap()).unwrap();
+            let d = db
+                .store()
+                .deref(t.get("dept").unwrap().as_ref_oid().unwrap())
+                .unwrap();
             expected.insert(d.as_tuple().unwrap().get("name").unwrap().clone());
         }
     }
@@ -144,7 +171,8 @@ fn example2_students_by_division() {
 #[test]
 fn section4_get_ssnum_method_inlines() {
     let mut db = university();
-    db.execute(excess::workload::queries::DEFINE_GET_SSNUM).unwrap();
+    db.execute(excess::workload::queries::DEFINE_GET_SSNUM)
+        .unwrap();
     // Ask for each employee's kid ssnums by the kid's name.
     let out = run_both_ways(
         &mut db,
@@ -179,7 +207,8 @@ fn section4_overridden_boss_dispatch() {
 #[test]
 fn section4_expensive_method_runs() {
     let mut db = university();
-    db.execute(excess::workload::queries::DEFINE_WORKLOAD).unwrap();
+    db.execute(excess::workload::queries::DEFINE_WORKLOAD)
+        .unwrap();
     let out = run_both_ways(&mut db, excess::workload::queries::QUERY_WORKLOAD);
     let set = out.as_set().expect("multiset");
     assert!(!set.is_empty());

@@ -37,7 +37,8 @@ fn define_and_call_an_update_procedure() {
         .unwrap();
     assert_eq!(ann, Value::int(50_000));
     // Calls compose.
-    db.execute(r#"call give_raise("Bob", 1000) call give_raise("Ann", 1)"#).unwrap();
+    db.execute(r#"call give_raise("Bob", 1000) call give_raise("Ann", 1)"#)
+        .unwrap();
     let bob = db
         .execute(r#"retrieve (the((retrieve (e.salary) from e in Emps where e.ename = "Bob")))"#)
         .unwrap();
@@ -73,17 +74,17 @@ fn collection_arguments_pass_by_value() {
     )
     .unwrap();
     db.execute(r#"call keep_only({ "Ann", "Cat" })"#).unwrap();
-    let out = db.execute("retrieve unique (e.ename) from e in Emps").unwrap();
+    let out = db
+        .execute("retrieve unique (e.ename) from e in Emps")
+        .unwrap();
     assert_eq!(out, Value::set([Value::str("Ann"), Value::str("Cat")]));
 }
 
 #[test]
 fn argument_arity_and_domain_errors() {
     let mut db = payroll();
-    db.execute(
-        r#"define procedure p (n: int4) { retrieve (n + 1) }"#,
-    )
-    .unwrap();
+    db.execute(r#"define procedure p (n: int4) { retrieve (n + 1) }"#)
+        .unwrap();
     assert!(db.execute("call p()").is_err());
     assert!(db.execute(r#"call p("nope")"#).is_err());
     assert!(db.execute("call nope(1)").is_err());
@@ -99,5 +100,8 @@ fn parameters_shadowed_by_range_variables() {
            { retrieve (count((retrieve (x) from x in Emps where x.salary > e))) }"#,
     )
     .unwrap();
-    assert_eq!(db.execute("call count_above(45000)").unwrap(), Value::int(2));
+    assert_eq!(
+        db.execute("call count_above(45000)").unwrap(),
+        Value::int(2)
+    );
 }

@@ -9,8 +9,8 @@
 //! stated scope).  A coverage assertion guarantees the battery actually
 //! fires every rule family we claim to test.
 
-use excess::algebra::expr::{Bound, CmpOp, Expr, Func, Pred};
 use excess::algebra::canonical_form;
+use excess::algebra::expr::{Bound, CmpOp, Expr, Func, Pred};
 use excess::db::Database;
 use excess::optimizer::{Optimizer, RuleCtx};
 use excess::types::{SchemaType, Value};
@@ -59,7 +59,12 @@ fn database() -> Database {
     db.put_object(
         "Mixed",
         SchemaType::set(SchemaType::named("Person")),
-        Value::set((0..4).map(tup).chain((4..8).map(emp)).chain((8..12).map(stu))),
+        Value::set(
+            (0..4)
+                .map(tup)
+                .chain((4..8).map(emp))
+                .chain((8..12).map(stu)),
+        ),
     );
     db.put_object(
         "Nested",
@@ -105,8 +110,12 @@ fn seeds() -> Vec<Expr> {
         // rule 1 / 2 / 11 / 12: unions, collapse, apply distribution
         s().add_union(t().add_union(s())),
         s().cross(t().add_union(s())),
-        Expr::named("Nested").set_collapse().set_apply(Expr::input()),
-        Expr::SetCollapse(Box::new(s().add_union(t()).set_apply(Expr::input().make_set()))),
+        Expr::named("Nested")
+            .set_collapse()
+            .set_apply(Expr::input()),
+        Expr::SetCollapse(Box::new(
+            s().add_union(t()).set_apply(Expr::input().make_set()),
+        )),
         Expr::SetCollapse(Box::new(
             Expr::named("Nested").add_union(Expr::named("Nested")),
         )),
@@ -115,16 +124,19 @@ fn seeds() -> Vec<Expr> {
         s().select(Pred::Not(Box::new(name_pred().not().and(grp_pred().not())))),
         // rule 5: DE over SET_APPLY over ×, fst-only body
         Expr::DupElim(Box::new(
-            s().cross(t()).set_apply(Expr::input().extract("fst").extract("name")),
+            s().cross(t())
+                .set_apply(Expr::input().extract("fst").extract("name")),
         )),
         // rules 6, 8, 10: grouping pipelines
         s().group_by(Expr::input().extract("grp")).dup_elim(),
         s().dup_elim().group_by(Expr::input().extract("grp")),
-        s().select(name_pred()).group_by(Expr::input().extract("grp")),
+        s().select(name_pred())
+            .group_by(Expr::input().extract("grp")),
         // rule 7: DE over ×
         s().cross(t()).dup_elim(),
         // rule 9: GRP over × with fst-only key
-        s().cross(t()).group_by(Expr::input().extract("fst").extract("grp")),
+        s().cross(t())
+            .group_by(Expr::input().extract("fst").extract("grp")),
         // rule 13: SET_APPLY over × with pairwise body
         s().cross(t()).set_apply(
             Expr::input()
@@ -134,9 +146,12 @@ fn seeds() -> Vec<Expr> {
                 .tup_cat(Expr::input().extract("snd").extract("grp").make_tup("snd")),
         ),
         // rule 14: SET_APPLY over SET_COLLAPSE
-        Expr::named("Nested").set_collapse().set_apply(Expr::input().make_set()),
+        Expr::named("Nested")
+            .set_collapse()
+            .set_apply(Expr::input().make_set()),
         // rule 15: successive SET_APPLYs
-        s().set_apply(Expr::input().extract("name")).set_apply(Expr::input().make_tup("n")),
+        s().set_apply(Expr::input().extract("name"))
+            .set_apply(Expr::input().make_tup("n")),
         // rules 16–22: arrays
         arr().arr_cat(Expr::named("ArrB").arr_cat(arr())),
         Expr::ArrExtract(
@@ -147,7 +162,9 @@ fn seeds() -> Vec<Expr> {
         arr()
             .arr_apply(Expr::call(Func::Add, vec![Expr::input(), Expr::int(1)]))
             .arr_extract(3),
-        arr().subarr(Bound::At(2), Bound::At(7)).subarr(Bound::At(2), Bound::At(4)),
+        arr()
+            .subarr(Bound::At(2), Bound::At(7))
+            .subarr(Bound::At(2), Bound::At(4)),
         Expr::SubArr(
             Box::new(Expr::lit(Value::array([9, 8].map(Value::int))).arr_cat(arr())),
             Bound::At(2),
@@ -161,19 +178,39 @@ fn seeds() -> Vec<Expr> {
             .arr_apply(Expr::call(Func::Mul, vec![Expr::input(), Expr::int(2)])),
         // rules 23–25: tuple algebra
         Expr::named("OneTup").tup_cat(Expr::int(3).make_tup("z")),
-        Expr::named("OneTup").tup_cat(Expr::int(3).make_tup("z")).project(["x", "z"]),
-        Expr::named("OneTup").tup_cat(Expr::int(3).make_tup("z")).extract("z"),
+        Expr::named("OneTup")
+            .tup_cat(Expr::int(3).make_tup("z"))
+            .project(["x", "z"]),
+        Expr::named("OneTup")
+            .tup_cat(Expr::int(3).make_tup("z"))
+            .extract("z"),
         // rule 26: π/extract through COMP
         Expr::named("OneTup")
-            .comp(Pred::cmp(Expr::input().extract("x"), CmpOp::Lt, Expr::int(10)))
+            .comp(Pred::cmp(
+                Expr::input().extract("x"),
+                CmpOp::Lt,
+                Expr::int(10),
+            ))
             .project(["x"]),
         Expr::named("OneTup")
-            .comp(Pred::cmp(Expr::input().extract("x"), CmpOp::Lt, Expr::int(10)))
+            .comp(Pred::cmp(
+                Expr::input().extract("x"),
+                CmpOp::Lt,
+                Expr::int(10),
+            ))
             .extract("x"),
         // rule 27: nested COMPs
         Expr::named("OneTup")
-            .comp(Pred::cmp(Expr::input().extract("x"), CmpOp::Lt, Expr::int(10)))
-            .comp(Pred::cmp(Expr::input().extract("x"), CmpOp::Gt, Expr::int(0))),
+            .comp(Pred::cmp(
+                Expr::input().extract("x"),
+                CmpOp::Lt,
+                Expr::int(10),
+            ))
+            .comp(Pred::cmp(
+                Expr::input().extract("x"),
+                CmpOp::Gt,
+                Expr::int(0),
+            )),
         // rule 28: REF/DEREF cancellation (modulo identity)
         Expr::named("OneTup").make_ref("Person2Cell").deref(),
         // rel rules: σ chains, join pushdown, σ over ⊎, DE idempotence
@@ -182,9 +219,11 @@ fn seeds() -> Vec<Expr> {
         s().dup_elim().dup_elim(),
         s().set_apply(Expr::input().extract("name")).dup_elim(),
         // rel6: σ through SET_COLLAPSE (both directions)
-        Expr::named("Nested").set_collapse().select(
-            Pred::cmp(Expr::input(), CmpOp::Ge, Expr::int(1)),
-        ),
+        Expr::named("Nested").set_collapse().select(Pred::cmp(
+            Expr::input(),
+            CmpOp::Ge,
+            Expr::int(1),
+        )),
         Expr::SetCollapse(Box::new(Expr::named("Nested").set_apply(Expr::Select {
             input: Box::new(Expr::input()),
             pred: Pred::cmp(Expr::input(), CmpOp::Ge, Expr::int(2)),
@@ -214,7 +253,8 @@ fn seeds() -> Vec<Expr> {
 #[test]
 fn every_reachable_rewrite_is_semantics_preserving() {
     let mut db = database();
-    db.execute("define type Person2Cell: (x: int4, y: char[])").unwrap();
+    db.execute("define type Person2Cell: (x: int4, y: char[])")
+        .unwrap();
     let opt = Optimizer::standard();
     let mut fired: HashSet<&'static str> = HashSet::new();
     let mut checked = 0usize;
@@ -224,13 +264,16 @@ fn every_reachable_rewrite_is_semantics_preserving() {
             .run_plan(&seed)
             .unwrap_or_else(|e| panic!("seed eval failed for {seed}: {e}"));
         let base_canon = canonical_form(&base, db.store());
-        let ctx = RuleCtx { registry: db.registry(), schemas: db.catalog() };
+        let ctx = RuleCtx {
+            registry: db.registry(),
+            schemas: db.catalog(),
+        };
         let neighbors = opt.neighbors(&seed, &ctx);
         for (rule, alt) in neighbors {
             fired.insert(rule);
-            let out = db
-                .run_plan(&alt)
-                .unwrap_or_else(|e| panic!("rule {rule} broke evaluation:\n  {seed}\n→ {alt}\n{e}"));
+            let out = db.run_plan(&alt).unwrap_or_else(|e| {
+                panic!("rule {rule} broke evaluation:\n  {seed}\n→ {alt}\n{e}")
+            });
             let out_canon = canonical_form(&out, db.store());
             assert_eq!(
                 base_canon, out_canon,
@@ -279,7 +322,10 @@ fn every_reachable_rewrite_is_semantics_preserving() {
         "dispatch1-lift-singleton-switch",
         "dispatch2-switch-to-union",
     ] {
-        assert!(fired.contains(expected), "rule `{expected}` never fired; fired = {fired:?}");
+        assert!(
+            fired.contains(expected),
+            "rule `{expected}` never fired; fired = {fired:?}"
+        );
     }
 }
 
@@ -296,7 +342,10 @@ fn two_step_exploration_stays_sound() {
     let base = db.run_plan(&seed).unwrap();
     let mut opt = Optimizer::standard();
     opt.max_plans = 64;
-    let ctx = RuleCtx { registry: db.registry(), schemas: db.catalog() };
+    let ctx = RuleCtx {
+        registry: db.registry(),
+        schemas: db.catalog(),
+    };
     let plans = opt.explore(&seed, &ctx);
     assert!(plans.len() > 5, "exploration too shallow: {}", plans.len());
     for p in plans {
@@ -314,9 +363,11 @@ fn rel2_join_pushdown_fires_and_is_sound() {
             ("a", SchemaType::int4()),
             ("b", SchemaType::chars()),
         ])),
-        Value::set((0..6).map(|i| {
-            Value::tuple([("a", Value::int(i % 3)), ("b", Value::str(format!("b{i}")))])
-        })),
+        Value::set(
+            (0..6).map(|i| {
+                Value::tuple([("a", Value::int(i % 3)), ("b", Value::str(format!("b{i}")))])
+            }),
+        ),
     );
     db.put_object(
         "R",
@@ -324,9 +375,11 @@ fn rel2_join_pushdown_fires_and_is_sound() {
             ("c", SchemaType::int4()),
             ("d", SchemaType::chars()),
         ])),
-        Value::set((0..5).map(|i| {
-            Value::tuple([("c", Value::int(i % 3)), ("d", Value::str(format!("d{i}")))])
-        })),
+        Value::set(
+            (0..5).map(|i| {
+                Value::tuple([("c", Value::int(i % 3)), ("d", Value::str(format!("d{i}")))])
+            }),
+        ),
     );
     let join = Expr::named("L").rel_join(
         Expr::named("R"),
@@ -338,7 +391,10 @@ fn rel2_join_pushdown_fires_and_is_sound() {
     );
     let base = db.run_plan(&join).unwrap();
     let opt = Optimizer::standard();
-    let ctx = RuleCtx { registry: db.registry(), schemas: db.catalog() };
+    let ctx = RuleCtx {
+        registry: db.registry(),
+        schemas: db.catalog(),
+    };
     let neighbors = opt.neighbors(&join, &ctx);
     let pushed: Vec<_> = neighbors
         .iter()

@@ -10,7 +10,9 @@ fn university_schema_round_trips_through_its_dump() {
     let ddl = original.dump_schema();
     // The dump is valid EXCESS…
     let mut fresh = Database::new();
-    fresh.execute(&ddl).unwrap_or_else(|e| panic!("dump did not re-execute: {e}\n{ddl}"));
+    fresh
+        .execute(&ddl)
+        .unwrap_or_else(|e| panic!("dump did not re-execute: {e}\n{ddl}"));
     // …and reproduces both the type hierarchy and the object schemas.
     assert_eq!(fresh.registry().len(), original.registry().len());
     for id in original.registry().all_ids() {
@@ -40,7 +42,10 @@ fn dump_mentions_inheritance_and_fixed_arrays() {
     let db = generate(&UniversityParams::tiny()).unwrap().db;
     let ddl = db.dump_schema();
     assert!(ddl.contains("inherits Person"), "{ddl}");
-    assert!(ddl.contains("create TopTen: array [1..10] of ref Employee"), "{ddl}");
+    assert!(
+        ddl.contains("create TopTen: array [1..10] of ref Employee"),
+        "{ddl}"
+    );
     assert!(ddl.contains("create P: { Person }"), "{ddl}");
 }
 
@@ -50,8 +55,7 @@ fn deeply_nested_queries_do_not_overflow() {
     // evaluable and inferable.
     let mut db = Database::new();
     db.execute("retrieve ({ 1, 2, 3 }) into N").unwrap();
-    let src =
-        "retrieve (sum(sum(sum(x + y + z from z in N) from y in N) from x in N))";
+    let src = "retrieve (sum(sum(sum(x + y + z from z in N) from y in N) from x in N))";
     let out = db.execute(src).unwrap();
     // Σx Σy Σz (x+y+z) over {1,2,3}³ = 3·(Σ over 27 terms)… check by hand:
     // inner-most per (x,y): Σz (x+y+z) = 3(x+y)+6; next: Σy = 9x+18+18? —

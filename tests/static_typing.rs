@@ -11,11 +11,17 @@ fn paper_queries_infer_sensible_schemas() {
     let p3 = db.plan_for(excess::workload::queries::FIGURE3).unwrap();
     assert_eq!(
         db.infer_schema(&p3).unwrap(),
-        SchemaType::tuple([("name", SchemaType::chars()), ("salary", SchemaType::int4())])
+        SchemaType::tuple([
+            ("name", SchemaType::chars()),
+            ("salary", SchemaType::int4())
+        ])
     );
     // Figure 4: a multiset of names.
     let p4 = db.plan_for(excess::workload::queries::FIGURE4).unwrap();
-    assert_eq!(db.infer_schema(&p4).unwrap(), SchemaType::set(SchemaType::chars()));
+    assert_eq!(
+        db.infer_schema(&p4).unwrap(),
+        SchemaType::set(SchemaType::chars())
+    );
 }
 
 #[test]

@@ -20,9 +20,15 @@ fn db_nums() -> Database {
 fn set_operators_in_expressions() {
     let mut db = db_nums();
     for (src, expect) in [
-        ("retrieve (A uplus B)", Value::set([3, 1, 1, 2, 2, 4].map(Value::int))),
+        (
+            "retrieve (A uplus B)",
+            Value::set([3, 1, 1, 2, 2, 4].map(Value::int)),
+        ),
         ("retrieve (A - B)", Value::set([3, 1, 1].map(Value::int))),
-        ("retrieve (A union B)", Value::set([1, 1, 2, 3, 4].map(Value::int))),
+        (
+            "retrieve (A union B)",
+            Value::set([1, 1, 2, 3, 4].map(Value::int)),
+        ),
         ("retrieve (A intersect B)", Value::set([2].map(Value::int))),
         ("retrieve (de(A))", Value::set([1, 2, 3].map(Value::int))),
     ] {
@@ -35,8 +41,14 @@ fn set_operators_in_expressions() {
 #[test]
 fn array_functions() {
     let mut db = db_nums();
-    assert_eq!(db.execute("retrieve (arr_extract(Xs, 2))").unwrap(), Value::int(20));
-    assert_eq!(db.execute("retrieve (arr_extract(Xs, last))").unwrap(), Value::int(20));
+    assert_eq!(
+        db.execute("retrieve (arr_extract(Xs, 2))").unwrap(),
+        Value::int(20)
+    );
+    assert_eq!(
+        db.execute("retrieve (arr_extract(Xs, last))").unwrap(),
+        Value::int(20)
+    );
     assert_eq!(
         db.execute("retrieve (subarr(Xs, 2, 3))").unwrap(),
         Value::array([20, 30].map(Value::int))
@@ -46,7 +58,11 @@ fn array_functions() {
         Value::array([10, 20, 30].map(Value::int))
     );
     assert_eq!(
-        db.execute("retrieve (arr_cat(Xs, [ 1 ]))").unwrap().as_array().unwrap().len(),
+        db.execute("retrieve (arr_cat(Xs, [ 1 ]))")
+            .unwrap()
+            .as_array()
+            .unwrap()
+            .len(),
         5
     );
     assert_eq!(
@@ -54,7 +70,8 @@ fn array_functions() {
         Value::array([10, 30, 20].map(Value::int))
     );
     assert_eq!(
-        db.execute("retrieve (collapse([ [ 1 ], [ 2, 3 ] ]))").unwrap(),
+        db.execute("retrieve (collapse([ [ 1 ], [ 2, 3 ] ]))")
+            .unwrap(),
         Value::array([1, 2, 3].map(Value::int))
     );
 }
@@ -67,13 +84,11 @@ fn tuple_functions_and_constructors() {
         Value::tuple([("a", Value::int(1)), ("b", Value::int(2))])
     );
     assert_eq!(
-        db.execute("retrieve (project((a: 1, b: 2, c: 3), c, a))").unwrap(),
+        db.execute("retrieve (project((a: 1, b: 2, c: 3), c, a))")
+            .unwrap(),
         Value::tuple([("c", Value::int(3)), ("a", Value::int(1))])
     );
-    assert_eq!(
-        db.execute("retrieve (((a: 7)).a)").unwrap(),
-        Value::int(7)
-    );
+    assert_eq!(db.execute("retrieve (((a: 7)).a)").unwrap(), Value::int(7));
     assert_eq!(
         db.execute("retrieve (())").unwrap(),
         Value::Tuple(excess::types::Tuple::empty())
@@ -84,11 +99,13 @@ fn tuple_functions_and_constructors() {
 fn the_and_aggregates() {
     let mut db = db_nums();
     assert_eq!(db.execute("retrieve (the({ 9 }))").unwrap(), Value::int(9));
-    assert!(db.execute("retrieve (the({ }))").is_err() || {
-        // `{ }` parses as the empty set literal; `the` of it is dne.
-        let v = db.execute("retrieve (the({ }))").unwrap();
-        v.is_dne()
-    });
+    assert!(
+        db.execute("retrieve (the({ }))").is_err() || {
+            // `{ }` parses as the empty set literal; `the` of it is dne.
+            let v = db.execute("retrieve (the({ }))").unwrap();
+            v.is_dne()
+        }
+    );
     assert_eq!(db.execute("retrieve (min(A))").unwrap(), Value::int(1));
     assert_eq!(db.execute("retrieve (max(A))").unwrap(), Value::int(3));
     assert_eq!(db.execute("retrieve (sum(A))").unwrap(), Value::int(7));
@@ -100,8 +117,14 @@ fn the_and_aggregates() {
 fn null_literals_flow_through_queries() {
     let mut db = db_nums();
     // dne vanishes from constructed multisets; unk survives.
-    assert_eq!(db.execute("retrieve (count({ 1, dne, 2 }))").unwrap(), Value::int(2));
-    assert_eq!(db.execute("retrieve (count({ 1, unk }))").unwrap(), Value::int(2));
+    assert_eq!(
+        db.execute("retrieve (count({ 1, dne, 2 }))").unwrap(),
+        Value::int(2)
+    );
+    assert_eq!(
+        db.execute("retrieve (count({ 1, unk }))").unwrap(),
+        Value::int(2)
+    );
     // Comparisons with unk are unknown: the qualifying element becomes unk.
     let out = db
         .execute("retrieve (x) from x in A where x = unk")
@@ -133,9 +156,13 @@ fn exact_filters_by_runtime_type() {
            append to P (name: "e", salary: 5)"#,
     )
     .unwrap();
-    let only_p = db.execute("retrieve (x.name) from x in exact(P, Person)").unwrap();
+    let only_p = db
+        .execute("retrieve (x.name) from x in exact(P, Person)")
+        .unwrap();
     assert_eq!(only_p, Value::set([Value::str("p")]));
-    let only_e = db.execute("retrieve (x.salary) from x in exact(P, Employee)").unwrap();
+    let only_e = db
+        .execute("retrieve (x.salary) from x in exact(P, Employee)")
+        .unwrap();
     assert_eq!(only_e, Value::set([Value::int(5)]));
     let both = db
         .execute("retrieve (x.name) from x in exact(P, Person, Employee)")
@@ -160,12 +187,16 @@ fn mkref_and_deref_round_trip() {
     db.execute("define type Cell: (v: int4)").unwrap();
     // With the optimizer OFF, deref(mkref(x)) really mints an object…
     db.optimize = false;
-    let out = db.execute("retrieve (deref(mkref((v: 5), Cell)).v)").unwrap();
+    let out = db
+        .execute("retrieve (deref(mkref((v: 5), Cell)).v)")
+        .unwrap();
     assert_eq!(out, Value::int(5));
     assert_eq!(db.store().len(), 1);
     // …and with it ON, rule 28 cancels the pair: same value, no mint.
     db.optimize = true;
-    let out2 = db.execute("retrieve (deref(mkref((v: 5), Cell)).v)").unwrap();
+    let out2 = db
+        .execute("retrieve (deref(mkref((v: 5), Cell)).v)")
+        .unwrap();
     assert_eq!(out2, Value::int(5));
     assert_eq!(db.store().len(), 1, "rule 28 should have cancelled the REF");
 }
@@ -174,7 +205,10 @@ fn mkref_and_deref_round_trip() {
 fn arithmetic_precedence_and_unary_minus() {
     let mut db = db_nums();
     assert_eq!(db.execute("retrieve (2 + 3 * 4)").unwrap(), Value::int(14));
-    assert_eq!(db.execute("retrieve ((2 + 3) * 4)").unwrap(), Value::int(20));
+    assert_eq!(
+        db.execute("retrieve ((2 + 3) * 4)").unwrap(),
+        Value::int(20)
+    );
     assert_eq!(db.execute("retrieve (- 5 + 1)").unwrap(), Value::int(-4));
     assert_eq!(db.execute("retrieve (7 / 2)").unwrap(), Value::int(3));
     assert_eq!(db.execute("retrieve (7.0 / 2)").unwrap(), Value::float(3.5));
@@ -184,13 +218,13 @@ fn arithmetic_precedence_and_unary_minus() {
 fn error_paths_are_reported_not_panicked() {
     let mut db = db_nums();
     for src in [
-        "retrieve (1 / 0)",                     // division by zero
-        "retrieve (Nope)",                      // unknown object
-        "retrieve (the(Xs))",                   // the() over an array
-        "retrieve (A uplus Xs)",                // sort mismatch set/array
-        "create A: { int4 }",                   // already exists
-        "append to Nope (1)",                   // unknown target
-        "retrieve (x) from x in A where x in 3",// `in` needs a multiset
+        "retrieve (1 / 0)",                      // division by zero
+        "retrieve (Nope)",                       // unknown object
+        "retrieve (the(Xs))",                    // the() over an array
+        "retrieve (A uplus Xs)",                 // sort mismatch set/array
+        "create A: { int4 }",                    // already exists
+        "append to Nope (1)",                    // unknown target
+        "retrieve (x) from x in A where x in 3", // `in` needs a multiset
     ] {
         assert!(db.execute(src).is_err(), "{src} should fail");
     }
@@ -199,7 +233,9 @@ fn error_paths_are_reported_not_panicked() {
 #[test]
 fn explain_renders_a_tree_with_estimates() {
     let db = db_nums();
-    let plan = db.plan_for("retrieve (x + 1) from x in A where x >= 2").unwrap();
+    let plan = db
+        .plan_for("retrieve (x + 1) from x in A where x >= 2")
+        .unwrap();
     let text = db.explain(&plan);
     assert!(text.contains("SET_APPLY"), "{text}");
     assert!(text.contains("est. cost"), "{text}");

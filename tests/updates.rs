@@ -28,7 +28,8 @@ fn append_and_count() {
 #[test]
 fn delete_by_object_name() {
     let mut db = dept_db();
-    db.execute("delete from Depts where Depts.floor = 3").unwrap();
+    db.execute("delete from Depts where Depts.floor = 3")
+        .unwrap();
     let names = db.execute("retrieve (D.name) from D in Depts").unwrap();
     assert_eq!(names, Value::set([Value::str("CS")]));
 }
@@ -37,7 +38,8 @@ fn delete_by_object_name() {
 fn delete_by_range_alias() {
     let mut db = dept_db();
     db.execute("range of D is Depts").unwrap();
-    db.execute(r#"delete from Depts where D.name = "CS""#).unwrap();
+    db.execute(r#"delete from Depts where D.name = "CS""#)
+        .unwrap();
     let n = db.execute("retrieve (count(Depts))").unwrap();
     assert_eq!(n, Value::int(2));
 }
@@ -60,7 +62,9 @@ fn replace_value_elements() {
 fn replace_without_filter_hits_everything() {
     let mut db = dept_db();
     db.execute(r#"replace Depts (name: "X")"#).unwrap();
-    let names = db.execute("retrieve unique (D.name) from D in Depts").unwrap();
+    let names = db
+        .execute("retrieve unique (D.name) from D in Depts")
+        .unwrap();
     assert_eq!(names, Value::set([Value::str("X")]));
 }
 
@@ -76,10 +80,8 @@ fn replace_through_references_preserves_identity() {
     )
     .unwrap();
     // Share Ada's identity into a second set.
-    db.execute(
-        r#"retrieve (x) from x in Emps where x.name = "Ada" into AdaRefs"#,
-    )
-    .unwrap();
+    db.execute(r#"retrieve (x) from x in Emps where x.name = "Ada" into AdaRefs"#)
+        .unwrap();
     let ada_ref = db
         .catalog()
         .value("AdaRefs")
@@ -93,11 +95,15 @@ fn replace_through_references_preserves_identity() {
     // Raise salaries through Emps…
     db.execute("replace Emps (salary: Emps.salary + 1000) where Emps.salary < 60000")
         .unwrap();
-    db.execute(r#"replace Emps (salary: 100000) where Emps.name = "Ada""#).unwrap();
+    db.execute(r#"replace Emps (salary: 100000) where Emps.name = "Ada""#)
+        .unwrap();
     // …and observe the change through the *shared* reference.
     let oid = ada_ref.as_ref_oid().unwrap();
     let ada = db.store().deref(oid).unwrap();
-    assert_eq!(ada.as_tuple().unwrap().get("salary").unwrap(), &Value::int(100_000));
+    assert_eq!(
+        ada.as_tuple().unwrap().get("salary").unwrap(),
+        &Value::int(100_000)
+    );
     let bob_salary = db
         .execute(r#"retrieve (the((retrieve (e.salary) from e in Emps where e.name = "Bob")))"#)
         .unwrap();
@@ -125,14 +131,17 @@ fn assign_into_fixed_array() {
            create Board: array [1..3] of ref Emp"#,
     )
     .unwrap();
-    db.execute(r#"assign Board[2] ((name: "Ada", salary: 1))"#).unwrap();
+    db.execute(r#"assign Board[2] ((name: "Ada", salary: 1))"#)
+        .unwrap();
     let v = db.execute("retrieve (Board[2].name)").unwrap();
     assert_eq!(v, Value::str("Ada"));
     // Unassigned slots are dne; extracting a field of dne stays dne.
     let empty = db.execute("retrieve (Board[1])").unwrap();
     assert!(empty.is_dne());
     // Out-of-range assigns are rejected.
-    assert!(db.execute(r#"assign Board[9] ((name: "X", salary: 2))"#).is_err());
+    assert!(db
+        .execute(r#"assign Board[9] ((name: "X", salary: 2))"#)
+        .is_err());
 }
 
 #[test]
@@ -147,14 +156,21 @@ fn updates_maintain_extent_indexes() {
     db.create_extent_index("P", "Person").unwrap();
     db.create_extent_index("P", "Employee").unwrap();
     db.execute(r#"append to P (name: "plain")"#).unwrap();
-    db.execute(r#"append to P (name: "emp", salary: 10)"#).unwrap();
+    db.execute(r#"append to P (name: "emp", salary: 10)"#)
+        .unwrap();
     let person_extent = db.catalog().value("P::exact::Person").unwrap();
     let employee_extent = db.catalog().value("P::exact::Employee").unwrap();
     assert_eq!(person_extent.as_set().unwrap().len(), 1);
     assert_eq!(employee_extent.as_set().unwrap().len(), 1);
-    db.execute(r#"delete from P where P.name = "plain""#).unwrap();
+    db.execute(r#"delete from P where P.name = "plain""#)
+        .unwrap();
     assert_eq!(
-        db.catalog().value("P::exact::Person").unwrap().as_set().unwrap().len(),
+        db.catalog()
+            .value("P::exact::Person")
+            .unwrap()
+            .as_set()
+            .unwrap()
+            .len(),
         0
     );
 }
@@ -162,7 +178,8 @@ fn updates_maintain_extent_indexes() {
 #[test]
 fn retrieve_into_creates_objects() {
     let mut db = dept_db();
-    db.execute("retrieve unique (D.floor) from D in Depts into Floors").unwrap();
+    db.execute("retrieve unique (D.floor) from D in Depts into Floors")
+        .unwrap();
     let floors = db.execute("retrieve (Floors)").unwrap();
     assert_eq!(floors, Value::set([Value::int(2), Value::int(3)]));
     // …and the derived object is queryable like any other.

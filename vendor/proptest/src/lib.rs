@@ -1,0 +1,124 @@
+//! Offline stand-in for the subset of the `proptest` crate this workspace
+//! uses.
+//!
+//! The build environment has no access to crates.io, so the property tests
+//! link against this minimal, dependency-free re-implementation: the
+//! [`strategy::Strategy`] trait with `prop_map` / `prop_recursive` /
+//! `boxed`, range and tuple strategies, a regex-lite string strategy, the
+//! `proptest!` / `prop_oneof!` / `prop_assert*!` / `prop_assume!` macros,
+//! and a deterministic case runner.  **No shrinking** is performed: a
+//! failing case panics with the standard assertion message.
+
+pub mod strategy;
+pub mod test_runner;
+
+/// `proptest::prelude` mirror: everything the tests import.
+pub mod prelude {
+    pub use crate::strategy::{any, BoxedStrategy, Just, Strategy, Union};
+    pub use crate::test_runner::Config as ProptestConfig;
+    pub use crate::{
+        prop, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+    };
+}
+
+/// `proptest::prop` module mirror (collection strategies).
+pub mod prop {
+    /// Collection strategies (`prop::collection::vec`).
+    pub mod collection {
+        pub use crate::strategy::collection_vec as vec;
+    }
+}
+
+/// Run a block of property tests.
+///
+/// Supports the forms used in this workspace:
+///
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(64))]
+///     #[test]
+///     fn prop_name(x in 0i32..10, v in prop::collection::vec(any::<bool>(), 0..4)) {
+///         prop_assert!(x >= 0);
+///     }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest! { @with_config ($cfg) $($rest)* }
+    };
+    (@with_config ($cfg:expr)
+        $(
+            #[test]
+            fn $name:ident ( $( $arg:ident in $strat:expr ),+ $(,)? ) $body:block
+        )*
+    ) => {
+        $(
+            #[test]
+            fn $name() {
+                let config: $crate::test_runner::Config = $cfg;
+                let seed_base = $crate::test_runner::fnv1a(
+                    concat!(module_path!(), "::", stringify!($name)).as_bytes(),
+                );
+                for case in 0..config.cases {
+                    let mut rng = $crate::test_runner::TestRng::new(
+                        seed_base ^ (case as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15),
+                    );
+                    $(
+                        let $arg = $crate::strategy::Strategy::generate(&($strat), &mut rng);
+                    )+
+                    let outcome: ::std::result::Result<(), $crate::test_runner::TestCaseSkip> =
+                        (|| {
+                            $body
+                            ::std::result::Result::Ok(())
+                        })();
+                    let _ = outcome; // Err means prop_assume! skipped the case.
+                }
+            }
+        )*
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest! { @with_config ($crate::test_runner::Config::default()) $($rest)* }
+    };
+}
+
+/// Uniform choice between strategies producing the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($strat)),+
+        ])
+    };
+}
+
+/// Assert inside a property (panics on failure; no shrinking).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => { assert!($cond) };
+    ($cond:expr, $($fmt:tt)*) => { assert!($cond, $($fmt)*) };
+}
+
+/// Equality assertion inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($l:expr, $r:expr) => { assert_eq!($l, $r) };
+    ($l:expr, $r:expr, $($fmt:tt)*) => { assert_eq!($l, $r, $($fmt)*) };
+}
+
+/// Inequality assertion inside a property.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($l:expr, $r:expr) => { assert_ne!($l, $r) };
+    ($l:expr, $r:expr, $($fmt:tt)*) => { assert_ne!($l, $r, $($fmt)*) };
+}
+
+/// Skip the current case when its inputs don't satisfy a precondition.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseSkip);
+        }
+    };
+}

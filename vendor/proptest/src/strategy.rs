@@ -1,0 +1,517 @@
+//! The `Strategy` trait and the combinators / base strategies the
+//! workspace's property tests use.
+//!
+//! Everything generates directly from a [`TestRng`]; there is no
+//! intermediate value tree and therefore no shrinking.
+
+use std::ops::{Range, RangeInclusive};
+use std::rc::Rc;
+
+use crate::test_runner::TestRng;
+
+/// A recipe for producing random values of `Self::Value`.
+pub trait Strategy {
+    /// The type of value this strategy generates.
+    type Value;
+
+    /// Draw one value from the strategy.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Transform generated values with `f`.
+    fn prop_map<U, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> U,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Type-erase the strategy behind a cheaply clonable handle.
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy(Rc::new(self))
+    }
+
+    /// Build a recursive strategy: `self` generates the leaves and
+    /// `recurse` wraps an inner strategy into one more level of nesting.
+    ///
+    /// `depth` bounds the nesting; `_size` and `_items` (the real
+    /// proptest's total-size and per-collection knobs) are accepted for
+    /// API compatibility but collection sizes here come from whatever
+    /// `recurse` builds.
+    fn prop_recursive<R, F>(
+        self,
+        depth: u32,
+        _size: u32,
+        _items: u32,
+        recurse: F,
+    ) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+        Self::Value: 'static,
+        R: Strategy<Value = Self::Value> + 'static,
+        F: Fn(BoxedStrategy<Self::Value>) -> R,
+    {
+        let mut cur = self.boxed();
+        for _ in 0..depth {
+            let deeper = recurse(cur.clone()).boxed();
+            // Each level: half leaves-so-far, half one-level-deeper.
+            cur = Union::new(vec![cur, deeper]).boxed();
+        }
+        cur
+    }
+}
+
+/// Result of [`Strategy::prop_map`].
+#[derive(Clone)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, F, U> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> U,
+{
+    type Value = U;
+
+    fn generate(&self, rng: &mut TestRng) -> U {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// A type-erased, cheaply clonable strategy handle.
+pub struct BoxedStrategy<T>(Rc<dyn Strategy<Value = T>>);
+
+impl<T> Clone for BoxedStrategy<T> {
+    fn clone(&self) -> Self {
+        BoxedStrategy(Rc::clone(&self.0))
+    }
+}
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        self.0.generate(rng)
+    }
+}
+
+/// Always generates a clone of the wrapped value.
+#[derive(Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Uniform choice among strategies with the same value type
+/// (what `prop_oneof!` builds).
+#[derive(Clone)]
+pub struct Union<T> {
+    arms: Vec<BoxedStrategy<T>>,
+}
+
+impl<T> Union<T> {
+    /// Choose uniformly among `arms`. Panics if `arms` is empty.
+    pub fn new(arms: Vec<BoxedStrategy<T>>) -> Self {
+        assert!(!arms.is_empty(), "Union requires at least one strategy");
+        Union { arms }
+    }
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        let i = rng.usize_inclusive(0, self.arms.len() - 1);
+        self.arms[i].generate(rng)
+    }
+}
+
+/// Types with a default "anything" strategy, used via [`any`].
+pub trait Arbitrary {
+    /// Draw an arbitrary value of this type.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Arbitrary for i32 {
+    fn arbitrary(rng: &mut TestRng) -> i32 {
+        // Bias toward boundary values, like the real proptest's edge bias.
+        match rng.next_u64() % 8 {
+            0 => 0,
+            1 => 1,
+            2 => -1,
+            3 => i32::MAX,
+            4 => i32::MIN,
+            _ => rng.next_u64() as i32,
+        }
+    }
+}
+
+impl Arbitrary for f64 {
+    fn arbitrary(rng: &mut TestRng) -> f64 {
+        // Finite values only (no NaN/infinities): boundary cases plus
+        // sign * mantissa * 10^exp across a wide dynamic range.
+        match rng.next_u64() % 8 {
+            0 => 0.0,
+            1 => -0.0,
+            2 => 1.0,
+            3 => -1.0,
+            4 => f64::MIN_POSITIVE,
+            _ => {
+                let sign = if rng.next_u64() & 1 == 0 { 1.0 } else { -1.0 };
+                let exp = rng.i128_inclusive(-12, 12) as i32;
+                sign * rng.unit_f64() * 10f64.powi(exp)
+            }
+        }
+    }
+}
+
+/// The default strategy for `T` (`any::<T>()`).
+pub struct Any<T> {
+    _marker: std::marker::PhantomData<T>,
+}
+
+impl<T> Clone for Any<T> {
+    fn clone(&self) -> Self {
+        Any {
+            _marker: std::marker::PhantomData,
+        }
+    }
+}
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// The strategy generating arbitrary values of `T`.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any {
+        _marker: std::marker::PhantomData,
+    }
+}
+
+/// Integer types that ranges can sample uniformly.
+pub trait UniformInt: Copy {
+    /// Widen to `i128` for span arithmetic.
+    fn to_i128(self) -> i128;
+    /// Narrow back (value is guaranteed in range).
+    fn from_i128(v: i128) -> Self;
+}
+
+macro_rules! impl_uniform_int {
+    ($($t:ty),*) => {$(
+        impl UniformInt for $t {
+            fn to_i128(self) -> i128 {
+                self as i128
+            }
+            fn from_i128(v: i128) -> Self {
+                v as $t
+            }
+        }
+    )*};
+}
+
+impl_uniform_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl<T: UniformInt> Strategy for Range<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        let (lo, hi) = (self.start.to_i128(), self.end.to_i128());
+        assert!(lo < hi, "cannot sample from an empty range");
+        T::from_i128(rng.i128_inclusive(lo, hi - 1))
+    }
+}
+
+impl<T: UniformInt> Strategy for RangeInclusive<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        let (lo, hi) = (self.start().to_i128(), self.end().to_i128());
+        T::from_i128(rng.i128_inclusive(lo, hi))
+    }
+}
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+
+    fn generate(&self, rng: &mut TestRng) -> f64 {
+        assert!(self.start < self.end, "cannot sample from an empty range");
+        self.start + rng.unit_f64() * (self.end - self.start)
+    }
+}
+
+/// `&'static str` strategies interpret the string as a tiny regex subset:
+/// literal characters, `[a-z0-9_]`-style classes, `\PC` (any printable
+/// char), each optionally followed by `{n}` or `{m,n}`.
+impl Strategy for &'static str {
+    type Value = String;
+
+    fn generate(&self, rng: &mut TestRng) -> String {
+        generate_from_pattern(self, rng)
+    }
+}
+
+macro_rules! impl_tuple_strategy {
+    ($(($($s:ident / $idx:tt),+))*) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    )*};
+}
+
+impl_tuple_strategy! {
+    (A/0, B/1)
+    (A/0, B/1, C/2)
+    (A/0, B/1, C/2, D/3)
+}
+
+/// Strategy for `Vec<S::Value>` with length drawn from a range
+/// (`prop::collection::vec`).
+pub struct VecStrategy<S> {
+    elem: S,
+    len: Range<usize>,
+}
+
+impl<S: Clone> Clone for VecStrategy<S> {
+    fn clone(&self) -> Self {
+        VecStrategy {
+            elem: self.elem.clone(),
+            len: self.len.clone(),
+        }
+    }
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+
+    fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+        assert!(
+            self.len.start < self.len.end,
+            "cannot sample from an empty range"
+        );
+        let n = rng.usize_inclusive(self.len.start, self.len.end - 1);
+        (0..n).map(|_| self.elem.generate(rng)).collect()
+    }
+}
+
+/// `prop::collection::vec(element, size_range)`.
+pub fn collection_vec<S: Strategy>(elem: S, len: Range<usize>) -> VecStrategy<S> {
+    VecStrategy { elem, len }
+}
+
+// ---------------------------------------------------------------------------
+// Regex-lite string generation
+// ---------------------------------------------------------------------------
+
+enum Atom {
+    /// Concrete characters to choose among (a literal or a class).
+    Choice(Vec<char>),
+    /// `\PC`: any printable character.
+    Printable,
+}
+
+/// Parse the pattern subset and emit one random instance.
+fn generate_from_pattern(pattern: &str, rng: &mut TestRng) -> String {
+    let chars: Vec<char> = pattern.chars().collect();
+    let mut out = String::new();
+    let mut i = 0;
+    while i < chars.len() {
+        let atom = match chars[i] {
+            '[' => {
+                let close = chars[i..]
+                    .iter()
+                    .position(|&c| c == ']')
+                    .map(|p| i + p)
+                    .unwrap_or_else(|| panic!("unclosed '[' in pattern {pattern:?}"));
+                let set = parse_class(&chars[i + 1..close]);
+                i = close + 1;
+                Atom::Choice(set)
+            }
+            '\\' => {
+                // Only `\PC` (printable char) is supported.
+                if chars.get(i + 1) == Some(&'P') && chars.get(i + 2) == Some(&'C') {
+                    i += 3;
+                    Atom::Printable
+                } else {
+                    // Escaped literal, e.g. `\.`.
+                    let c = *chars
+                        .get(i + 1)
+                        .unwrap_or_else(|| panic!("dangling '\\' in pattern {pattern:?}"));
+                    i += 2;
+                    Atom::Choice(vec![c])
+                }
+            }
+            c => {
+                i += 1;
+                Atom::Choice(vec![c])
+            }
+        };
+        let (min, max) = parse_quantifier(&chars, &mut i, pattern);
+        let n = rng.usize_inclusive(min, max);
+        for _ in 0..n {
+            match &atom {
+                Atom::Choice(set) => {
+                    out.push(set[rng.usize_inclusive(0, set.len() - 1)]);
+                }
+                Atom::Printable => out.push(printable_char(rng)),
+            }
+        }
+    }
+    out
+}
+
+/// Expand `a-z` ranges and single chars inside a `[...]` class.
+fn parse_class(body: &[char]) -> Vec<char> {
+    let mut set = Vec::new();
+    let mut i = 0;
+    while i < body.len() {
+        if i + 2 < body.len() && body[i + 1] == '-' {
+            let (lo, hi) = (body[i] as u32, body[i + 2] as u32);
+            assert!(lo <= hi, "inverted range in character class");
+            set.extend((lo..=hi).filter_map(char::from_u32));
+            i += 3;
+        } else {
+            set.push(body[i]);
+            i += 1;
+        }
+    }
+    assert!(!set.is_empty(), "empty character class");
+    set
+}
+
+/// Parse an optional `{n}` / `{m,n}` following an atom; default `{1}`.
+fn parse_quantifier(chars: &[char], i: &mut usize, pattern: &str) -> (usize, usize) {
+    if chars.get(*i) != Some(&'{') {
+        return (1, 1);
+    }
+    let close = chars[*i..]
+        .iter()
+        .position(|&c| c == '}')
+        .map(|p| *i + p)
+        .unwrap_or_else(|| panic!("unclosed '{{' in pattern {pattern:?}"));
+    let body: String = chars[*i + 1..close].iter().collect();
+    *i = close + 1;
+    let parse = |s: &str| -> usize {
+        s.trim()
+            .parse()
+            .unwrap_or_else(|_| panic!("bad quantifier in pattern {pattern:?}"))
+    };
+    match body.split_once(',') {
+        Some((m, n)) => (parse(m), parse(n)),
+        None => {
+            let n = parse(&body);
+            (n, n)
+        }
+    }
+}
+
+/// A printable character: mostly ASCII graphic/space, occasionally a
+/// multi-byte codepoint to exercise UTF-8 handling.
+fn printable_char(rng: &mut TestRng) -> char {
+    if rng.next_u64().is_multiple_of(10) {
+        const EXOTIC: [char; 8] = ['é', 'ß', 'λ', '∧', '中', '文', '†', '😀'];
+        EXOTIC[rng.usize_inclusive(0, EXOTIC.len() - 1)]
+    } else {
+        char::from_u32(rng.usize_inclusive(0x20, 0x7e) as u32).unwrap()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_runner::TestRng;
+
+    #[test]
+    fn ranges_respect_bounds() {
+        let mut rng = TestRng::new(3);
+        for _ in 0..500 {
+            let x = (-4i32..8).generate(&mut rng);
+            assert!((-4..8).contains(&x));
+            let y = (1u8..=12).generate(&mut rng);
+            assert!((1..=12).contains(&y));
+            let f = (-1.0e6f64..1.0e6).generate(&mut rng);
+            assert!((-1.0e6..1.0e6).contains(&f));
+        }
+    }
+
+    #[test]
+    fn string_patterns_match_shape() {
+        let mut rng = TestRng::new(4);
+        for _ in 0..200 {
+            let s = "[a-z]{0,6}".generate(&mut rng);
+            assert!(s.len() <= 6);
+            assert!(s.chars().all(|c| c.is_ascii_lowercase()));
+
+            let one = "[a-c]".generate(&mut rng);
+            assert_eq!(one.chars().count(), 1);
+            assert!(matches!(one.chars().next().unwrap(), 'a'..='c'));
+
+            let p = "\\PC{0,120}".generate(&mut rng);
+            assert!(p.chars().count() <= 120);
+            assert!(!p.chars().any(|c| c.is_control()));
+        }
+    }
+
+    #[test]
+    fn map_union_just_vec_compose() {
+        let mut rng = TestRng::new(5);
+        let strat = collection_vec(
+            crate::prop_oneof![Just(0i32), (10i32..20).prop_map(|v| v * 2)],
+            0..5,
+        );
+        for _ in 0..200 {
+            let v = strat.generate(&mut rng);
+            assert!(v.len() < 5);
+            assert!(v.iter().all(|&x| x == 0 || (20..40).contains(&x)));
+        }
+    }
+
+    #[test]
+    fn recursive_strategies_terminate() {
+        #[derive(Debug, Clone)]
+        enum T {
+            #[allow(dead_code)]
+            Leaf(i32),
+            Node(Vec<T>),
+        }
+        fn depth(t: &T) -> usize {
+            match t {
+                T::Leaf(_) => 0,
+                T::Node(k) => 1 + k.iter().map(depth).max().unwrap_or(0),
+            }
+        }
+        let strat = (0i32..10)
+            .prop_map(T::Leaf)
+            .prop_recursive(3, 16, 4, |inner| {
+                collection_vec(inner, 0..3).prop_map(T::Node)
+            });
+        let mut rng = TestRng::new(6);
+        for _ in 0..200 {
+            assert!(depth(&strat.generate(&mut rng)) <= 3);
+        }
+    }
+}

@@ -1,0 +1,115 @@
+//! Deterministic case runner: config, RNG, and the skip marker used by
+//! `prop_assume!`.
+
+/// Per-block test configuration (`#![proptest_config(...)]`).
+#[derive(Debug, Clone)]
+pub struct Config {
+    /// Number of random cases each property runs.
+    pub cases: u32,
+}
+
+impl Config {
+    /// A config running `cases` random cases per property.
+    pub fn with_cases(cases: u32) -> Self {
+        Config { cases }
+    }
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config { cases: 256 }
+    }
+}
+
+/// Returned (via `Err`) by a test body when `prop_assume!` rejects the
+/// generated inputs; the runner moves on to the next case.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TestCaseSkip;
+
+/// FNV-1a hash, used to derive a per-test seed from its full path so
+/// different properties see different (but stable) streams.
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Deterministic SplitMix64 generator driving all strategies.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Seed a new stream.
+    pub fn new(seed: u64) -> Self {
+        TestRng {
+            state: seed.wrapping_add(0x9e37_79b9_7f4a_7c15),
+        }
+    }
+
+    /// Next 64 random bits (SplitMix64).
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform `usize` in `[lo, hi]` (inclusive). Panics if `lo > hi`.
+    pub fn usize_inclusive(&mut self, lo: usize, hi: usize) -> usize {
+        assert!(lo <= hi, "cannot sample from an empty range");
+        let span = (hi - lo) as u128 + 1;
+        lo + (self.next_u64() as u128 % span) as usize
+    }
+
+    /// Uniform `i128` in `[lo, hi]` (inclusive). Panics if `lo > hi`.
+    pub fn i128_inclusive(&mut self, lo: i128, hi: i128) -> i128 {
+        assert!(lo <= hi, "cannot sample from an empty range");
+        let span = (hi - lo) as u128 + 1;
+        lo + (self.next_u64() as u128 % span) as i128
+    }
+
+    /// Uniform float in `[0, 1)` with 53 mantissa bits.
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rng_is_deterministic() {
+        let mut a = TestRng::new(41);
+        let mut b = TestRng::new(41);
+        for _ in 0..16 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn inclusive_bounds_hold() {
+        let mut rng = TestRng::new(7);
+        for _ in 0..500 {
+            let x = rng.usize_inclusive(3, 9);
+            assert!((3..=9).contains(&x));
+            let y = rng.i128_inclusive(-4, 4);
+            assert!((-4..=4).contains(&y));
+            let u = rng.unit_f64();
+            assert!((0.0..1.0).contains(&u));
+        }
+        // Degenerate one-point range.
+        assert_eq!(rng.usize_inclusive(5, 5), 5);
+    }
+
+    #[test]
+    fn fnv1a_distinguishes_names() {
+        assert_ne!(fnv1a(b"mod::a"), fnv1a(b"mod::b"));
+    }
+}

@@ -1,0 +1,153 @@
+//! Offline stand-in for the subset of the `rand` crate this workspace uses.
+//!
+//! The build environment has no access to crates.io, so the workspace
+//! vendors a tiny, deterministic implementation of the `rand` API surface
+//! the workload generators need: `StdRng`, `SeedableRng::seed_from_u64`,
+//! `Rng::gen_range` over integer ranges, and `Rng::gen_bool`.
+//!
+//! The generator is SplitMix64 — not cryptographic, not a match for the
+//! real `StdRng` stream, but stable across runs for a given seed, which is
+//! all the workload generators rely on.
+
+/// Seedable random number generators.
+pub trait SeedableRng: Sized {
+    /// Construct a generator from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// The sampling surface used by the workspace.
+pub trait Rng {
+    /// Next raw 64 random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Uniform sample from an integer range (`a..b` or `a..=b`).
+    ///
+    /// Panics on empty ranges, like the real `rand`.
+    fn gen_range<T, R>(&mut self, range: R) -> T
+    where
+        T: SampleUniform,
+        R: RangeBounds<T>,
+    {
+        let (lo, hi_inclusive) = range.to_inclusive_bounds();
+        T::sample_inclusive(self.next_u64(), lo, hi_inclusive)
+    }
+
+    /// Bernoulli sample: `true` with probability `p` (clamped to [0, 1]).
+    fn gen_bool(&mut self, p: f64) -> bool {
+        let p = p.clamp(0.0, 1.0);
+        // 53 uniform mantissa bits → a float in [0, 1).
+        let u = (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+        u < p
+    }
+}
+
+/// Integer types `gen_range` can sample.
+pub trait SampleUniform: Copy + PartialOrd {
+    /// Map 64 random bits onto `[lo, hi]` (inclusive).
+    fn sample_inclusive(bits: u64, lo: Self, hi: Self) -> Self;
+    /// The value one below `self` (for converting exclusive upper bounds).
+    fn decrement(self) -> Self;
+}
+
+macro_rules! impl_sample_uniform {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_inclusive(bits: u64, lo: Self, hi: Self) -> Self {
+                assert!(lo <= hi, "cannot sample from an empty range");
+                let span = (hi as i128 - lo as i128 + 1) as u128;
+                (lo as i128 + (bits as u128 % span) as i128) as $t
+            }
+            fn decrement(self) -> Self {
+                self - 1
+            }
+        }
+    )*};
+}
+
+impl_sample_uniform!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// The two range shapes `gen_range` accepts.
+pub trait RangeBounds<T: SampleUniform> {
+    /// `(low, high)` with an *inclusive* high bound.
+    fn to_inclusive_bounds(&self) -> (T, T);
+}
+
+impl<T: SampleUniform> RangeBounds<T> for std::ops::Range<T> {
+    fn to_inclusive_bounds(&self) -> (T, T) {
+        assert!(self.start < self.end, "cannot sample from an empty range");
+        (self.start, self.end.decrement())
+    }
+}
+
+impl<T: SampleUniform> RangeBounds<T> for std::ops::RangeInclusive<T> {
+    fn to_inclusive_bounds(&self) -> (T, T) {
+        (*self.start(), *self.end())
+    }
+}
+
+/// Deterministic SplitMix64 generator standing in for `rand::rngs::StdRng`.
+#[derive(Debug, Clone)]
+pub struct StdRng {
+    state: u64,
+}
+
+impl SeedableRng for StdRng {
+    fn seed_from_u64(seed: u64) -> Self {
+        StdRng {
+            state: seed.wrapping_add(0x9e37_79b9_7f4a_7c15),
+        }
+    }
+}
+
+impl Rng for StdRng {
+    fn next_u64(&mut self) -> u64 {
+        // SplitMix64 (Steele, Lea & Flood 2014).
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+}
+
+/// `rand::rngs` module mirror.
+pub mod rngs {
+    pub use super::StdRng;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..32 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn gen_range_respects_bounds() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..1000 {
+            let x: i32 = rng.gen_range(-5..10);
+            assert!((-5..10).contains(&x));
+            let y: u8 = rng.gen_range(1..=12);
+            assert!((1..=12).contains(&y));
+            let z: usize = rng.gen_range(0..3);
+            assert!(z < 3);
+        }
+    }
+
+    #[test]
+    fn gen_bool_extremes() {
+        let mut rng = StdRng::seed_from_u64(2);
+        assert!(!rng.gen_bool(0.0));
+        assert!(rng.gen_bool(1.0));
+        // A fair coin lands on both sides within 64 throws.
+        let flips: Vec<bool> = (0..64).map(|_| rng.gen_bool(0.5)).collect();
+        assert!(flips.iter().any(|b| *b) && flips.iter().any(|b| !*b));
+    }
+}
