@@ -10,16 +10,39 @@
 //! regarding arrays need not be applied").
 
 use crate::expr::{Expr, Func, Pred};
+use crate::profile::{path_string, NodePath};
 use excess_types::{Scalar, ScalarType, SchemaType, TypeRegistry, Value};
 use std::fmt;
 
-/// Inference failure (carries a human-readable reason).
+/// Inference failure: a human-readable reason plus the path of the node it
+/// was detected at (child indices from the root, [`Expr::children`] order —
+/// the same scheme the optimizer's `neighbors_at` and the profiler use).
 #[derive(Debug, Clone, PartialEq, Eq)]
-pub struct InferError(pub String);
+pub struct InferError {
+    /// Where in the plan the failure was detected.
+    pub path: NodePath,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl InferError {
+    /// Build an error at the given node path.
+    pub fn new(path: NodePath, message: impl Into<String>) -> Self {
+        InferError {
+            path,
+            message: message.into(),
+        }
+    }
+}
 
 impl fmt::Display for InferError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "type inference failed: {}", self.0)
+        write!(
+            f,
+            "type inference failed at {}: {}",
+            path_string(&self.path),
+            self.message
+        )
     }
 }
 
@@ -99,32 +122,48 @@ pub fn value_schema(v: &Value, reg: &TypeRegistry) -> SchemaType {
     }
 }
 
-fn err(msg: impl Into<String>) -> InferError {
-    InferError(msg.into())
-}
-
-/// Resolve `Named` one level so structure is visible.
-fn resolve(t: SchemaType, reg: &TypeRegistry) -> Result<SchemaType, InferError> {
+/// Resolve `Named` one level so structure is visible.  Errors are
+/// attributed to the node at `path`.
+fn resolve(t: SchemaType, reg: &TypeRegistry, path: &[usize]) -> Result<SchemaType, InferError> {
     match t {
         SchemaType::Named(n) => {
-            let id = reg.lookup(&n).map_err(|e| err(e.to_string()))?;
-            reg.full_body(id).map_err(|e| err(e.to_string()))
+            let id = reg
+                .lookup(&n)
+                .map_err(|e| InferError::new(path.to_vec(), e.to_string()))?;
+            reg.full_body(id)
+                .map_err(|e| InferError::new(path.to_vec(), e.to_string()))
         }
         other => Ok(other),
     }
 }
 
-fn elem_of_set(t: SchemaType, reg: &TypeRegistry, op: &str) -> Result<SchemaType, InferError> {
-    match resolve(t, reg)? {
+fn elem_of_set(
+    t: SchemaType,
+    reg: &TypeRegistry,
+    op: &str,
+    path: &[usize],
+) -> Result<SchemaType, InferError> {
+    match resolve(t, reg, path)? {
         SchemaType::Set(e) => Ok(*e),
-        other => Err(err(format!("{op}: expected multiset, found {other}"))),
+        other => Err(InferError::new(
+            path.to_vec(),
+            format!("{op}: expected multiset, found {other}"),
+        )),
     }
 }
 
-fn elem_of_arr(t: SchemaType, reg: &TypeRegistry, op: &str) -> Result<SchemaType, InferError> {
-    match resolve(t, reg)? {
+fn elem_of_arr(
+    t: SchemaType,
+    reg: &TypeRegistry,
+    op: &str,
+    path: &[usize],
+) -> Result<SchemaType, InferError> {
+    match resolve(t, reg, path)? {
         SchemaType::Arr { elem, .. } => Ok(*elem),
-        other => Err(err(format!("{op}: expected array, found {other}"))),
+        other => Err(InferError::new(
+            path.to_vec(),
+            format!("{op}: expected array, found {other}"),
+        )),
     }
 }
 
@@ -132,16 +171,20 @@ fn fields_of(
     t: SchemaType,
     reg: &TypeRegistry,
     op: &str,
+    path: &[usize],
 ) -> Result<Vec<(String, SchemaType)>, InferError> {
-    match resolve(t, reg)? {
+    match resolve(t, reg, path)? {
         SchemaType::Tup(fs) => Ok(fs),
-        other => Err(err(format!("{op}: expected tuple, found {other}"))),
+        other => Err(InferError::new(
+            path.to_vec(),
+            format!("{op}: expected tuple, found {other}"),
+        )),
     }
 }
 
 /// Concatenate tuple field lists with the same clash-priming rule as
 /// [`excess_types::Tuple::cat`].
-fn cat_fields(
+pub(crate) fn cat_fields(
     mut a: Vec<(String, SchemaType)>,
     b: Vec<(String, SchemaType)>,
 ) -> Vec<(String, SchemaType)> {
@@ -155,7 +198,7 @@ fn cat_fields(
     a
 }
 
-fn numeric_join(a: &SchemaType, b: &SchemaType) -> SchemaType {
+pub(crate) fn numeric_join(a: &SchemaType, b: &SchemaType) -> SchemaType {
     if *a == SchemaType::int4() && *b == SchemaType::int4() {
         SchemaType::int4()
     } else {
@@ -164,30 +207,61 @@ fn numeric_join(a: &SchemaType, b: &SchemaType) -> SchemaType {
 }
 
 /// Infer the output schema of `e`.  `env` holds binder element schemas
-/// (innermost last).
+/// (innermost last).  Failures carry the node path of the offending node.
 pub fn infer(
     e: &Expr,
     env: &mut Vec<SchemaType>,
     cat: &dyn SchemaCatalog,
     reg: &TypeRegistry,
 ) -> Result<SchemaType, InferError> {
+    let mut path = NodePath::new();
+    infer_at(e, env, cat, reg, &mut path)
+}
+
+/// Infer the `i`-th child (pushing/popping its index on `path`).
+fn child(
+    e: &Expr,
+    env: &mut Vec<SchemaType>,
+    cat: &dyn SchemaCatalog,
+    reg: &TypeRegistry,
+    path: &mut NodePath,
+    i: usize,
+) -> Result<SchemaType, InferError> {
+    path.push(i);
+    let r = infer_at(e, env, cat, reg, path);
+    path.pop();
+    r
+}
+
+/// [`infer`] with an explicit position: `path` is where `e` itself sits in
+/// the enclosing plan (child indices in [`Expr::children`] order), so
+/// errors anywhere below are attributed to their exact node.
+pub fn infer_at(
+    e: &Expr,
+    env: &mut Vec<SchemaType>,
+    cat: &dyn SchemaCatalog,
+    reg: &TypeRegistry,
+    path: &mut NodePath,
+) -> Result<SchemaType, InferError> {
+    let err = |path: &NodePath, msg: String| InferError::new(path.clone(), msg);
     match e {
         Expr::Input(d) => env
             .get(env.len().wrapping_sub(1 + d))
             .cloned()
-            .ok_or_else(|| err(format!("INPUT^{d} unbound"))),
+            .ok_or_else(|| err(path, format!("INPUT^{d} unbound"))),
         Expr::Named(n) => cat
             .object_schema(n)
-            .ok_or_else(|| err(format!("unknown object `{n}`"))),
+            .ok_or_else(|| err(path, format!("unknown object `{n}`"))),
         Expr::Const(v) => Ok(value_schema(v, reg)),
 
         Expr::AddUnion(a, b) | Expr::Diff(a, b) | Expr::Union(a, b) | Expr::Intersect(a, b) => {
-            let ta = infer(a, env, cat, reg)?;
-            let _ = elem_of_set(infer(b, env, cat, reg)?, reg, "set-binop")?;
-            let _ = elem_of_set(ta.clone(), reg, "set-binop")?;
+            let ta = child(a, env, cat, reg, path, 0)?;
+            let tb = child(b, env, cat, reg, path, 1)?;
+            let _ = elem_of_set(tb, reg, "set-binop", path)?;
+            let _ = elem_of_set(ta.clone(), reg, "set-binop", path)?;
             Ok(ta)
         }
-        Expr::MakeSet(a) => Ok(SchemaType::set(infer(a, env, cat, reg)?)),
+        Expr::MakeSet(a) => Ok(SchemaType::set(child(a, env, cat, reg, path, 0)?)),
         Expr::SetApply {
             input,
             body,
@@ -195,101 +269,109 @@ pub fn infer(
         } => {
             // With a type filter, the element type is the owning type (the
             // first name by convention); otherwise the input's element type.
+            let ti = child(input, env, cat, reg, path, 0)?;
+            let input_elem = elem_of_set(ti, reg, "SET_APPLY", path)?;
             let elem = match only_types.as_ref().and_then(|ts| ts.first()) {
                 Some(t) => SchemaType::named(t.clone()),
-                None => elem_of_set(infer(input, env, cat, reg)?, reg, "SET_APPLY")?,
+                None => input_elem,
             };
-            if only_types.is_some() {
-                // Input must still be a multiset.
-                let _ = elem_of_set(infer(input, env, cat, reg)?, reg, "SET_APPLY")?;
-            }
             env.push(elem);
-            let out = infer(body, env, cat, reg);
+            let out = child(body, env, cat, reg, path, 1);
             env.pop();
             Ok(SchemaType::set(out?))
         }
         Expr::Group { input, by } => {
-            let elem = elem_of_set(infer(input, env, cat, reg)?, reg, "GRP")?;
+            let elem = elem_of_set(child(input, env, cat, reg, path, 0)?, reg, "GRP", path)?;
             env.push(elem.clone());
-            let key = infer(by, env, cat, reg);
+            let key = child(by, env, cat, reg, path, 1);
             env.pop();
             key?; // the key type must be well-formed, but is not part of the output
             Ok(SchemaType::set(SchemaType::set(elem)))
         }
         Expr::DupElim(a) => {
-            let t = infer(a, env, cat, reg)?;
-            let _ = elem_of_set(t.clone(), reg, "DE")?;
+            let t = child(a, env, cat, reg, path, 0)?;
+            let _ = elem_of_set(t.clone(), reg, "DE", path)?;
             Ok(t)
         }
         Expr::Cross(a, b) => {
-            let ea = elem_of_set(infer(a, env, cat, reg)?, reg, "×")?;
-            let eb = elem_of_set(infer(b, env, cat, reg)?, reg, "×")?;
+            let ea = elem_of_set(child(a, env, cat, reg, path, 0)?, reg, "×", path)?;
+            let eb = elem_of_set(child(b, env, cat, reg, path, 1)?, reg, "×", path)?;
             Ok(SchemaType::set(SchemaType::tuple([
                 ("fst", ea),
                 ("snd", eb),
             ])))
         }
         Expr::SetCollapse(a) => {
-            let outer = elem_of_set(infer(a, env, cat, reg)?, reg, "SET_COLLAPSE")?;
-            let inner = elem_of_set(outer, reg, "SET_COLLAPSE")?;
+            let outer = elem_of_set(child(a, env, cat, reg, path, 0)?, reg, "SET_COLLAPSE", path)?;
+            let inner = elem_of_set(outer, reg, "SET_COLLAPSE", path)?;
             Ok(SchemaType::set(inner))
         }
 
         Expr::Project(a, names) => {
-            let fs = fields_of(infer(a, env, cat, reg)?, reg, "π")?;
+            let fs = fields_of(child(a, env, cat, reg, path, 0)?, reg, "π", path)?;
             let mut out = Vec::with_capacity(names.len());
             for n in names {
                 let t = fs
                     .iter()
                     .find(|(m, _)| m == n)
                     .map(|(_, t)| t.clone())
-                    .ok_or_else(|| err(format!("π: no field `{n}`")))?;
+                    .ok_or_else(|| err(path, format!("π: no field `{n}`")))?;
                 out.push((n.clone(), t));
             }
             Ok(SchemaType::Tup(out))
         }
         Expr::TupCat(a, b) => {
-            let fa = fields_of(infer(a, env, cat, reg)?, reg, "TUP_CAT")?;
-            let fb = fields_of(infer(b, env, cat, reg)?, reg, "TUP_CAT")?;
+            let fa = fields_of(child(a, env, cat, reg, path, 0)?, reg, "TUP_CAT", path)?;
+            let fb = fields_of(child(b, env, cat, reg, path, 1)?, reg, "TUP_CAT", path)?;
             Ok(SchemaType::Tup(cat_fields(fa, fb)))
         }
         Expr::TupExtract(a, n) => {
-            let fs = fields_of(infer(a, env, cat, reg)?, reg, "TUP_EXTRACT")?;
+            let fs = fields_of(child(a, env, cat, reg, path, 0)?, reg, "TUP_EXTRACT", path)?;
             fs.into_iter()
                 .find(|(m, _)| m == n)
                 .map(|(_, t)| t)
-                .ok_or_else(|| err(format!("TUP_EXTRACT: no field `{n}`")))
+                .ok_or_else(|| err(path, format!("TUP_EXTRACT: no field `{n}`")))
         }
-        Expr::MakeTup(a, n) => Ok(SchemaType::Tup(vec![(n.clone(), infer(a, env, cat, reg)?)])),
+        Expr::MakeTup(a, n) => Ok(SchemaType::Tup(vec![(
+            n.clone(),
+            child(a, env, cat, reg, path, 0)?,
+        )])),
 
-        Expr::MakeArr(a) => Ok(SchemaType::array(infer(a, env, cat, reg)?)),
-        Expr::ArrExtract(a, _) => elem_of_arr(infer(a, env, cat, reg)?, reg, "ARR_EXTRACT"),
+        Expr::MakeArr(a) => Ok(SchemaType::array(child(a, env, cat, reg, path, 0)?)),
+        Expr::ArrExtract(a, _) => {
+            elem_of_arr(child(a, env, cat, reg, path, 0)?, reg, "ARR_EXTRACT", path)
+        }
         Expr::ArrApply { input, body } => {
-            let elem = elem_of_arr(infer(input, env, cat, reg)?, reg, "ARR_APPLY")?;
+            let elem = elem_of_arr(
+                child(input, env, cat, reg, path, 0)?,
+                reg,
+                "ARR_APPLY",
+                path,
+            )?;
             env.push(elem);
-            let out = infer(body, env, cat, reg);
+            let out = child(body, env, cat, reg, path, 1);
             env.pop();
             Ok(SchemaType::array(out?))
         }
         Expr::SubArr(a, _, _) | Expr::ArrDupElim(a) => {
-            let t = infer(a, env, cat, reg)?;
-            let elem = elem_of_arr(t, reg, "SUBARR")?;
+            let t = child(a, env, cat, reg, path, 0)?;
+            let elem = elem_of_arr(t, reg, "SUBARR", path)?;
             Ok(SchemaType::array(elem))
         }
         Expr::ArrCat(a, b) | Expr::ArrDiff(a, b) => {
-            let ta = infer(a, env, cat, reg)?;
-            let _ = elem_of_arr(infer(b, env, cat, reg)?, reg, "ARR_CAT")?;
-            let elem = elem_of_arr(ta, reg, "ARR_CAT")?;
+            let ta = child(a, env, cat, reg, path, 0)?;
+            let _ = elem_of_arr(child(b, env, cat, reg, path, 1)?, reg, "ARR_CAT", path)?;
+            let elem = elem_of_arr(ta, reg, "ARR_CAT", path)?;
             Ok(SchemaType::array(elem))
         }
         Expr::ArrCollapse(a) => {
-            let outer = elem_of_arr(infer(a, env, cat, reg)?, reg, "ARR_COLLAPSE")?;
-            let inner = elem_of_arr(outer, reg, "ARR_COLLAPSE")?;
+            let outer = elem_of_arr(child(a, env, cat, reg, path, 0)?, reg, "ARR_COLLAPSE", path)?;
+            let inner = elem_of_arr(outer, reg, "ARR_COLLAPSE", path)?;
             Ok(SchemaType::array(inner))
         }
         Expr::ArrCross(a, b) => {
-            let ea = elem_of_arr(infer(a, env, cat, reg)?, reg, "ARR_CROSS")?;
-            let eb = elem_of_arr(infer(b, env, cat, reg)?, reg, "ARR_CROSS")?;
+            let ea = elem_of_arr(child(a, env, cat, reg, path, 0)?, reg, "ARR_CROSS", path)?;
+            let eb = elem_of_arr(child(b, env, cat, reg, path, 1)?, reg, "ARR_CROSS", path)?;
             Ok(SchemaType::array(SchemaType::tuple([
                 ("fst", ea),
                 ("snd", eb),
@@ -297,36 +379,39 @@ pub fn infer(
         }
 
         Expr::MakeRef(a, ty) => {
-            let _ = infer(a, env, cat, reg)?;
+            let _ = child(a, env, cat, reg, path, 0)?;
             Ok(SchemaType::reference(ty.clone()))
         }
-        Expr::Deref(a) => match resolve(infer(a, env, cat, reg)?, reg)? {
+        Expr::Deref(a) => match resolve(child(a, env, cat, reg, path, 0)?, reg, path)? {
             SchemaType::Ref(n) => Ok(SchemaType::named(n)),
-            other => Err(err(format!("DEREF: expected ref, found {other}"))),
+            other => Err(err(path, format!("DEREF: expected ref, found {other}"))),
         },
 
         Expr::Comp { input, pred } => {
-            let t = infer(input, env, cat, reg)?;
+            let t = child(input, env, cat, reg, path, 0)?;
             env.push(t.clone());
-            let r = check_pred(pred, env, cat, reg);
+            let mut idx = 1;
+            let r = check_pred(pred, env, cat, reg, path, &mut idx);
             env.pop();
             r?;
             Ok(t)
         }
         Expr::Select { input, pred } => {
-            let t = infer(input, env, cat, reg)?;
-            let elem = elem_of_set(t.clone(), reg, "σ")?;
+            let t = child(input, env, cat, reg, path, 0)?;
+            let elem = elem_of_set(t.clone(), reg, "σ", path)?;
             env.push(elem);
-            let r = check_pred(pred, env, cat, reg);
+            let mut idx = 1;
+            let r = check_pred(pred, env, cat, reg, path, &mut idx);
             env.pop();
             r?;
             Ok(t)
         }
         Expr::ArrSelect { input, pred } => {
-            let t = infer(input, env, cat, reg)?;
-            let elem = elem_of_arr(t.clone(), reg, "arr_σ")?;
+            let t = child(input, env, cat, reg, path, 0)?;
+            let elem = elem_of_arr(t.clone(), reg, "arr_σ", path)?;
             env.push(elem);
-            let r = check_pred(pred, env, cat, reg);
+            let mut idx = 1;
+            let r = check_pred(pred, env, cat, reg, path, &mut idx);
             env.pop();
             r?;
             Ok(t)
@@ -335,14 +420,15 @@ pub fn infer(
         | Expr::RelJoin {
             left: a, right: b, ..
         } => {
-            let ea = elem_of_set(infer(a, env, cat, reg)?, reg, "rel_×")?;
-            let eb = elem_of_set(infer(b, env, cat, reg)?, reg, "rel_×")?;
-            let fa = fields_of(ea, reg, "rel_×")?;
-            let fb = fields_of(eb, reg, "rel_×")?;
+            let ea = elem_of_set(child(a, env, cat, reg, path, 0)?, reg, "rel_×", path)?;
+            let eb = elem_of_set(child(b, env, cat, reg, path, 1)?, reg, "rel_×", path)?;
+            let fa = fields_of(ea, reg, "rel_×", path)?;
+            let fb = fields_of(eb, reg, "rel_×", path)?;
             let joined = SchemaType::Tup(cat_fields(fa, fb));
             if let Expr::RelJoin { pred, .. } = e {
                 env.push(joined.clone());
-                let r = check_pred(pred, env, cat, reg);
+                let mut idx = 2;
+                let r = check_pred(pred, env, cat, reg, path, &mut idx);
                 env.pop();
                 r?;
             }
@@ -351,54 +437,62 @@ pub fn infer(
 
         Expr::Call(f, args) => {
             let mut arg_tys = Vec::with_capacity(args.len());
-            for a in args {
-                arg_tys.push(infer(a, env, cat, reg)?);
+            for (i, a) in args.iter().enumerate() {
+                arg_tys.push(child(a, env, cat, reg, path, i)?);
             }
             match f {
                 Func::Add | Func::Sub | Func::Mul | Func::Div => {
                     if arg_tys.len() != 2 {
-                        return Err(err("arithmetic needs 2 arguments"));
+                        return Err(err(path, "arithmetic needs 2 arguments".into()));
                     }
                     Ok(numeric_join(&arg_tys[0], &arg_tys[1]))
                 }
                 Func::Neg => arg_tys
                     .into_iter()
                     .next()
-                    .ok_or_else(|| err("neg needs 1 arg")),
+                    .ok_or_else(|| err(path, "neg needs 1 arg".into())),
                 Func::Count => Ok(SchemaType::int4()),
                 Func::Avg => Ok(SchemaType::float4()),
                 Func::Age => Ok(SchemaType::int4()),
                 Func::The => {
-                    let t = arg_tys.into_iter().next().ok_or_else(|| err("the arity"))?;
-                    match resolve(t, reg)? {
+                    let t = arg_tys
+                        .into_iter()
+                        .next()
+                        .ok_or_else(|| err(path, "the arity".into()))?;
+                    match resolve(t, reg, path)? {
                         SchemaType::Set(e) => Ok(*e),
-                        other => Err(err(format!("the() over non-multiset {other}"))),
+                        other => Err(err(path, format!("the() over non-multiset {other}"))),
                     }
                 }
                 Func::Min | Func::Max | Func::Sum => {
                     let t = arg_tys
                         .into_iter()
                         .next()
-                        .ok_or_else(|| err("aggregate arity"))?;
-                    match resolve(t, reg)? {
+                        .ok_or_else(|| err(path, "aggregate arity".into()))?;
+                    match resolve(t, reg, path)? {
                         SchemaType::Set(e) => Ok(*e),
                         SchemaType::Arr { elem, .. } => Ok(*elem),
-                        other => Err(err(format!("aggregate over non-collection {other}"))),
+                        other => Err(err(path, format!("aggregate over non-collection {other}"))),
                     }
                 }
             }
         }
 
         Expr::SetApplySwitch { input, table } => {
-            let elem = elem_of_set(infer(input, env, cat, reg)?, reg, "SET_APPLY_SWITCH")?;
+            let elem = elem_of_set(
+                child(input, env, cat, reg, path, 0)?,
+                reg,
+                "SET_APPLY_SWITCH",
+                path,
+            )?;
             // Overridden methods "require that the type signatures of all
             // the methods be identical", so the first arm determines the
             // output; remaining arms are checked against their own types.
             let mut result: Option<SchemaType> = None;
-            for (ty_name, body) in table {
+            for (i, (ty_name, body)) in table.iter().enumerate() {
                 let arm_elem = SchemaType::named(ty_name.clone());
                 env.push(arm_elem);
-                let out = infer(body, env, cat, reg);
+                let out = child(body, env, cat, reg, path, 1 + i);
                 env.pop();
                 let out = out?;
                 if result.is_none() {
@@ -411,23 +505,32 @@ pub fn infer(
     }
 }
 
+/// Check the expressions of a predicate; `idx` is the [`Expr::children`]
+/// index the predicate's next expression occupies on the parent operator
+/// (predicate expressions follow the operator's structural inputs).
 fn check_pred(
     p: &Pred,
     env: &mut Vec<SchemaType>,
     cat: &dyn SchemaCatalog,
     reg: &TypeRegistry,
+    path: &mut NodePath,
+    idx: &mut usize,
 ) -> Result<(), InferError> {
     match p {
         Pred::Cmp(l, _, r) => {
-            infer(l, env, cat, reg)?;
-            infer(r, env, cat, reg)?;
+            let il = *idx;
+            *idx += 1;
+            child(l, env, cat, reg, path, il)?;
+            let ir = *idx;
+            *idx += 1;
+            child(r, env, cat, reg, path, ir)?;
             Ok(())
         }
         Pred::And(a, b) => {
-            check_pred(a, env, cat, reg)?;
-            check_pred(b, env, cat, reg)
+            check_pred(a, env, cat, reg, path, idx)?;
+            check_pred(b, env, cat, reg, path, idx)
         }
-        Pred::Not(q) => check_pred(q, env, cat, reg),
+        Pred::Not(q) => check_pred(q, env, cat, reg, path, idx),
     }
 }
 

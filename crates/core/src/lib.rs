@@ -36,6 +36,7 @@ pub mod infer;
 pub mod ops;
 pub mod profile;
 pub mod render;
+pub mod verify;
 
 pub use canon::{canonical_form, equal_modulo_identity};
 pub use catalog::{Catalog, EmptyCatalog};
@@ -44,4 +45,5 @@ pub use error::{EvalError, EvalResult};
 pub use eval::{eval, evaluate, exact_type_of, exact_type_of_parts, EvalCtx};
 pub use expr::{Bound, CmpOp, Expr, Func, Pred};
 pub use ops::predicate::Truth;
-pub use profile::{NodePath, NodeProfile, Profile, TraceSink};
+pub use profile::{path_string, NodePath, NodeProfile, Profile, TraceSink};
+pub use verify::{resolve_deep, verify, Diagnostic, Report, Severity};

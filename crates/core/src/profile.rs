@@ -35,6 +35,18 @@ use excess_types::Value;
 /// is exactly depth-first preorder.
 pub type NodePath = Vec<usize>;
 
+/// Human-readable rendering of a [`NodePath`]: `root` for the empty path,
+/// otherwise the dotted child indices in brackets (`[0.2.1]`).  Inference
+/// errors and verifier diagnostics both use this, so positions render
+/// identically everywhere.
+pub fn path_string(path: &[usize]) -> String {
+    if path.is_empty() {
+        return "root".to_string();
+    }
+    let parts: Vec<String> = path.iter().map(|i| i.to_string()).collect();
+    format!("[{}]", parts.join("."))
+}
+
 /// One evaluation frame: a node currently being evaluated.
 struct Frame {
     /// Where this node sits in the plan tree.

@@ -9,15 +9,34 @@ use excess_core::counters::Counters;
 use excess_core::eval::{evaluate, EvalCtx};
 use excess_core::expr::Expr;
 use excess_core::profile::Profile;
+use excess_core::verify::Report;
 use excess_lang::ast::{QExpr, QPred, Retrieve, Step, Stmt};
 use excess_lang::ddl::{initial_value, lower_type};
 use excess_lang::methods::{MethodDef, MethodRegistry};
 use excess_lang::translate::{resolve_this, translate_retrieve, TranslateCtx};
 use excess_lang::{parse_program, LangError};
-use excess_optimizer::{apply_extent_indexes, Optimizer, RewriteJournal, RuleCtx, Statistics};
+use excess_optimizer::{
+    apply_extent_indexes, apply_extent_indexes_journaled, Optimizer, RewriteJournal, RuleCtx,
+    Statistics,
+};
 use excess_types::{ObjectStore, SchemaType, TypeId, TypeRegistry, Value};
 use std::collections::HashMap;
 use std::time::Instant;
+
+/// Render a verifier [`Report`] as the `diagnostics:` block `explain` and
+/// `explain_analyze` append — empty string when there is nothing to say.
+fn render_diagnostics(r: &Report) -> String {
+    if r.diagnostics.is_empty() {
+        return String::new();
+    }
+    let mut out = String::from("diagnostics:\n");
+    for d in &r.diagnostics {
+        out.push_str("  ");
+        out.push_str(&d.to_string());
+        out.push('\n');
+    }
+    out
+}
 
 /// A stored procedure: a parameterised script of statements.
 #[derive(Debug, Clone)]
@@ -297,9 +316,10 @@ impl Database {
     /// [`Database::optimize_plan`] with a rewrite journal: the same dual
     /// greedy pass (plan as given and desugared, cheaper wins), but every
     /// accepted rule firing is recorded — rule name, node path, cost
-    /// before/after — along with the plans-enumerated tally.  The journal
-    /// covers the greedy phase; the final extent-index substitution is a
-    /// separate deterministic rewrite.  The run is also folded into the
+    /// before/after — along with the plans-enumerated tally and any
+    /// rewrites the soundness gate refused.  The final extent-index
+    /// substitution phase is journaled (and gated) too, under the rule
+    /// name `extent-index-substitution`.  The run is also folded into the
     /// session [`SessionMetrics`].
     pub fn optimize_plan_journaled(&mut self, plan: &Expr) -> (Expr, RewriteJournal) {
         let ctx = RuleCtx {
@@ -309,13 +329,21 @@ impl Database {
         let opt = Optimizer::standard();
         let (a, ja) = opt.optimize_greedy_journaled(plan, &ctx, &self.stats);
         let (b, jb) = opt.optimize_greedy_journaled(&plan.desugar(), &ctx, &self.stats);
-        let (best, journal) = if b.cost < a.cost {
+        let (best, mut journal) = if b.cost < a.cost {
             (b.plan, jb)
         } else {
             (a.plan, ja)
         };
+        let best = apply_extent_indexes_journaled(&best, &self.stats, &ctx, &mut journal);
         self.metrics.record_journal(&journal);
-        (apply_extent_indexes(&best, &self.stats), journal)
+        (best, journal)
+    }
+
+    /// Statically verify a plan against this database's catalog and type
+    /// registry: every diagnostic (errors *and* lints), each with the node
+    /// path it was found at.  See `excess_core::verify` for the taxonomy.
+    pub fn verify_plan(&self, plan: &Expr) -> Report {
+        excess_core::verify::verify(plan, &self.catalog, &self.registry)
     }
 
     /// Garbage-sweep the object store: every object unreachable from the
@@ -377,16 +405,21 @@ impl Database {
     }
 
     /// EXPLAIN: the plan as an operator tree plus the cost model's
-    /// estimates (the paper's Section 6 "reading" of a plan).
+    /// estimates (the paper's Section 6 "reading" of a plan).  When the
+    /// verifier has anything to say about the plan — errors or lints — a
+    /// `diagnostics:` section follows the estimates; clean plans render
+    /// exactly as before.
     pub fn explain(&self, plan: &Expr) -> String {
         let mut env = Vec::new();
         let est = excess_optimizer::estimate(plan, &mut env, &self.stats);
-        format!(
+        let mut out = format!(
             "{}est. cost {:.0}, est. rows {:.0}\n",
             excess_core::render::render_tree(plan),
             est.cost,
             est.rows
-        )
+        );
+        out.push_str(&render_diagnostics(&self.verify_plan(plan)));
+        out
     }
 
     /// Evaluate a plan against the database, recording work counters.
@@ -426,9 +459,9 @@ impl Database {
     pub fn explain_analyze(&mut self, plan: &Expr) -> DbResult<String> {
         let estimates = excess_optimizer::estimate_nodes(plan, &self.stats);
         let (_, profile) = self.run_plan_profiled(plan)?;
-        Ok(crate::explain::render_explain_analyze(
-            plan, &profile, &estimates,
-        ))
+        let mut out = crate::explain::render_explain_analyze(plan, &profile, &estimates);
+        out.push_str(&render_diagnostics(&self.verify_plan(plan)));
+        Ok(out)
     }
 
     // ----- statistics & extent indexes -----

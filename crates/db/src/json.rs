@@ -10,6 +10,7 @@
 use crate::metrics::SessionMetrics;
 use excess_core::counters::Counters;
 use excess_core::profile::Profile;
+use excess_core::verify::Report;
 use excess_optimizer::RewriteJournal;
 use std::time::Duration;
 
@@ -110,9 +111,18 @@ pub fn journal_json(j: &RewriteJournal) -> String {
             quoted(&s.plan.to_string())
         ));
     }
+    let mut refused = Vec::with_capacity(j.refused.len());
+    for r in &j.refused {
+        refused.push(format!(
+            "{{\"rule\":{},\"path\":{},\"reason\":{}}}",
+            quoted(r.rule),
+            path_json(&r.path),
+            quoted(&r.reason)
+        ));
+    }
     format!(
         "{{\"initial_cost\":{},\"final_cost\":{},\"plans_enumerated\":{},\
-         \"max_plans\":{},\"rule_sequence\":[{}],\"steps\":[{}]}}",
+         \"max_plans\":{},\"rule_sequence\":[{}],\"steps\":[{}],\"refused\":[{}]}}",
         number(j.initial_cost),
         number(j.final_cost),
         j.plans_enumerated,
@@ -122,7 +132,30 @@ pub fn journal_json(j: &RewriteJournal) -> String {
             .map(|r| quoted(r))
             .collect::<Vec<_>>()
             .join(","),
-        steps.join(",")
+        steps.join(","),
+        refused.join(",")
+    )
+}
+
+/// Serialize a verifier [`Report`]: totals plus every diagnostic with its
+/// severity, class, node path, and message.
+pub fn verify_json(r: &Report) -> String {
+    let mut diags = Vec::with_capacity(r.diagnostics.len());
+    for d in &r.diagnostics {
+        diags.push(format!(
+            "{{\"severity\":{},\"code\":{},\"path\":{},\"message\":{}}}",
+            quoted(&d.severity.to_string()),
+            quoted(d.code),
+            path_json(&d.path),
+            quoted(&d.message)
+        ));
+    }
+    format!(
+        "{{\"clean\":{},\"errors\":{},\"lints\":{},\"diagnostics\":[{}]}}",
+        r.is_clean(),
+        r.error_count(),
+        r.lint_count(),
+        diags.join(",")
     )
 }
 
@@ -135,13 +168,14 @@ pub fn metrics_json(m: &SessionMetrics) -> String {
         .collect();
     format!(
         "{{\"queries\":{},\"eval_ms\":{},\"counters\":{},\"optimizations\":{},\
-         \"rewrites_applied\":{},\"plans_enumerated\":{},\"cost_removed\":{},\
-         \"rules_fired\":{{{}}}}}",
+         \"rewrites_applied\":{},\"rewrites_refused\":{},\"plans_enumerated\":{},\
+         \"cost_removed\":{},\"rules_fired\":{{{}}}}}",
         m.queries,
         millis(m.eval_wall),
         counters_json(&m.counters),
         m.optimizations,
         m.rewrites_applied,
+        m.rewrites_refused,
         m.plans_enumerated,
         number(m.cost_removed),
         rules.join(",")

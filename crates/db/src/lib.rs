@@ -35,6 +35,6 @@ pub use database::Database;
 pub use error::{DbError, DbResult};
 pub use explain::render_explain_analyze;
 pub use format::{format_result, try_table};
-pub use json::{counters_json, journal_json, metrics_json, profile_json};
+pub use json::{counters_json, journal_json, metrics_json, profile_json, verify_json};
 pub use metrics::SessionMetrics;
 pub use stats::collect_statistics;

@@ -20,6 +20,9 @@ pub struct SessionMetrics {
     pub optimizations: u64,
     /// Accepted rewrite steps across all journaled optimizations.
     pub rewrites_applied: u64,
+    /// Rewrites the soundness gate refused across all journaled
+    /// optimizations.
+    pub rewrites_refused: u64,
     /// Neighbor plans enumerated across all journaled optimizations.
     pub plans_enumerated: u64,
     /// Times each rewrite rule fired (accepted steps only).
@@ -49,6 +52,7 @@ impl SessionMetrics {
     pub fn record_journal(&mut self, journal: &RewriteJournal) {
         self.optimizations += 1;
         self.rewrites_applied += journal.steps.len() as u64;
+        self.rewrites_refused += journal.refused.len() as u64;
         self.plans_enumerated += journal.plans_enumerated as u64;
         self.cost_removed += journal.initial_cost - journal.final_cost;
         for step in &journal.steps {
@@ -73,8 +77,12 @@ impl std::fmt::Display for SessionMetrics {
         writeln!(f, "work:    {}", self.counters)?;
         writeln!(
             f,
-            "optimizer: {} runs, {} rewrites accepted, {} plans enumerated, est. cost removed {:.0}",
-            self.optimizations, self.rewrites_applied, self.plans_enumerated, self.cost_removed
+            "optimizer: {} runs, {} rewrites accepted, {} refused, {} plans enumerated, est. cost removed {:.0}",
+            self.optimizations,
+            self.rewrites_applied,
+            self.rewrites_refused,
+            self.plans_enumerated,
+            self.cost_removed
         )?;
         if !self.rules_fired.is_empty() {
             // Most-fired first; name breaks ties for determinism.

@@ -11,8 +11,58 @@ use crate::cost::cost_of;
 use crate::rule::{Rule, RuleCtx};
 use crate::stats::Statistics;
 use excess_core::expr::Expr;
+use excess_core::infer::infer_closed;
 use excess_core::profile::NodePath;
+use excess_core::verify::{resolve_deep, verify};
 use std::collections::HashSet;
+
+/// The rule name under which extent-index substitutions are journaled —
+/// the substitution phase is not a catalogue [`Rule`], but it goes through
+/// the same soundness gate and journal as one.
+pub const EXTENT_INDEX_RULE: &str = "extent-index-substitution";
+
+/// Check whether replacing `before` with `after` is statically sound: the
+/// deep-resolved inferred output schema must be unchanged and the rewrite
+/// must not introduce any new error-severity diagnostic.  Returns a
+/// human-readable reason when the rewrite must be refused, `None` when it
+/// is sound.  Lints are deliberately not gated — rewrites routinely create
+/// and destroy suspicious-but-legal shapes (that is what the lint
+/// catalogue describes).
+pub fn soundness_violation(before: &Expr, after: &Expr, ctx: &RuleCtx<'_>) -> Option<String> {
+    match (
+        infer_closed(before, ctx.schemas, ctx.registry),
+        infer_closed(after, ctx.schemas, ctx.registry),
+    ) {
+        (Ok(tb), Ok(ta)) => {
+            let (rb, ra) = (
+                resolve_deep(&tb, ctx.registry),
+                resolve_deep(&ta, ctx.registry),
+            );
+            if rb != ra {
+                return Some(format!(
+                    "rewrite changes the inferred output schema: {tb} → {ta}"
+                ));
+            }
+        }
+        (Ok(_), Err(e)) => {
+            return Some(format!("rewrite breaks type inference: {e}"));
+        }
+        // An ill-typed starting plan cannot get *worse*; let the rewrite
+        // through and leave the diagnostic check to catch regressions.
+        (Err(_), _) => {}
+    }
+    let before_errs: HashSet<(&'static str, String)> = verify(before, ctx.schemas, ctx.registry)
+        .errors()
+        .map(|d| (d.code, d.message.clone()))
+        .collect();
+    for d in verify(after, ctx.schemas, ctx.registry).errors() {
+        let key = (d.code, d.message.clone());
+        if !before_errs.contains(&key) {
+            return Some(format!("rewrite introduces a new diagnostic: {d}"));
+        }
+    }
+    None
+}
 
 /// Engine configuration.
 pub struct Optimizer {
@@ -159,10 +209,19 @@ impl Optimizer {
         let mut explored = 1;
         loop {
             let mut improved = false;
-            for (_, alt) in self.neighbors(&cur, ctx) {
+            for (rule, alt) in self.neighbors(&cur, ctx) {
                 explored += 1;
                 let c = cost_of(&alt, stats);
                 if c < cur_cost {
+                    // Fast path: soundness is a rule-catalogue invariant, so
+                    // the full gate runs only under debug assertions here
+                    // (the journaled pass gates unconditionally).
+                    debug_assert!(
+                        soundness_violation(&cur, &alt, ctx).is_none(),
+                        "rule `{rule}` proposed an unsound rewrite: {}",
+                        soundness_violation(&cur, &alt, ctx).unwrap_or_default()
+                    );
+                    let _ = rule;
                     cur = alt;
                     cur_cost = c;
                     improved = true;
@@ -216,6 +275,19 @@ pub struct TraceStep {
     pub plan: Expr,
 }
 
+/// A rewrite the soundness gate turned down: the rule proposed a
+/// cost-improving plan that changed the inferred output schema or
+/// introduced a new error diagnostic (see [`soundness_violation`]).
+#[derive(Debug, Clone, PartialEq)]
+pub struct RefusedStep {
+    /// The rule whose proposal was refused.
+    pub rule: &'static str,
+    /// Path of the node the rule fired at (empty = root).
+    pub path: NodePath,
+    /// Why the gate refused it.
+    pub reason: String,
+}
+
 /// One accepted rewrite in a [`RewriteJournal`].
 #[derive(Debug, Clone)]
 pub struct JournalStep {
@@ -238,6 +310,9 @@ pub struct JournalStep {
 pub struct RewriteJournal {
     /// Accepted rewrites, in order.
     pub steps: Vec<JournalStep>,
+    /// Cost-improving rewrites the soundness gate refused, in order of
+    /// first refusal (each distinct (rule, path, reason) recorded once).
+    pub refused: Vec<RefusedStep>,
     /// Neighbor plans enumerated (cost-model evaluations), including the
     /// starting plan.
     pub plans_enumerated: usize,
@@ -304,12 +379,27 @@ impl Optimizer {
         let initial_cost = cur_cost;
         let mut explored = 1;
         let mut steps = Vec::new();
+        let mut refused: Vec<RefusedStep> = Vec::new();
+        let mut refused_seen: HashSet<(&'static str, NodePath, String)> = HashSet::new();
         loop {
             let mut improved = false;
             for n in self.neighbors_at(&cur, ctx) {
                 explored += 1;
                 let c = cost_of(&n.plan, stats);
                 if c < cur_cost {
+                    // Rewrite-soundness gate: re-verify the candidate and
+                    // refuse (journaling the refusal) instead of accepting
+                    // a schema-changing or diagnostic-introducing step.
+                    if let Some(reason) = soundness_violation(&cur, &n.plan, ctx) {
+                        if refused_seen.insert((n.rule, n.path.clone(), reason.clone())) {
+                            refused.push(RefusedStep {
+                                rule: n.rule,
+                                path: n.path,
+                                reason,
+                            });
+                        }
+                        continue;
+                    }
                     steps.push(JournalStep {
                         rule: n.rule,
                         path: n.path,
@@ -326,6 +416,7 @@ impl Optimizer {
             if !improved {
                 let journal = RewriteJournal {
                     steps,
+                    refused,
                     plans_enumerated: explored,
                     max_plans: self.max_plans,
                     initial_cost,
@@ -381,6 +472,92 @@ pub fn apply_extent_indexes(e: &Expr, stats: &Statistics) -> Expr {
         }
     }
     rebuilt
+}
+
+/// One extent-index substitution site: the node path of the matching
+/// `SET_APPLY[T1/…;E](Named(P))` and the whole plan after substituting at
+/// that site only, skipping sites in `skip` (preorder, first match wins).
+fn substitute_one_extent(
+    e: &Expr,
+    stats: &Statistics,
+    path: &mut NodePath,
+    skip: &HashSet<NodePath>,
+) -> Option<(NodePath, Expr)> {
+    if let Expr::SetApply {
+        input,
+        body,
+        only_types: Some(ts),
+    } = e
+    {
+        if let Expr::Named(obj) = &**input {
+            if !ts.is_empty()
+                && ts.iter().all(|t| stats.has_extent_index(obj, t))
+                && !skip.contains(path)
+            {
+                let mut parts = ts.iter().map(|t| Expr::named(format!("{obj}::exact::{t}")));
+                let first = parts.next().expect("non-empty");
+                let unioned = parts.fold(first, |acc, p| acc.add_union(p));
+                let new = Expr::SetApply {
+                    input: Box::new(unioned),
+                    body: body.clone(),
+                    only_types: None,
+                };
+                return Some((path.clone(), new));
+            }
+        }
+    }
+    for (n, child) in e.children().into_iter().enumerate() {
+        path.push(n);
+        let hit = substitute_one_extent(child, stats, path, skip);
+        path.pop();
+        if let Some((at, new_child)) = hit {
+            return Some((at, replace_nth_child(e, n, &new_child)));
+        }
+    }
+    None
+}
+
+/// [`apply_extent_indexes`] with the soundness gate and the rewrite
+/// journal covering the substitution phase too: each site is rewritten one
+/// at a time, re-verified, and either journaled as an accepted
+/// [`JournalStep`] (rule [`EXTENT_INDEX_RULE`]) or refused — a substitution
+/// whose extent objects are missing from the catalog, say, changes the
+/// inferred schema and is rejected rather than silently producing a plan
+/// that cannot evaluate.
+pub fn apply_extent_indexes_journaled(
+    e: &Expr,
+    stats: &Statistics,
+    ctx: &RuleCtx<'_>,
+    journal: &mut RewriteJournal,
+) -> Expr {
+    let mut cur = e.clone();
+    let mut skip: HashSet<NodePath> = HashSet::new();
+    while let Some((path, next)) = substitute_one_extent(&cur, stats, &mut NodePath::new(), &skip) {
+        // Substitution keeps node arity and positions intact, so refused
+        // paths stay valid across later substitutions elsewhere.
+        if let Some(reason) = soundness_violation(&cur, &next, ctx) {
+            journal.refused.push(RefusedStep {
+                rule: EXTENT_INDEX_RULE,
+                path: path.clone(),
+                reason,
+            });
+            skip.insert(path);
+            continue;
+        }
+        let cost_before = cost_of(&cur, stats);
+        let cost_after = cost_of(&next, stats);
+        journal.steps.push(JournalStep {
+            rule: EXTENT_INDEX_RULE,
+            path,
+            cost_before,
+            cost_after,
+            plan: next.clone(),
+        });
+        journal.final_cost = cost_after;
+        journal.plans_enumerated += 1;
+        cur = next;
+    }
+    cur
 }
 
 #[cfg(test)]

@@ -19,7 +19,8 @@ pub mod stats;
 pub use cost::{cost_of, estimate, estimate_nodes, Estimate};
 pub use dispatch::{build_switch, build_union, choose, DispatchStrategy, MethodImpl};
 pub use engine::{
-    apply_extent_indexes, JournalStep, Neighbor, Optimized, Optimizer, RewriteJournal, TraceStep,
+    apply_extent_indexes, apply_extent_indexes_journaled, soundness_violation, JournalStep,
+    Neighbor, Optimized, Optimizer, RefusedStep, RewriteJournal, TraceStep, EXTENT_INDEX_RULE,
 };
 pub use rule::{Rule, RuleCtx};
 pub use stats::{ObjectStats, Statistics};

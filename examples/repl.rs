@@ -54,6 +54,12 @@ const COMMANDS: &[MetaCommand] = &[
         run: cmd_trace,
     },
     MetaCommand {
+        name: ".verify",
+        args: "<retrieve>",
+        help: "statically verify the plan: all diagnostics (errors and lints) with node paths",
+        run: cmd_verify,
+    },
+    MetaCommand {
         name: ".counters",
         args: "",
         help: "work counters of the last query",
@@ -235,6 +241,34 @@ fn cmd_trace(db: &mut Database, rest: &str) -> bool {
                     journal.initial_cost,
                     journal.final_cost
                 );
+            }
+            for r in &journal.refused {
+                println!("  refused {} @ {:?}: {}", r.rule, r.path, r.reason);
+            }
+        }
+        Err(e) => println!("error: {e}"),
+    }
+    true
+}
+
+fn cmd_verify(db: &mut Database, rest: &str) -> bool {
+    match db.plan_for(rest) {
+        Ok(plan) => {
+            let report = db.verify_plan(&plan);
+            if report.diagnostics.is_empty() {
+                println!("clean: no diagnostics");
+            } else {
+                for d in &report.diagnostics {
+                    println!("  {d}");
+                }
+                println!(
+                    "  {} error(s), {} lint(s)",
+                    report.error_count(),
+                    report.lint_count()
+                );
+            }
+            if let Some(schema) = &report.schema {
+                println!("  output schema: {schema}");
             }
         }
         Err(e) => println!("error: {e}"),

@@ -77,11 +77,31 @@ fn database() -> Database {
 
 /// The round trip for one plan.
 fn round_trip(db: &mut Database, plan: &Expr, modulo_identity: bool) {
+    // Both directions of the theorem produce statically verifiable plans:
+    // the original algebra plan and the plan re-translated from its EXCESS
+    // decompilation must carry zero error diagnostics.
+    let report = db.verify_plan(plan);
+    assert_eq!(
+        report.error_count(),
+        0,
+        "plan {plan} has verifier errors:\n{}",
+        report.render()
+    );
     let direct = db
         .run_plan(plan)
         .unwrap_or_else(|e| panic!("direct eval of {plan}: {e}"));
     let text =
         decompile(plan, db.registry()).unwrap_or_else(|e| panic!("decompile of {plan}: {e}"));
+    let replanned = db
+        .plan_for(&format!("retrieve ({text})"))
+        .unwrap_or_else(|e| panic!("re-planning of `{text}` (from {plan}): {e}"));
+    let report = db.verify_plan(&replanned);
+    assert_eq!(
+        report.error_count(),
+        0,
+        "re-translated plan of `{text}` has verifier errors:\n{}",
+        report.render()
+    );
     let via_excess = db
         .execute(&format!("retrieve ({text})"))
         .unwrap_or_else(|e| panic!("re-translation of `{text}` (from {plan}): {e}"));
