@@ -131,6 +131,30 @@ pub fn figure8() -> Expr {
         .set_apply(Expr::input())
 }
 
+/// The canonical optimized plan the greedy optimizer converges on from
+/// any of the three figures: [`figure8`] minus the vestigial trailing
+/// per-group identity SET_APPLY (stripped by `rel7-identity-apply`).
+pub fn figure8_canonical() -> Expr {
+    let s_small = Expr::named("S1")
+        .set_apply(Expr::input().project(["sdept", "sadv"]))
+        .dup_elim();
+    let e_small = Expr::named("E1")
+        .set_apply(Expr::input().project(["ename"]))
+        .dup_elim();
+    s_small
+        .rel_join(
+            e_small,
+            Pred::cmp(
+                Expr::input().extract("sadv"),
+                CmpOp::Eq,
+                Expr::input().extract("ename"),
+            ),
+        )
+        .set_apply(pi())
+        .dup_elim()
+        .group_by(by_dept())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -439,10 +439,26 @@ impl Database {
     /// session metrics are recorded exactly as by [`Database::run_plan`]
     /// (profiling changes neither results nor counters).
     pub fn run_plan_profiled(&mut self, plan: &Expr) -> DbResult<(Value, Profile)> {
+        self.run_plan_traced(plan, false)
+    }
+
+    /// [`Database::run_plan_profiled`] with coarse timestamps: one clock
+    /// sample per traced node invocation instead of two (see
+    /// [`EvalCtx::enable_coarse_tracing`]), for deep plans where the
+    /// profiler's own clock reads would dominate.
+    pub fn run_plan_profiled_coarse(&mut self, plan: &Expr) -> DbResult<(Value, Profile)> {
+        self.run_plan_traced(plan, true)
+    }
+
+    fn run_plan_traced(&mut self, plan: &Expr, coarse: bool) -> DbResult<(Value, Profile)> {
         let started = Instant::now();
         let (out, counters, profile) = {
             let mut ctx = EvalCtx::new(&self.registry, &mut self.store, &self.catalog);
-            ctx.enable_tracing();
+            if coarse {
+                ctx.enable_coarse_tracing();
+            } else {
+                ctx.enable_tracing();
+            }
             let out = evaluate(plan, &mut ctx);
             let profile = ctx.take_profile().expect("tracing was enabled above");
             (out, ctx.counters, profile)
@@ -467,11 +483,21 @@ impl Database {
     // ----- statistics & extent indexes -----
 
     /// Recompute statistics from the current data (cardinalities,
-    /// duplication, nested sizes, exact-type fractions).
+    /// duplication, per-attribute NDVs, nested sizes, exact-type
+    /// fractions).
     pub fn collect_stats(&mut self) {
         let extents = std::mem::take(&mut self.stats.extent_indexes);
         self.stats = collect_statistics(&self.catalog, &self.registry, &self.store);
         self.stats.extent_indexes = extents;
+    }
+
+    /// ANALYZE: recollect statistics from the store and return them — the
+    /// entry point that makes the optimizer's Figure 6→8 derivation run
+    /// from measured duplication rather than defaults (the paper's
+    /// Section 6 "useful statistics" made operational).
+    pub fn analyze(&mut self) -> &Statistics {
+        self.collect_stats();
+        &self.stats
     }
 
     /// Declare (and materialise) a per-exact-type extent index on a

@@ -3,16 +3,21 @@
 //! statistics for complex object data models").
 //!
 //! For every named top-level object we record total and distinct
-//! cardinalities and the average size of nested collection attributes
+//! cardinalities, the average size of nested collection attributes
 //! (following references one level, since the dominant EXTRA idiom is
-//! `{ ref T }` sets); globally we record the fraction of set elements per
-//! exact type, which prices the Section 4 type-filtered scans.
+//! `{ ref T }` sets), and — when the elements are tuples — the number of
+//! distinct values of each attribute (NDV).  The NDVs are what let the
+//! cost model credit duplicate elimination and derive equi-join
+//! selectivities, i.e. reproduce the paper's Figure 6→8 reasoning from
+//! data rather than hints.  Globally we record the fraction of set
+//! elements per exact type, which prices the Section 4 type-filtered
+//! scans.
 
 use crate::catalog::DbCatalog;
 use excess_core::eval::exact_type_of_parts;
 use excess_optimizer::Statistics;
 use excess_types::{ObjectStore, TypeRegistry, Value};
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 
 /// Compute fresh statistics from the current database state.
 pub fn collect_statistics(
@@ -28,11 +33,13 @@ pub fn collect_statistics(
         let Some(value) = catalog.value(name) else {
             continue;
         };
+        let mut attr_values: HashMap<String, HashSet<&Value>> = HashMap::new();
         let (rows, distinct, nested_sizes) = match value {
             Value::Set(s) => {
                 let mut nested = Vec::new();
                 for (e, card) in s.iter_counted() {
                     nested.extend(nested_collection_sizes(e, store));
+                    record_attr_values(e, store, &mut attr_values);
                     if let Some(ty) = exact_type_of_parts(e, registry, store) {
                         *type_counts
                             .entry(registry.name_of(ty).to_string())
@@ -45,6 +52,7 @@ pub fn collect_statistics(
             Value::Array(a) => {
                 let nested = a
                     .iter()
+                    .inspect(|e| record_attr_values(e, store, &mut attr_values))
                     .flat_map(|e| nested_collection_sizes(e, store))
                     .collect();
                 (a.len() as f64, a.len() as f64, nested)
@@ -57,6 +65,9 @@ pub fn collect_statistics(
             nested_sizes.iter().sum::<f64>() / nested_sizes.len() as f64
         };
         stats.set_object(name, rows.max(1.0), distinct.max(1.0), avg_nested);
+        for (attr, values) in attr_values {
+            stats.set_attr_ndv(name, &attr, values.len() as f64);
+        }
     }
 
     if total_elems > 0 {
@@ -67,6 +78,27 @@ pub fn collect_statistics(
         }
     }
     stats
+}
+
+/// Record each tuple attribute's value into the per-attribute value sets
+/// (following a reference one level, as queries do when they DEREF).
+fn record_attr_values<'a>(
+    v: &'a Value,
+    store: &'a ObjectStore,
+    attrs: &mut HashMap<String, HashSet<&'a Value>>,
+) {
+    let v = match v {
+        Value::Ref(oid) => match store.deref(*oid) {
+            Ok(inner) => inner,
+            Err(_) => return,
+        },
+        other => other,
+    };
+    if let Value::Tuple(t) = v {
+        for (f, fv) in t.iter() {
+            attrs.entry(f.to_string()).or_default().insert(fv);
+        }
+    }
 }
 
 /// Sizes of the collection-valued attributes of one element, following a

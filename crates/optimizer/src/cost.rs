@@ -7,10 +7,31 @@
 //! [`TYPE_TEST_COST`] per run-time exact-type test (the Section 4 dispatch
 //! costs).  Absolute values are meaningless; the optimizer only compares
 //! plans.
+//!
+//! # Duplication-aware propagation
+//!
+//! The paper's Figure 6→8 derivation hinges on *crediting duplicate
+//! elimination*: DE is only worth pushing early if the model can see that
+//! its input carries duplicates.  To that end every [`Estimate`] threads a
+//! `distinct` count — and, for collections of tuples, per-attribute NDVs
+//! ([`Estimate::attr_ndv`], seeded from [`Statistics`]) — compositionally
+//! through the operators:
+//!
+//! * projection collapses distinctness to the product of the kept
+//!   attributes' NDVs (capped by `rows`);
+//! * `GRP` bounds its group count by the grouping key's NDV;
+//! * `DE` snaps `rows` to `distinct`;
+//! * `⊎`/`∪` add NDVs;
+//! * `rel_join` multiplies side distinct counts under independence and
+//!   uses `1/max(ndv_l, ndv_r)` selectivity for equi-join predicates.
+//!
+//! Every estimate is normalised so `distinct ≤ rows` holds by
+//! construction (property-tested in `tests/`).
 
 use crate::stats::Statistics;
-use excess_core::expr::{Expr, Func, Pred};
+use excess_core::expr::{CmpOp, Expr, Func, Pred};
 use excess_types::Value;
+use std::collections::BTreeMap;
 
 /// Work units per DEREF (pointer chase + copy).
 pub const DEREF_COST: f64 = 2.0;
@@ -23,7 +44,7 @@ pub const TYPE_TEST_COST: f64 = 1.0;
 pub const SWITCH_COST: f64 = 0.5;
 
 /// A per-expression estimate.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Estimate {
     /// Expected number of occurrences (1 for non-collections).
     pub rows: f64,
@@ -31,6 +52,11 @@ pub struct Estimate {
     pub distinct: f64,
     /// Total work to produce the value once.
     pub cost: f64,
+    /// Per-attribute number of distinct values, when the expression is a
+    /// collection of tuples with known statistics (`None` = unknown, fall
+    /// back to shape heuristics).  This is what lets a projection body
+    /// collapse `distinct` and an equi-join pick a selectivity.
+    pub attr_ndv: Option<BTreeMap<String, f64>>,
 }
 
 impl Estimate {
@@ -39,18 +65,125 @@ impl Estimate {
             rows: 1.0,
             distinct: 1.0,
             cost,
+            attr_ndv: None,
         }
     }
+
+    fn plain(rows: f64, distinct: f64, cost: f64) -> Estimate {
+        Estimate {
+            rows,
+            distinct,
+            cost,
+            attr_ndv: None,
+        }
+    }
+
+    /// NDV of one attribute, if known.
+    fn ndv(&self, attr: &str) -> Option<f64> {
+        self.attr_ndv.as_ref()?.get(attr).copied()
+    }
+}
+
+/// Clamp an estimate into its invariants: `distinct` never exceeds `rows`,
+/// and no attribute NDV exceeds `rows` either (an attribute cannot take
+/// more distinct values than there are occurrences).
+fn normalized(mut est: Estimate) -> Estimate {
+    if est.distinct > est.rows {
+        est.distinct = est.rows;
+    }
+    if let Some(m) = est.attr_ndv.as_mut() {
+        for v in m.values_mut() {
+            if *v > est.rows {
+                *v = est.rows;
+            }
+        }
+    }
+    est
+}
+
+/// Pointwise-`max` union of two attribute-NDV maps (equi-join output: the
+/// concatenated tuple carries both sides' attributes).
+fn merge_max(
+    a: Option<&BTreeMap<String, f64>>,
+    b: Option<&BTreeMap<String, f64>>,
+) -> Option<BTreeMap<String, f64>> {
+    let (a, b) = (a?, b?);
+    let mut out = a.clone();
+    for (k, v) in b {
+        let slot = out.entry(k.clone()).or_insert(*v);
+        if *v > *slot {
+            *slot = *v;
+        }
+    }
+    Some(out)
+}
+
+/// Pointwise-sum union of two attribute-NDV maps (⊎/∪ output: the value
+/// sets of each attribute at worst concatenate).
+fn merge_add(
+    a: Option<&BTreeMap<String, f64>>,
+    b: Option<&BTreeMap<String, f64>>,
+) -> Option<BTreeMap<String, f64>> {
+    let (a, b) = (a?, b?);
+    let mut out = a.clone();
+    for (k, v) in b {
+        *out.entry(k.clone()).or_insert(0.0) += *v;
+    }
+    Some(out)
+}
+
+/// `π_L(INPUT)` body: the projected field list, when the body is exactly a
+/// projection of the element variable.
+fn body_projection_fields(body: &Expr) -> Option<&[String]> {
+    if let Expr::Project(a, fields) = body {
+        if matches!(**a, Expr::Input(0)) {
+            return Some(fields);
+        }
+    }
+    None
+}
+
+/// `TUP_EXTRACT_f(INPUT)` shape: the extracted field, at the given binder
+/// depth.
+fn extracted_field(e: &Expr, depth: usize) -> Option<&str> {
+    if let Expr::TupExtract(a, f) = e {
+        if matches!(**a, Expr::Input(d) if d == depth) {
+            return Some(f);
+        }
+    }
+    None
+}
+
+/// For an equi-join predicate `INPUT.f1 = INPUT.f2` whose fields come from
+/// opposite sides, the two NDVs — the classical `1/max(ndv₁, ndv₂)`
+/// selectivity ingredient.
+fn eq_join_ndvs(pred: &Pred, left: &Estimate, right: &Estimate) -> Option<(f64, f64)> {
+    let Pred::Cmp(l, CmpOp::Eq, r) = pred else {
+        return None;
+    };
+    let (fl, fr) = (extracted_field(l, 0)?, extracted_field(r, 0)?);
+    if let (Some(a), Some(b)) = (left.ndv(fl), right.ndv(fr)) {
+        return Some((a, b));
+    }
+    if let (Some(a), Some(b)) = (left.ndv(fr), right.ndv(fl)) {
+        return Some((a, b));
+    }
+    None
 }
 
 /// Estimate `e` under `stats`.  `env` carries estimates for binder
 /// elements (innermost last): an element's `rows` models the expected size
-/// of its nested collections.
+/// of its nested collections, and its `attr_ndv` the per-attribute NDVs of
+/// the collection it was drawn from.
 pub fn estimate(e: &Expr, env: &mut Vec<Estimate>, stats: &Statistics) -> Estimate {
+    normalized(estimate_raw(e, env, stats))
+}
+
+fn estimate_raw(e: &Expr, env: &mut Vec<Estimate>, stats: &Statistics) -> Estimate {
     match e {
         Expr::Input(d) => {
             let idx = env.len().checked_sub(1 + d);
-            idx.and_then(|i| env.get(i).copied())
+            idx.and_then(|i| env.get(i).cloned())
                 .unwrap_or(Estimate::scalar(0.0))
         }
         Expr::Named(n) => {
@@ -59,6 +192,7 @@ pub fn estimate(e: &Expr, env: &mut Vec<Estimate>, stats: &Statistics) -> Estima
                 rows: o.rows,
                 distinct: o.distinct,
                 cost: o.rows,
+                attr_ndv: (!o.attr_ndv.is_empty()).then_some(o.attr_ndv),
             }
         }
         Expr::Const(v) => {
@@ -67,11 +201,7 @@ pub fn estimate(e: &Expr, env: &mut Vec<Estimate>, stats: &Statistics) -> Estima
                 Value::Array(a) => a.len() as f64,
                 _ => 1.0,
             };
-            Estimate {
-                rows,
-                distinct: rows,
-                cost: 0.0,
-            }
+            Estimate::plain(rows, rows, 0.0)
         }
 
         Expr::AddUnion(a, b) | Expr::Union(a, b) => {
@@ -80,6 +210,7 @@ pub fn estimate(e: &Expr, env: &mut Vec<Estimate>, stats: &Statistics) -> Estima
                 rows: ea.rows + eb.rows,
                 distinct: (ea.distinct + eb.distinct) * 0.75,
                 cost: ea.cost + eb.cost + ea.rows + eb.rows,
+                attr_ndv: merge_add(ea.attr_ndv.as_ref(), eb.attr_ndv.as_ref()),
             }
         }
         Expr::Diff(a, b) | Expr::Intersect(a, b) => {
@@ -88,15 +219,12 @@ pub fn estimate(e: &Expr, env: &mut Vec<Estimate>, stats: &Statistics) -> Estima
                 rows: (ea.rows * 0.5).max(1.0),
                 distinct: (ea.distinct * 0.5).max(1.0),
                 cost: ea.cost + eb.cost + ea.rows + eb.rows,
+                attr_ndv: ea.attr_ndv,
             }
         }
         Expr::MakeSet(a) | Expr::MakeArr(a) => {
             let ea = estimate(a, env, stats);
-            Estimate {
-                rows: 1.0,
-                distinct: 1.0,
-                cost: ea.cost,
-            }
+            Estimate::plain(1.0, 1.0, ea.cost)
         }
         Expr::SetApply {
             input,
@@ -120,14 +248,54 @@ pub fn estimate(e: &Expr, env: &mut Vec<Estimate>, stats: &Statistics) -> Estima
                 None => (1.0, 0.0),
             };
             let selectivity = body_selectivity(body, stats);
-            // Projection-like bodies collapse distinctness (the classical
-            // column-cardinality heuristic): π/TUP_EXTRACT keep only part
-            // of each element, so many inputs map to one output.
+            let rows = ein.rows * frac * selectivity;
+            let cost = ein.cost + ein.rows * filter_cost + ein.rows * frac * (1.0 + eb.cost);
+            // Distinctness through the body, best information first:
+            // identity passes everything through; a pure projection keeps
+            // only the named attributes, so distinctness collapses to the
+            // product of their NDVs; a single extraction collapses to that
+            // attribute's NDV; otherwise fall back to the classical
+            // column-cardinality heuristic (projection-shaped bodies keep
+            // ~10% distinct).
+            if matches!(**body, Expr::Input(0)) {
+                return Estimate {
+                    rows,
+                    distinct: ein.distinct * frac * selectivity,
+                    cost,
+                    attr_ndv: ein.attr_ndv,
+                };
+            }
+            if let Some(fields) = body_projection_fields(body) {
+                if let Some(map) = ein.attr_ndv.as_ref() {
+                    if fields.iter().all(|f| map.contains_key(f)) {
+                        let kept: BTreeMap<String, f64> =
+                            fields.iter().map(|f| (f.clone(), map[f])).collect();
+                        let joint = kept.values().product::<f64>();
+                        return Estimate {
+                            rows,
+                            distinct: joint.max(1.0),
+                            cost,
+                            attr_ndv: Some(kept),
+                        };
+                    }
+                }
+            }
+            if let Some(f) = extracted_field(body, 0) {
+                if let Some(ndv) = ein.ndv(f) {
+                    return Estimate {
+                        rows,
+                        distinct: ndv.max(1.0),
+                        cost,
+                        attr_ndv: None,
+                    };
+                }
+            }
             let distinct_factor = if body_is_projection(body) { 0.1 } else { 1.0 };
             Estimate {
-                rows: ein.rows * frac * selectivity,
+                rows,
                 distinct: (ein.distinct * frac * selectivity * distinct_factor).max(1.0),
-                cost: ein.cost + ein.rows * filter_cost + ein.rows * frac * (1.0 + eb.cost),
+                cost,
+                attr_ndv: None,
             }
         }
         Expr::SetApplySwitch { input, table } => {
@@ -150,6 +318,7 @@ pub fn estimate(e: &Expr, env: &mut Vec<Estimate>, stats: &Statistics) -> Estima
                 cost: ein.cost
                     + ein.rows * (TYPE_TEST_COST + SWITCH_COST)
                     + ein.rows * (1.0 + avg_body),
+                attr_ndv: None,
             }
         }
         Expr::Group { input, by } => {
@@ -158,14 +327,15 @@ pub fn estimate(e: &Expr, env: &mut Vec<Estimate>, stats: &Statistics) -> Estima
             env.push(elem);
             let eby = estimate(by, env, stats);
             env.pop();
-            // Groups ≈ distinct grouping keys; assume a quarter of the
-            // distinct elements share a key absent better information.
-            let groups = (ein.distinct * 0.25).max(1.0);
-            Estimate {
-                rows: groups,
-                distinct: groups,
-                cost: ein.cost + ein.rows * (1.0 + eby.cost),
-            }
+            // Groups ≈ distinct grouping keys.  When the key is a known
+            // attribute its NDV bounds the group count exactly; otherwise
+            // assume a quarter of the distinct elements share a key.
+            let key_ndv = extracted_field(by, 0).and_then(|f| ein.ndv(f));
+            let groups = match key_ndv {
+                Some(ndv) => ndv.min(ein.distinct).max(1.0),
+                None => (ein.distinct * 0.25).max(1.0),
+            };
+            Estimate::plain(groups, groups, ein.cost + ein.rows * (1.0 + eby.cost))
         }
         Expr::DupElim(a) => {
             let ea = estimate(a, env, stats);
@@ -173,6 +343,7 @@ pub fn estimate(e: &Expr, env: &mut Vec<Estimate>, stats: &Statistics) -> Estima
                 rows: ea.distinct,
                 distinct: ea.distinct,
                 cost: ea.cost + ea.rows,
+                attr_ndv: ea.attr_ndv,
             }
         }
         Expr::Cross(a, b) | Expr::RelCross(a, b) => {
@@ -182,6 +353,7 @@ pub fn estimate(e: &Expr, env: &mut Vec<Estimate>, stats: &Statistics) -> Estima
                 rows,
                 distinct: ea.distinct * eb.distinct,
                 cost: ea.cost + eb.cost + rows,
+                attr_ndv: None,
             }
         }
         Expr::RelJoin { left, right, pred } => {
@@ -190,21 +362,26 @@ pub fn estimate(e: &Expr, env: &mut Vec<Estimate>, stats: &Statistics) -> Estima
             let pc = pred_cost(pred, env, stats);
             env.pop();
             let pairs = ea.rows * eb.rows;
-            let rows = (pairs * stats.default_selectivity).max(1.0);
+            // Equi-join selectivity from the join attributes' NDVs when
+            // both are known (uniformity assumption), else the default.
+            let selectivity = match eq_join_ndvs(pred, &ea, &eb) {
+                Some((n1, n2)) => 1.0 / n1.max(n2).max(1.0),
+                None => stats.default_selectivity,
+            };
+            let rows = (pairs * selectivity).max(1.0);
             Estimate {
                 rows,
-                distinct: rows,
+                // Join of distinct sides stays distinct under independence:
+                // at most d_L·d_R distinct concatenations.
+                distinct: (ea.distinct * eb.distinct).min(rows),
                 cost: ea.cost + eb.cost + pairs * (1.0 + pc),
+                attr_ndv: merge_max(ea.attr_ndv.as_ref(), eb.attr_ndv.as_ref()),
             }
         }
         Expr::SetCollapse(a) => {
             let ea = estimate(a, env, stats);
             let rows = ea.rows * stats.default_avg_nested;
-            Estimate {
-                rows,
-                distinct: rows * 0.5,
-                cost: ea.cost + rows,
-            }
+            Estimate::plain(rows, rows * 0.5, ea.cost + rows)
         }
 
         Expr::Select { input, pred } => {
@@ -218,6 +395,10 @@ pub fn estimate(e: &Expr, env: &mut Vec<Estimate>, stats: &Statistics) -> Estima
                 rows,
                 distinct: (ein.distinct * stats.default_selectivity).max(1.0),
                 cost: ein.cost + ein.rows * (1.0 + pc),
+                // Selection can only lose attribute values; keeping the
+                // input NDVs (capped at `rows` by normalisation) errs
+                // toward overestimating distinctness, the safe side for DE.
+                attr_ndv: ein.attr_ndv,
             }
         }
         Expr::ArrSelect { input, pred } => {
@@ -225,47 +406,37 @@ pub fn estimate(e: &Expr, env: &mut Vec<Estimate>, stats: &Statistics) -> Estima
             env.push(Estimate::scalar(0.0));
             let pc = pred_cost(pred, env, stats);
             env.pop();
-            Estimate {
-                rows: (ein.rows * stats.default_selectivity).max(1.0),
-                distinct: (ein.distinct * stats.default_selectivity).max(1.0),
-                cost: ein.cost + ein.rows * (1.0 + pc),
-            }
+            Estimate::plain(
+                (ein.rows * stats.default_selectivity).max(1.0),
+                (ein.distinct * stats.default_selectivity).max(1.0),
+                ein.cost + ein.rows * (1.0 + pc),
+            )
         }
 
         Expr::Project(a, _) | Expr::MakeTup(a, _) => {
             let ea = estimate(a, env, stats);
-            Estimate {
-                rows: 1.0,
-                distinct: 1.0,
-                cost: ea.cost + 0.5,
-            }
+            Estimate::plain(1.0, 1.0, ea.cost + 0.5)
         }
         Expr::TupCat(a, b) => {
             let (ea, eb) = (estimate(a, env, stats), estimate(b, env, stats));
-            Estimate {
-                rows: 1.0,
-                distinct: 1.0,
-                cost: ea.cost + eb.cost + 0.5,
-            }
+            Estimate::plain(1.0, 1.0, ea.cost + eb.cost + 0.5)
         }
-        Expr::TupExtract(a, _) => {
+        Expr::TupExtract(a, f) => {
             let ea = estimate(a, env, stats);
-            // Extracting a (possibly nested-collection) field: its expected
-            // size is the context's avg_nested.
-            Estimate {
-                rows: stats.default_avg_nested,
-                distinct: stats.default_avg_nested,
-                cost: ea.cost + 0.25,
-            }
+            // A field the statistics know about is a scalar attribute;
+            // otherwise assume a (possibly nested-collection) field whose
+            // expected size is the context's avg_nested.
+            let rows = if ea.ndv(f).is_some() {
+                1.0
+            } else {
+                stats.default_avg_nested
+            };
+            Estimate::plain(rows, rows, ea.cost + 0.25)
         }
 
         Expr::ArrExtract(a, _) => {
             let ea = estimate(a, env, stats);
-            Estimate {
-                rows: 1.0,
-                distinct: 1.0,
-                cost: ea.cost + 0.25,
-            }
+            Estimate::plain(1.0, 1.0, ea.cost + 0.25)
         }
         Expr::ArrApply { input, body } => {
             let ein = estimate(input, env, stats);
@@ -273,89 +444,66 @@ pub fn estimate(e: &Expr, env: &mut Vec<Estimate>, stats: &Statistics) -> Estima
             env.push(elem);
             let eb = estimate(body, env, stats);
             env.pop();
-            Estimate {
-                rows: ein.rows,
-                distinct: ein.distinct,
-                cost: ein.cost + ein.rows * (1.0 + eb.cost),
-            }
+            Estimate::plain(
+                ein.rows,
+                ein.distinct,
+                ein.cost + ein.rows * (1.0 + eb.cost),
+            )
         }
         Expr::SubArr(a, _, _) => {
             let ea = estimate(a, env, stats);
-            Estimate {
-                rows: (ea.rows * 0.5).max(1.0),
-                distinct: ea.distinct,
-                cost: ea.cost + ea.rows * 0.5,
-            }
+            Estimate::plain(
+                (ea.rows * 0.5).max(1.0),
+                ea.distinct,
+                ea.cost + ea.rows * 0.5,
+            )
         }
         Expr::ArrCat(a, b) => {
             let (ea, eb) = (estimate(a, env, stats), estimate(b, env, stats));
-            Estimate {
-                rows: ea.rows + eb.rows,
-                distinct: ea.distinct + eb.distinct,
-                cost: ea.cost + eb.cost + ea.rows + eb.rows,
-            }
+            Estimate::plain(
+                ea.rows + eb.rows,
+                ea.distinct + eb.distinct,
+                ea.cost + eb.cost + ea.rows + eb.rows,
+            )
         }
         Expr::ArrCollapse(a) => {
             let ea = estimate(a, env, stats);
             let rows = ea.rows * stats.default_avg_nested;
-            Estimate {
-                rows,
-                distinct: rows * 0.5,
-                cost: ea.cost + rows,
-            }
+            Estimate::plain(rows, rows * 0.5, ea.cost + rows)
         }
         Expr::ArrDiff(a, b) => {
             let (ea, eb) = (estimate(a, env, stats), estimate(b, env, stats));
-            Estimate {
-                rows: ea.rows,
-                distinct: ea.distinct,
-                cost: ea.cost + eb.cost + ea.rows + eb.rows,
-            }
+            Estimate::plain(ea.rows, ea.distinct, ea.cost + eb.cost + ea.rows + eb.rows)
         }
         Expr::ArrDupElim(a) => {
             let ea = estimate(a, env, stats);
-            Estimate {
-                rows: ea.distinct,
-                distinct: ea.distinct,
-                cost: ea.cost + ea.rows,
-            }
+            Estimate::plain(ea.distinct, ea.distinct, ea.cost + ea.rows)
         }
         Expr::ArrCross(a, b) => {
             let (ea, eb) = (estimate(a, env, stats), estimate(b, env, stats));
             let rows = ea.rows * eb.rows;
-            Estimate {
-                rows,
-                distinct: rows,
-                cost: ea.cost + eb.cost + rows,
-            }
+            Estimate::plain(rows, rows, ea.cost + eb.cost + rows)
         }
 
         Expr::MakeRef(a, _) => {
             let ea = estimate(a, env, stats);
-            Estimate {
-                rows: 1.0,
-                distinct: 1.0,
-                cost: ea.cost + MINT_COST,
-            }
+            Estimate::plain(1.0, 1.0, ea.cost + MINT_COST)
         }
         Expr::Deref(a) => {
             let ea = estimate(a, env, stats);
-            Estimate {
-                rows: 1.0,
-                distinct: 1.0,
-                cost: ea.cost + DEREF_COST,
-            }
+            Estimate::plain(1.0, 1.0, ea.cost + DEREF_COST)
         }
 
         Expr::Comp { input, pred } => {
             let ein = estimate(input, env, stats);
-            env.push(ein);
+            env.push(ein.clone());
             let pc = pred_cost(pred, env, stats);
             env.pop();
             Estimate {
                 rows: ein.rows,
                 distinct: ein.distinct,
                 cost: ein.cost + pc,
+                attr_ndv: ein.attr_ndv,
             }
         }
 
@@ -364,10 +512,10 @@ pub fn estimate(e: &Expr, env: &mut Vec<Estimate>, stats: &Statistics) -> Estima
             let mut arg0 = Estimate::scalar(0.0);
             for (i, a) in args.iter().enumerate() {
                 let ea = estimate(a, env, stats);
+                cost += ea.cost;
                 if i == 0 {
                     arg0 = ea;
                 }
-                cost += ea.cost;
             }
             match f {
                 Func::Min | Func::Max | Func::Count | Func::Sum | Func::Avg | Func::The => {
@@ -383,7 +531,10 @@ pub fn estimate(e: &Expr, env: &mut Vec<Estimate>, stats: &Statistics) -> Estima
 /// matters: elements of a `GRP` output are themselves multisets whose
 /// expected size is `|input| / #groups` (this is what makes "push σ ahead
 /// of GRP" correctly appear cheaper — the per-group σ still scans every
-/// member).  Otherwise nested collections get the configured average size.
+/// member), and they inherit the grouped collection's per-attribute NDVs
+/// (capped at the member count) so a per-group projection body still
+/// collapses distinctness.  Otherwise nested collections get the
+/// configured average size.
 fn element_estimate(
     input: &Expr,
     ein: &Estimate,
@@ -403,17 +554,14 @@ fn element_estimate(
     if let Expr::Group { input: gi, .. } = cur {
         let g_in = estimate(gi, env, stats);
         let members = (g_in.rows / ein.rows.max(1.0)).max(1.0);
-        return Estimate {
+        return normalized(Estimate {
             rows: members,
             distinct: members,
             cost: 0.0,
-        };
+            attr_ndv: g_in.attr_ndv,
+        });
     }
-    Estimate {
-        rows: stats.default_avg_nested,
-        distinct: stats.default_avg_nested,
-        cost: 0.0,
-    }
+    Estimate::plain(stats.default_avg_nested, stats.default_avg_nested, 0.0)
 }
 
 /// Does the body act as a filter (COMP at its spine)?  If so, SET_APPLY
@@ -504,7 +652,7 @@ fn walk_estimates(
     for (i, child) in e.children().into_iter().enumerate() {
         let bound = matches!(binder, Some((start, _)) if i >= start);
         if bound {
-            env.push(binder.expect("checked").1);
+            env.push(binder.clone().expect("checked").1);
         }
         path.push(i);
         walk_estimates(child, path, env, stats, out);
@@ -573,5 +721,88 @@ mod tests {
         };
         let plain = Expr::named("S").set_apply(arm);
         assert!(cost_of(&switch, &s) > cost_of(&plain, &s));
+    }
+
+    #[test]
+    fn projection_collapses_distinct_to_joint_ndv() {
+        let mut s = stats();
+        s.set_attr_ndv("S", "dept", 10.0);
+        s.set_attr_ndv("S", "adv", 5.0);
+        s.set_attr_ndv("S", "name", 1000.0);
+        let mut env = Vec::new();
+        let proj = Expr::named("S").set_apply(Expr::input().project(["dept", "adv"]));
+        let est = estimate(&proj, &mut env, &s);
+        assert_eq!(est.rows, 1000.0);
+        assert_eq!(est.distinct, 50.0, "joint NDV = 10 × 5");
+        // The surviving attribute map is restricted to the kept fields.
+        let map = est.attr_ndv.expect("projection keeps a map");
+        assert_eq!(map.len(), 2);
+        assert_eq!(map["dept"], 10.0);
+    }
+
+    #[test]
+    fn dup_elim_snaps_rows_to_distinct() {
+        let mut s = stats();
+        s.set_attr_ndv("S", "dept", 10.0);
+        let mut env = Vec::new();
+        let de = Expr::named("S")
+            .set_apply(Expr::input().project(["dept"]))
+            .dup_elim();
+        let est = estimate(&de, &mut env, &s);
+        assert_eq!(est.rows, 10.0);
+        assert_eq!(est.distinct, 10.0);
+    }
+
+    #[test]
+    fn group_count_bounded_by_key_ndv() {
+        let mut s = stats();
+        s.set_attr_ndv("S", "dept", 7.0);
+        let mut env = Vec::new();
+        let g = Expr::named("S").group_by(Expr::input().extract("dept"));
+        let est = estimate(&g, &mut env, &s);
+        assert_eq!(est.rows, 7.0, "one group per distinct key");
+    }
+
+    #[test]
+    fn equi_join_selectivity_from_ndvs() {
+        let mut s = stats();
+        s.set_attr_ndv("S", "adv", 50.0);
+        s.set_attr_ndv("E", "name", 2000.0);
+        let mut env = Vec::new();
+        let pred = Pred::cmp(
+            Expr::input().extract("adv"),
+            CmpOp::Eq,
+            Expr::input().extract("name"),
+        );
+        let j = Expr::named("S").rel_join(Expr::named("E"), pred);
+        let est = estimate(&j, &mut env, &s);
+        // |S|·|E| / max(ndv) = 1000·2000/2000 = 1000.
+        assert_eq!(est.rows, 1000.0);
+        // The join output carries both sides' attribute NDVs.
+        assert!(est.ndv("adv").is_some() && est.ndv("name").is_some());
+    }
+
+    #[test]
+    fn union_adds_ndvs_and_distinct_stays_capped() {
+        let mut s = stats();
+        s.set_attr_ndv("S", "dept", 10.0);
+        s.set_attr_ndv("E", "dept", 30.0);
+        let mut env = Vec::new();
+        let u = Expr::named("S").add_union(Expr::named("E"));
+        let est = estimate(&u, &mut env, &s);
+        assert_eq!(est.rows, 3000.0);
+        assert_eq!(est.ndv("dept"), Some(40.0));
+        assert!(est.distinct <= est.rows);
+    }
+
+    #[test]
+    fn estimates_never_exceed_rows() {
+        let mut s = stats();
+        s.set_attr_ndv("S", "dept", 999999.0); // deliberately inconsistent
+        let mut env = Vec::new();
+        let e = Expr::named("S").set_apply(Expr::input().project(["dept"]));
+        let est = estimate(&e, &mut env, &s);
+        assert!(est.distinct <= est.rows);
+        assert!(est.attr_ndv.unwrap()["dept"] <= est.rows);
     }
 }

@@ -314,6 +314,17 @@ impl Rule for R7DistributeDeCross {
 
 /// Rule 8 — duplicates can be removed before or after grouping:
 /// `GRP_E(DE(A)) = SET_APPLY_{DE}(GRP_E(A))` (both directions).
+///
+/// Also in its composed per-group form (the Figure 6 → Figure 7 step):
+/// `SET_APPLY_{DE(SET_APPLY_π(INPUT))}(GRP_{E}(A)) =
+///  GRP_{E}(DE(SET_APPLY_π(A)))`
+/// when `π` is a pure projection of the element and the grouping
+/// expression `E` extracts a field `π` keeps.  Grouping before or after
+/// the per-element projection then partitions identically (the key
+/// survives projection unchanged), and per-group DE of projected members
+/// equals grouping the globally-projected-and-deduplicated rows — but the
+/// right side runs DE once over `|A|` occurrences instead of once per
+/// group.
 pub struct R8DeThroughGroup;
 
 impl Rule for R8DeThroughGroup {
@@ -347,6 +358,38 @@ impl Rule for R8DeThroughGroup {
                         input: bx(Expr::DupElim(a.clone())),
                         by: by.clone(),
                     });
+                }
+            }
+            // Composed form: SET_APPLY_{DE(SET_APPLY_π(INPUT))}(GRP_by(A))
+            //              → GRP_by(DE(SET_APPLY_π(A)))
+            // when π = project(fields) over the element and by extracts a
+            // kept field.  (π being a closed projection of INPUT cannot
+            // reference the group binder or mint, so it moves freely.)
+            if let (Expr::Group { input: a, by }, Expr::DupElim(de_in)) = (&**input, &**body) {
+                if let Expr::SetApply {
+                    input: sa_in,
+                    body: pi,
+                    only_types: None,
+                } = &**de_in
+                {
+                    if matches!(**sa_in, Expr::Input(0)) {
+                        if let Expr::Project(pin, fields) = &**pi {
+                            if matches!(**pin, Expr::Input(0)) {
+                                if let Expr::TupExtract(byin, f) = &**by {
+                                    if matches!(**byin, Expr::Input(0)) && fields.contains(f) {
+                                        out.push(Expr::Group {
+                                            input: bx(Expr::DupElim(bx(Expr::SetApply {
+                                                input: a.clone(),
+                                                body: pi.clone(),
+                                                only_types: None,
+                                            }))),
+                                            by: by.clone(),
+                                        });
+                                    }
+                                }
+                            }
+                        }
+                    }
                 }
             }
         }

@@ -162,13 +162,26 @@ impl Rule for RR4DeIdempotent {
 /// (deterministic bodies map equal inputs to equal outputs, so the outer
 /// DE erases any cardinality differences).  This is the Figure 7→8 "push
 /// DE past the join input" building block.
+///
+/// The composed join form projects *and* deduplicates each join input
+/// down to the fields the outer projection and the join predicate need:
+/// `DE(SET_APPLY_π(rel_join_P(A, B))) =
+///  DE(SET_APPLY_π(rel_join_P(DE(SET_APPLY_{π_A}(A)),
+///                            DE(SET_APPLY_{π_B}(B)))))`
+/// when field provenance is unambiguous (statically known, disjoint
+/// side schemas), `P` touches only known fields, and `π` is a pure
+/// projection.  Sound because `π_A`/`π_B` keep every field `P` or `π`
+/// reads, so the same set of projected result tuples survives — only
+/// multiplicities change, and the outer DE erases those.  This single
+/// firing is the paper's Figure 7 → Figure 8 step: DE now runs over
+/// `|A| + |B|` occurrences instead of `|A|·|B|`.
 pub struct RR5DeEarly;
 
 impl Rule for RR5DeEarly {
     fn name(&self) -> &'static str {
         "rel5-de-early"
     }
-    fn apply(&self, e: &Expr, _ctx: &RuleCtx<'_>) -> Vec<Expr> {
+    fn apply(&self, e: &Expr, ctx: &RuleCtx<'_>) -> Vec<Expr> {
         let mut out = Vec::new();
         if let Expr::DupElim(inner) = e {
             if let Expr::SetApply {
@@ -184,9 +197,132 @@ impl Rule for RR5DeEarly {
                         only_types: only_types.clone(),
                     })));
                 }
+                if only_types.is_none() {
+                    if let Some(rw) = de_into_join_inputs(input, body, ctx) {
+                        out.push(rw);
+                    }
+                }
             }
         }
         out
+    }
+}
+
+/// The composed Figure 7→8 rewrite body of [`RR5DeEarly`]; `None` when a
+/// side condition fails.
+fn de_into_join_inputs(input: &Expr, body: &Expr, ctx: &RuleCtx<'_>) -> Option<Expr> {
+    let Expr::RelJoin { left, right, pred } = input else {
+        return None;
+    };
+    // Already pushed (either side deduplicated) → don't fire again.
+    if matches!(**left, Expr::DupElim(_)) || matches!(**right, Expr::DupElim(_)) {
+        return None;
+    }
+    let pfields = projection_fields(body)?;
+    let (fa, fb) = (ctx.set_elem_fields(left)?, ctx.set_elem_fields(right)?);
+    if fa.iter().any(|f| fb.contains(f)) {
+        return None;
+    }
+    // The predicate may only read statically-known fields (and must not
+    // mint: it runs once per pair, and the pair count changes).
+    let all: Vec<String> = fa.iter().chain(fb.iter()).cloned().collect();
+    if !pred
+        .exprs()
+        .iter()
+        .all(|x| input_only_via_extract_of(x, 0, &all))
+        || pred.exprs().iter().any(|x| x.mints_oids())
+    {
+        return None;
+    }
+    if !pfields.iter().all(|f| all.contains(f)) {
+        return None;
+    }
+    let mut pred_fields = Vec::new();
+    for x in pred.exprs() {
+        collect_extracted_fields(x, 0, &mut pred_fields);
+    }
+    let needed = |side: &[String]| -> Vec<String> {
+        side.iter()
+            .filter(|f| pfields.contains(f) || pred_fields.contains(f))
+            .cloned()
+            .collect()
+    };
+    let project_dedup = |side: &Expr, fields: Vec<String>| {
+        Expr::DupElim(bx(Expr::SetApply {
+            input: bx(side.clone()),
+            body: bx(Expr::input().project(fields)),
+            only_types: None,
+        }))
+    };
+    Some(Expr::DupElim(bx(Expr::SetApply {
+        input: bx(Expr::RelJoin {
+            left: bx(project_dedup(left, needed(&fa))),
+            right: bx(project_dedup(right, needed(&fb))),
+            pred: pred.clone(),
+        }),
+        body: bx(body.clone()),
+        only_types: None,
+    })))
+}
+
+/// `π_fields(INPUT)` shape at binder depth 0: the projected field list.
+fn projection_fields(body: &Expr) -> Option<&[String]> {
+    if let Expr::Project(a, fields) = body {
+        if matches!(**a, Expr::Input(0)) {
+            return Some(fields);
+        }
+    }
+    None
+}
+
+/// Collect every field `f` extracted from the binder at `depth` as
+/// `TUP_EXTRACT_f(Input(depth))`, tracking binder depth like
+/// [`input_only_via_extract_of`] does.
+fn collect_extracted_fields(e: &Expr, depth: usize, out: &mut Vec<String>) {
+    if let Expr::TupExtract(inner, f) = e {
+        if matches!(**inner, Expr::Input(d) if d == depth) && !out.contains(f) {
+            out.push(f.clone());
+        }
+    }
+    match e {
+        Expr::SetApply { input, body, .. } | Expr::ArrApply { input, body } => {
+            collect_extracted_fields(input, depth, out);
+            collect_extracted_fields(body, depth + 1, out);
+        }
+        Expr::Group { input, by } => {
+            collect_extracted_fields(input, depth, out);
+            collect_extracted_fields(by, depth + 1, out);
+        }
+        Expr::Comp { input, pred } => {
+            collect_extracted_fields(input, depth, out);
+            for x in pred.exprs() {
+                collect_extracted_fields(x, depth + 1, out);
+            }
+        }
+        Expr::Select { input, pred } | Expr::ArrSelect { input, pred } => {
+            collect_extracted_fields(input, depth, out);
+            for x in pred.exprs() {
+                collect_extracted_fields(x, depth + 1, out);
+            }
+        }
+        Expr::RelJoin { left, right, pred } => {
+            collect_extracted_fields(left, depth, out);
+            collect_extracted_fields(right, depth, out);
+            for x in pred.exprs() {
+                collect_extracted_fields(x, depth + 1, out);
+            }
+        }
+        Expr::SetApplySwitch { input, table } => {
+            collect_extracted_fields(input, depth, out);
+            for (_, b) in table {
+                collect_extracted_fields(b, depth + 1, out);
+            }
+        }
+        _ => {
+            for c in e.children() {
+                collect_extracted_fields(c, depth, out);
+            }
+        }
     }
 }
 
@@ -232,6 +368,30 @@ impl Rule for RR6SelectThroughCollapse {
     }
 }
 
+/// `SET_APPLY_{INPUT}(A) = A` — mapping the identity over a multiset is a
+/// no-op.  Cleanup rule: strips the vestigial per-group identity apply so
+/// Figures 6, 7, and 8 all converge on one canonical optimized plan.
+pub struct RR7IdentityApply;
+
+impl Rule for RR7IdentityApply {
+    fn name(&self) -> &'static str {
+        "rel7-identity-apply"
+    }
+    fn apply(&self, e: &Expr, _ctx: &RuleCtx<'_>) -> Vec<Expr> {
+        if let Expr::SetApply {
+            input,
+            body,
+            only_types: None,
+        } = e
+        {
+            if matches!(**body, Expr::Input(0)) {
+                return vec![(**input).clone()];
+            }
+        }
+        vec![]
+    }
+}
+
 /// All relational rules, boxed.
 pub fn all() -> Vec<Box<dyn Rule>> {
     vec![
@@ -241,5 +401,6 @@ pub fn all() -> Vec<Box<dyn Rule>> {
         Box::new(RR4DeIdempotent),
         Box::new(RR5DeEarly),
         Box::new(RR6SelectThroughCollapse),
+        Box::new(RR7IdentityApply),
     ]
 }

@@ -3,16 +3,18 @@
 //! Section 6 lists "an investigation of cost functions and useful
 //! statistics for complex object data models" as future work; this module
 //! is our concrete take, scoped to what the paper's examples need: per
-//! top-level-object cardinalities and duplication factors, average nested
+//! top-level-object cardinalities and duplication factors, per-attribute
+//! numbers of distinct values (NDV — the ingredient that lets the cost
+//! model credit duplicate elimination, Figures 6–8), average nested
 //! collection sizes, predicate selectivities, per-exact-type fractions of
 //! heterogeneous sets, and the presence of per-type extent indexes
 //! (Section 4: "if we have an index on all the Students in P … the need to
 //! scan P three times … disappears").
 
-use std::collections::{HashMap, HashSet};
+use std::collections::{BTreeMap, HashMap, HashSet};
 
 /// Statistics about one named top-level object.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct ObjectStats {
     /// Total occurrences (for arrays: length).
     pub rows: f64,
@@ -20,6 +22,10 @@ pub struct ObjectStats {
     pub distinct: f64,
     /// Average size of set/array-valued attributes of the elements.
     pub avg_nested: f64,
+    /// Number of distinct values per tuple attribute, when the elements
+    /// are tuples and the collector has seen the data.  Empty means
+    /// unknown — the cost model then falls back to shape heuristics.
+    pub attr_ndv: BTreeMap<String, f64>,
 }
 
 impl Default for ObjectStats {
@@ -28,6 +34,7 @@ impl Default for ObjectStats {
             rows: 1000.0,
             distinct: 1000.0,
             avg_nested: 8.0,
+            attr_ndv: BTreeMap::new(),
         }
     }
 }
@@ -61,21 +68,38 @@ impl Statistics {
         }
     }
 
-    /// Record statistics for an object.
+    /// Record statistics for an object (per-attribute NDVs unknown; use
+    /// [`Statistics::set_attr_ndv`] to add them).
     pub fn set_object(&mut self, name: &str, rows: f64, distinct: f64, avg_nested: f64) {
+        let attr_ndv = self
+            .objects
+            .remove(name)
+            .map(|o| o.attr_ndv)
+            .unwrap_or_default();
         self.objects.insert(
             name.to_string(),
             ObjectStats {
                 rows,
                 distinct,
                 avg_nested,
+                attr_ndv,
             },
         );
     }
 
+    /// Record the number of distinct values of one attribute of an
+    /// object's tuple elements.
+    pub fn set_attr_ndv(&mut self, name: &str, attr: &str, ndv: f64) {
+        self.objects
+            .entry(name.to_string())
+            .or_default()
+            .attr_ndv
+            .insert(attr.to_string(), ndv);
+    }
+
     /// Statistics for an object (defaults when unknown).
     pub fn object(&self, name: &str) -> ObjectStats {
-        self.objects.get(name).copied().unwrap_or_default()
+        self.objects.get(name).cloned().unwrap_or_default()
     }
 
     /// Fraction of elements whose exact type is `ty` (default: uniform
@@ -107,6 +131,7 @@ mod tests {
         assert!(s.default_selectivity > 0.0 && s.default_selectivity < 1.0);
         let o = s.object("nope");
         assert!(o.rows > 0.0);
+        assert!(o.attr_ndv.is_empty());
     }
 
     #[test]
@@ -115,6 +140,18 @@ mod tests {
         s.set_object("Employees", 5000.0, 4800.0, 12.0);
         assert_eq!(s.object("Employees").rows, 5000.0);
         assert_eq!(s.object("Employees").avg_nested, 12.0);
+    }
+
+    #[test]
+    fn attr_ndv_round_trip_and_survives_set_object() {
+        let mut s = Statistics::new();
+        s.set_attr_ndv("S", "dept", 10.0);
+        s.set_object("S", 1000.0, 100.0, 8.0);
+        s.set_attr_ndv("S", "adv", 25.0);
+        let o = s.object("S");
+        assert_eq!(o.rows, 1000.0);
+        assert_eq!(o.attr_ndv.get("dept"), Some(&10.0));
+        assert_eq!(o.attr_ndv.get("adv"), Some(&25.0));
     }
 
     #[test]

@@ -60,6 +60,18 @@ const COMMANDS: &[MetaCommand] = &[
         run: cmd_verify,
     },
     MetaCommand {
+        name: ".analyze",
+        args: "",
+        help: "recollect statistics from the stored data (ANALYZE)",
+        run: cmd_analyze,
+    },
+    MetaCommand {
+        name: ".stats",
+        args: "[object]",
+        help: "show optimizer statistics (rows, distinct, per-attribute NDVs)",
+        run: cmd_stats,
+    },
+    MetaCommand {
         name: ".counters",
         args: "",
         help: "work counters of the last query",
@@ -272,6 +284,42 @@ fn cmd_verify(db: &mut Database, rest: &str) -> bool {
             }
         }
         Err(e) => println!("error: {e}"),
+    }
+    true
+}
+
+fn cmd_analyze(db: &mut Database, _rest: &str) -> bool {
+    let n = db.analyze().objects.len();
+    println!("statistics collected for {n} object(s) — see .stats");
+    true
+}
+
+fn cmd_stats(db: &mut Database, rest: &str) -> bool {
+    let stats = db.statistics();
+    let mut names: Vec<&String> = stats.objects.keys().collect();
+    names.sort_unstable();
+    if !rest.is_empty() {
+        names.retain(|n| n.as_str() == rest);
+        if names.is_empty() {
+            println!("no statistics for `{rest}` — run .analyze after loading data");
+            return true;
+        }
+    } else if names.is_empty() {
+        println!("no statistics collected yet — run .analyze");
+        return true;
+    }
+    for n in names {
+        let o = stats.object(n);
+        println!(
+            "  {n}: rows={:.0} distinct={:.0} (dup ×{:.1}) avg_nested={:.1}",
+            o.rows,
+            o.distinct,
+            o.rows / o.distinct.max(1.0),
+            o.avg_nested
+        );
+        for (attr, ndv) in &o.attr_ndv {
+            println!("    ndv({attr}) = {ndv:.0}");
+        }
     }
     true
 }

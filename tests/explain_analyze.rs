@@ -4,7 +4,7 @@
 
 use excess::db::{journal_json, metrics_json, profile_json, Database};
 use excess::optimizer::{Optimizer, RuleCtx};
-use excess_bench::example1::{example1_db, figure7, figure8};
+use excess_bench::example1::{example1_db, figure6, figure7, figure8};
 
 /// |S| and |E| for the Figure 8 pair; the duplication factor is set to
 /// max(|S|,|E|) so every employee shares one name and the Figure 7 join
@@ -80,8 +80,10 @@ fn journal_names_the_de_early_rule_sequence() {
         registry: db.registry(),
         schemas: db.catalog(),
     };
-    let (best, journal) =
-        opt.optimize_greedy_journaled(&figure7().desugar(), &rctx, db.statistics());
+    // The sugared Figure 6 tree as the parser would emit it — no
+    // desugaring hint; the statistics collected from the store are what
+    // let the cost model credit the DE pushes.
+    let (best, journal) = opt.optimize_greedy_journaled(&figure6(), &rctx, db.statistics());
     assert!(
         journal.rule_sequence().contains(&"rel5-de-early"),
         "journal should name the DE-pushing rule, got {:?}",
@@ -125,7 +127,7 @@ fn session_metrics_accumulate_across_queries_and_optimizations() {
     assert_eq!(db.metrics().queries, 2);
     assert!(db.metrics().counters.total() > after_one.total());
 
-    let plan = figure7().desugar();
+    let plan = figure6();
     let (_, journal) = db.optimize_plan_journaled(&plan);
     assert_eq!(db.metrics().optimizations, 1);
     assert_eq!(db.metrics().rewrites_applied, journal.steps.len() as u64);
