@@ -10,6 +10,7 @@ use excess_core::eval::{evaluate, EvalCtx};
 use excess_core::expr::Expr;
 use excess_core::profile::Profile;
 use excess_core::verify::Report;
+use excess_exec::{run_parallel, ExecConfig, ExecReport, Tracing};
 use excess_lang::ast::{QExpr, QPred, Retrieve, Step, Stmt};
 use excess_lang::ddl::{initial_value, lower_type};
 use excess_lang::methods::{MethodDef, MethodRegistry};
@@ -56,7 +57,12 @@ pub struct Database {
     stats: Statistics,
     /// Run the rule-based optimizer on every query (default: on).
     pub optimize: bool,
+    /// Parallel-execution configuration; `retrieve` statements route
+    /// through the partition-parallel engine whenever `workers > 1`
+    /// (default: from `EXCESS_THREADS`, serial when unset).
+    exec: ExecConfig,
     last_counters: Counters,
+    last_exec_report: Option<ExecReport>,
     metrics: SessionMetrics,
 }
 
@@ -78,7 +84,9 @@ impl Database {
             procedures: HashMap::new(),
             stats: Statistics::new(),
             optimize: true,
+            exec: ExecConfig::from_env(),
             last_counters: Counters::new(),
+            last_exec_report: None,
             metrics: SessionMetrics::new(),
         }
     }
@@ -116,6 +124,23 @@ impl Database {
     /// Cumulative per-session metrics (queries, counters, rule firings).
     pub fn metrics(&self) -> &SessionMetrics {
         &self.metrics
+    }
+    /// The current parallel-execution configuration.
+    pub fn exec_config(&self) -> ExecConfig {
+        self.exec
+    }
+    /// Replace the parallel-execution configuration.
+    pub fn set_exec_config(&mut self, cfg: ExecConfig) {
+        self.exec = cfg;
+    }
+    /// Set the worker-thread count (1 = serial; clamped to ≥ 1).
+    pub fn set_threads(&mut self, workers: usize) {
+        self.exec = ExecConfig::with_workers(workers);
+    }
+    /// The execution journal of the most recent parallel run (strategies,
+    /// exchanges, fallbacks, per-worker skew), if any.
+    pub fn last_exec_report(&self) -> Option<&ExecReport> {
+        self.last_exec_report.as_ref()
     }
     /// Zero the session metrics registry.
     pub fn reset_metrics(&mut self) {
@@ -224,7 +249,11 @@ impl Database {
                 } else {
                     plan
                 };
-                let value = self.run_plan(&plan)?;
+                let value = if self.exec.is_parallel() {
+                    self.run_plan_parallel(&plan)?
+                } else {
+                    self.run_plan(&plan)?
+                };
                 if let Some(into) = &r.into {
                     self.catalog.put(into, ty, value.clone());
                     self.rebuild_extents_for(into);
@@ -434,6 +463,76 @@ impl Database {
         Ok(out?)
     }
 
+    /// Evaluate a plan with the partition-parallel engine under the
+    /// session's [`ExecConfig`] (see [`Database::set_threads`]).  The
+    /// result is `canon`-identical to [`Database::run_plan`]; counters,
+    /// session metrics, and the execution journal
+    /// ([`Database::last_exec_report`]) are recorded.  Plans that fail
+    /// verification, mint OIDs, or run under one worker fall back to
+    /// serial evaluation with a journaled reason.
+    pub fn run_plan_parallel(&mut self, plan: &Expr) -> DbResult<Value> {
+        self.run_plan_parallel_traced(plan, Tracing::Off)
+            .map(|(v, _)| v)
+    }
+
+    /// [`Database::run_plan_parallel`] returning the execution journal
+    /// alongside the value.
+    pub fn run_plan_parallel_report(&mut self, plan: &Expr) -> DbResult<(Value, ExecReport)> {
+        let v = self.run_plan_parallel(plan)?;
+        let report = self
+            .last_exec_report
+            .clone()
+            .expect("run_plan_parallel records a report");
+        Ok((v, report))
+    }
+
+    /// [`Database::run_plan_parallel`] with per-operator profiling: the
+    /// merged profile spans the driver and every worker (fragment-local
+    /// paths), and its self-counter sum telescopes to the query totals
+    /// exactly as in serial profiling.
+    pub fn run_plan_parallel_profiled(&mut self, plan: &Expr) -> DbResult<(Value, Profile)> {
+        self.run_plan_parallel_traced(plan, Tracing::Precise)
+            .map(|(v, p)| (v, p.expect("tracing was enabled")))
+    }
+
+    /// [`Database::run_plan_parallel_profiled`] with coarse timestamps
+    /// (one clock sample per traced node — see
+    /// [`EvalCtx::enable_coarse_tracing`]).
+    pub fn run_plan_parallel_profiled_coarse(&mut self, plan: &Expr) -> DbResult<(Value, Profile)> {
+        self.run_plan_parallel_traced(plan, Tracing::Coarse)
+            .map(|(v, p)| (v, p.expect("tracing was enabled")))
+    }
+
+    fn run_plan_parallel_traced(
+        &mut self,
+        plan: &Expr,
+        tracing: Tracing,
+    ) -> DbResult<(Value, Option<Profile>)> {
+        let started = Instant::now();
+        let out = run_parallel(
+            plan,
+            &self.registry,
+            &mut self.store,
+            &self.catalog,
+            Some(&self.catalog),
+            self.exec,
+            tracing,
+        );
+        let wall = started.elapsed();
+        let out = out?;
+        self.last_counters = out.counters;
+        // A whole-plan serial fallback is accounted as a serial query.
+        let effective_workers = if out.report.worker_stats.is_empty() {
+            1
+        } else {
+            out.report.workers
+        };
+        self.metrics
+            .record_query_mode(out.counters, wall, effective_workers);
+        self.last_exec_report = Some(out.report);
+        Ok((out.value, out.profile))
+    }
+
     /// Evaluate a plan with per-operator profiling enabled; returns the
     /// result together with the execution [`Profile`].  Work counters and
     /// session metrics are recorded exactly as by [`Database::run_plan`]
@@ -472,10 +571,26 @@ impl Database {
     /// operator tree annotated with per-node actuals (calls, rows in→out,
     /// self counters, ms and share of the query) next to the cost model's
     /// static per-node estimates.
+    /// Under a parallel [`ExecConfig`] the plan runs through the
+    /// partition engine instead and a `parallel execution:` section
+    /// (workers, occurrence skew, per-node strategy journal, per-worker
+    /// accounting) is appended.  Per-node actuals then reflect the
+    /// partition-local fragment plans merged by path, which align with
+    /// the original tree only approximately — the appended section is the
+    /// authoritative record of what ran where.
     pub fn explain_analyze(&mut self, plan: &Expr) -> DbResult<String> {
         let estimates = excess_optimizer::estimate_nodes(plan, &self.stats);
-        let (_, profile) = self.run_plan_profiled(plan)?;
+        let (profile, report) = if self.exec.is_parallel() {
+            let (_, profile) = self.run_plan_parallel_profiled(plan)?;
+            (profile, self.last_exec_report.clone())
+        } else {
+            let (_, profile) = self.run_plan_profiled(plan)?;
+            (profile, None)
+        };
         let mut out = crate::explain::render_explain_analyze(plan, &profile, &estimates);
+        if let Some(report) = report {
+            out.push_str(&crate::explain::render_parallel_execution(&report));
+        }
         out.push_str(&render_diagnostics(&self.verify_plan(plan)));
         Ok(out)
     }

@@ -33,8 +33,14 @@ pub mod stats;
 pub use catalog::{DbCatalog, NamedObject};
 pub use database::Database;
 pub use error::{DbError, DbResult};
-pub use explain::render_explain_analyze;
+pub use explain::{render_explain_analyze, render_parallel_execution};
 pub use format::{format_result, try_table};
-pub use json::{counters_json, journal_json, metrics_json, profile_json, verify_json};
+pub use json::{
+    counters_json, exec_report_json, journal_json, metrics_json, profile_json, verify_json,
+};
+
+// Re-exported so callers can configure parallel execution without naming
+// the engine crate directly.
+pub use excess_exec::{ExecConfig, ExecReport, THREADS_ENV};
 pub use metrics::SessionMetrics;
 pub use stats::collect_statistics;

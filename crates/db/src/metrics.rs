@@ -16,6 +16,13 @@ use std::time::Duration;
 pub struct SessionMetrics {
     /// Plans evaluated (`run_plan` / `run_plan_profiled` calls).
     pub queries: u64,
+    /// Queries that ran through the serial evaluator.
+    pub serial_queries: u64,
+    /// Queries that ran through the partition-parallel engine.
+    pub parallel_queries: u64,
+    /// Worker count of the most recent parallel execution (0 until one
+    /// runs).
+    pub workers: usize,
     /// Journaled optimization runs.
     pub optimizations: u64,
     /// Accepted rewrite steps across all journaled optimizations.
@@ -41,11 +48,23 @@ impl SessionMetrics {
         Self::default()
     }
 
-    /// Fold one evaluation into the session totals.
+    /// Fold one (serial) evaluation into the session totals.
     pub fn record_query(&mut self, counters: Counters, wall: Duration) {
+        self.record_query_mode(counters, wall, 1);
+    }
+
+    /// Fold one evaluation into the session totals, recording whether it
+    /// ran serially (`workers <= 1`) or through the parallel engine.
+    pub fn record_query_mode(&mut self, counters: Counters, wall: Duration, workers: usize) {
         self.queries += 1;
         self.counters += counters;
         self.eval_wall += wall;
+        if workers > 1 {
+            self.parallel_queries += 1;
+            self.workers = workers;
+        } else {
+            self.serial_queries += 1;
+        }
     }
 
     /// Fold one journaled optimization run into the session totals.
@@ -75,6 +94,13 @@ impl std::fmt::Display for SessionMetrics {
             self.eval_wall.as_secs_f64() * 1e3
         )?;
         writeln!(f, "work:    {}", self.counters)?;
+        if self.parallel_queries > 0 {
+            writeln!(
+                f,
+                "execution: {} serial, {} parallel ({} workers)",
+                self.serial_queries, self.parallel_queries, self.workers
+            )?;
+        }
         writeln!(
             f,
             "optimizer: {} runs, {} rewrites accepted, {} refused, {} plans enumerated, est. cost removed {:.0}",
@@ -113,6 +139,22 @@ mod tests {
         assert_eq!(m.queries, 2);
         assert_eq!(m.counters.derefs, 6);
         assert_eq!(m.eval_wall, Duration::from_millis(5));
+    }
+
+    #[test]
+    fn record_query_mode_splits_serial_and_parallel() {
+        let mut m = SessionMetrics::new();
+        m.record_query(Counters::new(), Duration::ZERO);
+        m.record_query_mode(Counters::new(), Duration::ZERO, 4);
+        assert_eq!(m.queries, 2);
+        assert_eq!(m.serial_queries, 1);
+        assert_eq!(m.parallel_queries, 1);
+        assert_eq!(m.workers, 4);
+        let s = m.to_string();
+        assert!(
+            s.contains("execution: 1 serial, 1 parallel (4 workers)"),
+            "{s}"
+        );
     }
 
     #[test]

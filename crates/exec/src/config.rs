@@ -1,0 +1,81 @@
+//! Execution configuration: how many workers, how many partitions.
+
+/// Configuration for the partition-parallel engine.
+///
+/// `workers` is the number of worker threads the engine keeps for the
+/// duration of one plan execution; `partitions` is how many partitions
+/// each parallel operator splits its input into (normally equal to
+/// `workers`, but tests exercise mismatched counts — more partitions
+/// than workers just means some workers process several partitions).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ExecConfig {
+    /// Worker threads per plan execution (1 = serial).
+    pub workers: usize,
+    /// Partitions per parallel operator (≥ 1; usually `workers`).
+    pub partitions: usize,
+}
+
+/// The environment variable consulted by [`ExecConfig::from_env`] (and by
+/// anything that wants a session-wide default worker count).
+pub const THREADS_ENV: &str = "EXCESS_THREADS";
+
+impl ExecConfig {
+    /// Serial execution: one worker, one partition.
+    pub fn serial() -> Self {
+        ExecConfig {
+            workers: 1,
+            partitions: 1,
+        }
+    }
+
+    /// `n` workers, `n` partitions (clamped to ≥ 1).
+    pub fn with_workers(n: usize) -> Self {
+        let n = n.max(1);
+        ExecConfig {
+            workers: n,
+            partitions: n,
+        }
+    }
+
+    /// Read the worker count from `EXCESS_THREADS`; absent or unparsable
+    /// values mean serial execution (the conservative default — parallel
+    /// evaluation is opt-in).
+    pub fn from_env() -> Self {
+        match std::env::var(THREADS_ENV) {
+            Ok(s) => match s.trim().parse::<usize>() {
+                Ok(n) if n >= 1 => Self::with_workers(n),
+                _ => Self::serial(),
+            },
+            Err(_) => Self::serial(),
+        }
+    }
+
+    /// Is this configuration actually parallel?
+    pub fn is_parallel(&self) -> bool {
+        self.workers > 1
+    }
+}
+
+impl Default for ExecConfig {
+    fn default() -> Self {
+        Self::serial()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn with_workers_clamps_to_one() {
+        assert_eq!(ExecConfig::with_workers(0), ExecConfig::serial());
+        assert_eq!(ExecConfig::with_workers(4).workers, 4);
+        assert_eq!(ExecConfig::with_workers(4).partitions, 4);
+    }
+
+    #[test]
+    fn serial_is_not_parallel() {
+        assert!(!ExecConfig::serial().is_parallel());
+        assert!(ExecConfig::with_workers(2).is_parallel());
+    }
+}

@@ -1,0 +1,218 @@
+//! The execution journal: what the engine parallelized, where it inserted
+//! exchanges, and where (and why) it fell back to serial evaluation.
+
+use std::time::Duration;
+
+use excess_core::counters::Counters;
+use excess_core::profile::{path_string, NodePath};
+
+/// How a parallel operator distributed its input across partitions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Strategy {
+    /// Contiguous occurrence runs (σ, SET_APPLY, SET_COLLAPSE, …).
+    Chunk,
+    /// Hash-partitioned by whole value (DE, ∪, ∩, −, ⊎).
+    HashValue,
+    /// Left input chunk-partitioned, right input replicated to every
+    /// partition (joins and crosses without a usable equi-key).
+    BroadcastRight,
+    /// Both inputs hash-partitioned on the equi-join key (exchange).
+    HashKey,
+}
+
+impl std::fmt::Display for Strategy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            Strategy::Chunk => "chunk",
+            Strategy::HashValue => "hash-value",
+            Strategy::BroadcastRight => "broadcast-right",
+            Strategy::HashKey => "hash-key",
+        })
+    }
+}
+
+/// One journaled engine decision, keyed by the node's path in the plan.
+#[derive(Debug, Clone)]
+pub enum ExecEvent {
+    /// The node ran partition-parallel.
+    Parallel {
+        /// Node path (child indices from the plan root).
+        path: NodePath,
+        /// Operator label (`σ[…]`, `GRP[…]`, …).
+        op: String,
+        /// Partitioning scheme used.
+        strategy: Strategy,
+        /// Number of partitions the input was split into.
+        partitions: usize,
+        /// How many of those partitions were empty (skew indicator).
+        empty: usize,
+    },
+    /// A repartition-by-key exchange was inserted (GRP, equi-joins).
+    Exchange {
+        /// Node path.
+        path: NodePath,
+        /// Operator label.
+        op: String,
+        /// Human-readable description of the key(s) hashed on.
+        keys: String,
+        /// Number of key partitions.
+        partitions: usize,
+        /// Empty key partitions after the exchange.
+        empty: usize,
+    },
+    /// The node (and, for the plan root, the whole plan) ran serially.
+    SerialFallback {
+        /// Node path.
+        path: NodePath,
+        /// Operator label.
+        op: String,
+        /// Why the engine declined to partition it.
+        reason: String,
+    },
+}
+
+impl ExecEvent {
+    /// The node path this event is about.
+    pub fn path(&self) -> &NodePath {
+        match self {
+            ExecEvent::Parallel { path, .. }
+            | ExecEvent::Exchange { path, .. }
+            | ExecEvent::SerialFallback { path, .. } => path,
+        }
+    }
+}
+
+impl std::fmt::Display for ExecEvent {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ExecEvent::Parallel {
+                path,
+                op,
+                strategy,
+                partitions,
+                empty,
+            } => write!(
+                f,
+                "{} {op}: parallel ({strategy}, {partitions} partitions, {empty} empty)",
+                path_string(path)
+            ),
+            ExecEvent::Exchange {
+                path,
+                op,
+                keys,
+                partitions,
+                empty,
+            } => write!(
+                f,
+                "{} {op}: exchange on {keys} ({partitions} partitions, {empty} empty)",
+                path_string(path)
+            ),
+            ExecEvent::SerialFallback { path, op, reason } => {
+                write!(f, "{} {op}: serial — {reason}", path_string(path))
+            }
+        }
+    }
+}
+
+/// Per-worker accounting for one plan execution.
+#[derive(Debug, Clone, Default)]
+pub struct WorkerStats {
+    /// Worker index (0-based).
+    pub worker: usize,
+    /// Partition tasks this worker executed.
+    pub tasks: u64,
+    /// Input occurrences routed to this worker (the skew measure).
+    pub occurrences: u64,
+    /// Wall time spent inside tasks.
+    pub busy: Duration,
+    /// Work counters accumulated by this worker.
+    pub counters: Counters,
+}
+
+/// Everything the engine observed while executing one plan.
+#[derive(Debug, Clone, Default)]
+pub struct ExecReport {
+    /// Configured worker count.
+    pub workers: usize,
+    /// Journal of per-node decisions, in execution order.
+    pub events: Vec<ExecEvent>,
+    /// Per-worker accounting (empty when the whole plan ran serially).
+    pub worker_stats: Vec<WorkerStats>,
+}
+
+impl ExecReport {
+    /// An empty report for a run with `workers` workers.
+    pub fn new(workers: usize) -> Self {
+        ExecReport {
+            workers,
+            events: Vec::new(),
+            worker_stats: Vec::new(),
+        }
+    }
+
+    /// Number of nodes that ran partition-parallel (exchanges included).
+    pub fn parallel_nodes(&self) -> usize {
+        self.events
+            .iter()
+            .filter(|e| !matches!(e, ExecEvent::SerialFallback { .. }))
+            .count()
+    }
+
+    /// Number of journaled serial fallbacks.
+    pub fn fallbacks(&self) -> usize {
+        self.events.len() - self.parallel_nodes()
+    }
+
+    /// Occurrence skew across workers: max / mean routed occurrences
+    /// (1.0 = perfectly balanced; `None` when nothing was routed).
+    pub fn skew(&self) -> Option<f64> {
+        if self.worker_stats.is_empty() {
+            return None;
+        }
+        let total: u64 = self.worker_stats.iter().map(|w| w.occurrences).sum();
+        if total == 0 {
+            return None;
+        }
+        let mean = total as f64 / self.worker_stats.len() as f64;
+        let max = self
+            .worker_stats
+            .iter()
+            .map(|w| w.occurrences)
+            .max()
+            .unwrap_or(0) as f64;
+        Some(max / mean)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn skew_is_max_over_mean() {
+        let mut r = ExecReport::new(2);
+        r.worker_stats = vec![
+            WorkerStats {
+                worker: 0,
+                occurrences: 30,
+                ..Default::default()
+            },
+            WorkerStats {
+                worker: 1,
+                occurrences: 10,
+                ..Default::default()
+            },
+        ];
+        assert!((r.skew().unwrap() - 1.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn display_formats_fallback_with_path() {
+        let e = ExecEvent::SerialFallback {
+            path: vec![0, 1],
+            op: "ARR_CAT".into(),
+            reason: "order-sensitive".into(),
+        };
+        assert_eq!(e.to_string(), "[0.1] ARR_CAT: serial — order-sensitive");
+    }
+}

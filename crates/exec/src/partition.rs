@@ -1,0 +1,145 @@
+//! Deterministic partitioning of multisets.
+//!
+//! Two schemes, matching the algebraic requirements of the operators (see
+//! DESIGN.md "Parallel execution"):
+//!
+//! * **chunk** — contiguous runs of the occurrence sequence, for operators
+//!   that distribute over ⊎ element-wise (σ, SET_APPLY, SET_COLLAPSE,
+//!   join/cross left inputs).  The multiset's canonical (`BTreeMap`)
+//!   ordering makes the split deterministic.
+//! * **hash by value / key** — all occurrences of equal values land in the
+//!   same partition, for operators whose semantics are per-distinct-value
+//!   (DE, ∪, ∩, −, ⊎) or per-key (GRP, equi-joins).  The hash is
+//!   `DefaultHasher` over the value's canonical rendering — `SipHash` with
+//!   fixed zero keys, so partition assignment is deterministic across
+//!   runs and processes.
+
+use std::hash::{Hash, Hasher};
+
+use excess_types::{MultiSet, Value};
+
+/// Deterministic 64-bit hash of a value: equal values hash equal (the
+/// rendering is a function of the value), and the hasher is keyed with
+/// constants, never `RandomState`.
+pub fn value_hash(v: &Value) -> u64 {
+    let mut h = std::collections::hash_map::DefaultHasher::new();
+    v.to_string().hash(&mut h);
+    h.finish()
+}
+
+/// Split `s` into `parts` contiguous occurrence runs of near-equal size.
+/// Occurrence counts are preserved exactly: ⊎ of the partitions equals
+/// `s`.  Trailing partitions may be empty when `s.len() < parts`.
+pub fn chunk_partitions(s: &MultiSet, parts: usize) -> Vec<MultiSet> {
+    let parts = parts.max(1);
+    let total = s.len();
+    let per = total.div_ceil(parts as u64).max(1);
+    let mut out = vec![MultiSet::new(); parts];
+    let mut idx = 0usize;
+    let mut filled = 0u64;
+    for (v, mut n) in s.iter_counted() {
+        while n > 0 {
+            let room = per - filled;
+            let take = n.min(room);
+            out[idx].insert_n(v.clone(), take);
+            n -= take;
+            filled += take;
+            if filled == per && idx + 1 < parts {
+                idx += 1;
+                filled = 0;
+            }
+        }
+    }
+    out
+}
+
+/// Split `s` into `parts` partitions by value hash: every occurrence of a
+/// given value lands in partition `hash(value) % parts`.
+pub fn hash_partitions(s: &MultiSet, parts: usize) -> Vec<MultiSet> {
+    let parts = parts.max(1);
+    let mut out = vec![MultiSet::new(); parts];
+    for (v, n) in s.iter_counted() {
+        let idx = (value_hash(v) % parts as u64) as usize;
+        out[idx].insert_n(v.clone(), n);
+    }
+    out
+}
+
+/// ⊎ of a partition list — the inverse of both partitioners, used by the
+/// engine's merge step and by the round-trip tests below.
+pub fn merge_partitions(parts: Vec<MultiSet>) -> MultiSet {
+    let mut acc = MultiSet::new();
+    for p in parts {
+        acc = acc.additive_union(p);
+    }
+    acc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> MultiSet {
+        let mut s = MultiSet::new();
+        for i in 0..10 {
+            s.insert_n(Value::int(i % 4), (i % 3 + 1) as u64);
+        }
+        s
+    }
+
+    #[test]
+    fn chunk_round_trips_and_balances() {
+        let s = sample();
+        for parts in [1usize, 2, 3, 7] {
+            let split = chunk_partitions(&s, parts);
+            assert_eq!(split.len(), parts);
+            let max = split.iter().map(|p| p.len()).max().unwrap();
+            let min_nonempty = split
+                .iter()
+                .map(|p| p.len())
+                .filter(|&n| n > 0)
+                .min()
+                .unwrap();
+            assert!(max - min_nonempty <= s.len().div_ceil(parts as u64));
+            assert_eq!(merge_partitions(split), s);
+        }
+    }
+
+    #[test]
+    fn hash_round_trips_and_colocates() {
+        let s = sample();
+        for parts in [1usize, 2, 3, 7] {
+            let split = hash_partitions(&s, parts);
+            // Each distinct value appears in exactly one partition.
+            for (v, n) in s.iter_counted() {
+                let holders: Vec<u64> = split
+                    .iter()
+                    .filter_map(|p| {
+                        let c = p.iter_counted().find(|(w, _)| *w == v).map(|(_, c)| c)?;
+                        Some(c)
+                    })
+                    .collect();
+                assert_eq!(holders, vec![n], "value {v} split across partitions");
+            }
+            assert_eq!(merge_partitions(split), s);
+        }
+    }
+
+    #[test]
+    fn small_input_leaves_partitions_empty() {
+        let mut s = MultiSet::new();
+        s.insert_n(Value::int(1), 1);
+        s.insert_n(Value::int(2), 1);
+        s.insert_n(Value::int(3), 1);
+        let split = chunk_partitions(&s, 7);
+        assert!(split.iter().filter(|p| p.is_empty()).count() >= 4);
+        assert_eq!(merge_partitions(split), s);
+    }
+
+    #[test]
+    fn value_hash_is_stable_for_equal_values() {
+        let a = Value::tuple([("x", Value::int(3)), ("y", Value::str("hi"))]);
+        let b = Value::tuple([("x", Value::int(3)), ("y", Value::str("hi"))]);
+        assert_eq!(value_hash(&a), value_hash(&b));
+    }
+}

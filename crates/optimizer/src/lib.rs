@@ -16,7 +16,7 @@ pub mod rule;
 pub mod rules;
 pub mod stats;
 
-pub use cost::{cost_of, estimate, estimate_nodes, Estimate};
+pub use cost::{cost_of, estimate, estimate_nodes, estimate_parallel, Estimate, ParallelEstimate};
 pub use dispatch::{build_switch, build_union, choose, DispatchStrategy, MethodImpl};
 pub use engine::{
     apply_extent_indexes, apply_extent_indexes_journaled, soundness_violation, JournalStep,

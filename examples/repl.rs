@@ -84,6 +84,12 @@ const COMMANDS: &[MetaCommand] = &[
         run: cmd_metrics,
     },
     MetaCommand {
+        name: ".threads",
+        args: "[N]",
+        help: "set the worker count for parallel retrieves (1 = serial); no argument shows it",
+        run: cmd_threads,
+    },
+    MetaCommand {
         name: ".load",
         args: "university",
         help: "load the Figure 1 workload",
@@ -341,6 +347,39 @@ fn cmd_metrics(db: &mut Database, rest: &str) -> bool {
     true
 }
 
+fn cmd_threads(db: &mut Database, rest: &str) -> bool {
+    if rest.is_empty() {
+        let cfg = db.exec_config();
+        if cfg.is_parallel() {
+            println!(
+                "  {} workers, {} partitions per operator",
+                cfg.workers, cfg.partitions
+            );
+            if let Some(report) = db.last_exec_report() {
+                print!("{}", excess::db::render_parallel_execution(report));
+            }
+        } else {
+            println!(
+                "  serial execution (set with .threads N or ${})",
+                excess::db::THREADS_ENV
+            );
+        }
+        return true;
+    }
+    match rest.parse::<usize>() {
+        Ok(n) if n >= 1 => {
+            db.set_threads(n);
+            if n == 1 {
+                println!("serial execution");
+            } else {
+                println!("retrieves now run on {n} workers");
+            }
+        }
+        _ => println!("usage: .threads [N]  (N >= 1)"),
+    }
+    true
+}
+
 fn cmd_load(db: &mut Database, rest: &str) -> bool {
     if rest != "university" {
         println!("usage: .load university");
@@ -348,7 +387,9 @@ fn cmd_load(db: &mut Database, rest: &str) -> bool {
     }
     match excess::workload::generate(&excess::workload::UniversityParams::default()) {
         Ok(u) => {
+            let exec = db.exec_config();
             *db = u.db;
+            db.set_exec_config(exec);
             println!("loaded the Figure 1 university database");
         }
         Err(e) => println!("error: {e}"),

@@ -10,6 +10,7 @@
 //!   rewrite engine;
 //! * [`lang`] — the EXCESS query language: parser, EXCESS→algebra
 //!   translator, algebra→EXCESS decompiler, and method registry;
+//! * [`exec`] — the partition-parallel execution engine;
 //! * [`db`] — the end-to-end [`db::Database`] engine;
 //! * [`workload`] — the Figure 1 university-database generator used by the
 //!   examples and benchmarks.
@@ -29,6 +30,7 @@
 
 pub use excess_core as algebra;
 pub use excess_db as db;
+pub use excess_exec as exec;
 pub use excess_lang as lang;
 pub use excess_optimizer as optimizer;
 pub use excess_types as types;
