@@ -50,6 +50,11 @@ pub struct EvalCtx<'a> {
     /// default: the evaluator then pays one branch per node and nothing
     /// else.
     pub trace: Option<Box<TraceSink>>,
+    /// Pointer-keyed hash-join kernel table, installed by
+    /// [`crate::physical::evaluate_physical`]: maps the address of a
+    /// `rel_join` node to its `(left_key, right_key)` choice.  `None`
+    /// (the default) means every join runs as a nested loop.
+    pub(crate) join_kernels: Option<std::collections::HashMap<usize, (String, String)>>,
 }
 
 impl<'a> EvalCtx<'a> {
@@ -66,6 +71,7 @@ impl<'a> EvalCtx<'a> {
             today: Date::new(1990, 12, 1).expect("valid date"),
             counters: Counters::new(),
             trace: None,
+            join_kernels: None,
         }
     }
 
@@ -593,6 +599,22 @@ fn eval_inner(e: &Expr, env: &mut Vec<Value>, ctx: &mut EvalCtx) -> EvalResult<V
                 return Ok(b);
             }
             let (sa, sb) = (as_set("rel_join", a)?, as_set("rel_join", b)?);
+            // A lowered plan may have assigned this node (by address) a
+            // hash kernel; its runtime guard re-verifies the key side
+            // conditions and reports `None` to fall back to the nested
+            // loop, so canon-identity never rests on the statistics.
+            let keys = ctx
+                .join_kernels
+                .as_ref()
+                .and_then(|t| t.get(&(e as *const Expr as usize)))
+                .cloned();
+            if let Some((lf, rf)) = keys {
+                if let Some(out) =
+                    crate::physical::hash_equi_join(&sa, &sb, &lf, &rf, pred, env, ctx)?
+                {
+                    return Ok(Value::Set(out));
+                }
+            }
             let mut out = MultiSet::new();
             for (x, cx) in sa.iter_counted() {
                 let tx = x

@@ -1,0 +1,98 @@
+//! JSON string escaping shared by every hand-rolled serializer.
+//!
+//! The workspace deliberately has no serialization dependency; the
+//! observability layers (`excess-db`'s JSON module, the report binary)
+//! build JSON with plain string formatting.  The one piece that is easy
+//! to get subtly wrong — escaping string payloads — lives here so there
+//! is exactly one implementation to test.
+
+/// Escape a string for inclusion in a JSON document (adds no quotes).
+///
+/// Handles the two mandatory escapes (`"` and `\`), the common control
+/// characters by short form (`\n`, `\r`, `\t`), and every remaining
+/// control character below U+0020 as `\u00XX`.
+pub fn escape_json(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// [`escape_json`] plus the surrounding double quotes — a complete JSON
+/// string literal.
+pub fn quote_json(s: &str) -> String {
+    format!("\"{}\"", escape_json(s))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plain_strings_pass_through() {
+        assert_eq!(escape_json("hello world"), "hello world");
+        assert_eq!(quote_json("hello"), "\"hello\"");
+    }
+
+    #[test]
+    fn quotes_and_backslashes_are_escaped() {
+        assert_eq!(escape_json("a\"b"), "a\\\"b");
+        assert_eq!(escape_json("a\\b"), "a\\\\b");
+        assert_eq!(quote_json("say \"hi\""), "\"say \\\"hi\\\"\"");
+    }
+
+    #[test]
+    fn named_control_characters_use_short_forms() {
+        assert_eq!(escape_json("a\nb\rc\td"), "a\\nb\\rc\\td");
+    }
+
+    #[test]
+    fn remaining_control_characters_use_unicode_escapes() {
+        assert_eq!(escape_json("\u{01}"), "\\u0001");
+        assert_eq!(escape_json("\u{1f}"), "\\u001f");
+    }
+
+    #[test]
+    fn non_ascii_text_is_left_alone() {
+        assert_eq!(escape_json("σ ⋈ π — ∅"), "σ ⋈ π — ∅");
+    }
+
+    #[test]
+    fn escaped_output_round_trips_as_json_content() {
+        // Re-parse by hand: unescape what we escaped.
+        let original = "line1\nline2\t\"quoted\" \\ end\u{02}";
+        let escaped = escape_json(original);
+        assert!(!escaped.contains('\n'));
+        assert!(!escaped.contains('\u{02}'));
+        let mut restored = String::new();
+        let mut chars = escaped.chars();
+        while let Some(c) = chars.next() {
+            if c != '\\' {
+                restored.push(c);
+                continue;
+            }
+            match chars.next() {
+                Some('n') => restored.push('\n'),
+                Some('r') => restored.push('\r'),
+                Some('t') => restored.push('\t'),
+                Some('u') => {
+                    let hex: String = (0..4).filter_map(|_| chars.next()).collect();
+                    let cp = u32::from_str_radix(&hex, 16).expect("hex escape");
+                    restored.push(char::from_u32(cp).expect("valid codepoint"));
+                }
+                Some(other) => restored.push(other),
+                None => panic!("dangling escape"),
+            }
+        }
+        assert_eq!(restored, original);
+    }
+}

@@ -33,7 +33,9 @@ pub mod error;
 pub mod eval;
 pub mod expr;
 pub mod infer;
+pub mod json;
 pub mod ops;
+pub mod physical;
 pub mod profile;
 pub mod render;
 pub mod verify;
@@ -44,6 +46,10 @@ pub use counters::Counters;
 pub use error::{EvalError, EvalResult};
 pub use eval::{eval, evaluate, exact_type_of, exact_type_of_parts, EvalCtx};
 pub use expr::{Bound, CmpOp, Expr, Func, Pred};
+pub use json::{escape_json, quote_json};
 pub use ops::predicate::Truth;
+pub use physical::{
+    equi_key_candidates, evaluate_physical, usable_equi_key, PhysChoice, PhysOp, PhysicalPlan,
+};
 pub use profile::{path_string, NodePath, NodeProfile, Profile, TraceSink};
 pub use verify::{resolve_deep, verify, Diagnostic, Report, Severity};

@@ -8,17 +8,18 @@ use crate::stats::collect_statistics;
 use excess_core::counters::Counters;
 use excess_core::eval::{evaluate, EvalCtx};
 use excess_core::expr::Expr;
+use excess_core::physical::{evaluate_physical, PhysicalPlan};
 use excess_core::profile::Profile;
 use excess_core::verify::Report;
-use excess_exec::{run_parallel, ExecConfig, ExecReport, Tracing};
+use excess_exec::{run_parallel, run_parallel_plan, ExecConfig, ExecReport, Tracing};
 use excess_lang::ast::{QExpr, QPred, Retrieve, Step, Stmt};
 use excess_lang::ddl::{initial_value, lower_type};
 use excess_lang::methods::{MethodDef, MethodRegistry};
 use excess_lang::translate::{resolve_this, translate_retrieve, TranslateCtx};
 use excess_lang::{parse_program, LangError};
 use excess_optimizer::{
-    apply_extent_indexes, apply_extent_indexes_journaled, Optimizer, RewriteJournal, RuleCtx,
-    Statistics,
+    apply_extent_indexes, apply_extent_indexes_journaled, cost_of, estimate_physical, lower,
+    lower_journaled, Optimizer, RewriteJournal, RuleCtx, Statistics,
 };
 use excess_types::{ObjectStore, SchemaType, TypeId, TypeRegistry, Value};
 use std::collections::HashMap;
@@ -34,6 +35,43 @@ fn render_diagnostics(r: &Report) -> String {
     for d in &r.diagnostics {
         out.push_str("  ");
         out.push_str(&d.to_string());
+        out.push('\n');
+    }
+    out
+}
+
+/// Render the `physical plan:` block `explain_analyze` appends: one line
+/// per lowered spine node whose kernel is more than a pass-through, with
+/// the lowering's estimated rows next to the measured rows at that node
+/// (`—` when the profile has no node at the path, as can happen for
+/// partition-local fragment profiles).
+fn render_physical_choices(plan: &PhysicalPlan, profile: &Profile) -> String {
+    use std::fmt::Write;
+    let mut out = String::new();
+    for (path, choice) in &plan.choices {
+        if matches!(choice.op, excess_core::physical::PhysOp::PassThrough) {
+            continue;
+        }
+        if out.is_empty() {
+            out.push_str("physical plan:\n");
+        }
+        let actual = profile
+            .node(path)
+            .map(|n| n.rows_out.to_string())
+            .unwrap_or_else(|| "—".to_string());
+        let est = choice
+            .est_rows
+            .map(|r| format!("{r:.0}"))
+            .unwrap_or_else(|| "?".to_string());
+        let _ = write!(
+            out,
+            "  {} {}  est rows={est} actual rows={actual}",
+            excess_core::profile::path_string(path),
+            choice.op,
+        );
+        if !choice.why.is_empty() {
+            let _ = write!(out, "  ({})", choice.why);
+        }
         out.push('\n');
     }
     out
@@ -249,10 +287,13 @@ impl Database {
                 } else {
                     plan
                 };
+                // Both engines run the same lowered plan: kernels are
+                // chosen once, here, not re-derived per engine.
+                let physical = self.lower_plan_journaled(&plan).0;
                 let value = if self.exec.is_parallel() {
-                    self.run_plan_parallel(&plan)?
+                    self.run_plan_physical_parallel(&physical)?
                 } else {
-                    self.run_plan(&plan)?
+                    self.run_plan_physical(&physical)?
                 };
                 if let Some(into) = &r.into {
                     self.catalog.put(into, ty, value.clone());
@@ -368,6 +409,37 @@ impl Database {
         (best, journal)
     }
 
+    /// Lower a logical plan to a physical plan under the session's
+    /// statistics: per spine node, the kernel the engines will run —
+    /// hash equi-join vs nested loop for `rel_join`, hash
+    /// grouping/distinct, scans — with the reason for each choice.  The
+    /// logical tree is carried unchanged; see
+    /// `excess_core::physical` for the soundness story.
+    pub fn lower_plan(&self, plan: &Expr) -> PhysicalPlan {
+        lower(plan, &self.stats)
+    }
+
+    /// [`Database::lower_plan`] journaled like a rewrite: one accepted
+    /// step under the rule name `physical-lowering` (logical cost before,
+    /// physical cost after) plus one refused step per join that stayed a
+    /// nested loop and why.  The journal is folded into the session
+    /// [`SessionMetrics`], so lowering shows up in `rules_fired` next to
+    /// the algebraic rules.
+    pub fn lower_plan_journaled(&mut self, plan: &Expr) -> (PhysicalPlan, RewriteJournal) {
+        let cost = cost_of(plan, &self.stats);
+        let mut journal = RewriteJournal {
+            steps: Vec::new(),
+            refused: Vec::new(),
+            plans_enumerated: 1,
+            max_plans: 0,
+            initial_cost: cost,
+            final_cost: cost,
+        };
+        let pp = lower_journaled(plan, &self.stats, &mut journal);
+        self.metrics.record_journal(&journal);
+        (pp, journal)
+    }
+
     /// Statically verify a plan against this database's catalog and type
     /// registry: every diagnostic (errors *and* lints), each with the node
     /// path it was found at.  See `excess_core::verify` for the taxonomy.
@@ -447,6 +519,10 @@ impl Database {
             est.cost,
             est.rows
         );
+        let pp = self.lower_plan(plan);
+        let phys = estimate_physical(&pp, &self.stats);
+        out.push_str(&format!("physical plan (est. cost {:.0}):\n", phys.cost));
+        out.push_str(&pp.render());
         out.push_str(&render_diagnostics(&self.verify_plan(plan)));
         out
     }
@@ -461,6 +537,79 @@ impl Database {
         self.last_counters = counters;
         self.metrics.record_query(counters, started.elapsed());
         Ok(out?)
+    }
+
+    /// Evaluate a lowered plan with the serial engine's physical
+    /// interpreter: hash kernels run where the plan chose them (subject
+    /// to the kernel's own runtime guard), everything else evaluates
+    /// exactly as [`Database::run_plan`].  Counters and session metrics
+    /// are recorded identically.
+    pub fn run_plan_physical(&mut self, plan: &PhysicalPlan) -> DbResult<Value> {
+        let started = Instant::now();
+        let (out, counters) = {
+            let mut ctx = EvalCtx::new(&self.registry, &mut self.store, &self.catalog);
+            (evaluate_physical(plan, &mut ctx), ctx.counters)
+        };
+        self.last_counters = counters;
+        self.metrics.record_query(counters, started.elapsed());
+        Ok(out?)
+    }
+
+    /// [`Database::run_plan_physical`] with per-operator profiling.
+    pub fn run_plan_physical_profiled(
+        &mut self,
+        plan: &PhysicalPlan,
+    ) -> DbResult<(Value, Profile)> {
+        let started = Instant::now();
+        let (out, counters, profile) = {
+            let mut ctx = EvalCtx::new(&self.registry, &mut self.store, &self.catalog);
+            ctx.enable_tracing();
+            let out = evaluate_physical(plan, &mut ctx);
+            let profile = ctx.take_profile().expect("tracing was enabled above");
+            (out, ctx.counters, profile)
+        };
+        self.last_counters = counters;
+        self.metrics.record_query(counters, started.elapsed());
+        Ok((out?, profile))
+    }
+
+    /// Evaluate a lowered plan with the partition-parallel engine: the
+    /// driver partitions according to the plan's kernel choices instead
+    /// of re-deriving strategies, and workers run the same hash kernels
+    /// as fragment bodies.  Accounting matches
+    /// [`Database::run_plan_parallel`].
+    pub fn run_plan_physical_parallel(&mut self, plan: &PhysicalPlan) -> DbResult<Value> {
+        self.run_plan_physical_parallel_traced(plan, Tracing::Off)
+            .map(|(v, _)| v)
+    }
+
+    fn run_plan_physical_parallel_traced(
+        &mut self,
+        plan: &PhysicalPlan,
+        tracing: Tracing,
+    ) -> DbResult<(Value, Option<Profile>)> {
+        let started = Instant::now();
+        let out = run_parallel_plan(
+            plan,
+            &self.registry,
+            &mut self.store,
+            &self.catalog,
+            Some(&self.catalog),
+            self.exec,
+            tracing,
+        );
+        let wall = started.elapsed();
+        let out = out?;
+        self.last_counters = out.counters;
+        let effective_workers = if out.report.worker_stats.is_empty() {
+            1
+        } else {
+            out.report.workers
+        };
+        self.metrics
+            .record_query_mode(out.counters, wall, effective_workers);
+        self.last_exec_report = Some(out.report);
+        Ok((out.value, out.profile))
     }
 
     /// Evaluate a plan with the partition-parallel engine under the
@@ -580,14 +729,28 @@ impl Database {
     /// authoritative record of what ran where.
     pub fn explain_analyze(&mut self, plan: &Expr) -> DbResult<String> {
         let estimates = excess_optimizer::estimate_nodes(plan, &self.stats);
+        let physical = self.lower_plan(plan);
         let (profile, report) = if self.exec.is_parallel() {
-            let (_, profile) = self.run_plan_parallel_profiled(plan)?;
-            (profile, self.last_exec_report.clone())
+            let (_, profile) =
+                self.run_plan_physical_parallel_traced(&physical, Tracing::Precise)?;
+            (
+                profile.expect("tracing was enabled"),
+                self.last_exec_report.clone(),
+            )
         } else {
-            let (_, profile) = self.run_plan_profiled(plan)?;
+            let (_, profile) = self.run_plan_physical_profiled(&physical)?;
             (profile, None)
         };
         let mut out = crate::explain::render_explain_analyze(plan, &profile, &estimates);
+        // The kernel block slots in above the `total:` footer so the
+        // footer stays the render's last line.
+        let phys = render_physical_choices(&physical, &profile);
+        if !phys.is_empty() {
+            match out.rfind("\ntotal: ") {
+                Some(pos) => out.insert_str(pos + 1, &phys),
+                None => out.push_str(&phys),
+            }
+        }
         if let Some(report) = report {
             out.push_str(&crate::explain::render_parallel_execution(&report));
         }

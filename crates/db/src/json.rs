@@ -15,26 +15,11 @@ use excess_exec::{ExecEvent, ExecReport};
 use excess_optimizer::RewriteJournal;
 use std::time::Duration;
 
-/// Escape a string for inclusion in a JSON document (adds no quotes).
-pub fn escape_json(s: &str) -> String {
-    let mut out = String::with_capacity(s.len());
-    for ch in s.chars() {
-        match ch {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            '\n' => out.push_str("\\n"),
-            '\r' => out.push_str("\\r"),
-            '\t' => out.push_str("\\t"),
-            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
-            c => out.push(c),
-        }
-    }
-    out
-}
-
-fn quoted(s: &str) -> String {
-    format!("\"{}\"", escape_json(s))
-}
+// One escaping implementation for the whole workspace: the canonical
+// copy lives in `excess_core::json` (re-exported here so existing
+// `excess::db::escape_json` callers keep working).
+pub use excess_core::json::escape_json;
+use excess_core::json::quote_json as quoted;
 
 /// Render an `f64` so the output is valid JSON (no `NaN`/`inf` literals).
 fn number(x: f64) -> String {

@@ -36,7 +36,8 @@ pub use error::{DbError, DbResult};
 pub use explain::{render_explain_analyze, render_parallel_execution};
 pub use format::{format_result, try_table};
 pub use json::{
-    counters_json, exec_report_json, journal_json, metrics_json, profile_json, verify_json,
+    counters_json, escape_json, exec_report_json, journal_json, metrics_json, profile_json,
+    verify_json,
 };
 
 // Re-exported so callers can configure parallel execution without naming

@@ -27,8 +27,11 @@ use excess_core::catalog::Catalog;
 use excess_core::counters::Counters;
 use excess_core::error::{EvalError, EvalResult};
 use excess_core::eval::{evaluate, EvalCtx};
-use excess_core::expr::{CmpOp, Expr, Pred};
+use excess_core::expr::{Expr, Pred};
 use excess_core::infer::SchemaCatalog;
+use excess_core::physical::{
+    evaluate_physical, key_pair_usable, usable_equi_key, PhysOp, PhysicalPlan,
+};
 use excess_core::profile::{NodePath, Profile, TraceSink};
 use excess_core::render::op_label;
 use excess_core::verify::verify;
@@ -99,6 +102,11 @@ struct Task {
 enum TaskKind {
     /// Evaluate a closed fragment plan with the serial evaluator.
     Eval(Expr),
+    /// Evaluate a closed `rel_join` fragment with the hash equi-join
+    /// kernel on the given `(left_key, right_key)` — the same kernel the
+    /// serial physical interpreter uses, shipped when the lowered plan
+    /// chose `HashEquiJoin` for the exchanged node.
+    EvalHashJoin(Expr, (String, String)),
     /// Phase 2 of the GRP exchange: group `{k, v}` pairs by `k`.  This is
     /// plain `BTreeMap` insertion — the serial GRP's grouping step is
     /// likewise counter-free, so workers touch no counters here.
@@ -141,6 +149,52 @@ pub fn run_parallel<C: Catalog + Sync>(
     config: ExecConfig,
     tracing: Tracing,
 ) -> EvalResult<ExecOutcome> {
+    run_parallel_impl(
+        plan, None, registry, store, catalog, schemas, config, tracing,
+    )
+}
+
+/// Execute a *lowered* plan with `config.workers` threads.
+///
+/// Like [`run_parallel`], but the driver consults the plan's physical
+/// choices instead of re-deriving strategies: a `rel_join` annotated
+/// `HashEquiJoin` takes the hash-key exchange (with the same runtime
+/// guard the serial kernel uses), and its fragments run the shared hash
+/// equi-join kernel on the workers; a join annotated `NestedLoopJoin`
+/// broadcasts.  The whole-plan serial fallbacks run the physical
+/// interpreter, so kernel choices survive them.
+pub fn run_parallel_plan<C: Catalog + Sync>(
+    plan: &PhysicalPlan,
+    registry: &TypeRegistry,
+    store: &mut ObjectStore,
+    catalog: &C,
+    schemas: Option<&dyn SchemaCatalog>,
+    config: ExecConfig,
+    tracing: Tracing,
+) -> EvalResult<ExecOutcome> {
+    run_parallel_impl(
+        &plan.logical,
+        Some(plan),
+        registry,
+        store,
+        catalog,
+        schemas,
+        config,
+        tracing,
+    )
+}
+
+#[allow(clippy::too_many_arguments)]
+fn run_parallel_impl<C: Catalog + Sync>(
+    plan: &Expr,
+    physical: Option<&PhysicalPlan>,
+    registry: &TypeRegistry,
+    store: &mut ObjectStore,
+    catalog: &C,
+    schemas: Option<&dyn SchemaCatalog>,
+    config: ExecConfig,
+    tracing: Tracing,
+) -> EvalResult<ExecOutcome> {
     let workers = config.workers.max(1);
     let serial_reason = if workers <= 1 {
         Some("single worker configured".to_string())
@@ -168,7 +222,10 @@ pub fn run_parallel<C: Catalog + Sync>(
         });
         let mut ctx = EvalCtx::new(registry, store, catalog);
         ctx.trace = tracing.sink();
-        let value = evaluate(plan, &mut ctx)?;
+        let value = match physical {
+            Some(pp) => evaluate_physical(pp, &mut ctx)?,
+            None => evaluate(plan, &mut ctx)?,
+        };
         return Ok(ExecOutcome {
             value,
             counters: ctx.counters,
@@ -201,6 +258,7 @@ pub fn run_parallel<C: Catalog + Sync>(
             registry,
             catalog,
             store,
+            physical,
             counters: Counters::new(),
             trace: tracing.sink(),
             partitions,
@@ -284,6 +342,34 @@ fn worker_loop<C: Catalog>(
                 trace = ctx.trace.take();
                 r
             }
+            TaskKind::EvalHashJoin(frag, (left_key, right_key)) => {
+                // Re-root the kernel choice on the fragment: the shipped
+                // plan is the `rel_join` node itself over `Const`
+                // partitions, so the choice path is empty.
+                let mut choices = BTreeMap::new();
+                choices.insert(
+                    Vec::new(),
+                    excess_core::physical::PhysChoice {
+                        op: PhysOp::HashEquiJoin {
+                            left_key,
+                            right_key,
+                        },
+                        why: String::new(),
+                        est_rows: None,
+                    },
+                );
+                let pp = PhysicalPlan {
+                    logical: frag,
+                    choices,
+                };
+                let mut ctx = EvalCtx::new(registry, &mut store, catalog);
+                ctx.counters = counters;
+                ctx.trace = trace.take();
+                let r = evaluate_physical(&pp, &mut ctx);
+                counters = ctx.counters;
+                trace = ctx.trace.take();
+                r
+            }
             TaskKind::GroupPairs(pairs) => group_pairs(pairs),
         };
         busy += t0.elapsed();
@@ -319,6 +405,11 @@ struct Driver<'a> {
     registry: &'a TypeRegistry,
     catalog: &'a dyn Catalog,
     store: &'a mut ObjectStore,
+    /// The lowered plan being executed, when the caller came through
+    /// [`run_parallel_plan`] — the driver consults its choices (keyed by
+    /// the same child-index paths the driver maintains) instead of
+    /// re-deriving join strategies.
+    physical: Option<&'a PhysicalPlan>,
     counters: Counters,
     trace: Option<Box<TraceSink>>,
     partitions: usize,
@@ -598,8 +689,15 @@ impl<'a> Driver<'a> {
         self.merge_batch(results)
     }
 
-    /// rel_join: hash-key exchange when the predicate contains a usable
-    /// equi-conjunct, broadcast otherwise.
+    /// rel_join strategy selection.
+    ///
+    /// With a lowered plan the choice is the plan's: `HashEquiJoin` takes
+    /// the hash-key exchange — after the same runtime guard the serial
+    /// kernel applies (both key orientations) — and ships fragments that
+    /// run the shared hash kernel on the workers; anything else (or a
+    /// failed guard) broadcasts and the fragments run the nested loop.
+    /// Without a plan the driver probes the materialised inputs itself,
+    /// exactly as before the physical layer existed.
     fn rel_join(
         &mut self,
         node: &Expr,
@@ -617,7 +715,29 @@ impl<'a> Driver<'a> {
             (Value::Set(x), Value::Set(y)) => (x, y),
             (x, y) => return self.eval_main(&rebuild(Expr::Const(x), Expr::Const(y))),
         };
-        if let Some((lf, rf)) = usable_equi_key(pred, &sa, &sb) {
+        let lowered = self.physical.is_some();
+        let keys = match self
+            .physical
+            .and_then(|pp| pp.choices.get(path.as_slice()))
+            .map(|c| &c.op)
+        {
+            Some(PhysOp::HashEquiJoin {
+                left_key,
+                right_key,
+            }) => {
+                if key_pair_usable(&sa, &sb, left_key, right_key) {
+                    Some((left_key.clone(), right_key.clone()))
+                } else if key_pair_usable(&sa, &sb, right_key, left_key) {
+                    Some((right_key.clone(), left_key.clone()))
+                } else {
+                    None
+                }
+            }
+            Some(_) => None,
+            None if !lowered => usable_equi_key(pred, &sa, &sb),
+            None => None,
+        };
+        if let Some((lf, rf)) = keys {
             let pa = hash_by_field(&sa, &lf, self.partitions);
             let pb = hash_by_field(&sb, &rf, self.partitions);
             let empty = pa
@@ -632,18 +752,26 @@ impl<'a> Driver<'a> {
                 partitions: pa.len(),
                 empty,
             });
-            let frags = pa
+            let kernel = lowered.then(|| (lf.clone(), rf.clone()));
+            let tasks = pa
                 .into_iter()
                 .zip(pb)
-                .map(|(x, y)| {
-                    let occ = x.len() + y.len();
-                    (
-                        rebuild(Expr::Const(Value::Set(x)), Expr::Const(Value::Set(y))),
-                        occ,
-                    )
+                .enumerate()
+                .map(|(part, (x, y))| {
+                    let occurrences = x.len() + y.len();
+                    let frag = rebuild(Expr::Const(Value::Set(x)), Expr::Const(Value::Set(y)));
+                    Task {
+                        part,
+                        occurrences,
+                        kind: match &kernel {
+                            Some(k) => TaskKind::EvalHashJoin(frag, k.clone()),
+                            None => TaskKind::Eval(frag),
+                        },
+                    }
                 })
                 .collect();
-            self.eval_tasks(frags)
+            let results = self.run_batch(tasks);
+            self.merge_batch(results)
         } else {
             self.broadcast_right(node, path, sa, sb, &rebuild)
         }
@@ -839,62 +967,6 @@ impl<'a> Driver<'a> {
     }
 }
 
-/// Find an equality conjunct `INPUT.f = INPUT.g` of the join predicate
-/// that can soundly drive a hash-key exchange: `f` must name a non-null
-/// field present in every left tuple and absent from every right tuple
-/// (and vice versa for `g`), and all key values on both sides must share
-/// one kind.  Under those conditions the conjunct evaluates to a definite
-/// T/F on every pair — never `unk` — so pairs separated by the hash
-/// exchange are exactly the pairs the serial nested loop would reject.
-fn usable_equi_key(pred: &Pred, left: &MultiSet, right: &MultiSet) -> Option<(String, String)> {
-    fn conjuncts<'p>(p: &'p Pred, out: &mut Vec<&'p Pred>) {
-        if let Pred::And(a, b) = p {
-            conjuncts(a, out);
-            conjuncts(b, out);
-        } else {
-            out.push(p);
-        }
-    }
-    fn side_ok(s: &MultiSet, have: &str, lack: &str, kind: &mut Option<&'static str>) -> bool {
-        for (v, _) in s.iter_counted() {
-            let Value::Tuple(t) = v else { return false };
-            let Ok(k) = t.extract(have) else { return false };
-            if k.is_null() || t.extract(lack).is_ok() {
-                return false;
-            }
-            match kind {
-                Some(kd) => {
-                    if *kd != k.kind_name() {
-                        return false;
-                    }
-                }
-                None => *kind = Some(k.kind_name()),
-            }
-        }
-        true
-    }
-    let mut cs = Vec::new();
-    conjuncts(pred, &mut cs);
-    for c in cs {
-        let Pred::Cmp(l, CmpOp::Eq, r) = c else {
-            continue;
-        };
-        let (Expr::TupExtract(li, f), Expr::TupExtract(ri, g)) = (&**l, &**r) else {
-            continue;
-        };
-        if !matches!(&**li, Expr::Input(0)) || !matches!(&**ri, Expr::Input(0)) {
-            continue;
-        }
-        for (lf, rf) in [(f, g), (g, f)] {
-            let mut kind = None;
-            if side_ok(left, lf, rf, &mut kind) && side_ok(right, rf, lf, &mut kind) {
-                return Some((lf.clone(), rf.clone()));
-            }
-        }
-    }
-    None
-}
-
 /// Hash-partition a multiset of tuples by one field's value.  Only called
 /// after [`usable_equi_key`] has proven every element is a tuple carrying
 /// the field.
@@ -916,6 +988,7 @@ fn hash_by_field(s: &MultiSet, field: &str, parts: usize) -> Vec<MultiSet> {
 mod tests {
     use super::*;
     use excess_core::canon::canonical_form;
+    use excess_core::expr::CmpOp;
     use std::collections::HashMap;
 
     fn canon(v: &Value) -> Value {
@@ -1024,6 +1097,91 @@ mod tests {
         // most the serial comparison work.
         assert!(out.counters.comparisons <= sc.comparisons);
         assert!(out.counters.pairs_formed <= sc.pairs_formed);
+    }
+
+    #[test]
+    fn physical_plan_routes_hash_kernel_to_workers() {
+        use excess_core::physical::{PhysChoice, PhysicalPlan};
+        let (reg, _, cat) = fixture();
+        let pred = Pred::cmp(
+            Expr::input().extract("k"),
+            CmpOp::Eq,
+            Expr::input().extract("j"),
+        );
+        let plan = Expr::named("L").rel_join(Expr::named("R"), pred);
+        let (sv, sc) = serial(&plan, &reg, &cat);
+        let mut choices = BTreeMap::new();
+        choices.insert(
+            Vec::new(),
+            PhysChoice {
+                op: PhysOp::HashEquiJoin {
+                    left_key: "k".into(),
+                    right_key: "j".into(),
+                },
+                why: "test".into(),
+                est_rows: None,
+            },
+        );
+        let pp = PhysicalPlan {
+            logical: plan.clone(),
+            choices,
+        };
+        let mut store = ObjectStore::new();
+        let out = run_parallel_plan(
+            &pp,
+            &reg,
+            &mut store,
+            &cat,
+            None,
+            ExecConfig::with_workers(4),
+            Tracing::Off,
+        )
+        .expect("parallel physical eval");
+        assert_eq!(canon(&out.value), canon(&sv));
+        assert!(out
+            .report
+            .events
+            .iter()
+            .any(|e| matches!(e, ExecEvent::Exchange { .. })));
+        // Worker fragments run the hash kernel: the equi conjunct is never
+        // evaluated, so the pure equi-join does zero comparisons.
+        assert_eq!(out.counters.comparisons, 0);
+        assert!(out.counters.comparisons < sc.comparisons);
+
+        // A NestedLoopJoin choice must broadcast instead of exchanging.
+        let mut nl_choices = BTreeMap::new();
+        nl_choices.insert(
+            Vec::new(),
+            PhysChoice {
+                op: PhysOp::NestedLoopJoin,
+                why: "test".into(),
+                est_rows: None,
+            },
+        );
+        let pp_nl = PhysicalPlan {
+            logical: plan,
+            choices: nl_choices,
+        };
+        let out_nl = run_parallel_plan(
+            &pp_nl,
+            &reg,
+            &mut store,
+            &cat,
+            None,
+            ExecConfig::with_workers(4),
+            Tracing::Off,
+        )
+        .expect("parallel nested-loop eval");
+        assert_eq!(canon(&out_nl.value), canon(&sv));
+        assert_eq!(
+            out_nl.counters, sc,
+            "broadcast nested loop is counter-exact"
+        );
+        assert!(!out_nl
+            .report
+            .events
+            .iter()
+            .any(|e| matches!(e, ExecEvent::Exchange { .. })));
     }
 
     #[test]

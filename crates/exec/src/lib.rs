@@ -42,6 +42,6 @@ pub mod journal;
 pub mod partition;
 
 pub use config::{ExecConfig, THREADS_ENV};
-pub use engine::{run_parallel, ExecOutcome, Tracing};
+pub use engine::{run_parallel, run_parallel_plan, ExecOutcome, Tracing};
 pub use journal::{ExecEvent, ExecReport, Strategy, WorkerStats};
 pub use partition::{chunk_partitions, hash_partitions, merge_partitions, value_hash};

@@ -663,6 +663,60 @@ fn walk_estimates(
     }
 }
 
+/// Estimated cost of a lowered plan.
+///
+/// Rows, distinct count, and attribute NDVs are those of the logical
+/// plan — kernels never change *what* an operator computes, only how.
+/// Cost starts from the logical estimate and, for every
+/// [`HashEquiJoin`](excess_core::physical::PhysOp::HashEquiJoin)
+/// choice, replaces the nested loop's
+/// pair-at-a-time predicate work with hash work: one build/probe pass
+/// over each input plus the residual predicate on matching pairs only.
+/// The per-pair predicate cost is recovered from the logical model's own
+/// join identity (`cost(join) = cost(l) + cost(r) + pairs·(1 + pc)`),
+/// and the equi conjunct — never evaluated by the kernel — is deducted
+/// from the residual at its modelled cost (one comparison plus two
+/// attribute extractions).
+pub fn estimate_physical(
+    plan: &excess_core::physical::PhysicalPlan,
+    stats: &Statistics,
+) -> Estimate {
+    // Cmp (1.0) + two TupExtract-of-Input (0.25 each): the modelled cost
+    // of the `INPUT.f = INPUT.g` conjunct the hash kernel skips.
+    const EQUI_CONJUNCT_COST: f64 = 1.5;
+    let nodes: BTreeMap<excess_core::profile::NodePath, Estimate> =
+        estimate_nodes(&plan.logical, stats).into_iter().collect();
+    let mut est = match nodes.get(&Vec::new() as &excess_core::profile::NodePath) {
+        Some(root) => root.clone(),
+        None => return Estimate::scalar(0.0),
+    };
+    for (path, choice) in &plan.choices {
+        if !matches!(
+            choice.op,
+            excess_core::physical::PhysOp::HashEquiJoin { .. }
+        ) {
+            continue;
+        }
+        let mut lp = path.clone();
+        lp.push(0);
+        let mut rp = path.clone();
+        rp.push(1);
+        let (Some(j), Some(l), Some(r)) = (nodes.get(path), nodes.get(&lp), nodes.get(&rp)) else {
+            continue;
+        };
+        let pairs = l.rows * r.rows;
+        if pairs <= 0.0 {
+            continue;
+        }
+        let per_pair = ((j.cost - l.cost - r.cost) / pairs).max(1.0);
+        let residual_per_pair = (per_pair - 1.0 - EQUI_CONJUNCT_COST).max(0.0);
+        let hash_work = l.rows + r.rows + j.rows * (1.0 + residual_per_pair);
+        est.cost -= (pairs * per_pair - hash_work).max(0.0);
+    }
+    est.cost = est.cost.max(0.0);
+    est
+}
+
 /// Cost of a closed plan under partition-parallel execution with
 /// `workers` workers, alongside the serial cost it improves on.
 ///

@@ -12,15 +12,20 @@
 pub mod cost;
 pub mod dispatch;
 pub mod engine;
+pub mod lower;
 pub mod rule;
 pub mod rules;
 pub mod stats;
 
-pub use cost::{cost_of, estimate, estimate_nodes, estimate_parallel, Estimate, ParallelEstimate};
+pub use cost::{
+    cost_of, estimate, estimate_nodes, estimate_parallel, estimate_physical, Estimate,
+    ParallelEstimate,
+};
 pub use dispatch::{build_switch, build_union, choose, DispatchStrategy, MethodImpl};
 pub use engine::{
     apply_extent_indexes, apply_extent_indexes_journaled, soundness_violation, JournalStep,
     Neighbor, Optimized, Optimizer, RefusedStep, RewriteJournal, TraceStep, EXTENT_INDEX_RULE,
 };
+pub use lower::{lower, lower_journaled, HASH_JOIN_MIN_PAIRS, LOWERING_RULE};
 pub use rule::{Rule, RuleCtx};
 pub use stats::{ObjectStats, Statistics};

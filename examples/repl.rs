@@ -42,6 +42,12 @@ const COMMANDS: &[MetaCommand] = &[
         run: cmd_plan,
     },
     MetaCommand {
+        name: ".physical",
+        args: "<retrieve>",
+        help: "lower the optimized plan and show each kernel choice with estimated vs actual rows",
+        run: cmd_physical,
+    },
+    MetaCommand {
         name: ".profile",
         args: "<retrieve>",
         help: "EXPLAIN ANALYZE: run the optimized plan with per-operator profiling",
@@ -214,6 +220,42 @@ fn cmd_plan(db: &mut Database, rest: &str) -> bool {
             let optimized = db.optimize_plan(&plan);
             if optimized != plan {
                 println!("-- optimized --\n{}", db.explain(&optimized));
+            }
+        }
+        Err(e) => println!("error: {e}"),
+    }
+    true
+}
+
+fn cmd_physical(db: &mut Database, rest: &str) -> bool {
+    match db.plan_for(rest) {
+        Ok(plan) => {
+            let plan = if db.optimize {
+                db.optimize_plan_journaled(&plan).0
+            } else {
+                plan
+            };
+            let physical = db.lower_plan(&plan);
+            print!("{}", physical.render());
+            match db.run_plan_physical_profiled(&physical) {
+                Ok((_, profile)) => {
+                    for (path, choice) in &physical.choices {
+                        let actual = profile
+                            .node(path)
+                            .map(|n| n.rows_out.to_string())
+                            .unwrap_or_else(|| "—".to_string());
+                        let est = choice
+                            .est_rows
+                            .map(|r| format!("{r:.0}"))
+                            .unwrap_or_else(|| "?".to_string());
+                        println!(
+                            "  {} {}: est rows={est} actual rows={actual}",
+                            excess::algebra::path_string(path),
+                            choice.op
+                        );
+                    }
+                }
+                Err(e) => println!("error: {e}"),
             }
         }
         Err(e) => println!("error: {e}"),
