@@ -67,6 +67,22 @@ impl Counters {
         zip_fields!(self, before, u64::saturating_sub)
     }
 
+    /// Every counter with its field name, in declaration order — the one
+    /// place the field list is enumerated, so serializers and telemetry
+    /// attributes cannot drift from the struct.
+    pub fn named_fields(&self) -> [(&'static str, u64); 8] {
+        [
+            ("occurrences_scanned", self.occurrences_scanned),
+            ("elements_scanned", self.elements_scanned),
+            ("derefs", self.derefs),
+            ("de_input_occurrences", self.de_input_occurrences),
+            ("comparisons", self.comparisons),
+            ("oids_minted", self.oids_minted),
+            ("named_object_scans", self.named_object_scans),
+            ("pairs_formed", self.pairs_formed),
+        ]
+    }
+
     /// Total of all individual counters — a crude "total work" scalar
     /// useful for cheap is-anything-happening checks.
     pub fn total(&self) -> u64 {
@@ -177,6 +193,14 @@ mod tests {
     fn total_sums_all_fields() {
         assert_eq!(Counters::new().total(), 0);
         assert_eq!(sample(1).total(), 36);
+    }
+
+    #[test]
+    fn named_fields_cover_every_counter() {
+        let c = sample(1);
+        let sum: u64 = c.named_fields().iter().map(|(_, v)| v).sum();
+        assert_eq!(sum, c.total(), "a field is missing from named_fields");
+        assert_eq!(c.named_fields()[2], ("derefs", 3));
     }
 
     #[test]

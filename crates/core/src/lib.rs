@@ -46,7 +46,7 @@ pub use counters::Counters;
 pub use error::{EvalError, EvalResult};
 pub use eval::{eval, evaluate, exact_type_of, exact_type_of_parts, EvalCtx};
 pub use expr::{Bound, CmpOp, Expr, Func, Pred};
-pub use json::{escape_json, quote_json};
+pub use json::{escape_json, millis, number, parse_json, path_json, quote_json, JsonValue};
 pub use ops::predicate::Truth;
 pub use physical::{
     equi_key_candidates, evaluate_physical, usable_equi_key, PhysChoice, PhysOp, PhysicalPlan,

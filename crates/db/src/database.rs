@@ -21,9 +21,80 @@ use excess_optimizer::{
     apply_extent_indexes, apply_extent_indexes_journaled, cost_of, estimate_physical, lower,
     lower_journaled, Optimizer, RewriteJournal, RuleCtx, Statistics,
 };
+use excess_telemetry::{fnv1a64, QueryRecord, QueryTrace, Span, Telemetry};
 use excess_types::{ObjectStore, SchemaType, TypeId, TypeRegistry, Value};
 use std::collections::HashMap;
 use std::time::Instant;
+
+/// Occurrences in a query result (what the flight recorder reports as
+/// `rows`): multiset cardinality with duplicates, array length, 1 for
+/// scalars and tuples.
+fn value_rows(v: &Value) -> u64 {
+    match v {
+        Value::Set(s) => s.len(),
+        Value::Array(a) => a.len() as u64,
+        _ => 1,
+    }
+}
+
+/// Deterministic fingerprint of a lowered plan: FNV-1a over the debug
+/// rendering (logical tree plus every kernel choice), so the same plan
+/// hashes identically across runs and sessions.
+fn plan_hash_of(plan: &PhysicalPlan) -> u64 {
+    fnv1a64(format!("{plan:?}").as_bytes())
+}
+
+/// Turn a profile's preorder node list into nested operator spans.
+///
+/// Each profile node becomes one `op:` span carrying its *self* counters
+/// as numeric attributes, so summing any counter over the returned
+/// subtrees telescopes exactly to the profile total — the PR 1 invariant
+/// (`sum_of_self_counters() == total`) re-exposed on the span tree.
+/// Nesting follows path prefixes; merged parallel profiles (several
+/// fragment roots) yield several root spans.  Start offsets are not
+/// recorded per node by the profiler, so children share the execute
+/// phase's start and carry their `total_wall` as duration — containment
+/// (child ⊆ parent interval) still holds because a child's total wall is
+/// bounded by its parent's.
+fn profile_spans(profile: &Profile, start_us: u64) -> Vec<Span> {
+    use excess_core::profile::{path_string, NodePath};
+    fn is_ancestor(a: &[usize], b: &[usize]) -> bool {
+        b.len() > a.len() && b[..a.len()] == *a
+    }
+    fn pop_into(stack: &mut Vec<(NodePath, Span)>, roots: &mut Vec<Span>) {
+        let (_, done) = stack.pop().expect("caller checked non-empty");
+        match stack.last_mut() {
+            Some((_, parent)) => parent.children.push(done),
+            None => roots.push(done),
+        }
+    }
+    let mut roots: Vec<Span> = Vec::new();
+    let mut stack: Vec<(NodePath, Span)> = Vec::new();
+    for n in &profile.nodes {
+        let mut span = Span::new(
+            format!("op:{} {}", n.label, path_string(&n.path)),
+            "op",
+            start_us,
+            n.total_wall.as_micros() as u64,
+        )
+        .with_meta("path", path_string(&n.path))
+        .with_num("calls", n.calls)
+        .with_num("rows_in", n.rows_in)
+        .with_num("rows_out", n.rows_out)
+        .with_num("self_us", n.self_wall.as_micros() as u64);
+        for (name, v) in n.self_counters.named_fields() {
+            span = span.with_num(name, v);
+        }
+        while matches!(stack.last(), Some((p, _)) if !is_ancestor(p, &n.path)) {
+            pop_into(&mut stack, &mut roots);
+        }
+        stack.push((n.path.clone(), span));
+    }
+    while !stack.is_empty() {
+        pop_into(&mut stack, &mut roots);
+    }
+    roots
+}
 
 /// Render a verifier [`Report`] as the `diagnostics:` block `explain` and
 /// `explain_analyze` append — empty string when there is nothing to say.
@@ -102,6 +173,11 @@ pub struct Database {
     last_counters: Counters,
     last_exec_report: Option<ExecReport>,
     metrics: SessionMetrics,
+    telemetry: Telemetry,
+    /// Parse time and source text of the program currently being
+    /// `execute`d, consumed by the first `retrieve` it contains so the
+    /// flight recorder can attribute the parse phase and the query text.
+    pending_parse: Option<(String, u64)>,
 }
 
 impl Default for Database {
@@ -113,7 +189,8 @@ impl Default for Database {
 impl Database {
     /// An empty database.
     pub fn new() -> Self {
-        Database {
+        let (exec, warning) = ExecConfig::from_env_checked();
+        let mut db = Database {
             registry: TypeRegistry::new(),
             store: ObjectStore::new(),
             catalog: DbCatalog::new(),
@@ -122,11 +199,24 @@ impl Database {
             procedures: HashMap::new(),
             stats: Statistics::new(),
             optimize: true,
-            exec: ExecConfig::from_env(),
+            exec,
             last_counters: Counters::new(),
             last_exec_report: None,
             metrics: SessionMetrics::new(),
+            telemetry: Telemetry::new(),
+            pending_parse: None,
+        };
+        if let Some(w) = warning {
+            db.warn(w);
         }
+        db
+    }
+
+    /// Record a configuration warning in both the session metrics and the
+    /// telemetry registry (`config.warnings` counter).
+    fn warn(&mut self, warning: String) {
+        self.telemetry.registry.inc("config.warnings");
+        self.metrics.record_warning(warning);
     }
 
     // ----- accessors (used by examples and benchmarks) -----
@@ -171,9 +261,27 @@ impl Database {
     pub fn set_exec_config(&mut self, cfg: ExecConfig) {
         self.exec = cfg;
     }
-    /// Set the worker-thread count (1 = serial; clamped to ≥ 1).
+    /// Set the worker-thread count (1 = serial; clamped to ≥ 1).  A
+    /// request for zero workers is clamped *and* surfaced as a session
+    /// warning rather than silently adjusted.
     pub fn set_threads(&mut self, workers: usize) {
+        if workers == 0 {
+            self.warn(
+                "set_threads(0) requests zero workers; clamped to serial (1 worker)".to_string(),
+            );
+        }
         self.exec = ExecConfig::with_workers(workers);
+    }
+
+    /// Apply a worker-count *setting string* (the `EXCESS_THREADS` format)
+    /// to the session, surfacing a warning when the value is unparsable or
+    /// zero instead of silently falling back to serial.
+    pub fn set_threads_setting(&mut self, setting: Option<&str>) {
+        let (cfg, warning) = ExecConfig::from_setting(setting);
+        if let Some(w) = warning {
+            self.warn(w);
+        }
+        self.exec = cfg;
     }
     /// The execution journal of the most recent parallel run (strategies,
     /// exchanges, fallbacks, per-worker skew), if any.
@@ -183,6 +291,39 @@ impl Database {
     /// Zero the session metrics registry.
     pub fn reset_metrics(&mut self) {
         self.metrics.reset();
+    }
+
+    // ----- telemetry -----
+
+    /// The session telemetry: metric registry, latency histograms, flight
+    /// recorder, and misestimation feedback log.  The registry, recorder,
+    /// and feedback log are always on; span traces are opt-in via
+    /// [`Database::enable_query_spans`].
+    pub fn telemetry(&self) -> &Telemetry {
+        &self.telemetry
+    }
+
+    /// Mutable telemetry (configure the slow-query threshold, reset, …).
+    pub fn telemetry_mut(&mut self) -> &mut Telemetry {
+        &mut self.telemetry
+    }
+
+    /// Turn full query-span traces on or off.  While on, every query run
+    /// through the pipeline executes with profiling and assembles a
+    /// [`QueryTrace`] covering parse → infer → verify → optimize → lower →
+    /// execute (with per-rewrite, per-choice, per-operator, and per-worker
+    /// children), retrievable via [`Database::last_query_trace`].
+    pub fn enable_query_spans(&mut self, on: bool) {
+        self.telemetry.spans_enabled = on;
+        if !on {
+            self.telemetry.last_trace = None;
+        }
+    }
+
+    /// The span tree of the most recent traced query, if spans are on and
+    /// a query has run since.
+    pub fn last_query_trace(&self) -> Option<&QueryTrace> {
+        self.telemetry.last_trace.as_ref()
     }
 
     /// Update a stored object's value (bulk loading outside the DDL path).
@@ -211,14 +352,20 @@ impl Database {
     /// Parse and execute a program; returns the last statement's value
     /// (queries return their result; DDL and updates return `true`).
     pub fn execute(&mut self, src: &str) -> DbResult<Value> {
+        let parse_started = Instant::now();
         let stmts = parse_program(src)?;
+        let parse_us = parse_started.elapsed().as_micros() as u64;
         if stmts.is_empty() {
             return Err(DbError::Other("empty program".into()));
         }
+        // The first retrieve of the program owns the parse time and the
+        // source text for flight-recorder attribution.
+        self.pending_parse = Some((src.trim().to_string(), parse_us));
         let mut last = Value::bool(true);
         for s in stmts {
             last = self.run_stmt(&s)?;
         }
+        self.pending_parse = None;
         Ok(last)
     }
 
@@ -281,20 +428,18 @@ impl Database {
                 Ok(Value::bool(true))
             }
             Stmt::Retrieve(r) => {
+                let (label, parse_us) = self
+                    .pending_parse
+                    .take()
+                    .unwrap_or_else(|| ("retrieve".to_string(), 0));
+                let translate_started = Instant::now();
                 let (plan, ty) = self.translate(r)?;
-                let plan = if self.optimize {
-                    self.optimize_plan_journaled(&plan).0
-                } else {
-                    plan
-                };
-                // Both engines run the same lowered plan: kernels are
-                // chosen once, here, not re-derived per engine.
-                let physical = self.lower_plan_journaled(&plan).0;
-                let value = if self.exec.is_parallel() {
-                    self.run_plan_physical_parallel(&physical)?
-                } else {
-                    self.run_plan_physical(&physical)?
-                };
+                let translate_us = translate_started.elapsed().as_micros() as u64;
+                let value = self.run_pipeline(
+                    &label,
+                    &plan,
+                    &[("parse", parse_us), ("translate", translate_us)],
+                )?;
                 if let Some(into) = &r.into {
                     self.catalog.put(into, ty, value.clone());
                     self.rebuild_extents_for(into);
@@ -438,6 +583,251 @@ impl Database {
         let pp = lower_journaled(plan, &self.stats, &mut journal);
         self.metrics.record_journal(&journal);
         (pp, journal)
+    }
+
+    /// Run a programmatically built plan through the full query pipeline —
+    /// optimize (when enabled) → lower → execute on the session's engine —
+    /// with telemetry: counters and latency histograms are updated, the
+    /// flight recorder gets a [`QueryRecord`] labelled `label`, and, when
+    /// spans are enabled, a full [`QueryTrace`] is assembled.  This is the
+    /// telemetry-covered entry point for benchmark figures and tests that
+    /// construct algebra plans directly instead of going through `execute`.
+    pub fn run_query_plan(&mut self, label: &str, plan: &Expr) -> DbResult<Value> {
+        self.run_pipeline(label, plan, &[])
+    }
+
+    /// The shared query pipeline behind `retrieve` statements and
+    /// [`Database::run_query_plan`].  `pre_phases` carries already-timed
+    /// phases (parse, translate) that happened before this call.
+    fn run_pipeline(
+        &mut self,
+        label: &str,
+        plan: &Expr,
+        pre_phases: &[(&'static str, u64)],
+    ) -> DbResult<Value> {
+        let spans = self.telemetry.spans_enabled;
+        // The trace timeline starts at the first pre-phase: pre-phase
+        // spans occupy [0, base) and everything timed here is offset by
+        // `base`.
+        let base: u64 = pre_phases.iter().map(|(_, us)| us).sum();
+        let origin = Instant::now();
+        let mut phases: Vec<(&'static str, u64)> = pre_phases.to_vec();
+        let mut phase_spans: Vec<Span> = Vec::new();
+        if spans {
+            let mut cursor = 0u64;
+            for (name, us) in pre_phases {
+                phase_spans.push(Span::new(*name, "phase", cursor, *us));
+                cursor += us;
+            }
+        }
+
+        // Infer + verify phases run only under spans: the statement path
+        // has already inferred during translation, and the parallel engine
+        // re-verifies on its own — these spans exist to show the layers,
+        // not to gate execution.
+        if spans {
+            let t0 = base + origin.elapsed().as_micros() as u64;
+            let inferred = self.infer_schema(plan);
+            let dur = (base + origin.elapsed().as_micros() as u64).saturating_sub(t0);
+            phases.push(("infer", dur));
+            let mut s = Span::new("infer", "phase", t0, dur);
+            if let Ok(ty) = &inferred {
+                s = s.with_meta("schema", ty.to_string());
+            }
+            phase_spans.push(s);
+
+            let t0 = base + origin.elapsed().as_micros() as u64;
+            let report = self.verify_plan(plan);
+            let dur = (base + origin.elapsed().as_micros() as u64).saturating_sub(t0);
+            phases.push(("verify", dur));
+            phase_spans.push(
+                Span::new("verify", "phase", t0, dur)
+                    .with_num("errors", report.error_count() as u64)
+                    .with_num("lints", report.lint_count() as u64),
+            );
+        }
+
+        // Optimize (journaled), with one child span per accepted and
+        // refused rewrite.
+        let plan = if self.optimize {
+            let t0 = base + origin.elapsed().as_micros() as u64;
+            let (optimized, journal) = self.optimize_plan_journaled(plan);
+            let dur = (base + origin.elapsed().as_micros() as u64).saturating_sub(t0);
+            phases.push(("optimize", dur));
+            if spans {
+                let mut s = Span::new("optimize", "phase", t0, dur)
+                    .with_num("plans_enumerated", journal.plans_enumerated as u64)
+                    .with_num("rewrites_applied", journal.steps.len() as u64)
+                    .with_num("rewrites_refused", journal.refused.len() as u64);
+                for step in &journal.steps {
+                    s.children.push(
+                        Span::new(format!("rewrite:{}", step.rule), "rewrite", t0, 0)
+                            .with_meta("path", excess_core::profile::path_string(&step.path))
+                            .with_meta("cost_before", format!("{:.0}", step.cost_before))
+                            .with_meta("cost_after", format!("{:.0}", step.cost_after)),
+                    );
+                }
+                for refused in &journal.refused {
+                    s.children.push(
+                        Span::new(format!("refused:{}", refused.rule), "rewrite", t0, 0)
+                            .with_meta("path", excess_core::profile::path_string(&refused.path))
+                            .with_meta("reason", refused.reason.clone()),
+                    );
+                }
+                phase_spans.push(s);
+            }
+            optimized
+        } else {
+            plan.clone()
+        };
+
+        // Lower (journaled), with one child span per exercised kernel
+        // choice.
+        let t0 = base + origin.elapsed().as_micros() as u64;
+        let (physical, _) = self.lower_plan_journaled(&plan);
+        let dur = (base + origin.elapsed().as_micros() as u64).saturating_sub(t0);
+        phases.push(("lower", dur));
+        if spans {
+            let mut s = Span::new("lower", "phase", t0, dur);
+            for (path, choice) in &physical.choices {
+                if matches!(choice.op, excess_core::physical::PhysOp::PassThrough) {
+                    continue;
+                }
+                let mut child = Span::new(
+                    format!(
+                        "choose:{} {}",
+                        excess_core::profile::path_string(path),
+                        choice.op
+                    ),
+                    "lower",
+                    t0,
+                    0,
+                )
+                .with_meta("why", choice.why.clone());
+                if let Some(est) = choice.est_rows {
+                    child = child.with_meta("est_rows", format!("{est:.0}"));
+                }
+                s.children.push(child);
+            }
+            phase_spans.push(s);
+        }
+        let plan_hash = plan_hash_of(&physical);
+
+        // Execute: profiled when spans are on (the profile becomes the
+        // operator span subtree and feeds the misestimation log).
+        let exec_start = base + origin.elapsed().as_micros() as u64;
+        let parallel = self.exec.is_parallel();
+        let (value, profile) = if parallel {
+            let tracing = if spans {
+                Tracing::Precise
+            } else {
+                Tracing::Off
+            };
+            self.run_plan_physical_parallel_traced(&physical, tracing)?
+        } else if spans {
+            let (v, p) = self.run_plan_physical_profiled(&physical)?;
+            (v, Some(p))
+        } else {
+            (self.run_plan_physical(&physical)?, None)
+        };
+        let exec_dur = (base + origin.elapsed().as_micros() as u64).saturating_sub(exec_start);
+        phases.push(("execute", exec_dur));
+
+        let engine = if parallel {
+            format!("parallel({})", self.exec.workers)
+        } else {
+            "serial".to_string()
+        };
+        let rows = value_rows(&value);
+
+        // Always-on: registry counters + histograms + flight recorder.
+        let total_us: u64 = phases.iter().map(|(_, us)| us).sum();
+        self.telemetry.registry.inc("queries");
+        self.telemetry.registry.inc(if parallel {
+            "queries.parallel"
+        } else {
+            "queries.serial"
+        });
+        self.telemetry.registry.observe("query_us", total_us);
+        for (name, us) in &phases {
+            self.telemetry
+                .registry
+                .observe(&format!("phase.{name}_us"), *us);
+        }
+        for (name, v) in self.last_counters.named_fields() {
+            self.telemetry.registry.add(&format!("work.{name}"), v);
+        }
+        let kernels: Vec<(String, String)> = physical
+            .choices
+            .iter()
+            .filter(|(_, c)| !matches!(c.op, excess_core::physical::PhysOp::PassThrough))
+            .map(|(path, c)| (excess_core::profile::path_string(path), c.op.to_string()))
+            .collect();
+        let root_est = physical.choices.get(&Vec::new()).and_then(|c| c.est_rows);
+        self.telemetry.recorder.record(QueryRecord {
+            query: label.to_string(),
+            plan_hash,
+            engine: engine.clone(),
+            rows,
+            phase_us: phases.clone(),
+            kernels,
+            est_rows: root_est,
+            actual_rows: Some(rows),
+        });
+
+        // Opt-in: feedback observations and the assembled span tree.
+        if spans {
+            if let Some(profile) = &profile {
+                for (path, choice) in &physical.choices {
+                    let (Some(est), Some(node)) = (choice.est_rows, profile.node(path)) else {
+                        continue;
+                    };
+                    self.telemetry.feedback.observe(
+                        plan_hash,
+                        &excess_core::profile::path_string(path),
+                        &choice.op.to_string(),
+                        est,
+                        node.rows_out as f64,
+                    );
+                }
+                let mut exec_span = Span::new("execute", "phase", exec_start, exec_dur)
+                    .with_meta("engine", engine.clone())
+                    .with_num("rows", rows);
+                if let Some(report) = &self.last_exec_report {
+                    if parallel {
+                        for w in &report.worker_stats {
+                            exec_span.children.push(
+                                Span::new(
+                                    format!("worker:{}", w.worker),
+                                    "worker",
+                                    exec_start + w.started.as_micros() as u64,
+                                    w.finished.saturating_sub(w.started).as_micros() as u64,
+                                )
+                                .on_lane(w.worker as u32 + 1)
+                                .with_num("tasks", w.tasks)
+                                .with_num("occurrences", w.occurrences)
+                                .with_num("busy_us", w.busy.as_micros() as u64),
+                            );
+                        }
+                    }
+                }
+                exec_span
+                    .children
+                    .extend(profile_spans(profile, exec_start));
+                phase_spans.push(exec_span);
+            }
+            let mut root =
+                Span::new("query", "phase", 0, total_us).with_meta("engine", engine.clone());
+            root.children = phase_spans;
+            self.telemetry.last_trace = Some(QueryTrace {
+                query: label.to_string(),
+                engine,
+                plan_hash,
+                root,
+            });
+        }
+
+        Ok(value)
     }
 
     /// Statically verify a plan against this database's catalog and type
@@ -741,6 +1131,21 @@ impl Database {
             let (_, profile) = self.run_plan_physical_profiled(&physical)?;
             (profile, None)
         };
+        // Every analyze feeds the misestimation log: per lowered node with
+        // an estimate and a measured profile entry, est vs actual rows.
+        let plan_hash = plan_hash_of(&physical);
+        for (path, choice) in &physical.choices {
+            let (Some(est), Some(node)) = (choice.est_rows, profile.node(path)) else {
+                continue;
+            };
+            self.telemetry.feedback.observe(
+                plan_hash,
+                &excess_core::profile::path_string(path),
+                &choice.op.to_string(),
+                est,
+                node.rows_out as f64,
+            );
+        }
         let mut out = crate::explain::render_explain_analyze(plan, &profile, &estimates);
         // The kernel block slots in above the `total:` footer so the
         // footer stays the render's last line.

@@ -13,47 +13,23 @@ use excess_core::profile::Profile;
 use excess_core::verify::Report;
 use excess_exec::{ExecEvent, ExecReport};
 use excess_optimizer::RewriteJournal;
-use std::time::Duration;
 
-// One escaping implementation for the whole workspace: the canonical
-// copy lives in `excess_core::json` (re-exported here so existing
-// `excess::db::escape_json` callers keep working).
+// One implementation of each primitive for the whole workspace: the
+// canonical copies live in `excess_core::json` (escaping re-exported here
+// so existing `excess::db::escape_json` callers keep working).
 pub use excess_core::json::escape_json;
-use excess_core::json::quote_json as quoted;
+use excess_core::json::{millis, number, path_json, quote_json as quoted};
 
-/// Render an `f64` so the output is valid JSON (no `NaN`/`inf` literals).
-fn number(x: f64) -> String {
-    if x.is_finite() {
-        format!("{x}")
-    } else {
-        "null".to_string()
-    }
-}
-
-fn millis(d: Duration) -> String {
-    number(d.as_secs_f64() * 1e3)
-}
-
-fn path_json(path: &[usize]) -> String {
-    let parts: Vec<String> = path.iter().map(|i| i.to_string()).collect();
-    format!("[{}]", parts.join(","))
-}
-
-/// `{"occurrences_scanned":…,…}` — every counter field by name.
+/// `{"occurrences_scanned":…,…}` — every counter field by name, driven by
+/// [`Counters::named_fields`] so the serializer cannot drift from the
+/// struct.
 pub fn counters_json(c: &Counters) -> String {
-    format!(
-        "{{\"occurrences_scanned\":{},\"elements_scanned\":{},\"derefs\":{},\
-         \"de_input_occurrences\":{},\"comparisons\":{},\"oids_minted\":{},\
-         \"named_object_scans\":{},\"pairs_formed\":{}}}",
-        c.occurrences_scanned,
-        c.elements_scanned,
-        c.derefs,
-        c.de_input_occurrences,
-        c.comparisons,
-        c.oids_minted,
-        c.named_object_scans,
-        c.pairs_formed
-    )
+    let fields: Vec<String> = c
+        .named_fields()
+        .iter()
+        .map(|(name, v)| format!("\"{name}\":{v}"))
+        .collect();
+    format!("{{{}}}", fields.join(","))
 }
 
 /// Serialize an execution [`Profile`]: per-node statistics in preorder
@@ -152,11 +128,12 @@ pub fn metrics_json(m: &SessionMetrics) -> String {
         .iter()
         .map(|(rule, n)| format!("{}:{}", quoted(rule), n))
         .collect();
+    let warnings: Vec<String> = m.warnings.iter().map(|w| quoted(w)).collect();
     format!(
         "{{\"queries\":{},\"serial_queries\":{},\"parallel_queries\":{},\"workers\":{},\
          \"eval_ms\":{},\"counters\":{},\"optimizations\":{},\
          \"rewrites_applied\":{},\"rewrites_refused\":{},\"plans_enumerated\":{},\
-         \"cost_removed\":{},\"rules_fired\":{{{}}}}}",
+         \"cost_removed\":{},\"rules_fired\":{{{}}},\"warnings\":[{}]}}",
         m.queries,
         m.serial_queries,
         m.parallel_queries,
@@ -168,7 +145,8 @@ pub fn metrics_json(m: &SessionMetrics) -> String {
         m.rewrites_refused,
         m.plans_enumerated,
         number(m.cost_removed),
-        rules.join(",")
+        rules.join(","),
+        warnings.join(",")
     )
 }
 
@@ -239,6 +217,7 @@ pub fn exec_report_json(r: &ExecReport) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::time::Duration;
 
     #[test]
     fn escape_handles_quotes_and_control_chars() {

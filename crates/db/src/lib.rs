@@ -43,5 +43,9 @@ pub use json::{
 // Re-exported so callers can configure parallel execution without naming
 // the engine crate directly.
 pub use excess_exec::{ExecConfig, ExecReport, THREADS_ENV};
+// Re-exported so callers can read telemetry without naming the crate.
+pub use excess_telemetry::{
+    FeedbackLog, FlightRecorder, Histogram, QueryRecord, QueryTrace, Registry, Span, Telemetry,
+};
 pub use metrics::SessionMetrics;
 pub use stats::collect_statistics;

@@ -40,6 +40,9 @@ pub struct SessionMetrics {
     pub counters: Counters,
     /// Wall time summed over every evaluation.
     pub eval_wall: Duration,
+    /// Configuration warnings surfaced during the session (bad
+    /// `EXCESS_THREADS` values, `set_threads(0)` clamps, …), in order.
+    pub warnings: Vec<String>,
 }
 
 impl SessionMetrics {
@@ -79,6 +82,12 @@ impl SessionMetrics {
         }
     }
 
+    /// Record a configuration warning (also counts as session state — the
+    /// JSON snapshot and the REPL's `.metrics` both render these).
+    pub fn record_warning(&mut self, warning: impl Into<String>) {
+        self.warnings.push(warning.into());
+    }
+
     /// Zero everything.
     pub fn reset(&mut self) {
         *self = Self::default();
@@ -110,6 +119,12 @@ impl std::fmt::Display for SessionMetrics {
             self.plans_enumerated,
             self.cost_removed
         )?;
+        if !self.warnings.is_empty() {
+            writeln!(f, "warnings:")?;
+            for w in &self.warnings {
+                writeln!(f, "  ! {w}")?;
+            }
+        }
         if !self.rules_fired.is_empty() {
             // Most-fired first; name breaks ties for determinism.
             let mut by_count: Vec<(&String, &u64)> = self.rules_fired.iter().collect();

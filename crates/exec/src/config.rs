@@ -41,12 +41,42 @@ impl ExecConfig {
     /// values mean serial execution (the conservative default — parallel
     /// evaluation is opt-in).
     pub fn from_env() -> Self {
-        match std::env::var(THREADS_ENV) {
-            Ok(s) => match s.trim().parse::<usize>() {
-                Ok(n) if n >= 1 => Self::with_workers(n),
-                _ => Self::serial(),
+        Self::from_env_checked().0
+    }
+
+    /// Like [`ExecConfig::from_env`], but also reports *why* the value was
+    /// rejected, so callers can surface the fallback instead of silently
+    /// running serial when the user thought they asked for parallelism.
+    pub fn from_env_checked() -> (Self, Option<String>) {
+        Self::from_setting(std::env::var(THREADS_ENV).ok().as_deref())
+    }
+
+    /// Resolve an optional worker-count setting (the `EXCESS_THREADS`
+    /// value, or any other user-supplied string) into a configuration plus
+    /// an optional warning.  Pure, so the fallback paths are testable
+    /// without racy environment mutation:
+    ///
+    /// * `None` → serial, no warning (the variable simply wasn't set);
+    /// * a parsable count ≥ 1 → that many workers, no warning;
+    /// * `"0"` or garbage → serial, with a warning naming the bad value.
+    pub fn from_setting(setting: Option<&str>) -> (Self, Option<String>) {
+        match setting {
+            None => (Self::serial(), None),
+            Some(s) => match s.trim().parse::<usize>() {
+                Ok(n) if n >= 1 => (Self::with_workers(n), None),
+                Ok(_) => (
+                    Self::serial(),
+                    Some(format!(
+                        "{THREADS_ENV}={s:?} requests zero workers; falling back to serial"
+                    )),
+                ),
+                Err(_) => (
+                    Self::serial(),
+                    Some(format!(
+                        "{THREADS_ENV}={s:?} is not a worker count; falling back to serial"
+                    )),
+                ),
             },
-            Err(_) => Self::serial(),
         }
     }
 
@@ -77,5 +107,30 @@ mod tests {
     fn serial_is_not_parallel() {
         assert!(!ExecConfig::serial().is_parallel());
         assert!(ExecConfig::with_workers(2).is_parallel());
+    }
+
+    #[test]
+    fn from_setting_accepts_counts_silently() {
+        assert_eq!(ExecConfig::from_setting(None), (ExecConfig::serial(), None));
+        assert_eq!(
+            ExecConfig::from_setting(Some(" 4 ")),
+            (ExecConfig::with_workers(4), None)
+        );
+    }
+
+    #[test]
+    fn from_setting_warns_on_garbage_and_zero() {
+        let (cfg, warn) = ExecConfig::from_setting(Some("lots"));
+        assert_eq!(cfg, ExecConfig::serial());
+        let warn = warn.expect("garbage must produce a warning");
+        assert!(warn.contains("EXCESS_THREADS"), "{warn}");
+        assert!(warn.contains("lots"), "{warn}");
+
+        let (cfg, warn) = ExecConfig::from_setting(Some("0"));
+        assert_eq!(cfg, ExecConfig::serial());
+        assert!(
+            warn.expect("zero must produce a warning").contains("zero"),
+            "zero workers should be called out"
+        );
     }
 }

@@ -118,6 +118,8 @@ struct WorkerSummary {
     counters: Counters,
     profile: Option<Profile>,
     busy: Duration,
+    started: Duration,
+    finished: Duration,
     tasks: u64,
     occurrences: u64,
 }
@@ -239,6 +241,9 @@ fn run_parallel_impl<C: Catalog + Sync>(
     // so a snapshot taken here stays equal to the live store.
     let snapshot: Option<ObjectStore> = needs_store(plan).then(|| store.clone());
     let (res_tx, res_rx) = mpsc::channel::<(usize, EvalResult<Value>)>();
+    // Timeline origin for the per-worker start/finish offsets reported in
+    // the journal (and rendered as span lanes by the telemetry layer).
+    let origin = Instant::now();
 
     std::thread::scope(|s| {
         let mut task_txs = Vec::with_capacity(workers);
@@ -248,9 +253,9 @@ fn run_parallel_impl<C: Catalog + Sync>(
             task_txs.push(tx);
             let res_tx = res_tx.clone();
             let snap = &snapshot;
-            handles.push(
-                s.spawn(move || worker_loop(wid, registry, catalog, snap, tracing, rx, res_tx)),
-            );
+            handles.push(s.spawn(move || {
+                worker_loop(wid, registry, catalog, snap, tracing, origin, rx, res_tx)
+            }));
         }
         drop(res_tx);
 
@@ -293,6 +298,8 @@ fn run_parallel_impl<C: Catalog + Sync>(
                 tasks: sum.tasks,
                 occurrences: sum.occurrences,
                 busy: sum.busy,
+                started: sum.started,
+                finished: sum.finished,
                 counters: sum.counters,
             });
         }
@@ -310,15 +317,18 @@ fn run_parallel_impl<C: Catalog + Sync>(
     })
 }
 
+#[allow(clippy::too_many_arguments)]
 fn worker_loop<C: Catalog>(
     worker: usize,
     registry: &TypeRegistry,
     catalog: &C,
     snapshot: &Option<ObjectStore>,
     tracing: Tracing,
+    origin: Instant,
     rx: mpsc::Receiver<Task>,
     res_tx: mpsc::Sender<(usize, EvalResult<Value>)>,
 ) -> WorkerSummary {
+    let started = origin.elapsed();
     let mut store = match snapshot {
         Some(s) => s.clone(),
         None => ObjectStore::new(),
@@ -383,6 +393,8 @@ fn worker_loop<C: Catalog>(
         counters,
         profile: trace.map(|t| t.finish()),
         busy,
+        started,
+        finished: origin.elapsed(),
         tasks,
         occurrences,
     }

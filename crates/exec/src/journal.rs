@@ -125,6 +125,11 @@ pub struct WorkerStats {
     pub occurrences: u64,
     /// Wall time spent inside tasks.
     pub busy: Duration,
+    /// When the worker thread started, as an offset from the run start
+    /// (for the telemetry layer's per-worker span lanes).
+    pub started: Duration,
+    /// When the worker thread finished, as an offset from the run start.
+    pub finished: Duration,
     /// Work counters accumulated by this worker.
     pub counters: Counters,
 }

@@ -1,0 +1,208 @@
+//! Misestimation feedback log.
+//!
+//! Every `explain analyze` (and every span-traced query) compares the
+//! optimizer's estimated output cardinality at each plan node with the
+//! rows the executor actually produced there.  The per-path errors are
+//! accumulated here keyed by `(plan hash, node path)`, quantified as the
+//! **q-error** `max((est+1)/(act+1), (act+1)/(est+1))` — symmetric,
+//! ≥ 1, and robust to zero rows.  A q-error of 1 is a perfect estimate;
+//! the worst offenders are the natural input for the feedback-driven
+//! re-optimization item on the roadmap.
+
+use excess_core::json::{number, quote_json};
+use std::collections::BTreeMap;
+
+/// Accumulated est-vs-actual history for one plan node.
+#[derive(Debug, Clone)]
+pub struct FeedbackEntry {
+    /// FNV-1a hash of the physical plan this node belongs to.
+    pub plan_hash: u64,
+    /// Node path rendered as `root` / `[0.2.1]`.
+    pub path: String,
+    /// Operator label at that node.
+    pub op: String,
+    /// Number of observations folded in.
+    pub observations: u64,
+    /// Sum of estimated rows over all observations.
+    pub est_rows_sum: f64,
+    /// Sum of actual rows over all observations.
+    pub actual_rows_sum: f64,
+    /// Worst q-error seen.
+    pub max_q_error: f64,
+}
+
+impl FeedbackEntry {
+    /// Mean estimated rows per observation.
+    pub fn mean_est(&self) -> f64 {
+        self.est_rows_sum / self.observations as f64
+    }
+
+    /// Mean actual rows per observation.
+    pub fn mean_actual(&self) -> f64 {
+        self.actual_rows_sum / self.observations as f64
+    }
+}
+
+/// Symmetric multiplicative estimation error, always ≥ 1.
+pub fn q_error(est: f64, actual: f64) -> f64 {
+    let e = est.max(0.0) + 1.0;
+    let a = actual.max(0.0) + 1.0;
+    (e / a).max(a / e)
+}
+
+/// Log of cardinality misestimations keyed by `(plan hash, path)`.
+#[derive(Debug, Clone, Default)]
+pub struct FeedbackLog {
+    entries: BTreeMap<(u64, String), FeedbackEntry>,
+}
+
+impl FeedbackLog {
+    /// An empty log.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Fold in one est-vs-actual observation for a plan node.
+    pub fn observe(&mut self, plan_hash: u64, path: &str, op: &str, est: f64, actual: f64) {
+        let q = q_error(est, actual);
+        let entry = self
+            .entries
+            .entry((plan_hash, path.to_string()))
+            .or_insert_with(|| FeedbackEntry {
+                plan_hash,
+                path: path.to_string(),
+                op: op.to_string(),
+                observations: 0,
+                est_rows_sum: 0.0,
+                actual_rows_sum: 0.0,
+                max_q_error: 1.0,
+            });
+        entry.observations += 1;
+        entry.est_rows_sum += est.max(0.0);
+        entry.actual_rows_sum += actual.max(0.0);
+        if q > entry.max_q_error {
+            entry.max_q_error = q;
+        }
+    }
+
+    /// All entries in key order.
+    pub fn entries(&self) -> impl Iterator<Item = &FeedbackEntry> {
+        self.entries.values()
+    }
+
+    /// Entry for a specific plan node, if observed.
+    pub fn entry(&self, plan_hash: u64, path: &str) -> Option<&FeedbackEntry> {
+        self.entries.get(&(plan_hash, path.to_string()))
+    }
+
+    /// Number of distinct `(plan, path)` keys tracked.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when nothing has been observed.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// The `n` entries with the largest `max_q_error`, worst first (ties
+    /// broken by key order for determinism).
+    pub fn worst(&self, n: usize) -> Vec<&FeedbackEntry> {
+        let mut all: Vec<&FeedbackEntry> = self.entries.values().collect();
+        all.sort_by(|a, b| {
+            b.max_q_error
+                .partial_cmp(&a.max_q_error)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then_with(|| (a.plan_hash, &a.path).cmp(&(b.plan_hash, &b.path)))
+        });
+        all.truncate(n);
+        all
+    }
+
+    /// Forget everything.
+    pub fn reset(&mut self) {
+        self.entries.clear();
+    }
+
+    /// `{"entries":[{"plan_hash":…,"path":…,"op":…,"observations":…,
+    /// "mean_est":…,"mean_actual":…,"max_q_error":…},…]}` in key order.
+    pub fn to_json(&self) -> String {
+        let entries: Vec<String> = self
+            .entries
+            .values()
+            .map(|e| {
+                format!(
+                    "{{\"plan_hash\":{},\"path\":{},\"op\":{},\"observations\":{},\
+                     \"mean_est\":{},\"mean_actual\":{},\"max_q_error\":{}}}",
+                    e.plan_hash,
+                    quote_json(&e.path),
+                    quote_json(&e.op),
+                    e.observations,
+                    number(e.mean_est()),
+                    number(e.mean_actual()),
+                    number(e.max_q_error)
+                )
+            })
+            .collect();
+        format!("{{\"entries\":[{}]}}", entries.join(","))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn q_error_is_symmetric_and_at_least_one() {
+        assert_eq!(q_error(10.0, 10.0), 1.0);
+        assert_eq!(q_error(9.0, 4.0), 2.0);
+        assert_eq!(q_error(4.0, 9.0), 2.0);
+        assert_eq!(q_error(0.0, 0.0), 1.0);
+        assert!(q_error(0.0, 99.0) == 100.0);
+    }
+
+    #[test]
+    fn observations_accumulate_per_key() {
+        let mut log = FeedbackLog::new();
+        log.observe(7, "[0]", "DE", 10.0, 20.0);
+        log.observe(7, "[0]", "DE", 30.0, 20.0);
+        log.observe(7, "root", "SET_APPLY", 5.0, 5.0);
+        assert_eq!(log.len(), 2);
+        let e = log.entry(7, "[0]").unwrap();
+        assert_eq!(e.observations, 2);
+        assert_eq!(e.mean_est(), 20.0);
+        assert_eq!(e.mean_actual(), 20.0);
+        assert!(e.max_q_error > 1.0);
+    }
+
+    #[test]
+    fn worst_sorts_by_max_q_error_descending() {
+        let mut log = FeedbackLog::new();
+        log.observe(1, "root", "A", 100.0, 1.0); // q ≈ 50.5
+        log.observe(1, "[0]", "B", 10.0, 10.0); // q = 1
+        log.observe(2, "root", "C", 1.0, 9.0); // q = 5
+        let worst = log.worst(2);
+        assert_eq!(worst.len(), 2);
+        assert_eq!(worst[0].op, "A");
+        assert_eq!(worst[1].op, "C");
+    }
+
+    #[test]
+    fn json_parses_with_required_keys() {
+        let mut log = FeedbackLog::new();
+        log.observe(3, "root", "DE", 8.0, 2.0);
+        let v = excess_core::json::parse_json(&log.to_json()).unwrap();
+        let entries = v.get("entries").unwrap().as_arr().unwrap();
+        assert_eq!(entries.len(), 1);
+        assert_eq!(entries[0].get("op").unwrap().as_str(), Some("DE"));
+        assert_eq!(entries[0].get("max_q_error").unwrap().as_f64(), Some(3.0));
+    }
+
+    #[test]
+    fn reset_clears_the_log() {
+        let mut log = FeedbackLog::new();
+        log.observe(1, "root", "A", 1.0, 1.0);
+        log.reset();
+        assert!(log.is_empty());
+    }
+}

@@ -1,0 +1,121 @@
+//! Unified telemetry for the EXCESS engine.
+//!
+//! Four pieces, layered from always-on to opt-in:
+//!
+//! * [`Registry`] — named counters, gauges, and log-bucketed latency
+//!   [`Histogram`]s with exact counts and p50/p95/p99 quantiles.  Cheap
+//!   enough to run on every query.
+//! * [`FlightRecorder`] — a fixed ring of the last N [`QueryRecord`]s
+//!   (query text, plan hash, engine, per-phase timings, kernel choices,
+//!   est-vs-actual rows) with a configurable slow-query threshold.
+//! * [`FeedbackLog`] — per-plan-node est-vs-actual cardinality error
+//!   accumulated from `explain analyze`, quantified as q-error; the
+//!   input for future feedback-driven re-optimization.
+//! * [`Span`] / [`QueryTrace`] — opt-in structured span trees covering
+//!   every layer of a query's life (parse → infer → verify → optimize →
+//!   lower → execute, with per-rewrite, per-choice, per-operator and
+//!   per-worker children), exportable as nested JSON or Chrome
+//!   trace-event format.
+//!
+//! The crate depends only on `excess-core` (for the JSON helpers and
+//!   counter field names), so every other crate can use it without
+//!   cycles.  The [`Telemetry`] struct bundles all four for embedding in
+//!   the database.
+
+pub mod feedback;
+pub mod histogram;
+pub mod recorder;
+pub mod registry;
+pub mod span;
+
+pub use feedback::{q_error, FeedbackEntry, FeedbackLog};
+pub use histogram::{bucket_bound, Histogram, BUCKETS};
+pub use recorder::{FlightRecorder, QueryRecord, DEFAULT_CAPACITY, DEFAULT_SLOW_THRESHOLD_US};
+pub use registry::Registry;
+pub use span::{QueryTrace, Span};
+
+/// FNV-1a 64-bit hash — used to fingerprint plans cheaply and
+/// deterministically (no `DefaultHasher`, whose output is unspecified
+/// across releases).
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf29ce484222325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    h
+}
+
+/// Everything the database embeds: the always-on registry, recorder,
+/// and feedback log, plus the opt-in span switch and the last trace it
+/// produced.
+#[derive(Debug, Clone, Default)]
+pub struct Telemetry {
+    /// Always-on counters/gauges/histograms.
+    pub registry: Registry,
+    /// Always-on ring of recent query records.
+    pub recorder: FlightRecorder,
+    /// Misestimation history from `explain analyze` and traced runs.
+    pub feedback: FeedbackLog,
+    /// When true, queries assemble full [`QueryTrace`] span trees.
+    pub spans_enabled: bool,
+    /// The most recent trace (only populated while spans are enabled).
+    pub last_trace: Option<QueryTrace>,
+}
+
+impl Telemetry {
+    /// Fresh telemetry with default recorder capacity.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// One JSON document with every always-on section:
+    /// `{"registry":…,"recorder":…,"feedback":…}`.
+    pub fn snapshot_json(&self) -> String {
+        format!(
+            "{{\"registry\":{},\"recorder\":{},\"feedback\":{}}}",
+            self.registry.to_json(),
+            self.recorder.to_json(),
+            self.feedback.to_json()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fnv1a64_matches_reference_vectors() {
+        // Published FNV-1a test vectors.
+        assert_eq!(fnv1a64(b""), 0xcbf29ce484222325);
+        assert_eq!(fnv1a64(b"a"), 0xaf63dc4c8601ec8c);
+        assert_eq!(fnv1a64(b"foobar"), 0x85944171f73967e8);
+    }
+
+    #[test]
+    fn fnv1a64_is_deterministic_and_input_sensitive() {
+        assert_eq!(fnv1a64(b"plan"), fnv1a64(b"plan"));
+        assert_ne!(fnv1a64(b"plan"), fnv1a64(b"plan2"));
+    }
+
+    #[test]
+    fn snapshot_parses_with_all_sections() {
+        let mut t = Telemetry::new();
+        t.registry.inc("queries");
+        t.feedback.observe(1, "root", "DE", 2.0, 4.0);
+        let v = excess_core::json::parse_json(&t.snapshot_json()).unwrap();
+        assert!(v.get("registry").is_some());
+        assert!(v.get("recorder").is_some());
+        assert_eq!(
+            v.get("feedback")
+                .unwrap()
+                .get("entries")
+                .unwrap()
+                .as_arr()
+                .unwrap()
+                .len(),
+            1
+        );
+    }
+}

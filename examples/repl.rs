@@ -96,6 +96,30 @@ const COMMANDS: &[MetaCommand] = &[
         run: cmd_threads,
     },
     MetaCommand {
+        name: ".telemetry",
+        args: "[json|reset]",
+        help: "session telemetry: counters, latency histograms (p50/p95/p99)",
+        run: cmd_telemetry,
+    },
+    MetaCommand {
+        name: ".slowlog",
+        args: "[N_us|all|json]",
+        help: "flight recorder: recent slow queries (set threshold with N_us)",
+        run: cmd_slowlog,
+    },
+    MetaCommand {
+        name: ".feedback",
+        args: "[json]",
+        help: "misestimation log: worst est-vs-actual cardinality errors",
+        run: cmd_feedback,
+    },
+    MetaCommand {
+        name: ".spans",
+        args: "[on|off|json|chrome]",
+        help: "query span traces: toggle, or export the last trace",
+        run: cmd_spans,
+    },
+    MetaCommand {
         name: ".load",
         args: "university",
         help: "load the Figure 1 workload",
@@ -420,6 +444,142 @@ fn cmd_threads(db: &mut Database, rest: &str) -> bool {
         _ => println!("usage: .threads [N]  (N >= 1)"),
     }
     true
+}
+
+fn cmd_telemetry(db: &mut Database, rest: &str) -> bool {
+    match rest {
+        "json" => println!("{}", db.telemetry().snapshot_json()),
+        "reset" => {
+            let t = db.telemetry_mut();
+            t.registry.reset();
+            t.feedback.reset();
+            println!("telemetry reset");
+        }
+        _ => {
+            let t = db.telemetry();
+            for (name, v) in t.registry.counters() {
+                println!("  {name}: {v}");
+            }
+            for (name, h) in t.registry.histograms() {
+                println!(
+                    "  {name}: n={} mean={:.0} p50={} p95={} p99={} max={}",
+                    h.count(),
+                    h.mean(),
+                    h.quantile(0.50),
+                    h.quantile(0.95),
+                    h.quantile(0.99),
+                    h.max().unwrap_or(0)
+                );
+            }
+            if t.registry.counters().next().is_none() && t.registry.histograms().next().is_none() {
+                println!("  (no queries recorded yet)");
+            }
+        }
+    }
+    true
+}
+
+fn cmd_slowlog(db: &mut Database, rest: &str) -> bool {
+    if rest == "json" {
+        println!("{}", db.telemetry().recorder.to_json());
+        return true;
+    }
+    if let Ok(us) = rest.parse::<u64>() {
+        db.telemetry_mut().recorder.set_slow_threshold_us(us);
+        println!("slow-query threshold set to {us} µs");
+        return true;
+    }
+    let recorder = &db.telemetry().recorder;
+    let records: Vec<_> = if rest == "all" {
+        recorder.records().collect()
+    } else {
+        recorder.slow().collect()
+    };
+    if records.is_empty() {
+        println!(
+            "  no {}queries recorded (threshold {} µs; .slowlog all shows everything)",
+            if rest == "all" { "" } else { "slow " },
+            recorder.slow_threshold_us()
+        );
+    }
+    for r in records {
+        let phases: Vec<String> = r
+            .phase_us
+            .iter()
+            .map(|(name, us)| format!("{name}={us}µs"))
+            .collect();
+        println!(
+            "  [{}] {}µs rows={} {}  {}",
+            r.engine,
+            r.total_us(),
+            r.rows,
+            phases.join(" "),
+            r.query.replace('\n', " ")
+        );
+    }
+    true
+}
+
+fn cmd_feedback(db: &mut Database, rest: &str) -> bool {
+    if rest == "json" {
+        println!("{}", db.telemetry().feedback.to_json());
+        return true;
+    }
+    let log = &db.telemetry().feedback;
+    if log.is_empty() {
+        println!("  no observations yet (run explain analyze or enable .spans)");
+        return true;
+    }
+    println!("  worst cardinality misestimations (q-error = max(est/act, act/est)):");
+    for e in log.worst(10) {
+        println!(
+            "  q={:.1}  {} {}  est {:.0} vs actual {:.0}  ({} obs, plan {:016x})",
+            e.max_q_error,
+            e.path,
+            e.op,
+            e.mean_est(),
+            e.mean_actual(),
+            e.observations,
+            e.plan_hash
+        );
+    }
+    true
+}
+
+fn cmd_spans(db: &mut Database, rest: &str) -> bool {
+    match rest {
+        "on" => {
+            db.enable_query_spans(true);
+            println!("query spans on — queries now run profiled");
+        }
+        "off" => {
+            db.enable_query_spans(false);
+            println!("query spans off");
+        }
+        "json" => match db.last_query_trace() {
+            Some(t) => println!("{}", t.to_json()),
+            None => println!("no trace yet (.spans on, then run a query)"),
+        },
+        "chrome" => match db.last_query_trace() {
+            Some(t) => println!("{}", t.to_chrome_trace()),
+            None => println!("no trace yet (.spans on, then run a query)"),
+        },
+        _ => match db.last_query_trace() {
+            Some(t) => {
+                println!("  last trace: {} spans, engine {}", t.len(), t.engine);
+                print_span(&t.root, 1);
+            }
+            None => println!("usage: .spans on|off|json|chrome"),
+        },
+    }
+    true
+}
+
+fn print_span(s: &excess::db::Span, depth: usize) {
+    println!("{}{} ({} µs)", "  ".repeat(depth), s.name, s.dur_us);
+    for c in &s.children {
+        print_span(c, depth + 1);
+    }
 }
 
 fn cmd_load(db: &mut Database, rest: &str) -> bool {

@@ -11,6 +11,8 @@
 //! * [`lang`] — the EXCESS query language: parser, EXCESS→algebra
 //!   translator, algebra→EXCESS decompiler, and method registry;
 //! * [`exec`] — the partition-parallel execution engine;
+//! * [`telemetry`] — cross-query telemetry: metric registry, latency
+//!   histograms, query spans, flight recorder, misestimation feedback;
 //! * [`db`] — the end-to-end [`db::Database`] engine;
 //! * [`workload`] — the Figure 1 university-database generator used by the
 //!   examples and benchmarks.
@@ -33,5 +35,6 @@ pub use excess_db as db;
 pub use excess_exec as exec;
 pub use excess_lang as lang;
 pub use excess_optimizer as optimizer;
+pub use excess_telemetry as telemetry;
 pub use excess_types as types;
 pub use excess_workload as workload;

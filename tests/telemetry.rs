@@ -1,0 +1,168 @@
+//! End-to-end telemetry invariants on the paper's figure suite.
+//!
+//! The load-bearing property is *telescoping*: with query spans enabled,
+//! summing any work counter over a query's span tree must reproduce the
+//! query's total exactly — the span tree is a lossless decomposition of
+//! the profiler's accounting, serial or parallel.  Around that sit the
+//! always-on pieces: the latency histogram's exact-count invariants, the
+//! flight recorder's FIFO ring, and the misestimation feedback log fed
+//! by `explain analyze`.
+
+use std::collections::BTreeMap;
+
+use excess::algebra::profile::path_string;
+use excess::db::Database;
+use excess::optimizer::estimate_nodes;
+use excess::telemetry::{q_error, FlightRecorder};
+use excess_bench::example1::{example1_db, figure6, figure7, figure8};
+
+/// Run the Example 1 figures with spans on and assert every counter
+/// telescopes through the span tree.
+fn assert_figures_telescope(db: &mut Database) {
+    db.enable_query_spans(true);
+    for (id, plan) in [("F6", figure6()), ("F7", figure7()), ("F8", figure8())] {
+        db.run_query_plan(id, &plan).unwrap();
+        let total = db.last_counters();
+        let trace = db.last_query_trace().expect("spans are enabled");
+        for (name, v) in total.named_fields() {
+            assert_eq!(
+                trace.root.sum_num(name),
+                v,
+                "{id}: `{name}` must sum over the span tree to the query total"
+            );
+        }
+        assert_eq!(trace.query, id);
+    }
+}
+
+#[test]
+fn spans_telescope_to_profiler_counters_serial() {
+    let mut db = example1_db(64, 48, 8);
+    db.set_threads(1);
+    assert_figures_telescope(&mut db);
+    assert_eq!(db.last_query_trace().unwrap().engine, "serial");
+}
+
+#[test]
+fn spans_telescope_to_profiler_counters_parallel() {
+    let mut db = example1_db(64, 48, 8);
+    db.set_threads(4);
+    assert_figures_telescope(&mut db);
+    let trace = db.last_query_trace().unwrap();
+    assert_eq!(trace.engine, "parallel(4)");
+    // The execute phase carries one child span per worker lane.
+    let execute = trace.root.find("execute").expect("execute span");
+    let workers = execute
+        .children
+        .iter()
+        .filter(|s| s.name.starts_with("worker:"))
+        .count();
+    assert_eq!(workers, 4);
+}
+
+#[test]
+fn latency_histogram_invariants_hold_after_a_query_batch() {
+    let mut db = example1_db(64, 48, 8);
+    for plan in [figure6(), figure7(), figure8(), figure6()] {
+        db.run_query_plan("q", &plan).unwrap();
+    }
+    let h = db
+        .telemetry()
+        .registry
+        .histogram("query_us")
+        .expect("every query observes query_us");
+    // Exact counts: the buckets partition the observations.
+    assert_eq!(h.count(), 4);
+    assert_eq!(h.bucket_sum(), h.count());
+    // Quantiles are monotone and bracketed by the observed extremes.
+    let (p50, p95, p99) = (h.quantile(0.50), h.quantile(0.95), h.quantile(0.99));
+    assert!(p50 <= p95 && p95 <= p99, "{p50} {p95} {p99}");
+    assert!(p99 <= h.max().unwrap());
+    assert_eq!(db.telemetry().registry.counter("queries"), 4);
+}
+
+#[test]
+fn flight_recorder_evicts_fifo_at_capacity() {
+    let mut db = example1_db(64, 48, 8);
+    db.set_threads(1);
+    db.telemetry_mut().recorder = FlightRecorder::new(2);
+    for (id, plan) in [("F6", figure6()), ("F7", figure7()), ("F8", figure8())] {
+        db.run_query_plan(id, &plan).unwrap();
+    }
+    let rec = &db.telemetry().recorder;
+    // Three queries through a ring of two: F6 was evicted, order kept.
+    assert_eq!(rec.recorded(), 3);
+    assert_eq!(rec.len(), 2);
+    let labels: Vec<&str> = rec.records().map(|r| r.query.as_str()).collect();
+    assert_eq!(labels, ["F7", "F8"]);
+    for r in rec.records() {
+        assert_eq!(r.engine, "serial");
+        assert!(r.total_us() > 0, "phase timings must be recorded");
+        assert!(!r.kernels.is_empty(), "kernel choices must be recorded");
+    }
+}
+
+#[test]
+fn flight_recorder_slow_threshold_filters_records() {
+    let mut db = example1_db(64, 48, 8);
+    db.run_query_plan("F6", &figure6()).unwrap();
+    let rec = &mut db.telemetry_mut().recorder;
+    rec.set_slow_threshold_us(u64::MAX);
+    assert_eq!(rec.slow().count(), 0);
+    rec.set_slow_threshold_us(0);
+    assert_eq!(rec.slow().count(), 1);
+}
+
+#[test]
+fn feedback_log_matches_explain_analyze_est_vs_actual() {
+    let mut db = example1_db(64, 48, 8);
+    let stats = db.analyze().clone();
+    let plan = figure6();
+    // The same per-node estimates the lowering stamps onto its choices.
+    let ests: BTreeMap<String, f64> = estimate_nodes(&plan, &stats)
+        .into_iter()
+        .map(|(p, e)| (path_string(&p), e.rows))
+        .collect();
+    db.explain_analyze(&plan).unwrap();
+    let fb = &db.telemetry().feedback;
+    assert!(!fb.is_empty(), "explain analyze must feed the log");
+    for e in fb.entries() {
+        assert_eq!(e.observations, 1);
+        // The estimate side is exactly the optimizer's per-node estimate…
+        let est = ests
+            .get(&e.path)
+            .unwrap_or_else(|| panic!("no estimate for feedback path {}", e.path));
+        assert!(
+            (e.est_rows_sum - est).abs() < 1e-9,
+            "{}: est {} != optimizer estimate {est}",
+            e.path,
+            e.est_rows_sum
+        );
+        // …and the recorded q-error is derivable from est and actual.
+        assert_eq!(e.max_q_error, q_error(e.est_rows_sum, e.actual_rows_sum));
+        assert!(e.max_q_error >= 1.0);
+    }
+    // A second analyze of the same plan accumulates, not duplicates.
+    let before = fb.len();
+    db.explain_analyze(&plan).unwrap();
+    let fb = &db.telemetry().feedback;
+    assert_eq!(fb.len(), before);
+    assert!(fb.entries().all(|e| e.observations == 2));
+    // `worst` ranks by q-error, descending.
+    let worst: Vec<f64> = fb.worst(8).iter().map(|e| e.max_q_error).collect();
+    assert!(worst.windows(2).all(|w| w[0] >= w[1]), "{worst:?}");
+}
+
+#[test]
+fn disabling_spans_clears_the_last_trace() {
+    let mut db = example1_db(64, 48, 8);
+    db.enable_query_spans(true);
+    db.run_query_plan("F6", &figure6()).unwrap();
+    assert!(db.last_query_trace().is_some());
+    db.enable_query_spans(false);
+    assert!(db.last_query_trace().is_none());
+    // With spans off, queries still feed the always-on registry…
+    db.run_query_plan("F6", &figure6()).unwrap();
+    assert!(db.last_query_trace().is_none());
+    assert_eq!(db.telemetry().registry.counter("queries"), 2);
+}
