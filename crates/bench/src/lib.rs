@@ -5,6 +5,7 @@
 //! rows.  Each builder constructs a *specific figure's query tree* so the
 //! benches compare exactly the plans the paper draws.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod dispatch;

@@ -54,7 +54,7 @@ pub struct EvalCtx<'a> {
     /// [`crate::physical::evaluate_physical`]: maps the address of a
     /// `rel_join` node to its `(left_key, right_key)` choice.  `None`
     /// (the default) means every join runs as a nested loop.
-    pub(crate) join_kernels: Option<std::collections::HashMap<usize, (String, String)>>,
+    pub(crate) join_kernels: Option<std::collections::HashMap<usize, (String, String, bool)>>,
 }
 
 impl<'a> EvalCtx<'a> {
@@ -608,10 +608,16 @@ fn eval_inner(e: &Expr, env: &mut Vec<Value>, ctx: &mut EvalCtx) -> EvalResult<V
                 .as_ref()
                 .and_then(|t| t.get(&(e as *const Expr as usize)))
                 .cloned();
-            if let Some((lf, rf)) = keys {
-                if let Some(out) =
+            if let Some((lf, rf, guard_elided)) = keys {
+                // An elided guard means the property analysis proved the
+                // key side conditions; the unguarded kernel still
+                // degrades gracefully if the proof were ever wrong.
+                let kernel_out = if guard_elided {
+                    crate::physical::hash_equi_join_unguarded(&sa, &sb, &lf, &rf, pred, env, ctx)?
+                } else {
                     crate::physical::hash_equi_join(&sa, &sb, &lf, &rf, pred, env, ctx)?
-                {
+                };
+                if let Some(out) = kernel_out {
                     return Ok(Value::Set(out));
                 }
             }

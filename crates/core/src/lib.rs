@@ -23,8 +23,10 @@
 //! assert_eq!(out, Value::set([Value::int(1), Value::int(2)]));
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod analysis;
 pub mod canon;
 pub mod catalog;
 pub mod counters;

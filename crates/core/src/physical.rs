@@ -48,7 +48,7 @@
 //! recursive evaluator — including its trace bracketing — picks the hash
 //! kernel up at exactly the annotated nodes and nowhere else.
 
-use std::collections::{BTreeMap, HashMap};
+use std::collections::{BTreeMap, BTreeSet, HashMap};
 use std::fmt;
 
 use crate::error::EvalResult;
@@ -125,6 +125,12 @@ pub struct PhysicalPlan {
     pub logical: Expr,
     /// Physical operator per annotated node path.
     pub choices: BTreeMap<NodePath, PhysChoice>,
+    /// `HashEquiJoin` choices whose runtime [`key_pair_usable`] guard the
+    /// property analysis proved redundant (keys definite on every row,
+    /// attribute sets exhaustive and disjoint): the kernel skips the
+    /// per-occurrence guard scan and extracts keys directly, degrading
+    /// gracefully to the nested loop if a proof ever turned out wrong.
+    pub elided_guards: BTreeSet<NodePath>,
 }
 
 impl PhysicalPlan {
@@ -134,6 +140,7 @@ impl PhysicalPlan {
         PhysicalPlan {
             logical,
             choices: BTreeMap::new(),
+            elided_guards: BTreeSet::new(),
         }
     }
 
@@ -148,8 +155,9 @@ impl PhysicalPlan {
 
     /// Resolve every `HashEquiJoin` choice to the address of its
     /// `rel_join` node — the pointer-keyed kernel table
-    /// [`evaluate_physical`] installs in the evaluation context.
-    fn kernel_table(&self) -> HashMap<usize, (String, String)> {
+    /// [`evaluate_physical`] installs in the evaluation context.  The
+    /// flag marks choices whose runtime guard is elided.
+    fn kernel_table(&self) -> HashMap<usize, (String, String, bool)> {
         let mut table = HashMap::new();
         for (path, choice) in &self.choices {
             if let PhysOp::HashEquiJoin {
@@ -160,7 +168,11 @@ impl PhysicalPlan {
                 if let Some(node @ Expr::RelJoin { .. }) = self.node_at(path) {
                     table.insert(
                         node as *const Expr as usize,
-                        (left_key.clone(), right_key.clone()),
+                        (
+                            left_key.clone(),
+                            right_key.clone(),
+                            self.elided_guards.contains(path),
+                        ),
                     );
                 }
             }
@@ -343,27 +355,90 @@ pub fn hash_equi_join(
     } else {
         return Ok(None);
     };
+    hash_join_core(sa, sb, lf, rf, pred, env, ctx)
+}
+
+/// The hash equi-join kernel *without* the per-occurrence
+/// [`key_pair_usable`] guard scan — for joins whose key side conditions
+/// the property analysis proved statically (see
+/// [`PhysicalPlan::elided_guards`]).  The checks the guard performed per
+/// row and the elision substitutes proofs for:
+///
+/// * tuple-ness, key presence, key non-nullness — still checked
+///   gracefully (they fall out of the extraction the kernel does
+///   anyway): a violation abandons the attempt, restores the counters it
+///   touched, and reports `None` so the caller falls back to the nested
+///   loop.
+/// * key-field *disjointness* (`lf` absent on the right, `rf` on the
+///   left, so `TUP_CAT` renames nothing) — rests entirely on the static
+///   proof; the elision pass only fires on sides with exhaustive
+///   attribute maps proving absence, and the soundness battery checks
+///   exactly this class of claim against executed results.
+pub fn hash_equi_join_unguarded(
+    sa: &MultiSet,
+    sb: &MultiSet,
+    lf: &str,
+    rf: &str,
+    pred: &Pred,
+    env: &mut Vec<Value>,
+    ctx: &mut EvalCtx,
+) -> EvalResult<Option<MultiSet>> {
+    hash_join_core(sa, sb, lf, rf, pred, env, ctx)
+}
+
+/// Shared build/probe core.  Key extraction is graceful: any violation of
+/// the key side conditions aborts with `Ok(None)` after restoring the
+/// counters, so a guarded caller (which pre-verified and can never abort
+/// here) and an unguarded caller observe identical counter behaviour to
+/// the nested-loop fallback.
+fn hash_join_core(
+    sa: &MultiSet,
+    sb: &MultiSet,
+    lf: &str,
+    rf: &str,
+    pred: &Pred,
+    env: &mut Vec<Value>,
+    ctx: &mut EvalCtx,
+) -> EvalResult<Option<MultiSet>> {
     let Some(residual) = split_residual(pred, lf, rf) else {
         return Ok(None);
     };
+    let saved_counters = ctx.counters;
     // Build: bucket the right side by key value (BTreeMap for declarative
     // determinism; the output multiset is order-insensitive anyway).
     let mut buckets: BTreeMap<&Value, Vec<(&Value, u64)>> = BTreeMap::new();
     for (y, cy) in sb.iter_counted() {
-        let t = y.as_tuple().expect("guard verified tuples");
-        let k = t.extract(rf).expect("guard verified key presence");
+        let Some(t) = y.as_tuple() else {
+            return Ok(None);
+        };
+        let Ok(k) = t.extract(rf) else {
+            return Ok(None);
+        };
+        if k.is_null() {
+            return Ok(None);
+        }
         buckets.entry(k).or_default().push((y, cy));
     }
     // Probe: only in-bucket pairs are ever formed.
     let mut out = MultiSet::new();
     for (x, cx) in sa.iter_counted() {
-        let tx = x.as_tuple().expect("guard verified tuples");
-        let k = tx.extract(lf).expect("guard verified key presence");
+        let Some(tx) = x.as_tuple() else {
+            ctx.counters = saved_counters;
+            return Ok(None);
+        };
+        let Ok(k) = tx.extract(lf) else {
+            ctx.counters = saved_counters;
+            return Ok(None);
+        };
+        if k.is_null() {
+            ctx.counters = saved_counters;
+            return Ok(None);
+        }
         let Some(matches) = buckets.get(k) else {
             continue;
         };
         for &(y, cy) in matches {
-            let ty = y.as_tuple().expect("guard verified tuples");
+            let ty = y.as_tuple().expect("build side admitted tuples only");
             ctx.counters.occurrences_scanned += cx * cy;
             let joined = Value::Tuple(tx.cat(ty));
             env.push(joined.clone());
@@ -482,6 +557,7 @@ mod tests {
         PhysicalPlan {
             logical: plan.clone(),
             choices,
+            elided_guards: BTreeSet::new(),
         }
     }
 

@@ -142,8 +142,14 @@ pub fn verify(e: &Expr, cat: &dyn SchemaCatalog, reg: &TypeRegistry) -> Report {
         env: Vec::new(),
     };
     let schema = v.check(e);
+    let mut diagnostics = v.diags;
+    // The property-analysis lint family (PR 7): run the dataflow pass in
+    // data-free structural mode and append its findings.  Lints never
+    // affect `is_clean` or the rewrite-soundness gate (errors only).
+    let analysis = crate::analysis::analyze(e, &crate::catalog::EmptyCatalog);
+    diagnostics.extend(crate::analysis::property_lints(e, &analysis));
     Report {
-        diagnostics: v.diags,
+        diagnostics,
         schema,
     }
 }

@@ -18,8 +18,8 @@ use excess_lang::methods::{MethodDef, MethodRegistry};
 use excess_lang::translate::{resolve_this, translate_retrieve, TranslateCtx};
 use excess_lang::{parse_program, LangError};
 use excess_optimizer::{
-    apply_extent_indexes, apply_extent_indexes_journaled, cost_of, estimate_physical, lower,
-    lower_journaled, Optimizer, RewriteJournal, RuleCtx, Statistics,
+    apply_extent_indexes, apply_extent_indexes_journaled, cost_of, elide_proven_guards,
+    estimate_physical, lower, lower_journaled, Optimizer, RewriteJournal, RuleCtx, Statistics,
 };
 use excess_telemetry::{fnv1a64, QueryRecord, QueryTrace, Span, Telemetry};
 use excess_types::{ObjectStore, SchemaType, TypeId, TypeRegistry, Value};
@@ -166,6 +166,13 @@ pub struct Database {
     stats: Statistics,
     /// Run the rule-based optimizer on every query (default: on).
     pub optimize: bool,
+    /// Run the property-licensed rewrite pass and guard-elision pass on
+    /// every query (default: off — the passes re-analyse the stored data
+    /// per query, and the figure-convergence suite pins the standard
+    /// greedy rule sequences).  Journaled under `property-licensed`;
+    /// elisions are counted in the telemetry registry
+    /// (`lowering.guard_elisions`).
+    pub property_rewrites: bool,
     /// Parallel-execution configuration; `retrieve` statements route
     /// through the partition-parallel engine whenever `workers > 1`
     /// (default: from `EXCESS_THREADS`, serial when unset).
@@ -199,6 +206,7 @@ impl Database {
             procedures: HashMap::new(),
             stats: Statistics::new(),
             optimize: true,
+            property_rewrites: false,
             exec,
             last_counters: Counters::new(),
             last_exec_report: None,
@@ -554,6 +562,60 @@ impl Database {
         (best, journal)
     }
 
+    /// Derive per-node plan properties (duplicate-freeness, candidate
+    /// keys, nullability, cardinality bounds) against this database's
+    /// stored data — the data-backed mode of
+    /// `excess_core::analysis::analyze` (the verifier runs the same pass
+    /// data-free).
+    pub fn analyze_plan_props(&self, plan: &Expr) -> excess_core::analysis::Analysis {
+        excess_core::analysis::analyze(plan, &self.catalog)
+    }
+
+    /// Apply every property-licensed rewrite provable against the stored
+    /// data (drop DE/ARR_DE over proven duplicate-free inputs, prune
+    /// proven-empty union/difference/concat branches), journaled under
+    /// the rule name `property-licensed` and gated by the same rewrite-
+    /// soundness check as the rule catalogue.  The journal is folded into
+    /// the session [`SessionMetrics`].
+    pub fn property_rewrites_journaled(&mut self, plan: &Expr) -> (Expr, RewriteJournal) {
+        let ctx = RuleCtx {
+            registry: &self.registry,
+            schemas: &self.catalog,
+        };
+        let cost = cost_of(plan, &self.stats);
+        let mut journal = RewriteJournal {
+            steps: Vec::new(),
+            refused: Vec::new(),
+            plans_enumerated: 0,
+            max_plans: 0,
+            initial_cost: cost,
+            final_cost: cost,
+        };
+        let out = excess_optimizer::apply_property_rewrites_journaled(
+            plan,
+            &self.catalog,
+            &self.stats,
+            &ctx,
+            &mut journal,
+        );
+        self.metrics.record_journal(&journal);
+        (out, journal)
+    }
+
+    /// Elide proven-redundant hash-join runtime guards on a lowered plan
+    /// (see `excess_optimizer::elide_proven_guards`), counting each
+    /// elision in the telemetry registry under `lowering.guard_elisions`.
+    pub fn elide_plan_guards(
+        &mut self,
+        physical: &mut PhysicalPlan,
+    ) -> Vec<(excess_core::profile::NodePath, String)> {
+        let elided = elide_proven_guards(physical, &self.catalog);
+        self.telemetry
+            .registry
+            .add("lowering.guard_elisions", elided.len() as u64);
+        elided
+    }
+
     /// Lower a logical plan to a physical plan under the session's
     /// statistics: per spine node, the kernel the engines will run —
     /// hash equi-join vs nested loop for `rel_join`, hash
@@ -681,10 +743,40 @@ impl Database {
             plan.clone()
         };
 
+        // Property-licensed rewrites (opt-in): simplifications licensed
+        // by proofs from the stored data rather than cost estimates.
+        let plan = if self.property_rewrites {
+            let t0 = base + origin.elapsed().as_micros() as u64;
+            let (rewritten, journal) = self.property_rewrites_journaled(&plan);
+            let dur = (base + origin.elapsed().as_micros() as u64).saturating_sub(t0);
+            phases.push(("properties", dur));
+            if spans {
+                let mut s = Span::new("properties", "phase", t0, dur)
+                    .with_num("rewrites_applied", journal.steps.len() as u64)
+                    .with_num("rewrites_refused", journal.refused.len() as u64);
+                for step in &journal.steps {
+                    s.children.push(
+                        Span::new(format!("rewrite:{}", step.rule), "rewrite", t0, 0)
+                            .with_meta("path", excess_core::profile::path_string(&step.path)),
+                    );
+                }
+                phase_spans.push(s);
+            }
+            rewritten
+        } else {
+            plan
+        };
+
         // Lower (journaled), with one child span per exercised kernel
         // choice.
         let t0 = base + origin.elapsed().as_micros() as u64;
-        let (physical, _) = self.lower_plan_journaled(&plan);
+        let (mut physical, _) = self.lower_plan_journaled(&plan);
+        if self.property_rewrites {
+            // Guard elision: substitute the analysis's proofs for the
+            // hash kernel's per-occurrence key checks, counted under
+            // `lowering.guard_elisions` in the telemetry registry.
+            let _ = self.elide_plan_guards(&mut physical);
+        }
         let dur = (base + origin.elapsed().as_micros() as u64).saturating_sub(t0);
         phases.push(("lower", dur));
         if spans {

@@ -19,6 +19,7 @@
 //! assert_eq!(out.to_string(), "{ \"CS\" }");
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod catalog;

@@ -371,6 +371,11 @@ fn worker_loop<C: Catalog>(
                 let pp = PhysicalPlan {
                     logical: frag,
                     choices,
+                    // Worker fragments always keep the runtime guard:
+                    // guard elision is proven against whole-input
+                    // properties, which partitioning does not preserve
+                    // claim-for-claim.
+                    elided_guards: Default::default(),
                 };
                 let mut ctx = EvalCtx::new(registry, &mut store, catalog);
                 ctx.counters = counters;
@@ -1137,6 +1142,7 @@ mod tests {
         let pp = PhysicalPlan {
             logical: plan.clone(),
             choices,
+            elided_guards: Default::default(),
         };
         let mut store = ObjectStore::new();
         let out = run_parallel_plan(
@@ -1173,6 +1179,7 @@ mod tests {
         let pp_nl = PhysicalPlan {
             logical: plan,
             choices: nl_choices,
+            elided_guards: Default::default(),
         };
         let out_nl = run_parallel_plan(
             &pp_nl,

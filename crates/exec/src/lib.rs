@@ -34,6 +34,7 @@
 //! assert_eq!(out.value, Value::set((50..100).map(Value::int)));
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod config;

@@ -27,6 +27,7 @@
 //! * stored procedures: `define procedure p (params) { stmt* }` invoked
 //!   with `call p(args…)` (parameters substitute by value, see [`subst`]).
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod ast;

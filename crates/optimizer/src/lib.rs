@@ -7,12 +7,14 @@
 //! the Section 4 overridden-method dispatch strategies
 //! ([`dispatch::choose`]).
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod cost;
 pub mod dispatch;
 pub mod engine;
 pub mod lower;
+pub mod properties;
 pub mod rule;
 pub mod rules;
 pub mod stats;
@@ -26,6 +28,7 @@ pub use engine::{
     apply_extent_indexes, apply_extent_indexes_journaled, soundness_violation, JournalStep,
     Neighbor, Optimized, Optimizer, RefusedStep, RewriteJournal, TraceStep, EXTENT_INDEX_RULE,
 };
-pub use lower::{lower, lower_journaled, HASH_JOIN_MIN_PAIRS, LOWERING_RULE};
+pub use lower::{elide_proven_guards, lower, lower_journaled, HASH_JOIN_MIN_PAIRS, LOWERING_RULE};
+pub use properties::{apply_property_rewrites, apply_property_rewrites_journaled, PROPERTY_RULE};
 pub use rule::{Rule, RuleCtx};
 pub use stats::{ObjectStats, Statistics};

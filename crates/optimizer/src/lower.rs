@@ -34,7 +34,7 @@
 //! closed spine positions only, where inputs are whole materialised
 //! multisets.
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 
 use crate::cost::{cost_of, estimate_nodes, estimate_physical, Estimate};
 use crate::engine::{JournalStep, RefusedStep, RewriteJournal};
@@ -96,6 +96,73 @@ pub fn lower_journaled(
     pp
 }
 
+/// Elide the runtime [`key_pair_usable`] guard on every `HashEquiJoin`
+/// choice whose side conditions the property analysis proves against
+/// `data`: both join inputs proven multisets of tuples with exhaustive
+/// attribute maps, the chosen key fields present and `dne`/`unk`-free on
+/// every row of their own side, provably *absent* from the other side
+/// (so `TUP_CAT` renames nothing), and of one proven kind shared across
+/// sides — exactly the conditions the guard re-checks per occurrence.
+/// Returns the elided paths with the proof summary, for journaling and
+/// telemetry.
+///
+/// [`key_pair_usable`]: excess_core::physical::key_pair_usable
+pub fn elide_proven_guards(
+    pp: &mut PhysicalPlan,
+    data: &dyn excess_core::catalog::Catalog,
+) -> Vec<(NodePath, String)> {
+    use excess_core::analysis::{analyze, CollKind};
+    let hash_joins: Vec<(NodePath, String, String)> = pp
+        .choices
+        .iter()
+        .filter_map(|(path, c)| match &c.op {
+            PhysOp::HashEquiJoin {
+                left_key,
+                right_key,
+            } => Some((path.clone(), left_key.clone(), right_key.clone())),
+            _ => None,
+        })
+        .collect();
+    if hash_joins.is_empty() {
+        return Vec::new();
+    }
+    let analysis = analyze(&pp.logical, data);
+    let mut elided = Vec::new();
+    for (path, lf, rf) in hash_joins {
+        let side = |i: usize| {
+            let mut p = path.clone();
+            p.push(i);
+            analysis.props_at(&p).cloned()
+        };
+        let (Some(left), Some(right)) = (side(0), side(1)) else {
+            continue;
+        };
+        let sides_proven = |p: &excess_core::analysis::Props| {
+            p.coll == Some(CollKind::Set) && p.tuple_only && p.attrs_exhaustive
+        };
+        if !(sides_proven(&left) && sides_proven(&right)) {
+            continue;
+        }
+        // The kernel's orientation: `lf` keys the left side, `rf` the
+        // right, and neither appears on the opposite side.
+        let (la, ra) = (left.attr(&lf), right.attr(&rf));
+        let disjoint = !left.attrs.contains_key(&rf) && !right.attrs.contains_key(&lf);
+        let kinds_match = la.kind.is_some() && la.kind == ra.kind;
+        if la.is_definite_key() && ra.is_definite_key() && disjoint && kinds_match {
+            pp.elided_guards.insert(path.clone());
+            elided.push((
+                path,
+                format!(
+                    "keys {lf}/{rf} proven present and non-null on every row, absent \
+                     opposite, kind {}",
+                    la.kind.unwrap_or("?")
+                ),
+            ));
+        }
+    }
+    elided
+}
+
 fn lower_with(plan: &Expr, stats: &Statistics) -> (PhysicalPlan, Vec<RefusedStep>) {
     let nodes: BTreeMap<NodePath, Estimate> = estimate_nodes(plan, stats).into_iter().collect();
     let mut choices = BTreeMap::new();
@@ -106,6 +173,7 @@ fn lower_with(plan: &Expr, stats: &Statistics) -> (PhysicalPlan, Vec<RefusedStep
         PhysicalPlan {
             logical: plan.clone(),
             choices,
+            elided_guards: BTreeSet::new(),
         },
         refused,
     )

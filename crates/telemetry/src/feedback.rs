@@ -43,10 +43,31 @@ impl FeedbackEntry {
     }
 }
 
-/// Symmetric multiplicative estimation error, always ≥ 1.
+/// Cap on any single row figure entering a q-error (and on the sums the
+/// log accumulates).  The `+1` floors in [`q_error`] already make zero
+/// rows safe; the remaining hazard is a *non-finite or absurd* estimate —
+/// a `NaN` or `inf` leaking out of a cost-model division — which would
+/// otherwise poison `max_q_error` and every aggregate derived from the
+/// per-path sums.  `1e12` is far beyond any real cardinality here while
+/// keeping `(CAP + 1)²` comfortably inside `f64` exact-integer range.
+pub const Q_ERROR_CAP: f64 = 1e12;
+
+/// Clamp one row figure to `[0, Q_ERROR_CAP]`, mapping `NaN` to 0 (via
+/// `f64::max`'s NaN-ignoring semantics) and `+inf` to the cap.
+/// `f64::clamp` would propagate the NaN instead, so the manual chain is
+/// load-bearing here.
+#[allow(clippy::manual_clamp)]
+fn sanitize_rows(rows: f64) -> f64 {
+    rows.max(0.0).min(Q_ERROR_CAP)
+}
+
+/// Symmetric multiplicative estimation error, always ≥ 1 and always
+/// finite: both figures are floored at 0 (a `NaN` counts as 0) and capped
+/// at [`Q_ERROR_CAP`] before the ratio, then offset by 1 so zero rows on
+/// either side cannot divide by zero.
 pub fn q_error(est: f64, actual: f64) -> f64 {
-    let e = est.max(0.0) + 1.0;
-    let a = actual.max(0.0) + 1.0;
+    let e = sanitize_rows(est) + 1.0;
+    let a = sanitize_rows(actual) + 1.0;
     (e / a).max(a / e)
 }
 
@@ -78,8 +99,8 @@ impl FeedbackLog {
                 max_q_error: 1.0,
             });
         entry.observations += 1;
-        entry.est_rows_sum += est.max(0.0);
-        entry.actual_rows_sum += actual.max(0.0);
+        entry.est_rows_sum += sanitize_rows(est);
+        entry.actual_rows_sum += sanitize_rows(actual);
         if q > entry.max_q_error {
             entry.max_q_error = q;
         }
@@ -159,6 +180,43 @@ mod tests {
         assert_eq!(q_error(4.0, 9.0), 2.0);
         assert_eq!(q_error(0.0, 0.0), 1.0);
         assert!(q_error(0.0, 99.0) == 100.0);
+    }
+
+    #[test]
+    fn q_error_survives_zero_actual_and_non_finite_estimates() {
+        // Zero actual rows: the +1 floor keeps the ratio finite.
+        assert_eq!(q_error(99.0, 0.0), 100.0);
+        // A NaN estimate counts as zero rows, not as poison.
+        assert_eq!(q_error(f64::NAN, 0.0), 1.0);
+        assert_eq!(q_error(f64::NAN, 99.0), 100.0);
+        // An infinite estimate caps instead of producing an inf q-error.
+        let q = q_error(f64::INFINITY, 10.0);
+        assert!(q.is_finite() && q >= 1.0);
+        assert_eq!(q, (Q_ERROR_CAP + 1.0) / 11.0);
+        // Symmetric in the other direction too.
+        assert!(q_error(10.0, f64::INFINITY).is_finite());
+    }
+
+    #[test]
+    fn non_finite_observations_do_not_poison_the_aggregates() {
+        let mut log = FeedbackLog::new();
+        log.observe(9, "root", "A", f64::INFINITY, 5.0);
+        log.observe(9, "root", "A", f64::NAN, 5.0);
+        log.observe(9, "root", "A", 5.0, 5.0);
+        let e = log.entry(9, "root").unwrap();
+        assert_eq!(e.observations, 3);
+        assert!(e.mean_est().is_finite());
+        assert!(e.mean_actual().is_finite());
+        assert!(e.max_q_error.is_finite());
+        // The JSON snapshot stays parseable with finite numbers.
+        let v = excess_core::json::parse_json(&log.to_json()).unwrap();
+        let entries = v.get("entries").unwrap().as_arr().unwrap();
+        assert!(entries[0]
+            .get("max_q_error")
+            .unwrap()
+            .as_f64()
+            .unwrap()
+            .is_finite());
     }
 
     #[test]

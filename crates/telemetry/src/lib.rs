@@ -22,6 +22,8 @@
 //!   cycles.  The [`Telemetry`] struct bundles all four for embedding in
 //!   the database.
 
+#![forbid(unsafe_code)]
+
 pub mod feedback;
 pub mod histogram;
 pub mod recorder;

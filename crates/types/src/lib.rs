@@ -11,6 +11,7 @@
 //! The companion crate `excess-core` defines the algebra's operators over
 //! these structures.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod date;

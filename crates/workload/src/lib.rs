@@ -3,6 +3,7 @@
 //! Deterministic, seeded generator for the paper's example database plus
 //! the canned query texts for every experiment (see DESIGN.md).
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod documents;

@@ -30,6 +30,8 @@
 //! assert_eq!(out.to_string(), "{ \"CS\" }");
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub use excess_core as algebra;
 pub use excess_db as db;
 pub use excess_exec as exec;

@@ -1,0 +1,212 @@
+//! Negative-case coverage for the property-analysis lint family: one
+//! deliberately redundant (but well-typed) plan per lint class, asserting
+//! the exact node path each diagnostic anchors to — plus the suppression
+//! and clean directions, so the lints fire only where the analysis has an
+//! actual proof.
+//!
+//! These plans are built over constant collections so the analysis can
+//! prove its facts structurally — `verify` runs the property analysis
+//! with an empty data catalog, exactly as a client without extent access
+//! would.
+
+use excess_core::expr::{CmpOp, Expr, Pred};
+use excess_core::verify::{verify, Report, Severity};
+use excess_types::{SchemaType, TypeRegistry, Value};
+use std::collections::HashMap;
+
+fn report(e: &Expr) -> Report {
+    let cat: HashMap<String, SchemaType> = HashMap::new();
+    verify(e, &cat, &TypeRegistry::new())
+}
+
+/// Assert `r` contains a diagnostic of class `code` at lint severity
+/// whose rendered form mentions `path_repr` (e.g. "at [0.1]").
+fn assert_lint(r: &Report, code: &str, path_repr: &str) {
+    let found = r.diagnostics.iter().any(|d| {
+        d.code == code && d.severity == Severity::Lint && d.to_string().contains(path_repr)
+    });
+    assert!(
+        found,
+        "expected a lint[{code}] diagnostic at {path_repr}; got:\n{}",
+        r.render()
+    );
+}
+
+fn assert_no_lint(r: &Report, code: &str) {
+    assert!(
+        !r.diagnostics.iter().any(|d| d.code == code),
+        "did not expect any {code}; got:\n{}",
+        r.render()
+    );
+}
+
+fn tup(fields: &[(&str, i32)]) -> Value {
+    Value::tuple(fields.iter().map(|(n, v)| (n.to_string(), Value::int(*v))))
+}
+
+/// A constant set of distinct tuples — provably duplicate-free with `id`
+/// a candidate key.
+fn people() -> Expr {
+    Expr::lit(Value::set([
+        tup(&[("id", 1), ("dept", 10)]),
+        tup(&[("id", 2), ("dept", 10)]),
+        tup(&[("id", 3), ("dept", 20)]),
+    ]))
+}
+
+fn empty_set() -> Expr {
+    Expr::lit(Value::set(Vec::<Value>::new()))
+}
+
+// ------------------------------------------------------- lint-redundant-de
+
+#[test]
+fn de_over_proven_duplicate_free_input_lints_at_root() {
+    // DE over a constant distinct set: redundant, flagged at the DE node.
+    let r = report(&people().dup_elim());
+    assert_lint(&r, "lint-redundant-de", "at root");
+    assert!(
+        r.is_clean(),
+        "lints must not dirty the report:\n{}",
+        r.render()
+    );
+}
+
+#[test]
+fn de_under_a_selection_lints_at_the_inner_path() {
+    // SELECT(DE(people)): the redundant DE sits at [0].
+    let plan = people().dup_elim().select(Pred::cmp(
+        Expr::input().extract("id"),
+        CmpOp::Gt,
+        Expr::int(0),
+    ));
+    assert_lint(&report(&plan), "lint-redundant-de", "at [0]");
+}
+
+#[test]
+fn de_over_de_is_left_to_the_dedicated_idempotence_lint() {
+    // DE(DE(·)) already has a dedicated shape lint; the property lint
+    // must stay quiet so the two do not double-report.
+    let r = report(&people().dup_elim().dup_elim());
+    let property_hits = r
+        .diagnostics
+        .iter()
+        .filter(|d| d.code == "lint-redundant-de")
+        .count();
+    assert!(
+        property_hits <= 1,
+        "outer DE(DE) should not stack property lints:\n{}",
+        r.render()
+    );
+}
+
+#[test]
+fn de_over_a_duplicated_set_literal_is_not_flagged() {
+    let dups = Expr::lit(Value::set([Value::int(1), Value::int(1), Value::int(2)]));
+    assert_no_lint(&report(&dups.dup_elim()), "lint-redundant-de");
+}
+
+// -------------------------------------------------- lint-redundant-distinct
+
+#[test]
+fn arr_de_over_distinct_array_lints_at_root() {
+    let arr = Expr::lit(Value::array([Value::int(1), Value::int(2), Value::int(3)]));
+    let plan = Expr::ArrDupElim(Box::new(arr));
+    assert_lint(&report(&plan), "lint-redundant-distinct", "at root");
+}
+
+#[test]
+fn arr_de_over_repeating_array_is_not_flagged() {
+    let arr = Expr::lit(Value::array([Value::int(1), Value::int(1)]));
+    let plan = Expr::ArrDupElim(Box::new(arr));
+    assert_no_lint(&report(&plan), "lint-redundant-distinct");
+}
+
+// ------------------------------------------------- lint-always-empty-branch
+
+#[test]
+fn empty_union_operand_lints_at_the_operand_path() {
+    // people ∪⁺ {} — the empty operand is child 1.
+    let r = report(&people().add_union(empty_set()));
+    assert_lint(&r, "lint-always-empty-branch", "at [1]");
+}
+
+#[test]
+fn empty_join_side_lints_at_the_operand_path() {
+    // {} ⋈ people — the empty side is child 0 of the join.
+    let plan = empty_set().rel_join(
+        people(),
+        Pred::eq(
+            Expr::input_at(1).extract("id"),
+            Expr::input_at(0).extract("id"),
+        ),
+    );
+    assert_lint(&report(&plan), "lint-always-empty-branch", "at [0]");
+}
+
+#[test]
+fn nonempty_union_operands_are_not_flagged() {
+    let r = report(&people().add_union(people()));
+    assert_no_lint(&r, "lint-always-empty-branch");
+}
+
+// --------------------------------------------- lint-unsatisfiable-predicate
+
+#[test]
+fn contradictory_equalities_lint_at_the_select_node() {
+    // σ[x=1 ∧ x=2] — no occurrence can satisfy both.
+    let pred = Pred::eq(Expr::input().extract("id"), Expr::int(1))
+        .and(Pred::eq(Expr::input().extract("id"), Expr::int(2)));
+    let plan = people().select(pred);
+    assert_lint(&report(&plan), "lint-unsatisfiable-predicate", "at root");
+}
+
+#[test]
+fn p_and_not_p_lints_under_an_outer_operator() {
+    let p = Pred::eq(Expr::input().extract("id"), Expr::int(1));
+    let plan = people().select(p.clone().and(p.not())).dup_elim();
+    assert_lint(&report(&plan), "lint-unsatisfiable-predicate", "at [0]");
+}
+
+#[test]
+fn satisfiable_predicates_are_not_flagged() {
+    let pred = Pred::eq(Expr::input().extract("id"), Expr::int(1));
+    assert_no_lint(
+        &report(&people().select(pred)),
+        "lint-unsatisfiable-predicate",
+    );
+}
+
+// ------------------------------------------------- lint-key-preserving-grp
+
+#[test]
+fn grouping_by_a_candidate_key_lints_at_the_grp_node() {
+    // GRP by `id`, which the analysis proves is a candidate key of the
+    // constant extent: every class is a singleton.
+    let plan = people().group_by(Expr::input().extract("id"));
+    assert_lint(&report(&plan), "lint-key-preserving-grp", "at root");
+}
+
+#[test]
+fn grouping_by_a_non_key_is_not_flagged() {
+    // `dept` repeats, so grouping by it genuinely merges occurrences.
+    let plan = people().group_by(Expr::input().extract("dept"));
+    assert_no_lint(&report(&plan), "lint-key-preserving-grp");
+}
+
+// -------------------------------------------------------------- composition
+
+#[test]
+fn all_lints_coexist_with_exact_paths_in_one_plan() {
+    // DE(σ[1=2](people ∪⁺ {})) — three lint classes in one tree:
+    //   redundant DE at root (σ over a set stays a set; the unsat σ is
+    //   provably empty hence duplicate-free), unsatisfiable predicate at
+    //   [0], empty branch at [0.0.1].
+    let pred = Pred::eq(Expr::int(1), Expr::int(2));
+    let plan = people().add_union(empty_set()).select(pred).dup_elim();
+    let r = report(&plan);
+    assert_lint(&r, "lint-redundant-de", "at root");
+    assert_lint(&r, "lint-unsatisfiable-predicate", "at [0]");
+    assert_lint(&r, "lint-always-empty-branch", "at [0.0.1]");
+    assert!(r.is_clean(), "lints never dirty a report:\n{}", r.render());
+}
