@@ -51,6 +51,23 @@
 //! [`Props::unknown`] and the pass
 //! degrades to purely structural reasoning, which is how the plan
 //! verifier uses it.
+//!
+//! # Example
+//!
+//! Even data-free, structure alone proves facts: a `DE` output is
+//! duplicate-free whatever the extent holds, while the bare leaf proves
+//! nothing.
+//!
+//! ```
+//! use excess_core::analysis::analyze;
+//! use excess_core::catalog::EmptyCatalog;
+//! use excess_core::expr::Expr;
+//!
+//! let plan = Expr::named("S").dup_elim();
+//! let a = analyze(&plan, &EmptyCatalog);
+//! assert!(a.props_at(&[]).unwrap().dup_free);   // the DE node
+//! assert!(!a.props_at(&[0]).unwrap().dup_free); // the unknown leaf
+//! ```
 
 use crate::catalog::Catalog;
 use crate::expr::{Bound, CmpOp, Expr, Pred};
@@ -647,6 +664,17 @@ fn const_cmp(a: &Value, op: CmpOp, b: &Value) -> Option<bool> {
 /// Is the predicate provably unsatisfiable — no occurrence can make it
 /// true?  Purely structural: constant contradictions, `x = c₁ ∧ x = c₂`
 /// with `c₁ ≠ c₂`, and `p ∧ ¬p`.
+///
+/// ```
+/// use excess_core::analysis::pred_unsatisfiable;
+/// use excess_core::expr::{CmpOp, Expr, Pred};
+///
+/// let x = || Expr::input().extract("x");
+/// let both = Pred::cmp(x(), CmpOp::Eq, Expr::int(1))
+///     .and(Pred::cmp(x(), CmpOp::Eq, Expr::int(2)));
+/// assert!(pred_unsatisfiable(&both));
+/// assert!(!pred_unsatisfiable(&Pred::cmp(x(), CmpOp::Eq, Expr::int(1))));
+/// ```
 pub fn pred_unsatisfiable(p: &Pred) -> bool {
     let cs = crate::physical::conjuncts(p);
     // A definitely-false conjunct sinks the conjunction.

@@ -55,6 +55,13 @@ pub struct EvalCtx<'a> {
     /// `rel_join` node to its `(left_key, right_key)` choice.  `None`
     /// (the default) means every join runs as a nested loop.
     pub(crate) join_kernels: Option<std::collections::HashMap<usize, (String, String, bool)>>,
+    /// Pointer-keyed batched-kernel table, installed alongside
+    /// `join_kernels`: maps node addresses to columnar
+    /// [`ChunkKernel`](crate::columnar::ChunkKernel)s that consume the
+    /// catalog's extent chunks instead of cloned row values.  `None`
+    /// (the default) means every operator runs row-at-a-time.
+    pub(crate) chunk_kernels:
+        Option<std::collections::HashMap<usize, crate::columnar::ChunkKernel>>,
 }
 
 impl<'a> EvalCtx<'a> {
@@ -72,6 +79,7 @@ impl<'a> EvalCtx<'a> {
             counters: Counters::new(),
             trace: None,
             join_kernels: None,
+            chunk_kernels: None,
         }
     }
 
@@ -265,6 +273,9 @@ fn eval_inner(e: &Expr, env: &mut Vec<Value>, ctx: &mut EvalCtx) -> EvalResult<V
             Ok(Value::Set(out))
         }
         Expr::Group { input, by } => {
+            if let Some(out) = crate::columnar::try_group(e, input, by, ctx) {
+                return Ok(out);
+            }
             let inv = eval(input, env, ctx)?;
             if inv.is_null() {
                 return Ok(inv);
@@ -285,6 +296,9 @@ fn eval_inner(e: &Expr, env: &mut Vec<Value>, ctx: &mut EvalCtx) -> EvalResult<V
             Ok(Value::Set(groups.into_values().map(Value::Set).collect()))
         }
         Expr::DupElim(a) => {
+            if let Some(out) = crate::columnar::try_distinct(e, a, ctx) {
+                return Ok(out);
+            }
             let v = eval(a, env, ctx)?;
             if v.is_null() {
                 return Ok(v);
@@ -530,6 +544,9 @@ fn eval_inner(e: &Expr, env: &mut Vec<Value>, ctx: &mut EvalCtx) -> EvalResult<V
             Ok(Value::Set(as_set("∩", a)?.intersect_min(&as_set("∩", b)?)))
         }
         Expr::Select { input, pred } => {
+            if let Some(out) = crate::columnar::try_select(e, input, pred, ctx) {
+                return Ok(out);
+            }
             let inv = eval(input, env, ctx)?;
             if inv.is_null() {
                 return Ok(inv);
@@ -591,6 +608,9 @@ fn eval_inner(e: &Expr, env: &mut Vec<Value>, ctx: &mut EvalCtx) -> EvalResult<V
             Ok(Value::Set(out))
         }
         Expr::RelJoin { left, right, pred } => {
+            if let Some(out) = crate::columnar::try_join(e, left, right, pred, ctx) {
+                return Ok(out);
+            }
             let (a, b) = (eval(left, env, ctx)?, eval(right, env, ctx)?);
             if a.is_null() {
                 return Ok(a);

@@ -47,6 +47,31 @@
 //! addresses of the plan's own `rel_join` nodes, so the unchanged
 //! recursive evaluator — including its trace bracketing — picks the hash
 //! kernel up at exactly the annotated nodes and nowhere else.
+//!
+//! # Example
+//!
+//! The predicate helpers the kernels are built from are plain functions:
+//!
+//! ```
+//! use excess_core::expr::{CmpOp, Expr, Pred};
+//! use excess_core::physical::{conjuncts, equi_key_candidates, split_residual};
+//!
+//! // sadv = ename AND esal >= 2000
+//! let pred = Pred::cmp(
+//!     Expr::input().extract("sadv"),
+//!     CmpOp::Eq,
+//!     Expr::input().extract("ename"),
+//! )
+//! .and(Pred::cmp(Expr::input().extract("esal"), CmpOp::Ge, Expr::int(2000)));
+//!
+//! assert_eq!(conjuncts(&pred).len(), 2);
+//! assert_eq!(
+//!     equi_key_candidates(&pred),
+//!     vec![("sadv".to_string(), "ename".to_string())]
+//! );
+//! // The hash kernel keeps only the residual conjunct: esal >= 2000.
+//! assert_eq!(split_residual(&pred, "sadv", "ename").unwrap().len(), 1);
+//! ```
 
 use std::collections::{BTreeMap, BTreeSet, HashMap};
 use std::fmt;
@@ -82,8 +107,51 @@ pub enum PhysOp {
     HashGroup,
     /// `DE` by hash-bucketing occurrences (the count-map representation).
     HashDistinct,
+    /// Fused `σ`-over-extent consuming the extent's column chunk with a
+    /// compiled, batched filter (see [`crate::columnar`]).
+    ColumnarScan {
+        /// The chunked extent the fused scan reads.
+        object: String,
+    },
+    /// Hash equi-join whose build and probe run over the two extents'
+    /// typed key columns instead of row values.
+    ColumnarHashEquiJoin {
+        /// Left extent name.
+        left: String,
+        /// Right extent name.
+        right: String,
+        /// Key column on the left chunk.
+        left_key: String,
+        /// Key column on the right chunk.
+        right_key: String,
+    },
+    /// `GRP` keyed by one attribute column of the extent's chunk.
+    ColumnarHashGroup {
+        /// The chunked extent being grouped.
+        object: String,
+        /// The grouping attribute.
+        key: String,
+    },
+    /// `DE` over a chunk (rows are distinct by construction).
+    ColumnarHashDistinct {
+        /// The chunked extent being deduplicated.
+        object: String,
+    },
     /// The logical operator runs as itself; no physical freedom exercised.
     PassThrough,
+}
+
+impl PhysOp {
+    /// Is this one of the batched chunk-consuming operators?
+    pub fn is_columnar(&self) -> bool {
+        matches!(
+            self,
+            PhysOp::ColumnarScan { .. }
+                | PhysOp::ColumnarHashEquiJoin { .. }
+                | PhysOp::ColumnarHashGroup { .. }
+                | PhysOp::ColumnarHashDistinct { .. }
+        )
+    }
 }
 
 impl fmt::Display for PhysOp {
@@ -98,6 +166,18 @@ impl fmt::Display for PhysOp {
             PhysOp::NestedLoopJoin => write!(f, "NestedLoopJoin"),
             PhysOp::HashGroup => write!(f, "HashGroup"),
             PhysOp::HashDistinct => write!(f, "HashDistinct"),
+            PhysOp::ColumnarScan { object } => write!(f, "ColumnarScan[{object}]"),
+            PhysOp::ColumnarHashEquiJoin {
+                left_key,
+                right_key,
+                ..
+            } => write!(f, "ColumnarHashEquiJoin[{left_key} = {right_key}]"),
+            PhysOp::ColumnarHashGroup { object, key } => {
+                write!(f, "ColumnarHashGroup[{object} by {key}]")
+            }
+            PhysOp::ColumnarHashDistinct { object } => {
+                write!(f, "ColumnarHashDistinct[{object}]")
+            }
             PhysOp::PassThrough => write!(f, "PassThrough"),
         }
     }
@@ -160,22 +240,78 @@ impl PhysicalPlan {
     fn kernel_table(&self) -> HashMap<usize, (String, String, bool)> {
         let mut table = HashMap::new();
         for (path, choice) in &self.choices {
-            if let PhysOp::HashEquiJoin {
-                left_key,
-                right_key,
-            } = &choice.op
-            {
-                if let Some(node @ Expr::RelJoin { .. }) = self.node_at(path) {
-                    table.insert(
-                        node as *const Expr as usize,
-                        (
-                            left_key.clone(),
-                            right_key.clone(),
-                            self.elided_guards.contains(path),
-                        ),
-                    );
+            // A columnar join registers the same row-hash entry: when
+            // the chunk kernel refuses at runtime, the join degrades to
+            // the guarded row hash kernel rather than the nested loop.
+            let keys = match &choice.op {
+                PhysOp::HashEquiJoin {
+                    left_key,
+                    right_key,
                 }
+                | PhysOp::ColumnarHashEquiJoin {
+                    left_key,
+                    right_key,
+                    ..
+                } => (left_key, right_key),
+                _ => continue,
+            };
+            if let Some(node @ Expr::RelJoin { .. }) = self.node_at(path) {
+                table.insert(
+                    node as *const Expr as usize,
+                    (
+                        keys.0.clone(),
+                        keys.1.clone(),
+                        self.elided_guards.contains(path),
+                    ),
+                );
             }
+        }
+        table
+    }
+
+    /// Resolve every columnar choice to the address of its logical node
+    /// — the batched-kernel table [`evaluate_physical`] installs
+    /// alongside the row-hash table.  Choices whose node shape does not
+    /// match (stale annotation) are dropped.
+    fn chunk_table(&self) -> HashMap<usize, crate::columnar::ChunkKernel> {
+        use crate::columnar::ChunkKernel;
+        let mut table = HashMap::new();
+        for (path, choice) in &self.choices {
+            let Some(node) = self.node_at(path) else {
+                continue;
+            };
+            let kernel = match (&choice.op, node) {
+                (PhysOp::ColumnarScan { object }, Expr::Select { .. }) => ChunkKernel::Scan {
+                    object: object.clone(),
+                },
+                (
+                    PhysOp::ColumnarHashEquiJoin {
+                        left,
+                        right,
+                        left_key,
+                        right_key,
+                    },
+                    Expr::RelJoin { .. },
+                ) => ChunkKernel::HashEquiJoin {
+                    left: left.clone(),
+                    right: right.clone(),
+                    left_key: left_key.clone(),
+                    right_key: right_key.clone(),
+                },
+                (PhysOp::ColumnarHashGroup { object, key }, Expr::Group { .. }) => {
+                    ChunkKernel::Group {
+                        object: object.clone(),
+                        key: key.clone(),
+                    }
+                }
+                (PhysOp::ColumnarHashDistinct { object }, Expr::DupElim(_)) => {
+                    ChunkKernel::Distinct {
+                        object: object.clone(),
+                    }
+                }
+                _ => continue,
+            };
+            table.insert(node as *const Expr as usize, kernel);
         }
         table
     }
@@ -478,12 +614,18 @@ fn hash_join_core(
 /// take the hash kernel, and only when the runtime guard admits it.
 pub fn evaluate_physical(plan: &PhysicalPlan, ctx: &mut EvalCtx) -> EvalResult<Value> {
     let table = plan.kernel_table();
+    let chunks = plan.chunk_table();
     let saved = ctx.join_kernels.take();
+    let saved_chunks = ctx.chunk_kernels.take();
     if !table.is_empty() {
         ctx.join_kernels = Some(table);
     }
+    if !chunks.is_empty() {
+        ctx.chunk_kernels = Some(chunks);
+    }
     let out = evaluate(&plan.logical, ctx);
     ctx.join_kernels = saved;
+    ctx.chunk_kernels = saved_chunks;
     out
 }
 

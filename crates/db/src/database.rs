@@ -18,8 +18,9 @@ use excess_lang::methods::{MethodDef, MethodRegistry};
 use excess_lang::translate::{resolve_this, translate_retrieve, TranslateCtx};
 use excess_lang::{parse_program, LangError};
 use excess_optimizer::{
-    apply_extent_indexes, apply_extent_indexes_journaled, cost_of, elide_proven_guards,
-    estimate_physical, lower, lower_journaled, Optimizer, RewriteJournal, RuleCtx, Statistics,
+    annotate_columnar, apply_extent_indexes, apply_extent_indexes_journaled, cost_of,
+    elide_proven_guards, estimate_physical, lower, lower_journaled, JournalStep, Optimizer,
+    RewriteJournal, RuleCtx, Statistics, COLUMNAR_RULE,
 };
 use excess_telemetry::{fnv1a64, QueryRecord, QueryTrace, Span, Telemetry};
 use excess_types::{ObjectStore, SchemaType, TypeId, TypeRegistry, Value};
@@ -173,6 +174,14 @@ pub struct Database {
     /// elisions are counted in the telemetry registry
     /// (`lowering.guard_elisions`).
     pub property_rewrites: bool,
+    /// Use columnar extent chunks and vectorized kernels where the
+    /// lowering proves them safe (default: off).  When on, the pipeline
+    /// encodes referenced base extents into column chunks
+    /// ([`Database::ensure_chunks_for`]) and upgrades chunk-safe kernel
+    /// choices to their `Columnar*` variants, journaled under
+    /// `columnar-lowering`; chunk-unsafe nodes keep their row kernels
+    /// with the refusal reason journaled.
+    pub columnar: bool,
     /// Parallel-execution configuration; `retrieve` statements route
     /// through the partition-parallel engine whenever `workers > 1`
     /// (default: from `EXCESS_THREADS`, serial when unset).
@@ -207,6 +216,7 @@ impl Database {
             stats: Statistics::new(),
             optimize: true,
             property_rewrites: false,
+            columnar: false,
             exec,
             last_counters: Counters::new(),
             last_exec_report: None,
@@ -647,6 +657,95 @@ impl Database {
         (pp, journal)
     }
 
+    /// Encode a column chunk for every base extent the plan scans whose
+    /// value is a chunk-safe multiset (uniform flat tuples) and whose
+    /// chunk is not already cached.  The nullability facts from
+    /// `excess_core::analysis` drive the encoding: attributes the
+    /// analysis proves present and free of both nulls are encoded without
+    /// a validity bitmap.  Returns how many chunks were built; each build
+    /// bumps the `columnar.chunks_built` telemetry counter.
+    pub fn ensure_chunks_for(&mut self, plan: &Expr) -> usize {
+        use std::collections::BTreeSet;
+        fn named(e: &Expr, out: &mut BTreeSet<String>) {
+            if let Expr::Named(n) = e {
+                out.insert(n.clone());
+            }
+            for c in e.children() {
+                named(c, out);
+            }
+        }
+        let mut names = BTreeSet::new();
+        named(plan, &mut names);
+        let mut built = 0;
+        for name in names {
+            if self.catalog.chunk(&name).is_some() {
+                continue;
+            }
+            let Some(Value::Set(set)) = self.catalog.value(&name) else {
+                continue;
+            };
+            // Measured nullability at the extent: attributes proven
+            // present and null-free skip their validity bitmaps.
+            let analysis = excess_core::analysis::analyze(&Expr::named(&name), &self.catalog);
+            let non_null: BTreeSet<String> = analysis
+                .props_at(&[])
+                .map(|p| {
+                    p.attrs
+                        .iter()
+                        .filter(|(_, ap)| ap.is_definite_key())
+                        .map(|(n, _)| n.clone())
+                        .collect()
+                })
+                .unwrap_or_default();
+            if let Some(chunk) = excess_types::Chunk::encode(set, &non_null) {
+                self.catalog.set_chunk(&name, chunk);
+                self.telemetry.registry.inc("columnar.chunks_built");
+                built += 1;
+            }
+        }
+        built
+    }
+
+    /// [`Database::lower_plan_journaled`] plus the columnar annotation
+    /// pass: referenced extents are chunk-encoded
+    /// ([`Database::ensure_chunks_for`]), chunk-safe kernel choices are
+    /// upgraded to their `Columnar*` variants, and the journal gains one
+    /// accepted step under `columnar-lowering` (when anything upgraded)
+    /// plus one refused step per candidate that had to keep its row
+    /// kernel and why.
+    pub fn lower_plan_columnar(&mut self, plan: &Expr) -> (PhysicalPlan, RewriteJournal) {
+        let (mut pp, mut journal) = self.lower_plan_journaled(plan);
+        self.ensure_chunks_for(plan);
+        let before = journal.final_cost;
+        let (accepted, refused) = annotate_columnar(&mut pp, &self.catalog);
+        let mut delta = RewriteJournal {
+            steps: Vec::new(),
+            refused,
+            plans_enumerated: 0,
+            max_plans: 0,
+            initial_cost: before,
+            final_cost: before,
+        };
+        if !accepted.is_empty() {
+            let after = estimate_physical(&pp, &self.stats).cost;
+            delta.steps.push(JournalStep {
+                rule: COLUMNAR_RULE,
+                path: Vec::new(),
+                cost_before: before,
+                cost_after: after,
+                plan: plan.clone(),
+            });
+            delta.final_cost = after;
+        }
+        // Only the columnar delta is folded into the session metrics —
+        // `lower_plan_journaled` already recorded the lowering journal.
+        self.metrics.record_journal(&delta);
+        journal.steps.extend(delta.steps);
+        journal.refused.extend(delta.refused);
+        journal.final_cost = delta.final_cost;
+        (pp, journal)
+    }
+
     /// Run a programmatically built plan through the full query pipeline —
     /// optimize (when enabled) → lower → execute on the session's engine —
     /// with telemetry: counters and latency histograms are updated, the
@@ -770,7 +869,11 @@ impl Database {
         // Lower (journaled), with one child span per exercised kernel
         // choice.
         let t0 = base + origin.elapsed().as_micros() as u64;
-        let (mut physical, _) = self.lower_plan_journaled(&plan);
+        let (mut physical, _) = if self.columnar {
+            self.lower_plan_columnar(&plan)
+        } else {
+            self.lower_plan_journaled(&plan)
+        };
         if self.property_rewrites {
             // Guard elision: substitute the analysis's proofs for the
             // hash kernel's per-occurrence key checks, counted under

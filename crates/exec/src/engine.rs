@@ -24,6 +24,7 @@ use std::sync::mpsc;
 use std::time::{Duration, Instant};
 
 use excess_core::catalog::Catalog;
+use excess_core::columnar::{compile_scan_filter, run_scan_filter, scan_pred_compiles};
 use excess_core::counters::Counters;
 use excess_core::error::{EvalError, EvalResult};
 use excess_core::eval::{evaluate, EvalCtx};
@@ -111,6 +112,17 @@ enum TaskKind {
     /// plain `BTreeMap` insertion — the serial GRP's grouping step is
     /// likewise counter-free, so workers touch no counters here.
     GroupPairs(MultiSet),
+    /// Scan rows `lo..hi` of the named extent's column chunk through a
+    /// compiled filter — shipped when the lowered plan chose
+    /// `ColumnarScan` for a σ node.  The worker reads the chunk straight
+    /// from the shared catalog: no partition materialisation, no `Const`
+    /// fragment, no catalog-value clone.
+    ColumnarScan {
+        object: String,
+        pred: Pred,
+        lo: usize,
+        hi: usize,
+    },
 }
 
 struct WorkerSummary {
@@ -386,6 +398,31 @@ fn worker_loop<C: Catalog>(
                 r
             }
             TaskKind::GroupPairs(pairs) => group_pairs(pairs),
+            TaskKind::ColumnarScan {
+                object,
+                pred,
+                lo,
+                hi,
+            } => match catalog.get_chunk(&object) {
+                // The driver verified the chunk exists and the predicate
+                // compiles against it before shipping; the catalog is
+                // shared immutably for the run, so both still hold.
+                Some(chunk) => match compile_scan_filter(&pred, chunk) {
+                    Some(filter) => Ok(Value::Set(run_scan_filter(
+                        chunk,
+                        &filter,
+                        lo,
+                        hi,
+                        &mut counters,
+                    ))),
+                    None => Err(EvalError::SortMismatch {
+                        op: "columnar scan",
+                        expected: "chunk-compilable predicate",
+                        found: pred.to_string(),
+                    }),
+                },
+                None => Err(EvalError::UnknownObject(object)),
+            },
         };
         busy += t0.elapsed();
         tasks += 1;
@@ -706,6 +743,76 @@ impl<'a> Driver<'a> {
         self.merge_batch(results)
     }
 
+    /// Chunk-range columnar scan: when the lowered plan chose
+    /// `ColumnarScan` for this σ node, workers scan disjoint contiguous
+    /// row ranges of the extent's column chunk directly from the shared
+    /// catalog.  Counters telescope to the serial columnar kernel's
+    /// exactly: the driver charges the one `named_object_scans`, each
+    /// range contributes its own rows' `occurrences_scanned` and
+    /// `comparisons`, and the weighted ⊎-merge reassembles the multiset.
+    /// Returns `None` — fall through to the row path — unless every
+    /// serial columnar precondition holds (trace off, base extent scan,
+    /// cached chunk, compilable predicate).
+    fn columnar_scan(
+        &mut self,
+        node: &Expr,
+        path: &NodePath,
+        input: &Expr,
+        pred: &Pred,
+    ) -> Option<EvalResult<Value>> {
+        if self.trace.is_some() {
+            return None;
+        }
+        let object = match self
+            .physical
+            .and_then(|pp| pp.choices.get(path.as_slice()))
+            .map(|c| &c.op)
+        {
+            Some(PhysOp::ColumnarScan { object }) => object,
+            _ => return None,
+        };
+        if !matches!(input, Expr::Named(n) if n == object) {
+            return None;
+        }
+        let catalog = self.catalog;
+        let chunk = catalog.get_chunk(object)?;
+        if chunk.is_empty() {
+            self.counters.named_object_scans += 1;
+            return Some(Ok(Value::Set(MultiSet::new())));
+        }
+        if !scan_pred_compiles(pred, chunk) {
+            return None;
+        }
+        self.counters.named_object_scans += 1;
+        let rows = chunk.len();
+        let parts = self.partitions.clamp(1, rows);
+        let tasks = (0..parts)
+            .map(|part| {
+                let lo = part * rows / parts;
+                let hi = (part + 1) * rows / parts;
+                Task {
+                    part,
+                    occurrences: chunk.weights()[lo..hi].iter().sum(),
+                    kind: TaskKind::ColumnarScan {
+                        object: object.clone(),
+                        pred: pred.clone(),
+                        lo,
+                        hi,
+                    },
+                }
+            })
+            .collect();
+        self.report.events.push(ExecEvent::Parallel {
+            path: path.clone(),
+            op: op_label(node),
+            strategy: Strategy::Chunk,
+            partitions: parts,
+            empty: 0,
+        });
+        let results = self.run_batch(tasks);
+        Some(self.merge_batch(results))
+    }
+
     /// rel_join strategy selection.
     ///
     /// With a lowered plan the choice is the plan's: `HashEquiJoin` takes
@@ -738,9 +845,17 @@ impl<'a> Driver<'a> {
             .and_then(|pp| pp.choices.get(path.as_slice()))
             .map(|c| &c.op)
         {
+            // A columnar join choice degrades to the row hash kernel on
+            // the hash-key exchange — workers join materialised `Const`
+            // partitions, where no chunk exists.
             Some(PhysOp::HashEquiJoin {
                 left_key,
                 right_key,
+            })
+            | Some(PhysOp::ColumnarHashEquiJoin {
+                left_key,
+                right_key,
+                ..
             }) => {
                 if key_pair_usable(&sa, &sb, left_key, right_key) {
                     Some((left_key.clone(), right_key.clone()))
@@ -827,6 +942,9 @@ impl<'a> Driver<'a> {
 
             // ----- chunk-partitioned multiset operators -----
             Expr::Select { input, pred } => {
+                if let Some(r) = self.columnar_scan(e, path, input, pred) {
+                    return r;
+                }
                 let v = self.child(input, path, 0)?;
                 let pred = pred.clone();
                 self.unary_chunk(e, path, v, &|inp| Expr::Select {
@@ -1201,6 +1319,70 @@ mod tests {
             .events
             .iter()
             .any(|e| matches!(e, ExecEvent::Exchange { .. })));
+    }
+
+    #[test]
+    fn columnar_scan_routes_chunk_ranges_to_workers() {
+        use excess_core::catalog::ChunkedCatalog;
+        use excess_core::physical::{PhysChoice, PhysicalPlan};
+        let reg = TypeRegistry::new();
+        let mut cat = ChunkedCatalog::default();
+        let mut s = MultiSet::new();
+        for i in 0..100 {
+            s.insert_n(
+                Value::tuple([
+                    ("a", Value::int(i % 13)),
+                    ("b", Value::str(format!("v{}", i % 5))),
+                ]),
+                (i % 3 + 1) as u64,
+            );
+        }
+        cat.put("S", Value::Set(s));
+        assert!(cat.get_chunk("S").is_some(), "extent should chunk-encode");
+
+        let pred = Pred::cmp(Expr::input().extract("a"), CmpOp::Ge, Expr::int(4));
+        let plan = Expr::named("S").select(pred);
+        let mut store = ObjectStore::new();
+        let (sv, sc) = {
+            let mut ctx = EvalCtx::new(&reg, &mut store, &cat);
+            (
+                evaluate(&plan, &mut ctx).expect("serial eval"),
+                ctx.counters,
+            )
+        };
+
+        let mut choices = BTreeMap::new();
+        choices.insert(
+            Vec::new(),
+            PhysChoice {
+                op: PhysOp::ColumnarScan { object: "S".into() },
+                why: "test".into(),
+                est_rows: None,
+            },
+        );
+        let pp = PhysicalPlan {
+            logical: plan,
+            choices,
+            elided_guards: Default::default(),
+        };
+        let out = run_parallel_plan(
+            &pp,
+            &reg,
+            &mut store,
+            &cat,
+            None,
+            ExecConfig::with_workers(4),
+            Tracing::Off,
+        )
+        .expect("parallel columnar scan");
+        assert_eq!(canon(&out.value), canon(&sv));
+        assert_eq!(out.counters, sc, "columnar ranges must be counter-exact");
+        assert!(out
+            .report
+            .events
+            .iter()
+            .any(|e| matches!(e, ExecEvent::Parallel { .. })));
+        assert_eq!(out.report.worker_stats.len(), 4);
     }
 
     #[test]

@@ -21,14 +21,17 @@ pub mod stats;
 
 pub use cost::{
     cost_of, estimate, estimate_nodes, estimate_parallel, estimate_physical, Estimate,
-    ParallelEstimate,
+    ParallelEstimate, COLUMNAR_DISCOUNT,
 };
 pub use dispatch::{build_switch, build_union, choose, DispatchStrategy, MethodImpl};
 pub use engine::{
     apply_extent_indexes, apply_extent_indexes_journaled, soundness_violation, JournalStep,
     Neighbor, Optimized, Optimizer, RefusedStep, RewriteJournal, TraceStep, EXTENT_INDEX_RULE,
 };
-pub use lower::{elide_proven_guards, lower, lower_journaled, HASH_JOIN_MIN_PAIRS, LOWERING_RULE};
+pub use lower::{
+    annotate_columnar, elide_proven_guards, lower, lower_journaled, COLUMNAR_RULE,
+    HASH_JOIN_MIN_PAIRS, LOWERING_RULE,
+};
 pub use properties::{apply_property_rewrites, apply_property_rewrites_journaled, PROPERTY_RULE};
 pub use rule::{Rule, RuleCtx};
 pub use stats::{ObjectStats, Statistics};

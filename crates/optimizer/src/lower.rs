@@ -163,6 +163,236 @@ pub fn elide_proven_guards(
     elided
 }
 
+/// Journal rule name for the columnar annotation pass (and its refusals).
+pub const COLUMNAR_RULE: &str = "columnar-lowering";
+
+/// Upgrade a lowered plan's choices to batched chunk kernels wherever
+/// the plan is provably **chunk-safe**, consulting the catalog's actual
+/// chunks.  Returns the accepted upgrades (path + reason) and one
+/// journaled refusal per candidate node that must stay on the row path.
+///
+/// The chunk-safety rule, applied per candidate:
+///
+/// * the whole plan must not mint OIDs (a chunk kernel never runs the
+///   store-mutating row evaluator, so OID-minting plans are refused
+///   wholesale — order of minting is observable through the store);
+/// * the operator's input must be a bare `Named` extent with a column
+///   chunk in the catalog;
+/// * `σ` predicates must compile against the chunk's columns (atomic
+///   conjuncts over `INPUT.f`/literals, no `in`, no `¬`);
+/// * joins must be pure equi-joins (no residual) whose key columns pass
+///   the typed null-free/disjointness guard;
+/// * `GRP` keys must be bare attribute extracts backed by a column.
+///
+/// Array-order-sensitive operators never reach here: chunks encode
+/// multisets only, and the candidates below are the multiset ops.  Like
+/// the row-hash lowering, every acceptance is still re-verified by the
+/// kernel at run time, so a stale annotation degrades to the row path
+/// instead of miscomputing.
+pub fn annotate_columnar(
+    pp: &mut PhysicalPlan,
+    data: &dyn excess_core::catalog::Catalog,
+) -> (Vec<(NodePath, String)>, Vec<RefusedStep>) {
+    use excess_core::columnar::{join_keys_usable, scan_pred_compiles};
+    use excess_core::physical::split_residual;
+
+    let mut accepted = Vec::new();
+    let mut refused = Vec::new();
+    if pp.logical.mints_oids() {
+        refused.push(RefusedStep {
+            rule: COLUMNAR_RULE,
+            path: Vec::new(),
+            reason: "columnar kernels refused wholesale: the plan mints OIDs".to_string(),
+        });
+        return (accepted, refused);
+    }
+
+    let candidates: Vec<NodePath> = pp.choices.keys().cloned().collect();
+    for path in candidates {
+        let Some(node) = pp.node_at(&path) else {
+            continue;
+        };
+        let choice = pp.choices.get(&path).expect("iterating the key set");
+        let refuse = |reason: String, refused: &mut Vec<RefusedStep>| {
+            refused.push(RefusedStep {
+                rule: COLUMNAR_RULE,
+                path: path.clone(),
+                reason,
+            });
+        };
+        let upgrade: Option<(PhysOp, String)> = match (node, &choice.op) {
+            (Expr::Select { input, pred }, _) => match &**input {
+                Expr::Named(n) => match data.get_chunk(n) {
+                    None => {
+                        refuse(
+                            format!("ColumnarScan refused: no column chunk for {n}"),
+                            &mut refused,
+                        );
+                        None
+                    }
+                    Some(chunk) if !chunk.is_empty() && !scan_pred_compiles(pred, chunk) => {
+                        refuse(
+                            "ColumnarScan refused: predicate not chunk-compilable \
+                             (non-atomic conjunct, `in`, or non-column operand)"
+                                .to_string(),
+                            &mut refused,
+                        );
+                        None
+                    }
+                    Some(chunk) => Some((
+                        PhysOp::ColumnarScan { object: n.clone() },
+                        format!(
+                            "fused σ over {n}'s chunk ({} rows, {} columns)",
+                            chunk.len(),
+                            chunk.columns().len()
+                        ),
+                    )),
+                },
+                _ => {
+                    refuse(
+                        "ColumnarScan refused: input is not a base extent scan".to_string(),
+                        &mut refused,
+                    );
+                    None
+                }
+            },
+            (
+                Expr::RelJoin { left, right, pred },
+                PhysOp::HashEquiJoin {
+                    left_key,
+                    right_key,
+                },
+            ) => {
+                let (Expr::Named(ln), Expr::Named(rn)) = (&**left, &**right) else {
+                    refuse(
+                        "ColumnarHashEquiJoin refused: join input is not a base extent scan"
+                            .to_string(),
+                        &mut refused,
+                    );
+                    continue;
+                };
+                let (Some(lc), Some(rc)) = (data.get_chunk(ln), data.get_chunk(rn)) else {
+                    refuse(
+                        format!("ColumnarHashEquiJoin refused: no column chunk for {ln} or {rn}"),
+                        &mut refused,
+                    );
+                    continue;
+                };
+                if !matches!(split_residual(pred, left_key, right_key), Some(r) if r.is_empty()) {
+                    refuse(
+                        "ColumnarHashEquiJoin refused: residual predicate on the join".to_string(),
+                        &mut refused,
+                    );
+                    continue;
+                }
+                let oriented = if lc.is_empty() || rc.is_empty() {
+                    // Empty side: the kernel answers trivially either way.
+                    Some((left_key.clone(), right_key.clone()))
+                } else if join_keys_usable(lc, rc, left_key, right_key) {
+                    Some((left_key.clone(), right_key.clone()))
+                } else if join_keys_usable(lc, rc, right_key, left_key) {
+                    Some((right_key.clone(), left_key.clone()))
+                } else {
+                    None
+                };
+                match oriented {
+                    Some((lk, rk)) => Some((
+                        PhysOp::ColumnarHashEquiJoin {
+                            left: ln.clone(),
+                            right: rn.clone(),
+                            left_key: lk.clone(),
+                            right_key: rk.clone(),
+                        },
+                        format!("typed build/probe on {ln}.{lk} = {rn}.{rk}"),
+                    )),
+                    None => {
+                        refuse(
+                            "ColumnarHashEquiJoin refused: key columns not chunk-hashable \
+                             (nullable, unsupported type, or overlapping attributes)"
+                                .to_string(),
+                            &mut refused,
+                        );
+                        None
+                    }
+                }
+            }
+            (Expr::Group { input, by }, PhysOp::HashGroup) => {
+                let Expr::Named(n) = &**input else {
+                    refuse(
+                        "ColumnarHashGroup refused: input is not a base extent scan".to_string(),
+                        &mut refused,
+                    );
+                    continue;
+                };
+                let Some(chunk) = data.get_chunk(n) else {
+                    refuse(
+                        format!("ColumnarHashGroup refused: no column chunk for {n}"),
+                        &mut refused,
+                    );
+                    continue;
+                };
+                let key = match &**by {
+                    Expr::TupExtract(inner, f) if matches!(&**inner, Expr::Input(0)) => f.clone(),
+                    _ => {
+                        refuse(
+                            "ColumnarHashGroup refused: grouping key is not a bare attribute \
+                             extract"
+                                .to_string(),
+                            &mut refused,
+                        );
+                        continue;
+                    }
+                };
+                if !chunk.is_empty() && chunk.col(&key).is_none() {
+                    refuse(
+                        format!("ColumnarHashGroup refused: no {key} column in {n}'s chunk"),
+                        &mut refused,
+                    );
+                    continue;
+                }
+                Some((
+                    PhysOp::ColumnarHashGroup {
+                        object: n.clone(),
+                        key: key.clone(),
+                    },
+                    format!("grouped {n}'s chunk by the {key} column"),
+                ))
+            }
+            (Expr::DupElim(input), PhysOp::HashDistinct) => match &**input {
+                Expr::Named(n) => match data.get_chunk(n) {
+                    Some(_) => Some((
+                        PhysOp::ColumnarHashDistinct { object: n.clone() },
+                        format!("DE over {n}'s chunk: rows are distinct by construction"),
+                    )),
+                    None => {
+                        refuse(
+                            format!("ColumnarHashDistinct refused: no column chunk for {n}"),
+                            &mut refused,
+                        );
+                        None
+                    }
+                },
+                _ => {
+                    refuse(
+                        "ColumnarHashDistinct refused: input is not a base extent scan".to_string(),
+                        &mut refused,
+                    );
+                    None
+                }
+            },
+            _ => None,
+        };
+        if let Some((op, why)) = upgrade {
+            let prior = pp.choices.get(&path).expect("candidate has a choice");
+            let est_rows = prior.est_rows;
+            let why = format!("{why}; was {}", prior.op);
+            accepted.push((path.clone(), why.clone()));
+            pp.choices.insert(path, PhysChoice { op, why, est_rows });
+        }
+    }
+    (accepted, refused)
+}
+
 fn lower_with(plan: &Expr, stats: &Statistics) -> (PhysicalPlan, Vec<RefusedStep>) {
     let nodes: BTreeMap<NodePath, Estimate> = estimate_nodes(plan, stats).into_iter().collect();
     let mut choices = BTreeMap::new();
@@ -444,6 +674,151 @@ mod tests {
         assert_eq!(
             pp.choices.get(&Vec::new() as &NodePath).map(|c| &c.op),
             Some(&PhysOp::HashDistinct)
+        );
+    }
+
+    #[test]
+    fn columnar_annotation_upgrades_chunk_safe_nodes() {
+        use excess_core::catalog::ChunkedCatalog;
+        use excess_types::Value;
+        let mut cat = ChunkedCatalog::default();
+        let mut s = excess_types::MultiSet::new();
+        let mut e = excess_types::MultiSet::new();
+        for i in 0..20i32 {
+            s.insert(Value::tuple([
+                ("adv", Value::str(format!("n{i}"))),
+                ("sdept", Value::int(i % 4)),
+            ]));
+            e.insert(Value::tuple([
+                ("name", Value::str(format!("n{i}"))),
+                ("esal", Value::int(1000 + i)),
+            ]));
+        }
+        cat.put("S", Value::Set(s));
+        cat.put("E", Value::Set(e));
+
+        let mut pp = lower(&equi_join(), &stats());
+        let (accepted, refused) = annotate_columnar(&mut pp, &cat);
+        assert_eq!(refused, Vec::new());
+        assert!(
+            accepted.iter().any(|(p, _)| p.is_empty()),
+            "join not upgraded: {accepted:?}"
+        );
+        assert!(matches!(
+            &pp.choices.get(&Vec::new() as &NodePath).unwrap().op,
+            PhysOp::ColumnarHashEquiJoin { left, right, .. } if left == "S" && right == "E"
+        ));
+
+        // σ over a base extent with a compilable predicate upgrades; GRP
+        // and DE over base extents upgrade too.
+        let scan = Expr::named("S").select(Pred::cmp(
+            Expr::input().extract("sdept"),
+            CmpOp::Eq,
+            Expr::int(2),
+        ));
+        let mut pp = lower(&scan, &stats());
+        let (accepted, refused) = annotate_columnar(&mut pp, &cat);
+        assert_eq!(refused, Vec::new());
+        assert_eq!(accepted.len(), 1);
+        assert!(matches!(
+            &pp.choices.get(&Vec::new() as &NodePath).unwrap().op,
+            PhysOp::ColumnarScan { object } if object == "S"
+        ));
+
+        let grp = Expr::named("S").group_by(Expr::input().extract("sdept"));
+        let mut pp = lower(&grp, &stats());
+        let (accepted, _) = annotate_columnar(&mut pp, &cat);
+        assert_eq!(accepted.len(), 1);
+        let de = Expr::named("S").dup_elim();
+        let mut pp = lower(&de, &stats());
+        let (accepted, _) = annotate_columnar(&mut pp, &cat);
+        assert_eq!(accepted.len(), 1);
+    }
+
+    #[test]
+    fn chunk_unsafe_plans_refuse_with_journaled_reasons() {
+        use excess_core::catalog::{ChunkedCatalog, EmptyCatalog};
+        use excess_types::Value;
+
+        // No chunks at all: every candidate refuses with a reason.
+        let mut pp = lower(&equi_join(), &stats());
+        let (accepted, refused) = annotate_columnar(&mut pp, &EmptyCatalog);
+        assert!(accepted.is_empty());
+        assert!(
+            refused.iter().any(|r| r.reason.contains("no column chunk")),
+            "{refused:?}"
+        );
+        assert!(refused.iter().all(|r| r.rule == COLUMNAR_RULE));
+
+        // OID-minting plans refuse wholesale.
+        let minting = Expr::named("S").set_apply(Expr::input().make_ref("T"));
+        let mut pp = lower(&minting, &stats());
+        let (_, refused) = annotate_columnar(&mut pp, &EmptyCatalog);
+        assert_eq!(refused.len(), 1);
+        assert!(refused[0].reason.contains("mints OIDs"), "{refused:?}");
+
+        // A join with a residual conjunct keeps the row hash kernel.
+        let mut cat = ChunkedCatalog::default();
+        let mut s = excess_types::MultiSet::new();
+        let mut e = excess_types::MultiSet::new();
+        for i in 0..20i32 {
+            s.insert(Value::tuple([("adv", Value::str(format!("n{i}")))]));
+            e.insert(Value::tuple([
+                ("name", Value::str(format!("n{i}"))),
+                ("esal", Value::int(i)),
+            ]));
+        }
+        cat.put("S", Value::Set(s));
+        cat.put("E", Value::Set(e));
+        let residual = Expr::named("S").rel_join(
+            Expr::named("E"),
+            Pred::cmp(
+                Expr::input().extract("adv"),
+                CmpOp::Eq,
+                Expr::input().extract("name"),
+            )
+            .and(Pred::cmp(
+                Expr::input().extract("esal"),
+                CmpOp::Ge,
+                Expr::int(5),
+            )),
+        );
+        let mut pp = lower(&residual, &stats());
+        let (accepted, refused) = annotate_columnar(&mut pp, &cat);
+        assert!(accepted.is_empty());
+        assert!(
+            refused
+                .iter()
+                .any(|r| r.reason.contains("residual predicate")),
+            "{refused:?}"
+        );
+        assert!(matches!(
+            pp.choices.get(&Vec::new() as &NodePath).unwrap().op,
+            PhysOp::HashEquiJoin { .. }
+        ));
+    }
+
+    #[test]
+    fn columnar_choices_price_below_their_row_counterparts() {
+        use excess_core::catalog::ChunkedCatalog;
+        use excess_types::Value;
+        let mut cat = ChunkedCatalog::default();
+        let mut s = excess_types::MultiSet::new();
+        let mut e = excess_types::MultiSet::new();
+        for i in 0..20i32 {
+            s.insert(Value::tuple([("adv", Value::str(format!("n{i}")))]));
+            e.insert(Value::tuple([("name", Value::str(format!("n{i}")))]));
+        }
+        cat.put("S", Value::Set(s));
+        cat.put("E", Value::Set(e));
+        let st = stats();
+        let row = lower(&equi_join(), &st);
+        let mut col = row.clone();
+        let (accepted, _) = annotate_columnar(&mut col, &cat);
+        assert!(!accepted.is_empty());
+        assert!(
+            estimate_physical(&col, &st).cost < estimate_physical(&row, &st).cost,
+            "columnar must price below the row hash join"
         );
     }
 

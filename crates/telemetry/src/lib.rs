@@ -21,6 +21,23 @@
 //!   counter field names), so every other crate can use it without
 //!   cycles.  The [`Telemetry`] struct bundles all four for embedding in
 //!   the database.
+//!
+//! # Example
+//!
+//! ```
+//! use excess_telemetry::Registry;
+//!
+//! let mut reg = Registry::new();
+//! reg.inc("queries");
+//! reg.add("rows_out", 42);
+//! reg.observe("latency_us", 90);
+//! reg.observe("latency_us", 1800);
+//!
+//! assert_eq!(reg.counter("queries"), 1);
+//! let lat = reg.histogram("latency_us").unwrap();
+//! assert_eq!(lat.count(), 2);
+//! assert!(lat.quantile(0.99) >= lat.quantile(0.50));
+//! ```
 
 #![forbid(unsafe_code)]
 

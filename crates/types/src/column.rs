@@ -1,0 +1,702 @@
+//! Columnar extent chunks: flat typed columns, dictionary-encoded OID
+//! refs, and validity bitmaps for the partial nulls `dne`/`unk`.
+//!
+//! A [`Chunk`] is a column-major encoding of a *flat* multiset of
+//! tuples — the shape every base extent in the figure-1 database has.
+//! Each distinct tuple becomes one **row**; the multiset cardinality of
+//! that tuple is kept in a parallel `weights` vector so per-occurrence
+//! accounting (and decode) stays exact.  Rows are stored in the
+//! multiset's canonical (ascending `Value`) order, so `encode` followed
+//! by [`Chunk::decode`] is the identity.
+//!
+//! Layout per attribute (one [`Column`]):
+//!
+//! ```text
+//!   Chunk { len = 4, weights = [1, 1, 2, 1] }
+//!     "sname" Column { data: Str ["amy", "bob", "cal", "dot"], validity: None }
+//!     "sdept" Column { data: Int [3, 1, 0*, 3],  validity: dne = 0010, unk = 0000 }
+//!     "sadv"  Column { data: Ref { dict: [#Ada, #Turing], codes: [0, 1, 1, 0] } }
+//!                                    (* = placeholder; the bitmap wins)
+//! ```
+//!
+//! * scalar attributes whose non-null cells all share one scalar kind
+//!   become flat vectors ([`ColumnData::Int`], [`ColumnData::Str`], …);
+//! * `ref` attributes become a dictionary of distinct [`Oid`]s plus a
+//!   `u32` code per row ([`ColumnData::Ref`]);
+//! * anything else (nested tuples/sets/arrays, mixed scalar kinds)
+//!   falls back to a boxed row of values ([`ColumnData::Other`]);
+//! * `dne`/`unk` cells set the corresponding bit in the column's
+//!   [`Validity`] pair of bitmaps and leave a placeholder in the data
+//!   vector.  A column proven (or measured) null-free carries
+//!   `validity: None` — no bitmap is allocated at all, which is the
+//!   hook the `analysis::Props` nullability facts drive.
+//!
+//! Encoding is total-or-nothing: [`Chunk::encode`] returns `None`
+//! unless **every** element is a tuple and all tuples share one
+//! identical ordered field-name sequence (the *chunk-safety* shape).
+//! Callers treat `None` as "keep the row representation".
+
+use crate::date::Date;
+use crate::multiset::MultiSet;
+use crate::oid::Oid;
+use crate::value::{Tuple, Value};
+use std::collections::BTreeSet;
+
+/// A fixed-length bitset, one bit per chunk row.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Bitmap {
+    words: Vec<u64>,
+    len: usize,
+}
+
+impl Bitmap {
+    /// An all-zero bitmap covering `len` rows.
+    pub fn zeroed(len: usize) -> Self {
+        Bitmap {
+            words: vec![0; len.div_ceil(64)],
+            len,
+        }
+    }
+
+    /// Number of rows covered.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when the bitmap covers zero rows.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Set bit `i`.
+    pub fn set(&mut self, i: usize) {
+        assert!(i < self.len, "bitmap index {i} out of range {}", self.len);
+        self.words[i / 64] |= 1u64 << (i % 64);
+    }
+
+    /// Read bit `i`.
+    pub fn get(&self, i: usize) -> bool {
+        assert!(i < self.len, "bitmap index {i} out of range {}", self.len);
+        self.words[i / 64] >> (i % 64) & 1 == 1
+    }
+
+    /// Number of set bits.
+    pub fn count_ones(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// True when no bit is set.
+    pub fn none_set(&self) -> bool {
+        self.words.iter().all(|w| *w == 0)
+    }
+
+    /// The sub-bitmap covering rows `lo..hi`.
+    pub fn slice(&self, lo: usize, hi: usize) -> Bitmap {
+        assert!(lo <= hi && hi <= self.len);
+        let mut out = Bitmap::zeroed(hi - lo);
+        for i in lo..hi {
+            if self.get(i) {
+                out.set(i - lo);
+            }
+        }
+        out
+    }
+}
+
+/// Per-column null tracking: one bitmap per partial-null kind.
+///
+/// A row has at most one of the two bits set; a row with neither bit is
+/// a present, non-null cell.  Kleene semantics downstream: a `dne` cell
+/// makes comparisons definitely false, an `unk` cell makes them
+/// unknown (see `excess-core`'s predicate module).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Validity {
+    /// Rows whose cell is `dne` (does-not-exist).
+    pub dne: Bitmap,
+    /// Rows whose cell is `unk` (exists, value unknown).
+    pub unk: Bitmap,
+}
+
+impl Validity {
+    /// An all-valid validity pair for `len` rows.
+    pub fn all_valid(len: usize) -> Self {
+        Validity {
+            dne: Bitmap::zeroed(len),
+            unk: Bitmap::zeroed(len),
+        }
+    }
+
+    /// True when no row is null in either way.
+    pub fn all_rows_valid(&self) -> bool {
+        self.dne.none_set() && self.unk.none_set()
+    }
+
+    /// The validity pair restricted to rows `lo..hi`.
+    pub fn slice(&self, lo: usize, hi: usize) -> Validity {
+        Validity {
+            dne: self.dne.slice(lo, hi),
+            unk: self.unk.slice(lo, hi),
+        }
+    }
+}
+
+/// The physical payload of one column.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ColumnData {
+    /// Flat `int4` vector.
+    Int(Vec<i32>),
+    /// Flat `float4` vector.
+    Float(Vec<f64>),
+    /// Flat string vector.
+    Str(Vec<String>),
+    /// Flat boolean vector.
+    Bool(Vec<bool>),
+    /// Flat date vector.
+    Date(Vec<Date>),
+    /// Dictionary-encoded OID references: `codes[i]` indexes `dict`.
+    Ref {
+        /// Distinct OIDs, in first-appearance order.
+        dict: Vec<Oid>,
+        /// One dictionary code per row.
+        codes: Vec<u32>,
+    },
+    /// Fallback: one boxed [`Value`] per row (nested or mixed-kind
+    /// columns).  Null cells store the null value itself here, so the
+    /// data vector alone round-trips even without the bitmaps.
+    Other(Vec<Value>),
+}
+
+impl ColumnData {
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        match self {
+            ColumnData::Int(v) => v.len(),
+            ColumnData::Float(v) => v.len(),
+            ColumnData::Str(v) => v.len(),
+            ColumnData::Bool(v) => v.len(),
+            ColumnData::Date(v) => v.len(),
+            ColumnData::Ref { codes, .. } => codes.len(),
+            ColumnData::Other(v) => v.len(),
+        }
+    }
+
+    /// True when the column covers zero rows.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// A short name for the physical encoding, for journals and docs.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            ColumnData::Int(_) => "int",
+            ColumnData::Float(_) => "float",
+            ColumnData::Str(_) => "str",
+            ColumnData::Bool(_) => "bool",
+            ColumnData::Date(_) => "date",
+            ColumnData::Ref { .. } => "ref",
+            ColumnData::Other(_) => "other",
+        }
+    }
+
+    fn slice(&self, lo: usize, hi: usize) -> ColumnData {
+        match self {
+            ColumnData::Int(v) => ColumnData::Int(v[lo..hi].to_vec()),
+            ColumnData::Float(v) => ColumnData::Float(v[lo..hi].to_vec()),
+            ColumnData::Str(v) => ColumnData::Str(v[lo..hi].to_vec()),
+            ColumnData::Bool(v) => ColumnData::Bool(v[lo..hi].to_vec()),
+            ColumnData::Date(v) => ColumnData::Date(v[lo..hi].to_vec()),
+            ColumnData::Ref { dict, codes } => ColumnData::Ref {
+                dict: dict.clone(),
+                codes: codes[lo..hi].to_vec(),
+            },
+            ColumnData::Other(v) => ColumnData::Other(v[lo..hi].to_vec()),
+        }
+    }
+}
+
+/// One attribute of a chunk: typed data plus optional null bitmaps.
+///
+/// `validity: None` asserts the column is null-free — either measured
+/// during encoding or proven by the plan property analysis
+/// (`analysis::Props` with `dne = Never` and `unk = Never`), in which
+/// case the bitmaps are never allocated.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Column {
+    /// The typed payload.
+    pub data: ColumnData,
+    /// Null bitmaps, or `None` for a proven null-free column.
+    pub validity: Option<Validity>,
+}
+
+impl Column {
+    /// True when row `i` is a `dne` cell.
+    pub fn is_dne(&self, i: usize) -> bool {
+        self.validity.as_ref().is_some_and(|v| v.dne.get(i))
+    }
+
+    /// True when row `i` is an `unk` cell.
+    pub fn is_unk(&self, i: usize) -> bool {
+        self.validity.as_ref().is_some_and(|v| v.unk.get(i))
+    }
+
+    /// True when row `i` is neither `dne` nor `unk`.
+    pub fn is_valid(&self, i: usize) -> bool {
+        !self.is_dne(i) && !self.is_unk(i)
+    }
+
+    /// True when no row of the column is null (cheap: bitmap scan or
+    /// the `validity: None` fast path).
+    pub fn null_free(&self) -> bool {
+        match &self.validity {
+            None => true,
+            Some(v) => v.all_rows_valid(),
+        }
+    }
+
+    /// Reconstruct the cell at row `i` as a [`Value`] (clones strings
+    /// and boxed values; the slow-but-total path).
+    pub fn value_at(&self, i: usize) -> Value {
+        if self.is_dne(i) {
+            return Value::dne();
+        }
+        if self.is_unk(i) {
+            return Value::unk();
+        }
+        match &self.data {
+            ColumnData::Int(v) => Value::int(v[i]),
+            ColumnData::Float(v) => Value::float(v[i]),
+            ColumnData::Str(v) => Value::str(v[i].clone()),
+            ColumnData::Bool(v) => Value::bool(v[i]),
+            ColumnData::Date(v) => Value::date(v[i]),
+            ColumnData::Ref { dict, codes } => Value::Ref(dict[codes[i] as usize]),
+            ColumnData::Other(v) => v[i].clone(),
+        }
+    }
+
+    fn slice(&self, lo: usize, hi: usize) -> Column {
+        Column {
+            data: self.data.slice(lo, hi),
+            validity: self.validity.as_ref().map(|v| v.slice(lo, hi)),
+        }
+    }
+}
+
+/// A column-major encoding of a flat multiset of tuples.
+///
+/// Rows are the multiset's *distinct* elements in canonical order;
+/// `weights[i]` is the multiset cardinality of row `i`, so
+/// `Σ weights = MultiSet::len()` and occurrence-level counter
+/// accounting can stay exact in batched kernels.
+///
+/// ```
+/// use excess_types::column::Chunk;
+/// use excess_types::{MultiSet, Value};
+/// use std::collections::BTreeSet;
+///
+/// let mut s = MultiSet::new();
+/// s.insert(Value::tuple([("a", Value::int(1)), ("b", Value::str("x"))]));
+/// s.insert_n(Value::tuple([("a", Value::int(2)), ("b", Value::dne())]), 3);
+///
+/// let chunk = Chunk::encode(&s, &BTreeSet::new()).expect("flat tuples are chunkable");
+/// assert_eq!(chunk.len(), 2);               // two distinct rows
+/// assert_eq!(chunk.total_occurrences(), 4); // weights 1 + 3
+/// assert!(chunk.col("a").unwrap().null_free());
+/// assert!(!chunk.col("b").unwrap().null_free());
+/// assert_eq!(chunk.decode(), s);            // round-trip is the identity
+/// ```
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Chunk {
+    len: usize,
+    cols: Vec<(String, Column)>,
+    weights: Vec<u64>,
+}
+
+impl Chunk {
+    /// Number of rows (distinct tuples).
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when the chunk has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Total occurrence count: the sum of all row weights
+    /// (equals `MultiSet::len()` of the decoded set).
+    pub fn total_occurrences(&self) -> u64 {
+        self.weights.iter().sum()
+    }
+
+    /// The columns, in tuple field order.
+    pub fn columns(&self) -> &[(String, Column)] {
+        &self.cols
+    }
+
+    /// Per-row multiset cardinalities.
+    pub fn weights(&self) -> &[u64] {
+        &self.weights
+    }
+
+    /// Look up a column by attribute name.
+    pub fn col(&self, name: &str) -> Option<&Column> {
+        self.cols.iter().find(|(n, _)| n == name).map(|(_, c)| c)
+    }
+
+    /// Index of a column by attribute name.
+    pub fn col_index(&self, name: &str) -> Option<usize> {
+        self.cols.iter().position(|(n, _)| n == name)
+    }
+
+    /// Encode a multiset into a chunk, or `None` when the set is not
+    /// chunk-safe: every element must be a tuple, and all tuples must
+    /// share one identical ordered field-name sequence.
+    ///
+    /// `non_null` names attributes *proven* null-free (by
+    /// `analysis::Props`); their columns take a fast path that skips
+    /// bitmap allocation entirely.  The hint is an optimisation, never
+    /// a soundness obligation: if a hinted column turns out to hold a
+    /// null or a mixed kind after all, encoding falls back to the
+    /// general (bitmap-tracking or boxed) representation for that
+    /// column, so a wrong hint can only cost speed.
+    pub fn encode(set: &MultiSet, non_null: &BTreeSet<String>) -> Option<Chunk> {
+        let rows: Vec<(&Tuple, u64)> = set
+            .iter_counted()
+            .map(|(v, c)| match v {
+                Value::Tuple(t) => Some((t, c)),
+                _ => None,
+            })
+            .collect::<Option<Vec<_>>>()?;
+
+        if rows.is_empty() {
+            return Some(Chunk::default());
+        }
+
+        let names: Vec<&str> = rows[0].0.field_names().collect();
+        for (t, _) in &rows {
+            if !t.field_names().eq(names.iter().copied()) {
+                return None; // ragged or re-ordered field sets
+            }
+        }
+
+        let len = rows.len();
+        let mut cols = Vec::with_capacity(names.len());
+        for (fi, name) in names.iter().enumerate() {
+            let cells: Vec<&Value> = rows
+                .iter()
+                .map(|(t, _)| t.iter().nth(fi).expect("arity checked above").1)
+                .collect();
+            cols.push((
+                (*name).to_string(),
+                encode_column(&cells, non_null.contains(*name)),
+            ));
+        }
+        debug_assert!(cols.iter().all(|(_, c)| c.data.len() == len));
+
+        Some(Chunk {
+            len,
+            cols,
+            weights: rows.iter().map(|(_, c)| *c).collect(),
+        })
+    }
+
+    /// Rebuild row `i` as a tuple value.
+    pub fn row_value(&self, i: usize) -> Value {
+        Value::Tuple(Tuple::from_fields(
+            self.cols.iter().map(|(n, c)| (n.clone(), c.value_at(i))),
+        ))
+    }
+
+    /// The row's fields as `(name, value)` pairs — the building block
+    /// for concatenated join outputs.
+    pub fn row_fields(&self, i: usize) -> Vec<(String, Value)> {
+        self.cols
+            .iter()
+            .map(|(n, c)| (n.clone(), c.value_at(i)))
+            .collect()
+    }
+
+    /// Decode back to the multiset the chunk was encoded from
+    /// (the exact inverse of [`Chunk::encode`]).
+    pub fn decode(&self) -> MultiSet {
+        let mut out = MultiSet::new();
+        for i in 0..self.len {
+            out.insert_n(self.row_value(i), self.weights[i]);
+        }
+        out
+    }
+
+    /// The chunk restricted to rows `lo..hi` (for chunk-carrying
+    /// parallel fragments; weights travel with the rows).
+    pub fn slice(&self, lo: usize, hi: usize) -> Chunk {
+        assert!(
+            lo <= hi && hi <= self.len,
+            "slice {lo}..{hi} of {}",
+            self.len
+        );
+        Chunk {
+            len: hi - lo,
+            cols: self
+                .cols
+                .iter()
+                .map(|(n, c)| (n.clone(), c.slice(lo, hi)))
+                .collect(),
+            weights: self.weights[lo..hi].to_vec(),
+        }
+    }
+}
+
+/// Scalar-kind discriminant used while classifying a column.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum CellKind {
+    Int,
+    Float,
+    Str,
+    Bool,
+    Date,
+    Ref,
+    Other,
+}
+
+fn cell_kind(v: &Value) -> Option<CellKind> {
+    use crate::scalar::Scalar;
+    match v {
+        Value::Null(_) => None,
+        Value::Scalar(Scalar::Int4(_)) => Some(CellKind::Int),
+        Value::Scalar(Scalar::Float4(_)) => Some(CellKind::Float),
+        Value::Scalar(Scalar::Char(_)) => Some(CellKind::Str),
+        Value::Scalar(Scalar::Bool(_)) => Some(CellKind::Bool),
+        Value::Scalar(Scalar::Date(_)) => Some(CellKind::Date),
+        Value::Ref(_) => Some(CellKind::Ref),
+        _ => Some(CellKind::Other),
+    }
+}
+
+/// Encode one column from its cells.  `hinted_non_null` is the
+/// `Props`-driven fast path: trust the proof, skip null scanning and
+/// bitmap allocation — but verify cheaply per cell and demote to the
+/// general path on any surprise.
+fn encode_column(cells: &[&Value], hinted_non_null: bool) -> Column {
+    if hinted_non_null {
+        if let Some(col) = encode_column_nonnull(cells) {
+            return col;
+        }
+    }
+
+    // General path: one classification pass, then a typed build with
+    // placeholders under null bits (or a boxed fallback).
+    let mut validity = Validity::all_valid(cells.len());
+    let mut any_null = false;
+    let mut kind: Option<CellKind> = None;
+    let mut uniform = true;
+    for (i, v) in cells.iter().enumerate() {
+        match v {
+            Value::Null(crate::value::Null::Dne) => {
+                validity.dne.set(i);
+                any_null = true;
+            }
+            Value::Null(crate::value::Null::Unk) => {
+                validity.unk.set(i);
+                any_null = true;
+            }
+            _ => {
+                let k = cell_kind(v).expect("non-null cell has a kind");
+                match kind {
+                    None => kind = Some(k),
+                    Some(prev) if prev == k => {}
+                    Some(_) => uniform = false,
+                }
+            }
+        }
+    }
+    let validity = any_null.then_some(validity);
+
+    let data = match kind {
+        Some(k) if uniform && k != CellKind::Other => typed_data(cells, k),
+        // All-null columns keep an `Other` payload (the nulls
+        // themselves), as do mixed or nested ones.
+        _ => ColumnData::Other(cells.iter().map(|v| (*v).clone()).collect()),
+    };
+    Column { data, validity }
+}
+
+/// The hinted fast path: all cells non-null and uniformly typed, or
+/// `None` to fall back.
+fn encode_column_nonnull(cells: &[&Value]) -> Option<Column> {
+    let first = cell_kind(cells[0])?;
+    if first == CellKind::Other {
+        return None;
+    }
+    for v in cells {
+        if cell_kind(v) != Some(first) {
+            return None; // hint was wrong (null or mixed kind)
+        }
+    }
+    Some(Column {
+        data: typed_data(cells, first),
+        validity: None,
+    })
+}
+
+/// Build the typed vector for a uniform column, substituting a
+/// placeholder under null cells (the validity bitmap masks them).
+fn typed_data(cells: &[&Value], kind: CellKind) -> ColumnData {
+    use crate::scalar::Scalar;
+    match kind {
+        CellKind::Int => ColumnData::Int(cells.iter().map(|v| v.as_int().unwrap_or(0)).collect()),
+        CellKind::Float => {
+            ColumnData::Float(cells.iter().map(|v| v.as_float().unwrap_or(0.0)).collect())
+        }
+        CellKind::Str => ColumnData::Str(
+            cells
+                .iter()
+                .map(|v| v.as_str().unwrap_or("").to_string())
+                .collect(),
+        ),
+        CellKind::Bool => {
+            ColumnData::Bool(cells.iter().map(|v| v.as_bool().unwrap_or(false)).collect())
+        }
+        CellKind::Date => ColumnData::Date(
+            cells
+                .iter()
+                .map(|v| match v {
+                    Value::Scalar(Scalar::Date(d)) => *d,
+                    _ => Date::new(1970, 1, 1).expect("placeholder date"),
+                })
+                .collect(),
+        ),
+        CellKind::Ref => {
+            let mut dict: Vec<Oid> = Vec::new();
+            let mut codes = Vec::with_capacity(cells.len());
+            for v in cells {
+                match v.as_ref_oid() {
+                    Some(oid) => {
+                        let code = dict.iter().position(|d| *d == oid).unwrap_or_else(|| {
+                            dict.push(oid);
+                            dict.len() - 1
+                        });
+                        codes.push(code as u32);
+                    }
+                    None => codes.push(0), // placeholder under a null bit
+                }
+            }
+            ColumnData::Ref { dict, codes }
+        }
+        CellKind::Other => ColumnData::Other(cells.iter().map(|v| (*v).clone()).collect()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::oid::TypeId;
+
+    fn student(name: &str, dept: Value) -> Value {
+        Value::tuple([("sname", Value::str(name)), ("sdept", dept)])
+    }
+
+    #[test]
+    fn round_trip_with_nulls_and_weights() {
+        let mut s = MultiSet::new();
+        s.insert(student("amy", Value::int(3)));
+        s.insert_n(student("bob", Value::dne()), 2);
+        s.insert(student("cal", Value::unk()));
+        let c = Chunk::encode(&s, &BTreeSet::new()).unwrap();
+        assert_eq!(c.len(), 3);
+        assert_eq!(c.total_occurrences(), 4);
+        assert_eq!(c.decode(), s);
+        let dept = c.col("sdept").unwrap();
+        assert!(matches!(dept.data, ColumnData::Int(_)));
+        assert!(!dept.null_free());
+        assert!(c.col("sname").unwrap().null_free());
+    }
+
+    #[test]
+    fn non_null_hint_skips_bitmaps_but_wrong_hint_is_safe() {
+        let mut s = MultiSet::new();
+        s.insert(student("amy", Value::int(3)));
+        s.insert(student("bob", Value::dne()));
+        let hints: BTreeSet<String> = ["sname".to_string(), "sdept".to_string()].into();
+        let c = Chunk::encode(&s, &hints).unwrap();
+        // Correct hint: no bitmap allocated at all.
+        assert!(c.col("sname").unwrap().validity.is_none());
+        // Wrong hint (sdept holds a dne): demoted, still round-trips.
+        assert!(c.col("sdept").unwrap().validity.is_some());
+        assert_eq!(c.decode(), s);
+    }
+
+    #[test]
+    fn refs_dictionary_encode() {
+        let a = Oid {
+            minted: TypeId(7),
+            serial: 1,
+        };
+        let b = Oid {
+            minted: TypeId(7),
+            serial: 2,
+        };
+        let mut s = MultiSet::new();
+        for (n, o) in [("x", a), ("y", b), ("z", a)] {
+            s.insert(Value::tuple([("n", Value::str(n)), ("adv", Value::Ref(o))]));
+        }
+        let c = Chunk::encode(&s, &BTreeSet::new()).unwrap();
+        match &c.col("adv").unwrap().data {
+            ColumnData::Ref { dict, codes } => {
+                assert_eq!(dict.len(), 2);
+                assert_eq!(codes.len(), 3);
+            }
+            other => panic!("expected a ref dictionary, got {other:?}"),
+        }
+        assert_eq!(c.decode(), s);
+    }
+
+    #[test]
+    fn rejects_non_tuples_and_ragged_fields() {
+        let mut s = MultiSet::new();
+        s.insert(Value::int(1));
+        assert!(Chunk::encode(&s, &BTreeSet::new()).is_none());
+
+        let mut r = MultiSet::new();
+        r.insert(Value::tuple([("a", Value::int(1))]));
+        r.insert(Value::tuple([("b", Value::int(2))]));
+        assert!(Chunk::encode(&r, &BTreeSet::new()).is_none());
+    }
+
+    #[test]
+    fn all_dne_column_and_empty_set() {
+        let empty = MultiSet::new();
+        let c = Chunk::encode(&empty, &BTreeSet::new()).unwrap();
+        assert!(c.is_empty());
+        assert_eq!(c.decode(), empty);
+
+        let mut s = MultiSet::new();
+        s.insert(Value::tuple([("k", Value::int(1)), ("v", Value::dne())]));
+        s.insert(Value::tuple([("k", Value::int(2)), ("v", Value::dne())]));
+        let c = Chunk::encode(&s, &BTreeSet::new()).unwrap();
+        let v = c.col("v").unwrap();
+        assert!(matches!(v.data, ColumnData::Other(_)));
+        assert!(v.is_dne(0) && v.is_dne(1));
+        assert_eq!(c.decode(), s);
+    }
+
+    #[test]
+    fn slices_preserve_rows_weights_and_validity() {
+        let mut s = MultiSet::new();
+        for i in 0..10 {
+            let dept = if i % 3 == 0 {
+                Value::dne()
+            } else {
+                Value::int(i)
+            };
+            s.insert_n(student(&format!("s{i:02}"), dept), (i as u64 % 2) + 1);
+        }
+        let c = Chunk::encode(&s, &BTreeSet::new()).unwrap();
+        let (a, b) = (c.slice(0, 4), c.slice(4, c.len()));
+        assert_eq!(a.len() + b.len(), c.len());
+        assert_eq!(
+            a.total_occurrences() + b.total_occurrences(),
+            c.total_occurrences()
+        );
+        assert_eq!(a.decode().additive_union(b.decode()), c.decode());
+    }
+}
