@@ -1,0 +1,242 @@
+//! High-QPS latency benchmark for the query server.
+//!
+//! Starts an in-process `excess-server` over the server-mix database,
+//! then replays the Figure 6–11 surface-query mix from N concurrent
+//! client threads over real sockets for a fixed duration.  Each client
+//! records per-request wire latency into its own telemetry histogram;
+//! the merged histogram yields the p50/p95/p99 the report asserts on.
+//!
+//! Before the timed run, one client replays every mix query once and
+//! checks the wire result is byte-identical to the canonical JSON an
+//! in-process session produces — the fidelity gate.  During the run a
+//! low-rate writer thread commits appends, so the measured latencies
+//! include snapshot publication racing the readers.
+//!
+//! Usage: `cargo run --release -p excess-bench --bin qps -- \
+//!     [--clients N] [--duration-ms D] [--scale S]`
+//!
+//! Results are merged into `BENCH_report.json` as a `j_server` section
+//! (replacing any previous one), preserving whatever the `report`
+//! binary wrote.
+
+#![forbid(unsafe_code)]
+
+use excess_bench::server_mix::{server_mix_db, MIX};
+use excess_db::{Histogram, Registry, VersionedDb};
+use excess_server::{serve, Client};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+struct Args {
+    clients: usize,
+    duration_ms: u64,
+    scale: usize,
+}
+
+fn parse_args() -> Args {
+    let mut out = Args {
+        clients: 8,
+        duration_ms: 2000,
+        scale: 120,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        let mut take = |flag: &str, current: &mut usize| {
+            if a == flag {
+                if let Some(v) = args.next().and_then(|v| v.parse().ok()) {
+                    *current = v;
+                }
+                true
+            } else if let Some(v) = a.strip_prefix(&format!("{flag}=")) {
+                if let Ok(v) = v.parse() {
+                    *current = v;
+                }
+                true
+            } else {
+                false
+            }
+        };
+        let mut duration = out.duration_ms as usize;
+        if take("--clients", &mut out.clients) || take("--scale", &mut out.scale) {
+            continue;
+        }
+        if take("--duration-ms", &mut duration) {
+            out.duration_ms = duration as u64;
+        }
+    }
+    out.clients = out.clients.max(1);
+    out.duration_ms = out.duration_ms.max(100);
+    out
+}
+
+/// Extract the `"value":…` payload of a response line (it is always the
+/// last field).
+fn value_field(response: &str) -> Option<&str> {
+    let idx = response.find("\"value\":")?;
+    Some(&response[idx + "\"value\":".len()..response.len() - 1])
+}
+
+/// The pre-run fidelity gate: every mix query over the socket must be
+/// canon-identical to an in-process session's result.
+fn canon_check(addr: std::net::SocketAddr, vdb: &VersionedDb) -> usize {
+    let mut client = Client::connect(addr).expect("connect for canon check");
+    let mut session = vdb.begin_session();
+    let mut checked = 0;
+    for (label, src) in MIX {
+        let response = client.request(src).expect("canon-check request");
+        assert!(
+            response.starts_with("{\"ok\":true"),
+            "{label}: server rejected the query: {response}"
+        );
+        let wire = value_field(&response).expect("response carries a value");
+        let out = session.query(src).expect("in-process query");
+        let local = excess_db::value_json(&session.canon(&out.value));
+        assert_eq!(wire, local, "{label}: wire and in-process results differ");
+        checked += 1;
+    }
+    let _ = client.request(".close");
+    checked
+}
+
+fn main() {
+    let args = parse_args();
+    let vdb = VersionedDb::new(server_mix_db(args.scale));
+    let handle = serve(vdb.clone(), "127.0.0.1:0").expect("bind server");
+    let addr = handle.addr();
+    eprintln!(
+        "qps: serving mix db (scale {}) on {addr}, {} clients, {} ms",
+        args.scale, args.clients, args.duration_ms
+    );
+
+    let canon_checked = canon_check(addr, &vdb);
+
+    let stop = Arc::new(AtomicBool::new(false));
+    let errors = Arc::new(AtomicU64::new(0));
+    let started = Instant::now();
+    let deadline = started + Duration::from_millis(args.duration_ms);
+
+    // A low-rate writer commits while clients read: measured latencies
+    // include generation publication.
+    let writer = {
+        let vdb = vdb.clone();
+        let stop = stop.clone();
+        std::thread::spawn(move || {
+            let mut commits = 0u64;
+            while !stop.load(Ordering::Relaxed) {
+                vdb.commit(&format!(
+                    "append to E1 ((ename: \"w{commits}\", esal: {}))",
+                    5000 + commits as i64
+                ))
+                .expect("writer commit");
+                commits += 1;
+                std::thread::sleep(Duration::from_millis(50));
+            }
+            commits
+        })
+    };
+
+    let clients: Vec<_> = (0..args.clients)
+        .map(|c| {
+            let stop = stop.clone();
+            let errors = errors.clone();
+            std::thread::spawn(move || {
+                let mut client = Client::connect(addr).expect("client connect");
+                let mut registry = Registry::new();
+                let mut requests = 0u64;
+                // Stagger starting points so clients don't run in
+                // lockstep over the mix.
+                let mut i = c;
+                while Instant::now() < deadline && !stop.load(Ordering::Relaxed) {
+                    let (_, src) = MIX[i % MIX.len()];
+                    i += 1;
+                    let t0 = Instant::now();
+                    let response = client.request(src).expect("request");
+                    registry.observe("wire_us", t0.elapsed().as_micros() as u64);
+                    requests += 1;
+                    if !response.starts_with("{\"ok\":true") {
+                        errors.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+                let _ = client.request(".close");
+                (registry, requests)
+            })
+        })
+        .collect();
+
+    let mut merged = Registry::new();
+    let mut requests = 0u64;
+    for client in clients {
+        let (registry, n) = client.join().expect("client thread");
+        merged.merge(&registry);
+        requests += n;
+    }
+    let elapsed = started.elapsed();
+    stop.store(true, Ordering::Relaxed);
+    let commits = writer.join().expect("writer thread");
+
+    let vdb = handle.shutdown();
+    let stats = vdb.stats();
+    let global = vdb.global_registry();
+    vdb.shutdown().expect("committer shutdown");
+
+    let errors = errors.load(Ordering::Relaxed);
+    assert_eq!(errors, 0, "{errors} requests failed");
+    let empty = Histogram::default();
+    let wire = merged.histogram("wire_us").unwrap_or(&empty);
+    let throughput = requests as f64 / elapsed.as_secs_f64();
+    let (p50, p95, p99) = (
+        wire.quantile(0.50),
+        wire.quantile(0.95),
+        wire.quantile(0.99),
+    );
+
+    eprintln!(
+        "qps: {requests} requests in {:.2}s → {throughput:.0} q/s; \
+         p50 {p50}us p95 {p95}us p99 {p99}us; {commits} commits, \
+         server generation {}",
+        elapsed.as_secs_f64(),
+        stats.generation
+    );
+
+    // Server-side accounting must have seen every wire query: the
+    // global registry holds the merged per-session registries.
+    let server_queries = global.counter("queries");
+    assert!(
+        server_queries >= requests,
+        "server counted {server_queries} queries for {requests} wire requests"
+    );
+
+    let j_server = format!(
+        "{{\"clients\":{},\"duration_ms\":{},\"scale\":{},\"requests\":{requests},\
+         \"errors\":{errors},\"throughput_qps\":{throughput:.1},\
+         \"latency_us\":{{\"count\":{},\"mean\":{:.1},\"p50\":{p50},\"p95\":{p95},\"p99\":{p99},\"max\":{}}},\
+         \"canon_checked\":{canon_checked},\"commits\":{commits},\
+         \"generation\":{},\"sessions_opened\":{},\"commit_batches\":{}}}",
+        args.clients,
+        args.duration_ms,
+        args.scale,
+        wire.count(),
+        wire.mean(),
+        wire.max().unwrap_or(0),
+        stats.generation,
+        stats.sessions_opened,
+        stats.commit_batches
+    );
+
+    let path = "BENCH_report.json";
+    let base = std::fs::read_to_string(path).unwrap_or_else(|_| "{}".to_string());
+    // Replace any previous j_server section (it is always appended last).
+    let base = match base.find(",\"j_server\":") {
+        Some(idx) => format!("{}}}", &base[..idx]),
+        None => base,
+    };
+    let trimmed = base.trim_end().strip_suffix('}').unwrap_or("{").trim_end();
+    let separator = if trimmed.ends_with('{') { "" } else { "," };
+    std::fs::write(
+        path,
+        format!("{trimmed}{separator}\"j_server\":{j_server}}}"),
+    )
+    .expect("write BENCH_report.json");
+    println!("j_server merged into `{path}`.");
+}

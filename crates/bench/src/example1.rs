@@ -22,6 +22,15 @@ use excess_types::{SchemaType, Value};
 pub fn example1_db(n_students: usize, n_emps: usize, dup: usize) -> Database {
     let mut db = Database::new();
     db.optimize = false;
+    populate_example1(&mut db, n_students, n_emps, dup);
+    db.collect_stats();
+    db
+}
+
+/// Load the Example 1 extents (`S1`, `E1`) into an existing database —
+/// shared between [`example1_db`] and the server-mix builder.  Does not
+/// collect statistics; callers do once everything is loaded.
+pub fn populate_example1(db: &mut Database, n_students: usize, n_emps: usize, dup: usize) {
     let dup = dup.max(1);
     let distinct = (n_students / dup).max(1);
     let students: Vec<Value> = (0..n_students)
@@ -66,8 +75,6 @@ pub fn example1_db(n_students: usize, n_emps: usize, dup: usize) -> Database {
         ])),
         Value::set(emps),
     );
-    db.collect_stats();
-    db
 }
 
 fn join() -> Expr {

@@ -15,6 +15,16 @@ use excess_types::{SchemaType, Value};
 pub fn example2_db(n: usize, depts: usize, floors: usize) -> Database {
     let mut db = Database::new();
     db.optimize = false;
+    populate_example2(&mut db, n, depts, floors);
+    db.collect_stats();
+    db
+}
+
+/// Load the Example 2 schema and extents (`Dept2` objects in the store,
+/// `S2` referencing them) into an existing database — shared between
+/// [`example2_db`] and the server-mix builder.  Does not collect
+/// statistics; callers do once everything is loaded.
+pub fn populate_example2(db: &mut Database, n: usize, depts: usize, floors: usize) {
     db.execute("define type Dept2: (division: char[], dname: char[], floor: int4)")
         .unwrap();
     let dept_ty = db.registry().lookup("Dept2").unwrap();
@@ -44,8 +54,6 @@ pub fn example2_db(n: usize, depts: usize, floors: usize) -> Database {
         ])),
         Value::set(students),
     );
-    db.collect_stats();
-    db
 }
 
 fn floor_is_5_via_deref() -> Pred {

@@ -11,6 +11,7 @@
 pub mod dispatch;
 pub mod example1;
 pub mod example2;
+pub mod server_mix;
 
 use excess_db::Database;
 use excess_types::{SchemaType, Value};

@@ -86,6 +86,14 @@ impl DbCatalog {
         self.chunks.insert(name.to_string(), chunk);
     }
 
+    /// Iterate the names that currently have a cached columnar chunk
+    /// (extent views included) — what the session layer's committer uses
+    /// to re-warm chunks after a write batch, so published generations
+    /// keep serving the columnar kernels.
+    pub fn chunked_names(&self) -> impl Iterator<Item = &str> {
+        self.chunks.keys().map(String::as_str)
+    }
+
     /// Iterate user-visible object names (extent views excluded).
     pub fn names(&self) -> impl Iterator<Item = &str> {
         self.objects

@@ -157,6 +157,12 @@ struct Procedure {
 }
 
 /// An in-memory EXTRA/EXCESS database.
+///
+/// `Clone` copies the whole state — schema, data, methods, metrics.
+/// The session layer ([`crate::session`]) leans on this for atomic
+/// commits: a request is applied to a clone of the master and the clone
+/// is swapped in only when every statement succeeded.
+#[derive(Clone)]
 pub struct Database {
     registry: TypeRegistry,
     store: ObjectStore,
@@ -227,6 +233,15 @@ impl Database {
         if let Some(w) = warning {
             db.warn(w);
         }
+        // Flight-recorder tuning rides the same pure-parse-then-warn path
+        // as `EXCESS_THREADS`: bad values fall back to the defaults and
+        // surface in `.metrics` / the JSON snapshot instead of being
+        // silently ignored.
+        let rec = excess_telemetry::RecorderSettings::from_env();
+        for w in rec.warnings.clone() {
+            db.warn(w);
+        }
+        db.telemetry.recorder = rec.build();
         db
     }
 
@@ -254,6 +269,10 @@ impl Database {
     /// The catalog.
     pub fn catalog(&self) -> &DbCatalog {
         &self.catalog
+    }
+    /// The session's `range of` declarations, by variable name.
+    pub fn ranges(&self) -> &HashMap<String, QExpr> {
+        &self.ranges
     }
     /// The method registry.
     pub fn methods(&self) -> &MethodRegistry {

@@ -20,6 +20,47 @@ use excess_optimizer::RewriteJournal;
 pub use excess_core::json::escape_json;
 use excess_core::json::{millis, number, path_json, quote_json as quoted};
 
+/// Serialize a query-result [`Value`](excess_types::Value) for the wire.
+///
+/// Scalars map to JSON primitives, dates to `"YYYY-MM-DD"` strings,
+/// tuples to objects, arrays to JSON arrays, and multisets to
+/// `{"set":[…]}` with duplicates expanded in canonical (sorted) order —
+/// `MultiSet` iterates a `BTreeMap`, so the rendering is deterministic.
+/// The two nulls stay distinguishable (`{"null":"dne"}` / `{"null":"unk"}`).
+/// References serialize as `{"ref":"<oid>"}`; since OIDs have no
+/// client-visible meaning, callers that send results off-process should
+/// first resolve identity with
+/// [`canonical_form`](excess_core::canon::canonical_form), which rewrites
+/// every `Ref` into a value tree (the server does exactly this).
+pub fn value_json(v: &excess_types::Value) -> String {
+    use excess_types::{Null, Scalar, Value};
+    match v {
+        Value::Scalar(Scalar::Int4(i)) => i.to_string(),
+        Value::Scalar(Scalar::Float4(x)) => number(*x),
+        Value::Scalar(Scalar::Char(s)) => quoted(s),
+        Value::Scalar(Scalar::Bool(b)) => b.to_string(),
+        Value::Scalar(Scalar::Date(d)) => quoted(&d.to_string()),
+        Value::Null(Null::Dne) => "{\"null\":\"dne\"}".to_string(),
+        Value::Null(Null::Unk) => "{\"null\":\"unk\"}".to_string(),
+        Value::Tuple(t) => {
+            let fields: Vec<String> = t
+                .iter()
+                .map(|(n, fv)| format!("{}:{}", quoted(n), value_json(fv)))
+                .collect();
+            format!("{{{}}}", fields.join(","))
+        }
+        Value::Set(s) => {
+            let elems: Vec<String> = s.iter_occurrences().map(value_json).collect();
+            format!("{{\"set\":[{}]}}", elems.join(","))
+        }
+        Value::Array(a) => {
+            let elems: Vec<String> = a.iter().map(value_json).collect();
+            format!("[{}]", elems.join(","))
+        }
+        Value::Ref(oid) => format!("{{\"ref\":{}}}", quoted(&oid.to_string())),
+    }
+}
+
 /// `{"occurrences_scanned":…,…}` — every counter field by name, driven by
 /// [`Counters::named_fields`] so the serializer cannot drift from the
 /// struct.

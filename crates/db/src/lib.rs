@@ -29,6 +29,7 @@ pub mod explain;
 pub mod format;
 pub mod json;
 pub mod metrics;
+pub mod session;
 pub mod stats;
 
 pub use catalog::{DbCatalog, NamedObject};
@@ -38,8 +39,9 @@ pub use explain::{render_explain_analyze, render_parallel_execution};
 pub use format::{format_result, try_table};
 pub use json::{
     counters_json, escape_json, exec_report_json, journal_json, metrics_json, profile_json,
-    verify_json,
+    value_json, verify_json,
 };
+pub use session::{CommitBatch, Generation, QueryOutcome, ServerStats, Session, VersionedDb};
 
 // Re-exported so callers can configure parallel execution without naming
 // the engine crate directly.

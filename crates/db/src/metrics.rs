@@ -88,6 +88,31 @@ impl SessionMetrics {
         self.warnings.push(warning.into());
     }
 
+    /// Fold another registry into this one — how a closing
+    /// [`Session`](crate::session::Session)'s per-connection metrics merge
+    /// into the database-wide totals.  Counts and counters add; `workers`
+    /// takes the other side's value when it ever ran parallel (most-recent
+    /// semantics); warnings append in order.
+    pub fn merge(&mut self, other: &SessionMetrics) {
+        self.queries += other.queries;
+        self.serial_queries += other.serial_queries;
+        self.parallel_queries += other.parallel_queries;
+        if other.workers > 0 {
+            self.workers = other.workers;
+        }
+        self.optimizations += other.optimizations;
+        self.rewrites_applied += other.rewrites_applied;
+        self.rewrites_refused += other.rewrites_refused;
+        self.plans_enumerated += other.plans_enumerated;
+        self.cost_removed += other.cost_removed;
+        for (rule, n) in &other.rules_fired {
+            *self.rules_fired.entry(rule.clone()).or_insert(0) += n;
+        }
+        self.counters += other.counters;
+        self.eval_wall += other.eval_wall;
+        self.warnings.extend(other.warnings.iter().cloned());
+    }
+
     /// Zero everything.
     pub fn reset(&mut self) {
         *self = Self::default();
@@ -170,6 +195,27 @@ mod tests {
             s.contains("execution: 1 serial, 1 parallel (4 workers)"),
             "{s}"
         );
+    }
+
+    #[test]
+    fn merge_adds_counts_and_rule_tallies() {
+        let mut a = SessionMetrics::new();
+        a.record_query(Counters::new(), Duration::from_millis(1));
+        *a.rules_fired.entry("rule8".into()).or_insert(0) += 2;
+        let mut b = SessionMetrics::new();
+        b.record_query_mode(Counters::new(), Duration::from_millis(2), 4);
+        *b.rules_fired.entry("rule8".into()).or_insert(0) += 1;
+        *b.rules_fired.entry("rel5".into()).or_insert(0) += 1;
+        b.record_warning("w1");
+        a.merge(&b);
+        assert_eq!(a.queries, 2);
+        assert_eq!(a.serial_queries, 1);
+        assert_eq!(a.parallel_queries, 1);
+        assert_eq!(a.workers, 4);
+        assert_eq!(a.rules_fired["rule8"], 3);
+        assert_eq!(a.rules_fired["rel5"], 1);
+        assert_eq!(a.eval_wall, Duration::from_millis(3));
+        assert_eq!(a.warnings, vec!["w1".to_string()]);
     }
 
     #[test]

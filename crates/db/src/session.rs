@@ -1,0 +1,944 @@
+//! Sessions, snapshots, and the single-committer write path.
+//!
+//! This module turns the single-threaded [`Database`] into a concurrent,
+//! multi-session engine with snapshot-isolated reads:
+//!
+//! * [`Generation`] — one immutable, `Arc`-shared version of the
+//!   database state (registry, catalog, object store, `range of`
+//!   declarations, methods, statistics).  The catalog inside a
+//!   generation carries whatever columnar chunks were valid when it was
+//!   published, so snapshot readers keep the vectorized kernels.
+//! * [`VersionedDb`] — the shared handle: a `RwLock`'d pointer to the
+//!   current generation plus a dedicated **committer thread** that owns
+//!   the master [`Database`].  Taking a snapshot is an `Arc` clone under
+//!   a read lock held for nanoseconds; publishing a new generation is a
+//!   pointer swap under the write lock.  Readers never block on writers
+//!   beyond that swap, and never see a half-applied batch.
+//! * [`Session`] — one client's view: a pinned generation, a scratch
+//!   object store for temporary OIDs minted during evaluation, session-
+//!   local `range of` declarations, and per-session metrics/telemetry
+//!   that fold into the database-wide registries when the session closes.
+//!
+//! # Write path
+//!
+//! All mutation flows through [`VersionedDb::commit`] (usually via
+//! [`Session::commit`]): the statement text is sent over a channel to
+//! the committer thread, which drains the channel into a batch, applies
+//! each request **atomically** (the request runs against a clone of the
+//! master and the clone is swapped in only when every statement
+//! succeeded — a failed request leaves no partial state), then publishes
+//! one new generation for the whole batch.  Components a batch did not
+//! touch are shared with the previous generation by `Arc`, so a batch of
+//! `range of` declarations does not copy the catalog.  After a
+//! data-touching batch the committer re-collects optimizer statistics
+//! and re-encodes the columnar chunks the previous generation had, so
+//! new snapshots plan against fresh cardinalities and keep their
+//! vectorized kernels.
+//!
+//! Every applied request is recorded in a commit history
+//! ([`VersionedDb::history`]), which makes snapshot isolation testable:
+//! replaying the history up to generation *g* on a fresh copy of the
+//! initial database must be canon-identical to what a session pinned at
+//! *g* observes.
+//!
+//! # Read path
+//!
+//! [`Session::query`] accepts a program of `range of` declarations and
+//! `retrieve` statements (anything else must go through `commit`) and
+//! runs the same pipeline as [`Database::execute`] — translate →
+//! greedy-optimize (journaled, dual desugared pass, extent-index
+//! substitution) → lower → execute on the serial engine — entirely
+//! against the pinned generation.  Statements that mint object
+//! identities during evaluation do so in the session's private scratch
+//! store, leaving the shared generation untouched.
+
+use crate::catalog::DbCatalog;
+use crate::database::Database;
+use crate::error::{DbError, DbResult};
+use crate::metrics::SessionMetrics;
+use excess_core::eval::EvalCtx;
+use excess_core::expr::Expr;
+use excess_core::physical::evaluate_physical;
+use excess_lang::ast::{QExpr, Retrieve, Stmt};
+use excess_lang::methods::MethodRegistry;
+use excess_lang::parse_program;
+use excess_lang::translate::{translate_retrieve, TranslateCtx};
+use excess_optimizer::{
+    apply_extent_indexes_journaled, cost_of, lower_journaled, Optimizer, RewriteJournal, RuleCtx,
+    Statistics,
+};
+use excess_telemetry::{fnv1a64, QueryRecord, RecorderSettings, Registry, Telemetry};
+use excess_types::{ObjectStore, TypeRegistry, Value};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::mpsc::{Receiver, Sender};
+use std::sync::{mpsc, Arc, Mutex, RwLock, Weak};
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+/// One immutable, shared version of the database state.
+///
+/// Every component is behind an `Arc`: generations that did not change a
+/// component share it with their predecessor, so a long-lived snapshot
+/// costs memory proportional to what has changed since it was taken, not
+/// to the whole database.
+#[derive(Debug, Clone)]
+pub struct Generation {
+    /// Monotone version number; the seed database is generation 0.
+    pub number: u64,
+    /// Named types and the inheritance DAG.
+    pub registry: Arc<TypeRegistry>,
+    /// Named objects (and their cached columnar chunks) as of this
+    /// generation.
+    pub catalog: Arc<DbCatalog>,
+    /// The object store as of this generation.
+    pub store: Arc<ObjectStore>,
+    /// Committed `range of` declarations.
+    pub ranges: Arc<HashMap<String, QExpr>>,
+    /// Stored methods.
+    pub methods: Arc<MethodRegistry>,
+    /// Optimizer statistics collected at publish time.
+    pub stats: Arc<Statistics>,
+}
+
+impl Generation {
+    fn from_database(number: u64, db: &Database) -> Self {
+        Generation {
+            number,
+            registry: Arc::new(db.registry().clone()),
+            catalog: Arc::new(db.catalog().clone()),
+            store: Arc::new(db.store().clone()),
+            ranges: Arc::new(db.ranges().clone()),
+            methods: Arc::new(db.methods().clone()),
+            stats: Arc::new(db.statistics().clone()),
+        }
+    }
+}
+
+/// One successfully applied commit batch: the generation it published
+/// and the request sources it applied, in order.  Replaying every batch
+/// with `generation <= g` onto a copy of the seed database reproduces
+/// exactly what a session pinned at generation `g` observes — the
+/// invariant the snapshot-isolation tests check.
+#[derive(Debug, Clone)]
+pub struct CommitBatch {
+    /// The generation current after this batch (batches that touch no
+    /// snapshot-visible component — e.g. procedure definitions — keep
+    /// the previous number).
+    pub generation: u64,
+    /// Applied request sources, in application order.
+    pub statements: Vec<String>,
+}
+
+/// Counters describing a [`VersionedDb`]'s lifetime so far.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ServerStats {
+    /// Current generation number.
+    pub generation: u64,
+    /// Sessions ever begun.
+    pub sessions_opened: u64,
+    /// Sessions closed (metrics merged into the global registry).
+    pub sessions_closed: u64,
+    /// Commit requests received by the committer.
+    pub commit_requests: u64,
+    /// Commit batches applied (each publishes at most one generation).
+    pub commit_batches: u64,
+}
+
+struct CommitRequest {
+    source: String,
+    reply: Sender<CommitReply>,
+}
+
+struct CommitReply {
+    result: Result<Value, String>,
+    generation: u64,
+}
+
+/// Which generation components a batch of statements touched.
+#[derive(Debug, Clone, Copy, Default)]
+struct Dirty {
+    registry: bool,
+    data: bool,
+    ranges: bool,
+    methods: bool,
+}
+
+impl Dirty {
+    fn any(&self) -> bool {
+        self.registry || self.data || self.ranges || self.methods
+    }
+}
+
+fn classify(stmt: &Stmt, d: &mut Dirty) {
+    match stmt {
+        Stmt::DefineType { .. } => d.registry = true,
+        Stmt::DefineFunction { .. } => d.methods = true,
+        Stmt::RangeDecl { .. } => d.ranges = true,
+        // Procedures live on the master only (calling one is a write);
+        // defining one touches no snapshot-visible component.
+        Stmt::DefineProcedure { .. } => {}
+        // A procedure body may contain any statement: conservatively
+        // republish everything.
+        Stmt::Call { .. } => {
+            d.registry = true;
+            d.data = true;
+            d.ranges = true;
+            d.methods = true;
+        }
+        Stmt::Create { .. }
+        | Stmt::Append { .. }
+        | Stmt::Delete { .. }
+        | Stmt::Replace { .. }
+        | Stmt::AssignIndex { .. } => d.data = true,
+        Stmt::Retrieve(r) => {
+            if r.into.is_some() {
+                d.data = true;
+            }
+        }
+    }
+}
+
+struct SharedState {
+    current: RwLock<Arc<Generation>>,
+    tx: Mutex<Option<Sender<CommitRequest>>>,
+    handle: Mutex<Option<JoinHandle<Database>>>,
+    global_metrics: Mutex<SessionMetrics>,
+    global_registry: Mutex<Registry>,
+    history: Mutex<Vec<CommitBatch>>,
+    sessions_opened: AtomicU64,
+    sessions_closed: AtomicU64,
+    commit_requests: AtomicU64,
+    commit_batches: AtomicU64,
+}
+
+/// The shared, clonable handle to a versioned database: snapshot reads
+/// through [`VersionedDb::begin_session`], writes through
+/// [`VersionedDb::commit`], and a graceful [`VersionedDb::shutdown`]
+/// that returns the master [`Database`].
+#[derive(Clone)]
+pub struct VersionedDb {
+    shared: Arc<SharedState>,
+}
+
+impl VersionedDb {
+    /// Take ownership of `db` as the master copy: publish it as
+    /// generation 0 and start the committer thread.  Statistics are
+    /// (re-)collected first so generation-0 snapshots plan against real
+    /// cardinalities — the same policy the committer applies after every
+    /// data-touching batch.
+    pub fn new(mut db: Database) -> Self {
+        db.collect_stats();
+        let gen0 = Arc::new(Generation::from_database(0, &db));
+        let (tx, rx) = mpsc::channel::<CommitRequest>();
+        let shared = Arc::new(SharedState {
+            current: RwLock::new(gen0),
+            tx: Mutex::new(Some(tx)),
+            handle: Mutex::new(None),
+            global_metrics: Mutex::new(SessionMetrics::new()),
+            global_registry: Mutex::new(Registry::new()),
+            history: Mutex::new(Vec::new()),
+            sessions_opened: AtomicU64::new(0),
+            sessions_closed: AtomicU64::new(0),
+            commit_requests: AtomicU64::new(0),
+            commit_batches: AtomicU64::new(0),
+        });
+        // The committer holds only a weak reference: when every handle
+        // and session is gone the channel sender inside `SharedState`
+        // drops, `recv` errors, and the thread exits on its own.
+        let weak = Arc::downgrade(&shared);
+        let handle = std::thread::Builder::new()
+            .name("excess-committer".into())
+            .spawn(move || committer_loop(db, rx, weak))
+            .expect("spawning the committer thread");
+        *shared.handle.lock().expect("handle lock") = Some(handle);
+        VersionedDb { shared }
+    }
+
+    /// The current generation (an `Arc` clone under a briefly held read
+    /// lock — readers never wait on a commit in progress).
+    pub fn current(&self) -> Arc<Generation> {
+        self.shared.current.read().expect("generation lock").clone()
+    }
+
+    /// The current generation number.
+    pub fn generation(&self) -> u64 {
+        self.current().number
+    }
+
+    /// Begin a session pinned to the current generation.
+    pub fn begin_session(&self) -> Session {
+        self.shared.sessions_opened.fetch_add(1, Ordering::Relaxed);
+        let snapshot = self.current();
+        let scratch = (*snapshot.store).clone();
+        let mut telemetry = Telemetry::new();
+        telemetry.recorder = RecorderSettings::from_env().build();
+        Session {
+            db: self.clone(),
+            snapshot,
+            scratch,
+            local_ranges: HashMap::new(),
+            optimize: true,
+            metrics: SessionMetrics::new(),
+            telemetry,
+            closed: false,
+        }
+    }
+
+    /// Send one program to the committer and wait for it to be applied
+    /// (or rejected).  Returns the value of the program's last statement
+    /// and the generation current after the batch containing it.  The
+    /// request is atomic: on error nothing was applied.
+    pub fn commit(&self, source: &str) -> Result<(Value, u64), String> {
+        let tx = self
+            .shared
+            .tx
+            .lock()
+            .expect("committer channel lock")
+            .clone()
+            .ok_or_else(|| "committer is shut down".to_string())?;
+        let (reply_tx, reply_rx) = mpsc::channel();
+        tx.send(CommitRequest {
+            source: source.to_string(),
+            reply: reply_tx,
+        })
+        .map_err(|_| "committer is shut down".to_string())?;
+        let reply = reply_rx
+            .recv()
+            .map_err(|_| "committer dropped the request".to_string())?;
+        reply.result.map(|v| (v, reply.generation))
+    }
+
+    /// Every applied commit batch so far, in order.
+    pub fn history(&self) -> Vec<CommitBatch> {
+        self.shared.history.lock().expect("history lock").clone()
+    }
+
+    /// Snapshot of the database-wide metrics (closed sessions merged).
+    pub fn global_metrics(&self) -> SessionMetrics {
+        self.shared
+            .global_metrics
+            .lock()
+            .expect("metrics lock")
+            .clone()
+    }
+
+    /// Snapshot of the database-wide telemetry registry (closed sessions
+    /// merged).
+    pub fn global_registry(&self) -> Registry {
+        self.shared
+            .global_registry
+            .lock()
+            .expect("registry lock")
+            .clone()
+    }
+
+    /// Fold one session's metrics and telemetry registry into the
+    /// database-wide registries (what [`Session::close`] calls).
+    pub fn merge_session(&self, metrics: &SessionMetrics, registry: &Registry) {
+        self.shared
+            .global_metrics
+            .lock()
+            .expect("metrics lock")
+            .merge(metrics);
+        self.shared
+            .global_registry
+            .lock()
+            .expect("registry lock")
+            .merge(registry);
+    }
+
+    /// Lifetime counters: generation, sessions, commit traffic.
+    pub fn stats(&self) -> ServerStats {
+        ServerStats {
+            generation: self.generation(),
+            sessions_opened: self.shared.sessions_opened.load(Ordering::Relaxed),
+            sessions_closed: self.shared.sessions_closed.load(Ordering::Relaxed),
+            commit_requests: self.shared.commit_requests.load(Ordering::Relaxed),
+            commit_batches: self.shared.commit_batches.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Stop the committer (after the requests already queued are
+    /// applied) and return the master [`Database`].  Later commits fail
+    /// with "committer is shut down"; snapshots already taken — and new
+    /// sessions — keep reading the last published generation.  Returns
+    /// `None` when another handle already shut the committer down.
+    pub fn shutdown(&self) -> Option<Database> {
+        // Dropping the sender ends the committer's recv loop.
+        drop(
+            self.shared
+                .tx
+                .lock()
+                .expect("committer channel lock")
+                .take(),
+        );
+        let handle = self.shared.handle.lock().expect("handle lock").take()?;
+        handle.join().ok()
+    }
+}
+
+fn committer_loop(
+    mut db: Database,
+    rx: Receiver<CommitRequest>,
+    shared: Weak<SharedState>,
+) -> Database {
+    while let Ok(first) = rx.recv() {
+        // Drain whatever else is queued: one published generation per
+        // batch amortizes the copy-on-write clones across concurrent
+        // committers.
+        let mut batch = vec![first];
+        while let Ok(more) = rx.try_recv() {
+            batch.push(more);
+        }
+        let Some(shared) = shared.upgrade() else {
+            return db;
+        };
+        shared
+            .commit_requests
+            .fetch_add(batch.len() as u64, Ordering::Relaxed);
+        shared.commit_batches.fetch_add(1, Ordering::Relaxed);
+
+        let mut dirty = Dirty::default();
+        let mut applied: Vec<String> = Vec::new();
+        let mut replies: Vec<(Sender<CommitReply>, Result<Value, String>)> = Vec::new();
+        for req in batch {
+            // Atomicity by clone-and-swap: a request that fails half way
+            // through its program leaves the master untouched.
+            let mut trial = db.clone();
+            match trial.execute(&req.source) {
+                Ok(v) => {
+                    db = trial;
+                    for stmt in parse_program(&req.source).ok().unwrap_or_default() {
+                        classify(&stmt, &mut dirty);
+                    }
+                    applied.push(req.source.clone());
+                    replies.push((req.reply, Ok(v)));
+                }
+                Err(e) => replies.push((req.reply, Err(e.to_string()))),
+            }
+        }
+
+        let generation = publish(&mut db, &shared, dirty, applied);
+        for (reply, result) in replies {
+            // A committer that outlives the requester is fine: the
+            // requester hung up, nobody reads the reply.
+            let _ = reply.send(CommitReply { result, generation });
+        }
+    }
+    db
+}
+
+/// Publish one generation for an applied batch (when it touched any
+/// snapshot-visible component) and record the batch in the history.
+/// Returns the generation current afterwards.
+fn publish(db: &mut Database, shared: &SharedState, dirty: Dirty, applied: Vec<String>) -> u64 {
+    let prev = shared.current.read().expect("generation lock").clone();
+    if applied.is_empty() {
+        return prev.number;
+    }
+    if !dirty.any() {
+        // Nothing snapshot-visible changed (e.g. only procedure
+        // definitions), but the statements still belong to the replay
+        // history at the unchanged generation.
+        shared
+            .history
+            .lock()
+            .expect("history lock")
+            .push(CommitBatch {
+                generation: prev.number,
+                statements: applied,
+            });
+        return prev.number;
+    }
+    if dirty.data {
+        // Fresh cardinalities for the next generation's planners, and
+        // re-warmed columnar chunks for every extent the previous
+        // generation had encoded (writes invalidated theirs).
+        db.collect_stats();
+        let chunked: Vec<String> = prev.catalog.chunked_names().map(str::to_string).collect();
+        for name in chunked {
+            db.ensure_chunks_for(&Expr::named(&name));
+        }
+    }
+    let next = Arc::new(Generation {
+        number: prev.number + 1,
+        registry: if dirty.registry {
+            Arc::new(db.registry().clone())
+        } else {
+            prev.registry.clone()
+        },
+        catalog: if dirty.data {
+            Arc::new(db.catalog().clone())
+        } else {
+            prev.catalog.clone()
+        },
+        store: if dirty.data {
+            Arc::new(db.store().clone())
+        } else {
+            prev.store.clone()
+        },
+        ranges: if dirty.ranges {
+            Arc::new(db.ranges().clone())
+        } else {
+            prev.ranges.clone()
+        },
+        methods: if dirty.methods {
+            Arc::new(db.methods().clone())
+        } else {
+            prev.methods.clone()
+        },
+        stats: if dirty.data {
+            Arc::new(db.statistics().clone())
+        } else {
+            prev.stats.clone()
+        },
+    });
+    shared
+        .history
+        .lock()
+        .expect("history lock")
+        .push(CommitBatch {
+            generation: next.number,
+            statements: applied,
+        });
+    *shared.current.write().expect("generation lock") = next.clone();
+    next.number
+}
+
+/// What one [`Session::query`] produced: the value plus the provenance a
+/// server wants to report per response.
+#[derive(Debug, Clone)]
+pub struct QueryOutcome {
+    /// The program's last `retrieve` result (`true` for programs of only
+    /// `range of` declarations).
+    pub value: Value,
+    /// Result occurrences (multiset cardinality / array length / 1).
+    pub rows: u64,
+    /// The generation the session was pinned to.
+    pub generation: u64,
+    /// Fingerprint of the lowered plan (0 for declaration-only programs).
+    pub plan_hash: u64,
+    /// Per-phase wall time, in order.
+    pub phase_us: Vec<(&'static str, u64)>,
+    /// Total wall time across the phases.
+    pub total_us: u64,
+}
+
+/// One client's snapshot-isolated view of a [`VersionedDb`].
+pub struct Session {
+    db: VersionedDb,
+    snapshot: Arc<Generation>,
+    /// Private clone of the snapshot's object store: evaluation may mint
+    /// temporary OIDs (`ref (...)` in a target list), and those must not
+    /// leak into — or contend on — the shared generation.
+    scratch: ObjectStore,
+    local_ranges: HashMap<String, QExpr>,
+    /// Run the rule-based optimizer on every query (default: on,
+    /// matching [`Database`]).
+    pub optimize: bool,
+    metrics: SessionMetrics,
+    telemetry: Telemetry,
+    closed: bool,
+}
+
+impl Session {
+    /// The generation this session reads.
+    pub fn generation(&self) -> u64 {
+        self.snapshot.number
+    }
+
+    /// The pinned generation itself.
+    pub fn snapshot(&self) -> &Arc<Generation> {
+        &self.snapshot
+    }
+
+    /// This session's cumulative metrics.
+    pub fn metrics(&self) -> &SessionMetrics {
+        &self.metrics
+    }
+
+    /// This session's telemetry (registry + flight recorder).
+    pub fn telemetry(&self) -> &Telemetry {
+        &self.telemetry
+    }
+
+    /// Rewrite a result's references into canonical `(@obj, @val)` value
+    /// trees against this session's store (see
+    /// [`canonical_form`](excess_core::canon::canonical_form)) — what a
+    /// server serializes, since raw OIDs have no client-visible meaning.
+    pub fn canon(&self, v: &Value) -> Value {
+        excess_core::canon::canonical_form(v, &self.scratch)
+    }
+
+    /// Re-pin to the newest published generation.  Session-local
+    /// `range of` declarations survive; scratch objects minted by
+    /// earlier queries are discarded with the old scratch store.
+    pub fn refresh(&mut self) {
+        self.snapshot = self.db.current();
+        self.scratch = (*self.snapshot.store).clone();
+    }
+
+    /// Run a read-only program — `range of` declarations and `retrieve`
+    /// statements — against the pinned snapshot.  Any other statement
+    /// (and `retrieve … into`, which stores its result) is rejected:
+    /// writes go through [`Session::commit`].
+    pub fn query(&mut self, source: &str) -> DbResult<QueryOutcome> {
+        let parse_started = Instant::now();
+        let stmts = parse_program(source)?;
+        let parse_us = parse_started.elapsed().as_micros() as u64;
+        if stmts.is_empty() {
+            return Err(DbError::Other("empty program".into()));
+        }
+        // Like `Database::execute`, the first retrieve owns the parse
+        // time and the program text for recorder attribution.
+        let mut pending_parse = Some(parse_us);
+        let mut last: Option<QueryOutcome> = None;
+        for stmt in stmts {
+            match stmt {
+                Stmt::RangeDecl { var, source } => {
+                    self.local_ranges.insert(var, source);
+                }
+                Stmt::Retrieve(r) if r.into.is_none() => {
+                    let parse_us = pending_parse.take().unwrap_or(0);
+                    last = Some(self.run_retrieve(source.trim(), &r, parse_us)?);
+                }
+                Stmt::Retrieve(_) => {
+                    return Err(DbError::Other(
+                        "snapshot sessions are read-only: `retrieve … into` \
+                         stores its result — send it through commit"
+                            .into(),
+                    ));
+                }
+                _ => {
+                    return Err(DbError::Other(
+                        "snapshot sessions are read-only: updates, DDL, and \
+                         procedure calls go through commit"
+                            .into(),
+                    ));
+                }
+            }
+        }
+        Ok(last.unwrap_or(QueryOutcome {
+            value: Value::bool(true),
+            rows: 1,
+            generation: self.snapshot.number,
+            plan_hash: 0,
+            phase_us: vec![("parse", parse_us)],
+            total_us: parse_us,
+        }))
+    }
+
+    /// The snapshot query pipeline: translate → optimize (journaled,
+    /// dual desugared pass + extent-index substitution, mirroring
+    /// [`Database::optimize_plan_journaled`]) → lower (journaled) →
+    /// execute on the serial engine against the pinned generation.
+    fn run_retrieve(&mut self, label: &str, r: &Retrieve, parse_us: u64) -> DbResult<QueryOutcome> {
+        let snapshot = self.snapshot.clone();
+        let mut phases: Vec<(&'static str, u64)> = vec![("parse", parse_us)];
+
+        // Translate under the merged range environment: committed
+        // declarations from the generation, session-local ones on top.
+        let started = Instant::now();
+        let mut ranges = (*snapshot.ranges).clone();
+        ranges.extend(self.local_ranges.clone());
+        let tc = TranslateCtx {
+            registry: &snapshot.registry,
+            schemas: &*snapshot.catalog,
+            ranges: &ranges,
+            methods: &snapshot.methods,
+            this_type: None,
+            params: vec![],
+        };
+        let (plan, _ty) = translate_retrieve(r, &tc)?;
+        phases.push(("translate", started.elapsed().as_micros() as u64));
+
+        let plan = if self.optimize {
+            let started = Instant::now();
+            let ctx = RuleCtx {
+                registry: &snapshot.registry,
+                schemas: &*snapshot.catalog,
+            };
+            let opt = Optimizer::standard();
+            let (a, ja) = opt.optimize_greedy_journaled(&plan, &ctx, &snapshot.stats);
+            let (b, jb) = opt.optimize_greedy_journaled(&plan.desugar(), &ctx, &snapshot.stats);
+            let (best, mut journal) = if b.cost < a.cost {
+                (b.plan, jb)
+            } else {
+                (a.plan, ja)
+            };
+            let best = apply_extent_indexes_journaled(&best, &snapshot.stats, &ctx, &mut journal);
+            self.metrics.record_journal(&journal);
+            phases.push(("optimize", started.elapsed().as_micros() as u64));
+            best
+        } else {
+            plan
+        };
+
+        let started = Instant::now();
+        let cost = cost_of(&plan, &snapshot.stats);
+        let mut journal = RewriteJournal {
+            steps: Vec::new(),
+            refused: Vec::new(),
+            plans_enumerated: 1,
+            max_plans: 0,
+            initial_cost: cost,
+            final_cost: cost,
+        };
+        let physical = lower_journaled(&plan, &snapshot.stats, &mut journal);
+        self.metrics.record_journal(&journal);
+        phases.push(("lower", started.elapsed().as_micros() as u64));
+        let plan_hash = fnv1a64(format!("{physical:?}").as_bytes());
+
+        let started = Instant::now();
+        let (out, counters) = {
+            let mut ctx = EvalCtx::new(&snapshot.registry, &mut self.scratch, &*snapshot.catalog);
+            (evaluate_physical(&physical, &mut ctx), ctx.counters)
+        };
+        let wall = started.elapsed();
+        self.metrics.record_query(counters, wall);
+        phases.push(("execute", wall.as_micros() as u64));
+        let value = out?;
+
+        let rows = match &value {
+            Value::Set(s) => s.len(),
+            Value::Array(a) => a.len() as u64,
+            _ => 1,
+        };
+        let total_us: u64 = phases.iter().map(|(_, us)| us).sum();
+        self.telemetry.registry.inc("queries");
+        self.telemetry.registry.inc("queries.serial");
+        self.telemetry.registry.observe("query_us", total_us);
+        for (name, us) in &phases {
+            self.telemetry
+                .registry
+                .observe(&format!("phase.{name}_us"), *us);
+        }
+        for (name, v) in counters.named_fields() {
+            self.telemetry.registry.add(&format!("work.{name}"), v);
+        }
+        let kernels: Vec<(String, String)> = physical
+            .choices
+            .iter()
+            .filter(|(_, c)| !matches!(c.op, excess_core::physical::PhysOp::PassThrough))
+            .map(|(path, c)| (excess_core::profile::path_string(path), c.op.to_string()))
+            .collect();
+        let est_rows = physical.choices.get(&Vec::new()).and_then(|c| c.est_rows);
+        self.telemetry.recorder.record(QueryRecord {
+            query: label.to_string(),
+            plan_hash,
+            engine: "serial".to_string(),
+            rows,
+            phase_us: phases.clone(),
+            kernels,
+            est_rows,
+            actual_rows: Some(rows),
+        });
+
+        Ok(QueryOutcome {
+            value,
+            rows,
+            generation: snapshot.number,
+            plan_hash,
+            phase_us: phases,
+            total_us,
+        })
+    }
+
+    /// Send a program to the committer; on success, re-pin this session
+    /// to the generation the commit published (read-your-writes).
+    /// Returns the last statement's value and that generation.
+    pub fn commit(&mut self, source: &str) -> DbResult<(Value, u64)> {
+        let (value, generation) = self.db.commit(source).map_err(DbError::Other)?;
+        self.refresh();
+        Ok((value, generation))
+    }
+
+    /// Close the session: fold its metrics and telemetry registry into
+    /// the database-wide registries.  Dropping a session does the same.
+    pub fn close(self) {}
+}
+
+impl Drop for Session {
+    fn drop(&mut self) {
+        if self.closed {
+            return;
+        }
+        self.closed = true;
+        self.db
+            .merge_session(&self.metrics, &self.telemetry.registry);
+        self.db
+            .shared
+            .sessions_closed
+            .fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn seed() -> Database {
+        let mut db = Database::new();
+        db.execute(
+            "define type Dept : (dname: char, budget: int4) \
+             create DS : {Dept} \
+             append to DS ((dname: \"cs\", budget: 100)) \
+             append to DS ((dname: \"ee\", budget: 200))",
+        )
+        .expect("seed program");
+        db
+    }
+
+    #[test]
+    fn snapshot_reads_survive_commits() {
+        let vdb = VersionedDb::new(seed());
+        let mut pinned = vdb.begin_session();
+        let before = pinned
+            .query("retrieve (DS.dname, DS.budget)")
+            .expect("query")
+            .rows;
+        assert_eq!(before, 2);
+        let (_, generation) = {
+            let mut writer = vdb.begin_session();
+            writer
+                .commit("append to DS ((dname: \"me\", budget: 300))")
+                .expect("commit")
+        };
+        assert_eq!(generation, 1);
+        // The pinned session still sees generation 0 …
+        assert_eq!(pinned.generation(), 0);
+        assert_eq!(
+            pinned
+                .query("retrieve (DS.dname, DS.budget)")
+                .expect("query")
+                .rows,
+            2
+        );
+        // … until it refreshes.
+        pinned.refresh();
+        assert_eq!(pinned.generation(), 1);
+        assert_eq!(
+            pinned
+                .query("retrieve (DS.dname, DS.budget)")
+                .expect("query")
+                .rows,
+            3
+        );
+        vdb.shutdown().expect("first shutdown returns the master");
+    }
+
+    #[test]
+    fn commits_are_atomic_per_request() {
+        let vdb = VersionedDb::new(seed());
+        let mut s = vdb.begin_session();
+        // Second statement fails (duplicate object): the first must not
+        // have been applied either.
+        let err = s
+            .commit("append to DS ((dname: \"me\", budget: 300)) create DS : {Dept}")
+            .expect_err("duplicate create must fail");
+        assert!(err.to_string().contains("already exists"), "{err}");
+        assert_eq!(vdb.generation(), 0);
+        s.refresh();
+        assert_eq!(
+            s.query("retrieve (DS.dname)").expect("query").rows,
+            2,
+            "failed request must leave no partial state"
+        );
+    }
+
+    #[test]
+    fn sessions_are_read_only() {
+        let vdb = VersionedDb::new(seed());
+        let mut s = vdb.begin_session();
+        for src in [
+            "append to DS ((dname: \"me\", budget: 300))",
+            "retrieve (DS.dname) into DSnames",
+            "create XS : {Dept}",
+        ] {
+            let err = s.query(src).expect_err("writes must be rejected");
+            assert!(err.to_string().contains("read-only"), "{src}: {err}");
+        }
+        // Rejected writes left nothing behind.
+        assert_eq!(s.query("retrieve (DS.dname)").expect("query").rows, 2);
+    }
+
+    #[test]
+    fn local_ranges_overlay_committed_ones() {
+        let vdb = VersionedDb::new(seed());
+        let mut a = vdb.begin_session();
+        let mut b = vdb.begin_session();
+        let out = a
+            .query("range of D is DS retrieve (D.dname) where D.budget > 150")
+            .expect("query with local range");
+        assert_eq!(out.rows, 1);
+        // The declaration is session-local: B doesn't see it.
+        let err = b.query("retrieve (D.dname)").expect_err("unknown range");
+        assert!(!err.to_string().contains("read-only"), "{err}");
+        // A committed declaration is visible to new sessions.
+        a.commit("range of E is DS").expect("commit range decl");
+        let mut c = vdb.begin_session();
+        assert_eq!(c.query("retrieve (E.dname)").expect("query").rows, 2);
+    }
+
+    #[test]
+    fn history_records_applied_batches() {
+        let vdb = VersionedDb::new(seed());
+        let mut s = vdb.begin_session();
+        s.commit("append to DS ((dname: \"me\", budget: 300))")
+            .expect("commit 1");
+        let _ = s.commit("create DS : {Dept}").expect_err("rejected");
+        s.commit("range of F is DS").expect("commit 2");
+        let history = vdb.history();
+        let all: Vec<&str> = history
+            .iter()
+            .flat_map(|b| b.statements.iter().map(String::as_str))
+            .collect();
+        assert_eq!(
+            all,
+            vec![
+                "append to DS ((dname: \"me\", budget: 300))",
+                "range of F is DS"
+            ],
+            "history holds exactly the applied requests"
+        );
+        assert!(history.iter().all(|b| b.generation >= 1));
+    }
+
+    #[test]
+    fn closing_sessions_merges_metrics_into_the_global_registry() {
+        let vdb = VersionedDb::new(seed());
+        let mut s = vdb.begin_session();
+        s.query("retrieve (DS.dname)").expect("query");
+        s.query("retrieve (DS.budget)").expect("query");
+        assert_eq!(vdb.global_metrics().queries, 0, "merge happens at close");
+        s.close();
+        let merged = vdb.global_metrics();
+        assert_eq!(merged.queries, 2);
+        assert_eq!(vdb.global_registry().counter("queries"), 2);
+        let stats = vdb.stats();
+        assert_eq!(stats.sessions_opened, 1);
+        assert_eq!(stats.sessions_closed, 1);
+    }
+
+    #[test]
+    fn shutdown_returns_the_master_and_later_commits_fail() {
+        let vdb = VersionedDb::new(seed());
+        vdb.commit("append to DS ((dname: \"me\", budget: 300))")
+            .expect("commit");
+        let master = vdb.shutdown().expect("master database");
+        assert_eq!(
+            master.catalog().value("DS").and_then(|v| match v {
+                Value::Set(s) => Some(s.len()),
+                _ => None,
+            }),
+            Some(3)
+        );
+        assert!(vdb.shutdown().is_none(), "second shutdown is a no-op");
+        let err = vdb.commit("range of G is DS").expect_err("shut down");
+        assert!(err.contains("shut down"), "{err}");
+        // Reads keep working against the last published generation.
+        let mut s = vdb.begin_session();
+        assert_eq!(s.query("retrieve (DS.dname)").expect("query").rows, 3);
+    }
+}

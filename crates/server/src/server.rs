@@ -1,0 +1,142 @@
+//! The TCP accept loop: one thread per connection, one snapshot
+//! [`Session`](excess_db::Session) per connection, graceful shutdown.
+
+use crate::protocol::respond;
+use excess_db::VersionedDb;
+use std::io::{self, BufRead, BufReader, BufWriter, Write};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+
+/// A running server: the bound address plus everything needed to stop
+/// it cleanly.
+pub struct ServerHandle {
+    addr: SocketAddr,
+    db: VersionedDb,
+    stop: Arc<AtomicBool>,
+    accept_thread: Option<JoinHandle<()>>,
+    conns: Arc<Mutex<Vec<TcpStream>>>,
+    workers: Arc<Mutex<Vec<JoinHandle<()>>>>,
+}
+
+impl ServerHandle {
+    /// The address the server actually bound (resolves port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The underlying versioned database (e.g. for in-process
+    /// verification next to socket traffic).
+    pub fn db(&self) -> &VersionedDb {
+        &self.db
+    }
+
+    /// Stop accepting, close every open connection, and join all server
+    /// threads.  Returns the [`VersionedDb`] so the caller can keep
+    /// using it — or shut its committer down too.
+    ///
+    /// Sessions close as their connection threads exit, so every
+    /// connection's metrics are merged into the database-wide registry
+    /// by the time this returns.
+    pub fn shutdown(mut self) -> VersionedDb {
+        self.stop.store(true, Ordering::SeqCst);
+        // Unblock `accept` by connecting to ourselves; the accept loop
+        // re-checks the stop flag before handling the connection.
+        let _ = TcpStream::connect(self.addr);
+        for conn in self.conns.lock().expect("conns lock").drain(..) {
+            let _ = conn.shutdown(Shutdown::Both);
+        }
+        if let Some(h) = self.accept_thread.take() {
+            let _ = h.join();
+        }
+        let workers: Vec<JoinHandle<()>> =
+            std::mem::take(&mut *self.workers.lock().expect("workers lock"));
+        for h in workers {
+            let _ = h.join();
+        }
+        self.db.clone()
+    }
+}
+
+/// Bind `addr` (use port 0 for an ephemeral port) and serve `db` until
+/// [`ServerHandle::shutdown`].
+pub fn serve<A: ToSocketAddrs>(db: VersionedDb, addr: A) -> io::Result<ServerHandle> {
+    let listener = TcpListener::bind(addr)?;
+    let addr = listener.local_addr()?;
+    let stop = Arc::new(AtomicBool::new(false));
+    let conns: Arc<Mutex<Vec<TcpStream>>> = Arc::new(Mutex::new(Vec::new()));
+    let workers: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
+    let accept_thread = {
+        let db = db.clone();
+        let stop = stop.clone();
+        let conns = conns.clone();
+        let workers = workers.clone();
+        std::thread::Builder::new()
+            .name("excess-accept".into())
+            .spawn(move || accept_loop(listener, db, stop, conns, workers))?
+    };
+    Ok(ServerHandle {
+        addr,
+        db,
+        stop,
+        accept_thread: Some(accept_thread),
+        conns,
+        workers,
+    })
+}
+
+fn accept_loop(
+    listener: TcpListener,
+    db: VersionedDb,
+    stop: Arc<AtomicBool>,
+    conns: Arc<Mutex<Vec<TcpStream>>>,
+    workers: Arc<Mutex<Vec<JoinHandle<()>>>>,
+) {
+    for stream in listener.incoming() {
+        if stop.load(Ordering::SeqCst) {
+            break;
+        }
+        let Ok(stream) = stream else { continue };
+        if let Ok(tracked) = stream.try_clone() {
+            conns.lock().expect("conns lock").push(tracked);
+        }
+        let db = db.clone();
+        let stop_conn = stop.clone();
+        let spawned = std::thread::Builder::new()
+            .name("excess-conn".into())
+            .spawn(move || {
+                let _ = handle_conn(stream, db, stop_conn);
+            });
+        if let Ok(handle) = spawned {
+            workers.lock().expect("workers lock").push(handle);
+        }
+    }
+}
+
+fn handle_conn(stream: TcpStream, db: VersionedDb, stop: Arc<AtomicBool>) -> io::Result<()> {
+    // The protocol is strict request/response; Nagle only adds latency.
+    stream.set_nodelay(true)?;
+    let reader = BufReader::new(stream.try_clone()?);
+    let mut writer = BufWriter::new(stream);
+    // One connection = one snapshot session; dropping it at the end of
+    // this function merges its metrics into the database-wide registry.
+    let mut session = db.begin_session();
+    for line in reader.lines() {
+        if stop.load(Ordering::SeqCst) {
+            break;
+        }
+        let line = line?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let response = respond(&db, &mut session, &line);
+        writer.write_all(response.line.as_bytes())?;
+        writer.write_all(b"\n")?;
+        writer.flush()?;
+        if response.close {
+            break;
+        }
+    }
+    Ok(())
+}

@@ -147,6 +147,22 @@ impl Histogram {
         self.max
     }
 
+    /// Fold another histogram into this one: bucket-wise count addition,
+    /// exact sum/min/max combination.  Because both sides bucket by the
+    /// same bounds, the merged quantiles are exactly what a single
+    /// histogram fed both observation streams would answer — the property
+    /// the per-session telemetry relies on when sessions merge into the
+    /// server-wide registry on close.
+    pub fn merge(&mut self, other: &Histogram) {
+        for (mine, theirs) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *mine += theirs;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
     /// `{"count":…,"sum":…,"mean":…,"min":…,"max":…,"p50":…,"p95":…,
     /// "p99":…,"buckets":[{"le":…,"count":…},…]}` — non-empty buckets
     /// only, in bound order.
@@ -241,6 +257,44 @@ mod tests {
         assert_eq!(h.quantile(0.0), 42);
         assert_eq!(h.quantile(0.5), 42);
         assert_eq!(h.quantile(1.0), 42);
+    }
+
+    #[test]
+    fn merge_is_equivalent_to_one_stream() {
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        let mut one = Histogram::new();
+        for v in [0u64, 1, 7, 8, 100, 5000] {
+            a.observe(v);
+            one.observe(v);
+        }
+        for v in [3u64, 900, 65_536] {
+            b.observe(v);
+            one.observe(v);
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), one.count());
+        assert_eq!(a.sum(), one.sum());
+        assert_eq!(a.min(), one.min());
+        assert_eq!(a.max(), one.max());
+        assert_eq!(a.buckets(), one.buckets());
+        for q in [0.5, 0.95, 0.99] {
+            assert_eq!(a.quantile(q), one.quantile(q));
+        }
+    }
+
+    #[test]
+    fn merge_with_empty_is_identity() {
+        let mut a = Histogram::new();
+        a.observe(42);
+        let before = a.clone();
+        a.merge(&Histogram::new());
+        assert_eq!(a.count(), before.count());
+        assert_eq!(a.min(), before.min());
+        let mut empty = Histogram::new();
+        empty.merge(&before);
+        assert_eq!(empty.count(), 1);
+        assert_eq!(empty.min(), Some(42));
     }
 
     #[test]

@@ -49,7 +49,10 @@ pub mod span;
 
 pub use feedback::{q_error, FeedbackEntry, FeedbackLog};
 pub use histogram::{bucket_bound, Histogram, BUCKETS};
-pub use recorder::{FlightRecorder, QueryRecord, DEFAULT_CAPACITY, DEFAULT_SLOW_THRESHOLD_US};
+pub use recorder::{
+    FlightRecorder, QueryRecord, RecorderSettings, DEFAULT_CAPACITY, DEFAULT_SLOW_THRESHOLD_US,
+    RECORDER_CAP_ENV, SLOW_MS_ENV,
+};
 pub use registry::Registry;
 pub use span::{QueryTrace, Span};
 

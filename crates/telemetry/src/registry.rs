@@ -74,6 +74,23 @@ impl Registry {
         self.histograms.iter().map(|(k, v)| (k.as_str(), v))
     }
 
+    /// Fold another registry into this one: counters add, histograms
+    /// merge bucket-wise ([`Histogram::merge`]), gauges take the other
+    /// side's value (last-write semantics, matching
+    /// [`Registry::set_gauge`]).  This is how per-session registries
+    /// collapse into the server-wide registry when a session closes.
+    pub fn merge(&mut self, other: &Registry) {
+        for (name, v) in &other.counters {
+            *self.counters.entry(name.clone()).or_insert(0) += v;
+        }
+        for (name, v) in &other.gauges {
+            self.gauges.insert(name.clone(), *v);
+        }
+        for (name, h) in &other.histograms {
+            self.histograms.entry(name.clone()).or_default().merge(h);
+        }
+    }
+
     /// Zero everything.
     pub fn reset(&mut self) {
         *self = Self::default();
@@ -151,6 +168,26 @@ mod tests {
         assert!(v.get("gauges").unwrap().get("threads").is_some());
         let h = v.get("histograms").unwrap().get("query_us").unwrap();
         assert_eq!(h.get("count").unwrap().as_f64(), Some(1.0));
+    }
+
+    #[test]
+    fn merge_adds_counters_and_histograms_and_overwrites_gauges() {
+        let mut a = Registry::new();
+        a.inc("queries");
+        a.set_gauge("threads", 1.0);
+        a.observe("query_us", 10);
+        let mut b = Registry::new();
+        b.add("queries", 2);
+        b.inc("commits");
+        b.set_gauge("threads", 4.0);
+        b.observe("query_us", 20);
+        b.observe("commit_us", 5);
+        a.merge(&b);
+        assert_eq!(a.counter("queries"), 3);
+        assert_eq!(a.counter("commits"), 1);
+        assert_eq!(a.gauge("threads"), Some(4.0));
+        assert_eq!(a.histogram("query_us").unwrap().count(), 2);
+        assert_eq!(a.histogram("commit_us").unwrap().count(), 1);
     }
 
     #[test]

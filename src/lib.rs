@@ -13,7 +13,10 @@
 //! * [`exec`] — the partition-parallel execution engine;
 //! * [`telemetry`] — cross-query telemetry: metric registry, latency
 //!   histograms, query spans, flight recorder, misestimation feedback;
-//! * [`db`] — the end-to-end [`db::Database`] engine;
+//! * [`db`] — the end-to-end [`db::Database`] engine, plus the session
+//!   layer: snapshot-isolated [`db::Session`]s over a [`db::VersionedDb`]
+//!   with a single committer thread;
+//! * [`server`] — a line-delimited TCP query server over those sessions;
 //! * [`workload`] — the Figure 1 university-database generator used by the
 //!   examples and benchmarks.
 //!
@@ -37,6 +40,7 @@ pub use excess_db as db;
 pub use excess_exec as exec;
 pub use excess_lang as lang;
 pub use excess_optimizer as optimizer;
+pub use excess_server as server;
 pub use excess_telemetry as telemetry;
 pub use excess_types as types;
 pub use excess_workload as workload;
