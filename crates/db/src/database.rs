@@ -4,7 +4,7 @@
 use crate::catalog::DbCatalog;
 use crate::error::{DbError, DbResult};
 use crate::metrics::SessionMetrics;
-use crate::stats::collect_statistics;
+use crate::stats::{collect_object_statistics, collect_statistics};
 use excess_core::counters::Counters;
 use excess_core::eval::{evaluate, EvalCtx};
 use excess_core::expr::Expr;
@@ -19,8 +19,8 @@ use excess_lang::translate::{resolve_this, translate_retrieve, TranslateCtx};
 use excess_lang::{parse_program, LangError};
 use excess_optimizer::{
     annotate_columnar, apply_extent_indexes, apply_extent_indexes_journaled, cost_of,
-    elide_proven_guards, estimate_physical, lower, lower_journaled, JournalStep, Optimizer,
-    RewriteJournal, RuleCtx, Statistics, COLUMNAR_RULE,
+    elide_proven_guards, estimate_physical, lower, lower_journaled, JournalStep, MemoSnapshot,
+    Optimizer, OptimizerMode, RewriteJournal, RuleCtx, Statistics, COLUMNAR_RULE, REOPTIMIZE_RULE,
 };
 use excess_telemetry::{fnv1a64, QueryRecord, QueryTrace, Span, Telemetry};
 use excess_types::{ObjectStore, SchemaType, TypeId, TypeRegistry, Value};
@@ -43,6 +43,71 @@ fn value_rows(v: &Value) -> u64 {
 /// hashes identically across runs and sessions.
 fn plan_hash_of(plan: &PhysicalPlan) -> u64 {
     fnv1a64(format!("{plan:?}").as_bytes())
+}
+
+/// The extent a plan node reads: walk the logical tree to the node at
+/// `path` (profiler child indexing) and take the leftmost named object
+/// under it, if any — how feedback observations get attributed to a
+/// concrete [`Statistics`] entry.
+pub(crate) fn extent_at(plan: &Expr, path: &[usize]) -> Option<String> {
+    fn first_named(e: &Expr) -> Option<String> {
+        if let Expr::Named(n) = e {
+            return Some(n.clone());
+        }
+        e.children().into_iter().find_map(first_named)
+    }
+    let mut node = plan;
+    for &i in path {
+        node = *node.children().get(i)?;
+    }
+    first_named(node)
+}
+
+/// One feedback-driven re-optimization: what triggered it, which
+/// statistics were corrected from the observed cardinalities, and how the
+/// re-derived plan compares to the one it replaces.
+#[derive(Debug, Clone)]
+pub struct ReoptReport {
+    /// Label of the query whose plan was re-derived.
+    pub label: String,
+    /// The worst recorded q-error that triggered the re-optimization.
+    pub trigger_q_error: f64,
+    /// The threshold it crossed.
+    pub threshold: f64,
+    /// `(extent, rows_before, rows_after)` for every corrected object.
+    pub corrected: Vec<(String, f64, f64)>,
+    /// Estimated cost of the old plan under the corrected statistics.
+    pub cost_before: f64,
+    /// Estimated cost of the re-derived plan (corrected statistics).
+    pub cost_after: f64,
+    /// Physical plan hash before the re-lower.
+    pub plan_hash_before: u64,
+    /// Physical plan hash after the re-lower.
+    pub plan_hash_after: u64,
+    /// The re-derived logical plan.
+    pub plan: Expr,
+}
+
+impl ReoptReport {
+    /// Human-readable block, as `explain_analyze` and the REPL print it.
+    pub fn render(&self) -> String {
+        use std::fmt::Write;
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "re-optimization: q-error {:.1} > threshold {:.1}",
+            self.trigger_q_error, self.threshold
+        );
+        for (name, before, after) in &self.corrected {
+            let _ = writeln!(out, "  corrected {name}: rows {before:.0} -> {after:.0}");
+        }
+        let _ = writeln!(
+            out,
+            "  cost {:.0} -> {:.0}; plan hash {:016x} -> {:016x}",
+            self.cost_before, self.cost_after, self.plan_hash_before, self.plan_hash_after
+        );
+        out
+    }
 }
 
 /// Turn a profile's preorder node list into nested operator spans.
@@ -192,6 +257,21 @@ pub struct Database {
     /// through the partition-parallel engine whenever `workers > 1`
     /// (default: from `EXCESS_THREADS`, serial when unset).
     exec: ExecConfig,
+    /// Plan-search strategy (default: from `EXCESS_OPTIMIZER` — memoized
+    /// group search unless `greedy` is requested for the legacy pass).
+    optimizer_mode: OptimizerMode,
+    /// q-error threshold above which a feedback observation for the
+    /// current plan triggers a re-optimization (stats corrected from the
+    /// observed cardinalities, plan re-optimized and re-lowered, the step
+    /// journaled under `reoptimize`).
+    pub reopt_threshold: f64,
+    /// Memo picture of the last journaled optimization (memo mode only).
+    last_memo: Option<MemoSnapshot>,
+    /// Label, optimized logical plan, and physical plan hash of the last
+    /// pipeline query — what `.reoptimize` forces a re-lower of.
+    last_plan: Option<(String, Expr, u64)>,
+    /// The last feedback-driven re-optimization, if any.
+    last_reopt: Option<ReoptReport>,
     last_counters: Counters,
     last_exec_report: Option<ExecReport>,
     metrics: SessionMetrics,
@@ -212,6 +292,7 @@ impl Database {
     /// An empty database.
     pub fn new() -> Self {
         let (exec, warning) = ExecConfig::from_env_checked();
+        let (optimizer_mode, mode_warning) = OptimizerMode::from_env();
         let mut db = Database {
             registry: TypeRegistry::new(),
             store: ObjectStore::new(),
@@ -224,6 +305,11 @@ impl Database {
             property_rewrites: false,
             columnar: false,
             exec,
+            optimizer_mode,
+            reopt_threshold: 32.0,
+            last_memo: None,
+            last_plan: None,
+            last_reopt: None,
             last_counters: Counters::new(),
             last_exec_report: None,
             metrics: SessionMetrics::new(),
@@ -231,6 +317,9 @@ impl Database {
             pending_parse: None,
         };
         if let Some(w) = warning {
+            db.warn(w);
+        }
+        if let Some(w) = mode_warning {
             db.warn(w);
         }
         // Flight-recorder tuning rides the same pure-parse-then-warn path
@@ -281,6 +370,28 @@ impl Database {
     /// Current statistics.
     pub fn statistics(&self) -> &Statistics {
         &self.stats
+    }
+    /// Mutable statistics — lets experiments install deliberately stale
+    /// estimates to exercise the feedback-driven re-optimization path.
+    pub fn statistics_mut(&mut self) -> &mut Statistics {
+        &mut self.stats
+    }
+    /// The active plan-search strategy.
+    pub fn optimizer_mode(&self) -> OptimizerMode {
+        self.optimizer_mode
+    }
+    /// Switch between memoized search and the legacy greedy pass.
+    pub fn set_optimizer_mode(&mut self, mode: OptimizerMode) {
+        self.optimizer_mode = mode;
+    }
+    /// Memo picture of the last journaled optimization (None in greedy
+    /// mode or before the first optimized query).
+    pub fn last_memo(&self) -> Option<&MemoSnapshot> {
+        self.last_memo.as_ref()
+    }
+    /// The last feedback-driven re-optimization, if one has fired.
+    pub fn last_reoptimization(&self) -> Option<&ReoptReport> {
+        self.last_reopt.as_ref()
     }
     /// Work counters of the most recent evaluation.
     pub fn last_counters(&self) -> Counters {
@@ -547,48 +658,174 @@ impl Database {
         }
     }
 
-    /// Greedy rule-based optimization plus extent-index rewriting.
+    /// Rule-based optimization plus extent-index rewriting, dispatched on
+    /// the session's [`OptimizerMode`].
     ///
-    /// The greedy pass runs on both the plan as given and its desugared
-    /// form (derived σ/join nodes expanded to SET_APPLY∘COMP), because
-    /// several fusion rules — rule 15 in particular — only match the
-    /// primitive shapes; the cheaper result wins.
+    /// In memo mode (the default) the plan is interned into the memo and
+    /// explored as group transformations; the memo seeds itself with the
+    /// greedy trajectory, so its result never costs more than greedy's.
+    /// In greedy mode the legacy pass runs on both the plan as given and
+    /// its desugared form (derived σ/join nodes expanded to
+    /// SET_APPLY∘COMP), because several fusion rules — rule 15 in
+    /// particular — only match the primitive shapes; the cheaper result
+    /// wins.
     pub fn optimize_plan(&self, plan: &Expr) -> Expr {
         let ctx = RuleCtx {
             registry: &self.registry,
             schemas: &self.catalog,
         };
         let opt = Optimizer::standard();
-        let a = opt.optimize_greedy(plan, &ctx, &self.stats);
-        let b = opt.optimize_greedy(&plan.desugar(), &ctx, &self.stats);
-        let best = if b.cost < a.cost { b.plan } else { a.plan };
+        let best = match self.optimizer_mode {
+            OptimizerMode::Memo => opt.optimize_memo(plan, &ctx, &self.stats).plan,
+            OptimizerMode::Greedy => {
+                let a = opt.optimize_greedy(plan, &ctx, &self.stats);
+                let b = opt.optimize_greedy(&plan.desugar(), &ctx, &self.stats);
+                if b.cost < a.cost {
+                    b.plan
+                } else {
+                    a.plan
+                }
+            }
+        };
         apply_extent_indexes(&best, &self.stats)
     }
 
-    /// [`Database::optimize_plan`] with a rewrite journal: the same dual
-    /// greedy pass (plan as given and desugared, cheaper wins), but every
-    /// accepted rule firing is recorded — rule name, node path, cost
-    /// before/after — along with the plans-enumerated tally and any
-    /// rewrites the soundness gate refused.  The final extent-index
-    /// substitution phase is journaled (and gated) too, under the rule
-    /// name `extent-index-substitution`.  The run is also folded into the
-    /// session [`SessionMetrics`].
+    /// [`Database::optimize_plan`] with a rewrite journal: the same
+    /// mode-dispatched search, but every accepted rule firing is recorded
+    /// — rule name, node path (memo steps carry the group id as their
+    /// path), cost before/after — along with the plans-enumerated tally
+    /// and any rewrites the soundness gate refused.  In memo mode the
+    /// memo's group picture is retained for [`Database::last_memo`].  The
+    /// final extent-index substitution phase is journaled (and gated)
+    /// too, under the rule name `extent-index-substitution`.  The run is
+    /// also folded into the session [`SessionMetrics`].
     pub fn optimize_plan_journaled(&mut self, plan: &Expr) -> (Expr, RewriteJournal) {
         let ctx = RuleCtx {
             registry: &self.registry,
             schemas: &self.catalog,
         };
         let opt = Optimizer::standard();
-        let (a, ja) = opt.optimize_greedy_journaled(plan, &ctx, &self.stats);
-        let (b, jb) = opt.optimize_greedy_journaled(&plan.desugar(), &ctx, &self.stats);
-        let (best, mut journal) = if b.cost < a.cost {
-            (b.plan, jb)
-        } else {
-            (a.plan, ja)
+        let (best, mut journal) = match self.optimizer_mode {
+            OptimizerMode::Memo => {
+                let (best, run) = opt.optimize_memo_journaled(plan, &ctx, &self.stats);
+                self.last_memo = Some(run.snapshot);
+                (best.plan, run.journal)
+            }
+            OptimizerMode::Greedy => {
+                let (a, ja) = opt.optimize_greedy_journaled(plan, &ctx, &self.stats);
+                let (b, jb) = opt.optimize_greedy_journaled(&plan.desugar(), &ctx, &self.stats);
+                if b.cost < a.cost {
+                    (b.plan, jb)
+                } else {
+                    (a.plan, ja)
+                }
+            }
         };
         let best = apply_extent_indexes_journaled(&best, &self.stats, &ctx, &mut journal);
         self.metrics.record_journal(&journal);
         (best, journal)
+    }
+
+    /// Force a feedback-driven re-optimization of the most recent
+    /// pipeline query: any recorded misestimation for its plan (q-error
+    /// above 1) triggers the corrections.  What the `.reoptimize`
+    /// dot-command runs.  Returns `None` when no plan has run, nothing
+    /// was observed for it, or the database has never been analyzed.
+    pub fn reoptimize_last(&mut self) -> Option<ReoptReport> {
+        self.reoptimize_threshold(1.0)
+    }
+
+    /// Re-optimize the most recent pipeline query when its worst recorded
+    /// q-error exceeds `threshold`: fold the offending observations back
+    /// into the statistics (scan-shaped nodes snap the extent's row count
+    /// to the observed cardinality via
+    /// [`Statistics::observe_extent_rows`]; other nodes re-collect the
+    /// extent from the stored data), re-run the mode-dispatched search
+    /// and the lowering, and journal the whole re-derivation as one
+    /// `reoptimize` step.  The automatic trigger — after every traced or
+    /// `explain_analyze` query — uses [`Database::reopt_threshold`].
+    fn reoptimize_threshold(&mut self, threshold: f64) -> Option<ReoptReport> {
+        // Only in the analyzed regime: before the first `analyze` the
+        // statistics are shape defaults, and "correcting" them would
+        // churn plans mid-session without any collected baseline.
+        if self.stats.objects.is_empty() {
+            return None;
+        }
+        let (label, plan, plan_hash) = self.last_plan.clone()?;
+        let mut trigger = 1.0f64;
+        let mut fixes: Vec<(String, bool, f64)> = Vec::new();
+        for e in self.telemetry.feedback.entries() {
+            if e.plan_hash != plan_hash || e.max_q_error <= threshold {
+                continue;
+            }
+            trigger = trigger.max(e.max_q_error);
+            let Some(extent) = &e.extent else { continue };
+            if fixes.iter().any(|(n, _, _)| n == extent) {
+                continue;
+            }
+            fixes.push((extent.clone(), e.op.contains("Scan"), e.mean_actual()));
+        }
+        if fixes.is_empty() {
+            return None;
+        }
+        let mut corrected = Vec::new();
+        for (extent, is_scan, actual) in fixes {
+            let before = self.stats.object(&extent).rows;
+            if is_scan {
+                self.stats.observe_extent_rows(&extent, actual);
+            } else {
+                collect_object_statistics(&self.catalog, &self.store, &extent, &mut self.stats);
+            }
+            let after = self.stats.object(&extent).rows;
+            corrected.push((extent, before, after));
+        }
+        let cost_before = cost_of(&plan, &self.stats);
+        let (new_plan, _inner) = self.optimize_plan_journaled(&plan);
+        let (physical, _) = self.lower_plan_journaled(&new_plan);
+        let cost_after = cost_of(&new_plan, &self.stats);
+        let new_hash = plan_hash_of(&physical);
+        // One `reoptimize` journal step for the re-derivation itself (the
+        // inner optimize and lower recorded their own journals above).
+        let journal = RewriteJournal {
+            steps: vec![JournalStep {
+                rule: REOPTIMIZE_RULE,
+                path: Vec::new(),
+                cost_before,
+                cost_after,
+                plan: new_plan.clone(),
+            }],
+            refused: Vec::new(),
+            plans_enumerated: 1,
+            max_plans: 0,
+            initial_cost: cost_before,
+            final_cost: cost_after,
+        };
+        self.metrics.record_journal(&journal);
+        self.telemetry.registry.inc("reoptimize.triggered");
+        self.telemetry.recorder.record(QueryRecord {
+            query: format!("reoptimize({label})"),
+            plan_hash: new_hash,
+            engine: "reoptimize".to_string(),
+            rows: 0,
+            phase_us: Vec::new(),
+            kernels: Vec::new(),
+            est_rows: None,
+            actual_rows: None,
+        });
+        self.last_plan = Some((label.clone(), new_plan.clone(), new_hash));
+        let report = ReoptReport {
+            label,
+            trigger_q_error: trigger,
+            threshold,
+            corrected,
+            cost_before,
+            cost_after,
+            plan_hash_before: plan_hash,
+            plan_hash_after: new_hash,
+            plan: new_plan,
+        };
+        self.last_reopt = Some(report.clone());
+        Some(report)
     }
 
     /// Derive per-node plan properties (duplicate-freeness, candidate
@@ -926,6 +1163,7 @@ impl Database {
             phase_spans.push(s);
         }
         let plan_hash = plan_hash_of(&physical);
+        self.last_plan = Some((label.to_string(), plan.clone(), plan_hash));
 
         // Execute: profiled when spans are on (the profile becomes the
         // operator span subtree and feeds the misestimation log).
@@ -1000,6 +1238,7 @@ impl Database {
                         plan_hash,
                         &excess_core::profile::path_string(path),
                         &choice.op.to_string(),
+                        extent_at(&plan, path).as_deref(),
                         est,
                         node.rows_out as f64,
                     );
@@ -1039,6 +1278,10 @@ impl Database {
                 plan_hash,
                 root,
             });
+            // With fresh observations in hand, re-derive the plan when
+            // its recorded q-error crossed the session threshold.
+            let threshold = self.reopt_threshold;
+            let _ = self.reoptimize_threshold(threshold);
         }
 
         Ok(value)
@@ -1348,6 +1591,7 @@ impl Database {
         // Every analyze feeds the misestimation log: per lowered node with
         // an estimate and a measured profile entry, est vs actual rows.
         let plan_hash = plan_hash_of(&physical);
+        self.last_plan = Some(("explain_analyze".to_string(), plan.clone(), plan_hash));
         for (path, choice) in &physical.choices {
             let (Some(est), Some(node)) = (choice.est_rows, profile.node(path)) else {
                 continue;
@@ -1356,6 +1600,7 @@ impl Database {
                 plan_hash,
                 &excess_core::profile::path_string(path),
                 &choice.op.to_string(),
+                extent_at(plan, path).as_deref(),
                 est,
                 node.rows_out as f64,
             );
@@ -1374,6 +1619,13 @@ impl Database {
             out.push_str(&crate::explain::render_parallel_execution(&report));
         }
         out.push_str(&render_diagnostics(&self.verify_plan(plan)));
+        // Close the loop: a q-error past the session threshold re-derives
+        // the plan right here, and the correction becomes part of the
+        // explain output.
+        let threshold = self.reopt_threshold;
+        if let Some(reopt) = self.reoptimize_threshold(threshold) {
+            out.push_str(&reopt.render());
+        }
         Ok(out)
     }
 
@@ -1437,6 +1689,31 @@ impl Database {
                 SchemaType::set(elem_schema),
                 Value::Set(extent),
             );
+        }
+        self.refresh_stats_for(object);
+    }
+
+    /// Incrementally refresh the statistics for one object (and its
+    /// materialised per-type extents) after a mutation — the per-object
+    /// alternative to a full [`Database::collect_stats`] sweep, active
+    /// only once the database has been analyzed (before that the
+    /// statistics are shape defaults and there is no baseline to keep
+    /// current).
+    pub fn refresh_stats_for(&mut self, object: &str) {
+        if self.stats.objects.is_empty() {
+            return;
+        }
+        let derived_prefix = format!("{object}::exact::");
+        let mut names = vec![object.to_string()];
+        names.extend(
+            self.stats
+                .objects
+                .keys()
+                .filter(|n| n.starts_with(&derived_prefix))
+                .cloned(),
+        );
+        for name in names {
+            collect_object_statistics(&self.catalog, &self.store, &name, &mut self.stats);
         }
     }
 

@@ -53,7 +53,7 @@
 //! store, leaving the shared generation untouched.
 
 use crate::catalog::DbCatalog;
-use crate::database::Database;
+use crate::database::{extent_at, Database};
 use crate::error::{DbError, DbResult};
 use crate::metrics::SessionMetrics;
 use excess_core::eval::EvalCtx;
@@ -64,12 +64,12 @@ use excess_lang::methods::MethodRegistry;
 use excess_lang::parse_program;
 use excess_lang::translate::{translate_retrieve, TranslateCtx};
 use excess_optimizer::{
-    apply_extent_indexes_journaled, cost_of, lower_journaled, Optimizer, RewriteJournal, RuleCtx,
-    Statistics,
+    apply_extent_indexes_journaled, cost_of, lower_journaled, MemoSnapshot, Optimizer,
+    OptimizerMode, RewriteJournal, RuleCtx, Statistics,
 };
 use excess_telemetry::{fnv1a64, QueryRecord, RecorderSettings, Registry, Telemetry};
 use excess_types::{ObjectStore, TypeRegistry, Value};
-use std::collections::HashMap;
+use std::collections::{BTreeSet, HashMap};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::mpsc::{Receiver, Sender};
 use std::sync::{mpsc, Arc, Mutex, RwLock, Weak};
@@ -128,6 +128,10 @@ pub struct CommitBatch {
     pub generation: u64,
     /// Applied request sources, in application order.
     pub statements: Vec<String>,
+    /// How the committer handled statistics for this batch:
+    /// `"skipped: no extent data touched"`, `"incremental: a, b"`, or
+    /// `"full (…)"` — the journaled record of the dirty-set decision.
+    pub stats: String,
 }
 
 /// Counters describing a [`VersionedDb`]'s lifetime so far.
@@ -143,6 +147,13 @@ pub struct ServerStats {
     pub commit_requests: u64,
     /// Commit batches applied (each publishes at most one generation).
     pub commit_batches: u64,
+    /// Batches that re-collected statistics with a full sweep.
+    pub stats_full: u64,
+    /// Batches whose statistics refresh was per-extent (dirty set known).
+    pub stats_incremental: u64,
+    /// Batches that skipped the statistics refresh entirely (no extent
+    /// data touched).
+    pub stats_skipped: u64,
 }
 
 struct CommitRequest {
@@ -156,12 +167,18 @@ struct CommitReply {
 }
 
 /// Which generation components a batch of statements touched.
-#[derive(Debug, Clone, Copy, Default)]
+#[derive(Debug, Clone, Default)]
 struct Dirty {
     registry: bool,
     data: bool,
     ranges: bool,
     methods: bool,
+    /// Named objects the batch's data statements targeted — the dirty
+    /// set that licenses an incremental statistics refresh.
+    touched: BTreeSet<String>,
+    /// A statement could have touched *anything* (procedure call): the
+    /// dirty set is not trustworthy and only a full sweep is safe.
+    data_unknown: bool,
 }
 
 impl Dirty {
@@ -185,15 +202,23 @@ fn classify(stmt: &Stmt, d: &mut Dirty) {
             d.data = true;
             d.ranges = true;
             d.methods = true;
+            d.data_unknown = true;
         }
-        Stmt::Create { .. }
-        | Stmt::Append { .. }
-        | Stmt::Delete { .. }
-        | Stmt::Replace { .. }
-        | Stmt::AssignIndex { .. } => d.data = true,
+        Stmt::Create { name, .. } => {
+            d.data = true;
+            d.touched.insert(name.clone());
+        }
+        Stmt::Append { target, .. }
+        | Stmt::Delete { target, .. }
+        | Stmt::Replace { target, .. }
+        | Stmt::AssignIndex { target, .. } => {
+            d.data = true;
+            d.touched.insert(target.clone());
+        }
         Stmt::Retrieve(r) => {
-            if r.into.is_some() {
+            if let Some(into) = &r.into {
                 d.data = true;
+                d.touched.insert(into.clone());
             }
         }
     }
@@ -210,6 +235,9 @@ struct SharedState {
     sessions_closed: AtomicU64,
     commit_requests: AtomicU64,
     commit_batches: AtomicU64,
+    stats_full: AtomicU64,
+    stats_incremental: AtomicU64,
+    stats_skipped: AtomicU64,
 }
 
 /// The shared, clonable handle to a versioned database: snapshot reads
@@ -242,6 +270,9 @@ impl VersionedDb {
             sessions_closed: AtomicU64::new(0),
             commit_requests: AtomicU64::new(0),
             commit_batches: AtomicU64::new(0),
+            stats_full: AtomicU64::new(0),
+            stats_incremental: AtomicU64::new(0),
+            stats_skipped: AtomicU64::new(0),
         });
         // The committer holds only a weak reference: when every handle
         // and session is gone the channel sender inside `SharedState`
@@ -273,16 +304,26 @@ impl VersionedDb {
         let scratch = (*snapshot.store).clone();
         let mut telemetry = Telemetry::new();
         telemetry.recorder = RecorderSettings::from_env().build();
-        Session {
+        let (optimizer_mode, mode_warning) = OptimizerMode::from_env();
+        let mut session = Session {
             db: self.clone(),
             snapshot,
             scratch,
             local_ranges: HashMap::new(),
             optimize: true,
+            optimizer_mode,
+            stats_overlay: None,
+            last_memo: None,
+            last_plan: None,
             metrics: SessionMetrics::new(),
             telemetry,
             closed: false,
+        };
+        if let Some(w) = mode_warning {
+            session.telemetry.registry.inc("config.warnings");
+            session.metrics.record_warning(w);
         }
+        session
     }
 
     /// Send one program to the committer and wait for it to be applied
@@ -356,6 +397,9 @@ impl VersionedDb {
             sessions_closed: self.shared.sessions_closed.load(Ordering::Relaxed),
             commit_requests: self.shared.commit_requests.load(Ordering::Relaxed),
             commit_batches: self.shared.commit_batches.load(Ordering::Relaxed),
+            stats_full: self.shared.stats_full.load(Ordering::Relaxed),
+            stats_incremental: self.shared.stats_incremental.load(Ordering::Relaxed),
+            stats_skipped: self.shared.stats_skipped.load(Ordering::Relaxed),
         }
     }
 
@@ -441,6 +485,7 @@ fn publish(db: &mut Database, shared: &SharedState, dirty: Dirty, applied: Vec<S
         // Nothing snapshot-visible changed (e.g. only procedure
         // definitions), but the statements still belong to the replay
         // history at the unchanged generation.
+        shared.stats_skipped.fetch_add(1, Ordering::Relaxed);
         shared
             .history
             .lock()
@@ -448,19 +493,45 @@ fn publish(db: &mut Database, shared: &SharedState, dirty: Dirty, applied: Vec<S
             .push(CommitBatch {
                 generation: prev.number,
                 statements: applied,
+                stats: "skipped: no extent data touched".to_string(),
             });
         return prev.number;
     }
-    if dirty.data {
-        // Fresh cardinalities for the next generation's planners, and
-        // re-warmed columnar chunks for every extent the previous
+    let stats_note = if dirty.data {
+        // Fresh cardinalities for the next generation's planners.  The
+        // dirty set decides how much work that is: a batch whose data
+        // statements name their targets refreshes exactly those extents;
+        // a procedure call (targets unknown) — or a master that has never
+        // collected anything — falls back to the full sweep.
+        let note = if dirty.data_unknown || db.statistics().objects.is_empty() {
+            db.collect_stats();
+            shared.stats_full.fetch_add(1, Ordering::Relaxed);
+            if dirty.data_unknown {
+                "full (procedure call)".to_string()
+            } else {
+                "full (first collection)".to_string()
+            }
+        } else {
+            let names: Vec<String> = dirty.touched.iter().cloned().collect();
+            for name in &names {
+                db.refresh_stats_for(name);
+            }
+            shared.stats_incremental.fetch_add(1, Ordering::Relaxed);
+            format!("incremental: {}", names.join(", "))
+        };
+        // Re-warmed columnar chunks for every extent the previous
         // generation had encoded (writes invalidated theirs).
-        db.collect_stats();
         let chunked: Vec<String> = prev.catalog.chunked_names().map(str::to_string).collect();
         for name in chunked {
             db.ensure_chunks_for(&Expr::named(&name));
         }
-    }
+        note
+    } else {
+        // Registry/range/method batches republish without touching data:
+        // the statistics stand as collected.
+        shared.stats_skipped.fetch_add(1, Ordering::Relaxed);
+        "skipped: no extent data touched".to_string()
+    };
     let next = Arc::new(Generation {
         number: prev.number + 1,
         registry: if dirty.registry {
@@ -501,6 +572,7 @@ fn publish(db: &mut Database, shared: &SharedState, dirty: Dirty, applied: Vec<S
         .push(CommitBatch {
             generation: next.number,
             statements: applied,
+            stats: stats_note,
         });
     *shared.current.write().expect("generation lock") = next.clone();
     next.number
@@ -537,6 +609,18 @@ pub struct Session {
     /// Run the rule-based optimizer on every query (default: on,
     /// matching [`Database`]).
     pub optimize: bool,
+    /// Plan-search strategy, mirroring [`Database`]'s `EXCESS_OPTIMIZER`
+    /// dispatch (memo by default, greedy behind the flag).
+    pub optimizer_mode: OptimizerMode,
+    /// Session-local corrected statistics: set by
+    /// [`Session::reoptimize_last`], used in place of the pinned
+    /// generation's statistics until the next [`Session::refresh`] —
+    /// snapshot isolation for the feedback loop.
+    stats_overlay: Option<Arc<Statistics>>,
+    /// Memo picture of the last memo-mode optimization in this session.
+    last_memo: Option<MemoSnapshot>,
+    /// Label, optimized logical plan, and plan hash of the last query.
+    last_plan: Option<(String, Expr, u64)>,
     metrics: SessionMetrics,
     telemetry: Telemetry,
     closed: bool,
@@ -577,6 +661,86 @@ impl Session {
     pub fn refresh(&mut self) {
         self.snapshot = self.db.current();
         self.scratch = (*self.snapshot.store).clone();
+        // The new generation's statistics supersede any feedback-derived
+        // corrections made against the old one.
+        self.stats_overlay = None;
+    }
+
+    /// Memo picture of this session's last memo-mode optimization.
+    pub fn last_memo(&self) -> Option<&MemoSnapshot> {
+        self.last_memo.as_ref()
+    }
+
+    /// The statistics queries in this session currently plan against:
+    /// the pinned generation's, unless a re-optimization installed a
+    /// corrected overlay.
+    pub fn effective_stats(&self) -> Arc<Statistics> {
+        self.stats_overlay
+            .clone()
+            .unwrap_or_else(|| self.snapshot.stats.clone())
+    }
+
+    /// Force a feedback-driven re-optimization of this session's last
+    /// query: fold its recorded misestimations into a session-local copy
+    /// of the statistics (rows snap to the observed cardinalities,
+    /// distinct counts and NDVs rescale proportionally), re-run the
+    /// mode-dispatched search under the corrected copy, and return a
+    /// human-readable report.  `None` when no query has run or nothing
+    /// was observed for its plan.  The correction lives in this session
+    /// only — the shared generation is immutable — and clears on
+    /// [`Session::refresh`].
+    pub fn reoptimize_last(&mut self) -> Option<String> {
+        let (label, plan, plan_hash) = self.last_plan.clone()?;
+        let mut corrected: Vec<(String, f64, f64)> = Vec::new();
+        let mut trigger = 1.0f64;
+        let mut stats = (*self.effective_stats()).clone();
+        for e in self.telemetry.feedback.entries() {
+            if e.plan_hash != plan_hash || e.max_q_error <= 1.0 {
+                continue;
+            }
+            trigger = trigger.max(e.max_q_error);
+            let Some(extent) = &e.extent else { continue };
+            if corrected.iter().any(|(n, _, _)| n == extent) {
+                continue;
+            }
+            let before = stats.object(extent).rows;
+            stats.observe_extent_rows(extent, e.mean_actual());
+            corrected.push((extent.clone(), before, stats.object(extent).rows));
+        }
+        if corrected.is_empty() {
+            return None;
+        }
+        let stats = Arc::new(stats);
+        self.stats_overlay = Some(stats.clone());
+        let ctx = RuleCtx {
+            registry: &self.snapshot.registry,
+            schemas: &*self.snapshot.catalog,
+        };
+        let opt = Optimizer::standard();
+        let cost_before = cost_of(&plan, &stats);
+        let (new_plan, journal) = match self.optimizer_mode {
+            OptimizerMode::Memo => {
+                let (best, run) = opt.optimize_memo_journaled(&plan, &ctx, &stats);
+                self.last_memo = Some(run.snapshot);
+                (best.plan, run.journal)
+            }
+            OptimizerMode::Greedy => {
+                let (best, journal) = opt.optimize_greedy_journaled(&plan, &ctx, &stats);
+                (best.plan, journal)
+            }
+        };
+        self.metrics.record_journal(&journal);
+        self.telemetry.registry.inc("reoptimize.triggered");
+        let cost_after = cost_of(&new_plan, &stats);
+        let mut out = format!("re-optimization of `{label}`: worst q-error {trigger:.1}\n");
+        for (name, before, after) in &corrected {
+            out.push_str(&format!(
+                "  corrected {name}: rows {before:.0} -> {after:.0}\n"
+            ));
+        }
+        out.push_str(&format!("  cost {cost_before:.0} -> {cost_after:.0}\n"));
+        self.last_plan = Some((label, new_plan, plan_hash));
+        Some(out)
     }
 
     /// Run a read-only program — `range of` declarations and `retrieve`
@@ -635,6 +799,7 @@ impl Session {
     /// execute on the serial engine against the pinned generation.
     fn run_retrieve(&mut self, label: &str, r: &Retrieve, parse_us: u64) -> DbResult<QueryOutcome> {
         let snapshot = self.snapshot.clone();
+        let stats = self.effective_stats();
         let mut phases: Vec<(&'static str, u64)> = vec![("parse", parse_us)];
 
         // Translate under the merged range environment: committed
@@ -660,14 +825,23 @@ impl Session {
                 schemas: &*snapshot.catalog,
             };
             let opt = Optimizer::standard();
-            let (a, ja) = opt.optimize_greedy_journaled(&plan, &ctx, &snapshot.stats);
-            let (b, jb) = opt.optimize_greedy_journaled(&plan.desugar(), &ctx, &snapshot.stats);
-            let (best, mut journal) = if b.cost < a.cost {
-                (b.plan, jb)
-            } else {
-                (a.plan, ja)
+            let (best, mut journal) = match self.optimizer_mode {
+                OptimizerMode::Memo => {
+                    let (best, run) = opt.optimize_memo_journaled(&plan, &ctx, &stats);
+                    self.last_memo = Some(run.snapshot);
+                    (best.plan, run.journal)
+                }
+                OptimizerMode::Greedy => {
+                    let (a, ja) = opt.optimize_greedy_journaled(&plan, &ctx, &stats);
+                    let (b, jb) = opt.optimize_greedy_journaled(&plan.desugar(), &ctx, &stats);
+                    if b.cost < a.cost {
+                        (b.plan, jb)
+                    } else {
+                        (a.plan, ja)
+                    }
+                }
             };
-            let best = apply_extent_indexes_journaled(&best, &snapshot.stats, &ctx, &mut journal);
+            let best = apply_extent_indexes_journaled(&best, &stats, &ctx, &mut journal);
             self.metrics.record_journal(&journal);
             phases.push(("optimize", started.elapsed().as_micros() as u64));
             best
@@ -676,7 +850,7 @@ impl Session {
         };
 
         let started = Instant::now();
-        let cost = cost_of(&plan, &snapshot.stats);
+        let cost = cost_of(&plan, &stats);
         let mut journal = RewriteJournal {
             steps: Vec::new(),
             refused: Vec::new(),
@@ -685,10 +859,11 @@ impl Session {
             initial_cost: cost,
             final_cost: cost,
         };
-        let physical = lower_journaled(&plan, &snapshot.stats, &mut journal);
+        let physical = lower_journaled(&plan, &stats, &mut journal);
         self.metrics.record_journal(&journal);
         phases.push(("lower", started.elapsed().as_micros() as u64));
         let plan_hash = fnv1a64(format!("{physical:?}").as_bytes());
+        self.last_plan = Some((label.to_string(), plan.clone(), plan_hash));
 
         let started = Instant::now();
         let (out, counters) = {
@@ -724,6 +899,23 @@ impl Session {
             .map(|(path, c)| (excess_core::profile::path_string(path), c.op.to_string()))
             .collect();
         let est_rows = physical.choices.get(&Vec::new()).and_then(|c| c.est_rows);
+        // Root-level misestimation feeds the session feedback log — the
+        // signal `.reoptimize` acts on.
+        if let Some(est) = est_rows {
+            let op = physical
+                .choices
+                .get(&Vec::new())
+                .map(|c| c.op.to_string())
+                .unwrap_or_else(|| "root".to_string());
+            self.telemetry.feedback.observe(
+                plan_hash,
+                "root",
+                &op,
+                extent_at(&plan, &[]).as_deref(),
+                est,
+                rows as f64,
+            );
+        }
         self.telemetry.recorder.record(QueryRecord {
             query: label.to_string(),
             plan_hash,

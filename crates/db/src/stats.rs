@@ -80,6 +80,62 @@ pub fn collect_statistics(
     stats
 }
 
+/// Recompute the statistics for one named object in place — the
+/// incremental refresh the committer and the mutation paths use instead
+/// of a full [`collect_statistics`] sweep.  The object's entry (rows,
+/// distinct, nested sizes, per-attribute NDVs) is replaced wholesale, so
+/// stale NDVs for dropped attributes do not survive; the global
+/// `type_fractions` are deliberately left alone (they need a whole-store
+/// pass and drift slowly).  Returns false — after removing any stale
+/// entry — when the catalog has no such object.
+pub fn collect_object_statistics(
+    catalog: &DbCatalog,
+    store: &ObjectStore,
+    name: &str,
+    stats: &mut Statistics,
+) -> bool {
+    let Some(value) = catalog.value(name) else {
+        stats.objects.remove(name);
+        return false;
+    };
+    let mut attr_values: HashMap<String, HashSet<&Value>> = HashMap::new();
+    let (rows, distinct, nested_sizes) = match value {
+        Value::Set(s) => {
+            let mut nested = Vec::new();
+            for (e, _card) in s.iter_counted() {
+                nested.extend(nested_collection_sizes(e, store));
+                record_attr_values(e, store, &mut attr_values);
+            }
+            (s.len() as f64, s.distinct_len() as f64, nested)
+        }
+        Value::Array(a) => {
+            let nested = a
+                .iter()
+                .inspect(|e| record_attr_values(e, store, &mut attr_values))
+                .flat_map(|e| nested_collection_sizes(e, store))
+                .collect();
+            (a.len() as f64, a.len() as f64, nested)
+        }
+        _ => (1.0, 1.0, Vec::new()),
+    };
+    let avg_nested = if nested_sizes.is_empty() {
+        stats.default_avg_nested
+    } else {
+        nested_sizes.iter().sum::<f64>() / nested_sizes.len() as f64
+    };
+    let mut object = excess_optimizer::ObjectStats {
+        rows: rows.max(1.0),
+        distinct: distinct.max(1.0),
+        avg_nested,
+        attr_ndv: Default::default(),
+    };
+    for (attr, values) in attr_values {
+        object.attr_ndv.insert(attr, values.len() as f64);
+    }
+    stats.objects.insert(name.to_string(), object);
+    true
+}
+
 /// Record each tuple attribute's value into the per-attribute value sets
 /// (following a reference one level, as queries do when they DEREF).
 fn record_attr_values<'a>(

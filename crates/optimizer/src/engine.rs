@@ -74,6 +74,10 @@ pub struct Optimizer {
     pub allow_null_sensitive: bool,
     /// Exploration budget: maximum number of distinct plans enumerated.
     pub max_plans: usize,
+    /// Seed the memo search ([`Optimizer::optimize_memo_journaled`]) with
+    /// the greedy trajectory, guaranteeing memo cost ≤ greedy cost.  Turn
+    /// off to measure what memo search finds entirely on its own.
+    pub seed_greedy: bool,
 }
 
 impl Optimizer {
@@ -84,6 +88,7 @@ impl Optimizer {
             allow_modulo_identity: true,
             allow_null_sensitive: true,
             max_plans: 512,
+            seed_greedy: true,
         }
     }
 
@@ -94,12 +99,22 @@ impl Optimizer {
             allow_modulo_identity: true,
             allow_null_sensitive: true,
             max_plans: 512,
+            seed_greedy: true,
         }
     }
 
     fn rule_enabled(&self, r: &dyn Rule) -> bool {
         (self.allow_modulo_identity || !r.modulo_identity())
             && (self.allow_null_sensitive || !r.assumes_null_free())
+    }
+
+    /// The currently enabled rules, as the memo search consumes them.
+    pub(crate) fn enabled_rules(&self) -> Vec<&dyn Rule> {
+        self.rules
+            .iter()
+            .map(|r| r.as_ref())
+            .filter(|r| self.rule_enabled(*r))
+            .collect()
     }
 
     /// Single-step rewrites of `e` (at every position), tagged with the

@@ -14,6 +14,7 @@ pub mod cost;
 pub mod dispatch;
 pub mod engine;
 pub mod lower;
+pub mod memo;
 pub mod properties;
 pub mod rule;
 pub mod rules;
@@ -28,6 +29,11 @@ pub use engine::{
     apply_extent_indexes, apply_extent_indexes_journaled, soundness_violation, JournalStep,
     Neighbor, Optimized, Optimizer, RefusedStep, RewriteJournal, TraceStep, EXTENT_INDEX_RULE,
 };
+pub use memo::{
+    GroupSummary, MemoRun, MemoSnapshot, OptimizerMode, MEMO_EXTRACT_RULE, OPTIMIZER_ENV,
+    REOPTIMIZE_RULE,
+};
+
 pub use lower::{
     annotate_columnar, elide_proven_guards, lower, lower_journaled, COLUMNAR_RULE,
     HASH_JOIN_MIN_PAIRS, LOWERING_RULE,

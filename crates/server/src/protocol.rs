@@ -12,6 +12,8 @@
 //! | `.generation`        | the pinned generation number              |
 //! | `.refresh`           | re-pin to the newest generation           |
 //! | `.server`            | database-wide [`ServerStats`]             |
+//! | `.memo`              | memo picture of the last optimization     |
+//! | `.reoptimize`        | feedback-driven re-plan of the last query |
 //! | `.close`             | acknowledge and close the connection      |
 //!
 //! Every response is one JSON object with an `"ok"` field; errors are
@@ -96,8 +98,16 @@ fn outcome_line(session: &Session, out: &QueryOutcome) -> String {
 pub fn server_stats_json(s: &ServerStats) -> String {
     format!(
         "{{\"generation\":{},\"sessions_opened\":{},\"sessions_closed\":{},\
-         \"commit_requests\":{},\"commit_batches\":{}}}",
-        s.generation, s.sessions_opened, s.sessions_closed, s.commit_requests, s.commit_batches
+         \"commit_requests\":{},\"commit_batches\":{},\
+         \"stats_full\":{},\"stats_incremental\":{},\"stats_skipped\":{}}}",
+        s.generation,
+        s.sessions_opened,
+        s.sessions_closed,
+        s.commit_requests,
+        s.commit_batches,
+        s.stats_full,
+        s.stats_incremental,
+        s.stats_skipped
     )
 }
 
@@ -145,6 +155,19 @@ pub fn respond(db: &VersionedDb, session: &mut Session, line: &str) -> Response 
             "{{\"ok\":true,\"server\":{}}}",
             server_stats_json(&db.stats())
         )),
+        ".memo" => Response::keep(match session.last_memo() {
+            Some(snapshot) => format!(
+                "{{\"ok\":true,\"memo\":{}}}",
+                quote_json(&snapshot.render())
+            ),
+            None => error_line("no memoized optimization yet (run a query in memo mode)"),
+        }),
+        ".reoptimize" => Response::keep(match session.reoptimize_last() {
+            Some(report) => format!("{{\"ok\":true,\"reoptimize\":{}}}", quote_json(&report)),
+            None => error_line(
+                "nothing to re-optimize: no query yet, or no misestimation recorded for its plan",
+            ),
+        }),
         ".close" => Response {
             line: "{\"ok\":true,\"closing\":true}".to_string(),
             close: true,
@@ -262,6 +285,43 @@ mod tests {
         assert!(v.get("server").unwrap().get("sessions_opened").is_some());
         let c = respond(&db, &mut s, ".close");
         assert!(c.close);
+        db.shutdown();
+    }
+
+    #[test]
+    fn memo_command_renders_the_group_picture() {
+        let db = vdb();
+        let mut s = db.begin_session();
+        // Pin the mode: the suite may run under `EXCESS_OPTIMIZER=greedy`.
+        s.optimizer_mode = excess_db::OptimizerMode::Memo;
+        // Before any query there is nothing to show.
+        let r = respond(&db, &mut s, ".memo");
+        let v = parse_json(&r.line).expect("valid JSON");
+        assert_eq!(v.get("ok").unwrap().as_bool(), Some(false));
+        respond(&db, &mut s, "retrieve unique (DS.dname)");
+        let r = respond(&db, &mut s, ".memo");
+        let v = parse_json(&r.line).expect("valid JSON");
+        assert_eq!(v.get("ok").unwrap().as_bool(), Some(true), "{}", r.line);
+        let memo = v.get("memo").unwrap().as_str().unwrap().to_string();
+        assert!(memo.contains("memo:") && memo.contains("winner:"), "{memo}");
+        db.shutdown();
+    }
+
+    #[test]
+    fn reoptimize_command_answers_in_json_either_way() {
+        let db = vdb();
+        let mut s = db.begin_session();
+        // Nothing has run: a JSON error, not a disconnect.
+        let r = respond(&db, &mut s, ".reoptimize");
+        let v = parse_json(&r.line).expect("valid JSON");
+        assert_eq!(v.get("ok").unwrap().as_bool(), Some(false));
+        respond(&db, &mut s, "retrieve (DS.dname)");
+        let r = respond(&db, &mut s, ".reoptimize");
+        assert!(!r.close);
+        let v = parse_json(&r.line).expect("valid JSON");
+        // With accurate estimates there may be nothing to correct; with a
+        // misestimate the response carries the report. Either is valid JSON.
+        assert!(v.get("ok").is_some(), "{}", r.line);
         db.shutdown();
     }
 

@@ -21,6 +21,11 @@ pub struct FeedbackEntry {
     pub path: String,
     /// Operator label at that node.
     pub op: String,
+    /// Name of the extent this node reads (the leftmost named object
+    /// under the node in the logical plan), when the caller could map the
+    /// path back to one — what lets re-optimization attribute a q-error
+    /// to a concrete `Statistics` object without guessing.
+    pub extent: Option<String>,
     /// Number of observations folded in.
     pub observations: u64,
     /// Sum of estimated rows over all observations.
@@ -83,8 +88,18 @@ impl FeedbackLog {
         Self::default()
     }
 
-    /// Fold in one est-vs-actual observation for a plan node.
-    pub fn observe(&mut self, plan_hash: u64, path: &str, op: &str, est: f64, actual: f64) {
+    /// Fold in one est-vs-actual observation for a plan node.  `extent`
+    /// names the extent the node reads, when known; a later observation
+    /// that knows the extent fills in an entry that started without one.
+    pub fn observe(
+        &mut self,
+        plan_hash: u64,
+        path: &str,
+        op: &str,
+        extent: Option<&str>,
+        est: f64,
+        actual: f64,
+    ) {
         let q = q_error(est, actual);
         let entry = self
             .entries
@@ -93,11 +108,15 @@ impl FeedbackLog {
                 plan_hash,
                 path: path.to_string(),
                 op: op.to_string(),
+                extent: None,
                 observations: 0,
                 est_rows_sum: 0.0,
                 actual_rows_sum: 0.0,
                 max_q_error: 1.0,
             });
+        if entry.extent.is_none() {
+            entry.extent = extent.map(str::to_string);
+        }
         entry.observations += 1;
         entry.est_rows_sum += sanitize_rows(est);
         entry.actual_rows_sum += sanitize_rows(actual);
@@ -145,19 +164,25 @@ impl FeedbackLog {
         self.entries.clear();
     }
 
-    /// `{"entries":[{"plan_hash":…,"path":…,"op":…,"observations":…,
-    /// "mean_est":…,"mean_actual":…,"max_q_error":…},…]}` in key order.
+    /// `{"entries":[{"plan_hash":…,"path":…,"op":…,"extent":…,
+    /// "observations":…,"mean_est":…,"mean_actual":…,"max_q_error":…},…]}`
+    /// in key order (`extent` is `null` when unknown).
     pub fn to_json(&self) -> String {
         let entries: Vec<String> = self
             .entries
             .values()
             .map(|e| {
                 format!(
-                    "{{\"plan_hash\":{},\"path\":{},\"op\":{},\"observations\":{},\
+                    "{{\"plan_hash\":{},\"path\":{},\"op\":{},\"extent\":{},\
+                     \"observations\":{},\
                      \"mean_est\":{},\"mean_actual\":{},\"max_q_error\":{}}}",
                     e.plan_hash,
                     quote_json(&e.path),
                     quote_json(&e.op),
+                    e.extent
+                        .as_deref()
+                        .map(quote_json)
+                        .unwrap_or_else(|| "null".to_string()),
                     e.observations,
                     number(e.mean_est()),
                     number(e.mean_actual()),
@@ -200,9 +225,9 @@ mod tests {
     #[test]
     fn non_finite_observations_do_not_poison_the_aggregates() {
         let mut log = FeedbackLog::new();
-        log.observe(9, "root", "A", f64::INFINITY, 5.0);
-        log.observe(9, "root", "A", f64::NAN, 5.0);
-        log.observe(9, "root", "A", 5.0, 5.0);
+        log.observe(9, "root", "A", None, f64::INFINITY, 5.0);
+        log.observe(9, "root", "A", None, f64::NAN, 5.0);
+        log.observe(9, "root", "A", None, 5.0, 5.0);
         let e = log.entry(9, "root").unwrap();
         assert_eq!(e.observations, 3);
         assert!(e.mean_est().is_finite());
@@ -222,9 +247,9 @@ mod tests {
     #[test]
     fn observations_accumulate_per_key() {
         let mut log = FeedbackLog::new();
-        log.observe(7, "[0]", "DE", 10.0, 20.0);
-        log.observe(7, "[0]", "DE", 30.0, 20.0);
-        log.observe(7, "root", "SET_APPLY", 5.0, 5.0);
+        log.observe(7, "[0]", "DE", None, 10.0, 20.0);
+        log.observe(7, "[0]", "DE", None, 30.0, 20.0);
+        log.observe(7, "root", "SET_APPLY", None, 5.0, 5.0);
         assert_eq!(log.len(), 2);
         let e = log.entry(7, "[0]").unwrap();
         assert_eq!(e.observations, 2);
@@ -236,9 +261,9 @@ mod tests {
     #[test]
     fn worst_sorts_by_max_q_error_descending() {
         let mut log = FeedbackLog::new();
-        log.observe(1, "root", "A", 100.0, 1.0); // q ≈ 50.5
-        log.observe(1, "[0]", "B", 10.0, 10.0); // q = 1
-        log.observe(2, "root", "C", 1.0, 9.0); // q = 5
+        log.observe(1, "root", "A", None, 100.0, 1.0); // q ≈ 50.5
+        log.observe(1, "[0]", "B", None, 10.0, 10.0); // q = 1
+        log.observe(2, "root", "C", None, 1.0, 9.0); // q = 5
         let worst = log.worst(2);
         assert_eq!(worst.len(), 2);
         assert_eq!(worst[0].op, "A");
@@ -248,7 +273,7 @@ mod tests {
     #[test]
     fn json_parses_with_required_keys() {
         let mut log = FeedbackLog::new();
-        log.observe(3, "root", "DE", 8.0, 2.0);
+        log.observe(3, "root", "DE", None, 8.0, 2.0);
         let v = excess_core::json::parse_json(&log.to_json()).unwrap();
         let entries = v.get("entries").unwrap().as_arr().unwrap();
         assert_eq!(entries.len(), 1);
@@ -257,9 +282,21 @@ mod tests {
     }
 
     #[test]
+    fn extent_names_attach_and_serialize() {
+        let mut log = FeedbackLog::new();
+        log.observe(4, "root", "Scan", None, 8.0, 2.0);
+        log.observe(4, "root", "Scan", Some("S1"), 8.0, 2.0);
+        let e = log.entry(4, "root").unwrap();
+        assert_eq!(e.extent.as_deref(), Some("S1"));
+        let v = excess_core::json::parse_json(&log.to_json()).unwrap();
+        let entries = v.get("entries").unwrap().as_arr().unwrap();
+        assert_eq!(entries[0].get("extent").unwrap().as_str(), Some("S1"));
+    }
+
+    #[test]
     fn reset_clears_the_log() {
         let mut log = FeedbackLog::new();
-        log.observe(1, "root", "A", 1.0, 1.0);
+        log.observe(1, "root", "A", None, 1.0, 1.0);
         log.reset();
         assert!(log.is_empty());
     }

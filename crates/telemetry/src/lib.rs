@@ -125,7 +125,7 @@ mod tests {
     fn snapshot_parses_with_all_sections() {
         let mut t = Telemetry::new();
         t.registry.inc("queries");
-        t.feedback.observe(1, "root", "DE", 2.0, 4.0);
+        t.feedback.observe(1, "root", "DE", None, 2.0, 4.0);
         let v = excess_core::json::parse_json(&t.snapshot_json()).unwrap();
         assert!(v.get("registry").is_some());
         assert!(v.get("recorder").is_some());

@@ -120,6 +120,18 @@ const COMMANDS: &[MetaCommand] = &[
         run: cmd_feedback,
     },
     MetaCommand {
+        name: ".memo",
+        args: "[greedy|memo]",
+        help: "memo picture of the last optimization; or switch the search strategy",
+        run: cmd_memo,
+    },
+    MetaCommand {
+        name: ".reoptimize",
+        args: "",
+        help: "re-plan the last query from its observed cardinalities (feedback loop)",
+        run: cmd_reoptimize,
+    },
+    MetaCommand {
         name: ".spans",
         args: "[on|off|json|chrome]",
         help: "query span traces: toggle, or export the last trace",
@@ -559,6 +571,39 @@ fn cmd_feedback(db: &mut Database, rest: &str) -> bool {
             e.observations,
             e.plan_hash
         );
+    }
+    true
+}
+
+fn cmd_memo(db: &mut Database, rest: &str) -> bool {
+    match rest {
+        "greedy" => {
+            db.set_optimizer_mode(excess::db::OptimizerMode::Greedy);
+            println!("plan search: legacy greedy pass");
+        }
+        "memo" => {
+            db.set_optimizer_mode(excess::db::OptimizerMode::Memo);
+            println!("plan search: memoized group search");
+        }
+        "" => match db.last_memo() {
+            Some(snapshot) => print!("{}", snapshot.render()),
+            None => println!(
+                "no memoized optimization yet (mode: {:?} — run a query, or .memo memo)",
+                db.optimizer_mode()
+            ),
+        },
+        _ => println!("usage: .memo [greedy|memo]"),
+    }
+    true
+}
+
+fn cmd_reoptimize(db: &mut Database, _rest: &str) -> bool {
+    match db.reoptimize_last() {
+        Some(report) => print!("{}", report.render()),
+        None => println!(
+            "nothing to re-optimize: run a query under .spans on (or .profile it) \
+             so the feedback log has observations for its plan"
+        ),
     }
     true
 }

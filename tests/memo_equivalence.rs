@@ -1,0 +1,129 @@
+//! Memo/greedy differential battery: the memoized search must reproduce
+//! the paper's Figure 8 derivation without greedy seeding, and on random
+//! pipelines its chosen plan must evaluate canon-identically to the
+//! greedy-chosen plan at no higher estimated cost — serial and under
+//! `EXCESS_THREADS=4` alike (the harness env decides; CI runs both).
+
+use excess::optimizer::{Optimizer, RuleCtx};
+use excess_bench::example1::{example1_db, figure6, figure8_canonical};
+use excess_core::canon::canonical_form;
+use excess_core::expr::{CmpOp, Expr, Pred};
+use excess_db::Database;
+
+mod common;
+
+#[test]
+fn unseeded_memo_reaches_figure8_from_figure6() {
+    let db = example1_db(40, 24, 40);
+    let mut opt = Optimizer::standard();
+    opt.seed_greedy = false;
+    let rctx = RuleCtx {
+        registry: db.registry(),
+        schemas: db.catalog(),
+    };
+    let (best, run) = opt.optimize_memo_journaled(&figure6(), &rctx, db.statistics());
+    assert_eq!(
+        best.plan,
+        figure8_canonical(),
+        "pure memo search should land exactly on the Figure 8 plan, got:\n{:?}",
+        best.plan
+    );
+    let rules = run.journal.rule_sequence();
+    assert!(
+        rules.contains(&"rule8-de-through-group"),
+        "Figure 6→7 step missing from memo journal: {rules:?}"
+    );
+    assert!(
+        rules.contains(&"rel5-de-early"),
+        "Figure 7→8 step missing from memo journal: {rules:?}"
+    );
+    // Zero soundness-gate regressions: the DE-pushing rules were taken,
+    // never refused, and the extraction gate never fired.
+    for refusal in &run.journal.refused {
+        assert!(
+            refusal.rule != "rule8-de-through-group"
+                && refusal.rule != "rel5-de-early"
+                && refusal.rule != excess::optimizer::MEMO_EXTRACT_RULE,
+            "unexpected refusal: {refusal:?}"
+        );
+    }
+    assert!(run.journal.final_cost < run.journal.initial_cost);
+}
+
+#[test]
+fn seeded_memo_agrees_with_greedy_on_the_figures() {
+    let db = example1_db(40, 24, 40);
+    let opt = Optimizer::standard();
+    let rctx = RuleCtx {
+        registry: db.registry(),
+        schemas: db.catalog(),
+    };
+    let greedy = opt.optimize_greedy(&figure6(), &rctx, db.statistics());
+    let memo = opt.optimize_memo(&figure6(), &rctx, db.statistics());
+    assert!(memo.cost <= greedy.cost + 1e-9);
+    assert_eq!(memo.plan, figure8_canonical());
+}
+
+/// Deterministic pipeline generator over the shared fixture's `S` and `T`
+/// int-set objects plus the `Mixed` hierarchy extent — same spirit as the
+/// figure8_convergence generator, but aimed at plans both engines can run.
+fn generated_pipeline(seed: u64) -> Expr {
+    let mut x = seed.wrapping_mul(0x9e3779b97f4a7c15).max(1);
+    let mut next = move |m: u64| {
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        x % m
+    };
+    let mut e = Expr::named(if next(2) == 0 { "S" } else { "T" });
+    for _ in 0..next(5) + 1 {
+        match next(7) {
+            0 => e = e.dup_elim(),
+            1 => e = e.set_apply(Expr::input()),
+            2 => e = e.select(Pred::cmp(Expr::input(), CmpOp::Gt, Expr::int(1))),
+            3 => e = e.add_union(Expr::named("T")),
+            4 => e = e.group_by(Expr::input()),
+            5 => e = e.dup_elim().dup_elim(),
+            _ => {
+                e = e
+                    .set_apply(Expr::input().make_tup("v"))
+                    .set_apply(Expr::input().extract("v"));
+            }
+        }
+    }
+    e
+}
+
+#[test]
+fn memo_matches_greedy_on_random_pipelines() {
+    let mut db: Database = common::database();
+    db.analyze();
+    let opt = Optimizer::standard();
+    for seed in 1..120u64 {
+        let plan = generated_pipeline(seed);
+        let rctx = RuleCtx {
+            registry: db.registry(),
+            schemas: db.catalog(),
+        };
+        let greedy = opt.optimize_greedy(&plan, &rctx, db.statistics());
+        let memo = opt.optimize_memo(&plan, &rctx, db.statistics());
+        assert!(
+            memo.cost <= greedy.cost + 1e-9,
+            "seed {seed}: memo cost {} > greedy cost {} on {plan:?}",
+            memo.cost,
+            greedy.cost
+        );
+        let canon_greedy = db
+            .run_plan(&greedy.plan)
+            .map(|v| canonical_form(&v, db.store()))
+            .expect("greedy plan evaluates");
+        let canon_memo = db
+            .run_plan(&memo.plan)
+            .map(|v| canonical_form(&v, db.store()))
+            .expect("memo plan evaluates");
+        assert_eq!(
+            canon_greedy, canon_memo,
+            "seed {seed}: memo and greedy plans disagree on {plan:?}"
+        );
+    }
+}

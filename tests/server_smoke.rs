@@ -98,6 +98,54 @@ fn wire_commits_are_visible_to_refreshed_connections() {
 }
 
 #[test]
+fn memo_and_reoptimize_dot_commands_answer_over_the_wire() {
+    let vdb = VersionedDb::new(server_mix_db(20));
+    let handle = serve(vdb, "127.0.0.1:0").expect("bind");
+    let mut client = Client::connect(handle.addr()).expect("connect");
+
+    // Before any query both commands explain themselves instead of
+    // hanging up the connection.
+    let memo = client.request(".memo").expect("memo");
+    let parsed = parse_json(&memo).expect("json");
+    assert_eq!(
+        parsed.get("ok").and_then(|v| v.as_bool()),
+        Some(false),
+        "{memo}"
+    );
+    let reopt = client.request(".reoptimize").expect("reoptimize");
+    let parsed = parse_json(&reopt).expect("json");
+    assert_eq!(
+        parsed.get("ok").and_then(|v| v.as_bool()),
+        Some(false),
+        "{reopt}"
+    );
+
+    let (_, src) = MIX[0];
+    let ran = client.request(src).expect("query");
+    assert!(ran.starts_with("{\"ok\":true"), "{ran}");
+
+    // After a query the answer depends on the session's search strategy
+    // ($EXCESS_OPTIMIZER): memo mode renders the group picture, greedy
+    // mode explains that no memo exists.  Either way the line is JSON.
+    let memo = client.request(".memo").expect("memo");
+    let parsed = parse_json(&memo).expect("json");
+    match parsed.get("ok").and_then(|v| v.as_bool()) {
+        Some(true) => assert!(memo.contains("memo:") && memo.contains("winner:"), "{memo}"),
+        _ => assert!(memo.contains("memo"), "{memo}"),
+    }
+    let reopt = client.request(".reoptimize").expect("reoptimize");
+    let parsed = parse_json(&reopt).expect("json");
+    if parsed.get("ok").and_then(|v| v.as_bool()) == Some(true) {
+        assert!(reopt.contains("re-optimization"), "{reopt}");
+    } else {
+        assert!(reopt.contains("re-optimize"), "{reopt}");
+    }
+
+    let vdb = handle.shutdown();
+    vdb.shutdown();
+}
+
+#[test]
 fn connection_metrics_reach_the_global_registry_after_shutdown() {
     let vdb = VersionedDb::new(server_mix_db(20));
     let handle = serve(vdb, "127.0.0.1:0").expect("bind");
